@@ -1,0 +1,710 @@
+//! miniWeather — structured-mesh proxy for atmospheric dynamics
+//! (paper §3, app 7; Norman, ORNL).
+//!
+//! A compact re-implementation of the miniWeather algorithm: 2-D (x–z)
+//! compressible Euler equations for dry stratified flow in perturbation
+//! form about a hydrostatic, constant-potential-temperature background.
+//! Finite-volume fluxes use the standard 4-cell 4th-order interpolation
+//! plus 3rd-difference hyperviscosity; time integration is the 3-stage
+//! low-storage Runge-Kutta with dimensional splitting (x then z, order
+//! alternating each step), exactly as in the reference code.
+//!
+//! Deviations from the reference (documented per the substitution rule):
+//! advective fluxes through the rigid top/bottom walls are explicitly
+//! zeroed (the reference relies on halo values making them small), which
+//! makes mass conservation exact in both directions — the property the
+//! validation tests assert. Double precision, paper size 4000×2000.
+
+use crate::{AppId, AppRun};
+use bwb_ops::{par_loop2, par_loop2_reduce, Dat2, ExecMode, Profile, Range2};
+use bwb_shmpi::Comm;
+
+/// Tag space for the distributed x-ring halo exchange.
+const MW_HALO_TAG: u32 = 0x6000_0000;
+
+// --- Physical constants (miniWeather reference values) ---
+pub const GRAV: f64 = 9.8;
+pub const CP: f64 = 1004.0;
+pub const CV: f64 = 717.0;
+pub const RD: f64 = 287.0;
+pub const P0: f64 = 1.0e5;
+pub const GAMMA: f64 = CP / CV;
+/// p = C0·(ρθ)^γ.
+pub const C0: f64 = 27.562_941_092_972_594;
+/// Background potential temperature.
+pub const THETA0: f64 = 300.0;
+/// Maximum signal speed used for the CFL time step.
+pub const MAX_SPEED: f64 = 450.0;
+/// Hyperviscosity beta.
+pub const HV_BETA: f64 = 0.25;
+
+/// Field indices in the 4-variable state.
+pub const ID_DENS: usize = 0;
+pub const ID_UMOM: usize = 1;
+pub const ID_WMOM: usize = 2;
+pub const ID_RHOT: usize = 3;
+
+/// FLOPs per point of a tendency kernel (interp + fluxes + powf ≈ 80).
+const FLOPS_TEND: f64 = 80.0;
+
+#[derive(Debug, Clone)]
+pub struct Config {
+    pub nx: usize,
+    pub nz: usize,
+    /// Physical domain size (m).
+    pub xlen: f64,
+    pub zlen: f64,
+    /// Simulated seconds.
+    pub sim_time: f64,
+    pub cfl: f64,
+    pub mode: ExecMode,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            nx: 64,
+            nz: 32,
+            xlen: 2.0e4,
+            zlen: 1.0e4,
+            sim_time: 5.0,
+            cfl: 1.0,
+            mode: ExecMode::Serial,
+        }
+    }
+}
+
+impl Config {
+    /// Paper testcase: 4000×2000 cells, simulation time 1.0.
+    pub fn paper() -> Self {
+        Config { nx: 4000, nz: 2000, sim_time: 1.0, mode: ExecMode::Rayon, ..Config::default() }
+    }
+}
+
+/// Hydrostatic background profiles.
+struct Background {
+    /// ρ₀ at cell centres, indexed by k + 2 (halo of 2).
+    dens_cell: Vec<f64>,
+    /// ρ₀θ₀ at cell centres.
+    dens_theta_cell: Vec<f64>,
+    /// ρ₀ at interfaces (k = 0..=nz).
+    dens_int: Vec<f64>,
+    dens_theta_int: Vec<f64>,
+    pressure_int: Vec<f64>,
+}
+
+fn hydrostatic(z: f64) -> (f64, f64) {
+    // Constant-θ background: Exner pressure decreases linearly.
+    let exner = 1.0 - GRAV * z / (CP * THETA0);
+    let p = P0 * exner.powf(CP / RD);
+    let rho = p / (RD * THETA0 * exner);
+    (rho, rho * THETA0)
+}
+
+impl Background {
+    fn new(nz: usize, dz: f64) -> Self {
+        let mut dens_cell = Vec::with_capacity(nz + 4);
+        let mut dens_theta_cell = Vec::with_capacity(nz + 4);
+        for k in -2isize..nz as isize + 2 {
+            let z = (k as f64 + 0.5) * dz;
+            let (r, rt) = hydrostatic(z.max(0.0).min(nz as f64 * dz));
+            dens_cell.push(r);
+            dens_theta_cell.push(rt);
+        }
+        let mut dens_int = Vec::with_capacity(nz + 1);
+        let mut dens_theta_int = Vec::with_capacity(nz + 1);
+        let mut pressure_int = Vec::with_capacity(nz + 1);
+        for k in 0..=nz {
+            let z = k as f64 * dz;
+            let (r, rt) = hydrostatic(z);
+            dens_int.push(r);
+            dens_theta_int.push(rt);
+            pressure_int.push(C0 * rt.powf(GAMMA));
+        }
+        Background { dens_cell, dens_theta_cell, dens_int, dens_theta_int, pressure_int }
+    }
+}
+
+/// The solver state.
+pub struct MiniWeather {
+    cfg: Config,
+    dx: f64,
+    dz: f64,
+    dt: f64,
+    bg: Background,
+    /// Perturbation state, 4 fields with halo 2 (this rank's x-slab when
+    /// distributed).
+    state: Vec<Dat2<f64>>,
+    state_tmp: Vec<Dat2<f64>>,
+    tend: Vec<Dat2<f64>>,
+    direction_switch: bool,
+    /// Local x extent (= cfg.nx single-rank).
+    local_nx: usize,
+    /// Global x index of the first owned column.
+    x_start: usize,
+    /// Ring neighbours (left, right) when decomposed over ranks.
+    ring: Option<(usize, usize)>,
+}
+
+const NAMES: [&str; 4] = ["dens", "umom", "wmom", "rhot"];
+
+impl MiniWeather {
+    /// Initialize the rising-thermal-bubble test case (single rank).
+    pub fn new(cfg: Config) -> Self {
+        let nx = cfg.nx;
+        Self::new_local(cfg, 0, nx, None)
+    }
+
+    /// Initialize one rank's x-slab of the global domain; `ring` gives the
+    /// periodic (left, right) neighbour ranks.
+    pub fn new_local(cfg: Config, x_start: usize, local_nx: usize, ring: Option<(usize, usize)>) -> Self {
+        let dx = cfg.xlen / cfg.nx as f64;
+        let dz = cfg.zlen / cfg.nz as f64;
+        let dt = (dx.min(dz) / MAX_SPEED) * cfg.cfl;
+        let bg = Background::new(cfg.nz, dz);
+        let mk = |tagged: &str| -> Vec<Dat2<f64>> {
+            NAMES
+                .iter()
+                .map(|n| Dat2::new(&format!("{n}{tagged}"), local_nx, cfg.nz, 2))
+                .collect()
+        };
+        let mut state = mk("");
+        let state_tmp = mk("_tmp");
+        let tend = mk("_tend");
+
+        // Warm bubble: Gaussian θ′ perturbation in the lower middle.
+        let (xc, zc, rad, amp) = (cfg.xlen / 2.0, 2000.0_f64.min(cfg.zlen * 0.25), 2000.0_f64, 3.0);
+        for k in 0..cfg.nz as isize {
+            let z = (k as f64 + 0.5) * dz;
+            let (rho0, _) = hydrostatic(z);
+            for i in 0..local_nx as isize {
+                let x = ((x_start as isize + i) as f64 + 0.5) * dx;
+                let dist = (((x - xc) / rad).powi(2) + ((z - zc) / rad).powi(2)).sqrt();
+                let tp = if dist <= 1.0 {
+                    amp * (std::f64::consts::PI * dist / 2.0).cos().powi(2)
+                } else {
+                    0.0
+                };
+                state[ID_RHOT].set(i, k, rho0 * tp);
+            }
+        }
+        MiniWeather {
+            cfg,
+            dx,
+            dz,
+            dt,
+            bg,
+            state,
+            state_tmp,
+            tend,
+            direction_switch: true,
+            local_nx,
+            x_start,
+            ring,
+        }
+    }
+
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Periodic x halos + rigid z halos for the given 4-field state
+    /// (single-rank path: x wraps locally).
+    fn fill_halos(fields: &mut [Dat2<f64>], nx: isize, nz: isize) {
+        for (id, f) in fields.iter_mut().enumerate() {
+            // x: periodic.
+            for k in -2..nz + 2 {
+                for h in 1..=2isize {
+                    f.set(-h, k, f.get(nx - h, k));
+                    f.set(nx - 1 + h, k, f.get(h - 1, k));
+                }
+            }
+            // z: zero-gradient for dens/umom/rhot, w = 0 at walls.
+            for i in -2..nx + 2 {
+                for h in 1..=2isize {
+                    if id == ID_WMOM {
+                        f.set(i, -h, 0.0);
+                        f.set(i, nz - 1 + h, 0.0);
+                    } else {
+                        f.set(i, -h, f.get(i, 0));
+                        f.set(i, nz - 1 + h, f.get(i, nz - 1));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Distributed x halos: ring exchange of the 2-deep edge columns with
+    /// the periodic (left, right) neighbours, then the local rigid-z fill.
+    fn fill_halos_ring(
+        fields: &mut [Dat2<f64>],
+        nx: isize,
+        nz: isize,
+        comm: &mut Comm,
+        left: usize,
+        right: usize,
+    ) {
+        for (id, f) in fields.iter_mut().enumerate() {
+            let tag = MW_HALO_TAG + id as u32;
+            let pack = |f: &Dat2<f64>, lo: isize| -> Vec<f64> {
+                let mut buf = Vec::with_capacity((2 * nz) as usize);
+                for k in 0..nz {
+                    for i in lo..lo + 2 {
+                        buf.push(f.get(i, k));
+                    }
+                }
+                buf
+            };
+            // Eager sends both ways, then receive (no deadlock).
+            comm.send(left, tag, pack(f, 0));
+            comm.send(right, tag + 16, pack(f, nx - 2));
+            let from_right = comm.recv::<f64>(right, tag);
+            let from_left = comm.recv::<f64>(left, tag + 16);
+            let mut itr = from_right.into_iter();
+            let mut itl = from_left.into_iter();
+            for k in 0..nz {
+                for i in nx..nx + 2 {
+                    f.set(i, k, itr.next().expect("halo size"));
+                }
+                for i in -2..0isize {
+                    f.set(i, k, itl.next().expect("halo size"));
+                }
+            }
+            // z: same rigid-wall rule, over the x-extended rows.
+            for i in -2..nx + 2 {
+                for h in 1..=2isize {
+                    if id == ID_WMOM {
+                        f.set(i, -h, 0.0);
+                        f.set(i, nz - 1 + h, 0.0);
+                    } else {
+                        f.set(i, -h, f.get(i, 0));
+                        f.set(i, nz - 1 + h, f.get(i, nz - 1));
+                    }
+                }
+            }
+        }
+    }
+
+    /// X-direction tendencies of `src` into `self.tend`.
+    fn tendencies_x(&mut self, profile: &mut Profile, use_tmp: bool, comm: Option<&mut Comm>) {
+        let (nx, nz) = (self.local_nx, self.cfg.nz);
+        let src = if use_tmp { &mut self.state_tmp } else { &mut self.state };
+        match (self.ring, comm) {
+            (Some((l, r)), Some(c)) => Self::fill_halos_ring(src, nx as isize, nz as isize, c, l, r),
+            _ => Self::fill_halos(src, nx as isize, nz as isize),
+        }
+        let src = if use_tmp { &self.state_tmp } else { &self.state };
+
+        let hv_coef = -HV_BETA * self.dx / (16.0 * self.dt);
+        let dx = self.dx;
+        let bg_dens = &self.bg.dens_cell;
+        let bg_dt = &self.bg.dens_theta_cell;
+
+        let mut outs: Vec<&mut Dat2<f64>> = self.tend.iter_mut().collect();
+        let ins: Vec<&Dat2<f64>> = src.iter().collect();
+        par_loop2(
+            profile,
+            "mw_tend_x",
+            self.cfg.mode,
+            Range2::interior(nx, nz),
+            &mut outs,
+            &ins,
+            FLOPS_TEND,
+            move |_i, j, out, s| {
+                // Flux at interface i−1/2 (off = -1) and i+1/2 (off = 0):
+                // stencil cells off-1..off+2.
+                let flux = |off: isize, id_out: usize| -> f64 {
+                    let v = |id: usize, d: isize| s.get(id, off + d, 0);
+                    let stencil = |id: usize| {
+                        let (s0, s1, s2, s3) = (v(id, -1), v(id, 0), v(id, 1), v(id, 2));
+                        let vals = -s0 / 12.0 + 7.0 * s1 / 12.0 + 7.0 * s2 / 12.0 - s3 / 12.0;
+                        let d3 = -s0 + 3.0 * s1 - 3.0 * s2 + s3;
+                        (vals, d3)
+                    };
+                    let (vd, d3d) = stencil(ID_DENS);
+                    let (vu, d3u) = stencil(ID_UMOM);
+                    let (vw, d3w) = stencil(ID_WMOM);
+                    let (vt, d3t) = stencil(ID_RHOT);
+                    let kk = (j + 2) as usize;
+                    let r = vd + bg_dens[kk];
+                    let u = vu / r;
+                    let w = vw / r;
+                    let t = (vt + bg_dt[kk]) / r;
+                    let p = C0 * (r * t).powf(GAMMA);
+                    match id_out {
+                        ID_DENS => r * u - hv_coef * d3d,
+                        ID_UMOM => r * u * u + p - hv_coef * d3u,
+                        ID_WMOM => r * u * w - hv_coef * d3w,
+                        _ => r * u * t - hv_coef * d3t,
+                    }
+                };
+                for id in 0..4 {
+                    out.set(id, -(flux(0, id) - flux(-1, id)) / dx);
+                }
+            },
+        );
+    }
+
+    /// Z-direction tendencies of `src` into `self.tend` (with gravity
+    /// source and hydrostatic-pressure subtraction in the wmom flux).
+    fn tendencies_z(&mut self, profile: &mut Profile, use_tmp: bool, comm: Option<&mut Comm>) {
+        let (nx, nz) = (self.local_nx, self.cfg.nz);
+        let src = if use_tmp { &mut self.state_tmp } else { &mut self.state };
+        match (self.ring, comm) {
+            (Some((l, r)), Some(c)) => Self::fill_halos_ring(src, nx as isize, nz as isize, c, l, r),
+            _ => Self::fill_halos(src, nx as isize, nz as isize),
+        }
+        let src = if use_tmp { &self.state_tmp } else { &self.state };
+
+        let hv_coef = -HV_BETA * self.dz / (16.0 * self.dt);
+        let dz = self.dz;
+        let nz_i = nz as isize;
+        let bg_dens_int = &self.bg.dens_int;
+        let bg_dt_int = &self.bg.dens_theta_int;
+        let bg_p_int = &self.bg.pressure_int;
+
+        let mut outs: Vec<&mut Dat2<f64>> = self.tend.iter_mut().collect();
+        let ins: Vec<&Dat2<f64>> = src.iter().collect();
+        par_loop2(
+            profile,
+            "mw_tend_z",
+            self.cfg.mode,
+            Range2::interior(nx, nz),
+            &mut outs,
+            &ins,
+            FLOPS_TEND,
+            move |_i, j, out, s| {
+                // Flux at interface below (off=-1 ⇒ interface j) and above
+                // (off=0 ⇒ interface j+1), stencil cells off-1..off+2 in z.
+                let flux = |off: isize, id_out: usize| -> f64 {
+                    let iface = (j + off + 1) as usize; // interface index 0..=nz
+                    let at_wall = iface == 0 || iface as isize == nz_i;
+                    let v = |id: usize, d: isize| s.get(id, 0, off + d);
+                    let stencil = |id: usize| {
+                        let (s0, s1, s2, s3) = (v(id, -1), v(id, 0), v(id, 1), v(id, 2));
+                        let vals = -s0 / 12.0 + 7.0 * s1 / 12.0 + 7.0 * s2 / 12.0 - s3 / 12.0;
+                        let d3 = -s0 + 3.0 * s1 - 3.0 * s2 + s3;
+                        (vals, d3)
+                    };
+                    let (vd, d3d) = stencil(ID_DENS);
+                    let (vu, d3u) = stencil(ID_UMOM);
+                    let (vw, d3w) = stencil(ID_WMOM);
+                    let (vt, d3t) = stencil(ID_RHOT);
+                    let r = vd + bg_dens_int[iface];
+                    let w = if at_wall { 0.0 } else { vw / r };
+                    let u = vu / r;
+                    let t = (vt + bg_dt_int[iface]) / r;
+                    let p = C0 * (r * t).powf(GAMMA) - bg_p_int[iface];
+                    match id_out {
+                        // Rigid walls: no advective mass/momentum/heat flux.
+                        ID_DENS => if at_wall { 0.0 } else { r * w - hv_coef * d3d },
+                        ID_UMOM => if at_wall { 0.0 } else { r * w * u - hv_coef * d3u },
+                        // Perturbation pressure acts on the walls.
+                        ID_WMOM => r * w * w + p - if at_wall { 0.0 } else { hv_coef * d3w },
+                        _ => if at_wall { 0.0 } else { r * w * t - hv_coef * d3t },
+                    }
+                };
+                for id in 0..4 {
+                    let mut t = -(flux(0, id) - flux(-1, id)) / dz;
+                    if id == ID_WMOM {
+                        t -= s.get(ID_DENS, 0, 0) * GRAV; // buoyancy source
+                    }
+                    out.set(id, t);
+                }
+            },
+        );
+    }
+
+    /// `dst = init + dt_frac·tend` over the interior, for all 4 fields.
+    fn apply_update(
+        &mut self,
+        profile: &mut Profile,
+        dst_is_tmp: bool,
+        init_is_tmp: bool,
+        dt_frac: f64,
+    ) {
+        let (nx, nz) = (self.local_nx, self.cfg.nz);
+        // Split borrows: destination vs init vs tend.
+        let (dst, init): (&mut Vec<Dat2<f64>>, &Vec<Dat2<f64>>) = match (dst_is_tmp, init_is_tmp) {
+            (true, false) => (&mut self.state_tmp, &self.state),
+            (false, false) => {
+                // dst == init == state: in-place x += dt·tend
+                let tend = &self.tend;
+                let mode = self.cfg.mode;
+                for (id, f) in self.state.iter_mut().enumerate() {
+                    par_loop2(
+                        profile,
+                        "mw_update",
+                        mode,
+                        Range2::interior(nx, nz),
+                        &mut [f],
+                        &[&tend[id]],
+                        2.0,
+                        move |_i, _j, out, ins| {
+                            let v = out.get(0) + dt_frac * ins.get(0, 0, 0);
+                            out.set(0, v);
+                        },
+                    );
+                }
+                return;
+            }
+            _ => unreachable!("unsupported update combination"),
+        };
+        let tend = &self.tend;
+        let mode = self.cfg.mode;
+        for id in 0..4 {
+            par_loop2(
+                profile,
+                "mw_update",
+                mode,
+                Range2::interior(nx, nz),
+                &mut [&mut dst[id]],
+                &[&init[id], &tend[id]],
+                2.0,
+                move |_i, _j, out, ins| {
+                    out.set(0, ins.get(0, 0, 0) + dt_frac * ins.get(1, 0, 0));
+                },
+            );
+        }
+    }
+
+    /// One directional semi-discrete RK3 sub-cycle.
+    fn direction_step(&mut self, profile: &mut Profile, x_dir: bool, mut comm: Option<&mut Comm>) {
+        let dt = self.dt;
+        let tendf: fn(&mut Self, &mut Profile, bool, Option<&mut Comm>) = if x_dir {
+            Self::tendencies_x
+        } else {
+            Self::tendencies_z
+        };
+        // stage 1: tmp = state + dt/3 · T(state)
+        tendf(self, profile, false, comm.as_deref_mut());
+        self.apply_update(profile, true, false, dt / 3.0);
+        // stage 2: tmp = state + dt/2 · T(tmp)
+        tendf(self, profile, true, comm.as_deref_mut());
+        self.apply_update(profile, true, false, dt / 2.0);
+        // stage 3: state = state + dt · T(tmp)
+        tendf(self, profile, true, comm.as_deref_mut());
+        self.apply_update(profile, false, false, dt);
+    }
+
+    /// One full time step (x/z split, alternating order).
+    pub fn step(&mut self, profile: &mut Profile) {
+        self.step_with(profile, None);
+    }
+
+    /// One full time step, exchanging halos through `comm` when the solver
+    /// was built distributed.
+    pub fn step_with(&mut self, profile: &mut Profile, mut comm: Option<&mut Comm>) {
+        if self.direction_switch {
+            self.direction_step(profile, true, comm.as_deref_mut());
+            self.direction_step(profile, false, comm.as_deref_mut());
+        } else {
+            self.direction_step(profile, false, comm.as_deref_mut());
+            self.direction_step(profile, true, comm.as_deref_mut());
+        }
+        self.direction_switch = !self.direction_switch;
+    }
+
+    /// Distributed run: decompose the x axis over `comm.size()` ranks in a
+    /// periodic ring. Returns this rank's profile and (on rank 0) the
+    /// gathered global perturbation density field (x-major rows of nz).
+    pub fn run_distributed(comm: &mut Comm, cfg: Config, steps: usize) -> (Profile, Option<Vec<f64>>) {
+        let size = comm.size();
+        let rank = comm.rank();
+        assert!(cfg.nx % size == 0, "nx must divide evenly for the ring decomposition");
+        let local_nx = cfg.nx / size;
+        let left = (rank + size - 1) % size;
+        let right = (rank + 1) % size;
+        let nz = cfg.nz;
+        let mut profile = Profile::new();
+        let mut sim =
+            MiniWeather::new_local(cfg, rank * local_nx, local_nx, Some((left, right)));
+        for _ in 0..steps {
+            sim.step_with(&mut profile, Some(comm));
+        }
+        // Gather the density perturbation column-major per rank.
+        let mut mine = Vec::with_capacity(local_nx * nz);
+        for i in 0..local_nx as isize {
+            for k in 0..nz as isize {
+                mine.push(sim.state[ID_DENS].get(i, k));
+            }
+        }
+        let gathered = comm.gather(&mine, 0).map(|parts| parts.concat());
+        (profile, gathered)
+    }
+
+    /// Domain totals of the perturbation mass and heat (conserved; local
+    /// slab totals when distributed — allreduce them across ranks).
+    pub fn totals(&self, profile: &mut Profile) -> (f64, f64) {
+        let (nx, nz) = (self.local_nx, self.cfg.nz);
+        let sum = |f: &Dat2<f64>, profile: &mut Profile| {
+            par_loop2_reduce(
+                profile,
+                "mw_totals",
+                ExecMode::Serial,
+                Range2::interior(nx, nz),
+                &[f],
+                0.0f64,
+                1.0,
+                |_i, _j, ins| ins.get(0, 0, 0),
+                |a, b| a + b,
+            )
+        };
+        (sum(&self.state[ID_DENS], profile), sum(&self.state[ID_RHOT], profile))
+    }
+
+    /// Max |w| over the domain — the bubble's rise signature.
+    pub fn max_abs_w(&self) -> f64 {
+        let (nx, nz) = (self.local_nx as isize, self.cfg.nz as isize);
+        let mut m = 0.0f64;
+        for k in 0..nz {
+            for i in 0..nx {
+                m = m.max(self.state[ID_WMOM].get(i, k).abs());
+            }
+        }
+        m
+    }
+
+    /// Run for the configured simulated time.
+    pub fn run(cfg: Config) -> AppRun {
+        let mut profile = Profile::new();
+        let points = cfg.nx * cfg.nz;
+        let mut sim = MiniWeather::new(cfg);
+        let (m0, t0) = sim.totals(&mut profile);
+        let steps = (sim.cfg.sim_time / sim.dt).ceil() as usize;
+        for _ in 0..steps {
+            sim.step(&mut profile);
+        }
+        let (m1, t1) = sim.totals(&mut profile);
+        // Validation: relative drift of conserved totals (θ′ total is
+        // nonzero; ρ′ total starts at 0, so normalize by the background
+        // cell mass scale).
+        let scale = 1.0; // kg m⁻³ · cells — absolute drift is the metric
+        let drift = ((m1 - m0).abs() / scale).max((t1 - t0).abs() / t0.abs().max(1.0));
+        AppRun { app: AppId::MiniWeather, profile, validation: drift, iterations: steps, points }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hydrostatic_profile_sane() {
+        let (r0, rt0) = hydrostatic(0.0);
+        let (r5, _) = hydrostatic(5000.0);
+        assert!((r0 - 1.16).abs() < 0.05, "surface density {r0}");
+        assert!(r5 < r0, "density decreases with height");
+        assert!((rt0 / r0 - THETA0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mass_and_heat_conserved() {
+        let run = MiniWeather::run(Config { nx: 40, nz: 20, sim_time: 10.0, ..Config::default() });
+        assert!(run.validation < 1e-8, "conservation drift {}", run.validation);
+        assert!(run.iterations > 5);
+    }
+
+    #[test]
+    fn bubble_starts_rising() {
+        let cfg = Config { nx: 50, nz: 25, ..Config::default() };
+        let mut profile = Profile::new();
+        let mut sim = MiniWeather::new(cfg);
+        assert_eq!(sim.max_abs_w(), 0.0);
+        for _ in 0..20 {
+            sim.step(&mut profile);
+        }
+        assert!(sim.max_abs_w() > 1e-4, "w momentum developed: {}", sim.max_abs_w());
+        // Upward in the bubble column: w > 0 at the bubble centre.
+        let (nx, nz) = (50isize, 25isize);
+        let wc = sim.state[ID_WMOM].get(nx / 2, nz / 5);
+        assert!(wc > 0.0, "bubble core rises, wmom = {wc}");
+    }
+
+    #[test]
+    fn solution_stays_finite() {
+        let cfg = Config { nx: 32, nz: 16, sim_time: 20.0, ..Config::default() };
+        let run = MiniWeather::run(cfg);
+        assert!(run.validation.is_finite());
+    }
+
+    #[test]
+    fn serial_equals_rayon() {
+        let base = Config { nx: 24, nz: 12, sim_time: 3.0, ..Config::default() };
+        let a = MiniWeather::run(Config { mode: ExecMode::Serial, ..base.clone() });
+        let b = MiniWeather::run(Config { mode: ExecMode::Rayon, ..base });
+        assert_eq!(a.validation, b.validation);
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn profile_contains_all_kernels() {
+        let run = MiniWeather::run(Config { nx: 16, nz: 8, sim_time: 1.0, ..Config::default() });
+        for k in ["mw_tend_x", "mw_tend_z", "mw_update"] {
+            assert!(run.profile.get(k).is_some(), "missing kernel {k}");
+        }
+        // Per full step: 3 x-tend + 3 z-tend; updates: 3 stages × 4 fields × 2 dirs.
+        let tx = run.profile.get("mw_tend_x").unwrap();
+        assert_eq!(tx.calls as usize, 3 * run.iterations);
+        let up = run.profile.get("mw_update").unwrap();
+        assert_eq!(up.calls as usize, 24 * run.iterations);
+    }
+
+    #[test]
+    fn distributed_ring_matches_single_rank_bitwise() {
+        use bwb_shmpi::Universe;
+        let cfg = Config { nx: 48, nz: 12, sim_time: 0.0, ..Config::default() };
+        let steps = 4;
+        // Serial reference (column-major like the distributed gather).
+        let single = {
+            let mut profile = Profile::new();
+            let mut sim = MiniWeather::new(cfg.clone());
+            for _ in 0..steps {
+                sim.step(&mut profile);
+            }
+            let mut v = Vec::new();
+            for i in 0..48isize {
+                for k in 0..12isize {
+                    v.push(sim.state[ID_DENS].get(i, k));
+                }
+            }
+            v
+        };
+        for ranks in [2usize, 3, 4] {
+            let cfg2 = cfg.clone();
+            let out = Universe::run(ranks, move |c| {
+                MiniWeather::run_distributed(c, cfg2.clone(), steps).1
+            });
+            let dist = out.results[0].as_ref().unwrap();
+            assert_eq!(dist.len(), single.len());
+            for (a, b) in dist.iter().zip(&single) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{ranks} ranks");
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_ring_wraps_periodically() {
+        use bwb_shmpi::Universe;
+        // 2 ranks: rank 0's left neighbour is rank 1 — messages must flow
+        // around the ring (sends counted on both ranks every tendency).
+        let cfg = Config { nx: 16, nz: 8, sim_time: 0.0, ..Config::default() };
+        let out = Universe::run(2, move |c| {
+            let _ = MiniWeather::run_distributed(c, cfg.clone(), 2);
+            c.stats()
+        });
+        for (rank, s) in out.results.iter().enumerate() {
+            // 2 steps × 2 directions × 3 stages × 4 fields × 2 sides = 96
+            // halo sends; non-root ranks add 1 gather message.
+            let expect = if rank == 0 { 96 } else { 97 };
+            assert_eq!(s.sends, expect, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn dt_respects_cfl() {
+        let sim = MiniWeather::new(Config { nx: 100, nz: 50, ..Config::default() });
+        let dx = 2.0e4 / 100.0;
+        assert!((sim.dt() - dx / MAX_SPEED).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,487 @@
+//! OpenSBLI SA & SN — structured-mesh finite-difference Navier–Stokes
+//! solver proxy (paper §3, app 4).
+//!
+//! OpenSBLI generates finite-difference solvers in two formulations the
+//! paper contrasts:
+//!
+//! * **SA (Store All)** — every spatial derivative is computed once into a
+//!   work array, then a combination kernel assembles the right-hand side:
+//!   minimal recomputation, maximal data movement → bandwidth-bound;
+//! * **SN (Store None)** — one fused kernel recomputes all derivatives on
+//!   the fly: more FLOPs, far less data movement.
+//!
+//! We implement both formulations of the same governing system — a
+//! five-field advection–diffusion system with per-field advection
+//! velocities (the data-flow skeleton of the compressible Navier–Stokes
+//! RHS) discretized with 4th-order central differences and SSP-RK3 time
+//! stepping on a periodic box. The two variants execute arithmetically
+//! identical updates, so the module's headline validation is **SA ≡ SN
+//! bitwise**; accuracy is validated against the analytic decaying-advected
+//! sine mode.
+//!
+//! Double precision; paper size 320³, 20 iterations.
+
+use crate::{AppId, AppRun};
+use bwb_ops::{par_loop3, Dat3, ExecMode, Profile, Range3};
+
+/// Number of solution fields (ρ, ρu, ρv, ρw, ρE analogue).
+pub const NFIELDS: usize = 5;
+/// Stencil radius of the 4th-order central differences.
+pub const RADIUS: isize = 2;
+
+/// 4th-order first derivative: (−s₂ + 8s₁ − 8s₋₁ + s₋₂)/12h.
+#[inline]
+fn d1(sm2: f64, sm1: f64, sp1: f64, sp2: f64, h: f64) -> f64 {
+    (sm2 - 8.0 * sm1 + 8.0 * sp1 - sp2) / (12.0 * h)
+}
+
+/// 4th-order second derivative: (−s₂ + 16s₁ − 30s₀ + 16s₋₁ − s₋₂)/12h².
+#[inline]
+fn d2(sm2: f64, sm1: f64, s0: f64, sp1: f64, sp2: f64, h: f64) -> f64 {
+    (-sm2 + 16.0 * sm1 - 30.0 * s0 + 16.0 * sp1 - sp2) / (12.0 * h * h)
+}
+
+/// Which formulation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    StoreAll,
+    StoreNone,
+}
+
+#[derive(Debug, Clone)]
+pub struct Config {
+    pub n: usize,
+    pub iterations: usize,
+    pub variant: Variant,
+    /// Diffusion coefficient.
+    pub nu: f64,
+    pub mode: ExecMode,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { n: 24, iterations: 5, variant: Variant::StoreAll, nu: 0.02, mode: ExecMode::Serial }
+    }
+}
+
+impl Config {
+    /// Paper testcase: 320³, 20 iterations.
+    pub fn paper(variant: Variant) -> Self {
+        Config { n: 320, iterations: 20, variant, nu: 0.02, mode: ExecMode::Rayon }
+    }
+}
+
+/// Per-field advection velocity (x component; y/z are cyclic shifts).
+const ADV: [f64; NFIELDS] = [1.0, 0.8, -0.6, 0.4, -0.2];
+
+pub struct OpenSbli {
+    cfg: Config,
+    h: f64,
+    dt: f64,
+    q: Vec<Dat3<f64>>,
+    q1: Vec<Dat3<f64>>,
+    q2: Vec<Dat3<f64>>,
+    rhs: Vec<Dat3<f64>>,
+    /// SA work arrays: 3 first-derivatives + 3 second-derivatives per field.
+    wk: Vec<Dat3<f64>>,
+}
+
+impl OpenSbli {
+    pub fn new(cfg: Config) -> Self {
+        let n = cfg.n;
+        let h = 1.0 / n as f64;
+        // Advective + diffusive CFL.
+        let umax = 1.0;
+        let dt = 0.3 * (h / umax).min(h * h / (6.0 * cfg.nu));
+        let mk = |tag: &str, count: usize| -> Vec<Dat3<f64>> {
+            (0..count)
+                .map(|f| Dat3::new(&format!("{tag}{f}"), n, n, n, RADIUS as usize))
+                .collect()
+        };
+        let mut q = mk("q", NFIELDS);
+        let k = 2.0 * std::f64::consts::PI;
+        for (f, qf) in q.iter_mut().enumerate() {
+            let phase = f as f64 * 0.7;
+            qf.init_with(|i, j, kz| {
+                let x = (i as f64 + 0.5) * h;
+                let y = (j as f64 + 0.5) * h;
+                let z = (kz as f64 + 0.5) * h;
+                (k * (x + y + z) + phase).sin()
+            });
+        }
+        OpenSbli {
+            h,
+            dt,
+            q,
+            q1: mk("q1_", NFIELDS),
+            q2: mk("q2_", NFIELDS),
+            rhs: mk("rhs", NFIELDS),
+            wk: mk("wk", 6 * NFIELDS),
+            cfg,
+        }
+    }
+
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    fn periodic_halos(fields: &mut [Dat3<f64>], n: isize) {
+        let r = RADIUS;
+        for f in fields {
+            // x
+            for k in 0..n {
+                for j in 0..n {
+                    for hh in 1..=r {
+                        f.set(-hh, j, k, f.get(n - hh, j, k));
+                        f.set(n - 1 + hh, j, k, f.get(hh - 1, j, k));
+                    }
+                }
+            }
+            // y (x-extended)
+            for k in 0..n {
+                for i in -r..n + r {
+                    for hh in 1..=r {
+                        f.set(i, -hh, k, f.get(i, n - hh, k));
+                        f.set(i, n - 1 + hh, k, f.get(i, hh - 1, k));
+                    }
+                }
+            }
+            // z (xy-extended)
+            for j in -r..n + r {
+                for i in -r..n + r {
+                    for hh in 1..=r {
+                        f.set(i, j, -hh, f.get(i, j, n - hh));
+                        f.set(i, j, n - 1 + hh, f.get(i, j, hh - 1));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Store-All RHS: stage 1 stores the 6 derivative arrays per field,
+    /// stage 2 combines them.
+    fn rhs_store_all(&mut self, profile: &mut Profile, src_sel: usize) {
+        let n = self.cfg.n;
+        let h = self.h;
+        let nu = self.cfg.nu;
+        let range = Range3::interior(n, n, n);
+        {
+            let src = match src_sel {
+                0 => &mut self.q,
+                1 => &mut self.q1,
+                _ => &mut self.q2,
+            };
+            Self::periodic_halos(src, n as isize);
+        }
+        let src: &Vec<Dat3<f64>> = match src_sel {
+            0 => &self.q,
+            1 => &self.q1,
+            _ => &self.q2,
+        };
+        // Stage 1: derivatives into work arrays (one loop per field,
+        // writing all 6 derivative arrays of that field).
+        for f in 0..NFIELDS {
+            let mut outs: Vec<&mut Dat3<f64>> = self
+                .wk
+                .iter_mut()
+                .skip(6 * f)
+                .take(6)
+                .collect();
+            par_loop3(
+                profile,
+                "sbli_sa_derivs",
+                self.cfg.mode,
+                range,
+                &mut outs,
+                &[&src[f]],
+                60.0,
+                move |_i, _j, _k, out, s| {
+                    let v = |di: isize, dj: isize, dk: isize| s.get(0, di, dj, dk);
+                    out.set(0, d1(v(-2, 0, 0), v(-1, 0, 0), v(1, 0, 0), v(2, 0, 0), h));
+                    out.set(1, d1(v(0, -2, 0), v(0, -1, 0), v(0, 1, 0), v(0, 2, 0), h));
+                    out.set(2, d1(v(0, 0, -2), v(0, 0, -1), v(0, 0, 1), v(0, 0, 2), h));
+                    let c = v(0, 0, 0);
+                    out.set(3, d2(v(-2, 0, 0), v(-1, 0, 0), c, v(1, 0, 0), v(2, 0, 0), h));
+                    out.set(4, d2(v(0, -2, 0), v(0, -1, 0), c, v(0, 1, 0), v(0, 2, 0), h));
+                    out.set(5, d2(v(0, 0, -2), v(0, 0, -1), c, v(0, 0, 1), v(0, 0, 2), h));
+                },
+            );
+        }
+        // Stage 2: combine into the RHS.
+        for f in 0..NFIELDS {
+            let (ax, ay, az) = (ADV[f], ADV[(f + 1) % NFIELDS], ADV[(f + 2) % NFIELDS]);
+            let ins: Vec<&Dat3<f64>> = self.wk[6 * f..6 * f + 6].iter().collect();
+            par_loop3(
+                profile,
+                "sbli_sa_combine",
+                self.cfg.mode,
+                range,
+                &mut [&mut self.rhs[f]],
+                &ins,
+                10.0,
+                move |_i, _j, _k, out, w| {
+                    let adv = ax * w.get(0, 0, 0, 0) + ay * w.get(1, 0, 0, 0) + az * w.get(2, 0, 0, 0);
+                    let dif = w.get(3, 0, 0, 0) + w.get(4, 0, 0, 0) + w.get(5, 0, 0, 0);
+                    out.set(0, -adv + nu * dif);
+                },
+            );
+        }
+    }
+
+    /// Store-None RHS: one fused kernel per field recomputing everything.
+    fn rhs_store_none(&mut self, profile: &mut Profile, src_sel: usize) {
+        let n = self.cfg.n;
+        let h = self.h;
+        let nu = self.cfg.nu;
+        let range = Range3::interior(n, n, n);
+        {
+            let src = match src_sel {
+                0 => &mut self.q,
+                1 => &mut self.q1,
+                _ => &mut self.q2,
+            };
+            Self::periodic_halos(src, n as isize);
+        }
+        let src: &Vec<Dat3<f64>> = match src_sel {
+            0 => &self.q,
+            1 => &self.q1,
+            _ => &self.q2,
+        };
+        for f in 0..NFIELDS {
+            let (ax, ay, az) = (ADV[f], ADV[(f + 1) % NFIELDS], ADV[(f + 2) % NFIELDS]);
+            par_loop3(
+                profile,
+                "sbli_sn_fused",
+                self.cfg.mode,
+                range,
+                &mut [&mut self.rhs[f]],
+                &[&src[f]],
+                90.0,
+                move |_i, _j, _k, out, s| {
+                    let v = |di: isize, dj: isize, dk: isize| s.get(0, di, dj, dk);
+                    // Exactly the SA arithmetic, in the same order:
+                    let dx1 = d1(v(-2, 0, 0), v(-1, 0, 0), v(1, 0, 0), v(2, 0, 0), h);
+                    let dy1 = d1(v(0, -2, 0), v(0, -1, 0), v(0, 1, 0), v(0, 2, 0), h);
+                    let dz1 = d1(v(0, 0, -2), v(0, 0, -1), v(0, 0, 1), v(0, 0, 2), h);
+                    let c = v(0, 0, 0);
+                    let dx2 = d2(v(-2, 0, 0), v(-1, 0, 0), c, v(1, 0, 0), v(2, 0, 0), h);
+                    let dy2 = d2(v(0, -2, 0), v(0, -1, 0), c, v(0, 1, 0), v(0, 2, 0), h);
+                    let dz2 = d2(v(0, 0, -2), v(0, 0, -1), c, v(0, 0, 1), v(0, 0, 2), h);
+                    let adv = ax * dx1 + ay * dy1 + az * dz1;
+                    let dif = dx2 + dy2 + dz2;
+                    out.set(0, -adv + nu * dif);
+                },
+            );
+        }
+    }
+
+    fn rhs(&mut self, profile: &mut Profile, src_sel: usize) {
+        match self.cfg.variant {
+            Variant::StoreAll => self.rhs_store_all(profile, src_sel),
+            Variant::StoreNone => self.rhs_store_none(profile, src_sel),
+        }
+    }
+
+    /// One SSP-RK3 step.
+    pub fn step(&mut self, profile: &mut Profile) {
+        let n = self.cfg.n;
+        let dt = self.dt;
+        let range = Range3::interior(n, n, n);
+        let mode = self.cfg.mode;
+
+        // Stage 1: q1 = q + dt·L(q)
+        self.rhs(profile, 0);
+        for f in 0..NFIELDS {
+            par_loop3(
+                profile,
+                "sbli_rk",
+                mode,
+                range,
+                &mut [&mut self.q1[f]],
+                &[&self.q[f], &self.rhs[f]],
+                2.0,
+                move |_i, _j, _k, out, s| out.set(0, s.get(0, 0, 0, 0) + dt * s.get(1, 0, 0, 0)),
+            );
+        }
+        // Stage 2: q2 = 3/4 q + 1/4 (q1 + dt·L(q1))
+        self.rhs(profile, 1);
+        for f in 0..NFIELDS {
+            par_loop3(
+                profile,
+                "sbli_rk",
+                mode,
+                range,
+                &mut [&mut self.q2[f]],
+                &[&self.q[f], &self.q1[f], &self.rhs[f]],
+                5.0,
+                move |_i, _j, _k, out, s| {
+                    out.set(
+                        0,
+                        0.75 * s.get(0, 0, 0, 0)
+                            + 0.25 * (s.get(1, 0, 0, 0) + dt * s.get(2, 0, 0, 0)),
+                    )
+                },
+            );
+        }
+        // Stage 3: q = 1/3 q + 2/3 (q2 + dt·L(q2))
+        self.rhs(profile, 2);
+        for f in 0..NFIELDS {
+            let qf = &mut self.q[f];
+            par_loop3(
+                profile,
+                "sbli_rk",
+                mode,
+                range,
+                &mut [qf],
+                &[&self.q2[f], &self.rhs[f]],
+                5.0,
+                move |_i, _j, _k, out, s| {
+                    let old = out.get(0);
+                    out.set(
+                        0,
+                        old / 3.0 + 2.0 / 3.0 * (s.get(0, 0, 0, 0) + dt * s.get(1, 0, 0, 0)),
+                    )
+                },
+            );
+        }
+    }
+
+    /// L∞ error of field 0 against the analytic decaying advected mode.
+    pub fn field0_error(&self, steps: usize) -> f64 {
+        let n = self.cfg.n;
+        let h = self.h;
+        let k = 2.0 * std::f64::consts::PI;
+        let t = steps as f64 * self.dt;
+        // Mode sin(k(x+y+z)): advection shifts phase by k(ax+ay+az)t,
+        // diffusion damps by exp(−3k²νt) (∇² of the plane wave in the
+        // (1,1,1) direction has magnitude 3k²).
+        let (ax, ay, az) = (ADV[0], ADV[1], ADV[2]);
+        let shift = (ax + ay + az) * t;
+        let damp = (-3.0 * k * k * self.cfg.nu * t).exp();
+        let mut err = 0.0f64;
+        for kz in 0..n as isize {
+            for j in 0..n as isize {
+                for i in 0..n as isize {
+                    let x = (i as f64 + 0.5) * h;
+                    let y = (j as f64 + 0.5) * h;
+                    let z = (kz as f64 + 0.5) * h;
+                    let exact = (k * (x + y + z - shift)).sin() * damp;
+                    err = err.max((self.q[0].get(i, j, kz) - exact).abs());
+                }
+            }
+        }
+        err
+    }
+
+    /// Checksum over all fields (bitwise-comparable between variants).
+    pub fn checksum(&self) -> f64 {
+        let n = self.cfg.n as isize;
+        let mut s = 0.0;
+        for qf in &self.q {
+            for k in 0..n {
+                for j in 0..n {
+                    for i in 0..n {
+                        s += qf.get(i, j, k);
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    pub fn run(cfg: Config) -> AppRun {
+        let app = match cfg.variant {
+            Variant::StoreAll => AppId::OpenSbliSa,
+            Variant::StoreNone => AppId::OpenSbliSn,
+        };
+        let mut profile = Profile::new();
+        let points = cfg.n.pow(3);
+        let iterations = cfg.iterations;
+        let mut sim = OpenSbli::new(cfg);
+        for _ in 0..iterations {
+            sim.step(&mut profile);
+        }
+        let validation = sim.field0_error(iterations);
+        AppRun { app, profile, validation, iterations, points }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_all_equals_store_none_bitwise() {
+        let base = Config { n: 16, iterations: 4, ..Config::default() };
+        let mut sa = OpenSbli::new(Config { variant: Variant::StoreAll, ..base.clone() });
+        let mut sn = OpenSbli::new(Config { variant: Variant::StoreNone, ..base });
+        let mut p = Profile::new();
+        for _ in 0..4 {
+            sa.step(&mut p);
+            sn.step(&mut p);
+        }
+        let (a, b) = (sa.checksum(), sn.checksum());
+        assert_eq!(a.to_bits(), b.to_bits(), "SA {a} vs SN {b}");
+    }
+
+    #[test]
+    fn solution_matches_analytic_mode() {
+        let run = OpenSbli::run(Config { n: 24, iterations: 10, ..Config::default() });
+        assert!(run.validation < 2e-3, "L∞ error {}", run.validation);
+    }
+
+    #[test]
+    fn error_shrinks_with_resolution() {
+        // Compare L∞ error at matched *physical* time on two grids.
+        let err_at = |n: usize| {
+            let cfg = Config { n, iterations: 0, ..Config::default() };
+            let mut sim = OpenSbli::new(cfg);
+            let t_target = 0.02;
+            let steps = (t_target / sim.dt()).round() as usize;
+            let mut p = Profile::new();
+            for _ in 0..steps {
+                sim.step(&mut p);
+            }
+            sim.field0_error(steps)
+        };
+        let e1 = err_at(12);
+        let e2 = err_at(24);
+        assert!(e2 < e1 / 4.0, "4th-order-ish convergence: {e1} vs {e2}");
+    }
+
+    #[test]
+    fn sa_moves_more_bytes_sn_more_flops() {
+        let base = Config { n: 16, iterations: 3, ..Config::default() };
+        let sa = OpenSbli::run(Config { variant: Variant::StoreAll, ..base.clone() });
+        let sn = OpenSbli::run(Config { variant: Variant::StoreNone, ..base });
+        assert!(
+            sa.profile.total_bytes() > 2 * sn.profile.total_bytes(),
+            "SA bytes {} vs SN bytes {}",
+            sa.profile.total_bytes(),
+            sn.profile.total_bytes()
+        );
+        assert!(
+            sn.profile.intensity() > 2.0 * sa.profile.intensity(),
+            "SN intensity {} vs SA {}",
+            sn.profile.intensity(),
+            sa.profile.intensity()
+        );
+    }
+
+    #[test]
+    fn serial_equals_rayon() {
+        let base = Config { n: 12, iterations: 3, ..Config::default() };
+        let a = OpenSbli::run(Config { mode: ExecMode::Serial, ..base.clone() });
+        let b = OpenSbli::run(Config { mode: ExecMode::Rayon, ..base });
+        assert_eq!(a.validation, b.validation);
+    }
+
+    #[test]
+    fn kernel_names_reflect_variant() {
+        let sa = OpenSbli::run(Config { n: 8, iterations: 1, variant: Variant::StoreAll, ..Config::default() });
+        assert!(sa.profile.get("sbli_sa_derivs").is_some());
+        assert!(sa.profile.get("sbli_sn_fused").is_none());
+        let sn = OpenSbli::run(Config { n: 8, iterations: 1, variant: Variant::StoreNone, ..Config::default() });
+        assert!(sn.profile.get("sbli_sn_fused").is_some());
+    }
+}

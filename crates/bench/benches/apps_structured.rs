@@ -1,0 +1,96 @@
+//! Structured-mesh application kernels on the host — the per-app measured
+//! material behind Figures 3, 5, 6 and 8: one representative time step per
+//! app, in serial and threaded variants.
+
+use bwb_core::apps::{acoustic, cloverleaf2d, miniweather, opensbli};
+use bwb_core::ops::{ExecMode, Profile};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_cloverleaf2d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cloverleaf2d_cycle");
+    for &(label, mode) in &[("serial", ExecMode::Serial), ("rayon", ExecMode::Rayon)] {
+        let n = 256;
+        let mut sim = cloverleaf2d::Clover2::new(cloverleaf2d::Config {
+            nx: n,
+            ny: n,
+            iterations: 0,
+            mode,
+            ..cloverleaf2d::Config::default()
+        });
+        let mut profile = Profile::new();
+        g.throughput(Throughput::Elements((n * n) as u64));
+        g.bench_with_input(BenchmarkId::new("cycle", label), &n, |b, _| {
+            b.iter(|| sim.cycle(&mut profile, None))
+        });
+    }
+    g.finish();
+}
+
+fn bench_acoustic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("acoustic_step");
+    for &(label, mode) in &[("serial", ExecMode::Serial), ("rayon", ExecMode::Rayon)] {
+        let n = 96;
+        let mut sim = acoustic::Acoustic::new(acoustic::Config {
+            n,
+            iterations: 0,
+            mode,
+            ..acoustic::Config::default()
+        });
+        let mut profile = Profile::new();
+        g.throughput(Throughput::Elements((n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::new("leapfrog", label), &n, |b, _| {
+            b.iter(|| sim.step_once(&mut profile))
+        });
+    }
+    g.finish();
+}
+
+fn bench_opensbli_variants(c: &mut Criterion) {
+    // The SA-vs-SN trade (Figure 6's §6 discussion): same physics, SA
+    // moves more bytes, SN recomputes — measure both.
+    let mut g = c.benchmark_group("opensbli_step");
+    for &(label, variant) in &[
+        ("store_all", opensbli::Variant::StoreAll),
+        ("store_none", opensbli::Variant::StoreNone),
+    ] {
+        let n = 48;
+        let mut sim = sim_for(variant, n);
+        let mut profile = Profile::new();
+        g.throughput(Throughput::Elements((n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::new("rk3", label), &n, |b, _| {
+            b.iter(|| sim.step(&mut profile))
+        });
+    }
+    g.finish();
+}
+
+fn sim_for(variant: opensbli::Variant, n: usize) -> opensbli::OpenSbli {
+    opensbli::OpenSbli::new(opensbli::Config {
+        n,
+        iterations: 0,
+        variant,
+        mode: ExecMode::Rayon,
+        ..opensbli::Config::default()
+    })
+}
+
+fn bench_miniweather(c: &mut Criterion) {
+    let mut g = c.benchmark_group("miniweather_step");
+    let mut sim = miniweather::MiniWeather::new(miniweather::Config {
+        nx: 200,
+        nz: 100,
+        mode: ExecMode::Rayon,
+        ..miniweather::Config::default()
+    });
+    let mut profile = Profile::new();
+    g.throughput(Throughput::Elements(200 * 100));
+    g.bench_function("rk3_split", |b| b.iter(|| sim.step(&mut profile)));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cloverleaf2d, bench_acoustic, bench_opensbli_variants, bench_miniweather
+}
+criterion_main!(benches);

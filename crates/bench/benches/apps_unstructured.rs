@@ -1,0 +1,92 @@
+//! Unstructured-mesh kernels on the host — the measured material behind
+//! Figure 4: the indirect flux kernels under the serial, colored, and
+//! gather ("MPI vec" shape) execution schemes.
+
+use bwb_core::apps::{mgcfd, volna};
+use bwb_core::op2::{par_loop_gather, ExecModeU};
+use bwb_core::ops::Profile;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_mgcfd_flux(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mgcfd_compute_flux");
+    for &(label, mode) in &[("serial", ExecModeU::Serial), ("colored", ExecModeU::Colored)] {
+        let mut sim = mgcfd::MgCfd::new(mgcfd::Config {
+            n: 129,
+            levels: 1,
+            mode,
+            ..mgcfd::Config::default()
+        });
+        sim.perturb(0.05);
+        let edges = sim.levels[0].edges.size as u64;
+        let mut profile = Profile::new();
+        g.throughput(Throughput::Elements(edges));
+        g.bench_with_input(BenchmarkId::new("rusanov", label), &edges, |b, _| {
+            b.iter(|| sim.compute_flux(&mut profile, 0))
+        });
+    }
+    g.finish();
+}
+
+fn bench_volna_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("volna_step");
+    for &(label, mode) in &[("serial", ExecModeU::Serial), ("colored", ExecModeU::Colored)] {
+        let mut sim = volna::Volna::new(volna::Config {
+            n: 128,
+            iterations: 0,
+            mode,
+            ..volna::Config::default()
+        });
+        let cells = sim.cells.size as u64;
+        let mut profile = Profile::new();
+        g.throughput(Throughput::Elements(cells));
+        g.bench_with_input(BenchmarkId::new("nswe", label), &cells, |b, _| {
+            b.iter(|| sim.step(&mut profile))
+        });
+    }
+    g.finish();
+}
+
+fn bench_gather_lanes(c: &mut Criterion) {
+    // The "MPI vec" execution shape at different lane widths: functionally
+    // identical, staging accounted — compare against serial/colored above.
+    use bwb_core::op2::{DatU, Map, Set};
+    let n = 1 << 15;
+    let nodes = Set::new("nodes", n + 1);
+    let edges = Set::new("edges", n);
+    let idx: Vec<u32> = (0..n).flat_map(|e| [e as u32, e as u32 + 1]).collect();
+    let map = Map::new("e2n", &edges, &nodes, 2, idx);
+
+    let mut g = c.benchmark_group("gather_lanes");
+    g.throughput(Throughput::Elements(n as u64));
+    for &lanes in &[1usize, 8, 16] {
+        let mut acc = DatU::<f64>::new("acc", &nodes, 1);
+        let mut profile = Profile::new();
+        let m = &map;
+        g.bench_with_input(BenchmarkId::new("inc", lanes), &lanes, |b, &lanes| {
+            b.iter(|| {
+                par_loop_gather(
+                    &mut profile,
+                    "inc",
+                    lanes,
+                    n,
+                    &mut [&mut acc],
+                    8,
+                    16,
+                    4.0,
+                    |e, out| {
+                        out.add(0, m.get(e, 0), 0, 1.0);
+                        out.add(0, m.get(e, 1), 0, -0.5);
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_mgcfd_flux, bench_volna_step, bench_gather_lanes
+}
+criterion_main!(benches);

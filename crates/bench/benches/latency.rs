@@ -1,0 +1,58 @@
+//! Message-passing latency between in-process ranks (the measured
+//! counterpart of Figure 2): ping-pong round trips through the shmpi
+//! mailboxes, and allreduce latency as a function of world size.
+
+use bwb_core::shmpi::{ReduceOp, Universe};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_pingpong(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pingpong");
+    for &msg in &[8usize, 512, 65536] {
+        g.bench_with_input(BenchmarkId::new("roundtrip", msg), &msg, |b, &msg| {
+            b.iter(|| {
+                let out = Universe::run(2, move |comm| {
+                    let n = 64;
+                    if comm.rank() == 0 {
+                        for _ in 0..n {
+                            comm.send(1, 0, vec![0u8; msg]);
+                            let _ = comm.recv::<u8>(1, 1);
+                        }
+                    } else {
+                        for _ in 0..n {
+                            let _ = comm.recv::<u8>(0, 0);
+                            comm.send(0, 1, vec![0u8; msg]);
+                        }
+                    }
+                });
+                std::hint::black_box(out.wall_seconds)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allreduce");
+    for &ranks in &[2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("sum", ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                let out = Universe::run(ranks, |comm| {
+                    let mut acc = 0.0f64;
+                    for i in 0..16 {
+                        acc += comm.allreduce_scalar(comm.rank() as f64 + i as f64, ReduceOp::Sum);
+                    }
+                    acc
+                });
+                std::hint::black_box(out.results[0])
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pingpong, bench_allreduce
+}
+criterion_main!(benches);

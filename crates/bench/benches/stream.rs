@@ -1,0 +1,42 @@
+//! BabelStream kernels on the host (the measured counterpart of Figure 1).
+//!
+//! Reports bytes-throughput per kernel; compare the serial and threaded
+//! variants and the cache-resident vs memory-resident sizes.
+
+use bwb_core::stream::{BabelStream, Kernel, Par};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("babelstream");
+    // Cache-resident (256 KiB/array) and memory-resident (64 MiB/array).
+    for &(label, n) in &[("cache", 1usize << 15), ("memory", 1usize << 23)] {
+        for &par in &[Par::Serial, Par::Rayon] {
+            let mut s = BabelStream::new(n, par);
+            for &k in &[Kernel::Copy, Kernel::Triad, Kernel::Dot] {
+                g.throughput(Throughput::Bytes((k.arrays_moved() * n * 8) as u64));
+                g.bench_with_input(
+                    BenchmarkId::new(format!("{}/{:?}", k.name(), par), label),
+                    &n,
+                    |b, _| {
+                        b.iter(|| match k {
+                            Kernel::Copy => s.copy(),
+                            Kernel::Triad => s.triad(),
+                            Kernel::Dot => {
+                                std::hint::black_box(s.dot());
+                            }
+                            _ => unreachable!(),
+                        })
+                    },
+                );
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_stream
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Cache-blocking tiling on the host (the measured counterpart of
+//! Figure 9): a chain of stencil loops executed untiled vs tiled at
+//! several tile heights. On any machine with a cache-to-memory bandwidth
+//! gap the tiled execution wins once the per-tile working set fits.
+
+use bwb_core::ops::{Dat2, ExecMode, LoopChain2, Profile, Range2};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn chain(n: usize, loops: usize, mode: ExecMode) -> (LoopChain2<f64>, Vec<Dat2<f64>>) {
+    let mut store: Vec<Dat2<f64>> = (0..=loops)
+        .map(|f| {
+            let mut d = Dat2::new(&format!("f{f}"), n, n, 1);
+            if f == 0 {
+                d.init_with(|i, j| ((i * 7 + j * 13) % 32) as f64);
+            }
+            d
+        })
+        .collect();
+    store[0].fill_all(0.5);
+    let mut chain = LoopChain2::new(mode);
+    for l in 0..loops {
+        chain.add(
+            &format!("blur{l}"),
+            Range2::interior(n, n),
+            1,
+            5.0,
+            vec![l + 1],
+            vec![l],
+            |_i, _j, out, ins| {
+                out.set(
+                    0,
+                    0.2 * (ins.get(0, 0, 0)
+                        + ins.get(0, -1, 0)
+                        + ins.get(0, 1, 0)
+                        + ins.get(0, 0, -1)
+                        + ins.get(0, 0, 1)),
+                );
+            },
+        );
+    }
+    (chain, store)
+}
+
+fn bench_tiling(c: &mut Criterion) {
+    let n = 1024; // 8 MB per field: the chain working set exceeds L2
+    let loops = 6;
+    let mut g = c.benchmark_group("loop_chain_tiling");
+    g.throughput(Throughput::Elements((n * n * loops) as u64));
+
+    let (ch, mut store) = chain(n, loops, ExecMode::Rayon);
+    let mut profile = Profile::new();
+    g.bench_function("untiled", |b| b.iter(|| ch.execute(&mut store, &mut profile)));
+
+    for &tile in &[32usize, 128, 512] {
+        let (ch, mut store) = chain(n, loops, ExecMode::Rayon);
+        let mut profile = Profile::new();
+        g.bench_with_input(BenchmarkId::new("tiled", tile), &tile, |b, &tile| {
+            b.iter(|| ch.execute_tiled(&mut store, &mut profile, tile))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tiling
+}
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Reproduce all nine figures in sequence (EXPERIMENTS.md source).
+
+fn main() {
+    for f in bwb_core::Figure::ALL {
+        bwb_bench::emit(f);
+        println!("\n{}\n", "#".repeat(78));
+    }
+}

@@ -1,0 +1,14 @@
+//! Reproduce the paper's Figure 2: message-passing latency on the modelled
+//! platforms, plus a live thread-to-thread probe on this host (the
+//! runnable analogue of the core-to-core-latency tool the paper uses).
+
+fn main() {
+    bwb_bench::emit(bwb_core::Figure::Fig2Latency);
+
+    println!("\nhost probe (thread ping-pong, scheduler-placed):");
+    let p = bwb_core::machine::measure_thread_latency(200_000);
+    println!(
+        "  one-way latency ~ {:.0} ns over {} round trips",
+        p.one_way_ns, p.round_trips
+    );
+}

@@ -1,0 +1,6 @@
+//! Reproduce the paper's Figure 7 (see the module docs of bwb-perfmodel
+//! and EXPERIMENTS.md for the paper-vs-model comparison).
+
+fn main() {
+    bwb_bench::emit(bwb_core::Figure::Fig7MpiFraction);
+}

@@ -1,0 +1,455 @@
+//! The experiment runner: regenerate any figure of the paper as text.
+
+use bwb_machine::{platforms, CommDistance};
+use bwb_perfmodel::figures;
+use bwb_report::{BarChart, CsvWriter, Table};
+use bwb_stream::model::figure1_curves;
+
+/// The paper's figures (1–9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Figure {
+    /// BabelStream Triad bandwidth vs array size.
+    Fig1Stream,
+    /// Core-to-core message-passing latency.
+    Fig2Latency,
+    /// Structured-mesh configuration matrix.
+    Fig3StructuredConfigs,
+    /// Unstructured-mesh configuration matrix.
+    Fig4UnstructuredConfigs,
+    /// Parallelization speedups vs pure MPI on the Xeon MAX.
+    Fig5Parallelizations,
+    /// Best performance per platform + speedup table.
+    Fig6Platforms,
+    /// Fraction of runtime in MPI.
+    Fig7MpiFraction,
+    /// Achieved effective bandwidth.
+    Fig8EffectiveBandwidth,
+    /// CloverLeaf 2D cache-blocking tiling.
+    Fig9Tiling,
+}
+
+impl Figure {
+    pub const ALL: [Figure; 9] = [
+        Figure::Fig1Stream,
+        Figure::Fig2Latency,
+        Figure::Fig3StructuredConfigs,
+        Figure::Fig4UnstructuredConfigs,
+        Figure::Fig5Parallelizations,
+        Figure::Fig6Platforms,
+        Figure::Fig7MpiFraction,
+        Figure::Fig8EffectiveBandwidth,
+        Figure::Fig9Tiling,
+    ];
+
+    pub fn title(self) -> &'static str {
+        match self {
+            Figure::Fig1Stream => "Figure 1: BabelStream Triad bandwidth",
+            Figure::Fig2Latency => "Figure 2: message-passing latency",
+            Figure::Fig3StructuredConfigs => "Figure 3: structured-mesh configurations",
+            Figure::Fig4UnstructuredConfigs => "Figure 4: unstructured-mesh configurations",
+            Figure::Fig5Parallelizations => "Figure 5: parallelizations vs pure MPI (Xeon MAX)",
+            Figure::Fig6Platforms => "Figure 6: best performance per platform",
+            Figure::Fig7MpiFraction => "Figure 7: fraction of runtime in MPI",
+            Figure::Fig8EffectiveBandwidth => "Figure 8: achieved effective bandwidth",
+            Figure::Fig9Tiling => "Figure 9: CloverLeaf 2D cache-blocking tiling",
+        }
+    }
+}
+
+/// A runnable experiment bound to one figure.
+#[derive(Debug, Clone, Copy)]
+pub struct Experiment {
+    pub figure: Figure,
+}
+
+impl Experiment {
+    pub fn new(figure: Figure) -> Self {
+        Experiment { figure }
+    }
+
+    /// Render the reproduction as text (and return it).
+    pub fn render(&self) -> String {
+        let body = match self.figure {
+            Figure::Fig1Stream => render_fig1(),
+            Figure::Fig2Latency => render_fig2(),
+            Figure::Fig3StructuredConfigs => render_matrix(
+                figures::figure3_structured_matrix(&platforms::xeon_max_9480()),
+                "(paper on MAX: mean 1.25, median 1.12; on 8360Y: 1.11 / 1.05)",
+            ),
+            Figure::Fig4UnstructuredConfigs => render_matrix(
+                figures::figure4_unstructured_matrix(&platforms::xeon_max_9480()),
+                "(paper: MPI vec best on average by 66%; ZMM high required; HT helps by 13%)",
+            ),
+            Figure::Fig5Parallelizations => render_fig5(),
+            Figure::Fig6Platforms => render_fig6(),
+            Figure::Fig7MpiFraction => render_fig7(),
+            Figure::Fig8EffectiveBandwidth => render_fig8(),
+            Figure::Fig9Tiling => render_fig9(),
+        };
+        format!("{}\n{}\n{}", self.figure.title(), "=".repeat(self.figure.title().len()), body)
+    }
+
+    /// Write the figure's data as CSV under the given directory; returns
+    /// the file path.
+    pub fn save_csv(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        let (name, csv) = self.to_csv();
+        let path = dir.join(name);
+        csv.save(&path)?;
+        Ok(path)
+    }
+
+    /// Figure data as (file name, CSV).
+    pub fn to_csv(&self) -> (&'static str, CsvWriter) {
+        match self.figure {
+            Figure::Fig1Stream => {
+                let mut w = CsvWriter::new(&[
+                    "platform",
+                    "subset",
+                    "streaming_stores",
+                    "elements",
+                    "bandwidth_gbs",
+                ]);
+                for s in figure1_curves(1 << 12, 1 << 30, 28) {
+                    for p in &s.points {
+                        w.row(&[
+                            s.platform.clone(),
+                            s.subset.label().to_owned(),
+                            s.streaming_stores.to_string(),
+                            p.elements.to_string(),
+                            format!("{:.1}", p.bandwidth_gbs),
+                        ]);
+                    }
+                }
+                ("fig1_stream.csv", w)
+            }
+            Figure::Fig2Latency => {
+                let mut w = CsvWriter::new(&["platform", "distance", "latency_ns"]);
+                for p in platforms::all_cpus() {
+                    for d in CommDistance::ALL {
+                        w.row(&[
+                            p.name.clone(),
+                            d.label().to_owned(),
+                            format!("{:.0}", p.latency.latency_ns(d)),
+                        ]);
+                    }
+                }
+                ("fig2_latency.csv", w)
+            }
+            Figure::Fig3StructuredConfigs => {
+                let m = figures::figure3_structured_matrix(&platforms::xeon_max_9480());
+                let mut header = vec!["configuration".to_owned()];
+                header.extend(m.apps.iter().map(|a| a.label().to_owned()));
+                let hrefs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+                let mut w = CsvWriter::new(&hrefs);
+                for r in &m.rows {
+                    let mut cells = vec![r.label.clone()];
+                    cells.extend(r.slowdowns.iter().map(|s| match s {
+                        Some(v) => format!("{v:.2}"),
+                        None => "n/a".to_owned(),
+                    }));
+                    w.row(&cells);
+                }
+                ("fig3_structured.csv", w)
+            }
+            Figure::Fig4UnstructuredConfigs => {
+                let m = figures::figure4_unstructured_matrix(&platforms::xeon_max_9480());
+                let mut header = vec!["configuration".to_owned()];
+                header.extend(m.apps.iter().map(|a| a.label().to_owned()));
+                let hrefs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+                let mut w = CsvWriter::new(&hrefs);
+                for r in &m.rows {
+                    let mut cells = vec![r.label.clone()];
+                    cells.extend(r.slowdowns.iter().map(|s| match s {
+                        Some(v) => format!("{v:.2}"),
+                        None => "n/a".to_owned(),
+                    }));
+                    w.row(&cells);
+                }
+                ("fig4_unstructured.csv", w)
+            }
+            Figure::Fig5Parallelizations => {
+                let mut w = CsvWriter::new(&["app", "parallelization", "speedup_vs_mpi"]);
+                for e in figures::figure5_parallelization_speedups() {
+                    for (par, s) in &e.speedups {
+                        w.row(&[e.app.label().to_owned(), par.clone(), format!("{s:.3}")]);
+                    }
+                }
+                ("fig5_parallelizations.csv", w)
+            }
+            Figure::Fig6Platforms => {
+                let mut w = CsvWriter::new(&[
+                    "app",
+                    "platform",
+                    "best_seconds",
+                    "best_config",
+                    "speedup_vs_8360y",
+                    "speedup_vs_epyc",
+                    "a100_vs_max",
+                ]);
+                for e in figures::figure6_platform_comparison() {
+                    for (k, t, label) in &e.best {
+                        w.row(&[
+                            e.app.label().to_owned(),
+                            k.label().to_owned(),
+                            format!("{t:.3}"),
+                            label.clone(),
+                            format!("{:.2}", e.speedup_vs_8360y),
+                            format!("{:.2}", e.speedup_vs_epyc),
+                            format!("{:.2}", e.a100_vs_max),
+                        ]);
+                    }
+                }
+                ("fig6_platforms.csv", w)
+            }
+            Figure::Fig7MpiFraction => {
+                let mut w =
+                    CsvWriter::new(&["app", "platform", "mpi_fraction_pure", "mpi_fraction_openmp"]);
+                for e in figures::figure7_mpi_fractions() {
+                    w.row(&[
+                        e.app.label().to_owned(),
+                        e.platform.label().to_owned(),
+                        format!("{:.4}", e.mpi_fraction_pure),
+                        format!("{:.4}", e.mpi_fraction_openmp),
+                    ]);
+                }
+                ("fig7_mpi_fraction.csv", w)
+            }
+            Figure::Fig8EffectiveBandwidth => {
+                let mut w =
+                    CsvWriter::new(&["app", "platform", "effective_gbs", "fraction_of_stream"]);
+                for e in figures::figure8_effective_bandwidth() {
+                    w.row(&[
+                        e.app.label().to_owned(),
+                        e.platform.label().to_owned(),
+                        format!("{:.0}", e.effective_gbs),
+                        format!("{:.3}", e.fraction_of_stream),
+                    ]);
+                }
+                ("fig8_effective_bandwidth.csv", w)
+            }
+            Figure::Fig9Tiling => {
+                let mut w =
+                    CsvWriter::new(&["platform", "untiled_seconds", "tiled_seconds", "gain"]);
+                for e in figures::figure9_tiling() {
+                    w.row(&[
+                        e.platform.label().to_owned(),
+                        format!("{:.3}", e.untiled_seconds),
+                        format!("{:.3}", e.tiled_seconds),
+                        format!("{:.2}", e.gain),
+                    ]);
+                }
+                ("fig9_tiling.csv", w)
+            }
+        }
+    }
+}
+
+fn render_fig1() -> String {
+    let curves = figure1_curves(1 << 12, 1 << 30, 28);
+    let mut chart = BarChart::new("large-array Triad plateau (GB/s)");
+    for s in &curves {
+        let plateau = s.large_size_plateau_gbs();
+        let label = format!(
+            "{} [{}{}]",
+            s.platform_kind.label(),
+            s.subset.label(),
+            if s.streaming_stores { ", SS" } else { "" }
+        );
+        chart.bar(&label, plateau, &format!("{plateau:.0} GB/s"));
+    }
+    let mut out = chart.render();
+    out.push_str("\npaper: MAX 1446 (default) / 1643 (SS); 8360Y 296; EPYC 310 GB/s\n");
+    out
+}
+
+fn render_fig2() -> String {
+    let mut t = Table::new(&["platform", "hyperthread", "adjacent core", "cross-NUMA", "cross-socket"]);
+    for p in platforms::all_cpus() {
+        t.row(&[
+            p.name.clone(),
+            match p.latency.hyperthread_ns {
+                Some(v) => format!("{v:.0} ns"),
+                None => "SMT off".to_owned(),
+            },
+            format!("{:.0} ns", p.latency.same_numa_ns),
+            format!("{:.0} ns", p.latency.cross_numa_ns),
+            format!("{:.0} ns", p.latency.cross_socket_ns),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str(
+        "\npaper: no significant improvement on MAX vs 8360Y; EPYC cross-socket ~1.6x worse\n",
+    );
+    out
+}
+
+fn render_matrix(m: figures::SlowdownMatrix, note: &str) -> String {
+    let mut header = vec!["configuration"];
+    let labels: Vec<&str> = m.apps.iter().map(|a| a.label()).collect();
+    header.extend(&labels);
+    let mut t = Table::new(&header);
+    for r in &m.rows {
+        let mut cells = vec![r.label.clone()];
+        cells.extend(r.slowdowns.iter().map(|s| match s {
+            Some(v) => format!("{v:.2}"),
+            None => "-".to_owned(),
+        }));
+        t.row(&cells);
+    }
+    let (mean, median) = figures::summary_stats(&m);
+    format!(
+        "{}\nmean slowdown vs best: {:.2}  median: {:.2}  {}\n",
+        t.render(),
+        mean,
+        median,
+        note
+    )
+}
+
+fn render_fig5() -> String {
+    let data = figures::figure5_parallelization_speedups();
+    let mut t = Table::new(&["app", "MPI", "MPI vec", "MPI+OpenMP", "SYCL flat", "SYCL ndrange"]);
+    for e in &data {
+        let get = |l: &str| {
+            e.speedups
+                .iter()
+                .find(|(x, _)| x == l)
+                .map(|(_, s)| format!("{s:.2}"))
+                .unwrap_or_else(|| "-".to_owned())
+        };
+        t.row(&[
+            e.app.label().to_owned(),
+            get("MPI"),
+            get("MPI vec"),
+            get("MPI+OpenMP"),
+            get("MPI+SYCL (flat)"),
+            get("MPI+SYCL (ndrange)"),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str("\npaper: hybrid MPI+OpenMP best on structured (esp. Acoustic); MPI vec 1.6-1.8x on unstructured; SYCL trails OpenMP (worst on CloverLeaf)\n");
+    out
+}
+
+fn render_fig6() -> String {
+    let data = figures::figure6_platform_comparison();
+    let mut t = Table::new(&["app", "MAX 9480", "8360Y", "EPYC", "A100", "vs 8360Y", "vs EPYC", "A100/MAX"]);
+    for e in &data {
+        let get = |k: bwb_machine::PlatformKind| {
+            e.best
+                .iter()
+                .find(|(p, _, _)| *p == k)
+                .map(|(_, t, _)| format!("{t:.2}s"))
+                .unwrap()
+        };
+        t.row(&[
+            e.app.label().to_owned(),
+            get(bwb_machine::PlatformKind::XeonMax9480),
+            get(bwb_machine::PlatformKind::Xeon8360Y),
+            get(bwb_machine::PlatformKind::Epyc7V73X),
+            get(bwb_machine::PlatformKind::A100Pcie40GB),
+            format!("{:.2}x", e.speedup_vs_8360y),
+            format!("{:.2}x", e.speedup_vs_epyc),
+            format!("{:.2}x", e.a100_vs_max),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str("\npaper speedups vs 8360Y/EPYC: Clover2D 4.2x, SA 3.8x, SN 2.5x, Acoustic 1.98x, MG-CFD 2.5/2x, miniBUDE 1.9/1.36x; A100 1.1-2.1x faster than MAX\n");
+    out
+}
+
+fn render_fig7() -> String {
+    let data = figures::figure7_mpi_fractions();
+    let mut t = Table::new(&["app", "platform", "MPI (pure)", "MPI (+OpenMP)"]);
+    for e in &data {
+        t.row(&[
+            e.app.label().to_owned(),
+            e.platform.label().to_owned(),
+            format!("{:.1}%", e.mpi_fraction_pure * 100.0),
+            format!("{:.1}%", e.mpi_fraction_openmp * 100.0),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str("\npaper: MPI+OpenMP has lower MPI overhead (all but Volna); MAX fraction 1.2-5.3x higher than 8360Y\n");
+    out
+}
+
+fn render_fig8() -> String {
+    let data = figures::figure8_effective_bandwidth();
+    let mut chart = BarChart::new("achieved effective bandwidth on Xeon MAX 9480 (fraction of STREAM)");
+    for e in data
+        .iter()
+        .filter(|e| e.platform == bwb_machine::PlatformKind::XeonMax9480)
+    {
+        chart.bar(
+            e.app.label(),
+            e.fraction_of_stream,
+            &format!("{:.0} GB/s ({:.0}%)", e.effective_gbs, e.fraction_of_stream * 100.0),
+        );
+    }
+    let mut out = chart.render();
+    out.push_str("\npaper: Clover2D 75%, Clover3D/SA >65%, SN 53%, Acoustic 41%; 8360Y 75-85%, EPYC 79-96%\n");
+    out
+}
+
+fn render_fig9() -> String {
+    let data = figures::figure9_tiling();
+    let mut t = Table::new(&["platform", "untiled", "tiled", "gain"]);
+    for e in &data {
+        t.row(&[
+            e.platform.label().to_owned(),
+            format!("{:.2}s", e.untiled_seconds),
+            format!("{:.2}s", e.tiled_seconds),
+            format!("{:.2}x", e.gain),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str("\npaper gains: MAX 1.84x, 8360Y 2.7x, EPYC 4x; tiled MAX beats A100 by 1.5x\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_figure_renders_nonempty() {
+        for f in Figure::ALL {
+            let s = Experiment::new(f).render();
+            assert!(s.len() > 100, "{:?} rendered too little: {}", f, s.len());
+            assert!(s.contains(f.title()));
+        }
+    }
+
+    #[test]
+    fn every_figure_exports_csv() {
+        for f in Figure::ALL {
+            let (name, csv) = Experiment::new(f).to_csv();
+            assert!(name.ends_with(".csv"));
+            assert!(csv.as_str().lines().count() > 2, "{:?} CSV too small", f);
+        }
+    }
+
+    #[test]
+    fn fig2_mentions_all_platforms() {
+        let s = Experiment::new(Figure::Fig2Latency).render();
+        assert!(s.contains("MAX 9480"));
+        assert!(s.contains("8360Y"));
+        assert!(s.contains("EPYC"));
+        assert!(s.contains("SMT off")); // EPYC has no hyperthread column
+    }
+
+    #[test]
+    fn fig6_contains_speedup_columns() {
+        let s = Experiment::new(Figure::Fig6Platforms).render();
+        assert!(s.contains("vs 8360Y"));
+        assert!(s.contains("miniBUDE"));
+    }
+
+    #[test]
+    fn titles_unique() {
+        let set: std::collections::HashSet<&str> =
+            Figure::ALL.iter().map(|f| f.title()).collect();
+        assert_eq!(set.len(), Figure::ALL.len());
+    }
+}

@@ -1,0 +1,28 @@
+//! # bwb-core — the bwbench facade
+//!
+//! One crate that re-exports the whole suite and provides the
+//! [`Experiment`] runner: ask for any figure of the paper
+//! *"Comparative evaluation of bandwidth-bound applications on the Intel
+//! Xeon CPU MAX Series"* (Reguly, SC'23) and get its reproduction as
+//! rendered text plus structured data.
+//!
+//! ```
+//! use bwb_core::{Experiment, Figure};
+//!
+//! let text = Experiment::new(Figure::Fig2Latency).render();
+//! assert!(text.contains("cross-socket"));
+//! ```
+
+pub use bwb_apps as apps;
+pub use bwb_machine as machine;
+pub use bwb_memsim as memsim;
+pub use bwb_op2 as op2;
+pub use bwb_ops as ops;
+pub use bwb_perfmodel as perfmodel;
+pub use bwb_report as report;
+pub use bwb_shmpi as shmpi;
+pub use bwb_stream as stream;
+
+pub mod experiment;
+
+pub use experiment::{Experiment, Figure};

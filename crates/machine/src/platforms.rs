@@ -1,0 +1,365 @@
+//! Concrete descriptors for the four platforms of the paper (§2).
+//!
+//! Every number here is either taken directly from the paper's §2 / Figure 1
+//! / Figure 2, from the public spec sheets of the parts, or (for the two
+//! calibration parameters `mlp_per_core` and `kernel_launch_overhead_us`)
+//! chosen so that the first-principles models bracket the paper's measured
+//! values. The tests at the bottom assert the paper's §2 claims hold for
+//! these descriptors — peak FLOPS, bandwidth ratios, flop/byte balance and
+//! the cache:memory bandwidth ratios that drive Figure 9.
+
+use crate::latency::LatencyProfile;
+use crate::memory::{CacheLevel, CacheScope, MainMemory, MemoryKind};
+use crate::platform::{Platform, PlatformKind};
+use crate::topology::CpuTopology;
+
+/// Intel Xeon CPU MAX 9480 (Sapphire Rapids + HBM), HBM-only mode, SNC4.
+///
+/// 2 sockets × 56 cores, HT on, 2×4 NUMA domains, 2×64 GB HBM2e.
+/// Clocks 1.9 GHz base – 2.6 GHz all-core turbo. Peak FP32 13.6 TFLOP/s at
+/// base. Theoretical bandwidth ≈ 2×1300 GB/s; measured BabelStream Triad
+/// 1446 GB/s (application flags) / 1643 GB/s (streaming-store flags).
+pub fn xeon_max_9480() -> Platform {
+    Platform {
+        kind: PlatformKind::XeonMax9480,
+        name: "Intel Xeon CPU MAX 9480 (HBM-only, SNC4)".into(),
+        topology: CpuTopology { sockets: 2, numa_per_socket: 4, cores_per_numa: 14, smt_per_core: 2 },
+        base_ghz: 1.9,
+        turbo_allcore_ghz: 2.6,
+        vector_bits: 512,
+        fma_units: 2,
+        caches: vec![
+            CacheLevel { level: 1, capacity_bytes: 48 << 10, scope: CacheScope::PerCore,
+                stream_bw_gbs: 40_000.0, latency_ns: 1.0, associativity: 12, line_bytes: 64 },
+            CacheLevel { level: 2, capacity_bytes: 2 << 20, scope: CacheScope::PerCore,
+                stream_bw_gbs: 12_000.0, latency_ns: 5.5, associativity: 16, line_bytes: 64 },
+            // 112.5 MB L3 total, sliced per SNC4 domain: ~14 MB per domain.
+            CacheLevel { level: 3, capacity_bytes: 14 << 20, scope: CacheScope::PerNuma,
+                stream_bw_gbs: 5495.0, latency_ns: 33.0, associativity: 15, line_bytes: 64 },
+        ],
+        memory: MainMemory {
+            kind: MemoryKind::Hbm2e,
+            capacity_gib: 128,
+            peak_bw_gbs: 2600.0, // ≈ 2 × 1300 GB/s (paper §2, citing [12])
+            latency_ns: 130.0,   // HBM on SPR is *not* lower-latency than DDR
+        },
+        measured_triad_gbs: 1446.0,
+        measured_triad_ss_gbs: Some(1643.0),
+        latency: LatencyProfile {
+            hyperthread_ns: Some(9.0),
+            same_numa_ns: 52.0,
+            cross_numa_ns: 72.0,
+            cross_socket_ns: 125.0,
+        },
+        // Calibration: 112 cores × 27 lines × 64 B / 130 ns ≈ 1489 GB/s — the
+        // concurrency bound lands between the two measured Triad figures,
+        // reproducing the "only 55–63% of peak" observation mechanistically.
+        mlp_per_core: 27.0,
+        kernel_launch_overhead_us: 14.0,
+        is_gpu: false,
+    }
+}
+
+/// Intel Xeon Platinum 8360Y ("Ice Lake"), Baskerville configuration.
+///
+/// 2 sockets × 36 cores, HT on, 512 GB DDR4. Clocks 2.4–2.8 GHz.
+/// Peak FP32 11 TFLOP/s at base; Triad 296 GB/s (~72% of 2×204.8 GB/s).
+pub fn xeon_8360y() -> Platform {
+    Platform {
+        kind: PlatformKind::Xeon8360Y,
+        name: "Intel Xeon Platinum 8360Y (Ice Lake)".into(),
+        topology: CpuTopology { sockets: 2, numa_per_socket: 1, cores_per_numa: 36, smt_per_core: 2 },
+        base_ghz: 2.4,
+        turbo_allcore_ghz: 2.8,
+        vector_bits: 512,
+        fma_units: 2,
+        caches: vec![
+            CacheLevel { level: 1, capacity_bytes: 48 << 10, scope: CacheScope::PerCore,
+                stream_bw_gbs: 30_000.0, latency_ns: 1.0, associativity: 12, line_bytes: 64 },
+            CacheLevel { level: 2, capacity_bytes: 1280 << 10, scope: CacheScope::PerCore,
+                stream_bw_gbs: 9_000.0, latency_ns: 5.0, associativity: 20, line_bytes: 64 },
+            CacheLevel { level: 3, capacity_bytes: 54 << 20, scope: CacheScope::PerSocket,
+                stream_bw_gbs: 1865.0, latency_ns: 30.0, associativity: 12, line_bytes: 64 },
+        ],
+        memory: MainMemory {
+            kind: MemoryKind::Ddr4,
+            capacity_gib: 512,
+            peak_bw_gbs: 409.6, // 2 × 204.8 GB/s
+            latency_ns: 85.0,
+        },
+        measured_triad_gbs: 296.0,
+        measured_triad_ss_gbs: None,
+        latency: LatencyProfile {
+            hyperthread_ns: Some(8.0),
+            same_numa_ns: 48.0,
+            cross_numa_ns: 48.0, // single NUMA domain per socket
+            cross_socket_ns: 118.0,
+        },
+        // 72 cores × 10 × 64 B / 85 ns ≈ 542 GB/s ≫ 296 → controller-limited,
+        // which is why DDR systems reach ~75% of pin bandwidth.
+        mlp_per_core: 10.0,
+        kernel_launch_overhead_us: 14.0,
+        is_gpu: false,
+    }
+}
+
+/// AMD EPYC 7V73X ("Milan-X" with 3D V-Cache), Azure HB120rs_v3.
+///
+/// 2 sockets × 60 visible cores, SMT off, 448 GB DDR4, 2×2 NUMA.
+/// Clocks 2.2–3.5 GHz, AVX2 (256-bit). Peak FP32 8.45 TFLOP/s at base;
+/// Triad 310 GB/s. Enormous 3D V-Cache: 768 MB L3 per socket.
+pub fn epyc_7v73x() -> Platform {
+    Platform {
+        kind: PlatformKind::Epyc7V73X,
+        name: "AMD EPYC 7V73X (Milan-X, 3D V-Cache)".into(),
+        topology: CpuTopology { sockets: 2, numa_per_socket: 2, cores_per_numa: 30, smt_per_core: 1 },
+        base_ghz: 2.2,
+        turbo_allcore_ghz: 3.5,
+        vector_bits: 256,
+        fma_units: 2,
+        caches: vec![
+            CacheLevel { level: 1, capacity_bytes: 32 << 10, scope: CacheScope::PerCore,
+                stream_bw_gbs: 25_000.0, latency_ns: 0.9, associativity: 8, line_bytes: 64 },
+            CacheLevel { level: 2, capacity_bytes: 512 << 10, scope: CacheScope::PerCore,
+                stream_bw_gbs: 8_000.0, latency_ns: 3.5, associativity: 8, line_bytes: 64 },
+            // 3D V-Cache: 96 MB per CCD × 8 CCD = 768 MB per socket.
+            CacheLevel { level: 3, capacity_bytes: 768 << 20, scope: CacheScope::PerSocket,
+                stream_bw_gbs: 4340.0, latency_ns: 48.0, associativity: 16, line_bytes: 64 },
+        ],
+        memory: MainMemory {
+            kind: MemoryKind::Ddr4,
+            capacity_gib: 448,
+            peak_bw_gbs: 409.6,
+            latency_ns: 105.0,
+        },
+        measured_triad_gbs: 310.0,
+        measured_triad_ss_gbs: None,
+        latency: LatencyProfile {
+            hyperthread_ns: None, // SMT disabled
+            same_numa_ns: 45.0,
+            cross_numa_ns: 95.0,  // different chiplet, same socket
+            cross_socket_ns: 190.0, // 1.6× worse than the Xeons (VM effect)
+        },
+        mlp_per_core: 12.0,
+        kernel_launch_overhead_us: 12.0,
+        is_gpu: false,
+    }
+}
+
+/// NVIDIA A100 40 GB PCIe — the GPU comparison point of Figures 6 and 9.
+///
+/// Modelled with the same descriptor: 108 "cores" (SMs), 1.41 GHz boost,
+/// an effective 1024-bit × 2-pipe SIMT width giving the 19.5 FP32 TFLOP/s
+/// peak, and 1555 GB/s HBM2e of which ~1310 GB/s is achievable (paper §6:
+/// "10% lower than that measured on the Intel Xeon CPU MAX 9480").
+pub fn a100_pcie_40gb() -> Platform {
+    Platform {
+        kind: PlatformKind::A100Pcie40GB,
+        name: "NVIDIA A100 40GB PCIe".into(),
+        topology: CpuTopology { sockets: 1, numa_per_socket: 1, cores_per_numa: 108, smt_per_core: 1 },
+        base_ghz: 1.41,
+        turbo_allcore_ghz: 1.41,
+        vector_bits: 1024,
+        fma_units: 2,
+        caches: vec![
+            CacheLevel { level: 1, capacity_bytes: 192 << 10, scope: CacheScope::PerCore,
+                stream_bw_gbs: 100_000.0, latency_ns: 8.0, associativity: 4, line_bytes: 128 },
+            CacheLevel { level: 2, capacity_bytes: 40 << 20, scope: CacheScope::PerSocket,
+                stream_bw_gbs: 4500.0, latency_ns: 140.0, associativity: 16, line_bytes: 128 },
+        ],
+        memory: MainMemory {
+            kind: MemoryKind::Hbm2e,
+            capacity_gib: 40,
+            peak_bw_gbs: 1555.0,
+            latency_ns: 400.0,
+        },
+        measured_triad_gbs: 1310.0,
+        measured_triad_ss_gbs: None,
+        latency: LatencyProfile {
+            hyperthread_ns: Some(25.0),
+            same_numa_ns: 120.0,
+            cross_numa_ns: 120.0,
+            cross_socket_ns: 120.0,
+        },
+        // Massive SMT: ~2048 threads per SM keep far more lines in flight
+        // than any CPU core — the concurrency bound comfortably exceeds the
+        // controllers, hence the GPU's superior bandwidth utilization (§6).
+        mlp_per_core: 160.0,
+        kernel_launch_overhead_us: 7.0,
+        is_gpu: true,
+    }
+}
+
+/// All three CPUs, in the paper's order.
+pub fn all_cpus() -> Vec<Platform> {
+    vec![xeon_max_9480(), xeon_8360y(), epyc_7v73x()]
+}
+
+/// All four platforms including the A100.
+pub fn all_platforms() -> Vec<Platform> {
+    vec![xeon_max_9480(), xeon_8360y(), epyc_7v73x(), a100_pcie_40gb()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_counts_match_paper() {
+        assert_eq!(xeon_max_9480().topology.physical_cores(), 112);
+        assert_eq!(xeon_8360y().topology.physical_cores(), 72);
+        assert_eq!(epyc_7v73x().topology.physical_cores(), 120);
+    }
+
+    #[test]
+    fn numa_counts_match_paper() {
+        assert_eq!(xeon_max_9480().topology.total_numa(), 8); // SNC4 × 2
+        assert_eq!(xeon_8360y().topology.total_numa(), 2);
+        assert_eq!(epyc_7v73x().topology.total_numa(), 4); // 2×2
+    }
+
+    #[test]
+    fn peak_fp32_matches_paper_section2() {
+        // Paper §2: 13.6 / 11 / 8.45 TFLOP/s at base clocks.
+        let max = xeon_max_9480().peak_fp32_base_gflops() / 1000.0;
+        let icx = xeon_8360y().peak_fp32_base_gflops() / 1000.0;
+        let amd = epyc_7v73x().peak_fp32_base_gflops() / 1000.0;
+        assert!((max - 13.6).abs() < 0.2, "MAX peak {max}");
+        assert!((icx - 11.0).abs() < 0.2, "ICX peak {icx}");
+        assert!((amd - 8.45).abs() < 0.1, "EPYC peak {amd}");
+    }
+
+    #[test]
+    fn turbo_peak_reaches_18_6_tflops_on_max() {
+        let p = xeon_max_9480();
+        let tf = p.peak_fp32_gflops(p.turbo_allcore_ghz) / 1000.0;
+        assert!((tf - 18.6).abs() < 0.2, "MAX turbo peak {tf}");
+    }
+
+    #[test]
+    fn a100_peak_is_19_5_tflops() {
+        let tf = a100_pcie_40gb().peak_fp32_base_gflops() / 1000.0;
+        assert!((tf - 19.5).abs() < 0.3, "A100 peak {tf}");
+    }
+
+    #[test]
+    fn triad_speedup_over_ddr_systems_matches_figure1() {
+        // Paper: 4.8× with application flags, 5.5× with streaming stores.
+        let max = xeon_max_9480();
+        let icx = xeon_8360y();
+        let amd = epyc_7v73x();
+        for ddr in [&icx, &amd] {
+            let r = max.measured_triad_gbs / ddr.measured_triad_gbs;
+            assert!(r > 4.3 && r < 5.2, "default-flag ratio {r}");
+            let rss = max.measured_triad_ss_gbs.unwrap() / ddr.measured_triad_gbs;
+            assert!(rss > 5.0 && rss < 5.8, "SS-flag ratio {rss}");
+        }
+    }
+
+    #[test]
+    fn bandwidth_efficiency_is_55_to_63_percent_on_max() {
+        let p = xeon_max_9480();
+        let eff = p.measured_triad_gbs / p.memory.peak_bw_gbs;
+        let eff_ss = p.measured_triad_ss_gbs.unwrap() / p.memory.peak_bw_gbs;
+        assert!((eff - 0.55).abs() < 0.02, "default eff {eff}");
+        assert!((eff_ss - 0.63).abs() < 0.02, "SS eff {eff_ss}");
+    }
+
+    #[test]
+    fn ddr_systems_reach_about_75_percent_of_peak() {
+        for p in [xeon_8360y(), epyc_7v73x()] {
+            let eff = p.measured_triad_gbs / p.memory.peak_bw_gbs;
+            assert!(eff > 0.70 && eff < 0.80, "{} eff {eff}", p.name);
+        }
+    }
+
+    #[test]
+    fn flop_byte_ratio_shift() {
+        // Paper §2: ~9.4 on MAX vs ~36 on 8360Y and ~28 on EPYC (against
+        // theoretical peak bandwidth... the paper's quoted 9.4 uses measured
+        // Triad; we accept either convention within a band).
+        let max = xeon_max_9480();
+        let icx = xeon_8360y();
+        let amd = epyc_7v73x();
+        let r_max = max.peak_fp32_base_gflops() / max.measured_triad_gbs;
+        let r_icx = icx.peak_fp32_base_gflops() / icx.measured_triad_gbs;
+        let r_amd = amd.peak_fp32_base_gflops() / amd.measured_triad_gbs;
+        assert!((r_max - 9.4).abs() < 0.5, "MAX flop/byte {r_max}");
+        assert!((r_icx - 36.0).abs() < 2.0, "ICX flop/byte {r_icx}");
+        assert!((r_amd - 28.0).abs() < 2.0, "EPYC flop/byte {r_amd}");
+    }
+
+    #[test]
+    fn cache_to_memory_bw_ratios_match_paper() {
+        // Paper §2/§6: 3.8× on MAX, ~6.3× on 8360Y, ~14× on EPYC.
+        assert!((xeon_max_9480().cache_to_mem_bw_ratio() - 3.8).abs() < 0.1);
+        assert!((xeon_8360y().cache_to_mem_bw_ratio() - 6.3).abs() < 0.2);
+        assert!((epyc_7v73x().cache_to_mem_bw_ratio() - 14.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn latency_profiles_are_monotone() {
+        for p in all_platforms() {
+            assert!(p.latency.is_monotone(), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn epyc_cross_socket_latency_is_worst() {
+        // Figure 2: EPYC cross-socket ≈1.6× worse than the Xeons.
+        let amd = epyc_7v73x().latency.cross_socket_ns;
+        let icx = xeon_8360y().latency.cross_socket_ns;
+        let r = amd / icx;
+        assert!(r > 1.4 && r < 1.8, "cross-socket ratio {r}");
+    }
+
+    #[test]
+    fn max_latency_no_better_than_icelake() {
+        // Figure 2: "no significant improvement (in some cases even slight
+        // regression)" on Xeon MAX vs 8360Y.
+        let max = xeon_max_9480().latency;
+        let icx = xeon_8360y().latency;
+        assert!(max.same_numa_ns >= icx.same_numa_ns);
+        assert!(max.cross_socket_ns >= icx.cross_socket_ns);
+    }
+
+    #[test]
+    fn concurrency_bound_binds_on_hbm_but_not_ddr() {
+        // The mechanistic explanation of the 55–63% HBM efficiency: on MAX
+        // the concurrency bound is near the measured Triad value, while on
+        // the DDR parts it is far above (controller-limited instead).
+        let max = xeon_max_9480();
+        let c = max.concurrency_bw_gbs(112, false);
+        assert!(c > 1400.0 && c < 1700.0, "MAX concurrency bound {c}");
+        assert!(c < max.memory.peak_bw_gbs * 0.7);
+
+        let icx = xeon_8360y();
+        assert!(icx.concurrency_bw_gbs(72, false) > 1.5 * icx.measured_triad_gbs);
+        let amd = epyc_7v73x();
+        assert!(amd.concurrency_bw_gbs(120, false) > 1.5 * amd.measured_triad_gbs);
+    }
+
+    #[test]
+    fn a100_achievable_bw_close_to_max_measured() {
+        // Paper §6: A100 achievable peak 1310 GB/s, ~10% below MAX's 1446.
+        let a = a100_pcie_40gb().measured_triad_gbs;
+        let m = xeon_max_9480().measured_triad_gbs;
+        assert!((m / a - 1.10).abs() < 0.05);
+    }
+
+    #[test]
+    fn epyc_llc_dwarfs_the_xeons() {
+        let amd = epyc_7v73x().llc_total_bytes();
+        let max = xeon_max_9480().llc_total_bytes();
+        let icx = xeon_8360y().llc_total_bytes();
+        assert!(amd > 10 * max.min(icx));
+        assert_eq!(amd, 2 * (768 << 20));
+    }
+
+    #[test]
+    fn platform_labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            all_platforms().iter().map(|p| p.kind.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

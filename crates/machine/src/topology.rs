@@ -1,0 +1,254 @@
+//! CPU topology: sockets → NUMA domains → cores → SMT threads, plus rank
+//! placement policies used by the message-passing substrate.
+//!
+//! The paper's parallelization study (§5) compares *pure MPI* (one process
+//! per physical/logical core) against *MPI+OpenMP* and *MPI+SYCL* (one
+//! process per NUMA domain). [`PlacementPolicy`] captures those choices and
+//! [`CpuTopology::place_ranks`] maps ranks to hardware threads so that the
+//! communication-distance of each rank pair (and hence the injected MPI
+//! latency) is known.
+
+use crate::latency::CommDistance;
+use serde::{Deserialize, Serialize};
+
+/// Identifies one hardware thread: `(socket, numa_in_socket, core_in_numa,
+/// smt_thread)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CoreId {
+    pub socket: u16,
+    pub numa: u16,
+    pub core: u16,
+    pub smt: u8,
+}
+
+impl CoreId {
+    /// Classify the communication distance between two hardware threads.
+    pub fn distance_to(&self, other: &CoreId) -> CommDistance {
+        if self.socket != other.socket {
+            CommDistance::CrossSocket
+        } else if self.numa != other.numa {
+            CommDistance::CrossNuma
+        } else if self.core != other.core {
+            CommDistance::SameNuma
+        } else {
+            CommDistance::Hyperthread
+        }
+    }
+}
+
+/// Machine topology counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpuTopology {
+    pub sockets: u16,
+    pub numa_per_socket: u16,
+    pub cores_per_numa: u16,
+    /// SMT ways per core (2 with hyperthreading, 1 without).
+    pub smt_per_core: u8,
+}
+
+/// How ranks (or threads) are assigned to hardware threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// One rank per physical core (HT unused by ranks). Pure-MPI w/o HT.
+    OnePerCore,
+    /// One rank per hardware thread (both hyperthreads). Pure-MPI w/ HT.
+    OnePerThread,
+    /// One rank per NUMA domain, pinned to that domain's first core
+    /// (MPI+OpenMP / MPI+SYCL configurations).
+    OnePerNuma,
+    /// One rank per socket.
+    OnePerSocket,
+}
+
+/// A computed placement: rank → hardware thread.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankPlacement {
+    pub policy: PlacementPolicy,
+    pub assignments: Vec<CoreId>,
+}
+
+impl RankPlacement {
+    pub fn n_ranks(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Communication distance between two ranks.
+    pub fn distance(&self, a: usize, b: usize) -> CommDistance {
+        self.assignments[a].distance_to(&self.assignments[b])
+    }
+
+    /// Histogram of pairwise distances over all distinct rank pairs —
+    /// useful for estimating average message latency of a halo exchange.
+    pub fn distance_histogram(&self) -> [usize; 4] {
+        let mut h = [0usize; 4];
+        for i in 0..self.assignments.len() {
+            for j in (i + 1)..self.assignments.len() {
+                let d = self.distance(i, j);
+                let idx = CommDistance::ALL.iter().position(|&x| x == d).unwrap();
+                h[idx] += 1;
+            }
+        }
+        h
+    }
+
+    /// Fraction of nearest-neighbour pairs (rank i, rank i+1) that cross a
+    /// socket boundary. Cartesian-decomposed stencil codes mostly talk to
+    /// nearby ranks, so this is the latency-relevant statistic.
+    pub fn neighbor_cross_socket_fraction(&self) -> f64 {
+        if self.assignments.len() < 2 {
+            return 0.0;
+        }
+        let n = self.assignments.len() - 1;
+        let crossing = (0..n)
+            .filter(|&i| self.distance(i, i + 1) == CommDistance::CrossSocket)
+            .count();
+        crossing as f64 / n as f64
+    }
+}
+
+impl CpuTopology {
+    pub fn total_numa(&self) -> u32 {
+        self.sockets as u32 * self.numa_per_socket as u32
+    }
+
+    pub fn physical_cores(&self) -> u32 {
+        self.total_numa() * self.cores_per_numa as u32
+    }
+
+    pub fn hardware_threads(&self) -> u32 {
+        self.physical_cores() * self.smt_per_core as u32
+    }
+
+    /// Enumerate hardware threads in a compact, NUMA-major order: all first
+    /// SMT threads of a NUMA domain, then (if requested) the sibling
+    /// threads, then the next domain. This mirrors `I_MPI_PIN_ORDER=compact`.
+    pub fn enumerate_threads(&self, use_smt: bool) -> Vec<CoreId> {
+        let smt_ways = if use_smt { self.smt_per_core } else { 1 };
+        let mut out = Vec::with_capacity(
+            self.physical_cores() as usize * smt_ways as usize,
+        );
+        for socket in 0..self.sockets {
+            for numa in 0..self.numa_per_socket {
+                for smt in 0..smt_ways {
+                    for core in 0..self.cores_per_numa {
+                        out.push(CoreId { socket, numa, core, smt });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Compute the rank placement under a policy.
+    pub fn place_ranks(&self, policy: PlacementPolicy) -> RankPlacement {
+        let assignments = match policy {
+            PlacementPolicy::OnePerCore => self.enumerate_threads(false),
+            PlacementPolicy::OnePerThread => self.enumerate_threads(true),
+            PlacementPolicy::OnePerNuma => {
+                let mut v = Vec::new();
+                for socket in 0..self.sockets {
+                    for numa in 0..self.numa_per_socket {
+                        v.push(CoreId { socket, numa, core: 0, smt: 0 });
+                    }
+                }
+                v
+            }
+            PlacementPolicy::OnePerSocket => (0..self.sockets)
+                .map(|socket| CoreId { socket, numa: 0, core: 0, smt: 0 })
+                .collect(),
+        };
+        RankPlacement { policy, assignments }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Xeon MAX 9480-like topology: 2 sockets × 4 NUMA × 14 cores × 2 SMT.
+    fn max_topo() -> CpuTopology {
+        CpuTopology { sockets: 2, numa_per_socket: 4, cores_per_numa: 14, smt_per_core: 2 }
+    }
+
+    #[test]
+    fn counts() {
+        let t = max_topo();
+        assert_eq!(t.total_numa(), 8);
+        assert_eq!(t.physical_cores(), 112);
+        assert_eq!(t.hardware_threads(), 224);
+    }
+
+    #[test]
+    fn distance_classification() {
+        let a = CoreId { socket: 0, numa: 0, core: 0, smt: 0 };
+        let ht = CoreId { socket: 0, numa: 0, core: 0, smt: 1 };
+        let adj = CoreId { socket: 0, numa: 0, core: 1, smt: 0 };
+        let xn = CoreId { socket: 0, numa: 1, core: 0, smt: 0 };
+        let xs = CoreId { socket: 1, numa: 0, core: 0, smt: 0 };
+        assert_eq!(a.distance_to(&ht), CommDistance::Hyperthread);
+        assert_eq!(a.distance_to(&adj), CommDistance::SameNuma);
+        assert_eq!(a.distance_to(&xn), CommDistance::CrossNuma);
+        assert_eq!(a.distance_to(&xs), CommDistance::CrossSocket);
+        // symmetric
+        assert_eq!(xs.distance_to(&a), CommDistance::CrossSocket);
+    }
+
+    #[test]
+    fn one_per_core_uses_physical_cores_only() {
+        let t = max_topo();
+        let p = t.place_ranks(PlacementPolicy::OnePerCore);
+        assert_eq!(p.n_ranks(), 112);
+        assert!(p.assignments.iter().all(|c| c.smt == 0));
+    }
+
+    #[test]
+    fn one_per_thread_uses_all_threads() {
+        let t = max_topo();
+        let p = t.place_ranks(PlacementPolicy::OnePerThread);
+        assert_eq!(p.n_ranks(), 224);
+        let smt1 = p.assignments.iter().filter(|c| c.smt == 1).count();
+        assert_eq!(smt1, 112);
+    }
+
+    #[test]
+    fn one_per_numa_gives_numa_count_ranks() {
+        let t = max_topo();
+        let p = t.place_ranks(PlacementPolicy::OnePerNuma);
+        assert_eq!(p.n_ranks(), 8);
+        // All on distinct NUMA domains.
+        let mut seen = std::collections::HashSet::new();
+        for c in &p.assignments {
+            assert!(seen.insert((c.socket, c.numa)));
+        }
+    }
+
+    #[test]
+    fn one_per_socket() {
+        let t = max_topo();
+        let p = t.place_ranks(PlacementPolicy::OnePerSocket);
+        assert_eq!(p.n_ranks(), 2);
+        assert_eq!(p.distance(0, 1), CommDistance::CrossSocket);
+    }
+
+    #[test]
+    fn enumerate_threads_compact_keeps_neighbors_close() {
+        let t = max_topo();
+        let p = t.place_ranks(PlacementPolicy::OnePerCore);
+        // With compact placement, consecutive ranks should rarely cross a
+        // socket: exactly one boundary out of 111 neighbour pairs.
+        let f = p.neighbor_cross_socket_fraction();
+        assert!(f < 0.02, "compact placement should keep neighbours close, got {f}");
+    }
+
+    #[test]
+    fn distance_histogram_counts_all_pairs() {
+        let t = CpuTopology { sockets: 2, numa_per_socket: 1, cores_per_numa: 2, smt_per_core: 1 };
+        let p = t.place_ranks(PlacementPolicy::OnePerCore);
+        let h = p.distance_histogram();
+        // 4 ranks → 6 pairs: within each socket 1 pair ×2 sockets = 2
+        // same-numa pairs; 4 cross-socket pairs.
+        assert_eq!(h.iter().sum::<usize>(), 6);
+        assert_eq!(h[1], 2);
+        assert_eq!(h[3], 4);
+    }
+}

@@ -1,0 +1,24 @@
+//! # bwb-memsim — memory hierarchy models
+//!
+//! Substitute for the real memory systems of the paper's platforms. Three
+//! layers:
+//!
+//! * [`hierarchy`] — an analytic *working-set → bandwidth* model that
+//!   reproduces Figure 1's BabelStream curves: at small array sizes the
+//!   kernels run out of cache (high plateau), at large sizes out of
+//!   HBM/DDR (low plateau), with the machine subset (one NUMA domain, one
+//!   socket, both sockets) scaling both capacity and bandwidth.
+//! * [`cachesim`] — an executable set-associative LRU cache simulator used
+//!   to validate the analytic model's capacity transitions and to study
+//!   the cache-blocking tiling of Figure 9 at small scale.
+//! * [`stores`] — write-allocate vs streaming-store traffic accounting,
+//!   the mechanism behind the paper's two Xeon MAX flag sets (1446 vs
+//!   1643 GB/s).
+
+pub mod cachesim;
+pub mod hierarchy;
+pub mod stores;
+
+pub use cachesim::{AccessKind, CacheSim, CacheStats};
+pub use hierarchy::{BandwidthCurve, MachineSubset, MemoryHierarchyModel};
+pub use stores::{StoreMode, TrafficModel};

@@ -1,0 +1,34 @@
+//! # bwb-op2 — unstructured-mesh parallel-loop DSL
+//!
+//! Re-implementation of the execution model of the OP2 active library
+//! ([Reguly 2012], [Mudalige et al.]) that the paper's unstructured
+//! applications — MG-CFD and Volna — are written in:
+//!
+//! * [`set`] — sets (nodes/edges/cells), mappings between them, and
+//!   multi-component datasets;
+//! * [`color`] — greedy set coloring so that elements in the same color
+//!   share no indirect write target: the race-avoidance scheme OP2 uses for
+//!   its OpenMP backend (paper §4: "for OpenMP and SYCL one needs to
+//!   explicitly avoid race conditions – for which we use a coloring
+//!   scheme");
+//! * [`exec`] — direct and colored-indirect parallel loops with the same
+//!   byte/FLOP accounting as `bwb-ops`, including separate *indirect* byte
+//!   accounting so the performance model can price gather/scatter
+//!   (the "MPI vec" pack/unpack overhead of §6);
+//! * [`partition`] — recursive coordinate bisection (standing in for
+//!   PT-Scotch's owner-compute partitioning) and halo plans that count the
+//!   import/export volumes each rank pair would exchange.
+//!
+//! [Reguly 2012]: https://doi.org/10.1109/InPar.2012.6339594
+
+pub mod color;
+pub mod halo_exchange;
+pub mod exec;
+pub mod partition;
+pub mod set;
+
+pub use color::Coloring;
+pub use exec::{par_loop_colored, par_loop_direct, par_loop_gather, ExecModeU, UOut};
+pub use halo_exchange::RankHalo;
+pub use partition::{rcb_partition, HaloPlan};
+pub use set::{DatU, Map, Set};

@@ -1,0 +1,300 @@
+//! Owner-compute partitioning and halo planning.
+//!
+//! The paper partitions unstructured meshes over MPI with PT-Scotch ("we
+//! perform a standard owner-compute decomposition of the mesh over MPI
+//! using PT-Scotch", §4). PT-Scotch is a proprietary-quality graph
+//! partitioner we substitute with **recursive coordinate bisection** (RCB):
+//! geometrically balanced, deterministic, and producing the same *kind* of
+//! partitions (compact, low-surface) for the mesh classes at hand.
+//!
+//! [`HaloPlan`] derives from a partition the import/export lists each rank
+//! would exchange per iteration — the message counts and volumes the
+//! performance model prices for Figures 4–7.
+
+use crate::set::Map;
+use serde::{Deserialize, Serialize};
+
+/// Recursive coordinate bisection: split `coords` (dim-major per element:
+/// `[x0,y0,(z0,) x1,y1,...]`) into `nparts` balanced parts. `nparts` need
+/// not be a power of two — splits are sized proportionally.
+pub fn rcb_partition(coords: &[f64], dim: usize, nparts: usize) -> Vec<u32> {
+    assert!((1..=3).contains(&dim));
+    assert!(nparts >= 1);
+    assert_eq!(coords.len() % dim, 0);
+    let n = coords.len() / dim;
+    let mut part = vec![0u32; n];
+    let mut elems: Vec<u32> = (0..n as u32).collect();
+    rcb_recurse(coords, dim, &mut elems, 0, nparts as u32, &mut part);
+    part
+}
+
+fn rcb_recurse(
+    coords: &[f64],
+    dim: usize,
+    elems: &mut [u32],
+    first_part: u32,
+    nparts: u32,
+    out: &mut [u32],
+) {
+    if nparts <= 1 || elems.is_empty() {
+        for &e in elems.iter() {
+            out[e as usize] = first_part;
+        }
+        return;
+    }
+    // Widest dimension of this subset's bounding box.
+    let mut lo = [f64::INFINITY; 3];
+    let mut hi = [f64::NEG_INFINITY; 3];
+    for &e in elems.iter() {
+        for d in 0..dim {
+            let v = coords[e as usize * dim + d];
+            lo[d] = lo[d].min(v);
+            hi[d] = hi[d].max(v);
+        }
+    }
+    let split_dim = (0..dim).max_by(|&a, &b| {
+        (hi[a] - lo[a]).partial_cmp(&(hi[b] - lo[b])).unwrap()
+    }).unwrap();
+
+    // Proportional split: left gets floor(nparts/2)/nparts of the elements.
+    let left_parts = nparts / 2;
+    let right_parts = nparts - left_parts;
+    let split_at = (elems.len() as u64 * left_parts as u64 / nparts as u64) as usize;
+
+    elems.sort_unstable_by(|&a, &b| {
+        let va = coords[a as usize * dim + split_dim];
+        let vb = coords[b as usize * dim + split_dim];
+        va.partial_cmp(&vb).unwrap().then(a.cmp(&b))
+    });
+    let (left, right) = elems.split_at_mut(split_at);
+    rcb_recurse(coords, dim, left, first_part, left_parts, out);
+    rcb_recurse(coords, dim, right, first_part + left_parts, right_parts, out);
+}
+
+/// Per-rank halo exchange plan derived from a partition: for every pair of
+/// ranks, how many target-set elements rank *a* must import from rank *b*
+/// because one of *a*'s source elements references them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HaloPlan {
+    pub nparts: usize,
+    /// `imports[a][b]` = elements rank `a` imports from rank `b`.
+    pub imports: Vec<Vec<usize>>,
+    /// Total cut edges (source elements whose targets span ≥2 parts).
+    pub cut_elements: usize,
+}
+
+impl HaloPlan {
+    /// Build a plan for source elements partitioned by `src_part` accessing
+    /// the target set partitioned by `tgt_part` through `map`.
+    pub fn build(map: &Map, src_part: &[u32], tgt_part: &[u32], nparts: usize) -> Self {
+        assert_eq!(src_part.len(), map.from_size);
+        assert_eq!(tgt_part.len(), map.to_size);
+        // Unique imports per (rank, target).
+        let mut needed: Vec<std::collections::HashSet<u32>> =
+            vec![std::collections::HashSet::new(); nparts];
+        let mut cut_elements = 0usize;
+        for e in 0..map.from_size {
+            let owner = src_part[e] as usize;
+            let mut cut = false;
+            for &t in map.targets(e) {
+                let towner = tgt_part[t as usize] as usize;
+                if towner != owner {
+                    needed[owner].insert(t);
+                    cut = true;
+                }
+            }
+            cut_elements += usize::from(cut);
+        }
+        let mut imports = vec![vec![0usize; nparts]; nparts];
+        for (a, set) in needed.iter().enumerate() {
+            for &t in set {
+                let b = tgt_part[t as usize] as usize;
+                imports[a][b] += 1;
+            }
+        }
+        HaloPlan { nparts, imports, cut_elements }
+    }
+
+    /// Total imported elements across all ranks.
+    pub fn total_imports(&self) -> usize {
+        self.imports.iter().flatten().sum()
+    }
+
+    /// Number of (ordered) rank pairs that exchange at least one element —
+    /// i.e. the number of messages per halo exchange.
+    pub fn message_count(&self) -> usize {
+        self.imports
+            .iter()
+            .flatten()
+            .filter(|&&n| n > 0)
+            .count()
+    }
+
+    /// Exchange volume in bytes per halo exchange for a dataset of
+    /// `elem_bytes` per element (each import is one element sent once).
+    pub fn exchange_bytes(&self, elem_bytes: usize) -> usize {
+        self.total_imports() * elem_bytes
+    }
+
+    /// Largest per-rank import count — the imbalance-critical quantity.
+    pub fn max_rank_imports(&self) -> usize {
+        self.imports
+            .iter()
+            .map(|row| row.iter().sum::<usize>())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Partition balance: max part size / ideal part size (1.0 = perfect).
+pub fn partition_imbalance(part: &[u32], nparts: usize) -> f64 {
+    if part.is_empty() || nparts == 0 {
+        return 1.0;
+    }
+    let mut counts = vec![0usize; nparts];
+    for &p in part {
+        counts[p as usize] += 1;
+    }
+    let max = *counts.iter().max().unwrap();
+    let ideal = part.len() as f64 / nparts as f64;
+    max as f64 / ideal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set::Set;
+
+    fn grid_coords(nx: usize, ny: usize) -> Vec<f64> {
+        let mut c = Vec::with_capacity(nx * ny * 2);
+        for j in 0..ny {
+            for i in 0..nx {
+                c.push(i as f64);
+                c.push(j as f64);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn rcb_covers_all_parts_balanced() {
+        let coords = grid_coords(16, 16);
+        for nparts in [1usize, 2, 3, 4, 7, 8, 16] {
+            let part = rcb_partition(&coords, 2, nparts);
+            assert_eq!(part.len(), 256);
+            let used: std::collections::HashSet<u32> = part.iter().copied().collect();
+            assert_eq!(used.len(), nparts, "nparts={nparts}");
+            assert!(part.iter().all(|&p| (p as usize) < nparts));
+            let imb = partition_imbalance(&part, nparts);
+            assert!(imb < 1.1, "nparts={nparts} imbalance {imb}");
+        }
+    }
+
+    #[test]
+    fn rcb_partitions_are_spatially_compact() {
+        // On a 2-part split of a wide domain, the split must be by x.
+        let coords = grid_coords(32, 4);
+        let part = rcb_partition(&coords, 2, 2);
+        for j in 0..4 {
+            for i in 0..32 {
+                let p = part[j * 32 + i];
+                assert_eq!(p, u32::from(i >= 16), "element ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn rcb_single_part_is_all_zero() {
+        let coords = grid_coords(4, 4);
+        let part = rcb_partition(&coords, 2, 1);
+        assert!(part.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn rcb_3d() {
+        let mut coords = Vec::new();
+        for k in 0..4 {
+            for j in 0..4 {
+                for i in 0..4 {
+                    coords.extend([i as f64, j as f64, k as f64]);
+                }
+            }
+        }
+        let part = rcb_partition(&coords, 3, 8);
+        let imb = partition_imbalance(&part, 8);
+        assert!(imb < 1.01);
+    }
+
+    /// Edge→node line mesh for halo tests.
+    fn line(n_edges: usize) -> Map {
+        let nodes = Set::new("nodes", n_edges + 1);
+        let edges = Set::new("edges", n_edges);
+        let idx: Vec<u32> = (0..n_edges).flat_map(|e| [e as u32, e as u32 + 1]).collect();
+        Map::new("e2n", &edges, &nodes, 2, idx)
+    }
+
+    #[test]
+    fn halo_plan_line_mesh_two_parts() {
+        let m = line(10);
+        // Edges 0..5 → part 0, 5..10 → part 1; nodes 0..=5 → 0, 6..=10 → 1.
+        let src: Vec<u32> = (0..10).map(|e| u32::from(e >= 5)).collect();
+        let tgt: Vec<u32> = (0..11).map(|n| u32::from(n >= 6)).collect();
+        let plan = HaloPlan::build(&m, &src, &tgt, 2);
+        // Edge 5 (part 1) touches node 5 (part 0) → part 1 imports 1 node.
+        assert_eq!(plan.imports[1][0], 1);
+        assert_eq!(plan.imports[0][1], 0);
+        assert_eq!(plan.total_imports(), 1);
+        assert_eq!(plan.message_count(), 1);
+        assert_eq!(plan.cut_elements, 1);
+        assert_eq!(plan.exchange_bytes(8), 8);
+    }
+
+    #[test]
+    fn halo_plan_no_cut_when_single_part() {
+        let m = line(10);
+        let src = vec![0u32; 10];
+        let tgt = vec![0u32; 11];
+        let plan = HaloPlan::build(&m, &src, &tgt, 1);
+        assert_eq!(plan.total_imports(), 0);
+        assert_eq!(plan.message_count(), 0);
+    }
+
+    #[test]
+    fn more_parts_more_cut_volume() {
+        // 2-D quad grid of cells → nodes; more parts cut more.
+        let nx = 16;
+        let nodes = Set::new("nodes", (nx + 1) * (nx + 1));
+        let cells = Set::new("cells", nx * nx);
+        let mut idx = Vec::new();
+        let mut coords = Vec::new();
+        for cy in 0..nx {
+            for cx in 0..nx {
+                let n0 = (cy * (nx + 1) + cx) as u32;
+                idx.extend([n0, n0 + 1, n0 + nx as u32 + 1, n0 + nx as u32 + 2]);
+                coords.extend([cx as f64, cy as f64]);
+            }
+        }
+        let map = Map::new("c2n", &cells, &nodes, 4, idx);
+        let mut node_coords = Vec::new();
+        for ny_ in 0..=nx {
+            for nx_ in 0..=nx {
+                node_coords.extend([nx_ as f64, ny_ as f64]);
+            }
+        }
+        let volumes: Vec<usize> = [2usize, 4, 16]
+            .iter()
+            .map(|&np| {
+                let cp = rcb_partition(&coords, 2, np);
+                let npart = rcb_partition(&node_coords, 2, np);
+                HaloPlan::build(&map, &cp, &npart, np).total_imports()
+            })
+            .collect();
+        assert!(volumes[0] < volumes[1] && volumes[1] < volumes[2], "{volumes:?}");
+    }
+
+    #[test]
+    fn imbalance_of_skewed_partition() {
+        let part = vec![0u32, 0, 0, 1];
+        assert!((partition_imbalance(&part, 2) - 1.5).abs() < 1e-12);
+    }
+}

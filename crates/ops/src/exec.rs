@@ -1,0 +1,798 @@
+//! Parallel-loop drivers: the DSL's execution engine.
+//!
+//! A `par_loop` applies a stencil kernel to every point of a rectangular
+//! range. Kernels read arbitrary offsets of the *input* datasets (within
+//! their halos) and write only the **current point** of each *output*
+//! dataset — the access discipline of OPS kernels with a `(0,0)` write
+//! stencil, which is what makes thread-parallel execution race-free: the
+//! iteration space is partitioned by outer index across threads, every
+//! point is visited exactly once, and writes never alias.
+//!
+//! Two backends mirror the paper's §4 intra-process parallelizations:
+//! [`ExecMode::Serial`] (the per-rank execution of pure MPI) and
+//! [`ExecMode::Rayon`] (the "OpenMP" backend, parallelizing across all grid
+//! points of the outer dimension).
+
+use crate::field::{Dat2, Dat3};
+use crate::profile::Profile;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Intra-rank execution backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// Single-threaded (pure-MPI per-rank execution).
+    Serial,
+    /// Thread-parallel over the outer loop dimension (the OpenMP backend).
+    Rayon,
+}
+
+/// Half-open 2-D iteration range in interior coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Range2 {
+    pub i0: isize,
+    pub i1: isize,
+    pub j0: isize,
+    pub j1: isize,
+}
+
+impl Range2 {
+    pub fn new(i0: isize, i1: isize, j0: isize, j1: isize) -> Self {
+        Range2 { i0, i1, j0, j1 }
+    }
+
+    /// The full interior of an `nx × ny` block.
+    pub fn interior(nx: usize, ny: usize) -> Self {
+        Range2::new(0, nx as isize, 0, ny as isize)
+    }
+
+    pub fn points(&self) -> usize {
+        ((self.i1 - self.i0).max(0) * (self.j1 - self.j0).max(0)) as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points() == 0
+    }
+
+    /// Intersection (used by the tiling engine).
+    pub fn intersect(&self, o: &Range2) -> Range2 {
+        Range2::new(
+            self.i0.max(o.i0),
+            self.i1.min(o.i1),
+            self.j0.max(o.j0),
+            self.j1.min(o.j1),
+        )
+    }
+
+    /// Grow by `r` in every direction (used for halo-extended tile ranges).
+    pub fn grow(&self, r: isize) -> Range2 {
+        Range2::new(self.i0 - r, self.i1 + r, self.j0 - r, self.j1 + r)
+    }
+}
+
+/// Half-open 3-D iteration range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Range3 {
+    pub i0: isize,
+    pub i1: isize,
+    pub j0: isize,
+    pub j1: isize,
+    pub k0: isize,
+    pub k1: isize,
+}
+
+impl Range3 {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(i0: isize, i1: isize, j0: isize, j1: isize, k0: isize, k1: isize) -> Self {
+        Range3 { i0, i1, j0, j1, k0, k1 }
+    }
+
+    pub fn interior(nx: usize, ny: usize, nz: usize) -> Self {
+        Range3::new(0, nx as isize, 0, ny as isize, 0, nz as isize)
+    }
+
+    pub fn points(&self) -> usize {
+        ((self.i1 - self.i0).max(0) * (self.j1 - self.j0).max(0) * (self.k1 - self.k0).max(0))
+            as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points() == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Views
+// ---------------------------------------------------------------------------
+
+/// Write view over one 2-D dataset: a raw pointer plus geometry.
+///
+/// # Safety discipline
+/// Constructed only by the loop drivers from `&mut Dat2`, so no other code
+/// aliases the storage during a loop. Threads write disjoint points because
+/// the drivers partition the iteration space by outer index and the kernel
+/// accessor ([`Out2`]) only writes the current point. Every write is
+/// bounds-checked against the allocation length.
+#[derive(Clone, Copy)]
+struct WView2<T> {
+    ptr: *mut T,
+    pitch: usize,
+    halo: isize,
+    len: usize,
+}
+
+unsafe impl<T: Send> Send for WView2<T> {}
+unsafe impl<T: Send> Sync for WView2<T> {}
+
+impl<T: Copy> WView2<T> {
+    #[inline]
+    fn index(&self, i: isize, j: isize) -> usize {
+        let ii = i + self.halo;
+        let jj = j + self.halo;
+        debug_assert!(ii >= 0 && jj >= 0, "write at ({i},{j}) before halo start");
+        let idx = jj as usize * self.pitch + ii as usize;
+        assert!(idx < self.len, "write at ({i},{j}) outside dataset storage");
+        idx
+    }
+
+    #[inline]
+    fn write(&self, i: isize, j: isize, v: T) {
+        let idx = self.index(i, j);
+        // SAFETY: idx bounds-checked above; disjointness across threads is
+        // guaranteed by the driver's iteration-space partition (see type
+        // docs); exclusivity vs. other code by the `&mut Dat2` borrows.
+        unsafe { *self.ptr.add(idx) = v }
+    }
+
+    #[inline]
+    fn read(&self, i: isize, j: isize) -> T {
+        let idx = self.index(i, j);
+        // SAFETY: as in `write`; reading the current point that only this
+        // thread may write.
+        unsafe { *self.ptr.add(idx) }
+    }
+}
+
+/// Read view over one 2-D dataset (safe slice indexing).
+#[derive(Clone, Copy)]
+struct RView2<'a, T> {
+    data: &'a [T],
+    pitch: usize,
+    halo: isize,
+}
+
+impl<T: Copy> RView2<'_, T> {
+    #[inline]
+    fn read(&self, i: isize, j: isize) -> T {
+        let ii = i + self.halo;
+        let jj = j + self.halo;
+        debug_assert!(ii >= 0 && jj >= 0, "read at ({i},{j}) before halo start");
+        self.data[jj as usize * self.pitch + ii as usize]
+    }
+}
+
+/// Kernel accessor for the *output* datasets at the current point.
+pub struct Out2<'a, T> {
+    views: &'a [WView2<T>],
+    i: isize,
+    j: isize,
+}
+
+impl<T: Copy> Out2<'_, T> {
+    /// Write output dataset `f` at the current point.
+    #[inline]
+    pub fn set(&mut self, f: usize, v: T) {
+        self.views[f].write(self.i, self.j, v);
+    }
+
+    /// Read output dataset `f` at the current point (read-modify-write).
+    #[inline]
+    pub fn get(&self, f: usize) -> T {
+        self.views[f].read(self.i, self.j)
+    }
+}
+
+impl Out2<'_, f64> {
+    /// Accumulate into output dataset `f` at the current point.
+    #[inline]
+    pub fn add(&mut self, f: usize, v: f64) {
+        let cur = self.get(f);
+        self.set(f, cur + v);
+    }
+}
+
+/// Kernel accessor for the *input* datasets: relative stencil reads.
+pub struct In2<'a, T> {
+    views: &'a [RView2<'a, T>],
+    i: isize,
+    j: isize,
+}
+
+impl<T: Copy> In2<'_, T> {
+    /// Read input dataset `f` at offset `(di, dj)` from the current point.
+    #[inline]
+    pub fn get(&self, f: usize, di: isize, dj: isize) -> T {
+        self.views[f].read(self.i + di, self.j + dj)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2-D drivers
+// ---------------------------------------------------------------------------
+
+fn wviews2<T: Copy>(outs: &mut [&mut Dat2<T>]) -> Vec<WView2<T>> {
+    outs.iter_mut()
+        .map(|d| {
+            let (pitch, halo, _nx, _ny, len) = d.geometry();
+            WView2 { ptr: d.raw_mut().as_mut_ptr(), pitch, halo: halo as isize, len }
+        })
+        .collect()
+}
+
+fn rviews2<'a, T: Copy>(ins: &'a [&'a Dat2<T>]) -> Vec<RView2<'a, T>> {
+    ins.iter()
+        .map(|d| RView2 { data: d.raw(), pitch: d.pitch(), halo: d.halo() as isize })
+        .collect()
+}
+
+/// Execute a 2-D stencil loop.
+///
+/// * `outs` — datasets written at the current point (index into [`Out2`]);
+/// * `ins` — datasets read at arbitrary offsets within their halos;
+/// * `flops_per_point` — arithmetic per point, recorded for the roofline /
+///   effective-bandwidth accounting (Figure 8);
+/// * `kernel(i, j, out, ins)` — the per-point computation.
+pub fn par_loop2<T, F>(
+    profile: &mut Profile,
+    name: &str,
+    mode: ExecMode,
+    range: Range2,
+    outs: &mut [&mut Dat2<T>],
+    ins: &[&Dat2<T>],
+    flops_per_point: f64,
+    kernel: F,
+) where
+    T: Copy + Send + Sync,
+    F: Fn(isize, isize, &mut Out2<T>, &In2<T>) + Sync,
+{
+    let bytes_per_point =
+        (outs.len() + ins.len()) * std::mem::size_of::<T>();
+    let t0 = Instant::now();
+    if !range.is_empty() {
+        let w = wviews2(outs);
+        let r = rviews2(ins);
+        let body = |j: isize| {
+            for i in range.i0..range.i1 {
+                let mut out = Out2 { views: &w, i, j };
+                let inp = In2 { views: &r, i, j };
+                kernel(i, j, &mut out, &inp);
+            }
+        };
+        match mode {
+            ExecMode::Serial => (range.j0..range.j1).for_each(body),
+            ExecMode::Rayon => (range.j0..range.j1).into_par_iter().for_each(body),
+        }
+    }
+    profile.record(name, range.points(), range.points() * bytes_per_point, range.points() as f64 * flops_per_point, t0.elapsed().as_secs_f64());
+}
+
+/// Execute a 2-D reduction loop: the kernel maps each point to an `R`
+/// combined with `combine` (must be associative and commutative).
+pub fn par_loop2_reduce<T, R, F, C>(
+    profile: &mut Profile,
+    name: &str,
+    mode: ExecMode,
+    range: Range2,
+    ins: &[&Dat2<T>],
+    identity: R,
+    flops_per_point: f64,
+    kernel: F,
+    combine: C,
+) -> R
+where
+    T: Copy + Send + Sync,
+    R: Clone + Send + Sync,
+    F: Fn(isize, isize, &In2<T>) -> R + Sync,
+    C: Fn(R, R) -> R + Sync + Send,
+{
+    let bytes_per_point = ins.len() * std::mem::size_of::<T>();
+    let t0 = Instant::now();
+    let r = rviews2(ins);
+    let row = |j: isize| {
+        let mut acc = identity.clone();
+        for i in range.i0..range.i1 {
+            let inp = In2 { views: &r, i, j };
+            acc = combine(acc, kernel(i, j, &inp));
+        }
+        acc
+    };
+    let result = if range.is_empty() {
+        identity.clone()
+    } else {
+        match mode {
+            ExecMode::Serial => {
+                let mut acc = identity.clone();
+                for j in range.j0..range.j1 {
+                    acc = combine(acc, row(j));
+                }
+                acc
+            }
+            ExecMode::Rayon => (range.j0..range.j1)
+                .into_par_iter()
+                .map(row)
+                .reduce(|| identity.clone(), &combine),
+        }
+    };
+    profile.record(name, range.points(), range.points() * bytes_per_point, range.points() as f64 * flops_per_point, t0.elapsed().as_secs_f64());
+    result
+}
+
+// ---------------------------------------------------------------------------
+// 3-D drivers
+// ---------------------------------------------------------------------------
+
+/// Write view over one 3-D dataset; same safety discipline as [`WView2`].
+#[derive(Clone, Copy)]
+struct WView3<T> {
+    ptr: *mut T,
+    pitch: usize,
+    slab: usize,
+    halo: isize,
+    len: usize,
+}
+
+unsafe impl<T: Send> Send for WView3<T> {}
+unsafe impl<T: Send> Sync for WView3<T> {}
+
+impl<T: Copy> WView3<T> {
+    #[inline]
+    fn index(&self, i: isize, j: isize, k: isize) -> usize {
+        let ii = i + self.halo;
+        let jj = j + self.halo;
+        let kk = k + self.halo;
+        debug_assert!(ii >= 0 && jj >= 0 && kk >= 0);
+        let idx = kk as usize * self.slab + jj as usize * self.pitch + ii as usize;
+        assert!(idx < self.len, "write at ({i},{j},{k}) outside dataset storage");
+        idx
+    }
+
+    #[inline]
+    fn write(&self, i: isize, j: isize, k: isize, v: T) {
+        let idx = self.index(i, j, k);
+        // SAFETY: see WView2::write.
+        unsafe { *self.ptr.add(idx) = v }
+    }
+
+    #[inline]
+    fn read(&self, i: isize, j: isize, k: isize) -> T {
+        let idx = self.index(i, j, k);
+        // SAFETY: see WView2::read.
+        unsafe { *self.ptr.add(idx) }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct RView3<'a, T> {
+    data: &'a [T],
+    pitch: usize,
+    slab: usize,
+    halo: isize,
+}
+
+impl<T: Copy> RView3<'_, T> {
+    #[inline]
+    fn read(&self, i: isize, j: isize, k: isize) -> T {
+        let ii = i + self.halo;
+        let jj = j + self.halo;
+        let kk = k + self.halo;
+        debug_assert!(ii >= 0 && jj >= 0 && kk >= 0);
+        self.data[kk as usize * self.slab + jj as usize * self.pitch + ii as usize]
+    }
+}
+
+/// Output accessor at the current 3-D point.
+pub struct Out3<'a, T> {
+    views: &'a [WView3<T>],
+    i: isize,
+    j: isize,
+    k: isize,
+}
+
+impl<T: Copy> Out3<'_, T> {
+    #[inline]
+    pub fn set(&mut self, f: usize, v: T) {
+        self.views[f].write(self.i, self.j, self.k, v);
+    }
+
+    #[inline]
+    pub fn get(&self, f: usize) -> T {
+        self.views[f].read(self.i, self.j, self.k)
+    }
+}
+
+/// Input accessor: relative 3-D stencil reads.
+pub struct In3<'a, T> {
+    views: &'a [RView3<'a, T>],
+    i: isize,
+    j: isize,
+    k: isize,
+}
+
+impl<T: Copy> In3<'_, T> {
+    #[inline]
+    pub fn get(&self, f: usize, di: isize, dj: isize, dk: isize) -> T {
+        self.views[f].read(self.i + di, self.j + dj, self.k + dk)
+    }
+}
+
+fn wviews3<T: Copy>(outs: &mut [&mut Dat3<T>]) -> Vec<WView3<T>> {
+    outs.iter_mut()
+        .map(|d| {
+            let g = d.geometry();
+            WView3 {
+                ptr: d.raw_mut().as_mut_ptr(),
+                pitch: g.pitch,
+                slab: g.slab,
+                halo: g.halo as isize,
+                len: g.len,
+            }
+        })
+        .collect()
+}
+
+fn rviews3<'a, T: Copy>(ins: &'a [&'a Dat3<T>]) -> Vec<RView3<'a, T>> {
+    ins.iter()
+        .map(|d| RView3 { data: d.raw(), pitch: d.pitch(), slab: d.slab(), halo: d.halo() as isize })
+        .collect()
+}
+
+/// Execute a 3-D stencil loop (parallelized over `k` in Rayon mode).
+pub fn par_loop3<T, F>(
+    profile: &mut Profile,
+    name: &str,
+    mode: ExecMode,
+    range: Range3,
+    outs: &mut [&mut Dat3<T>],
+    ins: &[&Dat3<T>],
+    flops_per_point: f64,
+    kernel: F,
+) where
+    T: Copy + Send + Sync,
+    F: Fn(isize, isize, isize, &mut Out3<T>, &In3<T>) + Sync,
+{
+    let bytes_per_point = (outs.len() + ins.len()) * std::mem::size_of::<T>();
+    let t0 = Instant::now();
+    if !range.is_empty() {
+        let w = wviews3(outs);
+        let r = rviews3(ins);
+        let plane = |k: isize| {
+            for j in range.j0..range.j1 {
+                for i in range.i0..range.i1 {
+                    let mut out = Out3 { views: &w, i, j, k };
+                    let inp = In3 { views: &r, i, j, k };
+                    kernel(i, j, k, &mut out, &inp);
+                }
+            }
+        };
+        match mode {
+            ExecMode::Serial => (range.k0..range.k1).for_each(plane),
+            ExecMode::Rayon => (range.k0..range.k1).into_par_iter().for_each(plane),
+        }
+    }
+    profile.record(name, range.points(), range.points() * bytes_per_point, range.points() as f64 * flops_per_point, t0.elapsed().as_secs_f64());
+}
+
+/// 3-D reduction loop.
+#[allow(clippy::too_many_arguments)]
+pub fn par_loop3_reduce<T, R, F, C>(
+    profile: &mut Profile,
+    name: &str,
+    mode: ExecMode,
+    range: Range3,
+    ins: &[&Dat3<T>],
+    identity: R,
+    flops_per_point: f64,
+    kernel: F,
+    combine: C,
+) -> R
+where
+    T: Copy + Send + Sync,
+    R: Clone + Send + Sync,
+    F: Fn(isize, isize, isize, &In3<T>) -> R + Sync,
+    C: Fn(R, R) -> R + Sync + Send,
+{
+    let bytes_per_point = ins.len() * std::mem::size_of::<T>();
+    let t0 = Instant::now();
+    let r = rviews3(ins);
+    let plane = |k: isize| {
+        let mut acc = identity.clone();
+        for j in range.j0..range.j1 {
+            for i in range.i0..range.i1 {
+                let inp = In3 { views: &r, i, j, k };
+                acc = combine(acc, kernel(i, j, k, &inp));
+            }
+        }
+        acc
+    };
+    let result = if range.is_empty() {
+        identity.clone()
+    } else {
+        match mode {
+            ExecMode::Serial => {
+                let mut acc = identity.clone();
+                for k in range.k0..range.k1 {
+                    acc = combine(acc, plane(k));
+                }
+                acc
+            }
+            ExecMode::Rayon => (range.k0..range.k1)
+                .into_par_iter()
+                .map(plane)
+                .reduce(|| identity.clone(), &combine),
+        }
+    };
+    profile.record(name, range.points(), range.points() * bytes_per_point, range.points() as f64 * flops_per_point, t0.elapsed().as_secs_f64());
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range2_points_and_empty() {
+        assert_eq!(Range2::new(0, 4, 0, 3).points(), 12);
+        assert!(Range2::new(4, 4, 0, 3).is_empty());
+        assert!(Range2::new(5, 4, 0, 3).is_empty());
+    }
+
+    #[test]
+    fn range2_intersect_and_grow() {
+        let a = Range2::new(0, 10, 0, 10);
+        let b = Range2::new(5, 15, -5, 5);
+        assert_eq!(a.intersect(&b), Range2::new(5, 10, 0, 5));
+        assert_eq!(a.grow(2), Range2::new(-2, 12, -2, 12));
+    }
+
+    #[test]
+    fn range3_points() {
+        assert_eq!(Range3::new(0, 2, 0, 3, 0, 4).points(), 24);
+        assert!(Range3::new(0, 2, 3, 3, 0, 4).is_empty());
+    }
+
+    #[test]
+    fn copy_loop_serial_and_rayon_agree() {
+        let run = |mode: ExecMode| {
+            let mut prof = Profile::new();
+            let mut src = Dat2::<f64>::new("src", 33, 17, 1);
+            let mut dst = Dat2::<f64>::new("dst", 33, 17, 1);
+            src.init_with(|i, j| (i * 100 + j) as f64);
+            par_loop2(
+                &mut prof,
+                "copy",
+                mode,
+                Range2::interior(33, 17),
+                &mut [&mut dst],
+                &[&src],
+                0.0,
+                |_i, _j, out, ins| out.set(0, ins.get(0, 0, 0)),
+            );
+            dst
+        };
+        let a = run(ExecMode::Serial);
+        let b = run(ExecMode::Rayon);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        assert_eq!(a.get(32, 16), 3216.0);
+    }
+
+    #[test]
+    fn stencil_reads_reach_into_halo() {
+        let mut prof = Profile::new();
+        let mut src = Dat2::<f64>::new("src", 4, 4, 1);
+        let mut dst = Dat2::<f64>::new("dst", 4, 4, 1);
+        src.fill_all(1.0);
+        par_loop2(
+            &mut prof,
+            "lap",
+            ExecMode::Serial,
+            Range2::interior(4, 4),
+            &mut [&mut dst],
+            &[&src],
+            4.0,
+            |_i, _j, out, ins| {
+                out.set(
+                    0,
+                    ins.get(0, -1, 0) + ins.get(0, 1, 0) + ins.get(0, 0, -1) + ins.get(0, 0, 1),
+                );
+            },
+        );
+        assert_eq!(dst.get(0, 0), 4.0); // halo values participated
+    }
+
+    #[test]
+    fn multiple_outputs_written_independently() {
+        let mut prof = Profile::new();
+        let mut a = Dat2::<f64>::new("a", 8, 8, 0);
+        let mut b = Dat2::<f64>::new("b", 8, 8, 0);
+        let src = Dat2::<f64>::new("s", 8, 8, 0);
+        par_loop2(
+            &mut prof,
+            "two",
+            ExecMode::Rayon,
+            Range2::interior(8, 8),
+            &mut [&mut a, &mut b],
+            &[&src],
+            0.0,
+            |i, j, out, _ins| {
+                out.set(0, i as f64);
+                out.set(1, j as f64);
+            },
+        );
+        assert_eq!(a.get(5, 2), 5.0);
+        assert_eq!(b.get(5, 2), 2.0);
+    }
+
+    #[test]
+    fn read_modify_write_via_out_get() {
+        let mut prof = Profile::new();
+        let mut a = Dat2::<f64>::new("a", 4, 4, 0);
+        a.fill_interior(10.0);
+        par_loop2(
+            &mut prof,
+            "rmw",
+            ExecMode::Serial,
+            Range2::interior(4, 4),
+            &mut [&mut a],
+            &[],
+            1.0,
+            |_i, _j, out, _ins| {
+                let v = out.get(0);
+                out.set(0, v + 1.0);
+            },
+        );
+        assert_eq!(a.get(0, 0), 11.0);
+    }
+
+    #[test]
+    fn profile_records_bytes_and_flops() {
+        let mut prof = Profile::new();
+        let mut dst = Dat2::<f64>::new("dst", 10, 10, 0);
+        let src = Dat2::<f64>::new("src", 10, 10, 0);
+        par_loop2(
+            &mut prof,
+            "k",
+            ExecMode::Serial,
+            Range2::interior(10, 10),
+            &mut [&mut dst],
+            &[&src],
+            3.0,
+            |_i, _j, out, ins| out.set(0, ins.get(0, 0, 0)),
+        );
+        let rec = &prof.records()[0];
+        assert_eq!(rec.points, 100);
+        assert_eq!(rec.bytes, 100 * 16); // 1 read + 1 write × 8 B
+        assert_eq!(rec.flops, 300.0);
+        assert!(rec.seconds >= 0.0);
+    }
+
+    #[test]
+    fn reduce_sum_matches_direct() {
+        let mut prof = Profile::new();
+        let mut src = Dat2::<f64>::new("src", 20, 20, 0);
+        src.init_with(|i, j| (i + j) as f64);
+        let expect = src.interior_sum();
+        for mode in [ExecMode::Serial, ExecMode::Rayon] {
+            let s = par_loop2_reduce(
+                &mut prof,
+                "sum",
+                mode,
+                Range2::interior(20, 20),
+                &[&src],
+                0.0,
+                1.0,
+                |_i, _j, ins| ins.get(0, 0, 0),
+                |a, b| a + b,
+            );
+            assert!((s - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reduce_min_over_subrange() {
+        let mut prof = Profile::new();
+        let mut src = Dat2::<f64>::new("src", 10, 10, 0);
+        src.init_with(|i, j| (i * 10 + j) as f64);
+        let m = par_loop2_reduce(
+            &mut prof,
+            "min",
+            ExecMode::Rayon,
+            Range2::new(2, 8, 3, 7),
+            &[&src],
+            f64::INFINITY,
+            0.0,
+            |_i, _j, ins| ins.get(0, 0, 0),
+            f64::min,
+        );
+        assert_eq!(m, 23.0);
+    }
+
+    #[test]
+    fn empty_range_is_noop_but_recorded() {
+        let mut prof = Profile::new();
+        let mut dst = Dat2::<f64>::new("dst", 4, 4, 0);
+        par_loop2(
+            &mut prof,
+            "noop",
+            ExecMode::Serial,
+            Range2::new(2, 2, 0, 4),
+            &mut [&mut dst],
+            &[],
+            1.0,
+            |_i, _j, out, _ins| out.set(0, 99.0),
+        );
+        assert_eq!(dst.interior_sum(), 0.0);
+        assert_eq!(prof.records()[0].points, 0);
+    }
+
+    #[test]
+    fn loop3_seven_point_stencil_serial_equals_rayon() {
+        let run = |mode: ExecMode| {
+            let mut prof = Profile::new();
+            let mut src = Dat3::<f64>::new("src", 12, 10, 8, 1);
+            let mut dst = Dat3::<f64>::new("dst", 12, 10, 8, 1);
+            src.init_with(|i, j, k| (i + 2 * j + 3 * k) as f64);
+            par_loop3(
+                &mut prof,
+                "lap3",
+                mode,
+                Range3::interior(12, 10, 8),
+                &mut [&mut dst],
+                &[&src],
+                7.0,
+                |_i, _j, _k, out, ins| {
+                    out.set(
+                        0,
+                        ins.get(0, -1, 0, 0)
+                            + ins.get(0, 1, 0, 0)
+                            + ins.get(0, 0, -1, 0)
+                            + ins.get(0, 0, 1, 0)
+                            + ins.get(0, 0, 0, -1)
+                            + ins.get(0, 0, 0, 1)
+                            - 6.0 * ins.get(0, 0, 0, 0),
+                    );
+                },
+            );
+            dst
+        };
+        let a = run(ExecMode::Serial);
+        let b = run(ExecMode::Rayon);
+        for k in 0..8 {
+            for j in 0..10 {
+                for i in 0..12 {
+                    assert_eq!(a.get(i, j, k), b.get(i, j, k));
+                }
+            }
+        }
+        // Interior of a linear field: Laplacian = 0.
+        assert_eq!(a.get(5, 5, 4), 0.0);
+    }
+
+    #[test]
+    fn reduce3_counts_points() {
+        let mut prof = Profile::new();
+        let src = Dat3::<f64>::new("src", 5, 6, 7, 0);
+        let n = par_loop3_reduce(
+            &mut prof,
+            "count",
+            ExecMode::Rayon,
+            Range3::interior(5, 6, 7),
+            &[&src],
+            0u64,
+            0.0,
+            |_i, _j, _k, _ins| 1u64,
+            |a, b| a + b,
+        );
+        assert_eq!(n, 210);
+    }
+}

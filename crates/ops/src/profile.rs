@@ -1,0 +1,208 @@
+//! Per-loop performance accounting — the instrument behind Figure 8.
+//!
+//! OPS computes the *achieved effective bandwidth* of every kernel by
+//! "measuring the execution time of the kernel (excluding MPI
+//! communications), and estimating the effective data movement, based on the
+//! iteration ranges, datasets accessed, and types of access" (§6). The loop
+//! drivers in [`crate::exec`] feed exactly those estimates into a
+//! [`Profile`].
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Accumulated statistics for one named loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoopRecord {
+    pub name: String,
+    /// Invocations.
+    pub calls: u64,
+    /// Total iteration points across calls.
+    pub points: usize,
+    /// Estimated useful bytes moved (one transfer per dataset per point).
+    pub bytes: usize,
+    /// Floating-point operations.
+    pub flops: f64,
+    /// Wall-clock seconds in the loop body (excluding communication).
+    pub seconds: f64,
+}
+
+impl LoopRecord {
+    /// Effective bandwidth in GB/s.
+    pub fn effective_gbs(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            return 0.0;
+        }
+        self.bytes as f64 / self.seconds / 1e9
+    }
+
+    /// Achieved GFLOP/s.
+    pub fn gflops(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            return 0.0;
+        }
+        self.flops / self.seconds / 1e9
+    }
+
+    /// Arithmetic intensity, FLOP per byte.
+    pub fn intensity(&self) -> f64 {
+        if self.bytes == 0 {
+            return 0.0;
+        }
+        self.flops / self.bytes as f64
+    }
+}
+
+/// A run's complete loop profile, keyed by loop name (insertion-stable via
+/// ordered map for reproducible reports).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    loops: BTreeMap<String, LoopRecord>,
+}
+
+impl Profile {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one invocation (called by the loop drivers).
+    pub fn record(&mut self, name: &str, points: usize, bytes: usize, flops: f64, seconds: f64) {
+        let e = self.loops.entry(name.to_owned()).or_insert_with(|| LoopRecord {
+            name: name.to_owned(),
+            calls: 0,
+            points: 0,
+            bytes: 0,
+            flops: 0.0,
+            seconds: 0.0,
+        });
+        e.calls += 1;
+        e.points += points;
+        e.bytes += bytes;
+        e.flops += flops;
+        e.seconds += seconds;
+    }
+
+    /// All records, name-ordered.
+    pub fn records(&self) -> Vec<&LoopRecord> {
+        self.loops.values().collect()
+    }
+
+    pub fn get(&self, name: &str) -> Option<&LoopRecord> {
+        self.loops.get(name)
+    }
+
+    /// Total useful bytes across all loops.
+    pub fn total_bytes(&self) -> usize {
+        self.loops.values().map(|r| r.bytes).sum()
+    }
+
+    /// Total FLOPs across all loops.
+    pub fn total_flops(&self) -> f64 {
+        self.loops.values().map(|r| r.flops).sum()
+    }
+
+    /// Total loop-body seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.loops.values().map(|r| r.seconds).sum()
+    }
+
+    /// Whole-application effective bandwidth, GB/s (Figure 8's quantity).
+    pub fn effective_gbs(&self) -> f64 {
+        let t = self.total_seconds();
+        if t <= 0.0 {
+            return 0.0;
+        }
+        self.total_bytes() as f64 / t / 1e9
+    }
+
+    /// Whole-application arithmetic intensity.
+    pub fn intensity(&self) -> f64 {
+        let b = self.total_bytes();
+        if b == 0 {
+            return 0.0;
+        }
+        self.total_flops() / b as f64
+    }
+
+    /// Merge another profile (e.g. from another rank) into this one.
+    pub fn merge(&mut self, other: &Profile) {
+        for r in other.loops.values() {
+            self.record(&r.name, r.points, r.bytes, r.flops, r.seconds);
+            // calls were incremented by 1 in record(); fix up to true count
+            if let Some(e) = self.loops.get_mut(&r.name) {
+                e.calls += r.calls - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_by_name() {
+        let mut p = Profile::new();
+        p.record("a", 10, 100, 50.0, 0.5);
+        p.record("a", 10, 100, 50.0, 0.5);
+        p.record("b", 1, 8, 0.0, 0.1);
+        assert_eq!(p.records().len(), 2);
+        let a = p.get("a").unwrap();
+        assert_eq!(a.calls, 2);
+        assert_eq!(a.points, 20);
+        assert_eq!(a.bytes, 200);
+        assert_eq!(a.flops, 100.0);
+    }
+
+    #[test]
+    fn effective_bandwidth_math() {
+        let mut p = Profile::new();
+        p.record("x", 1, 2_000_000_000, 0.0, 1.0);
+        assert!((p.effective_gbs() - 2.0).abs() < 1e-12);
+        let r = p.get("x").unwrap();
+        assert!((r.effective_gbs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gflops_and_intensity() {
+        let mut p = Profile::new();
+        p.record("x", 1, 1_000_000, 10_000_000.0, 0.01);
+        let r = p.get("x").unwrap();
+        assert!((r.gflops() - 1.0).abs() < 1e-12);
+        assert!((r.intensity() - 10.0).abs() < 1e-12);
+        assert!((p.intensity() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_time_is_safe() {
+        let mut p = Profile::new();
+        p.record("x", 0, 0, 0.0, 0.0);
+        assert_eq!(p.effective_gbs(), 0.0);
+        assert_eq!(p.get("x").unwrap().gflops(), 0.0);
+        assert_eq!(p.intensity(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_ranks() {
+        let mut a = Profile::new();
+        a.record("k", 5, 50, 10.0, 0.2);
+        let mut b = Profile::new();
+        b.record("k", 5, 50, 10.0, 0.3);
+        b.record("k", 5, 50, 10.0, 0.3);
+        b.record("other", 1, 1, 1.0, 0.1);
+        a.merge(&b);
+        let k = a.get("k").unwrap();
+        assert_eq!(k.calls, 3);
+        assert_eq!(k.points, 15);
+        assert!((k.seconds - 0.8).abs() < 1e-12);
+        assert!(a.get("other").is_some());
+    }
+
+    #[test]
+    fn records_are_name_ordered() {
+        let mut p = Profile::new();
+        p.record("zeta", 1, 1, 0.0, 0.0);
+        p.record("alpha", 1, 1, 0.0, 0.0);
+        let names: Vec<_> = p.records().iter().map(|r| r.name.clone()).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+}

@@ -1,0 +1,392 @@
+//! Cache-blocking tiling over loop chains (Figure 9).
+//!
+//! OPS's lazy-execution tiling ([Reguly et al. 2017]) delays the execution
+//! of a chain of parallel loops, then re-orders it tile-by-tile so that the
+//! data produced by one loop is consumed by the next while still resident in
+//! cache. Across tile boundaries a loop must be executed over a range
+//! *extended* by the downstream stencils' reach (skewing), recomputing a few
+//! rows redundantly — the same trade OPS makes at MPI boundaries.
+//!
+//! Our implementation is a faithful 1-D (outer-dimension) version of that
+//! scheme: a [`LoopChain2`] records loops (ranges, stencil reach, kernels
+//! over a field store), and executes them either loop-by-loop (untiled) or
+//! tile-by-tile with skew. The contract for correctness under redundant
+//! recomputation is the OPS one: each loop reads only fields produced by
+//! *earlier* loops (or chain inputs) and writes only at the current point —
+//! no in-place stencil updates.
+//!
+//! [Reguly et al. 2017]: https://doi.org/10.1109/TPDS.2017.2778161
+
+use crate::exec::{par_loop2, ExecMode, In2, Out2, Range2};
+use crate::field::Dat2;
+use crate::profile::Profile;
+
+/// Kernel signature for chained loops.
+pub type ChainKernel2<T> = Box<dyn Fn(isize, isize, &mut Out2<T>, &In2<T>) + Sync + Send>;
+
+/// One recorded loop of a chain.
+pub struct ChainLoop2<T> {
+    pub name: String,
+    pub range: Range2,
+    /// Maximum absolute read offset (stencil radius) of this loop's inputs.
+    pub reach: isize,
+    pub flops_per_point: f64,
+    /// Indices into the field store written at the current point.
+    pub outs: Vec<usize>,
+    /// Indices into the field store read at offsets within `reach`.
+    pub ins: Vec<usize>,
+    pub kernel: ChainKernel2<T>,
+}
+
+/// A lazy chain of 2-D loops over a shared field store.
+pub struct LoopChain2<T> {
+    mode: ExecMode,
+    loops: Vec<ChainLoop2<T>>,
+}
+
+impl<T: Copy + Default + Send + Sync + 'static> LoopChain2<T> {
+    pub fn new(mode: ExecMode) -> Self {
+        LoopChain2 { mode, loops: Vec::new() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+
+    /// Record a loop. `reach` is the stencil radius of its reads; `outs` and
+    /// `ins` index into the field store passed to `execute*`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add<F>(
+        &mut self,
+        name: &str,
+        range: Range2,
+        reach: isize,
+        flops_per_point: f64,
+        outs: Vec<usize>,
+        ins: Vec<usize>,
+        kernel: F,
+    ) where
+        F: Fn(isize, isize, &mut Out2<T>, &In2<T>) + Sync + Send + 'static,
+    {
+        assert!(reach >= 0);
+        assert!(
+            outs.iter().all(|o| !ins.contains(o)),
+            "loop '{name}': a field cannot be both input and output (no in-place stencils)"
+        );
+        self.loops.push(ChainLoop2 {
+            name: name.to_owned(),
+            range,
+            reach,
+            flops_per_point,
+            outs,
+            ins,
+            kernel: Box::new(kernel),
+        });
+    }
+
+    fn run_one(
+        &self,
+        l: &ChainLoop2<T>,
+        sub: Range2,
+        store: &mut [Dat2<T>],
+        profile: &mut Profile,
+    ) {
+        if sub.is_empty() {
+            return;
+        }
+        // Move the output fields out of the store so we can borrow the rest
+        // immutably (a loop never lists the same field as in and out).
+        let mut taken: Vec<(usize, Dat2<T>)> = l
+            .outs
+            .iter()
+            .map(|&id| (id, std::mem::replace(&mut store[id], Dat2::new("_taken", 1, 1, 0))))
+            .collect();
+        {
+            let mut out_refs: Vec<&mut Dat2<T>> =
+                taken.iter_mut().map(|(_, d)| d).collect();
+            let in_refs: Vec<&Dat2<T>> = l.ins.iter().map(|&id| &store[id]).collect();
+            let k = &l.kernel;
+            par_loop2(
+                profile,
+                &l.name,
+                self.mode,
+                sub,
+                &mut out_refs,
+                &in_refs,
+                l.flops_per_point,
+                |i, j, o, inp| k(i, j, o, inp),
+            );
+        }
+        for (id, d) in taken {
+            store[id] = d;
+        }
+    }
+
+    /// Execute the chain loop-by-loop over full ranges (the baseline).
+    pub fn execute(&self, store: &mut [Dat2<T>], profile: &mut Profile) {
+        for l in &self.loops {
+            self.run_one(l, l.range, store, profile);
+        }
+    }
+
+    /// Skew extension of loop `l`: how far beyond the tile its range must
+    /// extend so every downstream loop's reads are satisfied.
+    fn extension(&self, l: usize) -> isize {
+        self.loops[l + 1..].iter().map(|x| x.reach).sum()
+    }
+
+    /// Execute the chain tile-by-tile over the outer (`j`) dimension with
+    /// tiles of `tile_height` rows, redundantly recomputing skew regions at
+    /// tile boundaries. Produces results identical to [`Self::execute`].
+    pub fn execute_tiled(&self, store: &mut [Dat2<T>], profile: &mut Profile, tile_height: usize) {
+        assert!(tile_height > 0);
+        if self.loops.is_empty() {
+            return;
+        }
+        let j_min = self.loops.iter().map(|l| l.range.j0).min().unwrap();
+        let j_max = self.loops.iter().map(|l| l.range.j1).max().unwrap();
+        let th = tile_height as isize;
+
+        let mut t0 = j_min;
+        while t0 < j_max {
+            let t1 = (t0 + th).min(j_max);
+            for (idx, l) in self.loops.iter().enumerate() {
+                let ext = self.extension(idx);
+                // Tile slab for this loop: the tile extended by the skew,
+                // but never beyond what earlier tiles already produced.
+                // Rows below t0-ext were computed by earlier tiles (their
+                // extended ranges covered them), so recomputing them is
+                // merely redundant, not wrong — we recompute only the skew
+                // band [t0-ext, t1+ext) ∩ range, clipped at the global top.
+                let slab = Range2 {
+                    i0: l.range.i0,
+                    i1: l.range.i1,
+                    j0: (t0 - ext).max(l.range.j0),
+                    j1: (t1 + ext).min(l.range.j1),
+                };
+                // Skip rows already finalized by previous tiles for this
+                // loop: everything below t0 - ext is final. (Rows in
+                // [t0-ext, t0) are recomputed — the redundant-compute cost
+                // the paper describes.)
+                self.run_one(l, slab, store, profile);
+            }
+            t0 = t1;
+        }
+    }
+
+    /// Count of points executed (including redundant recomputation) for a
+    /// tiled execution with the given tile height — lets tests and the
+    /// perfmodel quantify the redundant-compute overhead.
+    pub fn tiled_point_count(&self, tile_height: usize) -> usize {
+        if self.loops.is_empty() {
+            return 0;
+        }
+        let j_min = self.loops.iter().map(|l| l.range.j0).min().unwrap();
+        let j_max = self.loops.iter().map(|l| l.range.j1).max().unwrap();
+        let th = tile_height as isize;
+        let mut total = 0usize;
+        let mut t0 = j_min;
+        while t0 < j_max {
+            let t1 = (t0 + th).min(j_max);
+            for (idx, l) in self.loops.iter().enumerate() {
+                let ext = self.extension(idx);
+                let slab = Range2 {
+                    i0: l.range.i0,
+                    i1: l.range.i1,
+                    j0: (t0 - ext).max(l.range.j0),
+                    j1: (t1 + ext).min(l.range.j1),
+                };
+                total += slab.points();
+            }
+            t0 = t1;
+        }
+        total
+    }
+
+    /// Points executed untiled (the useful work).
+    pub fn untiled_point_count(&self) -> usize {
+        self.loops.iter().map(|l| l.range.points()).sum()
+    }
+
+    /// Approximate per-tile working set in bytes: the fields touched by the
+    /// chain restricted to one tile slab (plus skew). Used to choose tile
+    /// heights that fit the last-level cache, as OPS's tiling planner does.
+    pub fn tile_working_set_bytes(&self, store: &[Dat2<T>], tile_height: usize) -> usize {
+        let mut fields: Vec<usize> = self
+            .loops
+            .iter()
+            .flat_map(|l| l.outs.iter().chain(l.ins.iter()).copied())
+            .collect();
+        fields.sort_unstable();
+        fields.dedup();
+        let max_ext: isize = self.loops.iter().map(|l| l.reach).sum();
+        fields
+            .iter()
+            .map(|&id| {
+                let d = &store[id];
+                let rows = tile_height + 2 * max_ext.unsigned_abs();
+                d.pitch() * rows.min(d.ny() + 2 * d.halo()) * std::mem::size_of::<T>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a 3-loop smoothing chain: A --blur--> B --blur--> C --blur--> D
+    fn chain_and_store(n: usize) -> (LoopChain2<f64>, Vec<Dat2<f64>>) {
+        let mut store: Vec<Dat2<f64>> = (0..4)
+            .map(|f| {
+                let mut d = Dat2::new(&format!("f{f}"), n, n, 3);
+                if f == 0 {
+                    d.init_with(|i, j| ((i * 7 + j * 13) % 17) as f64);
+                }
+                d
+            })
+            .collect();
+        // Fill halos of the source deterministically (physical BC stand-in).
+        let h = 3isize;
+        let nn = n as isize;
+        for f in 0..1 {
+            let src = &mut store[f];
+            for j in -h..nn + h {
+                for i in -h..nn + h {
+                    if i < 0 || i >= nn || j < 0 || j >= nn {
+                        src.set(i, j, 0.5);
+                    }
+                }
+            }
+        }
+        let mut chain = LoopChain2::new(ExecMode::Serial);
+        for l in 0..3usize {
+            chain.add(
+                &format!("blur{l}"),
+                Range2::interior(n, n),
+                1,
+                4.0,
+                vec![l + 1],
+                vec![l],
+                |_i, _j, out, ins| {
+                    out.set(
+                        0,
+                        0.25 * (ins.get(0, -1, 0)
+                            + ins.get(0, 1, 0)
+                            + ins.get(0, 0, -1)
+                            + ins.get(0, 0, 1)),
+                    );
+                },
+            );
+        }
+        (chain, store)
+    }
+
+    // NOTE: the blur chain reads halos of intermediate fields at tile
+    // edges; those are produced by the skewed extension, so only interior
+    // rows within reach are consumed — matching the contract.
+
+    #[test]
+    fn tiled_equals_untiled() {
+        for tile in [2usize, 3, 5, 8, 64] {
+            let n = 24;
+            let (chain, mut s1) = chain_and_store(n);
+            let (chain2, mut s2) = chain_and_store(n);
+            let mut p = Profile::new();
+            chain.execute(&mut s1, &mut p);
+            chain2.execute_tiled(&mut s2, &mut p, tile);
+            let d = s1[3].max_abs_diff(&s2[3]);
+            assert!(d < 1e-14, "tile={tile}: tiled result differs by {d}");
+        }
+    }
+
+    #[test]
+    fn redundant_compute_overhead_decreases_with_tile_height() {
+        let (chain, _s) = chain_and_store(64);
+        let useful = chain.untiled_point_count();
+        let small = chain.tiled_point_count(4);
+        let large = chain.tiled_point_count(32);
+        assert!(small > large, "smaller tiles → more redundancy");
+        assert!(large >= useful);
+        // With tile = full height, overhead vanishes.
+        assert_eq!(chain.tiled_point_count(64), useful);
+    }
+
+    #[test]
+    fn extension_accumulates_downstream_reach() {
+        let (chain, _s) = chain_and_store(16);
+        assert_eq!(chain.extension(0), 2); // two downstream blurs of reach 1
+        assert_eq!(chain.extension(1), 1);
+        assert_eq!(chain.extension(2), 0);
+    }
+
+    #[test]
+    fn working_set_scales_with_tile_height() {
+        let (chain, s) = chain_and_store(64);
+        let w4 = chain.tile_working_set_bytes(&s, 4);
+        let w32 = chain.tile_working_set_bytes(&s, 32);
+        assert!(w32 > w4);
+    }
+
+    #[test]
+    #[should_panic(expected = "in-place")]
+    fn in_place_stencil_rejected() {
+        let mut chain = LoopChain2::<f64>::new(ExecMode::Serial);
+        chain.add(
+            "bad",
+            Range2::interior(4, 4),
+            1,
+            0.0,
+            vec![0],
+            vec![0],
+            |_i, _j, _o, _ins| {},
+        );
+    }
+
+    #[test]
+    fn empty_chain_executes() {
+        let chain = LoopChain2::<f64>::new(ExecMode::Serial);
+        let mut store: Vec<Dat2<f64>> = vec![];
+        let mut p = Profile::new();
+        chain.execute_tiled(&mut store, &mut p, 8);
+        assert_eq!(chain.untiled_point_count(), 0);
+    }
+
+    #[test]
+    fn rayon_tiled_matches_serial_tiled() {
+        let n = 24;
+        let (_, mut s1) = chain_and_store(n);
+        let (_, mut s2) = chain_and_store(n);
+        let build = |mode: ExecMode| {
+            let mut chain = LoopChain2::new(mode);
+            for l in 0..3usize {
+                chain.add(
+                    &format!("blur{l}"),
+                    Range2::interior(n, n),
+                    1,
+                    4.0,
+                    vec![l + 1],
+                    vec![l],
+                    |_i, _j, out, ins| {
+                        out.set(
+                            0,
+                            0.25 * (ins.get(0, -1, 0)
+                                + ins.get(0, 1, 0)
+                                + ins.get(0, 0, -1)
+                                + ins.get(0, 0, 1)),
+                        );
+                    },
+                );
+            }
+            chain
+        };
+        let mut p = Profile::new();
+        build(ExecMode::Serial).execute_tiled(&mut s1, &mut p, 6);
+        build(ExecMode::Rayon).execute_tiled(&mut s2, &mut p, 6);
+        assert_eq!(s1[3].max_abs_diff(&s2[3]), 0.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Horizontal ASCII bar charts — the rendering for the paper's bar figures.
+
+/// A labelled horizontal bar chart.
+#[derive(Debug, Clone, Default)]
+pub struct BarChart {
+    title: String,
+    entries: Vec<(String, f64, String)>,
+    width: usize,
+}
+
+impl BarChart {
+    pub fn new(title: &str) -> Self {
+        BarChart { title: title.to_owned(), entries: Vec::new(), width: 50 }
+    }
+
+    /// Set the maximum bar width in characters (default 50).
+    pub fn width(mut self, w: usize) -> Self {
+        assert!(w >= 5);
+        self.width = w;
+        self
+    }
+
+    /// Add a bar with a value label suffix (e.g. "296 GB/s").
+    pub fn bar(&mut self, label: &str, value: f64, suffix: &str) -> &mut Self {
+        assert!(value.is_finite() && value >= 0.0, "bar value must be finite non-negative");
+        self.entries.push((label.to_owned(), value, suffix.to_owned()));
+        self
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn render(&self) -> String {
+        let max = self.entries.iter().map(|e| e.1).fold(0.0f64, f64::max);
+        let lwidth = self.entries.iter().map(|e| e.0.len()).max().unwrap_or(0);
+        let mut out = format!("{}\n", self.title);
+        for (label, value, suffix) in &self.entries {
+            let n = if max > 0.0 {
+                ((value / max) * self.width as f64).round() as usize
+            } else {
+                0
+            };
+            out.push_str(&format!(
+                "  {:<lw$} |{:<bw$}| {}\n",
+                label,
+                "█".repeat(n),
+                suffix,
+                lw = lwidth,
+                bw = self.width
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longest_bar_fills_width() {
+        let mut c = BarChart::new("t").width(10);
+        c.bar("a", 5.0, "5");
+        c.bar("b", 10.0, "10");
+        let s = c.render();
+        let b_line = s.lines().find(|l| l.trim_start().starts_with("b")).unwrap();
+        assert_eq!(b_line.matches('█').count(), 10);
+        let a_line = s.lines().find(|l| l.trim_start().starts_with("a")).unwrap();
+        assert_eq!(a_line.matches('█').count(), 5);
+    }
+
+    #[test]
+    fn zero_values_render() {
+        let mut c = BarChart::new("t");
+        c.bar("z", 0.0, "0");
+        assert!(c.render().contains('z'));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        BarChart::new("t").bar("x", f64::NAN, "");
+    }
+}

@@ -1,0 +1,95 @@
+//! Minimal CSV writing (no external dependency; RFC-4180 quoting for the
+//! values we emit).
+
+use std::io::Write;
+use std::path::Path;
+
+/// Buffered CSV writer.
+pub struct CsvWriter {
+    out: Vec<u8>,
+    columns: usize,
+}
+
+fn quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+impl CsvWriter {
+    pub fn new(header: &[&str]) -> Self {
+        let mut w = CsvWriter { out: Vec::new(), columns: header.len() };
+        w.write_row_internal(header.iter().map(|s| s.to_string()).collect());
+        w
+    }
+
+    fn write_row_internal(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns, "CSV row arity");
+        let line: Vec<String> = cells.iter().map(|c| quote(c)).collect();
+        self.out.extend_from_slice(line.join(",").as_bytes());
+        self.out.push(b'\n');
+    }
+
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        self.write_row_internal(cells.to_vec());
+        self
+    }
+
+    pub fn row_strs(&mut self, cells: &[&str]) -> &mut Self {
+        self.write_row_internal(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// The CSV content as a string.
+    pub fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.out).expect("CSV content is UTF-8")
+    }
+
+    /// Write to a file, creating parent directories.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&self.out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_header_and_rows() {
+        let mut w = CsvWriter::new(&["a", "b"]);
+        w.row_strs(&["1", "2"]);
+        assert_eq!(w.as_str(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn quotes_fields_with_commas_and_quotes() {
+        let mut w = CsvWriter::new(&["x"]);
+        w.row_strs(&["hello, \"world\""]);
+        assert_eq!(w.as_str(), "x\n\"hello, \"\"world\"\"\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn rejects_wrong_arity() {
+        CsvWriter::new(&["a", "b"]).row_strs(&["1"]);
+    }
+
+    #[test]
+    fn save_creates_directories() {
+        let dir = std::env::temp_dir().join("bwb_csv_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("sub/out.csv");
+        let mut w = CsvWriter::new(&["v"]);
+        w.row_strs(&["1"]);
+        w.save(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "v\n1\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,13 @@
+//! # bwb-report — text rendering for figure reproductions
+//!
+//! The paper's figures are bar charts and matrices; this crate renders the
+//! equivalent data as aligned ASCII tables, horizontal bar charts, and CSV
+//! files (written under `target/figures/` by the bench binaries).
+
+pub mod bars;
+pub mod csv;
+pub mod table;
+
+pub use bars::BarChart;
+pub use csv::CsvWriter;
+pub use table::Table;

@@ -1,0 +1,178 @@
+//! Per-rank mailboxes: the transport under point-to-point messaging.
+//!
+//! Each rank owns one [`Mailbox`] guarded by a `parking_lot` mutex +
+//! condvar. Senders push [`Envelope`]s (eager/buffered semantics — a send
+//! never blocks); receivers scan for the first envelope matching
+//! `(source, tag)` and park on the condvar when none is present. Matching
+//! preserves FIFO order per (source, tag) pair, as MPI requires
+//! ("non-overtaking" rule).
+
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// A buffered in-flight message.
+pub struct Envelope {
+    pub source: usize,
+    pub tag: u32,
+    /// The payload, type-erased (`Vec<T>` boxed as `Any`).
+    pub data: Box<dyn Any + Send>,
+    /// Payload size in bytes (recorded at send time for statistics).
+    pub bytes: usize,
+}
+
+/// Match criteria for a receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pattern {
+    /// `None` = MPI_ANY_SOURCE.
+    pub source: Option<usize>,
+    pub tag: u32,
+}
+
+impl Pattern {
+    fn matches(&self, e: &Envelope) -> bool {
+        self.tag == e.tag && self.source.is_none_or(|s| s == e.source)
+    }
+}
+
+#[derive(Default)]
+struct Queue {
+    envelopes: VecDeque<Envelope>,
+}
+
+/// One rank's incoming-message buffer.
+#[derive(Default)]
+pub struct Mailbox {
+    queue: Mutex<Queue>,
+    available: Condvar,
+}
+
+impl Mailbox {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deliver an envelope (called by the *sender*). Never blocks.
+    pub fn deliver(&self, env: Envelope) {
+        let mut q = self.queue.lock();
+        q.envelopes.push_back(env);
+        // More than one receiver thread never waits on one rank's mailbox in
+        // correct programs, but notify_all is robust against probe users.
+        self.available.notify_all();
+    }
+
+    /// Take the first matching envelope, blocking until one arrives.
+    /// Returns the envelope and the wall-clock time spent blocked.
+    pub fn take_blocking(&self, pat: Pattern) -> (Envelope, Duration) {
+        let start = Instant::now();
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(idx) = q.envelopes.iter().position(|e| pat.matches(e)) {
+                let env = q.envelopes.remove(idx).expect("index valid");
+                return (env, start.elapsed());
+            }
+            self.available.wait(&mut q);
+        }
+    }
+
+    /// Re-insert an envelope at the *front* of the queue. Used by probe
+    /// implementations that must not reorder messages; sound only while a
+    /// single thread receives from this mailbox (our one-thread-per-rank
+    /// invariant).
+    pub fn deliver_front(&self, env: Envelope) {
+        let mut q = self.queue.lock();
+        q.envelopes.push_front(env);
+        self.available.notify_all();
+    }
+
+    /// Non-blocking probe-and-take.
+    pub fn try_take(&self, pat: Pattern) -> Option<Envelope> {
+        let mut q = self.queue.lock();
+        let idx = q.envelopes.iter().position(|e| pat.matches(e))?;
+        q.envelopes.remove(idx)
+    }
+
+    /// Number of queued envelopes (diagnostics).
+    pub fn len(&self) -> usize {
+        self.queue.lock().envelopes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn env(source: usize, tag: u32, payload: Vec<u64>) -> Envelope {
+        let bytes = payload.len() * 8;
+        Envelope { source, tag, data: Box::new(payload), bytes }
+    }
+
+    #[test]
+    fn deliver_then_take() {
+        let mb = Mailbox::new();
+        mb.deliver(env(1, 7, vec![42]));
+        let (e, _) = mb.take_blocking(Pattern { source: Some(1), tag: 7 });
+        assert_eq!(e.source, 1);
+        assert_eq!(e.bytes, 8);
+        let v = e.data.downcast::<Vec<u64>>().unwrap();
+        assert_eq!(*v, vec![42]);
+    }
+
+    #[test]
+    fn tag_matching_skips_non_matching() {
+        let mb = Mailbox::new();
+        mb.deliver(env(0, 1, vec![1]));
+        mb.deliver(env(0, 2, vec![2]));
+        let (e, _) = mb.take_blocking(Pattern { source: Some(0), tag: 2 });
+        let v = e.data.downcast::<Vec<u64>>().unwrap();
+        assert_eq!(*v, vec![2]);
+        assert_eq!(mb.len(), 1);
+    }
+
+    #[test]
+    fn fifo_order_within_source_tag_pair() {
+        let mb = Mailbox::new();
+        mb.deliver(env(3, 9, vec![1]));
+        mb.deliver(env(3, 9, vec![2]));
+        let (a, _) = mb.take_blocking(Pattern { source: Some(3), tag: 9 });
+        let (b, _) = mb.take_blocking(Pattern { source: Some(3), tag: 9 });
+        assert_eq!(*a.data.downcast::<Vec<u64>>().unwrap(), vec![1]);
+        assert_eq!(*b.data.downcast::<Vec<u64>>().unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn any_source_matches_first_arrival() {
+        let mb = Mailbox::new();
+        mb.deliver(env(5, 0, vec![5]));
+        let (e, _) = mb.take_blocking(Pattern { source: None, tag: 0 });
+        assert_eq!(e.source, 5);
+    }
+
+    #[test]
+    fn try_take_returns_none_when_empty() {
+        let mb = Mailbox::new();
+        assert!(mb.try_take(Pattern { source: None, tag: 0 }).is_none());
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn blocking_take_wakes_on_delivery() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = mb.clone();
+        let h = std::thread::spawn(move || {
+            let (e, waited) = mb2.take_blocking(Pattern { source: Some(0), tag: 0 });
+            (e.bytes, waited)
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        mb.deliver(env(0, 0, vec![1, 2, 3]));
+        let (bytes, waited) = h.join().unwrap();
+        assert_eq!(bytes, 24);
+        assert!(waited >= Duration::from_millis(5), "blocked time recorded");
+    }
+}

@@ -1,0 +1,129 @@
+//! Per-rank communication statistics — the instrument behind Figure 7.
+//!
+//! The paper quantifies the communication bottleneck by "measuring the time
+//! spent in MPI_Wait for different applications". [`RankStats`] accumulates
+//! exactly that (`wait_seconds`: wall time blocked in `recv`/`wait`/
+//! `barrier`/collectives), plus message counts and byte volumes, plus a
+//! *modelled* latency account (`modeled_latency_s`) that prices each message
+//! with the machine-model latency of the rank pair's topological distance —
+//! letting figure generators re-cost an observed communication pattern on a
+//! platform we do not have.
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics for one rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RankStats {
+    pub sends: u64,
+    pub recvs: u64,
+    pub bytes_sent: u64,
+    pub bytes_received: u64,
+    /// Wall-clock seconds blocked in recv/wait/barrier/collectives.
+    pub wait_seconds: f64,
+    /// Modelled message latency cost (seconds) from the machine profile.
+    pub modeled_latency_s: f64,
+    pub barriers: u64,
+    pub collectives: u64,
+}
+
+impl RankStats {
+    pub fn merge(&mut self, other: &RankStats) {
+        self.sends += other.sends;
+        self.recvs += other.recvs;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.wait_seconds += other.wait_seconds;
+        self.modeled_latency_s += other.modeled_latency_s;
+        self.barriers += other.barriers;
+        self.collectives += other.collectives;
+    }
+}
+
+/// Aggregate over all ranks of a run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorldStats {
+    pub per_rank: Vec<RankStats>,
+}
+
+impl WorldStats {
+    pub fn total(&self) -> RankStats {
+        let mut t = RankStats::default();
+        for r in &self.per_rank {
+            t.merge(r);
+        }
+        t
+    }
+
+    /// Mean blocked time across ranks, seconds.
+    pub fn mean_wait_seconds(&self) -> f64 {
+        if self.per_rank.is_empty() {
+            return 0.0;
+        }
+        self.total().wait_seconds / self.per_rank.len() as f64
+    }
+
+    /// Maximum blocked time across ranks — the critical-path view.
+    pub fn max_wait_seconds(&self) -> f64 {
+        self.per_rank.iter().map(|r| r.wait_seconds).fold(0.0, f64::max)
+    }
+
+    /// Fraction of total runtime spent waiting, given the run's wall time —
+    /// Figure 7's y-axis.
+    pub fn mpi_fraction(&self, wall_seconds: f64) -> f64 {
+        if wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        (self.mean_wait_seconds() / wall_seconds).min(1.0)
+    }
+
+    pub fn total_messages(&self) -> u64 {
+        self.total().sends
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.total().bytes_sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = RankStats { sends: 1, bytes_sent: 10, wait_seconds: 0.5, ..Default::default() };
+        let b = RankStats { sends: 2, bytes_sent: 30, wait_seconds: 1.0, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.sends, 3);
+        assert_eq!(a.bytes_sent, 40);
+        assert!((a.wait_seconds - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn world_aggregates() {
+        let w = WorldStats {
+            per_rank: vec![
+                RankStats { sends: 2, wait_seconds: 1.0, ..Default::default() },
+                RankStats { sends: 4, wait_seconds: 3.0, ..Default::default() },
+            ],
+        };
+        assert_eq!(w.total_messages(), 6);
+        assert!((w.mean_wait_seconds() - 2.0).abs() < 1e-12);
+        assert!((w.max_wait_seconds() - 3.0).abs() < 1e-12);
+        assert!((w.mpi_fraction(4.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mpi_fraction_clamped_and_safe() {
+        let w = WorldStats { per_rank: vec![RankStats { wait_seconds: 10.0, ..Default::default() }] };
+        assert_eq!(w.mpi_fraction(0.0), 0.0);
+        assert_eq!(w.mpi_fraction(1.0), 1.0);
+    }
+
+    #[test]
+    fn empty_world_is_zero() {
+        let w = WorldStats::default();
+        assert_eq!(w.mean_wait_seconds(), 0.0);
+        assert_eq!(w.total_messages(), 0);
+    }
+}

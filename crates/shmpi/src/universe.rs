@@ -1,0 +1,169 @@
+//! Launching a "world" of ranks as scoped threads.
+
+use crate::comm::{Comm, Shared};
+use crate::mailbox::Mailbox;
+use crate::stats::{RankStats, WorldStats};
+use bwb_machine::{LatencyProfile, RankPlacement};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Instant;
+
+/// Result of a world run: per-rank return values (indexed by rank),
+/// per-rank communication statistics, and the wall-clock duration.
+#[derive(Debug)]
+pub struct RunOutput<R> {
+    pub results: Vec<R>,
+    pub stats: WorldStats,
+    pub wall_seconds: f64,
+}
+
+impl<R> RunOutput<R> {
+    /// Fraction of mean rank time spent blocked in communication —
+    /// the Figure 7 metric for this run.
+    pub fn mpi_fraction(&self) -> f64 {
+        self.stats.mpi_fraction(self.wall_seconds)
+    }
+}
+
+/// Entry point: spawn `size` ranks and run `f` on each.
+pub struct Universe;
+
+impl Universe {
+    /// Run `f` on `size` ranks (threads). Returns per-rank results in rank
+    /// order plus communication statistics.
+    ///
+    /// The closure runs once per rank with that rank's [`Comm`]. All sends
+    /// are eager, so the closure may send before the peer has posted a
+    /// receive; deadlock is only possible through circular blocking
+    /// receives, as in real MPI.
+    pub fn run<F, R>(size: usize, f: F) -> RunOutput<R>
+    where
+        F: Fn(&mut Comm) -> R + Sync,
+        R: Send,
+    {
+        Self::run_placed(size, None, f)
+    }
+
+    /// Like [`Universe::run`] but with a machine placement: each message is
+    /// additionally priced with the modelled latency of its rank pair's
+    /// topological distance, accumulated in
+    /// [`RankStats::modeled_latency_s`].
+    pub fn run_placed<F, R>(
+        size: usize,
+        placement: Option<(RankPlacement, LatencyProfile)>,
+        f: F,
+    ) -> RunOutput<R>
+    where
+        F: Fn(&mut Comm) -> R + Sync,
+        R: Send,
+    {
+        assert!(size > 0, "world size must be at least 1");
+        if let Some((p, _)) = &placement {
+            assert!(
+                p.n_ranks() >= size,
+                "placement has {} slots for {} ranks",
+                p.n_ranks(),
+                size
+            );
+        }
+        let shared = Arc::new(Shared {
+            mailboxes: (0..size).map(|_| Mailbox::new()).collect(),
+            size,
+            barrier: Barrier::new(size),
+            placement,
+        });
+
+        let results: Mutex<Vec<Option<(R, RankStats)>>> =
+            Mutex::new((0..size).map(|_| None).collect());
+
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for rank in 0..size {
+                let shared = Arc::clone(&shared);
+                let f = &f;
+                let results = &results;
+                scope.spawn(move || {
+                    let mut comm = Comm::new(rank, shared);
+                    let r = f(&mut comm);
+                    results.lock().unwrap()[rank] = Some((r, comm.stats));
+                });
+            }
+        });
+        let wall_seconds = t0.elapsed().as_secs_f64();
+
+        let mut out_results = Vec::with_capacity(size);
+        let mut out_stats = Vec::with_capacity(size);
+        for slot in results.into_inner().unwrap() {
+            let (r, s) = slot.expect("every rank completes");
+            out_results.push(r);
+            out_stats.push(s);
+        }
+        RunOutput { results: out_results, stats: WorldStats { per_rank: out_stats }, wall_seconds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwb_machine::{platforms, PlacementPolicy};
+
+    #[test]
+    fn single_rank_world() {
+        let out = Universe::run(1, |c| {
+            assert_eq!(c.size(), 1);
+            c.rank()
+        });
+        assert_eq!(out.results, vec![0]);
+        assert_eq!(out.stats.per_rank.len(), 1);
+    }
+
+    #[test]
+    fn results_indexed_by_rank() {
+        let out = Universe::run(8, |c| c.rank() * 2);
+        assert_eq!(out.results, (0..8).map(|r| r * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn wall_time_positive() {
+        let out = Universe::run(2, |_c| ());
+        assert!(out.wall_seconds > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "world size")]
+    fn zero_size_rejected() {
+        Universe::run(0, |_c| ());
+    }
+
+    #[test]
+    fn placed_run_prices_cross_socket_messages_higher() {
+        let p = platforms::xeon_8360y();
+        let placement = p.topology.place_ranks(PlacementPolicy::OnePerCore);
+        // Ranks 0 and 1 are same-NUMA; ranks 0 and 71 are cross-socket.
+        let near = Universe::run_placed(72, Some((placement.clone(), p.latency)), |c| {
+            if c.rank() == 0 {
+                c.send(1, 0, vec![1u8]);
+            } else if c.rank() == 1 {
+                let _ = c.recv::<u8>(0, 0);
+            }
+            c.stats().modeled_latency_s
+        });
+        let far = Universe::run_placed(72, Some((placement, p.latency)), |c| {
+            if c.rank() == 0 {
+                c.send(71, 0, vec![1u8]);
+            } else if c.rank() == 71 {
+                let _ = c.recv::<u8>(0, 0);
+            }
+            c.stats().modeled_latency_s
+        });
+        assert!(far.results[0] > near.results[0]);
+    }
+
+    #[test]
+    fn mpi_fraction_in_unit_interval() {
+        let out = Universe::run(4, |c| {
+            c.barrier();
+        });
+        let f = out.mpi_fraction();
+        assert!((0.0..=1.0).contains(&f));
+    }
+}

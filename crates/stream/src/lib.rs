@@ -1,0 +1,18 @@
+//! # bwb-stream — BabelStream
+//!
+//! The paper's Figure 1 sweeps the BabelStream **Triad** kernel over array
+//! sizes on one NUMA domain, one socket, and the whole machine of each
+//! platform. This crate provides:
+//!
+//! * [`babel`] — a real, runnable implementation of the five BabelStream
+//!   kernels (Copy, Mul, Add, Triad, Dot) plus Nstream, in serial and
+//!   thread-parallel variants, with the standard bytes-moved accounting;
+//! * [`model`] — the modelled Figure-1 curves for the paper's platforms,
+//!   produced by the [`bwb_memsim`] hierarchy model (including the
+//!   streaming-store flag variant on the Xeon MAX).
+
+pub mod babel;
+pub mod model;
+
+pub use babel::{BabelStream, Kernel, KernelResult, Par};
+pub use model::{figure1_curves, Figure1Point, Figure1Series};

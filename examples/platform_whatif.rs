@@ -1,0 +1,71 @@
+//! What-if study: use the performance model to ask questions the paper
+//! could not — e.g. *how would the Xeon MAX behave with DDR-class
+//! bandwidth?* or *what if the EPYC had AVX-512?* — demonstrating that the
+//! figure reproductions derive from platform parameters, not hard-coded
+//! results.
+//!
+//! ```sh
+//! cargo run --release --example platform_whatif
+//! ```
+
+use bwb_core::apps::characterize::characterize;
+use bwb_core::apps::AppId;
+use bwb_core::machine::platforms;
+use bwb_core::perfmodel::{paper_scale, predict, ModelInput, RunConfig};
+
+fn main() {
+    let apps = [AppId::CloverLeaf2D, AppId::OpenSbliSn, AppId::MgCfd, AppId::MiniBude];
+
+    // Baselines.
+    let max = platforms::xeon_max_9480();
+    let icx = platforms::xeon_8360y();
+
+    // What-if 1: a Xeon MAX with its HBM swapped for DDR4 (the paper's
+    // "traditional DDR-only systems" counterfactual).
+    let mut max_ddr = max.clone();
+    max_ddr.name = "Xeon MAX 9480 (what-if: DDR4 instead of HBM)".into();
+    max_ddr.memory.peak_bw_gbs = 409.6;
+    max_ddr.measured_triad_gbs = 307.0; // 75% of peak, like its DDR peers
+    max_ddr.measured_triad_ss_gbs = None;
+
+    // What-if 2: an EPYC 7V73X with AVX-512.
+    let mut amd512 = platforms::epyc_7v73x();
+    amd512.name = "EPYC 7V73X (what-if: AVX-512)".into();
+    amd512.vector_bits = 512;
+
+    let plats = [&max, &icx, &max_ddr, &amd512];
+
+    println!("## predicted best runtimes at the paper's problem sizes (s)\n");
+    print!("{:14}", "app");
+    for p in &plats {
+        print!("  {:>24}", &p.name[..p.name.len().min(24)]);
+    }
+    println!();
+    for app in apps {
+        let ch = characterize(app);
+        let (points, iterations) = paper_scale(app);
+        print!("{:14}", app.label());
+        for p in &plats {
+            let configs = if app.is_unstructured() {
+                RunConfig::unstructured_set()
+            } else {
+                RunConfig::structured_set()
+            };
+            let best = configs
+                .iter()
+                .filter_map(|&config| {
+                    predict(&ModelInput { platform: p, character: &ch, config, points, iterations })
+                })
+                .map(|pr| pr.seconds)
+                .fold(f64::INFINITY, f64::min);
+            print!("  {:>24.3}", best);
+        }
+        println!();
+    }
+
+    println!(
+        "\nReading: stripping the HBM pushes the MAX back to Ice Lake-class times on \
+         bandwidth-bound apps, while barely moving miniBUDE — the paper's central claim, \
+         inverted as a controlled experiment."
+    );
+}

@@ -1,0 +1,176 @@
+//! Cross-crate integration tests: every application runs end-to-end through
+//! its DSL and produces valid physics and a usable profile.
+
+use bwb_core::apps::{
+    acoustic, cloverleaf2d, cloverleaf3d, mgcfd, minibude, miniweather, opensbli, volna, AppId,
+};
+use bwb_core::op2::ExecModeU;
+use bwb_core::ops::ExecMode;
+
+#[test]
+fn all_apps_run_and_validate() {
+    // (app, run, validation bound, meaning of validation)
+    let runs: Vec<(AppId, bwb_core::apps::AppRun, f64)> = vec![
+        (
+            AppId::Acoustic,
+            acoustic::Acoustic::run(acoustic::Config {
+                n: 32,
+                iterations: 8,
+                ..acoustic::Config::default()
+            }),
+            1e-3, // centre error vs analytic standing wave
+        ),
+        (
+            AppId::CloverLeaf2D,
+            cloverleaf2d::Clover2::run(cloverleaf2d::Config {
+                nx: 32,
+                ny: 32,
+                iterations: 10,
+                ..cloverleaf2d::Config::default()
+            }),
+            1e-12, // relative mass conservation
+        ),
+        (
+            AppId::CloverLeaf3D,
+            cloverleaf3d::Clover3::run(cloverleaf3d::Config {
+                n: 10,
+                iterations: 6,
+                ..cloverleaf3d::Config::default()
+            }),
+            1e-12,
+        ),
+        (
+            AppId::OpenSbliSa,
+            opensbli::OpenSbli::run(opensbli::Config {
+                n: 16,
+                iterations: 5,
+                variant: opensbli::Variant::StoreAll,
+                ..opensbli::Config::default()
+            }),
+            5e-3, // L∞ error vs analytic mode
+        ),
+        (
+            AppId::OpenSbliSn,
+            opensbli::OpenSbli::run(opensbli::Config {
+                n: 16,
+                iterations: 5,
+                variant: opensbli::Variant::StoreNone,
+                ..opensbli::Config::default()
+            }),
+            5e-3,
+        ),
+        (
+            AppId::MgCfd,
+            mgcfd::MgCfd::run(mgcfd::Config {
+                n: 33,
+                levels: 3,
+                cycles: 5,
+                ..mgcfd::Config::default()
+            }),
+            0.8, // residual reduction ratio < 1
+        ),
+        (
+            AppId::Volna,
+            volna::Volna::run(volna::Config { n: 24, iterations: 40, ..volna::Config::default() }),
+            1e-4, // relative volume conservation (f32)
+        ),
+        (
+            AppId::MiniWeather,
+            miniweather::MiniWeather::run(miniweather::Config {
+                nx: 40,
+                nz: 20,
+                sim_time: 5.0,
+                ..miniweather::Config::default()
+            }),
+            1e-8, // conserved-total drift
+        ),
+        (
+            AppId::MiniBude,
+            minibude::MiniBude::run(minibude::Config::default()),
+            f64::INFINITY, // best pose energy — just finiteness below
+        ),
+    ];
+
+    for (app, run, bound) in runs {
+        assert_eq!(run.app, app);
+        assert!(run.validation.is_finite(), "{}: validation NaN", app.label());
+        assert!(
+            run.validation < bound,
+            "{}: validation {} exceeds bound {}",
+            app.label(),
+            run.validation,
+            bound
+        );
+        assert!(run.points > 0 && run.iterations > 0);
+        assert!(run.profile.total_bytes() > 0, "{}: no byte accounting", app.label());
+        assert!(run.profile.total_seconds() > 0.0);
+    }
+}
+
+#[test]
+fn structured_apps_parallel_equals_serial() {
+    // The rayon (OpenMP-like) backend must reproduce serial results.
+    let a = cloverleaf2d::Clover2::run(cloverleaf2d::Config {
+        nx: 24,
+        ny: 24,
+        iterations: 6,
+        mode: ExecMode::Serial,
+        ..cloverleaf2d::Config::default()
+    });
+    let b = cloverleaf2d::Clover2::run(cloverleaf2d::Config {
+        nx: 24,
+        ny: 24,
+        iterations: 6,
+        mode: ExecMode::Rayon,
+        ..cloverleaf2d::Config::default()
+    });
+    assert_eq!(a.validation, b.validation);
+}
+
+#[test]
+fn unstructured_apps_colored_matches_serial() {
+    let a = volna::Volna::run(volna::Config {
+        n: 16,
+        iterations: 15,
+        mode: ExecModeU::Serial,
+        ..volna::Config::default()
+    });
+    let b = volna::Volna::run(volna::Config {
+        n: 16,
+        iterations: 15,
+        mode: ExecModeU::Colored,
+        ..volna::Config::default()
+    });
+    assert!((a.validation - b.validation).abs() < 1e-5);
+}
+
+#[test]
+fn store_all_and_store_none_agree() {
+    // The paper's two OpenSBLI formulations solve the same problem; our
+    // implementations agree bitwise (same arithmetic, different data flow).
+    let mk = |variant| {
+        opensbli::OpenSbli::run(opensbli::Config {
+            n: 12,
+            iterations: 4,
+            variant,
+            ..opensbli::Config::default()
+        })
+    };
+    let sa = mk(opensbli::Variant::StoreAll);
+    let sn = mk(opensbli::Variant::StoreNone);
+    assert_eq!(sa.validation.to_bits(), sn.validation.to_bits());
+    // ... while moving very different amounts of data:
+    assert!(sa.profile.total_bytes() > 2 * sn.profile.total_bytes());
+}
+
+#[test]
+fn characterizations_are_stable() {
+    use bwb_core::apps::characterize::characterize;
+    // Characterize twice: measured byte/flop counts are deterministic.
+    for app in [AppId::CloverLeaf2D, AppId::Volna, AppId::MiniBude] {
+        let a = characterize(app);
+        let b = characterize(app);
+        assert_eq!(a.bytes_per_point_iter, b.bytes_per_point_iter, "{}", app.label());
+        assert_eq!(a.flops_per_point_iter, b.flops_per_point_iter);
+    }
+}

@@ -1,0 +1,143 @@
+//! Figure-level integration tests: every experiment renders, exports CSV,
+//! and reproduces the paper's qualitative claims end-to-end through the
+//! full stack (apps → characterization → model → figures → report).
+
+use bwb_core::machine::{platforms, PlatformKind};
+use bwb_core::perfmodel::figures;
+use bwb_core::{Experiment, Figure};
+
+#[test]
+fn all_figures_render_and_save() {
+    let dir = std::env::temp_dir().join("bwb_figures_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    for f in Figure::ALL {
+        let text = Experiment::new(f).render();
+        assert!(text.len() > 100, "{f:?}");
+        let path = Experiment::new(f).save_csv(&dir).expect("CSV saves");
+        assert!(path.exists());
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.lines().count() > 2, "{f:?}: CSV rows");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn headline_claim_2x_to_4x_speedup() {
+    // Abstract: "speedups compared to the previous generation between
+    // 2.0x-4.3x" — our reproduction must land most apps in a comparable
+    // band (model slack: 1.2–5.5).
+    let f6 = figures::figure6_platform_comparison();
+    let in_band = f6
+        .iter()
+        .filter(|e| e.speedup_vs_8360y >= 1.8 && e.speedup_vs_8360y <= 5.0)
+        .count();
+    assert!(
+        in_band >= 6,
+        "expected most apps in the 2-4.3x band, got {in_band} of {}",
+        f6.len()
+    );
+}
+
+#[test]
+fn most_bandwidth_bound_app_gains_most() {
+    let f6 = figures::figure6_platform_comparison();
+    let get = |app: bwb_core::apps::AppId| {
+        f6.iter().find(|e| e.app == app).unwrap().speedup_vs_8360y
+    };
+    use bwb_core::apps::AppId;
+    // CloverLeaf 2D (most bandwidth-bound) gains more than Acoustic and
+    // miniBUDE (latency/compute-bound) — the paper's core ordering.
+    assert!(get(AppId::CloverLeaf2D) > get(AppId::Acoustic));
+    assert!(get(AppId::CloverLeaf2D) > get(AppId::MiniBude));
+    assert!(get(AppId::OpenSbliSa) > get(AppId::OpenSbliSn));
+}
+
+#[test]
+fn sa_vs_sn_tradeoff_shrinks_on_max() {
+    // §6: "the speedup between these two is just below 2x on Xeon MAX but
+    // over 2.5x on 8360Y" — trading data movement for computation is less
+    // effective on the bandwidth-rich platform.
+    let f6 = figures::figure6_platform_comparison();
+    use bwb_core::apps::AppId;
+    let best = |app: AppId, k: PlatformKind| {
+        f6.iter()
+            .find(|e| e.app == app)
+            .unwrap()
+            .best
+            .iter()
+            .find(|(p, _, _)| *p == k)
+            .unwrap()
+            .1
+    };
+    let ratio_max = best(AppId::OpenSbliSa, PlatformKind::XeonMax9480)
+        / best(AppId::OpenSbliSn, PlatformKind::XeonMax9480);
+    let ratio_icx = best(AppId::OpenSbliSa, PlatformKind::Xeon8360Y)
+        / best(AppId::OpenSbliSn, PlatformKind::Xeon8360Y);
+    assert!(
+        ratio_max < ratio_icx,
+        "SN-over-SA gain must shrink on MAX: {ratio_max:.2} vs {ratio_icx:.2}"
+    );
+    assert!(ratio_max > 1.0, "SN still wins on MAX ({ratio_max:.2})");
+}
+
+#[test]
+fn figure1_and_figure9_are_consistent() {
+    // The tiling gain is bounded by the cache:memory bandwidth ratio the
+    // Figure 1 curves exhibit — cross-check the two reproductions.
+    let f9 = figures::figure9_tiling();
+    for e in &f9 {
+        let p = platforms::all_platforms()
+            .into_iter()
+            .find(|p| p.kind == e.platform)
+            .unwrap();
+        if !p.is_gpu {
+            assert!(
+                e.gain <= p.cache_to_mem_bw_ratio(),
+                "{}: tiling gain {:.2} exceeds cache ratio {:.2}",
+                p.name,
+                e.gain,
+                p.cache_to_mem_bw_ratio()
+            );
+        }
+    }
+}
+
+#[test]
+fn per_app_best_configuration_is_plausible() {
+    // §5: the best configurations differ per app — check the model picks
+    // the paper's qualitative winners.
+    let f6 = figures::figure6_platform_comparison();
+    use bwb_core::apps::AppId;
+    let best_label = |app: AppId| {
+        f6.iter()
+            .find(|e| e.app == app)
+            .unwrap()
+            .best
+            .iter()
+            .find(|(p, _, _)| *p == PlatformKind::XeonMax9480)
+            .unwrap()
+            .2
+            .clone()
+    };
+    // Unstructured: the vectorized MPI implementation wins (Figure 4).
+    assert!(best_label(AppId::MgCfd).contains("MPI vec"), "{}", best_label(AppId::MgCfd));
+    assert!(best_label(AppId::Volna).contains("MPI vec"));
+    // Acoustic: hybrid MPI+OpenMP wins (Figure 5).
+    assert!(
+        best_label(AppId::Acoustic).contains("OpenMP"),
+        "{}",
+        best_label(AppId::Acoustic)
+    );
+}
+
+#[test]
+fn summary_statistics_match_section5_shape() {
+    let max = figures::figure3_structured_matrix(&platforms::xeon_max_9480());
+    let icx = figures::figure3_structured_matrix(&platforms::xeon_8360y());
+    let (mean_max, median_max) = figures::summary_stats(&max);
+    let (mean_icx, median_icx) = figures::summary_stats(&icx);
+    // Paper: 1.25/1.12 on MAX vs 1.11/1.05 on 8360Y.
+    assert!(mean_max > mean_icx);
+    assert!(median_max >= 1.0 && median_icx >= 1.0);
+    assert!(mean_max < 2.0, "mean slowdown should stay moderate: {mean_max}");
+}

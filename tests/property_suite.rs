@@ -1,0 +1,266 @@
+//! Property-based tests (proptest) on the suite's core invariants.
+
+use bwb_core::memsim::{AccessKind, CacheSim, MachineSubset, MemoryHierarchyModel};
+use bwb_core::op2::{rcb_partition, Coloring, HaloPlan, Map, Set};
+use bwb_core::ops::{par_loop2, Dat2, ExecMode, Profile, Range2};
+use bwb_core::shmpi::{cart::dims_create, ReduceOp, Universe};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cache hit rate is in [0,1] and a working set within capacity reaches
+    /// 100% reuse on the second pass.
+    #[test]
+    fn cache_sim_hit_rate_bounds(cap_kb in 1usize..64, ways in 1usize..8, n in 1u64..2000) {
+        let cap = (cap_kb * 1024 / (ways * 64)).max(1) * ways * 64;
+        let mut c = CacheSim::new(cap as u64, ways, 64);
+        c.stream(0, n, 64, AccessKind::Read);
+        let hr = c.stats().hit_rate();
+        prop_assert!((0.0..=1.0).contains(&hr));
+        if n * 64 <= cap as u64 {
+            c.reset_stats();
+            c.stream(0, n, 64, AccessKind::Read);
+            prop_assert_eq!(c.stats().hit_rate(), 1.0);
+        }
+    }
+
+    /// The bandwidth model is monotone non-increasing in working-set size.
+    #[test]
+    fn bandwidth_curve_monotone(seed in 0usize..3, ws1 in 14u32..30, ws2 in 14u32..30) {
+        let plats = bwb_core::machine::platforms::all_cpus();
+        let m = MemoryHierarchyModel::new(plats[seed].clone());
+        let (lo, hi) = (1u64 << ws1.min(ws2), 1u64 << ws1.max(ws2));
+        let b_lo = m.bandwidth(lo, MachineSubset::WholeMachine).bandwidth_gbs;
+        let b_hi = m.bandwidth(hi, MachineSubset::WholeMachine).bandwidth_gbs;
+        prop_assert!(b_hi <= b_lo * 1.0001, "bw({lo})={b_lo} bw({hi})={b_hi}");
+    }
+
+    /// dims_create always factorizes exactly and reasonably balanced.
+    #[test]
+    fn dims_create_factorizes(size in 1usize..512, nd in 1usize..4) {
+        let dims = dims_create(size, nd);
+        prop_assert_eq!(dims.iter().product::<usize>(), size);
+        prop_assert_eq!(dims.len(), nd);
+    }
+
+    /// RCB partitions are balanced and cover exactly the input set.
+    #[test]
+    fn rcb_balanced_cover(n_side in 4usize..20, nparts in 1usize..9) {
+        let mut coords = Vec::new();
+        for j in 0..n_side {
+            for i in 0..n_side {
+                coords.extend([i as f64, j as f64]);
+            }
+        }
+        let part = rcb_partition(&coords, 2, nparts);
+        prop_assert_eq!(part.len(), n_side * n_side);
+        let mut counts = vec![0usize; nparts];
+        for &p in &part {
+            prop_assert!((p as usize) < nparts);
+            counts[p as usize] += 1;
+        }
+        let ideal = (n_side * n_side) as f64 / nparts as f64;
+        for &c in &counts {
+            prop_assert!(c as f64 <= ideal.ceil() + 1.0, "count {c} vs ideal {ideal}");
+        }
+    }
+
+    /// Greedy coloring is always conflict-free and uses at least the
+    /// maximum target degree many colors.
+    #[test]
+    fn coloring_valid_on_random_maps(n_edges in 1usize..120, n_nodes in 2usize..40, seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let nodes = Set::new("n", n_nodes);
+        let edges = Set::new("e", n_edges);
+        let idx: Vec<u32> = (0..n_edges * 2)
+            .map(|_| rng.gen_range(0..n_nodes as u32))
+            .collect();
+        let map = Map::new("e2n", &edges, &nodes, 2, idx);
+        let coloring = Coloring::greedy(n_edges, &[&map]);
+        prop_assert!(coloring.validate(&[&map]));
+        // Lower bound: the chromatic need is the max number of *distinct*
+        // elements sharing one target (self-loops touch a target twice but
+        // need only one color).
+        let mut distinct = vec![std::collections::HashSet::new(); n_nodes];
+        for e in 0..n_edges {
+            for &t in map.targets(e) {
+                distinct[t as usize].insert(e);
+            }
+        }
+        let need = distinct.iter().map(|s| s.len()).max().unwrap_or(1).max(1);
+        prop_assert!(coloring.n_colors as usize >= need);
+    }
+
+    /// Halo plans never import more elements than exist, and a single
+    /// partition imports nothing.
+    #[test]
+    fn halo_plan_bounds(n_edges in 1usize..100, nparts in 1usize..6, seed in 0u64..500) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n_nodes = n_edges + 1;
+        let nodes = Set::new("n", n_nodes);
+        let edges = Set::new("e", n_edges);
+        let idx: Vec<u32> = (0..n_edges)
+            .flat_map(|e| [e as u32, e as u32 + 1])
+            .collect();
+        let map = Map::new("e2n", &edges, &nodes, 2, idx);
+        let src: Vec<u32> = (0..n_edges).map(|_| rng.gen_range(0..nparts as u32)).collect();
+        let tgt: Vec<u32> = (0..n_nodes).map(|_| rng.gen_range(0..nparts as u32)).collect();
+        let plan = HaloPlan::build(&map, &src, &tgt, nparts);
+        prop_assert!(plan.total_imports() <= nparts * n_nodes);
+        prop_assert!(plan.cut_elements <= n_edges);
+        if nparts == 1 {
+            prop_assert_eq!(plan.total_imports(), 0);
+        }
+    }
+
+    /// par_loop2 serial and rayon backends agree bitwise on an arbitrary
+    /// affine kernel.
+    #[test]
+    fn par_loop_backends_agree(nx in 1usize..40, ny in 1usize..40, a in -5i32..5, b in -5i32..5) {
+        let run = |mode: ExecMode| {
+            let mut prof = Profile::new();
+            let mut src = Dat2::<f64>::new("s", nx, ny, 1);
+            let mut dst = Dat2::<f64>::new("d", nx, ny, 1);
+            src.init_with(|i, j| (a as f64) * i as f64 + (b as f64) * j as f64);
+            par_loop2(
+                &mut prof, "k", mode, Range2::interior(nx, ny),
+                &mut [&mut dst], &[&src], 2.0,
+                |_i, _j, out, ins| {
+                    out.set(0, ins.get(0, 0, 0) * 2.0 + ins.get(0, -1, 0));
+                },
+            );
+            dst
+        };
+        let s = run(ExecMode::Serial);
+        let r = run(ExecMode::Rayon);
+        prop_assert_eq!(s.max_abs_diff(&r), 0.0);
+    }
+
+    /// Allreduce(sum) equals the arithmetic sum for any world size and the
+    /// result agrees on every rank.
+    #[test]
+    fn allreduce_agrees_across_ranks(size in 1usize..9, base in -100i64..100) {
+        let out = Universe::run(size, move |c| {
+            c.allreduce_scalar(base + c.rank() as i64, ReduceOp::Sum)
+        });
+        let expect: i64 = (0..size as i64).map(|r| base + r).sum();
+        for r in out.results {
+            prop_assert_eq!(r, expect);
+        }
+    }
+
+    /// Messages between one (source, tag) pair arrive in send order
+    /// regardless of interleaved traffic on other tags (MPI's
+    /// non-overtaking rule).
+    #[test]
+    fn message_order_non_overtaking(n_msgs in 1usize..40, noise_tag in 1u32..5) {
+        let out = Universe::run(2, move |c| {
+            if c.rank() == 0 {
+                for i in 0..n_msgs as u64 {
+                    if i % 3 == 0 {
+                        c.send(1, noise_tag, vec![u64::MAX]);
+                    }
+                    c.send(1, 0, vec![i]);
+                }
+                true
+            } else {
+                let mut ok = true;
+                for i in 0..n_msgs as u64 {
+                    ok &= c.recv::<u64>(0, 0)[0] == i;
+                }
+                ok
+            }
+        });
+        prop_assert!(out.results.iter().all(|&b| b));
+    }
+
+    /// Streaming-store gain equals (r + 2w)/(r + w) and is within [1, 2].
+    #[test]
+    fn streaming_store_gain_formula(r_bytes in 0.0f64..1000.0, w_bytes in 0.1f64..1000.0) {
+        use bwb_core::memsim::TrafficModel;
+        let t = TrafficModel::new(r_bytes, w_bytes);
+        let expect = (r_bytes + 2.0 * w_bytes) / (r_bytes + w_bytes);
+        prop_assert!((t.streaming_store_gain() - expect).abs() < 1e-12);
+        prop_assert!(t.streaming_store_gain() >= 1.0);
+        prop_assert!(t.streaming_store_gain() <= 2.0);
+    }
+
+    /// Tiled loop-chain execution reproduces untiled results for arbitrary
+    /// chain lengths and tile heights.
+    #[test]
+    fn tiled_chain_matches_untiled(n in 6usize..24, loops in 1usize..4, tile in 1usize..10) {
+        use bwb_core::ops::LoopChain2;
+        let build = || -> (LoopChain2<f64>, Vec<Dat2<f64>>) {
+            let mut store: Vec<Dat2<f64>> = (0..=loops)
+                .map(|f| {
+                    let mut d = Dat2::new(&format!("f{f}"), n, n, 1);
+                    if f == 0 {
+                        d.init_with(|i, j| ((i * 3 + j * 5) % 11) as f64);
+                    }
+                    d
+                })
+                .collect();
+            store[0].fill_all(1.0);
+            let mut chain = LoopChain2::new(ExecMode::Serial);
+            for l in 0..loops {
+                chain.add(
+                    &format!("s{l}"),
+                    Range2::interior(n, n),
+                    1,
+                    3.0,
+                    vec![l + 1],
+                    vec![l],
+                    |_i, _j, out, ins| {
+                        out.set(0, 0.5 * ins.get(0, -1, 0) + 0.5 * ins.get(0, 1, 0));
+                    },
+                );
+            }
+            (chain, store)
+        };
+        let (c1, mut s1) = build();
+        let (c2, mut s2) = build();
+        let mut p = Profile::new();
+        c1.execute(&mut s1, &mut p);
+        c2.execute_tiled(&mut s2, &mut p, tile);
+        prop_assert_eq!(s1[loops].max_abs_diff(&s2[loops]), 0.0);
+    }
+
+    /// The redundant-compute overhead of tiling is monotone: taller tiles
+    /// never do more work.
+    #[test]
+    fn tiling_overhead_monotone(n in 8usize..32, t1 in 1usize..16, t2 in 1usize..16) {
+        use bwb_core::ops::LoopChain2;
+        let mut chain = LoopChain2::<f64>::new(ExecMode::Serial);
+        for l in 0..3usize {
+            chain.add(
+                &format!("s{l}"),
+                Range2::interior(n, n),
+                1,
+                1.0,
+                vec![l + 1],
+                vec![l],
+                |_i, _j, _o, _s| {},
+            );
+        }
+        let (lo, hi) = (t1.min(t2), t1.max(t2));
+        prop_assert!(chain.tiled_point_count(hi) <= chain.tiled_point_count(lo));
+        prop_assert!(chain.tiled_point_count(n) == chain.untiled_point_count());
+    }
+
+    /// Roofline evaluation is continuous, monotone in intensity up to the
+    /// ridge, and flat beyond it.
+    #[test]
+    fn roofline_monotone(peak_f in 10.0f64..10000.0, peak_b in 10.0f64..5000.0,
+                         i1 in 0.01f64..100.0, i2 in 0.01f64..100.0) {
+        use bwb_core::machine::Roofline;
+        let r = Roofline { peak_gflops: peak_f, peak_gbs: peak_b };
+        let (lo, hi) = (i1.min(i2), i1.max(i2));
+        let a = r.evaluate(lo).attainable_gflops;
+        let b = r.evaluate(hi).attainable_gflops;
+        prop_assert!(a <= b + 1e-9);
+        prop_assert!(b <= peak_f + 1e-9);
+    }
+}
