@@ -1,0 +1,391 @@
+//! Minimal, API-shaped stand-in for `criterion`, vendored because the
+//! build environment has no registry access.
+//!
+//! Implements the measuring subset the benches use: benchmark groups,
+//! `bench_function` / `bench_with_input`, `Throughput`, `BenchmarkId`,
+//! and the `criterion_group!`/`criterion_main!` glue. Measurement is
+//! honest wall-clock sampling (auto-calibrated iterations per sample,
+//! median-of-samples reporting) without the statistical machinery —
+//! good enough to compare implementations on the same machine, which is
+//! all the in-repo benches do with it.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A parameterized benchmark identifier (`BenchmarkId::new("name", param)`).
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            param: format!("{param}"),
+        }
+    }
+
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            param: format!("{param}"),
+        }
+    }
+
+    fn label(&self) -> String {
+        if self.name.is_empty() {
+            self.param.clone()
+        } else {
+            format!("{}/{}", self.name, self.param)
+        }
+    }
+}
+
+/// Anything usable as a benchmark id: plain strings or [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label()
+    }
+}
+
+/// Top-level harness state and configuration.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(900),
+            warm_up_time: Duration::from_millis(150),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Applies CLI arguments (`[filter]`, `--quick`; `--bench`/`--test` and
+    /// other cargo-injected flags are accepted and ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => {
+                    self.sample_size = self.sample_size.min(10);
+                    self.measurement_time = self.measurement_time.min(Duration::from_millis(300));
+                    self.warm_up_time = self.warm_up_time.min(Duration::from_millis(50));
+                }
+                "--sample-size" => {
+                    if let Some(v) = args.next() {
+                        if let Ok(n) = v.parse::<usize>() {
+                            self.sample_size = n.max(2);
+                        }
+                    }
+                }
+                "--bench" | "--test" | "--noplot" | "--verbose" | "-v" => {}
+                // Unknown flags (possibly cargo-injected): ignore.
+                flag if flag.starts_with('-') => {}
+                filter => {
+                    self.filter = Some(filter.to_owned());
+                }
+            }
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnMut(&mut Bencher)) {
+        let label = id.into_label();
+        let mut g = BenchmarkGroup {
+            criterion: self,
+            name: String::new(),
+            throughput: None,
+        };
+        g.run(label, f);
+    }
+
+    fn matches(&self, full_label: &str) -> bool {
+        self.filter
+            .as_deref()
+            .is_none_or(|f| full_label.contains(f))
+    }
+}
+
+/// A named group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnMut(&mut Bencher)) {
+        let label = id.into_label();
+        self.run(label, f);
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let label = id.label();
+        self.run(label, |b| f(b, input));
+    }
+
+    pub fn finish(self) {}
+
+    fn run(&mut self, label: String, mut f: impl FnMut(&mut Bencher)) {
+        let full = if self.name.is_empty() {
+            label
+        } else {
+            format!("{}/{}", self.name, label)
+        };
+        if !self.criterion.matches(&full) {
+            return;
+        }
+        let mut bencher = Bencher {
+            warm_up_time: self.criterion.warm_up_time,
+            measurement_time: self.criterion.measurement_time,
+            sample_size: self.criterion.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&full, self.throughput);
+    }
+}
+
+/// Runs the measured closure and collects per-iteration timings.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    /// Seconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`: warm-up, iteration-count calibration, then
+    /// `sample_size` timed samples.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up, also yielding a first per-iteration estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let est = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Pick iterations per sample so samples are long enough to time
+        // accurately but all samples fit the measurement budget.
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters = (budget / est.max(1e-9)).clamp(1.0, 1e9) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            self.samples.push(t0.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+
+    /// `iter` variant receiving the batch size (compat with
+    /// `iter_custom`-style uses; measures one call of `f(iters)`).
+    pub fn iter_custom<R>(&mut self, mut f: impl FnMut(u64) -> R)
+    where
+        R: Into<Duration>,
+    {
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let d: Duration = f(1).into();
+            self.samples.push(d.as_secs_f64());
+        }
+    }
+
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{label:<48} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        let min = sorted[0];
+        let med = sorted[sorted.len() / 2];
+        let max = sorted[sorted.len() - 1];
+        let tp = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  thrpt: {} Melem/s", fmt3(n as f64 / med / 1e6))
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  thrpt: {} GiB/s",
+                    fmt3(n as f64 / med / (1u64 << 30) as f64)
+                )
+            }
+            None => String::new(),
+        };
+        println!(
+            "{label:<48} time: [{} {} {}]{tp}",
+            fmt_time(min),
+            fmt_time(med),
+            fmt_time(max)
+        );
+    }
+}
+
+fn fmt_time(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{} ns", fmt3(s * 1e9))
+    } else if s < 1e-3 {
+        format!("{} µs", fmt3(s * 1e6))
+    } else if s < 1.0 {
+        format!("{} ms", fmt3(s * 1e3))
+    } else {
+        format!("{} s", fmt3(s))
+    }
+}
+
+fn fmt3(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.1}")
+    } else if v >= 10.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Declares a benchmark group function, with or without a custom config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_samples_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(100));
+        let mut ran = 0u64;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("tiled", 32).label(), "tiled/32");
+        assert_eq!(BenchmarkId::from_parameter(8).label(), "8");
+    }
+
+    #[test]
+    fn filter_matching() {
+        let c = Criterion {
+            filter: Some("clover".into()),
+            ..Criterion::default()
+        };
+        assert!(c.matches("cloverleaf2d_cycle/step"));
+        assert!(!c.matches("babelstream/copy"));
+    }
+}

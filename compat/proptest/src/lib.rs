@@ -1,0 +1,272 @@
+//! Minimal, API-shaped stand-in for `proptest`, vendored because the build
+//! environment has no registry access.
+//!
+//! Supports the subset the test-suite uses: the `proptest!` macro with an
+//! optional `#![proptest_config(...)]` header, range strategies over
+//! integers and floats, and `prop_assert!`/`prop_assert_eq!`. Sampling is
+//! deterministic per (test name, case index) so failures reproduce; there
+//! is no shrinking — the panic message reports the sampled inputs instead.
+
+/// Runs-per-test configuration (`ProptestConfig::with_cases`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-case RNG (SplitMix64 over a name/case-derived seed).
+pub struct TestRng {
+    x: u64,
+}
+
+impl TestRng {
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            x: h ^ ((case as u64) << 32) ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.x = self.x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A value source for one macro argument. Implemented for the range shapes
+/// used as strategies in the suite.
+pub trait Strategy {
+    type Value: std::fmt::Debug;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty => $wide:ty),* $(,)?) => {
+        $(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = ((self.end as $wide).wrapping_sub(self.start as $wide) as u64) - 1;
+                    let off = if span == u64::MAX {
+                        rng.next_u64()
+                    } else {
+                        // Unbiased rejection sample of [0, span].
+                        let n = span + 1;
+                        let zone = u64::MAX - (u64::MAX - n + 1) % n;
+                        loop {
+                            let v = rng.next_u64();
+                            if v <= zone {
+                                break v % n;
+                            }
+                        }
+                    };
+                    ((self.start as $wide).wrapping_add(off as $wide)) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                    let off = if span == u64::MAX {
+                        rng.next_u64()
+                    } else {
+                        let n = span + 1;
+                        let zone = u64::MAX - (u64::MAX - n + 1) % n;
+                        loop {
+                            let v = rng.next_u64();
+                            if v <= zone {
+                                break v % n;
+                            }
+                        }
+                    };
+                    ((lo as $wide).wrapping_add(off as $wide)) as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_int_strategy!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + (self.end - self.start) * u
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        let u = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        self.start + (self.end - self.start) * u
+    }
+}
+
+/// A constant strategy (`Just(v)`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Generates `cases` deterministic random instantiations per test.
+///
+/// Unlike upstream proptest there is no shrinking; the panic message of a
+/// failing case reports the sampled arguments directly.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                for case in 0..cfg.cases {
+                    let mut __proptest_rng = $crate::TestRng::for_case(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __proptest_rng);)*
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| $body));
+                    if let Err(payload) = result {
+                        eprintln!(
+                            concat!(
+                                "proptest case failed: ", stringify!($name),
+                                " (case {} of {})", $(" ", stringify!($arg), " = {:?}",)*
+                            ),
+                            case, cfg.cases $(, $arg)*
+                        );
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),*) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts equality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Asserts inequality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy, TestRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn int_ranges_in_bounds(a in 3usize..10, b in -4i32..4, c in 0u64..1) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!((-4..4).contains(&b));
+            prop_assert_eq!(c, 0);
+        }
+
+        #[test]
+        fn float_ranges_in_bounds(x in 0.5f64..2.5) {
+            prop_assert!((0.5..2.5).contains(&x));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(v in 1usize..100) {
+            prop_assert!((1..100).contains(&v));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_case() {
+        let s = 5usize..50;
+        let a = Strategy::sample(&s, &mut TestRng::for_case("t", 3));
+        let b = Strategy::sample(&s, &mut TestRng::for_case("t", 3));
+        assert_eq!(a, b);
+        let c = Strategy::sample(&s, &mut TestRng::for_case("t", 4));
+        let d = Strategy::sample(&s, &mut TestRng::for_case("u", 3));
+        // Different case or name gives an independent stream (may collide in
+        // value, but not for this seed choice).
+        let _ = (c, d);
+    }
+}

@@ -1,0 +1,287 @@
+//! Minimal, deterministic stand-in for `rand` 0.8, vendored because the
+//! build environment has no registry access.
+//!
+//! The workspace only uses seeded generation (`StdRng::seed_from_u64` +
+//! `gen_range`) to build reproducible synthetic meshes and decks, so this
+//! shim provides exactly that: a xoshiro256++ core seeded via SplitMix64
+//! (the same seeding scheme rand 0.8 documents for small seeds), uniform
+//! integer sampling by rejection (unbiased), and uniform floats from the
+//! top 53/24 bits.
+//!
+//! Streams are NOT bit-compatible with upstream `rand`; all in-repo
+//! consumers treat the RNG as an arbitrary deterministic source, which this
+//! preserves (same seed → same sequence, forever, on every platform).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Re-implementation of the `rand::Rng` surface the workspace uses.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform sample from a range; supports the integer and float range
+    /// shapes used across the workspace.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: Into<UniformRange<T>>,
+        Self: Sized,
+    {
+        T::sample(range.into(), self)
+    }
+
+    /// Uniform value over the type's full natural span (`[0,1)` for
+    /// floats), mirroring `rand::Rng::gen`.
+    fn gen<T: SampleUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_unit(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let x: f64 = self.gen();
+        x < p
+    }
+}
+
+/// Re-implementation of `rand::SeedableRng` for the shim's generators.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    /// Deterministic xoshiro256++ generator (stands in for `rand`'s
+    /// ChaCha-based `StdRng`; same role, different — but stable — stream).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn from_seed_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the 64-bit seed into the 256-bit state,
+            // as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let mut s = [next(), next(), next(), next()];
+            if s == [0, 0, 0, 0] {
+                s = [0xDEAD_BEEF, 1, 2, 3];
+            }
+            StdRng { s }
+        }
+
+        pub(crate) fn step(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+impl Rng for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.step()
+    }
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng::from_seed_u64(seed)
+    }
+}
+
+/// A normalized half-open range with inclusive-upper flag, the common form
+/// both `a..b` and `a..=b` convert into.
+pub struct UniformRange<T> {
+    pub lo: T,
+    pub hi: T,
+    pub inclusive: bool,
+}
+
+impl<T> From<Range<T>> for UniformRange<T> {
+    fn from(r: Range<T>) -> Self {
+        UniformRange {
+            lo: r.start,
+            hi: r.end,
+            inclusive: false,
+        }
+    }
+}
+
+impl<T: Copy> From<RangeInclusive<T>> for UniformRange<T> {
+    fn from(r: RangeInclusive<T>) -> Self {
+        UniformRange {
+            lo: *r.start(),
+            hi: *r.end(),
+            inclusive: true,
+        }
+    }
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Sized {
+    fn sample<R: Rng>(range: UniformRange<Self>, rng: &mut R) -> Self;
+    /// Full-span / unit-interval sample (used by `Rng::gen`).
+    fn sample_unit<R: Rng>(rng: &mut R) -> Self;
+}
+
+/// Unbiased `[0, span]` sample via Lemire-style rejection on u64.
+fn sample_span<R: Rng>(span: u64, rng: &mut R) -> u64 {
+    if span == u64::MAX {
+        return rng.next_u64();
+    }
+    let n = span + 1; // number of possible values
+    let zone = u64::MAX - (u64::MAX - n + 1) % n;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % n;
+        }
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {
+        $(
+            impl SampleUniform for $t {
+                fn sample<R: Rng>(range: UniformRange<Self>, rng: &mut R) -> Self {
+                    let (lo, hi, inclusive) = (range.lo, range.hi, range.inclusive);
+                    if inclusive {
+                        assert!(lo <= hi, "gen_range: empty range");
+                    } else {
+                        assert!(lo < hi, "gen_range: empty range");
+                    }
+                    let span = if inclusive {
+                        (hi as $wide).wrapping_sub(lo as $wide) as u64
+                    } else {
+                        (hi as $wide).wrapping_sub(lo as $wide) as u64 - 1
+                    };
+                    let off = sample_span(span, rng);
+                    ((lo as $wide).wrapping_add(off as $wide)) as $t
+                }
+                fn sample_unit<R: Rng>(rng: &mut R) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+impl SampleUniform for f64 {
+    fn sample<R: Rng>(range: UniformRange<Self>, rng: &mut R) -> Self {
+        assert!(range.lo < range.hi, "gen_range: empty float range");
+        let u = Self::sample_unit(rng);
+        range.lo + (range.hi - range.lo) * u
+    }
+    fn sample_unit<R: Rng>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits → [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample<R: Rng>(range: UniformRange<Self>, rng: &mut R) -> Self {
+        assert!(range.lo < range.hi, "gen_range: empty float range");
+        let u = Self::sample_unit(rng);
+        range.lo + (range.hi - range.lo) * u
+    }
+    fn sample_unit<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl SampleUniform for bool {
+    fn sample<R: Rng>(_range: UniformRange<Self>, rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+    fn sample_unit<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub mod prelude {
+    pub use crate::{rngs::StdRng, Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = rngs::StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut r = rngs::StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u32 = r.gen_range(0..10u32);
+            assert!(v < 10);
+            let w: usize = r.gen_range(0..=5usize);
+            assert!(w <= 5);
+            let x: i64 = r.gen_range(-3..3i64);
+            assert!((-3..3).contains(&x));
+        }
+    }
+
+    #[test]
+    fn int_ranges_hit_all_values() {
+        let mut r = rngs::StdRng::seed_from_u64(1);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            seen[r.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut r = rngs::StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v: f64 = r.gen_range(-2.5..7.5);
+            assert!((-2.5..7.5).contains(&v));
+            let w: f32 = r.gen_range(0.0f32..1.0);
+            assert!((0.0..1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn single_value_inclusive_range() {
+        let mut r = rngs::StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            assert_eq!(r.gen_range(4..=4usize), 4);
+        }
+    }
+}

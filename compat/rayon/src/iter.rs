@@ -1,0 +1,436 @@
+//! Index-driven parallel iterators.
+//!
+//! Everything the workspace uses is *indexed*: ranges, slices, zips, maps,
+//! enumerations. That permits a far simpler design than rayon's
+//! producer/consumer splitting: a [`ParAccess`] knows its length and can
+//! produce the item at index `i`, and every combinator composes accesses.
+//! The driver walks chunks of the index space on the pool.
+
+use crate::pool;
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
+use std::ops::Range;
+use std::sync::Mutex;
+
+/// Random access to the items of a parallel iterator.
+///
+/// # Safety contract
+/// `get(i)` must be called at most once per index per iteration (mutable
+/// slice accesses hand out `&mut` items derived from a shared pointer).
+/// The chunk driver guarantees this by partitioning `0..len`.
+pub trait ParAccess: Sync {
+    type Item: Send;
+    fn len(&self) -> usize;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// # Safety
+    /// Each index may be accessed at most once, and only for `i < len()`.
+    unsafe fn get(&self, i: usize) -> Self::Item;
+}
+
+/// A parallel iterator: an access plus scheduling hints.
+pub struct ParIter<A: ParAccess> {
+    access: A,
+    min_len: usize,
+}
+
+impl<A: ParAccess> ParIter<A> {
+    fn new(access: A) -> Self {
+        ParIter { access, min_len: 1 }
+    }
+
+    /// Lower bound on the number of items a thread processes at once
+    /// (chunk granularity floor, mirroring rayon's `with_min_len`).
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
+        self
+    }
+
+    pub fn map<R: Send, F: Fn(A::Item) -> R + Sync>(self, f: F) -> ParIter<MapAccess<A, F>> {
+        ParIter {
+            access: MapAccess {
+                inner: self.access,
+                f,
+            },
+            min_len: self.min_len,
+        }
+    }
+
+    pub fn zip<B: ParAccess>(self, other: ParIter<B>) -> ParIter<ZipAccess<A, B>> {
+        ParIter {
+            access: ZipAccess {
+                a: self.access,
+                b: other.access,
+            },
+            min_len: self.min_len.max(other.min_len),
+        }
+    }
+
+    pub fn enumerate(self) -> ParIter<EnumAccess<A>> {
+        ParIter {
+            access: EnumAccess { inner: self.access },
+            min_len: self.min_len,
+        }
+    }
+
+    pub fn for_each<F: Fn(A::Item) + Sync>(self, f: F) {
+        let access = &self.access;
+        let len = access.len();
+        pool::run_chunked(len, pool::default_chunk(len, self.min_len), &|s, e| {
+            for i in s..e {
+                f(unsafe { access.get(i) });
+            }
+        });
+    }
+
+    /// Per-chunk fold + ordered combine. Chunk boundaries depend only on
+    /// `(len, chunk size)` and partials combine in chunk order, so the
+    /// result does not depend on thread interleaving.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> A::Item
+    where
+        ID: Fn() -> A::Item + Sync,
+        OP: Fn(A::Item, A::Item) -> A::Item + Sync,
+    {
+        let access = &self.access;
+        let len = access.len();
+        let chunk = pool::default_chunk(len, self.min_len);
+        let partials: Mutex<Vec<(usize, A::Item)>> = Mutex::new(Vec::new());
+        pool::run_chunked(len, chunk, &|s, e| {
+            let mut acc = identity();
+            for i in s..e {
+                acc = op(acc, unsafe { access.get(i) });
+            }
+            partials
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push((s / chunk, acc));
+        });
+        let mut partials = partials.into_inner().unwrap_or_else(|p| p.into_inner());
+        partials.sort_by_key(|&(c, _)| c);
+        partials
+            .into_iter()
+            .fold(identity(), |acc, (_, p)| op(acc, p))
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<A::Item> + std::iter::Sum<S>,
+    {
+        let access = &self.access;
+        let len = access.len();
+        let chunk = pool::default_chunk(len, self.min_len);
+        let partials: Mutex<Vec<(usize, S)>> = Mutex::new(Vec::new());
+        pool::run_chunked(len, chunk, &|s, e| {
+            let acc: S = (s..e).map(|i| unsafe { access.get(i) }).sum();
+            partials
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push((s / chunk, acc));
+        });
+        let mut partials = partials.into_inner().unwrap_or_else(|p| p.into_inner());
+        partials.sort_by_key(|&(c, _)| c);
+        partials.into_iter().map(|(_, p)| p).sum()
+    }
+
+    pub fn collect<C: FromParIter<A::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+
+    pub fn count(self) -> usize {
+        self.access.len()
+    }
+}
+
+/// Order-preserving collection from an indexed parallel iterator.
+pub trait FromParIter<T> {
+    fn from_par_iter<A: ParAccess<Item = T>>(iter: ParIter<A>) -> Self;
+}
+
+impl<T: Send> FromParIter<T> for Vec<T> {
+    fn from_par_iter<A: ParAccess<Item = T>>(iter: ParIter<A>) -> Self {
+        let access = &iter.access;
+        let len = access.len();
+        let mut out: Vec<MaybeUninit<T>> = Vec::with_capacity(len);
+        // SAFETY: MaybeUninit needs no initialization; each slot is written
+        // exactly once below before the final transmute-to-initialized.
+        unsafe { out.set_len(len) };
+        let slots = SendPtr(out.as_mut_ptr());
+        pool::run_chunked(len, pool::default_chunk(len, iter.min_len), &|s, e| {
+            for i in s..e {
+                unsafe { (*slots.get().add(i)).write(access.get(i)) };
+            }
+        });
+        // SAFETY: every index 0..len was written exactly once (a panic
+        // propagates out of run_chunked before reaching here).
+        unsafe {
+            let mut out = std::mem::ManuallyDrop::new(out);
+            Vec::from_raw_parts(out.as_mut_ptr() as *mut T, len, out.capacity())
+        }
+    }
+}
+
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Whole-struct accessor: closures capturing through this method pick up
+    /// the `Sync` wrapper rather than the raw pointer field (edition-2021
+    /// closures capture disjoint fields otherwise).
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Accesses
+
+pub struct RangeAccess<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! impl_range_access {
+    ($($t:ty),*) => {
+        $(
+            impl ParAccess for RangeAccess<$t> {
+                type Item = $t;
+                fn len(&self) -> usize {
+                    self.len
+                }
+                unsafe fn get(&self, i: usize) -> $t {
+                    self.start + i as $t
+                }
+            }
+            impl IntoParallelIterator for Range<$t> {
+                type Access = RangeAccess<$t>;
+                fn into_par_iter(self) -> ParIter<RangeAccess<$t>> {
+                    let len = if self.end > self.start {
+                        (self.end - self.start) as usize
+                    } else {
+                        0
+                    };
+                    ParIter::new(RangeAccess { start: self.start, len })
+                }
+            }
+        )*
+    };
+}
+
+impl_range_access!(usize, isize, u32, i32, u64, i64);
+
+pub struct SliceAccess<'a, T> {
+    ptr: *const T,
+    len: usize,
+    _marker: PhantomData<&'a T>,
+}
+unsafe impl<T: Sync> Sync for SliceAccess<'_, T> {}
+unsafe impl<T: Sync> Send for SliceAccess<'_, T> {}
+
+impl<'a, T: Sync> ParAccess for SliceAccess<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn get(&self, i: usize) -> &'a T {
+        &*self.ptr.add(i)
+    }
+}
+
+pub struct SliceMutAccess<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut T>,
+}
+unsafe impl<T: Send> Sync for SliceMutAccess<'_, T> {}
+unsafe impl<T: Send> Send for SliceMutAccess<'_, T> {}
+
+impl<'a, T: Send + Sync> ParAccess for SliceMutAccess<'a, T> {
+    type Item = &'a mut T;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn get(&self, i: usize) -> &'a mut T {
+        // SAFETY: the at-most-once-per-index contract makes the returned
+        // mutable borrows disjoint.
+        &mut *self.ptr.add(i)
+    }
+}
+
+pub struct MapAccess<A, F> {
+    inner: A,
+    f: F,
+}
+
+impl<A: ParAccess, R: Send, F: Fn(A::Item) -> R + Sync> ParAccess for MapAccess<A, F> {
+    type Item = R;
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    unsafe fn get(&self, i: usize) -> R {
+        (self.f)(self.inner.get(i))
+    }
+}
+
+pub struct ZipAccess<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParAccess, B: ParAccess> ParAccess for ZipAccess<A, B> {
+    type Item = (A::Item, B::Item);
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    unsafe fn get(&self, i: usize) -> (A::Item, B::Item) {
+        (self.a.get(i), self.b.get(i))
+    }
+}
+
+pub struct EnumAccess<A> {
+    inner: A,
+}
+
+impl<A: ParAccess> ParAccess for EnumAccess<A> {
+    type Item = (usize, A::Item);
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    unsafe fn get(&self, i: usize) -> (usize, A::Item) {
+        (i, self.inner.get(i))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conversion traits (rayon names, so `use rayon::prelude::*` reads the same)
+
+pub trait IntoParallelIterator {
+    type Access: ParAccess;
+    fn into_par_iter(self) -> ParIter<Self::Access>;
+}
+
+pub trait IntoParallelRefIterator<'a> {
+    type Access: ParAccess;
+    fn par_iter(&'a self) -> ParIter<Self::Access>;
+}
+
+pub trait IntoParallelRefMutIterator<'a> {
+    type Access: ParAccess;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Access>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Access = SliceAccess<'a, T>;
+    fn par_iter(&'a self) -> ParIter<SliceAccess<'a, T>> {
+        ParIter::new(SliceAccess {
+            ptr: self.as_ptr(),
+            len: self.len(),
+            _marker: PhantomData,
+        })
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Access = SliceAccess<'a, T>;
+    fn par_iter(&'a self) -> ParIter<SliceAccess<'a, T>> {
+        self.as_slice().par_iter()
+    }
+}
+
+impl<'a, T: Send + Sync + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Access = SliceMutAccess<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParIter<SliceMutAccess<'a, T>> {
+        ParIter::new(SliceMutAccess {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            _marker: PhantomData,
+        })
+    }
+}
+
+impl<'a, T: Send + Sync + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Access = SliceMutAccess<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParIter<SliceMutAccess<'a, T>> {
+        self.as_mut_slice().par_iter_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_for_each_covers_all_indices() {
+        let n = 1000usize;
+        let hits: Vec<std::sync::atomic::AtomicU32> = (0..n)
+            .map(|_| std::sync::atomic::AtomicU32::new(0))
+            .collect();
+        (0..n).into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert!(hits
+            .iter()
+            .all(|h| h.load(std::sync::atomic::Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn map_reduce_matches_serial() {
+        let total = (0..10_000isize)
+            .into_par_iter()
+            .map(|i| i as f64)
+            .reduce(|| 0.0, |a, b| a + b);
+        assert_eq!(total, (0..10_000).map(|i| i as f64).sum::<f64>());
+    }
+
+    #[test]
+    fn zip_mut_writes_elementwise() {
+        let mut dst = vec![0.0f64; 257];
+        let src: Vec<f64> = (0..257).map(|i| i as f64).collect();
+        dst.par_iter_mut()
+            .zip(src.par_iter())
+            .for_each(|(d, &s)| *d = 2.0 * s);
+        for (i, &v) in dst.iter().enumerate() {
+            assert_eq!(v, 2.0 * i as f64);
+        }
+    }
+
+    #[test]
+    fn enumerate_indices_line_up() {
+        let mut v = vec![0usize; 100];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i * 3);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 3));
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let out: Vec<i64> = (0..5000i64).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(out.len(), 5000);
+        assert!(out.iter().enumerate().all(|(i, &x)| x == (i * i) as i64));
+    }
+
+    #[test]
+    fn sum_typed() {
+        let s: f64 = vec![1.5f64; 64].par_iter().map(|&x| x).sum();
+        assert_eq!(s, 96.0);
+    }
+
+    #[test]
+    fn empty_range_is_noop() {
+        (5..5usize)
+            .into_par_iter()
+            .for_each(|_| panic!("must not run"));
+        let total = (3..3isize)
+            .into_par_iter()
+            .map(|i| i as f64)
+            .reduce(|| 7.0, |a, b| a + b);
+        assert_eq!(total, 7.0);
+    }
+
+    #[test]
+    fn min_len_still_covers_everything() {
+        let n = 777usize;
+        let sum: usize = (0..n).into_par_iter().with_min_len(64).map(|i| i).sum();
+        assert_eq!(sum, n * (n - 1) / 2);
+    }
+}

@@ -1,0 +1,200 @@
+//! A persistent global worker pool driving index-chunked jobs.
+//!
+//! The only primitive is [`run_chunked`]: split `0..len` into fixed-size
+//! chunks and run a borrowed `Fn(start, end)` over every chunk, with the
+//! calling thread participating. Workers steal chunks through a shared
+//! atomic cursor, so load balancing is dynamic while chunk *boundaries*
+//! stay a pure function of `(len, chunk)` — deterministic across thread
+//! counts for order-insensitive consumers.
+//!
+//! On a single-core machine (or inside a nested call) everything runs
+//! inline on the caller, which also makes results bit-identical to a
+//! serial loop.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Chunked job shared between the caller and the workers.
+struct Job {
+    /// Borrowed closure, lifetime-erased. The caller guarantees it outlives
+    /// the job by blocking until `pending == 0` before returning.
+    f: FnPtr,
+    len: usize,
+    chunk: usize,
+    n_chunks: usize,
+    /// Next chunk index to claim.
+    cursor: AtomicUsize,
+    /// Chunks not yet finished; the job is complete at 0.
+    pending: AtomicUsize,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+struct FnPtr(*const (dyn Fn(usize, usize) + Sync));
+unsafe impl Send for FnPtr {}
+unsafe impl Sync for FnPtr {}
+
+impl Job {
+    /// Claims and runs chunks until the cursor is exhausted. Returns `true`
+    /// if this call ran at least one chunk.
+    fn work(&self) -> bool {
+        let mut ran = false;
+        loop {
+            let c = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if c >= self.n_chunks {
+                return ran;
+            }
+            ran = true;
+            let start = c * self.chunk;
+            let end = (start + self.chunk).min(self.len);
+            let f = unsafe { &*self.f.0 };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(start, end))) {
+                let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+                slot.get_or_insert(payload);
+            }
+            if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+                *done = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        while !*done {
+            done = self.done_cv.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+struct Pool {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    wake: Condvar,
+    workers: usize,
+}
+
+thread_local! {
+    /// Set while this thread is executing pool work; nested parallel calls
+    /// then run inline, which avoids self-deadlock on the job queue.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let threads = std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        let workers = threads.saturating_sub(1);
+        let pool = Pool {
+            queue: Mutex::new(VecDeque::new()),
+            wake: Condvar::new(),
+            workers,
+        };
+        for w in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("compat-rayon-{w}"))
+                .spawn(worker_main)
+                .expect("spawn pool worker");
+        }
+        pool
+    })
+}
+
+fn worker_main() {
+    IN_POOL.with(|f| f.set(true));
+    let p = pool();
+    loop {
+        let job = {
+            let mut q = p.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                // Drop jobs whose cursor is exhausted; claim the first live one.
+                while let Some(front) = q.front() {
+                    if front.cursor.load(Ordering::Relaxed) >= front.n_chunks {
+                        q.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                if let Some(job) = q.front() {
+                    break job.clone();
+                }
+                q = p.wake.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        job.work();
+    }
+}
+
+/// Number of threads the pool schedules across (workers + caller).
+pub fn threads() -> usize {
+    pool().workers + 1
+}
+
+/// Runs `f(start, end)` over every chunk of `0..len`, in parallel when the
+/// pool has workers, inline otherwise. Blocks until all chunks finished;
+/// re-raises the first panic observed in any chunk.
+pub fn run_chunked(len: usize, chunk: usize, f: &(dyn Fn(usize, usize) + Sync)) {
+    if len == 0 {
+        return;
+    }
+    let chunk = chunk.clamp(1, len);
+    let n_chunks = len.div_ceil(chunk);
+    let p = pool();
+    if p.workers == 0 || n_chunks == 1 || IN_POOL.with(|g| g.get()) {
+        for c in 0..n_chunks {
+            let start = c * chunk;
+            f(start, (start + chunk).min(len));
+        }
+        return;
+    }
+
+    // Erase the borrow lifetime; `job.wait()` below keeps `f` alive until
+    // every chunk has finished running.
+    let f_static: &'static (dyn Fn(usize, usize) + Sync) = unsafe { std::mem::transmute(f) };
+    let job = Arc::new(Job {
+        f: FnPtr(f_static as *const _),
+        len,
+        chunk,
+        n_chunks,
+        cursor: AtomicUsize::new(0),
+        pending: AtomicUsize::new(n_chunks),
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
+        panic: Mutex::new(None),
+    });
+    {
+        let mut q = p.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.push_back(job.clone());
+        p.wake.notify_all();
+    }
+    IN_POOL.with(|g| g.set(true));
+    job.work();
+    IN_POOL.with(|g| g.set(false));
+    job.wait();
+    let payload = {
+        let mut slot = job.panic.lock().unwrap_or_else(|e| e.into_inner());
+        slot.take()
+    };
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+/// Default chunk size: aim for several chunks per thread so stealing can
+/// balance, but never below the caller's `min_len` floor.
+pub fn default_chunk(len: usize, min_len: usize) -> usize {
+    let per_thread = len.div_ceil(4 * threads().max(1)).max(1);
+    per_thread.max(min_len).max(1)
+}

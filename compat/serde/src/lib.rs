@@ -1,0 +1,91 @@
+//! Minimal, API-shaped stand-in for `serde`, vendored because the build
+//! environment has no registry access.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its model types for
+//! forward compatibility but never serializes anything (no `serde_json`,
+//! no binary codec). The traits are therefore pure markers here, and the
+//! companion `serde_derive` proc-macros expand to empty impls. If a future
+//! change actually needs wire formats, replace this shim with the real
+//! crates (or grow `ser`/`de` below into a working data model).
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Owned-deserialization marker mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*
+    };
+}
+
+impl_markers!(
+    bool,
+    char,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    String,
+    ()
+);
+
+impl Serialize for str {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+impl<T: Serialize> Serialize for [T] {}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>, C: Deserialize<'de>> Deserialize<'de>
+    for (A, B, C)
+{
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {}
+impl<'de, K: Deserialize<'de> + Eq + std::hash::Hash, V: Deserialize<'de>, S: Default>
+    Deserialize<'de> for std::collections::HashMap<K, V, S>
+{
+}

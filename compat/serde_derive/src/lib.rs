@@ -1,0 +1,232 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde shim.
+//!
+//! The shim's traits are empty markers, so the derives only need to name the
+//! type and its generic parameters. Parsing is done directly on the token
+//! stream (no `syn`/`quote` available offline): skip attributes and
+//! visibility, read `struct`/`enum`/`union` + identifier, then lift the
+//! generic parameter list if present.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Param {
+    /// Full declaration text (bounds preserved, defaults stripped),
+    /// e.g. `T: Copy`, `'a`, `const N: usize`.
+    decl: String,
+    /// Bare use-site text, e.g. `T`, `'a`, `N`.
+    name: String,
+    is_type: bool,
+}
+
+struct Parsed {
+    name: String,
+    params: Vec<Param>,
+}
+
+fn parse(input: TokenStream) -> Parsed {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes (#[...]) and visibility (pub, pub(crate), ...).
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    match iter.next() {
+        Some(TokenTree::Ident(kw))
+            if matches!(kw.to_string().as_str(), "struct" | "enum" | "union") => {}
+        other => panic!("derive expects a struct/enum/union, found {other:?}"),
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+
+    let mut params = Vec::new();
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            iter.next();
+            let mut depth = 1usize;
+            let mut tokens: Vec<TokenTree> = Vec::new();
+            for tt in iter.by_ref() {
+                if let TokenTree::Punct(p) = &tt {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                tokens.push(tt);
+            }
+            params = split_params(&tokens);
+        }
+    }
+    Parsed { name, params }
+}
+
+/// Splits the token list inside `<...>` on top-level commas and classifies
+/// each parameter.
+fn split_params(tokens: &[TokenTree]) -> Vec<Param> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur: Vec<&TokenTree> = Vec::new();
+    let mut flush = |cur: &mut Vec<&TokenTree>| {
+        if cur.is_empty() {
+            return;
+        }
+        out.push(classify(cur));
+        cur.clear();
+    };
+    for tt in tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    flush(&mut cur);
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(tt);
+    }
+    flush(&mut cur);
+    out
+}
+
+fn classify(tokens: &[&TokenTree]) -> Param {
+    // Strip a trailing default (`= ...` at top level) from the declaration.
+    let mut depth = 0usize;
+    let mut decl_end = tokens.len();
+    for (i, tt) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                '=' if depth == 0 => {
+                    decl_end = i;
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+    let decl = render(&tokens[..decl_end]);
+    match tokens.first() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+            let lt = render(&tokens[..2.min(decl_end)]);
+            Param {
+                decl,
+                name: lt,
+                is_type: false,
+            }
+        }
+        Some(TokenTree::Ident(id)) if id.to_string() == "const" => {
+            let name = match tokens.get(1) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("malformed const parameter: {other:?}"),
+            };
+            Param {
+                decl,
+                name,
+                is_type: false,
+            }
+        }
+        Some(TokenTree::Ident(id)) => Param {
+            decl,
+            name: id.to_string(),
+            is_type: true,
+        },
+        other => panic!("malformed generic parameter: {other:?}"),
+    }
+}
+
+fn render(tokens: &[&TokenTree]) -> String {
+    let mut s = String::new();
+    let mut prev = String::new();
+    for tt in tokens {
+        let piece = tt.to_string();
+        if !s.is_empty() && prev != "'" && !matches!(piece.as_str(), "," | ">" | "'") {
+            s.push(' ');
+        }
+        s.push_str(&piece);
+        prev = piece;
+    }
+    s
+}
+
+fn impl_for(
+    parsed: &Parsed,
+    trait_path: &str,
+    extra_lifetime: Option<&str>,
+    bound: &str,
+) -> String {
+    let mut decls: Vec<String> = Vec::new();
+    if let Some(lt) = extra_lifetime {
+        decls.push(lt.to_string());
+    }
+    for p in &parsed.params {
+        if p.is_type {
+            let has_bounds = p.decl.contains(':');
+            if has_bounds {
+                decls.push(format!("{} + {bound}", p.decl));
+            } else {
+                decls.push(format!("{}: {bound}", p.decl));
+            }
+        } else {
+            decls.push(p.decl.clone());
+        }
+    }
+    let uses: Vec<String> = parsed.params.iter().map(|p| p.name.clone()).collect();
+    let impl_generics = if decls.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", decls.join(", "))
+    };
+    let ty_generics = if uses.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", uses.join(", "))
+    };
+    format!(
+        "impl{impl_generics} {trait_path} for {}{ty_generics} {{}}",
+        parsed.name
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    impl_for(&parsed, "serde::Serialize", None, "serde::Serialize")
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    impl_for(
+        &parsed,
+        "serde::Deserialize<'de>",
+        Some("'de"),
+        "serde::Deserialize<'de>",
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

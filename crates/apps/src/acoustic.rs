@@ -18,7 +18,7 @@
 //! and that the discrete energy stays bounded.
 
 use crate::{AppId, AppRun};
-use bwb_ops::{par_loop3, par_loop3_reduce, Dat3, DistBlock3, ExecMode, Profile, Range3};
+use bwb_ops::{par_loop3_planes, par_loop3_reduce, Dat3, DistBlock3, ExecMode, Profile, Range3};
 use bwb_shmpi::Comm;
 
 /// 8th-order second-derivative coefficients (offsets 0, ±1, ±2, ±3, ±4).
@@ -45,14 +45,24 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Self {
-        Config { n: 32, iterations: 10, courant: 0.3, mode: ExecMode::Serial }
+        Config {
+            n: 32,
+            iterations: 10,
+            courant: 0.3,
+            mode: ExecMode::Serial,
+        }
     }
 }
 
 impl Config {
     /// The paper's testcase: 320³, 10 time iterations.
     pub fn paper() -> Self {
-        Config { n: 320, iterations: 10, courant: 0.3, mode: ExecMode::Rayon }
+        Config {
+            n: 320,
+            iterations: 10,
+            courant: 0.3,
+            mode: ExecMode::Rayon,
+        }
     }
 }
 
@@ -98,33 +108,28 @@ impl Acoustic {
         let back = omega_dt.cos();
         u_prev.init_with(|i, j, kz| (wave(i, j, kz) * back) as f32);
 
-        let lam2 = (cfg.courant * cfg.courant);
-        Acoustic { cfg, u_prev, u_curr, u_next, lam2, omega_dt, step: 0 }
+        let lam2 = cfg.courant * cfg.courant;
+        Acoustic {
+            cfg,
+            u_prev,
+            u_curr,
+            u_next,
+            lam2,
+            omega_dt,
+            step: 0,
+        }
     }
 
     /// One leapfrog step over the given interior range.
     fn step_range(&mut self, profile: &mut Profile, range: Range3) {
-        let lam2 = self.lam2;
-        par_loop3(
+        leapfrog_update(
             profile,
-            "acoustic_update",
             self.cfg.mode,
             range,
-            &mut [&mut self.u_next],
-            &[&self.u_curr, &self.u_prev],
-            FLOPS_PER_POINT,
-            move |_i, _j, _k, out, ins| {
-                let u = |di: isize, dj: isize, dk: isize| ins.get(0, di, dj, dk);
-                let c0 = u(0, 0, 0);
-                let mut lap = 3.0 * C0 * c0;
-                for (r, &cr) in C.iter().enumerate() {
-                    let r = (r + 1) as isize;
-                    lap += cr
-                        * (u(-r, 0, 0) + u(r, 0, 0) + u(0, -r, 0) + u(0, r, 0) + u(0, 0, -r)
-                            + u(0, 0, r));
-                }
-                out.set(0, 2.0 * c0 - ins.get(1, 0, 0, 0) + lam2 * lap);
-            },
+            &mut self.u_next,
+            &self.u_curr,
+            &self.u_prev,
+            self.lam2,
         );
         // Rotate time levels: prev ← curr ← next (next becomes scratch).
         std::mem::swap(&mut self.u_prev, &mut self.u_curr);
@@ -187,7 +192,13 @@ impl Acoustic {
             let err = (sim.center_value() as f64 - sim.center_analytic()).abs();
             max_err = max_err.max(err);
         }
-        AppRun { app: AppId::Acoustic, profile, validation: max_err, iterations, points }
+        AppRun {
+            app: AppId::Acoustic,
+            profile,
+            validation: max_err,
+            iterations,
+            points,
+        }
     }
 
     /// Distributed run over the ranks of `comm`: each rank owns a sub-block
@@ -207,13 +218,18 @@ impl Acoustic {
         let h = 1.0f64 / (n as f64 + 1.0);
         let k = std::f64::consts::PI;
         let wave = |gi: f64, gj: f64, gk: f64| -> f64 {
-            ((k * (gi + 1.0) * h).sin()) * ((k * (gj + 1.0) * h).sin()) * ((k * (gk + 1.0) * h).sin())
+            ((k * (gi + 1.0) * h).sin())
+                * ((k * (gj + 1.0) * h).sin())
+                * ((k * (gk + 1.0) * h).sin())
         };
         let omega_dt = k * 3.0f64.sqrt() * (cfg.courant as f64 * h);
         let back = omega_dt.cos();
         u_curr.init_with(|i, j, kz| {
-            wave((s[0] as isize + i) as f64, (s[1] as isize + j) as f64, (s[2] as isize + kz) as f64)
-                as f32
+            wave(
+                (s[0] as isize + i) as f64,
+                (s[1] as isize + j) as f64,
+                (s[2] as isize + kz) as f64,
+            ) as f32
         });
         u_prev.init_with(|i, j, kz| {
             (wave(
@@ -223,30 +239,17 @@ impl Acoustic {
             ) * back) as f32
         });
 
-        let lam2 = (cfg.courant * cfg.courant);
+        let lam2 = cfg.courant * cfg.courant;
         for _ in 0..cfg.iterations {
             block.exchange_halo(comm, &mut u_curr, RADIUS);
-            par_loop3(
+            leapfrog_update(
                 &mut profile,
-                "acoustic_update",
                 cfg.mode,
                 Range3::interior(lnx, lny, lnz),
-                &mut [&mut u_next],
-                &[&u_curr, &u_prev],
-                FLOPS_PER_POINT,
-                move |_i, _j, _k, out, ins| {
-                    let u = |di: isize, dj: isize, dk: isize| ins.get(0, di, dj, dk);
-                    let c0 = u(0, 0, 0);
-                    let mut lap = 3.0 * C0 * c0;
-                    for (r, &cr) in C.iter().enumerate() {
-                        let r = (r + 1) as isize;
-                        lap += cr
-                            * (u(-r, 0, 0) + u(r, 0, 0) + u(0, -r, 0) + u(0, r, 0)
-                                + u(0, 0, -r)
-                                + u(0, 0, r));
-                    }
-                    out.set(0, 2.0 * c0 - ins.get(1, 0, 0, 0) + lam2 * lap);
-                },
+                &mut u_next,
+                &u_curr,
+                &u_prev,
+                lam2,
             );
             std::mem::swap(&mut u_prev, &mut u_curr);
             std::mem::swap(&mut u_curr, &mut u_next);
@@ -260,6 +263,50 @@ impl Acoustic {
     }
 }
 
+/// The leapfrog update `u⁺ = 2u − u⁻ + λ²∇₈²u` on the slice fast path:
+/// one contiguous `i`-row per `(j,k)`, with the 24 star-stencil neighbour
+/// rows pre-resolved so the inner loop is branch-free straight-line
+/// arithmetic over slices (autovectorizable f32).
+fn leapfrog_update(
+    profile: &mut Profile,
+    mode: ExecMode,
+    range: Range3,
+    u_next: &mut Dat3<f32>,
+    u_curr: &Dat3<f32>,
+    u_prev: &Dat3<f32>,
+    lam2: f32,
+) {
+    par_loop3_planes(
+        profile,
+        "acoustic_update",
+        mode,
+        range,
+        &mut [u_next],
+        &[u_curr, u_prev],
+        FLOPS_PER_POINT,
+        move |_j, _k, out, ins| {
+            let r1 = |r: usize| (r + 1) as isize;
+            let xm: [_; RADIUS] = std::array::from_fn(|r| ins.row_off(0, -r1(r), 0, 0));
+            let xp: [_; RADIUS] = std::array::from_fn(|r| ins.row_off(0, r1(r), 0, 0));
+            let ym: [_; RADIUS] = std::array::from_fn(|r| ins.row_off(0, 0, -r1(r), 0));
+            let yp: [_; RADIUS] = std::array::from_fn(|r| ins.row_off(0, 0, r1(r), 0));
+            let zm: [_; RADIUS] = std::array::from_fn(|r| ins.row_off(0, 0, 0, -r1(r)));
+            let zp: [_; RADIUS] = std::array::from_fn(|r| ins.row_off(0, 0, 0, r1(r)));
+            let uc = ins.row(0);
+            let up = ins.row(1);
+            let un = out.row(0);
+            for i in 0..un.len() {
+                let c0 = uc[i];
+                let mut lap = 3.0 * C0 * c0;
+                for (r, &cr) in C.iter().enumerate() {
+                    lap += cr * (xm[r][i] + xp[r][i] + ym[r][i] + yp[r][i] + zm[r][i] + zp[r][i]);
+                }
+                un[i] = 2.0 * c0 - up[i] + lam2 * lap;
+            }
+        },
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,7 +314,11 @@ mod tests {
 
     #[test]
     fn standing_wave_matches_analytic_solution() {
-        let run = Acoustic::run(Config { n: 48, iterations: 20, ..Config::default() });
+        let run = Acoustic::run(Config {
+            n: 48,
+            iterations: 20,
+            ..Config::default()
+        });
         // 8th-order stencil, 2nd-order leapfrog: the centre error stays tiny
         // over 20 steps at CFL 0.3 on a 48³ grid.
         assert!(run.validation < 5e-4, "centre error {}", run.validation);
@@ -275,7 +326,11 @@ mod tests {
 
     #[test]
     fn energy_stays_bounded() {
-        let cfg = Config { n: 24, iterations: 0, ..Config::default() };
+        let cfg = Config {
+            n: 24,
+            iterations: 0,
+            ..Config::default()
+        };
         let mut profile = Profile::new();
         let mut sim = Acoustic::new(cfg);
         let e0 = sim.energy(&mut profile);
@@ -291,15 +346,30 @@ mod tests {
 
     #[test]
     fn serial_equals_rayon_bitwise() {
-        let a = Acoustic::run(Config { n: 20, iterations: 5, mode: ExecMode::Serial, ..Config::default() });
-        let b = Acoustic::run(Config { n: 20, iterations: 5, mode: ExecMode::Rayon, ..Config::default() });
+        let a = Acoustic::run(Config {
+            n: 20,
+            iterations: 5,
+            mode: ExecMode::Serial,
+            ..Config::default()
+        });
+        let b = Acoustic::run(Config {
+            n: 20,
+            iterations: 5,
+            mode: ExecMode::Rayon,
+            ..Config::default()
+        });
         assert_eq!(a.validation, b.validation);
     }
 
     #[test]
     fn unstable_courant_blows_up() {
         // CFL limit for the 3-D 8th-order star is ~0.52; 0.9 must diverge.
-        let cfg = Config { n: 16, iterations: 0, courant: 0.9, ..Config::default() };
+        let cfg = Config {
+            n: 16,
+            iterations: 0,
+            courant: 0.9,
+            ..Config::default()
+        };
         let mut profile = Profile::new();
         let mut sim = Acoustic::new(cfg);
         let e0 = sim.energy(&mut profile);
@@ -315,7 +385,11 @@ mod tests {
 
     #[test]
     fn profile_accounts_bytes_and_flops() {
-        let run = Acoustic::run(Config { n: 16, iterations: 4, ..Config::default() });
+        let run = Acoustic::run(Config {
+            n: 16,
+            iterations: 4,
+            ..Config::default()
+        });
         let rec = run.profile.get("acoustic_update").unwrap();
         assert_eq!(rec.calls, 4);
         assert_eq!(rec.points, 4 * 16 * 16 * 16);
@@ -326,7 +400,11 @@ mod tests {
 
     #[test]
     fn distributed_matches_single_rank() {
-        let cfg = Config { n: 24, iterations: 6, ..Config::default() };
+        let cfg = Config {
+            n: 24,
+            iterations: 6,
+            ..Config::default()
+        };
         let single = {
             let cfg = cfg.clone();
             let mut profile = Profile::new();
@@ -353,12 +431,19 @@ mod tests {
             .zip(&single)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f64, f64::max);
-        assert!(max_diff < 1e-6, "distributed differs from serial by {max_diff}");
+        assert!(
+            max_diff < 1e-6,
+            "distributed differs from serial by {max_diff}"
+        );
     }
 
     #[test]
     fn distributed_profile_counts_halo_traffic() {
-        let cfg = Config { n: 16, iterations: 2, ..Config::default() };
+        let cfg = Config {
+            n: 16,
+            iterations: 2,
+            ..Config::default()
+        };
         let out = Universe::run(4, move |c| {
             let _ = Acoustic::run_distributed(c, cfg.clone());
             c.stats()

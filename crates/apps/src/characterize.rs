@@ -8,7 +8,9 @@
 //! reach (halo volume), kernel-launch counts (SYCL overhead), indirection
 //! (latency sensitivity), and whether the MPI backend auto-vectorizes.
 
-use crate::{acoustic, cloverleaf2d, cloverleaf3d, mgcfd, minibude, miniweather, opensbli, volna, AppId};
+use crate::{
+    acoustic, cloverleaf2d, cloverleaf3d, mgcfd, minibude, miniweather, opensbli, volna, AppId,
+};
 use bwb_ops::ExecMode;
 use serde::{Deserialize, Serialize};
 
@@ -306,8 +308,16 @@ mod tests {
     #[test]
     fn clover2d_is_bandwidth_bound() {
         let c = characterize(AppId::CloverLeaf2D);
-        assert!(c.intensity() < 3.0, "CloverLeaf intensity {}", c.intensity());
-        assert!(c.bytes_per_point_iter > 50.0, "bytes/pt/iter {}", c.bytes_per_point_iter);
+        assert!(
+            c.intensity() < 3.0,
+            "CloverLeaf intensity {}",
+            c.intensity()
+        );
+        assert!(
+            c.bytes_per_point_iter > 50.0,
+            "bytes/pt/iter {}",
+            c.bytes_per_point_iter
+        );
         assert!(c.kernels_per_iter > 8.0);
     }
 
@@ -342,6 +352,10 @@ mod tests {
     #[test]
     fn clover_has_small_boundary_kernels() {
         let c = characterize(AppId::CloverLeaf2D);
-        assert!(c.small_kernel_fraction > 0.05, "small-kernel fraction {}", c.small_kernel_fraction);
+        assert!(
+            c.small_kernel_fraction > 0.05,
+            "small-kernel fraction {}",
+            c.small_kernel_fraction
+        );
     }
 }

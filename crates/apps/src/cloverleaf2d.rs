@@ -19,7 +19,9 @@
 //! default, `Config::paper()` gives the full size).
 
 use crate::{AppId, AppRun};
-use bwb_ops::{par_loop2, par_loop2_reduce, Dat2, DistBlock2, ExecMode, Profile, Range2};
+use bwb_ops::{
+    par_loop2, par_loop2_reduce, par_loop2_rows, Dat2, DistBlock2, ExecMode, Profile, Range2,
+};
 use bwb_shmpi::{Comm, ReduceOp};
 use std::time::Instant;
 
@@ -293,7 +295,13 @@ impl Clover2 {
         // the SYCL launch-overhead analysis (paper §5.1) depends on.
         let per = (points / 6).max(1);
         for _ in 0..6 {
-            profile.record("update_halo", per, per * 16, 0.0, (total - comm_seconds) / 6.0);
+            profile.record(
+                "update_halo",
+                per,
+                per * 16,
+                0.0,
+                (total - comm_seconds) / 6.0,
+            );
         }
     }
 
@@ -340,7 +348,13 @@ impl Clover2 {
                 }
             }
         }
-        profile.record("update_halo_vel", points, points * 8, 0.0, t0.elapsed().as_secs_f64());
+        profile.record(
+            "update_halo_vel",
+            points,
+            points * 8,
+            0.0,
+            t0.elapsed().as_secs_f64(),
+        );
     }
 
     /// Exchange node-velocity halos between ranks.
@@ -350,15 +364,21 @@ impl Clover2 {
             // duplicated on both ranks, so a depth-1 exchange keeps ghosts
             // consistent; interface nodes are computed identically on both
             // sides from the same (exchanged) cell data.
-            for f in [&mut self.xvel0, &mut self.yvel0, &mut self.xvel1, &mut self.yvel1] {
+            for f in [
+                &mut self.xvel0,
+                &mut self.yvel0,
+                &mut self.xvel1,
+                &mut self.yvel1,
+            ] {
                 exchange_node_field(&block, comm, f);
             }
         }
     }
 
-    /// EOS: p = (γ−1)ρe, ss = √(γp/ρ).
+    /// EOS: p = (γ−1)ρe, ss = √(γp/ρ). Slice fast path: pointwise over
+    /// contiguous rows, so the compiler autovectorizes the EOS arithmetic.
     fn ideal_gas(&mut self, profile: &mut Profile) {
-        par_loop2(
+        par_loop2_rows(
             profile,
             "ideal_gas",
             self.cfg.mode,
@@ -366,12 +386,15 @@ impl Clover2 {
             &mut [&mut self.pressure, &mut self.soundspeed],
             &[&self.density0, &self.energy0],
             5.0,
-            |_i, _j, out, ins| {
-                let rho = ins.get(0, 0, 0);
-                let e = ins.get(1, 0, 0);
-                let p = (GAMMA - 1.0) * rho * e;
-                out.set(0, p);
-                out.set(1, (GAMMA * p / rho).sqrt());
+            |_j, out, ins| {
+                let rho = ins.row(0);
+                let e = ins.row(1);
+                let (p, ss) = out.rows2(0, 1);
+                for i in 0..p.len() {
+                    let pv = (GAMMA - 1.0) * rho[i] * e[i];
+                    p[i] = pv;
+                    ss[i] = (GAMMA * pv / rho[i]).sqrt();
+                }
             },
         );
     }
@@ -379,7 +402,7 @@ impl Clover2 {
     /// Artificial (quadratic) viscosity on compressing cells.
     fn viscosity_kernel(&mut self, profile: &mut Profile) {
         let (dx, dy) = (self.dx, self.dy);
-        par_loop2(
+        par_loop2_rows(
             profile,
             "viscosity",
             self.cfg.mode,
@@ -387,20 +410,29 @@ impl Clover2 {
             &mut [&mut self.viscosity],
             &[&self.density0, &self.xvel0, &self.yvel0],
             12.0,
-            move |_i, _j, out, ins| {
+            move |_j, out, ins| {
                 // Cell (i,j) is bounded by nodes (i..i+1, j..j+1).
-                let ugrad =
-                    0.5 * ((ins.get(1, 1, 0) + ins.get(1, 1, 1)) - (ins.get(1, 0, 0) + ins.get(1, 0, 1)));
-                let vgrad =
-                    0.5 * ((ins.get(2, 0, 1) + ins.get(2, 1, 1)) - (ins.get(2, 0, 0) + ins.get(2, 1, 0)));
-                let div = ugrad / dx + vgrad / dy;
-                let q = if div < 0.0 {
-                    let l = dx.min(dy);
-                    2.0 * ins.get(0, 0, 0) * (div * l) * (div * l)
-                } else {
-                    0.0
-                };
-                out.set(0, q);
+                let rho = ins.row(0);
+                let u00 = ins.row_off(1, 0, 0);
+                let u10 = ins.row_off(1, 1, 0);
+                let u01 = ins.row_off(1, 0, 1);
+                let u11 = ins.row_off(1, 1, 1);
+                let v00 = ins.row_off(2, 0, 0);
+                let v10 = ins.row_off(2, 1, 0);
+                let v01 = ins.row_off(2, 0, 1);
+                let v11 = ins.row_off(2, 1, 1);
+                let q = out.row(0);
+                for i in 0..q.len() {
+                    let ugrad = 0.5 * ((u10[i] + u11[i]) - (u00[i] + u01[i]));
+                    let vgrad = 0.5 * ((v01[i] + v11[i]) - (v00[i] + v10[i]));
+                    let div = ugrad / dx + vgrad / dy;
+                    q[i] = if div < 0.0 {
+                        let l = dx.min(dy);
+                        2.0 * rho[i] * (div * l) * (div * l)
+                    } else {
+                        0.0
+                    };
+                }
             },
         );
     }
@@ -434,25 +466,49 @@ impl Clover2 {
     fn accelerate(&mut self, profile: &mut Profile, dt: f64) {
         let (dx, dy) = (self.dx, self.dy);
         let vol = dx * dy;
-        par_loop2(
+        par_loop2_rows(
             profile,
             "accelerate",
             self.cfg.mode,
             self.nodes(),
             &mut [&mut self.xvel1, &mut self.yvel1],
-            &[&self.density0, &self.pressure, &self.viscosity, &self.xvel0, &self.yvel0],
+            &[
+                &self.density0,
+                &self.pressure,
+                &self.viscosity,
+                &self.xvel0,
+                &self.yvel0,
+            ],
             25.0,
-            move |_i, _j, out, ins| {
+            move |_j, out, ins| {
                 // Node (i,j) neighbours cells (i-1..i)×(j-1..j).
-                let den = |di: isize, dj: isize| ins.get(0, di, dj);
-                let nodal_mass =
-                    0.25 * vol * (den(-1, -1) + den(0, -1) + den(0, 0) + den(-1, 0));
-                let stepbymass = 0.5 * dt / nodal_mass;
-                let pq = |di: isize, dj: isize| ins.get(1, di, dj) + ins.get(2, di, dj);
-                let dpx = (pq(0, 0) + pq(0, -1)) - (pq(-1, 0) + pq(-1, -1));
-                let dpy = (pq(0, 0) + pq(-1, 0)) - (pq(0, -1) + pq(-1, -1));
-                out.set(0, ins.get(3, 0, 0) - stepbymass * dpx * dy);
-                out.set(1, ins.get(4, 0, 0) - stepbymass * dpy * dx);
+                let d_mm = ins.row_off(0, -1, -1);
+                let d_0m = ins.row_off(0, 0, -1);
+                let d_00 = ins.row_off(0, 0, 0);
+                let d_m0 = ins.row_off(0, -1, 0);
+                let p_mm = ins.row_off(1, -1, -1);
+                let p_0m = ins.row_off(1, 0, -1);
+                let p_00 = ins.row_off(1, 0, 0);
+                let p_m0 = ins.row_off(1, -1, 0);
+                let q_mm = ins.row_off(2, -1, -1);
+                let q_0m = ins.row_off(2, 0, -1);
+                let q_00 = ins.row_off(2, 0, 0);
+                let q_m0 = ins.row_off(2, -1, 0);
+                let u0 = ins.row(3);
+                let v0 = ins.row(4);
+                let (u1, v1) = out.rows2(0, 1);
+                for i in 0..u1.len() {
+                    let nodal_mass = 0.25 * vol * (d_mm[i] + d_0m[i] + d_00[i] + d_m0[i]);
+                    let stepbymass = 0.5 * dt / nodal_mass;
+                    let pq_00 = p_00[i] + q_00[i];
+                    let pq_0m = p_0m[i] + q_0m[i];
+                    let pq_m0 = p_m0[i] + q_m0[i];
+                    let pq_mm = p_mm[i] + q_mm[i];
+                    let dpx = (pq_00 + pq_0m) - (pq_m0 + pq_mm);
+                    let dpy = (pq_00 + pq_m0) - (pq_0m + pq_mm);
+                    u1[i] = u0[i] - stepbymass * dpx * dy;
+                    v1[i] = v0[i] - stepbymass * dpy * dx;
+                }
             },
         );
     }
@@ -461,25 +517,43 @@ impl Clover2 {
     /// (Density is updated exclusively by the conservative remap.)
     fn pdv(&mut self, profile: &mut Profile, dt: f64) {
         let (dx, dy) = (self.dx, self.dy);
-        par_loop2(
+        par_loop2_rows(
             profile,
             "pdv",
             self.cfg.mode,
             self.cells(),
             &mut [&mut self.energy1, &mut self.density1],
-            &[&self.density0, &self.energy0, &self.pressure, &self.viscosity, &self.xvel1, &self.yvel1],
+            &[
+                &self.density0,
+                &self.energy0,
+                &self.pressure,
+                &self.viscosity,
+                &self.xvel1,
+                &self.yvel1,
+            ],
             20.0,
-            move |_i, _j, out, ins| {
-                let ugrad = 0.5
-                    * ((ins.get(4, 1, 0) + ins.get(4, 1, 1)) - (ins.get(4, 0, 0) + ins.get(4, 0, 1)));
-                let vgrad = 0.5
-                    * ((ins.get(5, 0, 1) + ins.get(5, 1, 1)) - (ins.get(5, 0, 0) + ins.get(5, 1, 0)));
-                let div = ugrad / dx + vgrad / dy;
-                let rho = ins.get(0, 0, 0);
-                let e = ins.get(1, 0, 0);
-                let pq = ins.get(2, 0, 0) + ins.get(3, 0, 0);
-                out.set(0, (e - dt * pq * div / rho).max(1e-10));
-                out.set(1, rho);
+            move |_j, out, ins| {
+                let rho = ins.row(0);
+                let e = ins.row(1);
+                let p = ins.row(2);
+                let q = ins.row(3);
+                let u00 = ins.row_off(4, 0, 0);
+                let u10 = ins.row_off(4, 1, 0);
+                let u01 = ins.row_off(4, 0, 1);
+                let u11 = ins.row_off(4, 1, 1);
+                let v00 = ins.row_off(5, 0, 0);
+                let v10 = ins.row_off(5, 1, 0);
+                let v01 = ins.row_off(5, 0, 1);
+                let v11 = ins.row_off(5, 1, 1);
+                let (e1, d1) = out.rows2(0, 1);
+                for i in 0..e1.len() {
+                    let ugrad = 0.5 * ((u10[i] + u11[i]) - (u00[i] + u01[i]));
+                    let vgrad = 0.5 * ((v01[i] + v11[i]) - (v00[i] + v10[i]));
+                    let div = ugrad / dx + vgrad / dy;
+                    let pq = p[i] + q[i];
+                    e1[i] = (e[i] - dt * pq * div / rho[i]).max(1e-10);
+                    d1[i] = rho[i];
+                }
             },
         );
     }
@@ -488,7 +562,7 @@ impl Clover2 {
     fn flux_calc(&mut self, profile: &mut Profile, dt: f64) {
         let (dx, dy, nx, ny) = (self.dx, self.dy, self.nx, self.ny);
         let mode = self.cfg.mode;
-        par_loop2(
+        par_loop2_rows(
             profile,
             "flux_calc_x",
             mode,
@@ -496,13 +570,19 @@ impl Clover2 {
             &mut [&mut self.vol_flux_x],
             &[&self.xvel0, &self.xvel1],
             5.0,
-            move |_i, _j, out, ins| {
-                let u = 0.25
-                    * (ins.get(0, 0, 0) + ins.get(0, 0, 1) + ins.get(1, 0, 0) + ins.get(1, 0, 1));
-                out.set(0, u * dt * dy);
+            move |_j, out, ins| {
+                let u0 = ins.row_off(0, 0, 0);
+                let u0j = ins.row_off(0, 0, 1);
+                let u1 = ins.row_off(1, 0, 0);
+                let u1j = ins.row_off(1, 0, 1);
+                let fx = out.row(0);
+                for i in 0..fx.len() {
+                    let u = 0.25 * (u0[i] + u0j[i] + u1[i] + u1j[i]);
+                    fx[i] = u * dt * dy;
+                }
             },
         );
-        par_loop2(
+        par_loop2_rows(
             profile,
             "flux_calc_y",
             mode,
@@ -510,10 +590,16 @@ impl Clover2 {
             &mut [&mut self.vol_flux_y],
             &[&self.yvel0, &self.yvel1],
             5.0,
-            move |_i, _j, out, ins| {
-                let v = 0.25
-                    * (ins.get(0, 0, 0) + ins.get(0, 1, 0) + ins.get(1, 0, 0) + ins.get(1, 1, 0));
-                out.set(0, v * dt * dx);
+            move |_j, out, ins| {
+                let v0 = ins.row_off(0, 0, 0);
+                let v0i = ins.row_off(0, 1, 0);
+                let v1 = ins.row_off(1, 0, 0);
+                let v1i = ins.row_off(1, 1, 0);
+                let fy = out.row(0);
+                for i in 0..fy.len() {
+                    let v = 0.25 * (v0[i] + v0i[i] + v1[i] + v1i[i]);
+                    fy[i] = v * dt * dx;
+                }
             },
         );
     }
@@ -531,7 +617,11 @@ impl Clover2 {
             self.cells(),
             &mut [&mut self.work_d, &mut self.work_e],
             &[&self.density1, &self.energy1, &self.vol_flux_x],
-            if scheme == Advection::VanLeer { 38.0 } else { 18.0 },
+            if scheme == Advection::VanLeer {
+                38.0
+            } else {
+                18.0
+            },
             move |_i, _j, out, ins| {
                 // Face value with optional van Leer-limited reconstruction
                 // from the donor cell toward the face.
@@ -582,7 +672,11 @@ impl Clover2 {
             self.cells(),
             &mut [&mut self.work_d, &mut self.work_e],
             &[&self.density1, &self.energy1, &self.vol_flux_y],
-            if scheme == Advection::VanLeer { 38.0 } else { 18.0 },
+            if scheme == Advection::VanLeer {
+                38.0
+            } else {
+                18.0
+            },
             move |_i, _j, out, ins| {
                 let face_val = |f: usize, face: isize, fv: f64| -> f64 {
                     let (donor, toward) = if fv > 0.0 { (face - 1, 1) } else { (face, -1) };
@@ -653,8 +747,9 @@ impl Clover2 {
     }
 
     /// Reset: advected quantities become the next step's initial state.
+    /// Slice path: each row is a straight memcpy.
     fn reset_field(&mut self, profile: &mut Profile) {
-        par_loop2(
+        par_loop2_rows(
             profile,
             "reset_field",
             self.cfg.mode,
@@ -662,9 +757,10 @@ impl Clover2 {
             &mut [&mut self.density0, &mut self.energy0],
             &[&self.density1, &self.energy1],
             0.0,
-            |_i, _j, out, ins| {
-                out.set(0, ins.get(0, 0, 0));
-                out.set(1, ins.get(1, 0, 0));
+            |_j, out, ins| {
+                let (d, e) = out.rows2(0, 1);
+                d.copy_from_slice(ins.row(0));
+                e.copy_from_slice(ins.row(1));
             },
         );
         std::mem::swap(&mut self.xvel0, &mut self.work_u);
@@ -746,7 +842,13 @@ impl Clover2 {
         }
         let (m1, _e1) = sim.field_summary(&mut profile);
         let validation = ((m1 - m0) / m0).abs();
-        AppRun { app: AppId::CloverLeaf2D, profile, validation, iterations, points }
+        AppRun {
+            app: AppId::CloverLeaf2D,
+            profile,
+            validation,
+            iterations,
+            points,
+        }
     }
 
     /// Distributed run; returns this rank's profile and the gathered global
@@ -784,13 +886,23 @@ mod tests {
 
     #[test]
     fn mass_exactly_conserved() {
-        let run = Clover2::run(Config { nx: 32, ny: 32, iterations: 30, ..Config::default() });
+        let run = Clover2::run(Config {
+            nx: 32,
+            ny: 32,
+            iterations: 30,
+            ..Config::default()
+        });
         assert!(run.validation < 1e-12, "mass drift {}", run.validation);
     }
 
     #[test]
     fn energy_bounded() {
-        let cfg = Config { nx: 32, ny: 32, iterations: 40, ..Config::default() };
+        let cfg = Config {
+            nx: 32,
+            ny: 32,
+            iterations: 40,
+            ..Config::default()
+        };
         let mut profile = Profile::new();
         let mut sim = Clover2::new(cfg);
         let (_m0, e0) = sim.field_summary(&mut profile);
@@ -804,7 +916,12 @@ mod tests {
 
     #[test]
     fn pressure_positive_and_finite() {
-        let cfg = Config { nx: 24, ny: 24, iterations: 25, ..Config::default() };
+        let cfg = Config {
+            nx: 24,
+            ny: 24,
+            iterations: 25,
+            ..Config::default()
+        };
         let mut profile = Profile::new();
         let mut sim = Clover2::new(cfg);
         for _ in 0..25 {
@@ -824,7 +941,12 @@ mod tests {
     fn diagonal_symmetry_preserved() {
         // The initial state is symmetric under (i,j) → (j,i); the dynamics
         // must preserve that symmetry exactly.
-        let cfg = Config { nx: 24, ny: 24, iterations: 15, ..Config::default() };
+        let cfg = Config {
+            nx: 24,
+            ny: 24,
+            iterations: 15,
+            ..Config::default()
+        };
         let mut profile = Profile::new();
         let mut sim = Clover2::new(cfg);
         for _ in 0..15 {
@@ -837,25 +959,38 @@ mod tests {
                 // The x-then-y advection splitting breaks exact transpose
                 // symmetry near the shock; a transposed-index bug would show
                 // O(0.1+) asymmetry, splitting error stays well below.
-                assert!(
-                    (a - b).abs() < 5e-2,
-                    "asymmetry at ({i},{j}): {a} vs {b}"
-                );
+                assert!((a - b).abs() < 5e-2, "asymmetry at ({i},{j}): {a} vs {b}");
             }
         }
     }
 
     #[test]
     fn serial_equals_rayon() {
-        let base = Config { nx: 20, ny: 20, iterations: 8, ..Config::default() };
-        let a = Clover2::run(Config { mode: ExecMode::Serial, ..base.clone() });
-        let b = Clover2::run(Config { mode: ExecMode::Rayon, ..base });
+        let base = Config {
+            nx: 20,
+            ny: 20,
+            iterations: 8,
+            ..Config::default()
+        };
+        let a = Clover2::run(Config {
+            mode: ExecMode::Serial,
+            ..base.clone()
+        });
+        let b = Clover2::run(Config {
+            mode: ExecMode::Rayon,
+            ..base
+        });
         assert_eq!(a.validation, b.validation);
     }
 
     #[test]
     fn profile_contains_cloverleaf_kernels() {
-        let run = Clover2::run(Config { nx: 16, ny: 16, iterations: 3, ..Config::default() });
+        let run = Clover2::run(Config {
+            nx: 16,
+            ny: 16,
+            iterations: 3,
+            ..Config::default()
+        });
         for k in [
             "ideal_gas",
             "viscosity",
@@ -875,7 +1010,12 @@ mod tests {
 
     #[test]
     fn distributed_matches_single_rank() {
-        let cfg = Config { nx: 24, ny: 24, iterations: 5, ..Config::default() };
+        let cfg = Config {
+            nx: 24,
+            ny: 24,
+            iterations: 5,
+            ..Config::default()
+        };
         let single = {
             let mut profile = Profile::new();
             let mut sim = Clover2::new(cfg.clone());
@@ -910,7 +1050,11 @@ mod tests {
             advection: Advection::VanLeer,
             ..Config::default()
         });
-        assert!(run.validation < 1e-12, "van Leer mass drift {}", run.validation);
+        assert!(
+            run.validation < 1e-12,
+            "van Leer mass drift {}",
+            run.validation
+        );
     }
 
     #[test]
@@ -918,7 +1062,13 @@ mod tests {
         // After the shock has propagated, the second-order remap must keep
         // a steeper density front: compare the max |∇ρ| across schemes.
         let max_grad = |advection: Advection| {
-            let cfg = Config { nx: 48, ny: 48, iterations: 25, advection, ..Config::default() };
+            let cfg = Config {
+                nx: 48,
+                ny: 48,
+                iterations: 25,
+                advection,
+                ..Config::default()
+            };
             let mut profile = Profile::new();
             let mut sim = Clover2::new(cfg);
             for _ in 0..25 {
@@ -934,7 +1084,10 @@ mod tests {
         };
         let donor = max_grad(Advection::DonorCell);
         let vl = max_grad(Advection::VanLeer);
-        assert!(vl > donor, "van Leer front {vl} should be sharper than donor {donor}");
+        assert!(
+            vl > donor,
+            "van Leer front {vl} should be sharper than donor {donor}"
+        );
     }
 
     #[test]
@@ -990,12 +1143,20 @@ mod tests {
             .zip(&single)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f64, f64::max);
-        assert!(max_diff < 1e-11, "van Leer distributed differs by {max_diff}");
+        assert!(
+            max_diff < 1e-11,
+            "van Leer distributed differs by {max_diff}"
+        );
     }
 
     #[test]
     fn dt_positive_and_stable() {
-        let cfg = Config { nx: 16, ny: 16, iterations: 0, ..Config::default() };
+        let cfg = Config {
+            nx: 16,
+            ny: 16,
+            iterations: 0,
+            ..Config::default()
+        };
         let mut profile = Profile::new();
         let mut sim = Clover2::new(cfg);
         sim.ideal_gas(&mut profile);

@@ -9,7 +9,7 @@
 //! cells, the remap runs three sweeps.
 
 use crate::{AppId, AppRun};
-use bwb_ops::{par_loop3, par_loop3_reduce, Dat3, ExecMode, Profile, Range3};
+use bwb_ops::{par_loop3, par_loop3_planes, par_loop3_reduce, Dat3, ExecMode, Profile, Range3};
 use std::time::Instant;
 
 pub const GAMMA: f64 = 1.4;
@@ -25,14 +25,24 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Self {
-        Config { n: 16, iterations: 10, cfl: 0.45, mode: ExecMode::Serial }
+        Config {
+            n: 16,
+            iterations: 10,
+            cfl: 0.45,
+            mode: ExecMode::Serial,
+        }
     }
 }
 
 impl Config {
     /// Paper testcase: 408³, 50 iterations.
     pub fn paper() -> Self {
-        Config { n: 408, iterations: 50, cfl: 0.45, mode: ExecMode::Rayon }
+        Config {
+            n: 408,
+            iterations: 50,
+            cfl: 0.45,
+            mode: ExecMode::Rayon,
+        }
     }
 }
 
@@ -69,8 +79,20 @@ impl Clover3 {
         let mut density0 = cell("density0");
         let mut energy0 = cell("energy0");
         let half = n as isize / 2;
-        density0.init_with(|i, j, k| if i < half && j < half && k < half { 1.0 } else { 0.2 });
-        energy0.init_with(|i, j, k| if i < half && j < half && k < half { 2.5 } else { 1.0 });
+        density0.init_with(|i, j, k| {
+            if i < half && j < half && k < half {
+                1.0
+            } else {
+                0.2
+            }
+        });
+        energy0.init_with(|i, j, k| {
+            if i < half && j < half && k < half {
+                2.5
+            } else {
+                1.0
+            }
+        });
         Clover3 {
             n,
             dx,
@@ -147,7 +169,13 @@ impl Clover3 {
                 }
             }
         }
-        profile.record("update_halo3", points, points * 16, 0.0, t0.elapsed().as_secs_f64());
+        profile.record(
+            "update_halo3",
+            points,
+            points * 16,
+            0.0,
+            t0.elapsed().as_secs_f64(),
+        );
     }
 
     /// Zero normal velocities on the box walls.
@@ -182,11 +210,17 @@ impl Clover3 {
                 }
             }
         }
-        profile.record("update_halo3_vel", points, points * 8, 0.0, t0.elapsed().as_secs_f64());
+        profile.record(
+            "update_halo3_vel",
+            points,
+            points * 8,
+            0.0,
+            t0.elapsed().as_secs_f64(),
+        );
     }
 
     fn ideal_gas(&mut self, profile: &mut Profile) {
-        par_loop3(
+        par_loop3_planes(
             profile,
             "ideal_gas3",
             self.cfg.mode,
@@ -194,19 +228,22 @@ impl Clover3 {
             &mut [&mut self.pressure, &mut self.soundspeed],
             &[&self.density0, &self.energy0],
             5.0,
-            |_i, _j, _k, out, ins| {
-                let rho = ins.get(0, 0, 0, 0);
-                let e = ins.get(1, 0, 0, 0);
-                let p = (GAMMA - 1.0) * rho * e;
-                out.set(0, p);
-                out.set(1, (GAMMA * p / rho).sqrt());
+            |_j, _k, out, ins| {
+                let rho = ins.row(0);
+                let e = ins.row(1);
+                let (p, ss) = out.rows2(0, 1);
+                for i in 0..p.len() {
+                    let pv = (GAMMA - 1.0) * rho[i] * e[i];
+                    p[i] = pv;
+                    ss[i] = (GAMMA * pv / rho[i]).sqrt();
+                }
             },
         );
     }
 
     fn viscosity_kernel(&mut self, profile: &mut Profile) {
         let dx = self.dx;
-        par_loop3(
+        par_loop3_planes(
             profile,
             "viscosity3",
             self.cfg.mode,
@@ -214,29 +251,31 @@ impl Clover3 {
             &mut [&mut self.viscosity],
             &[&self.density0, &self.xvel, &self.yvel, &self.zvel],
             25.0,
-            move |_i, _j, _k, out, ins| {
-                // Average face-normal velocity differences over each face's
-                // 4 nodes.
-                let favg = |f: usize, d: usize, hi: isize| -> f64 {
-                    let g = |a: isize, b: isize| match d {
-                        0 => ins.get(f, hi, a, b),
-                        1 => ins.get(f, a, hi, b),
-                        _ => ins.get(f, a, b, hi),
+            move |_j, _k, out, ins| {
+                // Face-node rows: x faces at i offsets {0,1} over the 4
+                // (j,k) face nodes, likewise y and z faces.
+                let face = [(0isize, 0isize), (1, 0), (0, 1), (1, 1)];
+                let u = |hi: isize| face.map(|(a, b)| ins.row_off(1, hi, a, b));
+                let v = |hi: isize| face.map(|(a, b)| ins.row_off(2, a, hi, b));
+                let w = |hi: isize| face.map(|(a, b)| ins.row_off(3, a, b, hi));
+                let (u0, u1) = (u(0), u(1));
+                let (v0, v1) = (v(0), v(1));
+                let (w0, w1) = (w(0), w(1));
+                let rho = ins.row(0);
+                let q = out.row(0);
+                let favg =
+                    |r: &[&[f64]; 4], i: usize| 0.25 * (r[0][i] + r[1][i] + r[2][i] + r[3][i]);
+                for i in 0..q.len() {
+                    let div = (favg(&u1, i) - favg(&u0, i) + favg(&v1, i) - favg(&v0, i)
+                        + favg(&w1, i)
+                        - favg(&w0, i))
+                        / dx;
+                    q[i] = if div < 0.0 {
+                        2.0 * rho[i] * (div * dx) * (div * dx)
+                    } else {
+                        0.0
                     };
-                    0.25 * (g(0, 0) + g(1, 0) + g(0, 1) + g(1, 1))
-                };
-                let div = (favg(1, 0, 1) - favg(1, 0, 0)
-                    + favg(2, 1, 1)
-                    - favg(2, 1, 0)
-                    + favg(3, 2, 1)
-                    - favg(3, 2, 0))
-                    / dx;
-                let q = if div < 0.0 {
-                    2.0 * ins.get(0, 0, 0, 0) * (div * dx) * (div * dx)
-                } else {
-                    0.0
-                };
-                out.set(0, q);
+                }
             },
         );
     }
@@ -253,7 +292,11 @@ impl Clover3 {
             10.0,
             move |_i, _j, _k, ins| {
                 let ss = ins.get(0, 0, 0, 0);
-                let vmax = ins.get(1, 0, 0, 0).abs().max(ins.get(2, 0, 0, 0).abs()).max(ins.get(3, 0, 0, 0).abs());
+                let vmax = ins
+                    .get(1, 0, 0, 0)
+                    .abs()
+                    .max(ins.get(2, 0, 0, 0).abs())
+                    .max(ins.get(3, 0, 0, 0).abs());
                 cfl * dx / (ss + vmax + 1e-12)
             },
             f64::min,
@@ -263,73 +306,106 @@ impl Clover3 {
     fn accelerate(&mut self, profile: &mut Profile, dt: f64) {
         let dx = self.dx;
         let vol = dx * dx * dx;
-        par_loop3(
+        par_loop3_planes(
             profile,
             "accelerate3",
             self.cfg.mode,
             self.nodes(),
             &mut [&mut self.xvel1, &mut self.yvel1, &mut self.zvel1],
-            &[&self.density0, &self.pressure, &self.viscosity, &self.xvel, &self.yvel, &self.zvel],
+            &[
+                &self.density0,
+                &self.pressure,
+                &self.viscosity,
+                &self.xvel,
+                &self.yvel,
+                &self.zvel,
+            ],
             60.0,
-            move |_i, _j, _k, out, ins| {
+            move |_j, _k, out, ins| {
                 // Node (i,j,k) neighbours the 8 cells (i-1..i)×(j-1..j)×(k-1..k).
-                let mut mass = 0.0;
-                for dk in -1..=0 {
-                    for dj in -1..=0 {
-                        for di in -1..=0 {
-                            mass += ins.get(0, di, dj, dk);
-                        }
-                    }
-                }
-                mass *= 0.125 * vol;
-                let sbm = 0.25 * dt / mass;
-                let pq = |di: isize, dj: isize, dk: isize| ins.get(1, di, dj, dk) + ins.get(2, di, dj, dk);
-                // Pressure gradient per direction: difference of 4-cell
-                // sums across the node plane.
-                let dpx = (pq(0, 0, 0) + pq(0, -1, 0) + pq(0, 0, -1) + pq(0, -1, -1))
-                    - (pq(-1, 0, 0) + pq(-1, -1, 0) + pq(-1, 0, -1) + pq(-1, -1, -1));
-                let dpy = (pq(0, 0, 0) + pq(-1, 0, 0) + pq(0, 0, -1) + pq(-1, 0, -1))
-                    - (pq(0, -1, 0) + pq(-1, -1, 0) + pq(0, -1, -1) + pq(-1, -1, -1));
-                let dpz = (pq(0, 0, 0) + pq(-1, 0, 0) + pq(0, -1, 0) + pq(-1, -1, 0))
-                    - (pq(0, 0, -1) + pq(-1, 0, -1) + pq(0, -1, -1) + pq(-1, -1, -1));
+                // Offsets indexed so bit 0 = di==-1, bit 1 = dj==-1,
+                // bit 2 = dk==-1.
+                let offs = [
+                    (0isize, 0isize, 0isize),
+                    (-1, 0, 0),
+                    (0, -1, 0),
+                    (-1, -1, 0),
+                    (0, 0, -1),
+                    (-1, 0, -1),
+                    (0, -1, -1),
+                    (-1, -1, -1),
+                ];
+                let den = offs.map(|(a, b, c)| ins.row_off(0, a, b, c));
+                let prs = offs.map(|(a, b, c)| ins.row_off(1, a, b, c));
+                let vis = offs.map(|(a, b, c)| ins.row_off(2, a, b, c));
+                let u0 = ins.row(3);
+                let v0 = ins.row(4);
+                let w0 = ins.row(5);
                 let area = dx * dx;
-                out.set(0, ins.get(3, 0, 0, 0) - sbm * dpx * area);
-                out.set(1, ins.get(4, 0, 0, 0) - sbm * dpy * area);
-                out.set(2, ins.get(5, 0, 0, 0) - sbm * dpz * area);
+                let (u1, v1, w1) = out.rows3(0, 1, 2);
+                for i in 0..u1.len() {
+                    // Same accumulation order as the scalar kernel: dk, dj,
+                    // di each from -1 to 0.
+                    let mut mass = 0.0;
+                    for o in [7, 6, 5, 4, 3, 2, 1, 0] {
+                        mass += den[o][i];
+                    }
+                    mass *= 0.125 * vol;
+                    let sbm = 0.25 * dt / mass;
+                    let pq = |o: usize| prs[o][i] + vis[o][i];
+                    let dpx = (pq(0) + pq(2) + pq(4) + pq(6)) - (pq(1) + pq(3) + pq(5) + pq(7));
+                    let dpy = (pq(0) + pq(1) + pq(4) + pq(5)) - (pq(2) + pq(3) + pq(6) + pq(7));
+                    let dpz = (pq(0) + pq(1) + pq(2) + pq(3)) - (pq(4) + pq(5) + pq(6) + pq(7));
+                    u1[i] = u0[i] - sbm * dpx * area;
+                    v1[i] = v0[i] - sbm * dpy * area;
+                    w1[i] = w0[i] - sbm * dpz * area;
+                }
             },
         );
     }
 
     fn pdv(&mut self, profile: &mut Profile, dt: f64) {
         let dx = self.dx;
-        par_loop3(
+        par_loop3_planes(
             profile,
             "pdv3",
             self.cfg.mode,
             self.cells(),
             &mut [&mut self.energy1, &mut self.density1],
-            &[&self.density0, &self.energy0, &self.pressure, &self.viscosity, &self.xvel1, &self.yvel1, &self.zvel1],
+            &[
+                &self.density0,
+                &self.energy0,
+                &self.pressure,
+                &self.viscosity,
+                &self.xvel1,
+                &self.yvel1,
+                &self.zvel1,
+            ],
             45.0,
-            move |_i, _j, _k, out, ins| {
-                let favg = |f: usize, d: usize, hi: isize| -> f64 {
-                    let g = |a: isize, b: isize| match d {
-                        0 => ins.get(f, hi, a, b),
-                        1 => ins.get(f, a, hi, b),
-                        _ => ins.get(f, a, b, hi),
-                    };
-                    0.25 * (g(0, 0) + g(1, 0) + g(0, 1) + g(1, 1))
-                };
-                let div = (favg(4, 0, 1) - favg(4, 0, 0)
-                    + favg(5, 1, 1)
-                    - favg(5, 1, 0)
-                    + favg(6, 2, 1)
-                    - favg(6, 2, 0))
-                    / dx;
-                let rho = ins.get(0, 0, 0, 0);
-                let e = ins.get(1, 0, 0, 0);
-                let pq = ins.get(2, 0, 0, 0) + ins.get(3, 0, 0, 0);
-                out.set(0, (e - dt * pq * div / rho).max(1e-10));
-                out.set(1, rho);
+            move |_j, _k, out, ins| {
+                let face = [(0isize, 0isize), (1, 0), (0, 1), (1, 1)];
+                let u = |hi: isize| face.map(|(a, b)| ins.row_off(4, hi, a, b));
+                let v = |hi: isize| face.map(|(a, b)| ins.row_off(5, a, hi, b));
+                let w = |hi: isize| face.map(|(a, b)| ins.row_off(6, a, b, hi));
+                let (u0, u1) = (u(0), u(1));
+                let (v0, v1) = (v(0), v(1));
+                let (w0, w1) = (w(0), w(1));
+                let rho = ins.row(0);
+                let e = ins.row(1);
+                let p = ins.row(2);
+                let q = ins.row(3);
+                let (e1, d1) = out.rows2(0, 1);
+                let favg =
+                    |r: &[&[f64]; 4], i: usize| 0.25 * (r[0][i] + r[1][i] + r[2][i] + r[3][i]);
+                for i in 0..e1.len() {
+                    let div = (favg(&u1, i) - favg(&u0, i) + favg(&v1, i) - favg(&v0, i)
+                        + favg(&w1, i)
+                        - favg(&w0, i))
+                        / dx;
+                    let pq = p[i] + q[i];
+                    e1[i] = (e[i] - dt * pq * div / rho[i]).max(1e-10);
+                    d1[i] = rho[i];
+                }
             },
         );
     }
@@ -339,7 +415,7 @@ impl Clover3 {
         let n = self.n as isize;
         let mode = self.cfg.mode;
         let area = dx * dx;
-        par_loop3(
+        par_loop3_planes(
             profile,
             "flux_calc3_x",
             mode,
@@ -347,17 +423,26 @@ impl Clover3 {
             &mut [&mut self.vol_flux_x],
             &[&self.xvel, &self.xvel1],
             9.0,
-            move |_i, _j, _k, out, ins| {
-                let u = 0.125
-                    * (ins.get(0, 0, 0, 0) + ins.get(0, 0, 1, 0) + ins.get(0, 0, 0, 1) + ins.get(0, 0, 1, 1)
-                        + ins.get(1, 0, 0, 0)
-                        + ins.get(1, 0, 1, 0)
-                        + ins.get(1, 0, 0, 1)
-                        + ins.get(1, 0, 1, 1));
-                out.set(0, u * dt * area);
+            move |_j, _k, out, ins| {
+                let offs = [(0isize, 0isize), (1, 0), (0, 1), (1, 1)];
+                let a = offs.map(|(p, q)| ins.row_off(0, 0, p, q));
+                let b = offs.map(|(p, q)| ins.row_off(1, 0, p, q));
+                let fx = out.row(0);
+                for i in 0..fx.len() {
+                    let u = 0.125
+                        * (a[0][i]
+                            + a[1][i]
+                            + a[2][i]
+                            + a[3][i]
+                            + b[0][i]
+                            + b[1][i]
+                            + b[2][i]
+                            + b[3][i]);
+                    fx[i] = u * dt * area;
+                }
             },
         );
-        par_loop3(
+        par_loop3_planes(
             profile,
             "flux_calc3_y",
             mode,
@@ -365,17 +450,26 @@ impl Clover3 {
             &mut [&mut self.vol_flux_y],
             &[&self.yvel, &self.yvel1],
             9.0,
-            move |_i, _j, _k, out, ins| {
-                let v = 0.125
-                    * (ins.get(0, 0, 0, 0) + ins.get(0, 1, 0, 0) + ins.get(0, 0, 0, 1) + ins.get(0, 1, 0, 1)
-                        + ins.get(1, 0, 0, 0)
-                        + ins.get(1, 1, 0, 0)
-                        + ins.get(1, 0, 0, 1)
-                        + ins.get(1, 1, 0, 1));
-                out.set(0, v * dt * area);
+            move |_j, _k, out, ins| {
+                let offs = [(0isize, 0isize), (1, 0), (0, 1), (1, 1)];
+                let a = offs.map(|(p, q)| ins.row_off(0, p, 0, q));
+                let b = offs.map(|(p, q)| ins.row_off(1, p, 0, q));
+                let fy = out.row(0);
+                for i in 0..fy.len() {
+                    let v = 0.125
+                        * (a[0][i]
+                            + a[1][i]
+                            + a[2][i]
+                            + a[3][i]
+                            + b[0][i]
+                            + b[1][i]
+                            + b[2][i]
+                            + b[3][i]);
+                    fy[i] = v * dt * area;
+                }
             },
         );
-        par_loop3(
+        par_loop3_planes(
             profile,
             "flux_calc3_z",
             mode,
@@ -383,14 +477,23 @@ impl Clover3 {
             &mut [&mut self.vol_flux_z],
             &[&self.zvel, &self.zvel1],
             9.0,
-            move |_i, _j, _k, out, ins| {
-                let w = 0.125
-                    * (ins.get(0, 0, 0, 0) + ins.get(0, 1, 0, 0) + ins.get(0, 0, 1, 0) + ins.get(0, 1, 1, 0)
-                        + ins.get(1, 0, 0, 0)
-                        + ins.get(1, 1, 0, 0)
-                        + ins.get(1, 0, 1, 0)
-                        + ins.get(1, 1, 1, 0));
-                out.set(0, w * dt * area);
+            move |_j, _k, out, ins| {
+                let offs = [(0isize, 0isize), (1, 0), (0, 1), (1, 1)];
+                let a = offs.map(|(p, q)| ins.row_off(0, p, q, 0));
+                let b = offs.map(|(p, q)| ins.row_off(1, p, q, 0));
+                let fz = out.row(0);
+                for i in 0..fz.len() {
+                    let w = 0.125
+                        * (a[0][i]
+                            + a[1][i]
+                            + a[2][i]
+                            + a[3][i]
+                            + b[0][i]
+                            + b[1][i]
+                            + b[2][i]
+                            + b[3][i]);
+                    fz[i] = w * dt * area;
+                }
             },
         );
     }
@@ -464,9 +567,21 @@ impl Clover3 {
                 let upwind = |f: usize| -> f64 {
                     let g = |di: isize, dj: isize, dk: isize| ins.get(f, di, dj, dk);
                     let c = g(0, 0, 0);
-                    let ddx = if u > 0.0 { c - g(-1, 0, 0) } else { g(1, 0, 0) - c } / dx;
-                    let ddy = if v > 0.0 { c - g(0, -1, 0) } else { g(0, 1, 0) - c } / dx;
-                    let ddz = if w > 0.0 { c - g(0, 0, -1) } else { g(0, 0, 1) - c } / dx;
+                    let ddx = if u > 0.0 {
+                        c - g(-1, 0, 0)
+                    } else {
+                        g(1, 0, 0) - c
+                    } / dx;
+                    let ddy = if v > 0.0 {
+                        c - g(0, -1, 0)
+                    } else {
+                        g(0, 1, 0) - c
+                    } / dx;
+                    let ddz = if w > 0.0 {
+                        c - g(0, 0, -1)
+                    } else {
+                        g(0, 0, 1) - c
+                    } / dx;
                     u * ddx + v * ddy + w * ddz
                 };
                 out.set(0, u - dt * upwind(0));
@@ -477,7 +592,7 @@ impl Clover3 {
     }
 
     fn reset_field(&mut self, profile: &mut Profile) {
-        par_loop3(
+        par_loop3_planes(
             profile,
             "reset_field3",
             self.cfg.mode,
@@ -485,9 +600,10 @@ impl Clover3 {
             &mut [&mut self.density0, &mut self.energy0],
             &[&self.density1, &self.energy1],
             0.0,
-            |_i, _j, _k, out, ins| {
-                out.set(0, ins.get(0, 0, 0, 0));
-                out.set(1, ins.get(1, 0, 0, 0));
+            |_j, _k, out, ins| {
+                let (d, e) = out.rows2(0, 1);
+                d.copy_from_slice(ins.row(0));
+                e.copy_from_slice(ins.row(1));
             },
         );
     }
@@ -543,7 +659,13 @@ impl Clover3 {
         }
         let (m1, _) = sim.field_summary(&mut profile);
         let validation = ((m1 - m0) / m0).abs();
-        AppRun { app: AppId::CloverLeaf3D, profile, validation, iterations, points }
+        AppRun {
+            app: AppId::CloverLeaf3D,
+            profile,
+            validation,
+            iterations,
+            points,
+        }
     }
 }
 
@@ -553,13 +675,21 @@ mod tests {
 
     #[test]
     fn mass_exactly_conserved() {
-        let run = Clover3::run(Config { n: 12, iterations: 15, ..Config::default() });
+        let run = Clover3::run(Config {
+            n: 12,
+            iterations: 15,
+            ..Config::default()
+        });
         assert!(run.validation < 1e-12, "mass drift {}", run.validation);
     }
 
     #[test]
     fn fields_stay_positive_and_finite() {
-        let cfg = Config { n: 10, iterations: 12, ..Config::default() };
+        let cfg = Config {
+            n: 10,
+            iterations: 12,
+            ..Config::default()
+        };
         let mut profile = Profile::new();
         let mut sim = Clover3::new(cfg);
         for _ in 0..12 {
@@ -579,7 +709,11 @@ mod tests {
     fn permutation_symmetry_preserved() {
         // The initial state is invariant under any permutation of the axes;
         // the dynamics must keep it so.
-        let cfg = Config { n: 10, iterations: 6, ..Config::default() };
+        let cfg = Config {
+            n: 10,
+            iterations: 6,
+            ..Config::default()
+        };
         let mut profile = Profile::new();
         let mut sim = Clover3::new(cfg);
         for _ in 0..6 {
@@ -601,23 +735,47 @@ mod tests {
 
     #[test]
     fn serial_equals_rayon() {
-        let base = Config { n: 8, iterations: 4, ..Config::default() };
-        let a = Clover3::run(Config { mode: ExecMode::Serial, ..base.clone() });
-        let b = Clover3::run(Config { mode: ExecMode::Rayon, ..base });
+        let base = Config {
+            n: 8,
+            iterations: 4,
+            ..Config::default()
+        };
+        let a = Clover3::run(Config {
+            mode: ExecMode::Serial,
+            ..base.clone()
+        });
+        let b = Clover3::run(Config {
+            mode: ExecMode::Rayon,
+            ..base
+        });
         assert_eq!(a.validation, b.validation);
     }
 
     #[test]
     fn three_sweeps_in_profile() {
-        let run = Clover3::run(Config { n: 8, iterations: 2, ..Config::default() });
-        for k in ["advec_cell3_x", "advec_cell3_y", "advec_cell3_z", "accelerate3", "pdv3"] {
+        let run = Clover3::run(Config {
+            n: 8,
+            iterations: 2,
+            ..Config::default()
+        });
+        for k in [
+            "advec_cell3_x",
+            "advec_cell3_y",
+            "advec_cell3_z",
+            "accelerate3",
+            "pdv3",
+        ] {
             assert!(run.profile.get(k).is_some(), "missing {k}");
         }
     }
 
     #[test]
     fn energy_bounded() {
-        let cfg = Config { n: 10, iterations: 20, ..Config::default() };
+        let cfg = Config {
+            n: 10,
+            iterations: 20,
+            ..Config::default()
+        };
         let mut profile = Profile::new();
         let mut sim = Clover3::new(cfg);
         let (_, e0) = sim.field_summary(&mut profile);

@@ -51,7 +51,14 @@ pub struct Pose {
 }
 
 impl Pose {
-    pub const IDENTITY: Pose = Pose { rx: 0.0, ry: 0.0, rz: 0.0, tx: 0.0, ty: 0.0, tz: 0.0 };
+    pub const IDENTITY: Pose = Pose {
+        rx: 0.0,
+        ry: 0.0,
+        rz: 0.0,
+        tx: 0.0,
+        ty: 0.0,
+        tz: 0.0,
+    };
 
     /// Apply the rigid transform to a point.
     pub fn transform(&self, x: f32, y: f32, z: f32) -> (f32, f32, f32) {
@@ -82,7 +89,14 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Self {
-        Config { n_poses: 128, n_ligand: 26, n_protein: 200, iterations: 2, parallel: false, seed: 5 }
+        Config {
+            n_poses: 128,
+            n_ligand: 26,
+            n_protein: 200,
+            iterations: 2,
+            parallel: false,
+            seed: 5,
+        }
     }
 }
 
@@ -137,7 +151,11 @@ pub fn pair_energy(lig: &Atom, lx: f32, ly: f32, lz: f32, prot: &Atom, ff: &[FfP
         0.0
     };
     // Donor/acceptor bonus when complementary types are in contact.
-    let hbond = if pl.is_donor != pp.is_donor && r < radij * 1.2 { -1.0 } else { 0.0 };
+    let hbond = if pl.is_donor != pp.is_donor && r < radij * 1.2 {
+        -1.0
+    } else {
+        0.0
+    };
     steric + elec + hbond
 }
 
@@ -171,7 +189,13 @@ impl MiniBude {
                 tz: rng.gen_range(-5.0..5.0),
             })
             .collect();
-        MiniBude { cfg, ligand, protein, poses, ff }
+        MiniBude {
+            cfg,
+            ligand,
+            protein,
+            poses,
+            ff,
+        }
     }
 
     /// Energy of one pose.
@@ -238,8 +262,20 @@ mod tests {
             n_protein: 1,
             ..Config::default()
         });
-        m.ligand = vec![Atom { x: 0.0, y: 0.0, z: 0.0, charge: 0.3, ty: 0 }];
-        m.protein = vec![Atom { x: 5.0, y: 0.0, z: 0.0, charge: -0.2, ty: 0 }];
+        m.ligand = vec![Atom {
+            x: 0.0,
+            y: 0.0,
+            z: 0.0,
+            charge: 0.3,
+            ty: 0,
+        }];
+        m.protein = vec![Atom {
+            x: 5.0,
+            y: 0.0,
+            z: 0.0,
+            charge: -0.2,
+            ty: 0,
+        }];
         m.poses = vec![Pose::IDENTITY];
         m
     }
@@ -280,10 +316,23 @@ mod tests {
     fn joint_rigid_motion_invariance() {
         // Rotating BOTH ligand pose and protein by the same rigid motion
         // preserves the energy (distances unchanged).
-        let m = MiniBude::new(Config { n_poses: 4, n_ligand: 8, n_protein: 20, ..Config::default() });
+        let m = MiniBude::new(Config {
+            n_poses: 4,
+            n_ligand: 8,
+            n_protein: 20,
+            ..Config::default()
+        });
         let e0 = m.pose_energy(&Pose::IDENTITY);
-        let rot = Pose { rz: 1.1, ..Pose::IDENTITY };
-        let mut m2 = MiniBude::new(Config { n_poses: 4, n_ligand: 8, n_protein: 20, ..Config::default() });
+        let rot = Pose {
+            rz: 1.1,
+            ..Pose::IDENTITY
+        };
+        let mut m2 = MiniBude::new(Config {
+            n_poses: 4,
+            n_ligand: 8,
+            n_protein: 20,
+            ..Config::default()
+        });
         m2.protein = m
             .protein
             .iter()
@@ -299,8 +348,16 @@ mod tests {
     #[test]
     fn serial_equals_parallel() {
         let mut p = Profile::new();
-        let a = MiniBude::new(Config { parallel: false, ..Config::default() }).energies(&mut p);
-        let b = MiniBude::new(Config { parallel: true, ..Config::default() }).energies(&mut p);
+        let a = MiniBude::new(Config {
+            parallel: false,
+            ..Config::default()
+        })
+        .energies(&mut p);
+        let b = MiniBude::new(Config {
+            parallel: true,
+            ..Config::default()
+        })
+        .energies(&mut p);
         assert_eq!(a, b);
     }
 
@@ -317,6 +374,10 @@ mod tests {
         let run = MiniBude::run(Config::default());
         // Arithmetic intensity far above any bandwidth-bound app (> 5
         // flop/byte vs ~0.1-1 for the stencil codes).
-        assert!(run.profile.intensity() > 5.0, "intensity {}", run.profile.intensity());
+        assert!(
+            run.profile.intensity() > 5.0,
+            "intensity {}",
+            run.profile.intensity()
+        );
     }
 }

@@ -16,7 +16,7 @@
 //! validation tests assert. Double precision, paper size 4000×2000.
 
 use crate::{AppId, AppRun};
-use bwb_ops::{par_loop2, par_loop2_reduce, Dat2, ExecMode, Profile, Range2};
+use bwb_ops::{par_loop2_reduce, par_loop2_rows, Dat2, ExecMode, Profile, Range2};
 use bwb_shmpi::Comm;
 
 /// Tag space for the distributed x-ring halo exchange.
@@ -77,7 +77,13 @@ impl Default for Config {
 impl Config {
     /// Paper testcase: 4000×2000 cells, simulation time 1.0.
     pub fn paper() -> Self {
-        Config { nx: 4000, nz: 2000, sim_time: 1.0, mode: ExecMode::Rayon, ..Config::default() }
+        Config {
+            nx: 4000,
+            nz: 2000,
+            sim_time: 1.0,
+            mode: ExecMode::Rayon,
+            ..Config::default()
+        }
     }
 }
 
@@ -121,7 +127,13 @@ impl Background {
             dens_theta_int.push(rt);
             pressure_int.push(C0 * rt.powf(GAMMA));
         }
-        Background { dens_cell, dens_theta_cell, dens_int, dens_theta_int, pressure_int }
+        Background {
+            dens_cell,
+            dens_theta_cell,
+            dens_int,
+            dens_theta_int,
+            pressure_int,
+        }
     }
 }
 
@@ -157,7 +169,12 @@ impl MiniWeather {
 
     /// Initialize one rank's x-slab of the global domain; `ring` gives the
     /// periodic (left, right) neighbour ranks.
-    pub fn new_local(cfg: Config, x_start: usize, local_nx: usize, ring: Option<(usize, usize)>) -> Self {
+    pub fn new_local(
+        cfg: Config,
+        x_start: usize,
+        local_nx: usize,
+        ring: Option<(usize, usize)>,
+    ) -> Self {
         let dx = cfg.xlen / cfg.nx as f64;
         let dz = cfg.zlen / cfg.nz as f64;
         let dt = (dx.min(dz) / MAX_SPEED) * cfg.cfl;
@@ -173,7 +190,12 @@ impl MiniWeather {
         let tend = mk("_tend");
 
         // Warm bubble: Gaussian θ′ perturbation in the lower middle.
-        let (xc, zc, rad, amp) = (cfg.xlen / 2.0, 2000.0_f64.min(cfg.zlen * 0.25), 2000.0_f64, 3.0);
+        let (xc, zc, rad, amp) = (
+            cfg.xlen / 2.0,
+            2000.0_f64.min(cfg.zlen * 0.25),
+            2000.0_f64,
+            3.0,
+        );
         for k in 0..cfg.nz as isize {
             let z = (k as f64 + 0.5) * dz;
             let (rho0, _) = hydrostatic(z);
@@ -206,6 +228,11 @@ impl MiniWeather {
 
     pub fn dt(&self) -> f64 {
         self.dt
+    }
+
+    /// Global x index of this rank's first owned column.
+    pub fn x_start(&self) -> usize {
+        self.x_start
     }
 
     /// Periodic x halos + rigid z halos for the given 4-field state
@@ -288,12 +315,22 @@ impl MiniWeather {
     /// X-direction tendencies of `src` into `self.tend`.
     fn tendencies_x(&mut self, profile: &mut Profile, use_tmp: bool, comm: Option<&mut Comm>) {
         let (nx, nz) = (self.local_nx, self.cfg.nz);
-        let src = if use_tmp { &mut self.state_tmp } else { &mut self.state };
+        let src = if use_tmp {
+            &mut self.state_tmp
+        } else {
+            &mut self.state
+        };
         match (self.ring, comm) {
-            (Some((l, r)), Some(c)) => Self::fill_halos_ring(src, nx as isize, nz as isize, c, l, r),
+            (Some((l, r)), Some(c)) => {
+                Self::fill_halos_ring(src, nx as isize, nz as isize, c, l, r)
+            }
             _ => Self::fill_halos(src, nx as isize, nz as isize),
         }
-        let src = if use_tmp { &self.state_tmp } else { &self.state };
+        let src = if use_tmp {
+            &self.state_tmp
+        } else {
+            &self.state
+        };
 
         let hv_coef = -HV_BETA * self.dx / (16.0 * self.dt);
         let dx = self.dx;
@@ -302,7 +339,7 @@ impl MiniWeather {
 
         let mut outs: Vec<&mut Dat2<f64>> = self.tend.iter_mut().collect();
         let ins: Vec<&Dat2<f64>> = src.iter().collect();
-        par_loop2(
+        par_loop2_rows(
             profile,
             "mw_tend_x",
             self.cfg.mode,
@@ -310,11 +347,15 @@ impl MiniWeather {
             &mut outs,
             &ins,
             FLOPS_TEND,
-            move |_i, j, out, s| {
-                // Flux at interface i−1/2 (off = -1) and i+1/2 (off = 0):
-                // stencil cells off-1..off+2.
-                let flux = |off: isize, id_out: usize| -> f64 {
-                    let v = |id: usize, d: isize| s.get(id, off + d, 0);
+            move |j, out, s| {
+                // Rows of every field at the 5 x-offsets −2..=2 feeding the
+                // interface stencils at i−1/2 (off = −1) and i+1/2 (off = 0).
+                let rows: [[&[f64]; 5]; 4] = std::array::from_fn(|id| {
+                    std::array::from_fn(|d| s.row_off(id, d as isize - 2, 0))
+                });
+                let kk = (j + 2) as usize;
+                let flux = |i: usize, off: isize, id_out: usize| -> f64 {
+                    let v = |id: usize, d: isize| rows[id][(off + d + 2) as usize][i];
                     let stencil = |id: usize| {
                         let (s0, s1, s2, s3) = (v(id, -1), v(id, 0), v(id, 1), v(id, 2));
                         let vals = -s0 / 12.0 + 7.0 * s1 / 12.0 + 7.0 * s2 / 12.0 - s3 / 12.0;
@@ -325,7 +366,6 @@ impl MiniWeather {
                     let (vu, d3u) = stencil(ID_UMOM);
                     let (vw, d3w) = stencil(ID_WMOM);
                     let (vt, d3t) = stencil(ID_RHOT);
-                    let kk = (j + 2) as usize;
                     let r = vd + bg_dens[kk];
                     let u = vu / r;
                     let w = vw / r;
@@ -339,7 +379,10 @@ impl MiniWeather {
                     }
                 };
                 for id in 0..4 {
-                    out.set(id, -(flux(0, id) - flux(-1, id)) / dx);
+                    let o = out.row(id);
+                    for (i, oi) in o.iter_mut().enumerate() {
+                        *oi = -(flux(i, 0, id) - flux(i, -1, id)) / dx;
+                    }
                 }
             },
         );
@@ -349,12 +392,22 @@ impl MiniWeather {
     /// source and hydrostatic-pressure subtraction in the wmom flux).
     fn tendencies_z(&mut self, profile: &mut Profile, use_tmp: bool, comm: Option<&mut Comm>) {
         let (nx, nz) = (self.local_nx, self.cfg.nz);
-        let src = if use_tmp { &mut self.state_tmp } else { &mut self.state };
+        let src = if use_tmp {
+            &mut self.state_tmp
+        } else {
+            &mut self.state
+        };
         match (self.ring, comm) {
-            (Some((l, r)), Some(c)) => Self::fill_halos_ring(src, nx as isize, nz as isize, c, l, r),
+            (Some((l, r)), Some(c)) => {
+                Self::fill_halos_ring(src, nx as isize, nz as isize, c, l, r)
+            }
             _ => Self::fill_halos(src, nx as isize, nz as isize),
         }
-        let src = if use_tmp { &self.state_tmp } else { &self.state };
+        let src = if use_tmp {
+            &self.state_tmp
+        } else {
+            &self.state
+        };
 
         let hv_coef = -HV_BETA * self.dz / (16.0 * self.dt);
         let dz = self.dz;
@@ -365,7 +418,7 @@ impl MiniWeather {
 
         let mut outs: Vec<&mut Dat2<f64>> = self.tend.iter_mut().collect();
         let ins: Vec<&Dat2<f64>> = src.iter().collect();
-        par_loop2(
+        par_loop2_rows(
             profile,
             "mw_tend_z",
             self.cfg.mode,
@@ -373,13 +426,18 @@ impl MiniWeather {
             &mut outs,
             &ins,
             FLOPS_TEND,
-            move |_i, j, out, s| {
-                // Flux at interface below (off=-1 ⇒ interface j) and above
-                // (off=0 ⇒ interface j+1), stencil cells off-1..off+2 in z.
-                let flux = |off: isize, id_out: usize| -> f64 {
+            move |j, out, s| {
+                // Rows of every field at the 5 z-offsets −2..=2 feeding the
+                // interface stencils below (off=−1 ⇒ interface j) and above
+                // (off=0 ⇒ interface j+1).
+                let rows: [[&[f64]; 5]; 4] = std::array::from_fn(|id| {
+                    std::array::from_fn(|d| s.row_off(id, 0, d as isize - 2))
+                });
+                let dens = s.row(ID_DENS);
+                let flux = |i: usize, off: isize, id_out: usize| -> f64 {
                     let iface = (j + off + 1) as usize; // interface index 0..=nz
                     let at_wall = iface == 0 || iface as isize == nz_i;
-                    let v = |id: usize, d: isize| s.get(id, 0, off + d);
+                    let v = |id: usize, d: isize| rows[id][(off + d + 2) as usize][i];
                     let stencil = |id: usize| {
                         let (s0, s1, s2, s3) = (v(id, -1), v(id, 0), v(id, 1), v(id, 2));
                         let vals = -s0 / 12.0 + 7.0 * s1 / 12.0 + 7.0 * s2 / 12.0 - s3 / 12.0;
@@ -397,19 +455,40 @@ impl MiniWeather {
                     let p = C0 * (r * t).powf(GAMMA) - bg_p_int[iface];
                     match id_out {
                         // Rigid walls: no advective mass/momentum/heat flux.
-                        ID_DENS => if at_wall { 0.0 } else { r * w - hv_coef * d3d },
-                        ID_UMOM => if at_wall { 0.0 } else { r * w * u - hv_coef * d3u },
+                        ID_DENS => {
+                            if at_wall {
+                                0.0
+                            } else {
+                                r * w - hv_coef * d3d
+                            }
+                        }
+                        ID_UMOM => {
+                            if at_wall {
+                                0.0
+                            } else {
+                                r * w * u - hv_coef * d3u
+                            }
+                        }
                         // Perturbation pressure acts on the walls.
                         ID_WMOM => r * w * w + p - if at_wall { 0.0 } else { hv_coef * d3w },
-                        _ => if at_wall { 0.0 } else { r * w * t - hv_coef * d3t },
+                        _ => {
+                            if at_wall {
+                                0.0
+                            } else {
+                                r * w * t - hv_coef * d3t
+                            }
+                        }
                     }
                 };
                 for id in 0..4 {
-                    let mut t = -(flux(0, id) - flux(-1, id)) / dz;
-                    if id == ID_WMOM {
-                        t -= s.get(ID_DENS, 0, 0) * GRAV; // buoyancy source
+                    let o = out.row(id);
+                    for i in 0..o.len() {
+                        let mut t = -(flux(i, 0, id) - flux(i, -1, id)) / dz;
+                        if id == ID_WMOM {
+                            t -= dens[i] * GRAV; // buoyancy source
+                        }
+                        o[i] = t;
                     }
-                    out.set(id, t);
                 }
             },
         );
@@ -432,7 +511,7 @@ impl MiniWeather {
                 let tend = &self.tend;
                 let mode = self.cfg.mode;
                 for (id, f) in self.state.iter_mut().enumerate() {
-                    par_loop2(
+                    par_loop2_rows(
                         profile,
                         "mw_update",
                         mode,
@@ -440,9 +519,12 @@ impl MiniWeather {
                         &mut [f],
                         &[&tend[id]],
                         2.0,
-                        move |_i, _j, out, ins| {
-                            let v = out.get(0) + dt_frac * ins.get(0, 0, 0);
-                            out.set(0, v);
+                        move |_j, out, ins| {
+                            let t = ins.row(0);
+                            let o = out.row(0);
+                            for i in 0..o.len() {
+                                o[i] += dt_frac * t[i];
+                            }
                         },
                     );
                 }
@@ -453,7 +535,7 @@ impl MiniWeather {
         let tend = &self.tend;
         let mode = self.cfg.mode;
         for id in 0..4 {
-            par_loop2(
+            par_loop2_rows(
                 profile,
                 "mw_update",
                 mode,
@@ -461,8 +543,13 @@ impl MiniWeather {
                 &mut [&mut dst[id]],
                 &[&init[id], &tend[id]],
                 2.0,
-                move |_i, _j, out, ins| {
-                    out.set(0, ins.get(0, 0, 0) + dt_frac * ins.get(1, 0, 0));
+                move |_j, out, ins| {
+                    let a = ins.row(0);
+                    let t = ins.row(1);
+                    let o = out.row(0);
+                    for i in 0..o.len() {
+                        o[i] = a[i] + dt_frac * t[i];
+                    }
                 },
             );
         }
@@ -483,7 +570,7 @@ impl MiniWeather {
         tendf(self, profile, true, comm.as_deref_mut());
         self.apply_update(profile, true, false, dt / 2.0);
         // stage 3: state = state + dt · T(tmp)
-        tendf(self, profile, true, comm.as_deref_mut());
+        tendf(self, profile, true, comm);
         self.apply_update(profile, false, false, dt);
     }
 
@@ -497,10 +584,10 @@ impl MiniWeather {
     pub fn step_with(&mut self, profile: &mut Profile, mut comm: Option<&mut Comm>) {
         if self.direction_switch {
             self.direction_step(profile, true, comm.as_deref_mut());
-            self.direction_step(profile, false, comm.as_deref_mut());
+            self.direction_step(profile, false, comm);
         } else {
             self.direction_step(profile, false, comm.as_deref_mut());
-            self.direction_step(profile, true, comm.as_deref_mut());
+            self.direction_step(profile, true, comm);
         }
         self.direction_switch = !self.direction_switch;
     }
@@ -508,17 +595,24 @@ impl MiniWeather {
     /// Distributed run: decompose the x axis over `comm.size()` ranks in a
     /// periodic ring. Returns this rank's profile and (on rank 0) the
     /// gathered global perturbation density field (x-major rows of nz).
-    pub fn run_distributed(comm: &mut Comm, cfg: Config, steps: usize) -> (Profile, Option<Vec<f64>>) {
+    pub fn run_distributed(
+        comm: &mut Comm,
+        cfg: Config,
+        steps: usize,
+    ) -> (Profile, Option<Vec<f64>>) {
         let size = comm.size();
         let rank = comm.rank();
-        assert!(cfg.nx % size == 0, "nx must divide evenly for the ring decomposition");
+        assert_eq!(
+            cfg.nx % size,
+            0,
+            "nx must divide evenly for the ring decomposition"
+        );
         let local_nx = cfg.nx / size;
         let left = (rank + size - 1) % size;
         let right = (rank + 1) % size;
         let nz = cfg.nz;
         let mut profile = Profile::new();
-        let mut sim =
-            MiniWeather::new_local(cfg, rank * local_nx, local_nx, Some((left, right)));
+        let mut sim = MiniWeather::new_local(cfg, rank * local_nx, local_nx, Some((left, right)));
         for _ in 0..steps {
             sim.step_with(&mut profile, Some(comm));
         }
@@ -550,7 +644,10 @@ impl MiniWeather {
                 |a, b| a + b,
             )
         };
-        (sum(&self.state[ID_DENS], profile), sum(&self.state[ID_RHOT], profile))
+        (
+            sum(&self.state[ID_DENS], profile),
+            sum(&self.state[ID_RHOT], profile),
+        )
     }
 
     /// Max |w| over the domain — the bubble's rise signature.
@@ -581,7 +678,13 @@ impl MiniWeather {
         // cell mass scale).
         let scale = 1.0; // kg m⁻³ · cells — absolute drift is the metric
         let drift = ((m1 - m0).abs() / scale).max((t1 - t0).abs() / t0.abs().max(1.0));
-        AppRun { app: AppId::MiniWeather, profile, validation: drift, iterations: steps, points }
+        AppRun {
+            app: AppId::MiniWeather,
+            profile,
+            validation: drift,
+            iterations: steps,
+            points,
+        }
     }
 }
 
@@ -600,21 +703,38 @@ mod tests {
 
     #[test]
     fn mass_and_heat_conserved() {
-        let run = MiniWeather::run(Config { nx: 40, nz: 20, sim_time: 10.0, ..Config::default() });
-        assert!(run.validation < 1e-8, "conservation drift {}", run.validation);
+        let run = MiniWeather::run(Config {
+            nx: 40,
+            nz: 20,
+            sim_time: 10.0,
+            ..Config::default()
+        });
+        assert!(
+            run.validation < 1e-8,
+            "conservation drift {}",
+            run.validation
+        );
         assert!(run.iterations > 5);
     }
 
     #[test]
     fn bubble_starts_rising() {
-        let cfg = Config { nx: 50, nz: 25, ..Config::default() };
+        let cfg = Config {
+            nx: 50,
+            nz: 25,
+            ..Config::default()
+        };
         let mut profile = Profile::new();
         let mut sim = MiniWeather::new(cfg);
         assert_eq!(sim.max_abs_w(), 0.0);
         for _ in 0..20 {
             sim.step(&mut profile);
         }
-        assert!(sim.max_abs_w() > 1e-4, "w momentum developed: {}", sim.max_abs_w());
+        assert!(
+            sim.max_abs_w() > 1e-4,
+            "w momentum developed: {}",
+            sim.max_abs_w()
+        );
         // Upward in the bubble column: w > 0 at the bubble centre.
         let (nx, nz) = (50isize, 25isize);
         let wc = sim.state[ID_WMOM].get(nx / 2, nz / 5);
@@ -623,23 +743,44 @@ mod tests {
 
     #[test]
     fn solution_stays_finite() {
-        let cfg = Config { nx: 32, nz: 16, sim_time: 20.0, ..Config::default() };
+        let cfg = Config {
+            nx: 32,
+            nz: 16,
+            sim_time: 20.0,
+            ..Config::default()
+        };
         let run = MiniWeather::run(cfg);
         assert!(run.validation.is_finite());
     }
 
     #[test]
     fn serial_equals_rayon() {
-        let base = Config { nx: 24, nz: 12, sim_time: 3.0, ..Config::default() };
-        let a = MiniWeather::run(Config { mode: ExecMode::Serial, ..base.clone() });
-        let b = MiniWeather::run(Config { mode: ExecMode::Rayon, ..base });
+        let base = Config {
+            nx: 24,
+            nz: 12,
+            sim_time: 3.0,
+            ..Config::default()
+        };
+        let a = MiniWeather::run(Config {
+            mode: ExecMode::Serial,
+            ..base.clone()
+        });
+        let b = MiniWeather::run(Config {
+            mode: ExecMode::Rayon,
+            ..base
+        });
         assert_eq!(a.validation, b.validation);
         assert_eq!(a.iterations, b.iterations);
     }
 
     #[test]
     fn profile_contains_all_kernels() {
-        let run = MiniWeather::run(Config { nx: 16, nz: 8, sim_time: 1.0, ..Config::default() });
+        let run = MiniWeather::run(Config {
+            nx: 16,
+            nz: 8,
+            sim_time: 1.0,
+            ..Config::default()
+        });
         for k in ["mw_tend_x", "mw_tend_z", "mw_update"] {
             assert!(run.profile.get(k).is_some(), "missing kernel {k}");
         }
@@ -653,7 +794,12 @@ mod tests {
     #[test]
     fn distributed_ring_matches_single_rank_bitwise() {
         use bwb_shmpi::Universe;
-        let cfg = Config { nx: 48, nz: 12, sim_time: 0.0, ..Config::default() };
+        let cfg = Config {
+            nx: 48,
+            nz: 12,
+            sim_time: 0.0,
+            ..Config::default()
+        };
         let steps = 4;
         // Serial reference (column-major like the distributed gather).
         let single = {
@@ -688,7 +834,12 @@ mod tests {
         use bwb_shmpi::Universe;
         // 2 ranks: rank 0's left neighbour is rank 1 — messages must flow
         // around the ring (sends counted on both ranks every tendency).
-        let cfg = Config { nx: 16, nz: 8, sim_time: 0.0, ..Config::default() };
+        let cfg = Config {
+            nx: 16,
+            nz: 8,
+            sim_time: 0.0,
+            ..Config::default()
+        };
         let out = Universe::run(2, move |c| {
             let _ = MiniWeather::run_distributed(c, cfg.clone(), 2);
             c.stats()
@@ -703,7 +854,11 @@ mod tests {
 
     #[test]
     fn dt_respects_cfl() {
-        let sim = MiniWeather::new(Config { nx: 100, nz: 50, ..Config::default() });
+        let sim = MiniWeather::new(Config {
+            nx: 100,
+            nz: 50,
+            ..Config::default()
+        });
         let dx = 2.0e4 / 100.0;
         assert!((sim.dt() - dx / MAX_SPEED).abs() < 1e-12);
     }

@@ -22,7 +22,7 @@
 //! Double precision; paper size 320³, 20 iterations.
 
 use crate::{AppId, AppRun};
-use bwb_ops::{par_loop3, Dat3, ExecMode, Profile, Range3};
+use bwb_ops::{par_loop3_planes, Dat3, ExecMode, Profile, Range3, RowIn3};
 
 /// Number of solution fields (ρ, ρu, ρv, ρw, ρE analogue).
 pub const NFIELDS: usize = 5;
@@ -60,19 +60,70 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Self {
-        Config { n: 24, iterations: 5, variant: Variant::StoreAll, nu: 0.02, mode: ExecMode::Serial }
+        Config {
+            n: 24,
+            iterations: 5,
+            variant: Variant::StoreAll,
+            nu: 0.02,
+            mode: ExecMode::Serial,
+        }
     }
 }
 
 impl Config {
     /// Paper testcase: 320³, 20 iterations.
     pub fn paper(variant: Variant) -> Self {
-        Config { n: 320, iterations: 20, variant, nu: 0.02, mode: ExecMode::Rayon }
+        Config {
+            n: 320,
+            iterations: 20,
+            variant,
+            nu: 0.02,
+            mode: ExecMode::Rayon,
+        }
     }
 }
 
 /// Per-field advection velocity (x component; y/z are cyclic shifts).
 const ADV: [f64; NFIELDS] = [1.0, 0.8, -0.6, 0.4, -0.2];
+
+/// The 13 rows of the radius-2 star stencil of input field 0, captured once
+/// per `(j,k)` row so the derivative loops are straight slice arithmetic.
+struct StencilRows<'a> {
+    c: &'a [f64],
+    xm2: &'a [f64],
+    xm1: &'a [f64],
+    xp1: &'a [f64],
+    xp2: &'a [f64],
+    ym2: &'a [f64],
+    ym1: &'a [f64],
+    yp1: &'a [f64],
+    yp2: &'a [f64],
+    zm2: &'a [f64],
+    zm1: &'a [f64],
+    zp1: &'a [f64],
+    zp2: &'a [f64],
+}
+
+impl<'a> StencilRows<'a> {
+    #[inline]
+    fn capture(s: &RowIn3<'a, f64>) -> Self {
+        StencilRows {
+            c: s.row(0),
+            xm2: s.row_off(0, -2, 0, 0),
+            xm1: s.row_off(0, -1, 0, 0),
+            xp1: s.row_off(0, 1, 0, 0),
+            xp2: s.row_off(0, 2, 0, 0),
+            ym2: s.row_off(0, 0, -2, 0),
+            ym1: s.row_off(0, 0, -1, 0),
+            yp1: s.row_off(0, 0, 1, 0),
+            yp2: s.row_off(0, 0, 2, 0),
+            zm2: s.row_off(0, 0, 0, -2),
+            zm1: s.row_off(0, 0, 0, -1),
+            zp1: s.row_off(0, 0, 0, 1),
+            zp2: s.row_off(0, 0, 0, 2),
+        }
+    }
+}
 
 pub struct OpenSbli {
     cfg: Config,
@@ -180,30 +231,33 @@ impl OpenSbli {
         };
         // Stage 1: derivatives into work arrays (one loop per field,
         // writing all 6 derivative arrays of that field).
-        for f in 0..NFIELDS {
-            let mut outs: Vec<&mut Dat3<f64>> = self
-                .wk
-                .iter_mut()
-                .skip(6 * f)
-                .take(6)
-                .collect();
-            par_loop3(
+        for (f, srcf) in src.iter().enumerate() {
+            let mut outs: Vec<&mut Dat3<f64>> = self.wk.iter_mut().skip(6 * f).take(6).collect();
+            par_loop3_planes(
                 profile,
                 "sbli_sa_derivs",
                 self.cfg.mode,
                 range,
                 &mut outs,
-                &[&src[f]],
+                &[srcf],
                 60.0,
-                move |_i, _j, _k, out, s| {
-                    let v = |di: isize, dj: isize, dk: isize| s.get(0, di, dj, dk);
-                    out.set(0, d1(v(-2, 0, 0), v(-1, 0, 0), v(1, 0, 0), v(2, 0, 0), h));
-                    out.set(1, d1(v(0, -2, 0), v(0, -1, 0), v(0, 1, 0), v(0, 2, 0), h));
-                    out.set(2, d1(v(0, 0, -2), v(0, 0, -1), v(0, 0, 1), v(0, 0, 2), h));
-                    let c = v(0, 0, 0);
-                    out.set(3, d2(v(-2, 0, 0), v(-1, 0, 0), c, v(1, 0, 0), v(2, 0, 0), h));
-                    out.set(4, d2(v(0, -2, 0), v(0, -1, 0), c, v(0, 1, 0), v(0, 2, 0), h));
-                    out.set(5, d2(v(0, 0, -2), v(0, 0, -1), c, v(0, 0, 1), v(0, 0, 2), h));
+                move |_j, _k, out, s| {
+                    let st = StencilRows::capture(s);
+                    {
+                        let (o0, o1, o2) = out.rows3(0, 1, 2);
+                        for i in 0..o0.len() {
+                            o0[i] = d1(st.xm2[i], st.xm1[i], st.xp1[i], st.xp2[i], h);
+                            o1[i] = d1(st.ym2[i], st.ym1[i], st.yp1[i], st.yp2[i], h);
+                            o2[i] = d1(st.zm2[i], st.zm1[i], st.zp1[i], st.zp2[i], h);
+                        }
+                    }
+                    let (o3, o4, o5) = out.rows3(3, 4, 5);
+                    for i in 0..o3.len() {
+                        let c = st.c[i];
+                        o3[i] = d2(st.xm2[i], st.xm1[i], c, st.xp1[i], st.xp2[i], h);
+                        o4[i] = d2(st.ym2[i], st.ym1[i], c, st.yp1[i], st.yp2[i], h);
+                        o5[i] = d2(st.zm2[i], st.zm1[i], c, st.zp1[i], st.zp2[i], h);
+                    }
                 },
             );
         }
@@ -211,7 +265,7 @@ impl OpenSbli {
         for f in 0..NFIELDS {
             let (ax, ay, az) = (ADV[f], ADV[(f + 1) % NFIELDS], ADV[(f + 2) % NFIELDS]);
             let ins: Vec<&Dat3<f64>> = self.wk[6 * f..6 * f + 6].iter().collect();
-            par_loop3(
+            par_loop3_planes(
                 profile,
                 "sbli_sa_combine",
                 self.cfg.mode,
@@ -219,10 +273,19 @@ impl OpenSbli {
                 &mut [&mut self.rhs[f]],
                 &ins,
                 10.0,
-                move |_i, _j, _k, out, w| {
-                    let adv = ax * w.get(0, 0, 0, 0) + ay * w.get(1, 0, 0, 0) + az * w.get(2, 0, 0, 0);
-                    let dif = w.get(3, 0, 0, 0) + w.get(4, 0, 0, 0) + w.get(5, 0, 0, 0);
-                    out.set(0, -adv + nu * dif);
+                move |_j, _k, out, w| {
+                    let dx1 = w.row(0);
+                    let dy1 = w.row(1);
+                    let dz1 = w.row(2);
+                    let dx2 = w.row(3);
+                    let dy2 = w.row(4);
+                    let dz2 = w.row(5);
+                    let r = out.row(0);
+                    for i in 0..r.len() {
+                        let adv = ax * dx1[i] + ay * dy1[i] + az * dz1[i];
+                        let dif = dx2[i] + dy2[i] + dz2[i];
+                        r[i] = -adv + nu * dif;
+                    }
                 },
             );
         }
@@ -249,7 +312,7 @@ impl OpenSbli {
         };
         for f in 0..NFIELDS {
             let (ax, ay, az) = (ADV[f], ADV[(f + 1) % NFIELDS], ADV[(f + 2) % NFIELDS]);
-            par_loop3(
+            par_loop3_planes(
                 profile,
                 "sbli_sn_fused",
                 self.cfg.mode,
@@ -257,19 +320,22 @@ impl OpenSbli {
                 &mut [&mut self.rhs[f]],
                 &[&src[f]],
                 90.0,
-                move |_i, _j, _k, out, s| {
-                    let v = |di: isize, dj: isize, dk: isize| s.get(0, di, dj, dk);
+                move |_j, _k, out, s| {
+                    let st = StencilRows::capture(s);
+                    let r = out.row(0);
                     // Exactly the SA arithmetic, in the same order:
-                    let dx1 = d1(v(-2, 0, 0), v(-1, 0, 0), v(1, 0, 0), v(2, 0, 0), h);
-                    let dy1 = d1(v(0, -2, 0), v(0, -1, 0), v(0, 1, 0), v(0, 2, 0), h);
-                    let dz1 = d1(v(0, 0, -2), v(0, 0, -1), v(0, 0, 1), v(0, 0, 2), h);
-                    let c = v(0, 0, 0);
-                    let dx2 = d2(v(-2, 0, 0), v(-1, 0, 0), c, v(1, 0, 0), v(2, 0, 0), h);
-                    let dy2 = d2(v(0, -2, 0), v(0, -1, 0), c, v(0, 1, 0), v(0, 2, 0), h);
-                    let dz2 = d2(v(0, 0, -2), v(0, 0, -1), c, v(0, 0, 1), v(0, 0, 2), h);
-                    let adv = ax * dx1 + ay * dy1 + az * dz1;
-                    let dif = dx2 + dy2 + dz2;
-                    out.set(0, -adv + nu * dif);
+                    for (i, ri) in r.iter_mut().enumerate() {
+                        let dx1 = d1(st.xm2[i], st.xm1[i], st.xp1[i], st.xp2[i], h);
+                        let dy1 = d1(st.ym2[i], st.ym1[i], st.yp1[i], st.yp2[i], h);
+                        let dz1 = d1(st.zm2[i], st.zm1[i], st.zp1[i], st.zp2[i], h);
+                        let c = st.c[i];
+                        let dx2 = d2(st.xm2[i], st.xm1[i], c, st.xp1[i], st.xp2[i], h);
+                        let dy2 = d2(st.ym2[i], st.ym1[i], c, st.yp1[i], st.yp2[i], h);
+                        let dz2 = d2(st.zm2[i], st.zm1[i], c, st.zp1[i], st.zp2[i], h);
+                        let adv = ax * dx1 + ay * dy1 + az * dz1;
+                        let dif = dx2 + dy2 + dz2;
+                        *ri = -adv + nu * dif;
+                    }
                 },
             );
         }
@@ -292,7 +358,7 @@ impl OpenSbli {
         // Stage 1: q1 = q + dt·L(q)
         self.rhs(profile, 0);
         for f in 0..NFIELDS {
-            par_loop3(
+            par_loop3_planes(
                 profile,
                 "sbli_rk",
                 mode,
@@ -300,13 +366,20 @@ impl OpenSbli {
                 &mut [&mut self.q1[f]],
                 &[&self.q[f], &self.rhs[f]],
                 2.0,
-                move |_i, _j, _k, out, s| out.set(0, s.get(0, 0, 0, 0) + dt * s.get(1, 0, 0, 0)),
+                move |_j, _k, out, s| {
+                    let q = s.row(0);
+                    let l = s.row(1);
+                    let r = out.row(0);
+                    for i in 0..r.len() {
+                        r[i] = q[i] + dt * l[i];
+                    }
+                },
             );
         }
         // Stage 2: q2 = 3/4 q + 1/4 (q1 + dt·L(q1))
         self.rhs(profile, 1);
         for f in 0..NFIELDS {
-            par_loop3(
+            par_loop3_planes(
                 profile,
                 "sbli_rk",
                 mode,
@@ -314,12 +387,14 @@ impl OpenSbli {
                 &mut [&mut self.q2[f]],
                 &[&self.q[f], &self.q1[f], &self.rhs[f]],
                 5.0,
-                move |_i, _j, _k, out, s| {
-                    out.set(
-                        0,
-                        0.75 * s.get(0, 0, 0, 0)
-                            + 0.25 * (s.get(1, 0, 0, 0) + dt * s.get(2, 0, 0, 0)),
-                    )
+                move |_j, _k, out, s| {
+                    let q = s.row(0);
+                    let q1 = s.row(1);
+                    let l = s.row(2);
+                    let r = out.row(0);
+                    for i in 0..r.len() {
+                        r[i] = 0.75 * q[i] + 0.25 * (q1[i] + dt * l[i]);
+                    }
                 },
             );
         }
@@ -327,7 +402,7 @@ impl OpenSbli {
         self.rhs(profile, 2);
         for f in 0..NFIELDS {
             let qf = &mut self.q[f];
-            par_loop3(
+            par_loop3_planes(
                 profile,
                 "sbli_rk",
                 mode,
@@ -335,12 +410,13 @@ impl OpenSbli {
                 &mut [qf],
                 &[&self.q2[f], &self.rhs[f]],
                 5.0,
-                move |_i, _j, _k, out, s| {
-                    let old = out.get(0);
-                    out.set(
-                        0,
-                        old / 3.0 + 2.0 / 3.0 * (s.get(0, 0, 0, 0) + dt * s.get(1, 0, 0, 0)),
-                    )
+                move |_j, _k, out, s| {
+                    let q2 = s.row(0);
+                    let l = s.row(1);
+                    let r = out.row(0);
+                    for i in 0..r.len() {
+                        r[i] = r[i] / 3.0 + 2.0 / 3.0 * (q2[i] + dt * l[i]);
+                    }
                 },
             );
         }
@@ -402,7 +478,13 @@ impl OpenSbli {
             sim.step(&mut profile);
         }
         let validation = sim.field0_error(iterations);
-        AppRun { app, profile, validation, iterations, points }
+        AppRun {
+            app,
+            profile,
+            validation,
+            iterations,
+            points,
+        }
     }
 }
 
@@ -412,9 +494,19 @@ mod tests {
 
     #[test]
     fn store_all_equals_store_none_bitwise() {
-        let base = Config { n: 16, iterations: 4, ..Config::default() };
-        let mut sa = OpenSbli::new(Config { variant: Variant::StoreAll, ..base.clone() });
-        let mut sn = OpenSbli::new(Config { variant: Variant::StoreNone, ..base });
+        let base = Config {
+            n: 16,
+            iterations: 4,
+            ..Config::default()
+        };
+        let mut sa = OpenSbli::new(Config {
+            variant: Variant::StoreAll,
+            ..base.clone()
+        });
+        let mut sn = OpenSbli::new(Config {
+            variant: Variant::StoreNone,
+            ..base
+        });
         let mut p = Profile::new();
         for _ in 0..4 {
             sa.step(&mut p);
@@ -426,7 +518,11 @@ mod tests {
 
     #[test]
     fn solution_matches_analytic_mode() {
-        let run = OpenSbli::run(Config { n: 24, iterations: 10, ..Config::default() });
+        let run = OpenSbli::run(Config {
+            n: 24,
+            iterations: 10,
+            ..Config::default()
+        });
         assert!(run.validation < 2e-3, "L∞ error {}", run.validation);
     }
 
@@ -434,7 +530,11 @@ mod tests {
     fn error_shrinks_with_resolution() {
         // Compare L∞ error at matched *physical* time on two grids.
         let err_at = |n: usize| {
-            let cfg = Config { n, iterations: 0, ..Config::default() };
+            let cfg = Config {
+                n,
+                iterations: 0,
+                ..Config::default()
+            };
             let mut sim = OpenSbli::new(cfg);
             let t_target = 0.02;
             let steps = (t_target / sim.dt()).round() as usize;
@@ -451,9 +551,19 @@ mod tests {
 
     #[test]
     fn sa_moves_more_bytes_sn_more_flops() {
-        let base = Config { n: 16, iterations: 3, ..Config::default() };
-        let sa = OpenSbli::run(Config { variant: Variant::StoreAll, ..base.clone() });
-        let sn = OpenSbli::run(Config { variant: Variant::StoreNone, ..base });
+        let base = Config {
+            n: 16,
+            iterations: 3,
+            ..Config::default()
+        };
+        let sa = OpenSbli::run(Config {
+            variant: Variant::StoreAll,
+            ..base.clone()
+        });
+        let sn = OpenSbli::run(Config {
+            variant: Variant::StoreNone,
+            ..base
+        });
         assert!(
             sa.profile.total_bytes() > 2 * sn.profile.total_bytes(),
             "SA bytes {} vs SN bytes {}",
@@ -470,18 +580,38 @@ mod tests {
 
     #[test]
     fn serial_equals_rayon() {
-        let base = Config { n: 12, iterations: 3, ..Config::default() };
-        let a = OpenSbli::run(Config { mode: ExecMode::Serial, ..base.clone() });
-        let b = OpenSbli::run(Config { mode: ExecMode::Rayon, ..base });
+        let base = Config {
+            n: 12,
+            iterations: 3,
+            ..Config::default()
+        };
+        let a = OpenSbli::run(Config {
+            mode: ExecMode::Serial,
+            ..base.clone()
+        });
+        let b = OpenSbli::run(Config {
+            mode: ExecMode::Rayon,
+            ..base
+        });
         assert_eq!(a.validation, b.validation);
     }
 
     #[test]
     fn kernel_names_reflect_variant() {
-        let sa = OpenSbli::run(Config { n: 8, iterations: 1, variant: Variant::StoreAll, ..Config::default() });
+        let sa = OpenSbli::run(Config {
+            n: 8,
+            iterations: 1,
+            variant: Variant::StoreAll,
+            ..Config::default()
+        });
         assert!(sa.profile.get("sbli_sa_derivs").is_some());
         assert!(sa.profile.get("sbli_sn_fused").is_none());
-        let sn = OpenSbli::run(Config { n: 8, iterations: 1, variant: Variant::StoreNone, ..Config::default() });
+        let sn = OpenSbli::run(Config {
+            n: 8,
+            iterations: 1,
+            variant: Variant::StoreNone,
+            ..Config::default()
+        });
         assert!(sn.profile.get("sbli_sn_fused").is_some());
     }
 }

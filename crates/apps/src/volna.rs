@@ -35,7 +35,13 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Self {
-        Config { n: 32, iterations: 50, cfl: 0.4, mode: ExecModeU::Serial, seed: 11 }
+        Config {
+            n: 32,
+            iterations: 50,
+            cfl: 0.4,
+            mode: ExecModeU::Serial,
+            seed: 11,
+        }
     }
 }
 
@@ -43,7 +49,13 @@ impl Config {
     /// Paper-scale stand-in for the Indian-Ocean case: ~30M cells,
     /// 200 time iterations.
     pub fn paper() -> Self {
-        Config { n: 5477, iterations: 200, cfl: 0.4, mode: ExecModeU::Colored, seed: 11 }
+        Config {
+            n: 5477,
+            iterations: 200,
+            cfl: 0.4,
+            mode: ExecModeU::Colored,
+            seed: 11,
+        }
     }
 }
 
@@ -206,9 +218,7 @@ impl Volna {
                     let a = e2c.get(e, 0);
                     let b = e2c.get(e, 1);
                     let (nx_, ny_) = (normals.get(e, 0), normals.get(e, 1));
-                    let state = |c: usize| -> [f32; 3] {
-                        [q.get(c, 0), q.get(c, 1), q.get(c, 2)]
-                    };
+                    let state = |c: usize| -> [f32; 3] { [q.get(c, 0), q.get(c, 1), q.get(c, 2)] };
                     let sa = state(a);
                     let sb = state(b);
                     let flux_of = |s: &[f32; 3]| -> [f32; 3] {
@@ -289,7 +299,9 @@ impl Volna {
     }
 
     pub fn min_depth(&self) -> f32 {
-        (0..self.cells.size).map(|c| self.q.get(c, 0)).fold(f32::INFINITY, f32::min)
+        (0..self.cells.size)
+            .map(|c| self.q.get(c, 0))
+            .fold(f32::INFINITY, f32::min)
     }
 
     pub fn run(cfg: Config) -> AppRun {
@@ -303,7 +315,13 @@ impl Volna {
         }
         let v1 = sim.total_volume();
         let validation = ((v1 - v0) / v0).abs();
-        AppRun { app: AppId::Volna, profile, validation, iterations, points }
+        AppRun {
+            app: AppId::Volna,
+            profile,
+            validation,
+            iterations,
+            points,
+        }
     }
 }
 
@@ -313,13 +331,21 @@ mod tests {
 
     #[test]
     fn water_volume_conserved() {
-        let run = Volna::run(Config { n: 24, iterations: 60, ..Config::default() });
+        let run = Volna::run(Config {
+            n: 24,
+            iterations: 60,
+            ..Config::default()
+        });
         assert!(run.validation < 2e-5, "volume drift {}", run.validation);
     }
 
     #[test]
     fn depth_never_negative() {
-        let cfg = Config { n: 24, iterations: 80, ..Config::default() };
+        let cfg = Config {
+            n: 24,
+            iterations: 80,
+            ..Config::default()
+        };
         let mut profile = Profile::new();
         let mut sim = Volna::new(cfg);
         for _ in 0..80 {
@@ -331,7 +357,11 @@ mod tests {
     #[test]
     fn still_water_stays_still_on_flat_bathymetry() {
         // Flat lake at rest: zero the hump, flatten the beach.
-        let mut sim = Volna::new(Config { n: 16, iterations: 0, ..Config::default() });
+        let mut sim = Volna::new(Config {
+            n: 16,
+            iterations: 0,
+            ..Config::default()
+        });
         for c in 0..sim.cells.size {
             sim.q.set(c, 0, 1.0);
             sim.q.set(c, 1, 0.0);
@@ -342,14 +372,21 @@ mod tests {
             sim.step(&mut profile);
         }
         for c in 0..sim.cells.size {
-            assert!((sim.q.get(c, 0) - 1.0).abs() < 1e-6, "lake at rest disturbed");
+            assert!(
+                (sim.q.get(c, 0) - 1.0).abs() < 1e-6,
+                "lake at rest disturbed"
+            );
             assert_eq!(sim.q.get(c, 1), 0.0);
         }
     }
 
     #[test]
     fn dam_break_spreads_outward() {
-        let cfg = Config { n: 32, iterations: 0, ..Config::default() };
+        let cfg = Config {
+            n: 32,
+            iterations: 0,
+            ..Config::default()
+        };
         let mut profile = Profile::new();
         let mut sim = Volna::new(cfg);
         // Find a cell near (0.7, 0.5): initially at still-water depth.
@@ -365,20 +402,37 @@ mod tests {
             sim.step(&mut profile);
             max_h = max_h.max(sim.q.get(probe, 0));
         }
-        assert!(max_h > h0 + 1e-3, "wave never reached the probe: {h0} -> {max_h}");
+        assert!(
+            max_h > h0 + 1e-3,
+            "wave never reached the probe: {h0} -> {max_h}"
+        );
     }
 
     #[test]
     fn serial_close_to_colored() {
-        let base = Config { n: 16, iterations: 20, ..Config::default() };
-        let a = Volna::run(Config { mode: ExecModeU::Serial, ..base.clone() });
-        let b = Volna::run(Config { mode: ExecModeU::Colored, ..base });
+        let base = Config {
+            n: 16,
+            iterations: 20,
+            ..Config::default()
+        };
+        let a = Volna::run(Config {
+            mode: ExecModeU::Serial,
+            ..base.clone()
+        });
+        let b = Volna::run(Config {
+            mode: ExecModeU::Colored,
+            ..base
+        });
         assert!((a.validation - b.validation).abs() < 1e-5);
     }
 
     #[test]
     fn profile_contains_volna_kernels() {
-        let run = Volna::run(Config { n: 12, iterations: 3, ..Config::default() });
+        let run = Volna::run(Config {
+            n: 12,
+            iterations: 3,
+            ..Config::default()
+        });
         assert!(run.profile.get("volna_flux").is_some());
         assert!(run.profile.get("volna_update").is_some());
     }

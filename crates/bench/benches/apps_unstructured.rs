@@ -3,13 +3,16 @@
 //! gather ("MPI vec" shape) execution schemes.
 
 use bwb_core::apps::{mgcfd, volna};
-use bwb_core::op2::{par_loop_gather, ExecModeU};
+use bwb_core::op2::{par_loop_gather, ExecModeU, GatherScratch};
 use bwb_core::ops::Profile;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_mgcfd_flux(c: &mut Criterion) {
     let mut g = c.benchmark_group("mgcfd_compute_flux");
-    for &(label, mode) in &[("serial", ExecModeU::Serial), ("colored", ExecModeU::Colored)] {
+    for &(label, mode) in &[
+        ("serial", ExecModeU::Serial),
+        ("colored", ExecModeU::Colored),
+    ] {
         let mut sim = mgcfd::MgCfd::new(mgcfd::Config {
             n: 129,
             levels: 1,
@@ -29,7 +32,10 @@ fn bench_mgcfd_flux(c: &mut Criterion) {
 
 fn bench_volna_step(c: &mut Criterion) {
     let mut g = c.benchmark_group("volna_step");
-    for &(label, mode) in &[("serial", ExecModeU::Serial), ("colored", ExecModeU::Colored)] {
+    for &(label, mode) in &[
+        ("serial", ExecModeU::Serial),
+        ("colored", ExecModeU::Colored),
+    ] {
         let mut sim = volna::Volna::new(volna::Config {
             n: 128,
             iterations: 0,
@@ -61,6 +67,7 @@ fn bench_gather_lanes(c: &mut Criterion) {
     for &lanes in &[1usize, 8, 16] {
         let mut acc = DatU::<f64>::new("acc", &nodes, 1);
         let mut profile = Profile::new();
+        let mut scratch = GatherScratch::new();
         let m = &map;
         g.bench_with_input(BenchmarkId::new("inc", lanes), &lanes, |b, &lanes| {
             b.iter(|| {
@@ -70,6 +77,7 @@ fn bench_gather_lanes(c: &mut Criterion) {
                     lanes,
                     n,
                     &mut [&mut acc],
+                    &mut scratch,
                     8,
                     16,
                     4.0,

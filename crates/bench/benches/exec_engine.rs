@@ -1,0 +1,185 @@
+//! Execution-engine microbenchmarks: the measured material behind the
+//! chunked/slice-path/tile-parallel overhaul (DESIGN.md §2, §5).
+//!
+//! Two comparisons on a CloverLeaf2D-shaped working set (960², f64,
+//! halo 2 — the paper's 2-D hydro footprint):
+//!
+//!  * `slice_path` — the same kernel through the per-point driver
+//!    ([`par_loop2`]) and the slice fast path ([`par_loop2_rows`]), rayon
+//!    mode: the pointwise ideal-gas EOS (2 in / 2 out) and a 5-point
+//!    viscosity-shaped stencil (1 in / 1 out).
+//!  * `tiled_chain` — a 4-loop reach-1 chain executed with
+//!    [`LoopChain2::execute_tiled`] in serial vs rayon (tile-parallel)
+//!    mode at several tile heights.
+
+use bwb_core::ops::{par_loop2, par_loop2_rows, Dat2, ExecMode, LoopChain2, Profile, Range2};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const N: usize = 960;
+const GAMMA: f64 = 1.4;
+
+fn field(name: &str, a: usize, b: usize, bias: f64) -> Dat2<f64> {
+    let mut d = Dat2::new(name, N, N, 2);
+    d.init_with(move |i, j| {
+        bias + 0.001 * ((i * a as isize + j * b as isize).rem_euclid(13)) as f64
+    });
+    d
+}
+
+fn bench_slice_path(c: &mut Criterion) {
+    let rho = field("rho", 3, 7, 1.0);
+    let e = field("e", 5, 11, 2.0);
+    let mut p = Dat2::new("p", N, N, 2);
+    let mut ss = Dat2::new("ss", N, N, 2);
+    let mut profile = Profile::new();
+
+    let mut g = c.benchmark_group("exec_engine/slice_path");
+    g.throughput(Throughput::Elements((N * N) as u64));
+    g.sample_size(20);
+
+    g.bench_function(BenchmarkId::new("ideal_gas", "per_point"), |b| {
+        b.iter(|| {
+            par_loop2(
+                &mut profile,
+                "ig_pp",
+                ExecMode::Rayon,
+                Range2::interior(N, N),
+                &mut [&mut p, &mut ss],
+                &[&rho, &e],
+                5.0,
+                |_i, _j, out, ins| {
+                    let (r, en) = (ins.get(0, 0, 0), ins.get(1, 0, 0));
+                    let pv = (GAMMA - 1.0) * r * en;
+                    out.set(0, pv);
+                    out.set(1, (GAMMA * pv / r).sqrt());
+                },
+            )
+        })
+    });
+    g.bench_function(BenchmarkId::new("ideal_gas", "rows"), |b| {
+        b.iter(|| {
+            par_loop2_rows(
+                &mut profile,
+                "ig_rows",
+                ExecMode::Rayon,
+                Range2::interior(N, N),
+                &mut [&mut p, &mut ss],
+                &[&rho, &e],
+                5.0,
+                |_j, out, ins| {
+                    let r = ins.row(0);
+                    let en = ins.row(1);
+                    let (po, so) = out.rows2(0, 1);
+                    for i in 0..po.len() {
+                        let pv = (GAMMA - 1.0) * r[i] * en[i];
+                        po[i] = pv;
+                        so[i] = (GAMMA * pv / r[i]).sqrt();
+                    }
+                },
+            )
+        })
+    });
+
+    g.bench_function(BenchmarkId::new("stencil5", "per_point"), |b| {
+        b.iter(|| {
+            par_loop2(
+                &mut profile,
+                "st_pp",
+                ExecMode::Rayon,
+                Range2::interior(N, N),
+                &mut [&mut p],
+                &[&rho],
+                6.0,
+                |_i, _j, out, ins| {
+                    out.set(
+                        0,
+                        ins.get(0, 0, 0)
+                            + 0.25
+                                * (ins.get(0, -1, 0)
+                                    + ins.get(0, 1, 0)
+                                    + ins.get(0, 0, -1)
+                                    + ins.get(0, 0, 1)),
+                    );
+                },
+            )
+        })
+    });
+    g.bench_function(BenchmarkId::new("stencil5", "rows"), |b| {
+        b.iter(|| {
+            par_loop2_rows(
+                &mut profile,
+                "st_rows",
+                ExecMode::Rayon,
+                Range2::interior(N, N),
+                &mut [&mut p],
+                &[&rho],
+                6.0,
+                |_j, out, ins| {
+                    let cc = ins.row(0);
+                    let xm = ins.row_off(0, -1, 0);
+                    let xp = ins.row_off(0, 1, 0);
+                    let ym = ins.row_off(0, 0, -1);
+                    let yp = ins.row_off(0, 0, 1);
+                    let o = out.row(0);
+                    for i in 0..o.len() {
+                        o[i] = cc[i] + 0.25 * (xm[i] + xp[i] + ym[i] + yp[i]);
+                    }
+                },
+            )
+        })
+    });
+    g.finish();
+}
+
+fn build_chain(mode: ExecMode) -> (LoopChain2<f64>, Vec<Dat2<f64>>) {
+    const LOOPS: usize = 4;
+    let store: Vec<Dat2<f64>> = (0..=LOOPS)
+        .map(|f| {
+            let mut d = Dat2::new(&format!("f{f}"), N, N, 1);
+            if f == 0 {
+                d.init_with(|i, j| ((i * 3 + j * 5) % 11) as f64);
+            }
+            d
+        })
+        .collect();
+    let mut chain = LoopChain2::new(mode);
+    for l in 0..LOOPS {
+        chain.add(
+            &format!("s{l}"),
+            Range2::interior(N, N),
+            1,
+            4.0,
+            vec![l + 1],
+            vec![l],
+            |_i, _j, out, ins| {
+                out.set(
+                    0,
+                    0.25 * (ins.get(0, -1, 0)
+                        + ins.get(0, 1, 0)
+                        + ins.get(0, 0, -1)
+                        + ins.get(0, 0, 1)),
+                );
+            },
+        );
+    }
+    (chain, store)
+}
+
+fn bench_tiled_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exec_engine/tiled_chain");
+    g.throughput(Throughput::Elements((N * N * 4) as u64));
+    g.sample_size(10);
+    for tile in [8usize, 32, 128] {
+        for &(label, mode) in &[("serial", ExecMode::Serial), ("parallel", ExecMode::Rayon)] {
+            let (chain, mut store) = build_chain(mode);
+            let mut profile = Profile::new();
+            g.bench_with_input(BenchmarkId::new(label, tile), &tile, |b, &t| {
+                b.iter(|| chain.execute_tiled(&mut store, &mut profile, t))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_slice_path, bench_tiled_chain);
+criterion_main!(benches);

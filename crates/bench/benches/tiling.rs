@@ -49,7 +49,9 @@ fn bench_tiling(c: &mut Criterion) {
 
     let (ch, mut store) = chain(n, loops, ExecMode::Rayon);
     let mut profile = Profile::new();
-    g.bench_function("untiled", |b| b.iter(|| ch.execute(&mut store, &mut profile)));
+    g.bench_function("untiled", |b| {
+        b.iter(|| ch.execute(&mut store, &mut profile))
+    });
 
     for &tile in &[32usize, 128, 512] {
         let (ch, mut store) = chain(n, loops, ExecMode::Rayon);

@@ -24,7 +24,13 @@ fn best_seconds(p: &bwb_core::machine::Platform, app: AppId) -> f64 {
     configs
         .iter()
         .filter_map(|&config| {
-            predict(&ModelInput { platform: p, character: &ch, config, points, iterations })
+            predict(&ModelInput {
+                platform: p,
+                character: &ch,
+                config,
+                points,
+                iterations,
+            })
         })
         .map(|pr| pr.seconds)
         .fold(f64::INFINITY, f64::min)
@@ -34,7 +40,12 @@ fn best_seconds(p: &bwb_core::machine::Platform, app: AppId) -> f64 {
 /// HBM-class and beyond — where does each app stop benefiting?
 fn ablate_bandwidth() {
     println!("## Ablation 1: Xeon MAX bandwidth sweep (everything else fixed)\n");
-    let apps = [AppId::CloverLeaf2D, AppId::OpenSbliSn, AppId::MgCfd, AppId::MiniBude];
+    let apps = [
+        AppId::CloverLeaf2D,
+        AppId::OpenSbliSn,
+        AppId::MgCfd,
+        AppId::MiniBude,
+    ];
     let mut header = vec!["triad GB/s".to_owned()];
     header.extend(apps.iter().map(|a| a.label().to_owned()));
     let hrefs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
@@ -64,12 +75,20 @@ fn ablate_bandwidth() {
 /// Ablation 2: sweep memory latency — who is latency-sensitive?
 fn ablate_latency() {
     println!("## Ablation 2: memory-latency sweep on the Xeon MAX\n");
-    let apps = [AppId::CloverLeaf2D, AppId::Acoustic, AppId::MgCfd, AppId::Volna];
+    let apps = [
+        AppId::CloverLeaf2D,
+        AppId::Acoustic,
+        AppId::MgCfd,
+        AppId::Volna,
+    ];
     let mut header = vec!["latency ns".to_owned()];
     header.extend(apps.iter().map(|a| a.label().to_owned()));
     let hrefs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut t = Table::new(&hrefs);
-    let base: Vec<f64> = apps.iter().map(|&a| best_seconds(&platforms::xeon_max_9480(), a)).collect();
+    let base: Vec<f64> = apps
+        .iter()
+        .map(|&a| best_seconds(&platforms::xeon_max_9480(), a))
+        .collect();
     for lat in [65.0, 130.0, 260.0, 520.0] {
         let mut p = platforms::xeon_max_9480();
         p.memory.latency_ns = lat;
@@ -90,7 +109,11 @@ fn ablate_latency() {
 fn ablate_launch_overhead() {
     println!("## Ablation 3: per-kernel launch overhead vs SYCL penalty\n");
     use bwb_core::perfmodel::{Compiler, Parallelization, Zmm};
-    let mut t = Table::new(&["launch µs", "CloverLeaf 2D SYCL/OpenMP", "OpenSBLI SN SYCL/OpenMP"]);
+    let mut t = Table::new(&[
+        "launch µs",
+        "CloverLeaf 2D SYCL/OpenMP",
+        "OpenSBLI SN SYCL/OpenMP",
+    ]);
     for us in [0.0, 5.0, 14.0, 30.0, 60.0] {
         let mut p = platforms::xeon_max_9480();
         p.kernel_launch_overhead_us = us;

@@ -86,7 +86,12 @@ impl Experiment {
             Figure::Fig8EffectiveBandwidth => render_fig8(),
             Figure::Fig9Tiling => render_fig9(),
         };
-        format!("{}\n{}\n{}", self.figure.title(), "=".repeat(self.figure.title().len()), body)
+        format!(
+            "{}\n{}\n{}",
+            self.figure.title(),
+            "=".repeat(self.figure.title().len()),
+            body
+        )
     }
 
     /// Write the figure's data as CSV under the given directory; returns
@@ -202,8 +207,12 @@ impl Experiment {
                 ("fig6_platforms.csv", w)
             }
             Figure::Fig7MpiFraction => {
-                let mut w =
-                    CsvWriter::new(&["app", "platform", "mpi_fraction_pure", "mpi_fraction_openmp"]);
+                let mut w = CsvWriter::new(&[
+                    "app",
+                    "platform",
+                    "mpi_fraction_pure",
+                    "mpi_fraction_openmp",
+                ]);
                 for e in figures::figure7_mpi_fractions() {
                     w.row(&[
                         e.app.label().to_owned(),
@@ -263,7 +272,13 @@ fn render_fig1() -> String {
 }
 
 fn render_fig2() -> String {
-    let mut t = Table::new(&["platform", "hyperthread", "adjacent core", "cross-NUMA", "cross-socket"]);
+    let mut t = Table::new(&[
+        "platform",
+        "hyperthread",
+        "adjacent core",
+        "cross-NUMA",
+        "cross-socket",
+    ]);
     for p in platforms::all_cpus() {
         t.row(&[
             p.name.clone(),
@@ -308,7 +323,14 @@ fn render_matrix(m: figures::SlowdownMatrix, note: &str) -> String {
 
 fn render_fig5() -> String {
     let data = figures::figure5_parallelization_speedups();
-    let mut t = Table::new(&["app", "MPI", "MPI vec", "MPI+OpenMP", "SYCL flat", "SYCL ndrange"]);
+    let mut t = Table::new(&[
+        "app",
+        "MPI",
+        "MPI vec",
+        "MPI+OpenMP",
+        "SYCL flat",
+        "SYCL ndrange",
+    ]);
     for e in &data {
         let get = |l: &str| {
             e.speedups
@@ -333,7 +355,9 @@ fn render_fig5() -> String {
 
 fn render_fig6() -> String {
     let data = figures::figure6_platform_comparison();
-    let mut t = Table::new(&["app", "MAX 9480", "8360Y", "EPYC", "A100", "vs 8360Y", "vs EPYC", "A100/MAX"]);
+    let mut t = Table::new(&[
+        "app", "MAX 9480", "8360Y", "EPYC", "A100", "vs 8360Y", "vs EPYC", "A100/MAX",
+    ]);
     for e in &data {
         let get = |k: bwb_machine::PlatformKind| {
             e.best
@@ -376,7 +400,8 @@ fn render_fig7() -> String {
 
 fn render_fig8() -> String {
     let data = figures::figure8_effective_bandwidth();
-    let mut chart = BarChart::new("achieved effective bandwidth on Xeon MAX 9480 (fraction of STREAM)");
+    let mut chart =
+        BarChart::new("achieved effective bandwidth on Xeon MAX 9480 (fraction of STREAM)");
     for e in data
         .iter()
         .filter(|e| e.platform == bwb_machine::PlatformKind::XeonMax9480)
@@ -384,7 +409,11 @@ fn render_fig8() -> String {
         chart.bar(
             e.app.label(),
             e.fraction_of_stream,
-            &format!("{:.0} GB/s ({:.0}%)", e.effective_gbs, e.fraction_of_stream * 100.0),
+            &format!(
+                "{:.0} GB/s ({:.0}%)",
+                e.effective_gbs,
+                e.fraction_of_stream * 100.0
+            ),
         );
     }
     let mut out = chart.render();
@@ -448,8 +477,7 @@ mod tests {
 
     #[test]
     fn titles_unique() {
-        let set: std::collections::HashSet<&str> =
-            Figure::ALL.iter().map(|f| f.title()).collect();
+        let set: std::collections::HashSet<&str> = Figure::ALL.iter().map(|f| f.title()).collect();
         assert_eq!(set.len(), Figure::ALL.len());
     }
 }

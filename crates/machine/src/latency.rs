@@ -112,7 +112,10 @@ mod tests {
         let l = profile();
         let lats: Vec<f64> = CommDistance::ALL.iter().map(|&d| l.latency_ns(d)).collect();
         for w in lats.windows(2) {
-            assert!(w[0] <= w[1], "latency must be monotone in distance: {lats:?}");
+            assert!(
+                w[0] <= w[1],
+                "latency must be monotone in distance: {lats:?}"
+            );
         }
     }
 

@@ -133,7 +133,8 @@ impl Platform {
     /// fraction of memory controllers) and the concurrency bound.
     pub fn effective_stream_bw_gbs(&self, active_cores: u32, smt_active: bool) -> f64 {
         let frac = (active_cores as f64 / self.topology.physical_cores() as f64).min(1.0);
-        let controller_bw = self.measured_triad_gbs * frac.max(1.0 / self.topology.total_numa() as f64);
+        let controller_bw =
+            self.measured_triad_gbs * frac.max(1.0 / self.topology.total_numa() as f64);
         controller_bw.min(self.concurrency_bw_gbs(active_cores, smt_active))
     }
 

@@ -23,19 +23,45 @@ pub fn xeon_max_9480() -> Platform {
     Platform {
         kind: PlatformKind::XeonMax9480,
         name: "Intel Xeon CPU MAX 9480 (HBM-only, SNC4)".into(),
-        topology: CpuTopology { sockets: 2, numa_per_socket: 4, cores_per_numa: 14, smt_per_core: 2 },
+        topology: CpuTopology {
+            sockets: 2,
+            numa_per_socket: 4,
+            cores_per_numa: 14,
+            smt_per_core: 2,
+        },
         base_ghz: 1.9,
         turbo_allcore_ghz: 2.6,
         vector_bits: 512,
         fma_units: 2,
         caches: vec![
-            CacheLevel { level: 1, capacity_bytes: 48 << 10, scope: CacheScope::PerCore,
-                stream_bw_gbs: 40_000.0, latency_ns: 1.0, associativity: 12, line_bytes: 64 },
-            CacheLevel { level: 2, capacity_bytes: 2 << 20, scope: CacheScope::PerCore,
-                stream_bw_gbs: 12_000.0, latency_ns: 5.5, associativity: 16, line_bytes: 64 },
+            CacheLevel {
+                level: 1,
+                capacity_bytes: 48 << 10,
+                scope: CacheScope::PerCore,
+                stream_bw_gbs: 40_000.0,
+                latency_ns: 1.0,
+                associativity: 12,
+                line_bytes: 64,
+            },
+            CacheLevel {
+                level: 2,
+                capacity_bytes: 2 << 20,
+                scope: CacheScope::PerCore,
+                stream_bw_gbs: 12_000.0,
+                latency_ns: 5.5,
+                associativity: 16,
+                line_bytes: 64,
+            },
             // 112.5 MB L3 total, sliced per SNC4 domain: ~14 MB per domain.
-            CacheLevel { level: 3, capacity_bytes: 14 << 20, scope: CacheScope::PerNuma,
-                stream_bw_gbs: 5495.0, latency_ns: 33.0, associativity: 15, line_bytes: 64 },
+            CacheLevel {
+                level: 3,
+                capacity_bytes: 14 << 20,
+                scope: CacheScope::PerNuma,
+                stream_bw_gbs: 5495.0,
+                latency_ns: 33.0,
+                associativity: 15,
+                line_bytes: 64,
+            },
         ],
         memory: MainMemory {
             kind: MemoryKind::Hbm2e,
@@ -68,18 +94,44 @@ pub fn xeon_8360y() -> Platform {
     Platform {
         kind: PlatformKind::Xeon8360Y,
         name: "Intel Xeon Platinum 8360Y (Ice Lake)".into(),
-        topology: CpuTopology { sockets: 2, numa_per_socket: 1, cores_per_numa: 36, smt_per_core: 2 },
+        topology: CpuTopology {
+            sockets: 2,
+            numa_per_socket: 1,
+            cores_per_numa: 36,
+            smt_per_core: 2,
+        },
         base_ghz: 2.4,
         turbo_allcore_ghz: 2.8,
         vector_bits: 512,
         fma_units: 2,
         caches: vec![
-            CacheLevel { level: 1, capacity_bytes: 48 << 10, scope: CacheScope::PerCore,
-                stream_bw_gbs: 30_000.0, latency_ns: 1.0, associativity: 12, line_bytes: 64 },
-            CacheLevel { level: 2, capacity_bytes: 1280 << 10, scope: CacheScope::PerCore,
-                stream_bw_gbs: 9_000.0, latency_ns: 5.0, associativity: 20, line_bytes: 64 },
-            CacheLevel { level: 3, capacity_bytes: 54 << 20, scope: CacheScope::PerSocket,
-                stream_bw_gbs: 1865.0, latency_ns: 30.0, associativity: 12, line_bytes: 64 },
+            CacheLevel {
+                level: 1,
+                capacity_bytes: 48 << 10,
+                scope: CacheScope::PerCore,
+                stream_bw_gbs: 30_000.0,
+                latency_ns: 1.0,
+                associativity: 12,
+                line_bytes: 64,
+            },
+            CacheLevel {
+                level: 2,
+                capacity_bytes: 1280 << 10,
+                scope: CacheScope::PerCore,
+                stream_bw_gbs: 9_000.0,
+                latency_ns: 5.0,
+                associativity: 20,
+                line_bytes: 64,
+            },
+            CacheLevel {
+                level: 3,
+                capacity_bytes: 54 << 20,
+                scope: CacheScope::PerSocket,
+                stream_bw_gbs: 1865.0,
+                latency_ns: 30.0,
+                associativity: 12,
+                line_bytes: 64,
+            },
         ],
         memory: MainMemory {
             kind: MemoryKind::Ddr4,
@@ -112,19 +164,45 @@ pub fn epyc_7v73x() -> Platform {
     Platform {
         kind: PlatformKind::Epyc7V73X,
         name: "AMD EPYC 7V73X (Milan-X, 3D V-Cache)".into(),
-        topology: CpuTopology { sockets: 2, numa_per_socket: 2, cores_per_numa: 30, smt_per_core: 1 },
+        topology: CpuTopology {
+            sockets: 2,
+            numa_per_socket: 2,
+            cores_per_numa: 30,
+            smt_per_core: 1,
+        },
         base_ghz: 2.2,
         turbo_allcore_ghz: 3.5,
         vector_bits: 256,
         fma_units: 2,
         caches: vec![
-            CacheLevel { level: 1, capacity_bytes: 32 << 10, scope: CacheScope::PerCore,
-                stream_bw_gbs: 25_000.0, latency_ns: 0.9, associativity: 8, line_bytes: 64 },
-            CacheLevel { level: 2, capacity_bytes: 512 << 10, scope: CacheScope::PerCore,
-                stream_bw_gbs: 8_000.0, latency_ns: 3.5, associativity: 8, line_bytes: 64 },
+            CacheLevel {
+                level: 1,
+                capacity_bytes: 32 << 10,
+                scope: CacheScope::PerCore,
+                stream_bw_gbs: 25_000.0,
+                latency_ns: 0.9,
+                associativity: 8,
+                line_bytes: 64,
+            },
+            CacheLevel {
+                level: 2,
+                capacity_bytes: 512 << 10,
+                scope: CacheScope::PerCore,
+                stream_bw_gbs: 8_000.0,
+                latency_ns: 3.5,
+                associativity: 8,
+                line_bytes: 64,
+            },
             // 3D V-Cache: 96 MB per CCD × 8 CCD = 768 MB per socket.
-            CacheLevel { level: 3, capacity_bytes: 768 << 20, scope: CacheScope::PerSocket,
-                stream_bw_gbs: 4340.0, latency_ns: 48.0, associativity: 16, line_bytes: 64 },
+            CacheLevel {
+                level: 3,
+                capacity_bytes: 768 << 20,
+                scope: CacheScope::PerSocket,
+                stream_bw_gbs: 4340.0,
+                latency_ns: 48.0,
+                associativity: 16,
+                line_bytes: 64,
+            },
         ],
         memory: MainMemory {
             kind: MemoryKind::Ddr4,
@@ -137,7 +215,7 @@ pub fn epyc_7v73x() -> Platform {
         latency: LatencyProfile {
             hyperthread_ns: None, // SMT disabled
             same_numa_ns: 45.0,
-            cross_numa_ns: 95.0,  // different chiplet, same socket
+            cross_numa_ns: 95.0,    // different chiplet, same socket
             cross_socket_ns: 190.0, // 1.6× worse than the Xeons (VM effect)
         },
         mlp_per_core: 12.0,
@@ -156,16 +234,35 @@ pub fn a100_pcie_40gb() -> Platform {
     Platform {
         kind: PlatformKind::A100Pcie40GB,
         name: "NVIDIA A100 40GB PCIe".into(),
-        topology: CpuTopology { sockets: 1, numa_per_socket: 1, cores_per_numa: 108, smt_per_core: 1 },
+        topology: CpuTopology {
+            sockets: 1,
+            numa_per_socket: 1,
+            cores_per_numa: 108,
+            smt_per_core: 1,
+        },
         base_ghz: 1.41,
         turbo_allcore_ghz: 1.41,
         vector_bits: 1024,
         fma_units: 2,
         caches: vec![
-            CacheLevel { level: 1, capacity_bytes: 192 << 10, scope: CacheScope::PerCore,
-                stream_bw_gbs: 100_000.0, latency_ns: 8.0, associativity: 4, line_bytes: 128 },
-            CacheLevel { level: 2, capacity_bytes: 40 << 20, scope: CacheScope::PerSocket,
-                stream_bw_gbs: 4500.0, latency_ns: 140.0, associativity: 16, line_bytes: 128 },
+            CacheLevel {
+                level: 1,
+                capacity_bytes: 192 << 10,
+                scope: CacheScope::PerCore,
+                stream_bw_gbs: 100_000.0,
+                latency_ns: 8.0,
+                associativity: 4,
+                line_bytes: 128,
+            },
+            CacheLevel {
+                level: 2,
+                capacity_bytes: 40 << 20,
+                scope: CacheScope::PerSocket,
+                stream_bw_gbs: 4500.0,
+                latency_ns: 140.0,
+                associativity: 16,
+                line_bytes: 128,
+            },
         ],
         memory: MainMemory {
             kind: MemoryKind::Hbm2e,
@@ -197,7 +294,12 @@ pub fn all_cpus() -> Vec<Platform> {
 
 /// All four platforms including the A100.
 pub fn all_platforms() -> Vec<Platform> {
-    vec![xeon_max_9480(), xeon_8360y(), epyc_7v73x(), a100_pcie_40gb()]
+    vec![
+        xeon_max_9480(),
+        xeon_8360y(),
+        epyc_7v73x(),
+        a100_pcie_40gb(),
+    ]
 }
 
 #[cfg(test)]

@@ -85,7 +85,10 @@ pub fn measure_thread_latency(round_trips: u64) -> LatencyProbe {
 
     batch_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median_round_trip = batch_ns[batch_ns.len() / 2];
-    LatencyProbe { one_way_ns: median_round_trip / 2.0, round_trips: per_batch * batches }
+    LatencyProbe {
+        one_way_ns: median_round_trip / 2.0,
+        round_trips: per_batch * batches,
+    }
 }
 
 #[cfg(test)]
@@ -103,7 +106,8 @@ mod tests {
             "one-way latency {} ns",
             p.one_way_ns
         );
-        assert_eq!(p.round_trips, 2_000 - 2_000 % 16);
+        // 2000 rounds down to itself at batch size 16.
+        assert_eq!(p.round_trips, 2_000);
     }
 
     #[test]

@@ -43,12 +43,18 @@ pub struct Roofline {
 impl Roofline {
     /// Build an FP32 roofline at base clock using measured Triad bandwidth.
     pub fn fp32(p: &Platform) -> Self {
-        Roofline { peak_gflops: p.peak_fp32_base_gflops(), peak_gbs: p.measured_triad_gbs }
+        Roofline {
+            peak_gflops: p.peak_fp32_base_gflops(),
+            peak_gbs: p.measured_triad_gbs,
+        }
     }
 
     /// Build an FP64 roofline at base clock using measured Triad bandwidth.
     pub fn fp64(p: &Platform) -> Self {
-        Roofline { peak_gflops: p.peak_fp64_gflops(p.base_ghz), peak_gbs: p.measured_triad_gbs }
+        Roofline {
+            peak_gflops: p.peak_fp64_gflops(p.base_ghz),
+            peak_gbs: p.measured_triad_gbs,
+        }
     }
 
     /// Ridge point: the arithmetic intensity where the two ceilings meet.
@@ -130,7 +136,10 @@ mod tests {
 
     #[test]
     fn attainable_flops_continuous_at_ridge() {
-        let r = Roofline { peak_gflops: 1000.0, peak_gbs: 100.0 };
+        let r = Roofline {
+            peak_gflops: 1000.0,
+            peak_gbs: 100.0,
+        };
         let ridge = r.ridge_flop_per_byte();
         let below = r.evaluate(ridge * 0.999).attainable_gflops;
         let above = r.evaluate(ridge * 1.001).attainable_gflops;
@@ -139,7 +148,10 @@ mod tests {
 
     #[test]
     fn time_is_max_of_resources() {
-        let r = Roofline { peak_gflops: 1000.0, peak_gbs: 100.0 };
+        let r = Roofline {
+            peak_gflops: 1000.0,
+            peak_gbs: 100.0,
+        };
         // 1 GB at 100 GB/s = 10 ms; 1 GFLOP at 1000 GF/s = 1 ms → 10 ms.
         let t = r.time_seconds(1e9, 1e9);
         assert!((t - 0.01).abs() < 1e-12);
@@ -150,7 +162,10 @@ mod tests {
 
     #[test]
     fn zero_intensity_is_pure_streaming() {
-        let r = Roofline { peak_gflops: 1000.0, peak_gbs: 100.0 };
+        let r = Roofline {
+            peak_gflops: 1000.0,
+            peak_gbs: 100.0,
+        };
         let pt = r.evaluate(0.0);
         assert_eq!(pt.regime, RooflineRegime::BandwidthBound);
         assert_eq!(pt.attainable_gflops, 0.0);
@@ -160,6 +175,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "finite non-negative")]
     fn negative_intensity_panics() {
-        Roofline { peak_gflops: 1.0, peak_gbs: 1.0 }.evaluate(-1.0);
+        Roofline {
+            peak_gflops: 1.0,
+            peak_gbs: 1.0,
+        }
+        .evaluate(-1.0);
     }
 }

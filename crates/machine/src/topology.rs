@@ -124,14 +124,17 @@ impl CpuTopology {
     /// threads, then the next domain. This mirrors `I_MPI_PIN_ORDER=compact`.
     pub fn enumerate_threads(&self, use_smt: bool) -> Vec<CoreId> {
         let smt_ways = if use_smt { self.smt_per_core } else { 1 };
-        let mut out = Vec::with_capacity(
-            self.physical_cores() as usize * smt_ways as usize,
-        );
+        let mut out = Vec::with_capacity(self.physical_cores() as usize * smt_ways as usize);
         for socket in 0..self.sockets {
             for numa in 0..self.numa_per_socket {
                 for smt in 0..smt_ways {
                     for core in 0..self.cores_per_numa {
-                        out.push(CoreId { socket, numa, core, smt });
+                        out.push(CoreId {
+                            socket,
+                            numa,
+                            core,
+                            smt,
+                        });
                     }
                 }
             }
@@ -148,16 +151,29 @@ impl CpuTopology {
                 let mut v = Vec::new();
                 for socket in 0..self.sockets {
                     for numa in 0..self.numa_per_socket {
-                        v.push(CoreId { socket, numa, core: 0, smt: 0 });
+                        v.push(CoreId {
+                            socket,
+                            numa,
+                            core: 0,
+                            smt: 0,
+                        });
                     }
                 }
                 v
             }
             PlacementPolicy::OnePerSocket => (0..self.sockets)
-                .map(|socket| CoreId { socket, numa: 0, core: 0, smt: 0 })
+                .map(|socket| CoreId {
+                    socket,
+                    numa: 0,
+                    core: 0,
+                    smt: 0,
+                })
                 .collect(),
         };
-        RankPlacement { policy, assignments }
+        RankPlacement {
+            policy,
+            assignments,
+        }
     }
 }
 
@@ -167,7 +183,12 @@ mod tests {
 
     /// Xeon MAX 9480-like topology: 2 sockets × 4 NUMA × 14 cores × 2 SMT.
     fn max_topo() -> CpuTopology {
-        CpuTopology { sockets: 2, numa_per_socket: 4, cores_per_numa: 14, smt_per_core: 2 }
+        CpuTopology {
+            sockets: 2,
+            numa_per_socket: 4,
+            cores_per_numa: 14,
+            smt_per_core: 2,
+        }
     }
 
     #[test]
@@ -180,11 +201,36 @@ mod tests {
 
     #[test]
     fn distance_classification() {
-        let a = CoreId { socket: 0, numa: 0, core: 0, smt: 0 };
-        let ht = CoreId { socket: 0, numa: 0, core: 0, smt: 1 };
-        let adj = CoreId { socket: 0, numa: 0, core: 1, smt: 0 };
-        let xn = CoreId { socket: 0, numa: 1, core: 0, smt: 0 };
-        let xs = CoreId { socket: 1, numa: 0, core: 0, smt: 0 };
+        let a = CoreId {
+            socket: 0,
+            numa: 0,
+            core: 0,
+            smt: 0,
+        };
+        let ht = CoreId {
+            socket: 0,
+            numa: 0,
+            core: 0,
+            smt: 1,
+        };
+        let adj = CoreId {
+            socket: 0,
+            numa: 0,
+            core: 1,
+            smt: 0,
+        };
+        let xn = CoreId {
+            socket: 0,
+            numa: 1,
+            core: 0,
+            smt: 0,
+        };
+        let xs = CoreId {
+            socket: 1,
+            numa: 0,
+            core: 0,
+            smt: 0,
+        };
         assert_eq!(a.distance_to(&ht), CommDistance::Hyperthread);
         assert_eq!(a.distance_to(&adj), CommDistance::SameNuma);
         assert_eq!(a.distance_to(&xn), CommDistance::CrossNuma);
@@ -237,12 +283,20 @@ mod tests {
         // With compact placement, consecutive ranks should rarely cross a
         // socket: exactly one boundary out of 111 neighbour pairs.
         let f = p.neighbor_cross_socket_fraction();
-        assert!(f < 0.02, "compact placement should keep neighbours close, got {f}");
+        assert!(
+            f < 0.02,
+            "compact placement should keep neighbours close, got {f}"
+        );
     }
 
     #[test]
     fn distance_histogram_counts_all_pairs() {
-        let t = CpuTopology { sockets: 2, numa_per_socket: 1, cores_per_numa: 2, smt_per_core: 1 };
+        let t = CpuTopology {
+            sockets: 2,
+            numa_per_socket: 1,
+            cores_per_numa: 2,
+            smt_per_core: 1,
+        };
         let p = t.place_ranks(PlacementPolicy::OnePerCore);
         let h = p.distance_histogram();
         // 4 ranks → 6 pairs: within each socket 1 pair ×2 sockets = 2

@@ -315,7 +315,11 @@ mod tests {
                 c.access(cc + i * 8, AccessKind::Read);
                 c.access(
                     a + i * 8,
-                    if nt { AccessKind::StreamingWrite } else { AccessKind::Write },
+                    if nt {
+                        AccessKind::StreamingWrite
+                    } else {
+                        AccessKind::Write
+                    },
                 );
             }
             c.flush();

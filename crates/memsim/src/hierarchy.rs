@@ -27,8 +27,11 @@ pub enum MachineSubset {
 }
 
 impl MachineSubset {
-    pub const ALL: [MachineSubset; 3] =
-        [MachineSubset::OneNuma, MachineSubset::OneSocket, MachineSubset::WholeMachine];
+    pub const ALL: [MachineSubset; 3] = [
+        MachineSubset::OneNuma,
+        MachineSubset::OneSocket,
+        MachineSubset::WholeMachine,
+    ];
 
     pub fn label(self) -> &'static str {
         match self {
@@ -172,12 +175,22 @@ impl MemoryHierarchyModel {
                 dominant_level: dominant,
             };
         }
-        BandwidthCurve { working_set_bytes, bandwidth_gbs: mem_bw, dominant_level: 0 }
+        BandwidthCurve {
+            working_set_bytes,
+            bandwidth_gbs: mem_bw,
+            dominant_level: 0,
+        }
     }
 
     /// Sweep working-set sizes (bytes, log-spaced) and return the curve —
     /// the Figure 1 x-axis.
-    pub fn sweep(&self, subset: MachineSubset, from: u64, to: u64, points: usize) -> Vec<BandwidthCurve> {
+    pub fn sweep(
+        &self,
+        subset: MachineSubset,
+        from: u64,
+        to: u64,
+        points: usize,
+    ) -> Vec<BandwidthCurve> {
         assert!(from > 0 && to > from && points >= 2);
         let lf = (from as f64).ln();
         let lt = (to as f64).ln();
@@ -211,7 +224,11 @@ mod tests {
         let c = m.bandwidth(8 << 30, MachineSubset::WholeMachine);
         assert_eq!(c.dominant_level, 0);
         // within 15% of the measured Triad figure (LLC still catches a sliver)
-        assert!((c.bandwidth_gbs - 1446.0).abs() / 1446.0 < 0.15, "{}", c.bandwidth_gbs);
+        assert!(
+            (c.bandwidth_gbs - 1446.0).abs() / 1446.0 < 0.15,
+            "{}",
+            c.bandwidth_gbs
+        );
     }
 
     #[test]
@@ -219,7 +236,11 @@ mod tests {
         let m = model_max();
         let c = m.bandwidth(1 << 20, MachineSubset::WholeMachine);
         assert!(c.dominant_level >= 1);
-        assert!(c.bandwidth_gbs > 5.0 * 1446.0, "cache plateau {}", c.bandwidth_gbs);
+        assert!(
+            c.bandwidth_gbs > 5.0 * 1446.0,
+            "cache plateau {}",
+            c.bandwidth_gbs
+        );
     }
 
     #[test]
@@ -256,10 +277,16 @@ mod tests {
     fn subset_capacity_scales() {
         let m = model_max();
         // L2 is per-core: 14 cores in one NUMA domain × 2 MiB.
-        assert_eq!(m.subset_cache_capacity(2, MachineSubset::OneNuma), 14 * (2 << 20));
+        assert_eq!(
+            m.subset_cache_capacity(2, MachineSubset::OneNuma),
+            14 * (2 << 20)
+        );
         // L3 is per-NUMA on MAX: one slice.
         assert_eq!(m.subset_cache_capacity(3, MachineSubset::OneNuma), 14 << 20);
-        assert_eq!(m.subset_cache_capacity(3, MachineSubset::WholeMachine), 8 * (14 << 20));
+        assert_eq!(
+            m.subset_cache_capacity(3, MachineSubset::WholeMachine),
+            8 * (14 << 20)
+        );
     }
 
     #[test]
@@ -280,8 +307,12 @@ mod tests {
         let ws = 1 << 30; // 1 GiB
         let a = amd.bandwidth(ws, MachineSubset::WholeMachine);
         let i = icx.bandwidth(ws, MachineSubset::WholeMachine);
-        assert!(a.bandwidth_gbs > 4.0 * i.bandwidth_gbs,
-            "EPYC {} vs ICX {}", a.bandwidth_gbs, i.bandwidth_gbs);
+        assert!(
+            a.bandwidth_gbs > 4.0 * i.bandwidth_gbs,
+            "EPYC {} vs ICX {}",
+            a.bandwidth_gbs,
+            i.bandwidth_gbs
+        );
         assert!(a.dominant_level == 3);
         assert_eq!(i.dominant_level, 0);
     }

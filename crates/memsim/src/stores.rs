@@ -31,7 +31,10 @@ pub struct TrafficModel {
 impl TrafficModel {
     pub fn new(read_bytes: f64, write_bytes: f64) -> Self {
         assert!(read_bytes >= 0.0 && write_bytes >= 0.0);
-        TrafficModel { read_bytes, write_bytes }
+        TrafficModel {
+            read_bytes,
+            write_bytes,
+        }
     }
 
     /// STREAM-convention useful bytes.

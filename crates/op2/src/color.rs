@@ -25,7 +25,11 @@ impl Coloring {
     /// elements of one color share a target through any map in `write_maps`.
     pub fn greedy(set_size: usize, write_maps: &[&Map]) -> Self {
         for m in write_maps {
-            assert_eq!(m.from_size, set_size, "map '{}' source-set mismatch", m.name);
+            assert_eq!(
+                m.from_size, set_size,
+                "map '{}' source-set mismatch",
+                m.name
+            );
         }
         let mut colors = vec![u32::MAX; set_size];
         // For each target of each map, the colors already used on it.
@@ -33,11 +37,13 @@ impl Coloring {
             .iter()
             .map(|m| vec![0u64; m.to_size]) // bitmask of first 64 colors
             .collect();
-        let mut overflow: Vec<std::collections::HashMap<usize, Vec<u32>>> =
-            write_maps.iter().map(|_| std::collections::HashMap::new()).collect();
+        let mut overflow: Vec<std::collections::HashMap<usize, Vec<u32>>> = write_maps
+            .iter()
+            .map(|_| std::collections::HashMap::new())
+            .collect();
         let mut n_colors = 0u32;
 
-        for e in 0..set_size {
+        for (e, color_slot) in colors.iter_mut().enumerate() {
             // Forbidden colors = union over maps/targets of used colors.
             let mut forbidden: u64 = 0;
             let mut forbidden_hi: Vec<u32> = Vec::new();
@@ -58,7 +64,7 @@ impl Coloring {
                     c += 1;
                 }
             }
-            colors[e] = c;
+            *color_slot = c;
             n_colors = n_colors.max(c + 1);
             for (mi, m) in write_maps.iter().enumerate() {
                 for &t in m.targets(e) {
@@ -75,7 +81,11 @@ impl Coloring {
         for (e, &c) in colors.iter().enumerate() {
             by_color[c as usize].push(e as u32);
         }
-        Coloring { colors, n_colors, by_color }
+        Coloring {
+            colors,
+            n_colors,
+            by_color,
+        }
     }
 
     /// Trivial coloring: every element the same color (valid only for
@@ -130,6 +140,135 @@ impl Coloring {
     }
 }
 
+/// A coloring of contiguous element *blocks*.
+///
+/// OP2's OpenMP scheme at block granularity: the source set is cut into
+/// blocks of `block_size` consecutive elements and the blocks are colored
+/// so that no two same-colored blocks share a target through any write map.
+/// Compared to element coloring this (a) needs one parallel region and
+/// barrier per *block* color — typically far fewer colors than the
+/// element-granularity schedule when conflicts are local — and (b) keeps
+/// gather locality, since each task walks consecutive elements instead of a
+/// strided color class.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockColoring {
+    pub block_size: usize,
+    pub set_size: usize,
+    /// `block_colors[b]` = color of block `b`.
+    pub block_colors: Vec<u32>,
+    pub n_colors: u32,
+    /// Block ids grouped by color, each group ascending.
+    pub by_color: Vec<Vec<u32>>,
+}
+
+impl BlockColoring {
+    /// Greedy first-fit coloring of `ceil(set_size / block_size)` contiguous
+    /// blocks so that no two blocks of one color share a target through any
+    /// map in `write_maps`.
+    pub fn greedy(set_size: usize, block_size: usize, write_maps: &[&Map]) -> Self {
+        assert!(block_size >= 1);
+        for m in write_maps {
+            assert_eq!(
+                m.from_size, set_size,
+                "map '{}' source-set mismatch",
+                m.name
+            );
+        }
+        let n_blocks = set_size.div_ceil(block_size);
+        let mut block_colors = vec![u32::MAX; n_blocks];
+        let mut target_used: Vec<Vec<u64>> =
+            write_maps.iter().map(|m| vec![0u64; m.to_size]).collect();
+        let mut overflow: Vec<std::collections::HashMap<usize, Vec<u32>>> = write_maps
+            .iter()
+            .map(|_| std::collections::HashMap::new())
+            .collect();
+        let mut n_colors = 0u32;
+
+        for (b, color_slot) in block_colors.iter_mut().enumerate() {
+            let lo = b * block_size;
+            let hi = (lo + block_size).min(set_size);
+            let mut forbidden: u64 = 0;
+            let mut forbidden_hi: Vec<u32> = Vec::new();
+            for (mi, m) in write_maps.iter().enumerate() {
+                for e in lo..hi {
+                    for &t in m.targets(e) {
+                        forbidden |= target_used[mi][t as usize];
+                        if let Some(hi_colors) = overflow[mi].get(&(t as usize)) {
+                            forbidden_hi.extend_from_slice(hi_colors);
+                        }
+                    }
+                }
+            }
+            let mut c = forbidden.trailing_ones();
+            if c >= 64 {
+                c = 64;
+                forbidden_hi.sort_unstable();
+                while forbidden_hi.binary_search(&c).is_ok() {
+                    c += 1;
+                }
+            }
+            *color_slot = c;
+            n_colors = n_colors.max(c + 1);
+            for (mi, m) in write_maps.iter().enumerate() {
+                for e in lo..hi {
+                    for &t in m.targets(e) {
+                        if c < 64 {
+                            target_used[mi][t as usize] |= 1u64 << c;
+                        } else {
+                            overflow[mi].entry(t as usize).or_default().push(c);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut by_color = vec![Vec::new(); n_colors as usize];
+        for (b, &c) in block_colors.iter().enumerate() {
+            by_color[c as usize].push(b as u32);
+        }
+        BlockColoring {
+            block_size,
+            set_size,
+            block_colors,
+            n_colors,
+            by_color,
+        }
+    }
+
+    pub fn n_blocks(&self) -> usize {
+        self.block_colors.len()
+    }
+
+    /// Element range `[lo, hi)` of block `b`.
+    pub fn block_range(&self, b: usize) -> std::ops::Range<usize> {
+        let lo = b * self.block_size;
+        lo..(lo + self.block_size).min(self.set_size)
+    }
+
+    /// Verify that no two *distinct* blocks of one color share a target.
+    /// Conflicts within one block are fine — its elements run sequentially.
+    pub fn validate(&self, write_maps: &[&Map]) -> bool {
+        for m in write_maps {
+            // seen[t] = (color, block) of the last toucher.
+            let mut seen: Vec<(u32, u32)> = vec![(u32::MAX, u32::MAX); m.to_size];
+            for (color, blocks) in self.by_color.iter().enumerate() {
+                for &b in blocks {
+                    for e in self.block_range(b as usize) {
+                        for &t in m.targets(e) {
+                            let (c, prev_b) = seen[t as usize];
+                            if c == color as u32 && prev_b != b {
+                                return false;
+                            }
+                            seen[t as usize] = (color as u32, b);
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,7 +277,9 @@ mod tests {
     fn line_mesh(n_edges: usize) -> Map {
         let nodes = Set::new("nodes", n_edges + 1);
         let edges = Set::new("edges", n_edges);
-        let idx: Vec<u32> = (0..n_edges).flat_map(|e| [e as u32, e as u32 + 1]).collect();
+        let idx: Vec<u32> = (0..n_edges)
+            .flat_map(|e| [e as u32, e as u32 + 1])
+            .collect();
         Map::new("e2n", &edges, &nodes, 2, idx)
     }
 
@@ -225,6 +366,68 @@ mod tests {
         // Quad grid cells sharing a node: ≤ 4 cells per node → greedy needs
         // at most ~ 2*4 colors in practice; sanity bound:
         assert!(c.n_colors <= 8, "n_colors = {}", c.n_colors);
+    }
+
+    #[test]
+    fn block_coloring_line_mesh_two_colors() {
+        // Blocks of 4 on a line mesh conflict only with their neighbours
+        // (shared boundary node) → alternating colors, far fewer barriers
+        // than elements would imply.
+        let m = line_mesh(32);
+        let c = BlockColoring::greedy(32, 4, &[&m]);
+        assert_eq!(c.n_blocks(), 8);
+        assert_eq!(c.n_colors, 2);
+        assert!(c.validate(&[&m]));
+        for b in 0..8 {
+            assert_eq!(c.block_colors[b], (b % 2) as u32);
+        }
+    }
+
+    #[test]
+    fn block_ranges_partition_the_set() {
+        let m = line_mesh(10);
+        let c = BlockColoring::greedy(10, 4, &[&m]);
+        assert_eq!(c.n_blocks(), 3);
+        assert_eq!(c.block_range(0), 0..4);
+        assert_eq!(c.block_range(2), 8..10); // ragged tail clipped
+        let total: usize = (0..c.n_blocks()).map(|b| c.block_range(b).len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn block_coloring_validate_rejects_conflicts() {
+        let m = line_mesh(8);
+        let mut c = BlockColoring::greedy(8, 2, &[&m]);
+        assert!(c.validate(&[&m]));
+        // Force adjacent blocks (which share a node) onto one color.
+        c.block_colors.iter_mut().for_each(|x| *x = 0);
+        c.n_colors = 1;
+        c.by_color = vec![(0..c.n_blocks() as u32).collect()];
+        assert!(!c.validate(&[&m]));
+    }
+
+    #[test]
+    fn block_size_covering_set_is_single_color() {
+        let m = line_mesh(20);
+        let c = BlockColoring::greedy(20, 64, &[&m]);
+        assert_eq!(c.n_blocks(), 1);
+        assert_eq!(c.n_colors, 1);
+        assert!(c.validate(&[&m]));
+    }
+
+    #[test]
+    fn block_coloring_uses_fewer_colors_than_star_elements() {
+        // 6 edges all touching node 0: element coloring needs 6 colors;
+        // one block of 6 holds every conflict internally → 1 color.
+        let nodes = Set::new("nodes", 7);
+        let edges = Set::new("edges", 6);
+        let idx: Vec<u32> = (0..6).flat_map(|e| [0u32, e as u32 + 1]).collect();
+        let m = Map::new("e2n", &edges, &nodes, 2, idx);
+        let elem = Coloring::greedy(6, &[&m]);
+        let block = BlockColoring::greedy(6, 6, &[&m]);
+        assert_eq!(elem.n_colors, 6);
+        assert_eq!(block.n_colors, 1);
+        assert!(block.validate(&[&m]));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //!   buffers, and the extra staged bytes are recorded so the performance
 //!   model can price the pack/unpack overhead the paper describes in §6.
 
-use crate::color::Coloring;
+use crate::color::{BlockColoring, Coloring};
 use crate::set::DatU;
 use bwb_ops::Profile;
 use rayon::prelude::*;
@@ -48,7 +48,10 @@ impl<T: Copy> WViewU<T> {
     fn index(&self, e: usize, c: usize) -> usize {
         debug_assert!(c < self.dim);
         let idx = e * self.dim + c;
-        assert!(idx < self.len, "write at element {e} comp {c} outside dataset");
+        assert!(
+            idx < self.len,
+            "write at element {e} comp {c} outside dataset"
+        );
         idx
     }
 
@@ -106,7 +109,11 @@ impl UOut<'_, f32> {
 
 fn uviews<T: Copy>(outs: &mut [&mut DatU<T>]) -> Vec<WViewU<T>> {
     outs.iter_mut()
-        .map(|d| WViewU { ptr: d.raw_mut().as_mut_ptr(), dim: d.dim, len: d.raw().len() })
+        .map(|d| WViewU {
+            ptr: d.raw_mut().as_mut_ptr(),
+            dim: d.dim,
+            len: d.raw().len(),
+        })
         .collect()
 }
 
@@ -125,22 +132,23 @@ pub fn par_loop_direct<T, F>(
     T: Copy + Send + Sync,
     F: Fn(usize, &UOut<T>) + Sync,
 {
-    let t0 = Instant::now();
     let views = uviews(outs);
     let body = |e: usize| {
         let out = UOut { views: &views };
         kernel(e, &out);
     };
+    let t0 = Instant::now();
     match mode {
         ExecModeU::Serial => (0..set_size).for_each(body),
         ExecModeU::Colored => (0..set_size).into_par_iter().for_each(body),
     }
+    let seconds = t0.elapsed().as_secs_f64();
     profile.record(
         name,
         set_size,
         set_size * bytes_per_elem,
         set_size as f64 * flops_per_elem,
-        t0.elapsed().as_secs_f64(),
+        seconds,
     );
 }
 
@@ -161,9 +169,9 @@ pub fn par_loop_colored<T, F>(
     T: Copy + Send + Sync,
     F: Fn(usize, &UOut<T>) + Sync,
 {
-    let t0 = Instant::now();
     let set_size = coloring.colors.len();
     let views = uviews(outs);
+    let t0 = Instant::now();
     match mode {
         ExecModeU::Serial => {
             // Sequential: element order, ignoring colors (no races possible).
@@ -181,21 +189,149 @@ pub fn par_loop_colored<T, F>(
             }
         }
     }
+    let seconds = t0.elapsed().as_secs_f64();
     profile.record(
         name,
         set_size,
         set_size * bytes_per_elem,
         set_size as f64 * flops_per_elem,
-        t0.elapsed().as_secs_f64(),
+        seconds,
     );
 }
 
+/// Indirect loop executed at *block* granularity: within each block color
+/// the blocks run in parallel, and each block's elements run sequentially
+/// in ascending order. One parallel region (and barrier) per block color —
+/// typically far fewer than the element-granularity schedule needs — and
+/// each task touches consecutive elements, restoring gather locality.
+///
+/// The `coloring` must be conflict-free for every map the kernel writes
+/// through (build it with [`BlockColoring::greedy`] over those maps).
+#[allow(clippy::too_many_arguments)]
+pub fn par_loop_block_colored<T, F>(
+    profile: &mut Profile,
+    name: &str,
+    mode: ExecModeU,
+    coloring: &BlockColoring,
+    outs: &mut [&mut DatU<T>],
+    bytes_per_elem: usize,
+    flops_per_elem: f64,
+    kernel: F,
+) where
+    T: Copy + Send + Sync,
+    F: Fn(usize, &UOut<T>) + Sync,
+{
+    let set_size = coloring.set_size;
+    let views = uviews(outs);
+    let t0 = Instant::now();
+    match mode {
+        ExecModeU::Serial => {
+            let out = UOut { views: &views };
+            for e in 0..set_size {
+                kernel(e, &out);
+            }
+        }
+        ExecModeU::Colored => {
+            for class in &coloring.by_color {
+                class.par_iter().for_each(|&b| {
+                    let out = UOut { views: &views };
+                    for e in coloring.block_range(b as usize) {
+                        kernel(e, &out);
+                    }
+                });
+            }
+        }
+    }
+    let seconds = t0.elapsed().as_secs_f64();
+    profile.record(
+        name,
+        set_size,
+        set_size * bytes_per_elem,
+        set_size as f64 * flops_per_elem,
+        seconds,
+    );
+}
+
+/// One staged indirect write of the gather/scatter shape.
+#[derive(Clone, Copy)]
+struct StagedWrite<T> {
+    f: u32,
+    e: u32,
+    c: u32,
+    v: T,
+    /// `true` for increments (`OP_INC`), `false` for overwrites.
+    inc: bool,
+}
+
+/// Reusable pack/unpack staging for [`par_loop_gather`].
+///
+/// OP2's vectorized generated code stages indirect operands through
+/// per-thread scratch buffers that live across loop invocations; holding a
+/// `GatherScratch` at the call site and passing it to every invocation
+/// mirrors that — the scatter buffer is allocated once and reused across
+/// lane batches *and* across calls, instead of a fresh `Vec` each time.
+#[derive(Default)]
+pub struct GatherScratch<T> {
+    staged: Vec<StagedWrite<T>>,
+}
+
+impl<T> GatherScratch<T> {
+    pub fn new() -> Self {
+        GatherScratch { staged: Vec::new() }
+    }
+}
+
+/// Kernel accessor for the gather/scatter shape: indirect writes are staged
+/// into the scatter buffer and applied in element order when the lane batch
+/// completes, like OP2's pack/unpack code. `get` reads the pre-batch value
+/// (kernels of the vec shape do not read targets they increment — the
+/// standard `OP_INC` contract).
+pub struct UStage<'a, T> {
+    views: &'a [WViewU<T>],
+    staged: &'a std::cell::RefCell<Vec<StagedWrite<T>>>,
+}
+
+impl<T: Copy> UStage<'_, T> {
+    /// Stage an overwrite of component `c` of element `e` of dataset `f`.
+    #[inline]
+    pub fn set(&self, f: usize, e: usize, c: usize, v: T) {
+        self.staged.borrow_mut().push(StagedWrite {
+            f: f as u32,
+            e: e as u32,
+            c: c as u32,
+            v,
+            inc: false,
+        });
+    }
+
+    /// Stage an increment — the canonical OP2 indirect access (`OP_INC`).
+    #[inline]
+    pub fn add(&self, f: usize, e: usize, c: usize, v: T) {
+        self.staged.borrow_mut().push(StagedWrite {
+            f: f as u32,
+            e: e as u32,
+            c: c as u32,
+            v,
+            inc: true,
+        });
+    }
+
+    /// Read the pre-batch value (staged writes of this batch are invisible).
+    #[inline]
+    pub fn get(&self, f: usize, e: usize, c: usize) -> T {
+        self.views[f].read(e, c)
+    }
+}
+
 /// Gather/scatter ("MPI vec") loop shape: elements are processed serially in
-/// lanes of `lanes`, with indirect operands staged through explicit
-/// gather/scatter buffers. Functionally identical to a serial loop; the
-/// staged bytes (`indirect_bytes_per_elem × set_size`, both directions) are
-/// added to the loop's byte account, which is how the pack/unpack overhead
-/// of the paper's vectorized implementation enters the performance model.
+/// lanes of `lanes`, with indirect writes staged through the reusable
+/// scatter buffer in `scratch` and applied in element order at the end of
+/// each batch. Functionally identical to a serial loop for the vec-shape
+/// access contract (indirect targets written by increments, not read in the
+/// same batch); the staged bytes (`indirect_bytes_per_elem × set_size`,
+/// both directions) are added to the loop's byte account, which is how the
+/// pack/unpack overhead of the paper's vectorized implementation enters the
+/// performance model.
 #[allow(clippy::too_many_arguments)]
 pub fn par_loop_gather<T, F>(
     profile: &mut Profile,
@@ -203,35 +339,54 @@ pub fn par_loop_gather<T, F>(
     lanes: usize,
     set_size: usize,
     outs: &mut [&mut DatU<T>],
+    scratch: &mut GatherScratch<T>,
     bytes_per_elem: usize,
     indirect_bytes_per_elem: usize,
     flops_per_elem: f64,
     kernel: F,
 ) where
-    T: Copy + Send + Sync,
-    F: Fn(usize, &UOut<T>) + Sync,
+    T: Copy + Send + Sync + std::ops::Add<Output = T>,
+    F: Fn(usize, &UStage<T>),
 {
     assert!(lanes >= 1);
-    let t0 = Instant::now();
     let views = uviews(outs);
-    let out = UOut { views: &views };
+    let staged = std::cell::RefCell::new(std::mem::take(&mut scratch.staged));
+    let t0 = Instant::now();
     let mut e = 0;
     while e < set_size {
         let hi = (e + lanes).min(set_size);
-        // "Gather": in the real generated code operands are packed into
-        // vector registers here; the staging traffic is what we account.
-        for ee in e..hi {
-            kernel(ee, &out);
+        // "Gather"/compute: kernels read operands and stage their indirect
+        // writes into the scatter buffer.
+        {
+            let out = UStage {
+                views: &views,
+                staged: &staged,
+            };
+            for ee in e..hi {
+                kernel(ee, &out);
+            }
         }
-        // "Scatter" happens inside the kernel's increments.
+        // "Scatter": apply the batch in element order (drain keeps the
+        // buffer's capacity for the next batch).
+        for w in staged.borrow_mut().drain(..) {
+            let view = &views[w.f as usize];
+            let v = if w.inc {
+                view.read(w.e as usize, w.c as usize) + w.v
+            } else {
+                w.v
+            };
+            view.write(w.e as usize, w.c as usize, v);
+        }
         e = hi;
     }
+    let seconds = t0.elapsed().as_secs_f64();
+    scratch.staged = staged.into_inner();
     profile.record(
         name,
         set_size,
         set_size * (bytes_per_elem + 2 * indirect_bytes_per_elem),
         set_size as f64 * flops_per_elem,
-        t0.elapsed().as_secs_f64(),
+        seconds,
     );
 }
 
@@ -243,7 +398,9 @@ mod tests {
     fn ring_mesh(n: usize) -> (Set, Set, Map) {
         let nodes = Set::new("nodes", n);
         let edges = Set::new("edges", n);
-        let idx: Vec<u32> = (0..n).flat_map(|e| [e as u32, ((e + 1) % n) as u32]).collect();
+        let idx: Vec<u32> = (0..n)
+            .flat_map(|e| [e as u32, ((e + 1) % n) as u32])
+            .collect();
         let map = Map::new("e2n", &edges, &nodes, 2, idx);
         (nodes, edges, map)
     }
@@ -253,10 +410,19 @@ mod tests {
         let s = Set::new("s", 10);
         let mut d = DatU::<f64>::new("d", &s, 2);
         let mut p = Profile::new();
-        par_loop_direct(&mut p, "init", ExecModeU::Colored, 10, &mut [&mut d], 16, 0.0, |e, out| {
-            out.set(0, e, 0, e as f64);
-            out.set(0, e, 1, -(e as f64));
-        });
+        par_loop_direct(
+            &mut p,
+            "init",
+            ExecModeU::Colored,
+            10,
+            &mut [&mut d],
+            16,
+            0.0,
+            |e, out| {
+                out.set(0, e, 0, e as f64);
+                out.set(0, e, 1, -(e as f64));
+            },
+        );
         assert_eq!(d.get(7, 0), 7.0);
         assert_eq!(d.get(7, 1), -7.0);
     }
@@ -272,11 +438,20 @@ mod tests {
             let mut acc = DatU::<f64>::new("acc", &nodes, 1);
             let mut p = Profile::new();
             let m = &map;
-            par_loop_colored(&mut p, "inc", mode, &coloring, &mut [&mut acc], 16, 2.0, |e, out| {
-                let w = (e + 1) as f64;
-                out.add(0, m.get(e, 0), 0, w);
-                out.add(0, m.get(e, 1), 0, -0.5 * w);
-            });
+            par_loop_colored(
+                &mut p,
+                "inc",
+                mode,
+                &coloring,
+                &mut [&mut acc],
+                16,
+                2.0,
+                |e, out| {
+                    let w = (e + 1) as f64;
+                    out.add(0, m.get(e, 0), 0, w);
+                    out.add(0, m.get(e, 1), 0, -0.5 * w);
+                },
+            );
             acc
         };
         let serial = run(ExecModeU::Serial);
@@ -297,16 +472,137 @@ mod tests {
         let mut p1 = Profile::new();
         let mut p2 = Profile::new();
         let m = &map;
-        par_loop_colored(&mut p1, "k", ExecModeU::Serial, &coloring, &mut [&mut acc_ref], 8, 1.0, |e, out| {
-            out.add(0, m.get(e, 0), 0, 1.0);
-        });
-        par_loop_gather(&mut p2, "k", 8, n, &mut [&mut acc_vec], 8, 16, 1.0, |e, out| {
-            out.add(0, m.get(e, 0), 0, 1.0);
-        });
+        par_loop_colored(
+            &mut p1,
+            "k",
+            ExecModeU::Serial,
+            &coloring,
+            &mut [&mut acc_ref],
+            8,
+            1.0,
+            |e, out| {
+                out.add(0, m.get(e, 0), 0, 1.0);
+            },
+        );
+        let mut scratch = GatherScratch::new();
+        par_loop_gather(
+            &mut p2,
+            "k",
+            8,
+            n,
+            &mut [&mut acc_vec],
+            &mut scratch,
+            8,
+            16,
+            1.0,
+            |e, out| {
+                out.add(0, m.get(e, 0), 0, 1.0);
+            },
+        );
         assert_eq!(acc_ref.max_abs_diff(&acc_vec), 0.0);
         // Vec loop accounts 8 + 2×16 bytes per element.
         assert_eq!(p2.get("k").unwrap().bytes, n * 40);
         assert_eq!(p1.get("k").unwrap().bytes, n * 8);
+    }
+
+    #[test]
+    fn block_colored_indirect_increment_matches_serial() {
+        let n = 97;
+        let (nodes, _edges, map) = ring_mesh(n);
+        for block_size in [1usize, 4, 16, 97] {
+            let coloring = BlockColoring::greedy(n, block_size, &[&map]);
+            assert!(coloring.validate(&[&map]));
+            let run = |mode: ExecModeU| {
+                let mut acc = DatU::<f64>::new("acc", &nodes, 1);
+                let mut p = Profile::new();
+                let m = &map;
+                par_loop_block_colored(
+                    &mut p,
+                    "inc",
+                    mode,
+                    &coloring,
+                    &mut [&mut acc],
+                    16,
+                    2.0,
+                    |e, out| {
+                        let w = (e + 1) as f64;
+                        out.add(0, m.get(e, 0), 0, w);
+                        out.add(0, m.get(e, 1), 0, -0.5 * w);
+                    },
+                );
+                (acc, p)
+            };
+            let (serial, ps) = run(ExecModeU::Serial);
+            let (colored, pc) = run(ExecModeU::Colored);
+            assert_eq!(
+                serial.max_abs_diff(&colored),
+                0.0,
+                "block_size={block_size}"
+            );
+            // Accounting identical between modes.
+            assert_eq!(ps.get("inc").unwrap().bytes, pc.get("inc").unwrap().bytes);
+            assert_eq!(ps.get("inc").unwrap().points, n);
+        }
+    }
+
+    #[test]
+    fn gather_scratch_reused_across_calls() {
+        let n = 32;
+        let (nodes, _edges, map) = ring_mesh(n);
+        let mut acc = DatU::<f64>::new("acc", &nodes, 1);
+        let mut scratch = GatherScratch::new();
+        let m = &map;
+        let mut p = Profile::new();
+        for _ in 0..3 {
+            par_loop_gather(
+                &mut p,
+                "k",
+                4,
+                n,
+                &mut [&mut acc],
+                &mut scratch,
+                8,
+                16,
+                1.0,
+                |e, out| {
+                    out.add(0, m.get(e, 0), 0, 1.0);
+                },
+            );
+        }
+        // Buffer kept its capacity (one batch's worth of staged writes) and
+        // every call produced the same increments.
+        assert!(scratch.staged.capacity() >= 4);
+        assert!(scratch.staged.is_empty());
+        assert_eq!(acc.sum(), 3.0 * n as f64);
+        assert_eq!(p.get("k").unwrap().calls, 3);
+    }
+
+    #[test]
+    fn staged_set_and_get_preserve_batch_semantics() {
+        // `get` sees the pre-batch value; staged `set`s land at batch end
+        // in element order (last writer wins).
+        let s = Set::new("s", 4);
+        let mut d = DatU::<f64>::new("d", &s, 1);
+        d.fill(7.0);
+        let mut p = Profile::new();
+        let mut scratch = GatherScratch::new();
+        par_loop_gather(
+            &mut p,
+            "k",
+            4,
+            4,
+            &mut [&mut d],
+            &mut scratch,
+            8,
+            0,
+            0.0,
+            |e, out| {
+                // Every element overwrites slot 0; reads still see 7.0.
+                assert_eq!(out.get(0, 0, 0), 7.0);
+                out.set(0, 0, 0, e as f64);
+            },
+        );
+        assert_eq!(d.get(0, 0), 3.0);
     }
 
     #[test]
@@ -315,10 +611,19 @@ mod tests {
         let mut d = DatU::<f64>::new("d", &s, 1);
         d.fill(10.0);
         let mut p = Profile::new();
-        par_loop_direct(&mut p, "rmw", ExecModeU::Serial, 4, &mut [&mut d], 8, 1.0, |e, out| {
-            let v = out.get(0, e, 0);
-            out.set(0, e, 0, v * 2.0);
-        });
+        par_loop_direct(
+            &mut p,
+            "rmw",
+            ExecModeU::Serial,
+            4,
+            &mut [&mut d],
+            8,
+            1.0,
+            |e, out| {
+                let v = out.get(0, e, 0);
+                out.set(0, e, 0, v * 2.0);
+            },
+        );
         assert_eq!(d.get(3, 0), 20.0);
     }
 
@@ -327,9 +632,18 @@ mod tests {
         let s = Set::new("s", 3);
         let mut d = DatU::<f32>::new("d", &s, 1);
         let mut p = Profile::new();
-        par_loop_direct(&mut p, "k", ExecModeU::Serial, 3, &mut [&mut d], 4, 0.0, |e, out| {
-            out.add32(0, e, 0, 1.5);
-        });
+        par_loop_direct(
+            &mut p,
+            "k",
+            ExecModeU::Serial,
+            3,
+            &mut [&mut d],
+            4,
+            0.0,
+            |e, out| {
+                out.add32(0, e, 0, 1.5);
+            },
+        );
         assert_eq!(d.get(2, 0), 1.5);
     }
 
@@ -338,9 +652,16 @@ mod tests {
         let s = Set::new("s", 0);
         let mut d = DatU::<f64>::new("d", &s, 1);
         let mut p = Profile::new();
-        par_loop_direct(&mut p, "k", ExecModeU::Colored, 0, &mut [&mut d], 8, 1.0, |_e, _o| {
-            panic!("must not run")
-        });
+        par_loop_direct(
+            &mut p,
+            "k",
+            ExecModeU::Colored,
+            0,
+            &mut [&mut d],
+            8,
+            1.0,
+            |_e, _o| panic!("must not run"),
+        );
         assert_eq!(p.get("k").unwrap().points, 0);
     }
 }

@@ -38,7 +38,13 @@ impl RankHalo {
     /// the rank's source elements references it through `map` and it is
     /// owned elsewhere. Exports are derived symmetrically, so that
     /// `RankHalo::build` called on every rank yields matching pairs.
-    pub fn build(map: &Map, src_part: &[u32], tgt_part: &[u32], nparts: usize, rank: usize) -> Self {
+    pub fn build(
+        map: &Map,
+        src_part: &[u32],
+        tgt_part: &[u32],
+        nparts: usize,
+        rank: usize,
+    ) -> Self {
         assert_eq!(src_part.len(), map.from_size);
         assert_eq!(tgt_part.len(), map.to_size);
         assert!(rank < nparts);
@@ -46,8 +52,8 @@ impl RankHalo {
         // All (owner_of_source, target) needs, deduplicated.
         let mut need: Vec<std::collections::BTreeSet<u32>> =
             vec![std::collections::BTreeSet::new(); nparts];
-        for e in 0..map.from_size {
-            let owner = src_part[e] as usize;
+        for (e, &sp) in src_part.iter().enumerate() {
+            let owner = sp as usize;
             for &t in map.targets(e) {
                 if tgt_part[t as usize] as usize != owner {
                     need[owner].insert(t);
@@ -79,7 +85,12 @@ impl RankHalo {
                     .collect()
             })
             .collect();
-        RankHalo { rank, nparts, imports, exports }
+        RankHalo {
+            rank,
+            nparts,
+            imports,
+            exports,
+        }
     }
 
     pub fn total_imports(&self) -> usize {
@@ -92,7 +103,9 @@ impl RankHalo {
 
     /// Refresh the ghost entries of `dat`: send owned exported elements,
     /// receive imports into their global slots. Non-neighbours exchange
-    /// nothing.
+    /// nothing. Export buffers are drawn from the rank-local
+    /// [`bwb_shmpi::bufpool`] and received buffers are returned to it, so a
+    /// steady sequence of exchanges recycles the same allocations.
     pub fn exchange<T: Copy + Send + 'static>(&self, comm: &mut Comm, dat: &mut DatU<T>) {
         assert_eq!(comm.rank(), self.rank, "halo built for a different rank");
         assert_eq!(comm.size(), self.nparts);
@@ -102,7 +115,8 @@ impl RankHalo {
             if self.exports[p].is_empty() {
                 continue;
             }
-            let mut buf: Vec<T> = Vec::with_capacity(self.exports[p].len() * dim);
+            let mut buf: Vec<T> = bwb_shmpi::bufpool::take();
+            buf.reserve(self.exports[p].len() * dim);
             for &t in &self.exports[p] {
                 buf.extend_from_slice(dat.elem(t as usize));
             }
@@ -119,6 +133,7 @@ impl RankHalo {
                     dat.set(t as usize, c, buf[k * dim + c]);
                 }
             }
+            bwb_shmpi::bufpool::put(buf);
         }
     }
 }
@@ -135,7 +150,9 @@ mod tests {
     fn line(n_edges: usize) -> Map {
         let nodes = Set::new("nodes", n_edges + 1);
         let edges = Set::new("edges", n_edges);
-        let idx: Vec<u32> = (0..n_edges).flat_map(|e| [e as u32, e as u32 + 1]).collect();
+        let idx: Vec<u32> = (0..n_edges)
+            .flat_map(|e| [e as u32, e as u32 + 1])
+            .collect();
         Map::new("e2n", &edges, &nodes, 2, idx)
     }
 
@@ -148,8 +165,9 @@ mod tests {
         let map = line(20);
         let src = block_part(20, 4);
         let tgt = block_part(21, 4);
-        let halos: Vec<RankHalo> =
-            (0..4).map(|r| RankHalo::build(&map, &src, &tgt, 4, r)).collect();
+        let halos: Vec<RankHalo> = (0..4)
+            .map(|r| RankHalo::build(&map, &src, &tgt, 4, r))
+            .collect();
         for a in 0..4 {
             for b in 0..4 {
                 assert_eq!(
@@ -184,8 +202,8 @@ mod tests {
             let halo = RankHalo::build(&map, &src, &tgt, 3, c.rank());
             let mut d = DatU::<f64>::new("v", &nodes, 2);
             // Owners write (owner_rank, global_id); ghosts start poisoned.
-            for t in 0..13 {
-                if tgt[t] as usize == c.rank() {
+            for (t, &owner) in tgt.iter().enumerate() {
+                if owner as usize == c.rank() {
                     d.set(t, 0, c.rank() as f64);
                     d.set(t, 1, t as f64);
                 } else {
@@ -214,7 +232,6 @@ mod tests {
         // verify the reassembled residual equals the serial one.
         let map = line(16);
         let src = block_part(16, 4);
-        let tgt = block_part(17, 4);
         let nodes = Set::new("nodes", 17);
 
         // Serial reference.
@@ -227,11 +244,10 @@ mod tests {
 
         let map2 = map.clone();
         let src2 = src.clone();
-        let tgt2 = tgt.clone();
         let out = Universe::run(4, move |c| {
             let mut local = DatU::<f64>::new("r", &nodes, 1);
-            for e in 0..16 {
-                if src2[e] as usize != c.rank() {
+            for (e, &owner) in src2.iter().enumerate() {
+                if owner as usize != c.rank() {
                     continue;
                 }
                 let (a, b) = (map2.get(e, 0), map2.get(e, 1));
@@ -244,8 +260,8 @@ mod tests {
             c.allreduce(local.raw(), bwb_shmpi::ReduceOp::Sum)
         });
         for r in &out.results {
-            for t in 0..17 {
-                assert!((r[t] - serial.get(t, 0)).abs() < 1e-12, "node {t}");
+            for (t, &rv) in r.iter().enumerate() {
+                assert!((rv - serial.get(t, 0)).abs() < 1e-12, "node {t}");
             }
         }
     }

@@ -22,13 +22,16 @@
 //! [Reguly 2012]: https://doi.org/10.1109/InPar.2012.6339594
 
 pub mod color;
-pub mod halo_exchange;
 pub mod exec;
+pub mod halo_exchange;
 pub mod partition;
 pub mod set;
 
-pub use color::Coloring;
-pub use exec::{par_loop_colored, par_loop_direct, par_loop_gather, ExecModeU, UOut};
+pub use color::{BlockColoring, Coloring};
+pub use exec::{
+    par_loop_block_colored, par_loop_colored, par_loop_direct, par_loop_gather, ExecModeU,
+    GatherScratch, UOut, UStage,
+};
 pub use halo_exchange::RankHalo;
 pub use partition::{rcb_partition, HaloPlan};
 pub use set::{DatU, Map, Set};

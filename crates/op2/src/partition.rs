@@ -52,9 +52,9 @@ fn rcb_recurse(
             hi[d] = hi[d].max(v);
         }
     }
-    let split_dim = (0..dim).max_by(|&a, &b| {
-        (hi[a] - lo[a]).partial_cmp(&(hi[b] - lo[b])).unwrap()
-    }).unwrap();
+    let split_dim = (0..dim)
+        .max_by(|&a, &b| (hi[a] - lo[a]).partial_cmp(&(hi[b] - lo[b])).unwrap())
+        .unwrap();
 
     // Proportional split: left gets floor(nparts/2)/nparts of the elements.
     let left_parts = nparts / 2;
@@ -68,7 +68,14 @@ fn rcb_recurse(
     });
     let (left, right) = elems.split_at_mut(split_at);
     rcb_recurse(coords, dim, left, first_part, left_parts, out);
-    rcb_recurse(coords, dim, right, first_part + left_parts, right_parts, out);
+    rcb_recurse(
+        coords,
+        dim,
+        right,
+        first_part + left_parts,
+        right_parts,
+        out,
+    );
 }
 
 /// Per-rank halo exchange plan derived from a partition: for every pair of
@@ -93,8 +100,8 @@ impl HaloPlan {
         let mut needed: Vec<std::collections::HashSet<u32>> =
             vec![std::collections::HashSet::new(); nparts];
         let mut cut_elements = 0usize;
-        for e in 0..map.from_size {
-            let owner = src_part[e] as usize;
+        for (e, &sp) in src_part.iter().enumerate() {
+            let owner = sp as usize;
             let mut cut = false;
             for &t in map.targets(e) {
                 let towner = tgt_part[t as usize] as usize;
@@ -112,7 +119,11 @@ impl HaloPlan {
                 imports[a][b] += 1;
             }
         }
-        HaloPlan { nparts, imports, cut_elements }
+        HaloPlan {
+            nparts,
+            imports,
+            cut_elements,
+        }
     }
 
     /// Total imported elements across all ranks.
@@ -123,11 +134,7 @@ impl HaloPlan {
     /// Number of (ordered) rank pairs that exchange at least one element —
     /// i.e. the number of messages per halo exchange.
     pub fn message_count(&self) -> usize {
-        self.imports
-            .iter()
-            .flatten()
-            .filter(|&&n| n > 0)
-            .count()
+        self.imports.iter().flatten().filter(|&&n| n > 0).count()
     }
 
     /// Exchange volume in bytes per halo exchange for a dataset of
@@ -229,7 +236,9 @@ mod tests {
     fn line(n_edges: usize) -> Map {
         let nodes = Set::new("nodes", n_edges + 1);
         let edges = Set::new("edges", n_edges);
-        let idx: Vec<u32> = (0..n_edges).flat_map(|e| [e as u32, e as u32 + 1]).collect();
+        let idx: Vec<u32> = (0..n_edges)
+            .flat_map(|e| [e as u32, e as u32 + 1])
+            .collect();
         Map::new("e2n", &edges, &nodes, 2, idx)
     }
 
@@ -289,7 +298,10 @@ mod tests {
                 HaloPlan::build(&map, &cp, &npart, np).total_imports()
             })
             .collect();
-        assert!(volumes[0] < volumes[1] && volumes[1] < volumes[2], "{volumes:?}");
+        assert!(
+            volumes[0] < volumes[1] && volumes[1] < volumes[2],
+            "{volumes:?}"
+        );
     }
 
     #[test]

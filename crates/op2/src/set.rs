@@ -11,7 +11,10 @@ pub struct Set {
 
 impl Set {
     pub fn new(name: &str, size: usize) -> Self {
-        Set { name: name.to_owned(), size }
+        Set {
+            name: name.to_owned(),
+            size,
+        }
     }
 }
 
@@ -109,7 +112,12 @@ impl<T: Copy + Default> DatU<T> {
 
     pub fn from_vec(name: &str, set: &Set, dim: usize, data: Vec<T>) -> Self {
         assert_eq!(data.len(), set.size * dim, "dat '{name}' data length");
-        DatU { name: name.to_owned(), set_size: set.size, dim, data }
+        DatU {
+            name: name.to_owned(),
+            set_size: set.size,
+            dim,
+            data,
+        }
     }
 }
 
@@ -195,7 +203,9 @@ mod tests {
         // n_edges edges over n_edges+1 nodes: edge e → nodes (e, e+1)
         let nodes = Set::new("nodes", n_edges + 1);
         let edges = Set::new("edges", n_edges);
-        let idx: Vec<u32> = (0..n_edges).flat_map(|e| [e as u32, e as u32 + 1]).collect();
+        let idx: Vec<u32> = (0..n_edges)
+            .flat_map(|e| [e as u32, e as u32 + 1])
+            .collect();
         let map = Map::new("e2n", &edges, &nodes, 2, idx);
         (nodes, edges, map)
     }

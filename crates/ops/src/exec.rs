@@ -85,7 +85,14 @@ pub struct Range3 {
 impl Range3 {
     #[allow(clippy::too_many_arguments)]
     pub fn new(i0: isize, i1: isize, j0: isize, j1: isize, k0: isize, k1: isize) -> Self {
-        Range3 { i0, i1, j0, j1, k0, k1 }
+        Range3 {
+            i0,
+            i1,
+            j0,
+            j1,
+            k0,
+            k1,
+        }
     }
 
     pub fn interior(nx: usize, ny: usize, nz: usize) -> Self {
@@ -115,7 +122,7 @@ impl Range3 {
 /// accessor ([`Out2`]) only writes the current point. Every write is
 /// bounds-checked against the allocation length.
 #[derive(Clone, Copy)]
-struct WView2<T> {
+pub(crate) struct WView2<T> {
     ptr: *mut T,
     pitch: usize,
     halo: isize,
@@ -154,13 +161,23 @@ impl<T: Copy> WView2<T> {
     }
 }
 
-/// Read view over one 2-D dataset (safe slice indexing).
+/// Read view over one 2-D dataset.
+///
+/// Raw-pointer based (with the source borrow's lifetime carried in a
+/// marker) so the tiled executor can hold a read view and a write view of
+/// the *same* field — used as input by one loop of a chain and as output by
+/// another — without overlapping references. Every read is bounds-checked.
 #[derive(Clone, Copy)]
-struct RView2<'a, T> {
-    data: &'a [T],
+pub(crate) struct RView2<'a, T> {
+    ptr: *const T,
     pitch: usize,
     halo: isize,
+    len: usize,
+    _borrow: std::marker::PhantomData<&'a [T]>,
 }
+
+unsafe impl<T: Sync> Send for RView2<'_, T> {}
+unsafe impl<T: Sync> Sync for RView2<'_, T> {}
 
 impl<T: Copy> RView2<'_, T> {
     #[inline]
@@ -168,7 +185,51 @@ impl<T: Copy> RView2<'_, T> {
         let ii = i + self.halo;
         let jj = j + self.halo;
         debug_assert!(ii >= 0 && jj >= 0, "read at ({i},{j}) before halo start");
-        self.data[jj as usize * self.pitch + ii as usize]
+        let idx = jj as usize * self.pitch + ii as usize;
+        assert!(idx < self.len, "read at ({i},{j}) outside dataset storage");
+        // SAFETY: bounds-checked above; the storage outlives `'a` and no
+        // concurrent writer touches the rows a loop reads (driver contract).
+        unsafe { *self.ptr.add(idx) }
+    }
+}
+
+/// Raw base of one field's storage, captured once by the tiled executor so
+/// it can hand out per-loop write and read views over a shared store.
+pub(crate) struct FieldView2<T> {
+    ptr: *mut T,
+    pitch: usize,
+    halo: isize,
+    len: usize,
+}
+
+impl<T: Copy> FieldView2<T> {
+    pub(crate) fn capture(d: &mut Dat2<T>) -> Self {
+        let (pitch, halo, _nx, _ny, len) = d.geometry();
+        FieldView2 {
+            ptr: d.raw_mut().as_mut_ptr(),
+            pitch,
+            halo: halo as isize,
+            len,
+        }
+    }
+
+    pub(crate) fn write_view(&self) -> WView2<T> {
+        WView2 {
+            ptr: self.ptr,
+            pitch: self.pitch,
+            halo: self.halo,
+            len: self.len,
+        }
+    }
+
+    pub(crate) fn read_view<'a>(&self) -> RView2<'a, T> {
+        RView2 {
+            ptr: self.ptr,
+            pitch: self.pitch,
+            halo: self.halo,
+            len: self.len,
+            _borrow: std::marker::PhantomData,
+        }
     }
 }
 
@@ -177,6 +238,13 @@ pub struct Out2<'a, T> {
     views: &'a [WView2<T>],
     i: isize,
     j: isize,
+}
+
+impl<'a, T> Out2<'a, T> {
+    #[inline]
+    pub(crate) fn at(views: &'a [WView2<T>], i: isize, j: isize) -> Self {
+        Out2 { views, i, j }
+    }
 }
 
 impl<T: Copy> Out2<'_, T> {
@@ -209,6 +277,13 @@ pub struct In2<'a, T> {
     j: isize,
 }
 
+impl<'a, T> In2<'a, T> {
+    #[inline]
+    pub(crate) fn at(views: &'a [RView2<'a, T>], i: isize, j: isize) -> Self {
+        In2 { views, i, j }
+    }
+}
+
 impl<T: Copy> In2<'_, T> {
     /// Read input dataset `f` at offset `(di, dj)` from the current point.
     #[inline]
@@ -217,22 +292,163 @@ impl<T: Copy> In2<'_, T> {
     }
 }
 
+/// Kernel accessor handing out whole contiguous *rows* of the output
+/// datasets: the slice fast path.
+///
+/// Where [`Out2`] funnels every store through a per-point bounds check and
+/// view indirection, `RowOut2::row` does one bounds check per row and then
+/// exposes the raw `&mut [T]` slice, which lets kernels iterate with slice
+/// zips the compiler can autovectorize.
+pub struct RowOut2<'a, T> {
+    views: &'a [WView2<T>],
+    i0: isize,
+    width: usize,
+    j: isize,
+}
+
+impl<T: Copy> RowOut2<'_, T> {
+    /// The current row `[i0, i1)` of output dataset `f` as a mutable slice.
+    #[inline]
+    pub fn row(&mut self, f: usize) -> &mut [T] {
+        let v = &self.views[f];
+        let base = v.index(self.i0, self.j);
+        assert!(
+            base + self.width <= v.len,
+            "row at j={} overruns dataset storage",
+            self.j
+        );
+        // SAFETY: bounds checked above; rows are disjoint across threads
+        // because drivers partition by `j`, and `&mut self` prevents a kernel
+        // from holding two slices of the same dataset at once.
+        unsafe { std::slice::from_raw_parts_mut(v.ptr.add(base), self.width) }
+    }
+
+    /// Rows of two *distinct* output datasets simultaneously (for kernels
+    /// updating several fields in one sweep).
+    #[inline]
+    pub fn rows2(&mut self, f0: usize, f1: usize) -> (&mut [T], &mut [T]) {
+        assert_ne!(f0, f1, "rows2 requires two distinct output datasets");
+        let (v0, v1) = (&self.views[f0], &self.views[f1]);
+        debug_assert!(
+            !std::ptr::eq(v0.ptr, v1.ptr),
+            "output datasets must not alias"
+        );
+        let b0 = v0.index(self.i0, self.j);
+        let b1 = v1.index(self.i0, self.j);
+        assert!(b0 + self.width <= v0.len && b1 + self.width <= v1.len);
+        // SAFETY: as in `row`; the two slices come from different
+        // allocations (outs are distinct `&mut Dat2`).
+        unsafe {
+            (
+                std::slice::from_raw_parts_mut(v0.ptr.add(b0), self.width),
+                std::slice::from_raw_parts_mut(v1.ptr.add(b1), self.width),
+            )
+        }
+    }
+
+    /// Rows of three distinct output datasets simultaneously.
+    #[inline]
+    pub fn rows3(&mut self, f0: usize, f1: usize, f2: usize) -> (&mut [T], &mut [T], &mut [T]) {
+        assert!(
+            f0 != f1 && f0 != f2 && f1 != f2,
+            "rows3 requires three distinct output datasets"
+        );
+        let (v0, v1, v2) = (&self.views[f0], &self.views[f1], &self.views[f2]);
+        let b0 = v0.index(self.i0, self.j);
+        let b1 = v1.index(self.i0, self.j);
+        let b2 = v2.index(self.i0, self.j);
+        assert!(
+            b0 + self.width <= v0.len && b1 + self.width <= v1.len && b2 + self.width <= v2.len
+        );
+        // SAFETY: as in `row`; distinct allocations.
+        unsafe {
+            (
+                std::slice::from_raw_parts_mut(v0.ptr.add(b0), self.width),
+                std::slice::from_raw_parts_mut(v1.ptr.add(b1), self.width),
+                std::slice::from_raw_parts_mut(v2.ptr.add(b2), self.width),
+            )
+        }
+    }
+}
+
+/// Input accessor handing out whole contiguous rows at stencil offsets.
+pub struct RowIn2<'a, T> {
+    views: &'a [RView2<'a, T>],
+    i0: isize,
+    width: usize,
+    j: isize,
+}
+
+impl<'a, T: Copy> RowIn2<'a, T> {
+    /// The current row of input dataset `f`.
+    #[inline]
+    pub fn row(&self, f: usize) -> &'a [T] {
+        self.row_off(f, 0, 0)
+    }
+
+    /// The row of input dataset `f` starting at offset `(di, dj)` from
+    /// `(i0, j)`, with the same width as the output rows: element `x` of
+    /// the returned slice is the value at `(i0 + di + x, j + dj)`.
+    #[inline]
+    pub fn row_off(&self, f: usize, di: isize, dj: isize) -> &'a [T] {
+        let v = &self.views[f];
+        let ii = self.i0 + di + v.halo;
+        let jj = self.j + dj + v.halo;
+        debug_assert!(
+            ii >= 0 && jj >= 0,
+            "row read at offset ({di},{dj}) before halo start"
+        );
+        let base = jj as usize * v.pitch + ii as usize;
+        assert!(
+            base + self.width <= v.len,
+            "row read at offset ({di},{dj}) overruns dataset storage"
+        );
+        // SAFETY: bounds-checked above; shared access for `'a` (see RView2).
+        unsafe { std::slice::from_raw_parts(v.ptr.add(base), self.width) }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // 2-D drivers
 // ---------------------------------------------------------------------------
+
+/// Target points per scheduled chunk: coarse enough that task dispatch is
+/// amortized, fine enough to load-balance (rows are grouped to at least
+/// this many points in Rayon mode).
+const CHUNK_POINTS: usize = 1 << 13;
+
+/// Rows per scheduling chunk for a loop `width` points wide.
+#[inline]
+fn chunk_rows(width: isize) -> usize {
+    (CHUNK_POINTS / (width.max(1) as usize)).clamp(1, 512)
+}
 
 fn wviews2<T: Copy>(outs: &mut [&mut Dat2<T>]) -> Vec<WView2<T>> {
     outs.iter_mut()
         .map(|d| {
             let (pitch, halo, _nx, _ny, len) = d.geometry();
-            WView2 { ptr: d.raw_mut().as_mut_ptr(), pitch, halo: halo as isize, len }
+            WView2 {
+                ptr: d.raw_mut().as_mut_ptr(),
+                pitch,
+                halo: halo as isize,
+                len,
+            }
         })
         .collect()
 }
 
 fn rviews2<'a, T: Copy>(ins: &'a [&'a Dat2<T>]) -> Vec<RView2<'a, T>> {
     ins.iter()
-        .map(|d| RView2 { data: d.raw(), pitch: d.pitch(), halo: d.halo() as isize })
+        .map(|d| {
+            let data = d.raw();
+            RView2 {
+                ptr: data.as_ptr(),
+                pitch: d.pitch(),
+                halo: d.halo() as isize,
+                len: data.len(),
+                _borrow: std::marker::PhantomData,
+            }
+        })
         .collect()
 }
 
@@ -243,6 +459,7 @@ fn rviews2<'a, T: Copy>(ins: &'a [&'a Dat2<T>]) -> Vec<RView2<'a, T>> {
 /// * `flops_per_point` — arithmetic per point, recorded for the roofline /
 ///   effective-bandwidth accounting (Figure 8);
 /// * `kernel(i, j, out, ins)` — the per-point computation.
+#[allow(clippy::too_many_arguments)]
 pub fn par_loop2<T, F>(
     profile: &mut Profile,
     name: &str,
@@ -256,10 +473,12 @@ pub fn par_loop2<T, F>(
     T: Copy + Send + Sync,
     F: Fn(isize, isize, &mut Out2<T>, &In2<T>) + Sync,
 {
-    let bytes_per_point =
-        (outs.len() + ins.len()) * std::mem::size_of::<T>();
-    let t0 = Instant::now();
-    if !range.is_empty() {
+    let bytes_per_point = (outs.len() + ins.len()) * std::mem::size_of::<T>();
+    // View construction and profile bookkeeping stay outside the timed
+    // region: recorded seconds cover the loop body only.
+    let seconds = if range.is_empty() {
+        0.0
+    } else {
         let w = wviews2(outs);
         let r = rviews2(ins);
         let body = |j: isize| {
@@ -269,16 +488,90 @@ pub fn par_loop2<T, F>(
                 kernel(i, j, &mut out, &inp);
             }
         };
+        let t0 = Instant::now();
         match mode {
             ExecMode::Serial => (range.j0..range.j1).for_each(body),
-            ExecMode::Rayon => (range.j0..range.j1).into_par_iter().for_each(body),
+            ExecMode::Rayon => (range.j0..range.j1)
+                .into_par_iter()
+                .with_min_len(chunk_rows(range.i1 - range.i0))
+                .for_each(body),
         }
-    }
-    profile.record(name, range.points(), range.points() * bytes_per_point, range.points() as f64 * flops_per_point, t0.elapsed().as_secs_f64());
+        t0.elapsed().as_secs_f64()
+    };
+    profile.record(
+        name,
+        range.points(),
+        range.points() * bytes_per_point,
+        range.points() as f64 * flops_per_point,
+        seconds,
+    );
+}
+
+/// Execute a 2-D loop on the slice fast path: the kernel is called once per
+/// row `j` with contiguous row slices instead of once per point.
+///
+/// Byte/FLOP accounting is identical to [`par_loop2`] — same iteration
+/// range, same dataset counts — so profiles and figure outputs do not
+/// change when a loop is ported onto this path; only the measured seconds
+/// (and achieved bandwidth) improve.
+#[allow(clippy::too_many_arguments)]
+pub fn par_loop2_rows<T, F>(
+    profile: &mut Profile,
+    name: &str,
+    mode: ExecMode,
+    range: Range2,
+    outs: &mut [&mut Dat2<T>],
+    ins: &[&Dat2<T>],
+    flops_per_point: f64,
+    kernel: F,
+) where
+    T: Copy + Send + Sync,
+    F: Fn(isize, &mut RowOut2<T>, &RowIn2<T>) + Sync,
+{
+    let bytes_per_point = (outs.len() + ins.len()) * std::mem::size_of::<T>();
+    let seconds = if range.is_empty() {
+        0.0
+    } else {
+        let w = wviews2(outs);
+        let r = rviews2(ins);
+        let width = (range.i1 - range.i0) as usize;
+        let body = |j: isize| {
+            let mut out = RowOut2 {
+                views: &w,
+                i0: range.i0,
+                width,
+                j,
+            };
+            let inp = RowIn2 {
+                views: &r,
+                i0: range.i0,
+                width,
+                j,
+            };
+            kernel(j, &mut out, &inp);
+        };
+        let t0 = Instant::now();
+        match mode {
+            ExecMode::Serial => (range.j0..range.j1).for_each(body),
+            ExecMode::Rayon => (range.j0..range.j1)
+                .into_par_iter()
+                .with_min_len(chunk_rows(range.i1 - range.i0))
+                .for_each(body),
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    profile.record(
+        name,
+        range.points(),
+        range.points() * bytes_per_point,
+        range.points() as f64 * flops_per_point,
+        seconds,
+    );
 }
 
 /// Execute a 2-D reduction loop: the kernel maps each point to an `R`
 /// combined with `combine` (must be associative and commutative).
+#[allow(clippy::too_many_arguments)]
 pub fn par_loop2_reduce<T, R, F, C>(
     profile: &mut Profile,
     name: &str,
@@ -297,7 +590,6 @@ where
     C: Fn(R, R) -> R + Sync + Send,
 {
     let bytes_per_point = ins.len() * std::mem::size_of::<T>();
-    let t0 = Instant::now();
     let r = rviews2(ins);
     let row = |j: isize| {
         let mut acc = identity.clone();
@@ -307,6 +599,7 @@ where
         }
         acc
     };
+    let t0 = Instant::now();
     let result = if range.is_empty() {
         identity.clone()
     } else {
@@ -320,11 +613,19 @@ where
             }
             ExecMode::Rayon => (range.j0..range.j1)
                 .into_par_iter()
+                .with_min_len(chunk_rows(range.i1 - range.i0))
                 .map(row)
                 .reduce(|| identity.clone(), &combine),
         }
     };
-    profile.record(name, range.points(), range.points() * bytes_per_point, range.points() as f64 * flops_per_point, t0.elapsed().as_secs_f64());
+    let seconds = t0.elapsed().as_secs_f64();
+    profile.record(
+        name,
+        range.points(),
+        range.points() * bytes_per_point,
+        range.points() as f64 * flops_per_point,
+        seconds,
+    );
     result
 }
 
@@ -353,7 +654,10 @@ impl<T: Copy> WView3<T> {
         let kk = k + self.halo;
         debug_assert!(ii >= 0 && jj >= 0 && kk >= 0);
         let idx = kk as usize * self.slab + jj as usize * self.pitch + ii as usize;
-        assert!(idx < self.len, "write at ({i},{j},{k}) outside dataset storage");
+        assert!(
+            idx < self.len,
+            "write at ({i},{j},{k}) outside dataset storage"
+        );
         idx
     }
 
@@ -426,6 +730,110 @@ impl<T: Copy> In3<'_, T> {
     }
 }
 
+/// Row-slice output accessor for 3-D loops (see [`RowOut2`]): one
+/// contiguous `i`-row per `(j, k)` kernel invocation.
+pub struct RowOut3<'a, T> {
+    views: &'a [WView3<T>],
+    i0: isize,
+    width: usize,
+    j: isize,
+    k: isize,
+}
+
+impl<T: Copy> RowOut3<'_, T> {
+    /// The current `[i0, i1)` row of output dataset `f`.
+    #[inline]
+    pub fn row(&mut self, f: usize) -> &mut [T] {
+        let v = &self.views[f];
+        let base = v.index(self.i0, self.j, self.k);
+        assert!(
+            base + self.width <= v.len,
+            "row at (j={},k={}) overruns dataset storage",
+            self.j,
+            self.k
+        );
+        // SAFETY: bounds checked above; rows are disjoint across threads
+        // (drivers partition by `k`) and `&mut self` forbids overlapping
+        // slices of one dataset.
+        unsafe { std::slice::from_raw_parts_mut(v.ptr.add(base), self.width) }
+    }
+
+    /// Rows of two distinct output datasets simultaneously.
+    #[inline]
+    pub fn rows2(&mut self, f0: usize, f1: usize) -> (&mut [T], &mut [T]) {
+        assert_ne!(f0, f1, "rows2 requires two distinct output datasets");
+        let (v0, v1) = (&self.views[f0], &self.views[f1]);
+        debug_assert!(
+            !std::ptr::eq(v0.ptr, v1.ptr),
+            "output datasets must not alias"
+        );
+        let b0 = v0.index(self.i0, self.j, self.k);
+        let b1 = v1.index(self.i0, self.j, self.k);
+        assert!(b0 + self.width <= v0.len && b1 + self.width <= v1.len);
+        // SAFETY: as in `row`; distinct allocations.
+        unsafe {
+            (
+                std::slice::from_raw_parts_mut(v0.ptr.add(b0), self.width),
+                std::slice::from_raw_parts_mut(v1.ptr.add(b1), self.width),
+            )
+        }
+    }
+
+    /// Rows of three distinct output datasets simultaneously.
+    #[inline]
+    pub fn rows3(&mut self, f0: usize, f1: usize, f2: usize) -> (&mut [T], &mut [T], &mut [T]) {
+        assert!(
+            f0 != f1 && f0 != f2 && f1 != f2,
+            "rows3 requires three distinct output datasets"
+        );
+        let (v0, v1, v2) = (&self.views[f0], &self.views[f1], &self.views[f2]);
+        let b0 = v0.index(self.i0, self.j, self.k);
+        let b1 = v1.index(self.i0, self.j, self.k);
+        let b2 = v2.index(self.i0, self.j, self.k);
+        assert!(
+            b0 + self.width <= v0.len && b1 + self.width <= v1.len && b2 + self.width <= v2.len
+        );
+        // SAFETY: as in `row`; distinct allocations.
+        unsafe {
+            (
+                std::slice::from_raw_parts_mut(v0.ptr.add(b0), self.width),
+                std::slice::from_raw_parts_mut(v1.ptr.add(b1), self.width),
+                std::slice::from_raw_parts_mut(v2.ptr.add(b2), self.width),
+            )
+        }
+    }
+}
+
+/// Row-slice input accessor for 3-D loops.
+pub struct RowIn3<'a, T> {
+    views: &'a [RView3<'a, T>],
+    i0: isize,
+    width: usize,
+    j: isize,
+    k: isize,
+}
+
+impl<'a, T: Copy> RowIn3<'a, T> {
+    /// The current row of input dataset `f`.
+    #[inline]
+    pub fn row(&self, f: usize) -> &'a [T] {
+        self.row_off(f, 0, 0, 0)
+    }
+
+    /// The row of input dataset `f` at stencil offset `(di, dj, dk)`:
+    /// element `x` is the value at `(i0 + di + x, j + dj, k + dk)`.
+    #[inline]
+    pub fn row_off(&self, f: usize, di: isize, dj: isize, dk: isize) -> &'a [T] {
+        let v = &self.views[f];
+        let ii = self.i0 + di + v.halo;
+        let jj = self.j + dj + v.halo;
+        let kk = self.k + dk + v.halo;
+        debug_assert!(ii >= 0 && jj >= 0 && kk >= 0);
+        let base = kk as usize * v.slab + jj as usize * v.pitch + ii as usize;
+        &v.data[base..base + self.width]
+    }
+}
+
 fn wviews3<T: Copy>(outs: &mut [&mut Dat3<T>]) -> Vec<WView3<T>> {
     outs.iter_mut()
         .map(|d| {
@@ -443,11 +851,25 @@ fn wviews3<T: Copy>(outs: &mut [&mut Dat3<T>]) -> Vec<WView3<T>> {
 
 fn rviews3<'a, T: Copy>(ins: &'a [&'a Dat3<T>]) -> Vec<RView3<'a, T>> {
     ins.iter()
-        .map(|d| RView3 { data: d.raw(), pitch: d.pitch(), slab: d.slab(), halo: d.halo() as isize })
+        .map(|d| RView3 {
+            data: d.raw(),
+            pitch: d.pitch(),
+            slab: d.slab(),
+            halo: d.halo() as isize,
+        })
         .collect()
 }
 
-/// Execute a 3-D stencil loop (parallelized over `k` in Rayon mode).
+/// Planes per scheduling chunk for a 3-D loop over an
+/// `(i1 - i0) × (j1 - j0)`-point plane (see [`chunk_rows`]).
+fn chunk_planes(width: isize, height: isize) -> usize {
+    let plane_points = (width.max(1) as usize) * (height.max(1) as usize);
+    (CHUNK_POINTS / plane_points).clamp(1, 512)
+}
+
+/// Execute a 3-D stencil loop (parallelized over `k` in Rayon mode,
+/// in chunks of [`chunk_planes`] planes).
+#[allow(clippy::too_many_arguments)]
 pub fn par_loop3<T, F>(
     profile: &mut Profile,
     name: &str,
@@ -462,8 +884,9 @@ pub fn par_loop3<T, F>(
     F: Fn(isize, isize, isize, &mut Out3<T>, &In3<T>) + Sync,
 {
     let bytes_per_point = (outs.len() + ins.len()) * std::mem::size_of::<T>();
-    let t0 = Instant::now();
-    if !range.is_empty() {
+    let seconds = if range.is_empty() {
+        0.0
+    } else {
         let w = wviews3(outs);
         let r = rviews3(ins);
         let plane = |k: isize| {
@@ -475,12 +898,87 @@ pub fn par_loop3<T, F>(
                 }
             }
         };
+        let t0 = Instant::now();
         match mode {
             ExecMode::Serial => (range.k0..range.k1).for_each(plane),
-            ExecMode::Rayon => (range.k0..range.k1).into_par_iter().for_each(plane),
+            ExecMode::Rayon => (range.k0..range.k1)
+                .into_par_iter()
+                .with_min_len(chunk_planes(range.i1 - range.i0, range.j1 - range.j0))
+                .for_each(plane),
         }
-    }
-    profile.record(name, range.points(), range.points() * bytes_per_point, range.points() as f64 * flops_per_point, t0.elapsed().as_secs_f64());
+        t0.elapsed().as_secs_f64()
+    };
+    profile.record(
+        name,
+        range.points(),
+        range.points() * bytes_per_point,
+        range.points() as f64 * flops_per_point,
+        seconds,
+    );
+}
+
+/// Plane/row fast path for 3-D loops: the kernel is invoked once per
+/// `(j, k)` pair and hands out contiguous `i`-row slices via
+/// [`RowOut3`]/[`RowIn3`], exactly as [`par_loop2_rows`] does in 2-D.
+/// Parallel mode partitions over `k`-planes; byte/FLOP accounting is
+/// identical to [`par_loop3`].
+#[allow(clippy::too_many_arguments)]
+pub fn par_loop3_planes<T, F>(
+    profile: &mut Profile,
+    name: &str,
+    mode: ExecMode,
+    range: Range3,
+    outs: &mut [&mut Dat3<T>],
+    ins: &[&Dat3<T>],
+    flops_per_point: f64,
+    kernel: F,
+) where
+    T: Copy + Send + Sync,
+    F: Fn(isize, isize, &mut RowOut3<T>, &RowIn3<T>) + Sync,
+{
+    let bytes_per_point = (outs.len() + ins.len()) * std::mem::size_of::<T>();
+    let width = (range.i1 - range.i0).max(0) as usize;
+    let seconds = if range.is_empty() {
+        0.0
+    } else {
+        let w = wviews3(outs);
+        let r = rviews3(ins);
+        let plane = |k: isize| {
+            for j in range.j0..range.j1 {
+                let mut out = RowOut3 {
+                    views: &w,
+                    i0: range.i0,
+                    width,
+                    j,
+                    k,
+                };
+                let inp = RowIn3 {
+                    views: &r,
+                    i0: range.i0,
+                    width,
+                    j,
+                    k,
+                };
+                kernel(j, k, &mut out, &inp);
+            }
+        };
+        let t0 = Instant::now();
+        match mode {
+            ExecMode::Serial => (range.k0..range.k1).for_each(plane),
+            ExecMode::Rayon => (range.k0..range.k1)
+                .into_par_iter()
+                .with_min_len(chunk_planes(range.i1 - range.i0, range.j1 - range.j0))
+                .for_each(plane),
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    profile.record(
+        name,
+        range.points(),
+        range.points() * bytes_per_point,
+        range.points() as f64 * flops_per_point,
+        seconds,
+    );
 }
 
 /// 3-D reduction loop.
@@ -503,7 +1001,6 @@ where
     C: Fn(R, R) -> R + Sync + Send,
 {
     let bytes_per_point = ins.len() * std::mem::size_of::<T>();
-    let t0 = Instant::now();
     let r = rviews3(ins);
     let plane = |k: isize| {
         let mut acc = identity.clone();
@@ -515,6 +1012,7 @@ where
         }
         acc
     };
+    let t0 = Instant::now();
     let result = if range.is_empty() {
         identity.clone()
     } else {
@@ -528,11 +1026,19 @@ where
             }
             ExecMode::Rayon => (range.k0..range.k1)
                 .into_par_iter()
+                .with_min_len(chunk_planes(range.i1 - range.i0, range.j1 - range.j0))
                 .map(plane)
                 .reduce(|| identity.clone(), &combine),
         }
     };
-    profile.record(name, range.points(), range.points() * bytes_per_point, range.points() as f64 * flops_per_point, t0.elapsed().as_secs_f64());
+    let seconds = t0.elapsed().as_secs_f64();
+    profile.record(
+        name,
+        range.points(),
+        range.points() * bytes_per_point,
+        range.points() as f64 * flops_per_point,
+        seconds,
+    );
     result
 }
 

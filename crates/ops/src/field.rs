@@ -171,7 +171,10 @@ pub struct Dat3<T> {
 
 impl<T: Copy + Default> Dat3<T> {
     pub fn new(name: &str, nx: usize, ny: usize, nz: usize, halo: usize) -> Self {
-        assert!(nx > 0 && ny > 0 && nz > 0, "field {name} must have positive extent");
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "field {name} must have positive extent"
+        );
         let pitch = nx + 2 * halo;
         let rows = ny + 2 * halo;
         let planes = nz + 2 * halo;
@@ -338,7 +341,12 @@ mod tests {
         let mut d = Dat2::<f64>::new("t", 3, 3, 0);
         d.init_with(|i, j| (i + 10 * j) as f64);
         assert_eq!(d.get(2, 1), 12.0);
-        assert_eq!(d.interior_sum(), (0..3).flat_map(|j| (0..3).map(move |i| (i + 10 * j) as f64)).sum());
+        assert_eq!(
+            d.interior_sum(),
+            (0..3)
+                .flat_map(|j| (0..3).map(move |i| (i + 10 * j) as f64))
+                .sum()
+        );
     }
 
     #[test]

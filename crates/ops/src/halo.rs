@@ -4,6 +4,7 @@
 //! each bulk parallel computational step").
 
 use crate::field::{Dat2, Dat3};
+use bwb_shmpi::bufpool;
 use bwb_shmpi::cart::CartComm;
 use bwb_shmpi::Comm;
 
@@ -110,7 +111,11 @@ impl DistBlock2 {
         depth: usize,
         dim: usize,
     ) {
-        assert!(depth <= dat.halo(), "exchange depth {depth} exceeds halo {}", dat.halo());
+        assert!(
+            depth <= dat.halo(),
+            "exchange depth {depth} exceeds halo {}",
+            dat.halo()
+        );
         assert_eq!(dat.nx(), self.nx());
         assert_eq!(dat.ny(), self.ny());
         if depth == 0 {
@@ -134,7 +139,8 @@ impl DistBlock2 {
                         }
                     }
                 },
-                |dat, lo, it| {
+                |dat, lo, buf: &[T]| {
+                    let mut it = buf.iter().copied();
                     for j in 0..ny {
                         for i in lo..lo + d {
                             dat.set(i, j, it.next().expect("halo buffer size"));
@@ -155,7 +161,8 @@ impl DistBlock2 {
                         }
                     }
                 },
-                |dat, lo, it| {
+                |dat, lo, buf: &[T]| {
+                    let mut it = buf.iter().copied();
                     for j in lo..lo + d {
                         for i in -d..nx + d {
                             dat.set(i, j, it.next().expect("halo buffer size"));
@@ -193,7 +200,8 @@ impl DistBlock2 {
         let low = self.cart.shift(self.rank, 0, -1);
         let high = self.cart.shift(self.rank, 0, 1);
         let pack_cols = |dat: &Dat2<T>, lo: isize| {
-            let mut buf = Vec::with_capacity((d * nny) as usize);
+            let mut buf = bufpool::take::<T>();
+            buf.reserve((d * nny) as usize);
             for j in 0..nny {
                 for i in lo..lo + d {
                     buf.push(dat.get(i, j));
@@ -202,12 +210,13 @@ impl DistBlock2 {
             buf
         };
         let unpack_cols = |dat: &mut Dat2<T>, lo: isize, buf: Vec<T>| {
-            let mut it = buf.into_iter();
+            let mut it = buf.iter().copied();
             for j in 0..nny {
                 for i in lo..lo + d {
                     dat.set(i, j, it.next().expect("halo size"));
                 }
             }
+            bufpool::put(buf);
         };
         if let Some(lo) = low {
             comm.send(lo, halo_tag(0, false), pack_cols(dat, 1));
@@ -228,7 +237,8 @@ impl DistBlock2 {
         let low = self.cart.shift(self.rank, 1, -1);
         let high = self.cart.shift(self.rank, 1, 1);
         let pack_rows = |dat: &Dat2<T>, lo: isize| {
-            let mut buf = Vec::with_capacity((d * (nnx + 2 * d)) as usize);
+            let mut buf = bufpool::take::<T>();
+            buf.reserve((d * (nnx + 2 * d)) as usize);
             for j in lo..lo + d {
                 for i in -d..nnx + d {
                     buf.push(dat.get(i, j));
@@ -237,12 +247,13 @@ impl DistBlock2 {
             buf
         };
         let unpack_rows = |dat: &mut Dat2<T>, lo: isize, buf: Vec<T>| {
-            let mut it = buf.into_iter();
+            let mut it = buf.iter().copied();
             for j in lo..lo + d {
                 for i in -d..nnx + d {
                     dat.set(i, j, it.next().expect("halo size"));
                 }
             }
+            bufpool::put(buf);
         };
         if let Some(lo) = low {
             comm.send(lo, halo_tag(1, false), pack_rows(dat, 1));
@@ -262,7 +273,9 @@ impl DistBlock2 {
 
     /// One-dimension face exchange: pack low/high strips (strip geometry is
     /// the caller's packing closure), exchange with both neighbours, unpack
-    /// into the halos.
+    /// into the halos. Pack buffers come from the rank-local [`bufpool`] and
+    /// received buffers return to it, so steady-state exchanges reuse the
+    /// allocations shipped over in the previous exchange.
     #[allow(clippy::too_many_arguments)]
     fn exchange_dim2<T, P, U>(
         &self,
@@ -276,31 +289,31 @@ impl DistBlock2 {
     ) where
         T: Copy + Send + 'static,
         P: Fn(&Dat2<T>, isize, &mut Vec<T>),
-        U: FnMut(&mut Dat2<T>, isize, &mut std::vec::IntoIter<T>),
+        U: FnMut(&mut Dat2<T>, isize, &[T]),
     {
         let low = self.cart.shift(self.rank, dim, -1);
         let high = self.cart.shift(self.rank, dim, 1);
         // Send to low neighbour: my first strip (their high halo).
         if let Some(lo) = low {
-            let mut buf = Vec::new();
+            let mut buf = bufpool::take::<T>();
             pack(dat, 0, &mut buf);
             comm.send(lo, halo_tag(dim, false), buf);
         }
         // Send to high neighbour: my last strip (their low halo).
         if let Some(hi) = high {
-            let mut buf = Vec::new();
+            let mut buf = bufpool::take::<T>();
             pack(dat, extent - d, &mut buf);
             comm.send(hi, halo_tag(dim, true), buf);
         }
         if let Some(hi) = high {
             let buf = comm.recv::<T>(hi, halo_tag(dim, false));
-            let mut it = buf.into_iter();
-            unpack(dat, extent, &mut it);
+            unpack(dat, extent, &buf);
+            bufpool::put(buf);
         }
         if let Some(lo) = low {
             let buf = comm.recv::<T>(lo, halo_tag(dim, true));
-            let mut it = buf.into_iter();
-            unpack(dat, -d, &mut it);
+            unpack(dat, -d, &buf);
+            bufpool::put(buf);
         }
     }
 
@@ -417,61 +430,88 @@ impl DistBlock3 {
         let (nx, ny, nz) = (self.nx() as isize, self.ny() as isize, self.nz() as isize);
 
         // X faces: strips of (d × ny × nz), interior rows/planes.
-        self.exchange_dim3(comm, 0, dat, nx, |dat, lo, buf| {
-            for k in 0..nz {
-                for j in 0..ny {
-                    for i in lo..lo + d {
-                        buf.push(dat.get(i, j, k));
+        self.exchange_dim3(
+            comm,
+            0,
+            dat,
+            nx,
+            |dat, lo, buf| {
+                for k in 0..nz {
+                    for j in 0..ny {
+                        for i in lo..lo + d {
+                            buf.push(dat.get(i, j, k));
+                        }
                     }
                 }
-            }
-        }, |dat, lo, it| {
-            for k in 0..nz {
-                for j in 0..ny {
-                    for i in lo..lo + d {
-                        dat.set(i, j, k, it.next().expect("halo size"));
+            },
+            |dat, lo, buf: &[T]| {
+                let mut it = buf.iter().copied();
+                for k in 0..nz {
+                    for j in 0..ny {
+                        for i in lo..lo + d {
+                            dat.set(i, j, k, it.next().expect("halo size"));
+                        }
                     }
                 }
-            }
-        }, d);
+            },
+            d,
+        );
 
         // Y faces: extended in X.
-        self.exchange_dim3(comm, 1, dat, ny, |dat, lo, buf| {
-            for k in 0..nz {
-                for j in lo..lo + d {
-                    for i in -d..nx + d {
-                        buf.push(dat.get(i, j, k));
+        self.exchange_dim3(
+            comm,
+            1,
+            dat,
+            ny,
+            |dat, lo, buf| {
+                for k in 0..nz {
+                    for j in lo..lo + d {
+                        for i in -d..nx + d {
+                            buf.push(dat.get(i, j, k));
+                        }
                     }
                 }
-            }
-        }, |dat, lo, it| {
-            for k in 0..nz {
-                for j in lo..lo + d {
-                    for i in -d..nx + d {
-                        dat.set(i, j, k, it.next().expect("halo size"));
+            },
+            |dat, lo, buf: &[T]| {
+                let mut it = buf.iter().copied();
+                for k in 0..nz {
+                    for j in lo..lo + d {
+                        for i in -d..nx + d {
+                            dat.set(i, j, k, it.next().expect("halo size"));
+                        }
                     }
                 }
-            }
-        }, d);
+            },
+            d,
+        );
 
         // Z faces: extended in X and Y.
-        self.exchange_dim3(comm, 2, dat, nz, |dat, lo, buf| {
-            for k in lo..lo + d {
-                for j in -d..ny + d {
-                    for i in -d..nx + d {
-                        buf.push(dat.get(i, j, k));
+        self.exchange_dim3(
+            comm,
+            2,
+            dat,
+            nz,
+            |dat, lo, buf| {
+                for k in lo..lo + d {
+                    for j in -d..ny + d {
+                        for i in -d..nx + d {
+                            buf.push(dat.get(i, j, k));
+                        }
                     }
                 }
-            }
-        }, |dat, lo, it| {
-            for k in lo..lo + d {
-                for j in -d..ny + d {
-                    for i in -d..nx + d {
-                        dat.set(i, j, k, it.next().expect("halo size"));
+            },
+            |dat, lo, buf: &[T]| {
+                let mut it = buf.iter().copied();
+                for k in lo..lo + d {
+                    for j in -d..ny + d {
+                        for i in -d..nx + d {
+                            dat.set(i, j, k, it.next().expect("halo size"));
+                        }
                     }
                 }
-            }
-        }, d);
+            },
+            d,
+        );
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -487,29 +527,29 @@ impl DistBlock3 {
     ) where
         T: Copy + Send + 'static,
         P: Fn(&Dat3<T>, isize, &mut Vec<T>),
-        U: FnMut(&mut Dat3<T>, isize, &mut std::vec::IntoIter<T>),
+        U: FnMut(&mut Dat3<T>, isize, &[T]),
     {
         let low = self.cart.shift(self.rank, dim, -1);
         let high = self.cart.shift(self.rank, dim, 1);
         if let Some(lo) = low {
-            let mut buf = Vec::new();
+            let mut buf = bufpool::take::<T>();
             pack(dat, 0, &mut buf);
             comm.send(lo, halo_tag(dim, false), buf);
         }
         if let Some(hi) = high {
-            let mut buf = Vec::new();
+            let mut buf = bufpool::take::<T>();
             pack(dat, extent - d, &mut buf);
             comm.send(hi, halo_tag(dim, true), buf);
         }
         if let Some(hi) = high {
             let buf = comm.recv::<T>(hi, halo_tag(dim, false));
-            let mut it = buf.into_iter();
-            unpack(dat, extent, &mut it);
+            unpack(dat, extent, &buf);
+            bufpool::put(buf);
         }
         if let Some(lo) = low {
             let buf = comm.recv::<T>(lo, halo_tag(dim, true));
-            let mut it = buf.into_iter();
-            unpack(dat, -d, &mut it);
+            unpack(dat, -d, &buf);
+            bufpool::put(buf);
         }
     }
 
@@ -544,6 +584,25 @@ impl DistBlock3 {
     }
 }
 
+impl Dat2<f64> {
+    /// Test helper: mark all points (incl. halo) with a sentinel, then
+    /// restore the interior via `init_with` callers. Only used in tests.
+    #[doc(hidden)]
+    pub fn fill_all_halo_sentinel(&mut self) {
+        let nx = self.nx() as isize;
+        let ny = self.ny() as isize;
+        let h = self.halo() as isize;
+        for j in -h..ny + h {
+            for i in -h..nx + h {
+                let interior = i >= 0 && i < nx && j >= 0 && j < ny;
+                if !interior {
+                    self.set(i, j, f64::MIN);
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -560,7 +619,7 @@ mod tests {
             let b = DistBlock2::new(c, 20, 9);
             (b.start(), [b.nx(), b.ny()])
         });
-        let mut covered = vec![false; 20 * 9];
+        let mut covered = [false; 20 * 9];
         for (start, local) in out.results {
             for j in 0..local[1] {
                 for i in 0..local[0] {
@@ -665,8 +724,7 @@ mod tests {
             if !b.at_low_boundary(2) {
                 for j in 0..b.ny() as isize {
                     for i in 0..b.nx() as isize {
-                        ok &= d.get(i, j, -1)
-                            == g3(s[0] + i as usize, s[1] + j as usize, s[2] - 1);
+                        ok &= d.get(i, j, -1) == g3(s[0] + i as usize, s[1] + j as usize, s[2] - 1);
                     }
                 }
             }
@@ -680,7 +738,10 @@ mod tests {
         assert!(out.results.iter().all(|(ok, _)| *ok));
         let global = out.results[0].1.as_ref().unwrap();
         assert_eq!(global.len(), 512);
-        assert_eq!(global[(3 * 8 + 2) * 8 + 1], (1 + 100 * 2 + 10000 * 3) as f64);
+        assert_eq!(
+            global[(3 * 8 + 2) * 8 + 1],
+            (1 + 100 * 2 + 10000 * 3) as f64
+        );
     }
 
     #[test]
@@ -694,24 +755,5 @@ mod tests {
             d.get(-1, -1)
         });
         assert_eq!(out.results[0], -7.0); // halo untouched: no neighbours
-    }
-}
-
-impl Dat2<f64> {
-    /// Test helper: mark all points (incl. halo) with a sentinel, then
-    /// restore the interior via `init_with` callers. Only used in tests.
-    #[doc(hidden)]
-    pub fn fill_all_halo_sentinel(&mut self) {
-        let nx = self.nx() as isize;
-        let ny = self.ny() as isize;
-        let h = self.halo() as isize;
-        for j in -h..ny + h {
-            for i in -h..nx + h {
-                let interior = i >= 0 && i < nx && j >= 0 && j < ny;
-                if !interior {
-                    self.set(i, j, f64::MIN);
-                }
-            }
-        }
     }
 }

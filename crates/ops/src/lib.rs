@@ -59,8 +59,8 @@ pub mod profile;
 pub mod tiling;
 
 pub use exec::{
-    par_loop2, par_loop2_reduce, par_loop3, par_loop3_reduce, ExecMode, In2, In3, Out2, Out3,
-    Range2, Range3,
+    par_loop2, par_loop2_reduce, par_loop2_rows, par_loop3, par_loop3_planes, par_loop3_reduce,
+    ExecMode, In2, In3, Out2, Out3, Range2, Range3, RowIn2, RowIn3, RowOut2, RowOut3,
 };
 pub use field::{Dat2, Dat3};
 pub use halo::{DistBlock2, DistBlock3};

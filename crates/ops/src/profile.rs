@@ -66,14 +66,17 @@ impl Profile {
 
     /// Record one invocation (called by the loop drivers).
     pub fn record(&mut self, name: &str, points: usize, bytes: usize, flops: f64, seconds: f64) {
-        let e = self.loops.entry(name.to_owned()).or_insert_with(|| LoopRecord {
-            name: name.to_owned(),
-            calls: 0,
-            points: 0,
-            bytes: 0,
-            flops: 0.0,
-            seconds: 0.0,
-        });
+        let e = self
+            .loops
+            .entry(name.to_owned())
+            .or_insert_with(|| LoopRecord {
+                name: name.to_owned(),
+                calls: 0,
+                points: 0,
+                bytes: 0,
+                flops: 0.0,
+                seconds: 0.0,
+            });
         e.calls += 1;
         e.points += points;
         e.bytes += bytes;

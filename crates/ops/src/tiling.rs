@@ -17,9 +17,11 @@
 //!
 //! [Reguly et al. 2017]: https://doi.org/10.1109/TPDS.2017.2778161
 
-use crate::exec::{par_loop2, ExecMode, In2, Out2, Range2};
+use crate::exec::{par_loop2, ExecMode, FieldView2, In2, Out2, Range2};
 use crate::field::Dat2;
 use crate::profile::Profile;
+use rayon::prelude::*;
+use std::time::Instant;
 
 /// Kernel signature for chained loops.
 pub type ChainKernel2<T> = Box<dyn Fn(isize, isize, &mut Out2<T>, &In2<T>) + Sync + Send>;
@@ -46,7 +48,10 @@ pub struct LoopChain2<T> {
 
 impl<T: Copy + Default + Send + Sync + 'static> LoopChain2<T> {
     pub fn new(mode: ExecMode) -> Self {
-        LoopChain2 { mode, loops: Vec::new() }
+        LoopChain2 {
+            mode,
+            loops: Vec::new(),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -103,11 +108,15 @@ impl<T: Copy + Default + Send + Sync + 'static> LoopChain2<T> {
         let mut taken: Vec<(usize, Dat2<T>)> = l
             .outs
             .iter()
-            .map(|&id| (id, std::mem::replace(&mut store[id], Dat2::new("_taken", 1, 1, 0))))
+            .map(|&id| {
+                (
+                    id,
+                    std::mem::replace(&mut store[id], Dat2::new("_taken", 1, 1, 0)),
+                )
+            })
             .collect();
         {
-            let mut out_refs: Vec<&mut Dat2<T>> =
-                taken.iter_mut().map(|(_, d)| d).collect();
+            let mut out_refs: Vec<&mut Dat2<T>> = taken.iter_mut().map(|(_, d)| d).collect();
             let in_refs: Vec<&Dat2<T>> = l.ins.iter().map(|&id| &store[id]).collect();
             let k = &l.kernel;
             par_loop2(
@@ -139,42 +148,174 @@ impl<T: Copy + Default + Send + Sync + 'static> LoopChain2<T> {
         self.loops[l + 1..].iter().map(|x| x.reach).sum()
     }
 
+    /// The tile bands `[t0, t1)` covering the chain's outer extent.
+    fn tile_bands(&self, tile_height: usize) -> Vec<(isize, isize)> {
+        let j_min = self.loops.iter().map(|l| l.range.j0).min().unwrap();
+        let j_max = self.loops.iter().map(|l| l.range.j1).max().unwrap();
+        let th = tile_height as isize;
+        let mut bands = Vec::new();
+        let mut t0 = j_min;
+        while t0 < j_max {
+            let t1 = (t0 + th).min(j_max);
+            bands.push((t0, t1));
+            t0 = t1;
+        }
+        bands
+    }
+
+    /// Slab of loop `idx` for tile band `[t0, t1)`: the tile extended by
+    /// the skew, clipped to the loop's range. Rows below `t0 - ext` were
+    /// computed by earlier tiles (their extended ranges covered them), so
+    /// recomputing rows in `[t0 - ext, t0)` is merely redundant, not wrong
+    /// — the redundant-compute cost the paper describes.
+    fn tile_slab(&self, idx: usize, t0: isize, t1: isize) -> Range2 {
+        let l = &self.loops[idx];
+        let ext = self.extension(idx);
+        Range2 {
+            i0: l.range.i0,
+            i1: l.range.i1,
+            j0: (t0 - ext).max(l.range.j0),
+            j1: (t1 + ext).min(l.range.j1),
+        }
+    }
+
     /// Execute the chain tile-by-tile over the outer (`j`) dimension with
     /// tiles of `tile_height` rows, redundantly recomputing skew regions at
     /// tile boundaries. Produces results identical to [`Self::execute`].
+    ///
+    /// In [`ExecMode::Rayon`] the tiles themselves execute in parallel
+    /// (see [`Self::execute_tiled_parallel`]) when the tile height permits
+    /// a race-free phased schedule; otherwise tiles run in order with each
+    /// slab internally parallel, as before.
     pub fn execute_tiled(&self, store: &mut [Dat2<T>], profile: &mut Profile, tile_height: usize) {
         assert!(tile_height > 0);
         if self.loops.is_empty() {
             return;
         }
-        let j_min = self.loops.iter().map(|l| l.range.j0).min().unwrap();
-        let j_max = self.loops.iter().map(|l| l.range.j1).max().unwrap();
-        let th = tile_height as isize;
-
-        let mut t0 = j_min;
-        while t0 < j_max {
-            let t1 = (t0 + th).min(j_max);
-            for (idx, l) in self.loops.iter().enumerate() {
-                let ext = self.extension(idx);
-                // Tile slab for this loop: the tile extended by the skew,
-                // but never beyond what earlier tiles already produced.
-                // Rows below t0-ext were computed by earlier tiles (their
-                // extended ranges covered them), so recomputing them is
-                // merely redundant, not wrong — we recompute only the skew
-                // band [t0-ext, t1+ext) ∩ range, clipped at the global top.
-                let slab = Range2 {
-                    i0: l.range.i0,
-                    i1: l.range.i1,
-                    j0: (t0 - ext).max(l.range.j0),
-                    j1: (t1 + ext).min(l.range.j1),
-                };
-                // Skip rows already finalized by previous tiles for this
-                // loop: everything below t0 - ext is final. (Rows in
-                // [t0-ext, t0) are recomputed — the redundant-compute cost
-                // the paper describes.)
-                self.run_one(l, slab, store, profile);
+        let tiles = self.tile_bands(tile_height);
+        let total_reach: isize = self.loops.iter().map(|l| l.reach).sum();
+        if self.mode == ExecMode::Rayon
+            && tiles.len() > 1
+            && tile_height as isize >= 2 * total_reach
+        {
+            self.execute_tiled_parallel(store, profile, &tiles);
+        } else {
+            for &(t0, t1) in &tiles {
+                for (idx, l) in self.loops.iter().enumerate() {
+                    self.run_one(l, self.tile_slab(idx, t0, t1), store, profile);
+                }
             }
-            t0 = t1;
+        }
+    }
+
+    /// Phased parallel execution over tiles.
+    ///
+    /// # Why this is race-free and bit-identical to serial tile order
+    ///
+    /// Every access a tile makes stays within `tile ± Σ reach` rows: loop
+    /// `l`'s slab extends `ext(l)` rows beyond the tile and its reads reach
+    /// `ext(l) + reach(l) = ext(l-1)` rows, maximized at loop 0 with
+    /// `ext(0) + reach(0) = Σ reach`. With `tile_height ≥ 2·Σ reach` the
+    /// access extents of a tile and the tile-after-next cannot overlap, so
+    /// all even-indexed tiles are mutually independent, as are all odd ones
+    /// — the two phases run in parallel internally, separated by a join.
+    ///
+    /// Adjacent tiles do overlap (the skew bands), but each tile reads only
+    /// rows it wrote *itself* at an earlier loop of the chain (the skew
+    /// invariant above), so overlapping writes by neighbouring tiles carry
+    /// identical values derived from the pre-chain store: execution order
+    /// across phases cannot change any result bit.
+    ///
+    /// Per-loop byte/FLOP accounting is accumulated per tile during
+    /// execution and recorded after the join in serial tile order, so the
+    /// profile's points/bytes/FLOPs/call counts are exactly those of the
+    /// serial tiled schedule.
+    fn execute_tiled_parallel(
+        &self,
+        store: &mut [Dat2<T>],
+        profile: &mut Profile,
+        tiles: &[(isize, isize)],
+    ) {
+        let n_loops = self.loops.len();
+        // Hoist view construction out of the tile × loop hot path: one raw
+        // base per field, one write/read view vector per loop.
+        let fields: Vec<FieldView2<T>> = store.iter_mut().map(FieldView2::capture).collect();
+        let views: Vec<_> = self
+            .loops
+            .iter()
+            .map(|l| {
+                (
+                    l.outs
+                        .iter()
+                        .map(|&id| fields[id].write_view())
+                        .collect::<Vec<_>>(),
+                    l.ins
+                        .iter()
+                        .map(|&id| fields[id].read_view())
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let slabs: Vec<Vec<Range2>> = tiles
+            .iter()
+            .map(|&(t0, t1)| {
+                (0..n_loops)
+                    .map(|idx| self.tile_slab(idx, t0, t1))
+                    .collect()
+            })
+            .collect();
+
+        let run_tile = |t: usize| -> Vec<f64> {
+            let mut secs = vec![0.0f64; n_loops];
+            for (idx, l) in self.loops.iter().enumerate() {
+                let sub = slabs[t][idx];
+                if sub.is_empty() {
+                    continue;
+                }
+                let (w, r) = &views[idx];
+                let start = Instant::now();
+                for j in sub.j0..sub.j1 {
+                    for i in sub.i0..sub.i1 {
+                        let mut out = Out2::at(w, i, j);
+                        let inp = In2::at(r, i, j);
+                        (l.kernel)(i, j, &mut out, &inp);
+                    }
+                }
+                secs[idx] = start.elapsed().as_secs_f64();
+            }
+            secs
+        };
+
+        let evens: Vec<usize> = (0..tiles.len()).step_by(2).collect();
+        let odds: Vec<usize> = (1..tiles.len()).step_by(2).collect();
+        let even_secs: Vec<Vec<f64>> = evens.par_iter().map(|&t| run_tile(t)).collect();
+        // The collect above is the phase barrier: every even tile finished.
+        let odd_secs: Vec<Vec<f64>> = odds.par_iter().map(|&t| run_tile(t)).collect();
+
+        let mut per_tile: Vec<Vec<f64>> = vec![Vec::new(); tiles.len()];
+        for (&t, secs) in evens.iter().zip(even_secs) {
+            per_tile[t] = secs;
+        }
+        for (&t, secs) in odds.iter().zip(odd_secs) {
+            per_tile[t] = secs;
+        }
+
+        for (t, secs) in per_tile.iter().enumerate() {
+            for (idx, l) in self.loops.iter().enumerate() {
+                let sub = slabs[t][idx];
+                if sub.is_empty() {
+                    continue;
+                }
+                // Same accounting formula as `par_loop2`, per (tile, loop).
+                let bytes_per_point = (l.outs.len() + l.ins.len()) * std::mem::size_of::<T>();
+                profile.record(
+                    &l.name,
+                    sub.points(),
+                    sub.points() * bytes_per_point,
+                    sub.points() as f64 * l.flops_per_point,
+                    secs[idx],
+                );
+            }
         }
     }
 
@@ -185,26 +326,14 @@ impl<T: Copy + Default + Send + Sync + 'static> LoopChain2<T> {
         if self.loops.is_empty() {
             return 0;
         }
-        let j_min = self.loops.iter().map(|l| l.range.j0).min().unwrap();
-        let j_max = self.loops.iter().map(|l| l.range.j1).max().unwrap();
-        let th = tile_height as isize;
-        let mut total = 0usize;
-        let mut t0 = j_min;
-        while t0 < j_max {
-            let t1 = (t0 + th).min(j_max);
-            for (idx, l) in self.loops.iter().enumerate() {
-                let ext = self.extension(idx);
-                let slab = Range2 {
-                    i0: l.range.i0,
-                    i1: l.range.i1,
-                    j0: (t0 - ext).max(l.range.j0),
-                    j1: (t1 + ext).min(l.range.j1),
-                };
-                total += slab.points();
-            }
-            t0 = t1;
-        }
-        total
+        self.tile_bands(tile_height)
+            .iter()
+            .map(|&(t0, t1)| {
+                (0..self.loops.len())
+                    .map(|idx| self.tile_slab(idx, t0, t1).points())
+                    .sum::<usize>()
+            })
+            .sum()
     }
 
     /// Points executed untiled (the useful work).
@@ -253,8 +382,8 @@ mod tests {
         // Fill halos of the source deterministically (physical BC stand-in).
         let h = 3isize;
         let nn = n as isize;
-        for f in 0..1 {
-            let src = &mut store[f];
+        {
+            let src = &mut store[0];
             for j in -h..nn + h {
                 for i in -h..nn + h {
                     if i < 0 || i >= nn || j < 0 || j >= nn {

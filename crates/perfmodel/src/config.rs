@@ -71,7 +71,10 @@ impl Parallelization {
 
     /// Is this a SYCL-backend configuration?
     pub fn is_sycl(self) -> bool {
-        matches!(self, Parallelization::MpiSyclFlat | Parallelization::MpiSyclNdrange)
+        matches!(
+            self,
+            Parallelization::MpiSyclFlat | Parallelization::MpiSyclNdrange
+        )
     }
 
     /// Does this configuration place one rank per NUMA domain (vs per core)?
@@ -94,7 +97,11 @@ impl RunConfig {
         format!(
             "{} {} {} ({})",
             self.par.label(),
-            if self.hyperthreading { "w/HT" } else { "w/o HT" },
+            if self.hyperthreading {
+                "w/HT"
+            } else {
+                "w/o HT"
+            },
             self.compiler.label(),
             self.zmm.label(),
         )
@@ -120,12 +127,20 @@ impl RunConfig {
             for compiler in Compiler::ALL {
                 for zmm in Zmm::ALL {
                     for ht in [false, true] {
-                        out.push(RunConfig { compiler, zmm, hyperthreading: ht, par });
+                        out.push(RunConfig {
+                            compiler,
+                            zmm,
+                            hyperthreading: ht,
+                            par,
+                        });
                     }
                 }
             }
         }
-        for par in [Parallelization::MpiSyclFlat, Parallelization::MpiSyclNdrange] {
+        for par in [
+            Parallelization::MpiSyclFlat,
+            Parallelization::MpiSyclNdrange,
+        ] {
             for zmm in Zmm::ALL {
                 out.push(RunConfig {
                     compiler: Compiler::OneApi,
@@ -142,11 +157,20 @@ impl RunConfig {
     /// "MPI vec" rows and one MPI+SYCL row.
     pub fn unstructured_set() -> Vec<RunConfig> {
         let mut out = Vec::new();
-        for par in [Parallelization::MpiVec, Parallelization::Mpi, Parallelization::MpiOpenMp] {
+        for par in [
+            Parallelization::MpiVec,
+            Parallelization::Mpi,
+            Parallelization::MpiOpenMp,
+        ] {
             for compiler in Compiler::ALL {
                 for zmm in Zmm::ALL {
                     for ht in [false, true] {
-                        out.push(RunConfig { compiler, zmm, hyperthreading: ht, par });
+                        out.push(RunConfig {
+                            compiler,
+                            zmm,
+                            hyperthreading: ht,
+                            par,
+                        });
                     }
                 }
             }

@@ -57,8 +57,14 @@ impl SlowdownMatrix {
 
 fn predict_seconds(p: &Platform, ch: &AppCharacter, config: RunConfig) -> Option<f64> {
     let (points, iterations) = paper_scale(ch.app);
-    predict(&ModelInput { platform: p, character: ch, config, points, iterations })
-        .map(|pr| pr.seconds)
+    predict(&ModelInput {
+        platform: p,
+        character: ch,
+        config,
+        points,
+        iterations,
+    })
+    .map(|pr| pr.seconds)
 }
 
 fn build_matrix(p: &Platform, apps: &[AppId], configs: &[RunConfig]) -> SlowdownMatrix {
@@ -87,11 +93,19 @@ fn build_matrix(p: &Platform, apps: &[AppId], configs: &[RunConfig]) -> Slowdown
             } else {
                 feasible.iter().sum::<f64>() / feasible.len() as f64
             };
-            SlowdownRow { label: config.label(), slowdowns, mean }
+            SlowdownRow {
+                label: config.label(),
+                slowdowns,
+                mean,
+            }
         })
         .collect();
     rows.sort_by(|a, b| a.mean.partial_cmp(&b.mean).unwrap());
-    SlowdownMatrix { platform: p.name.clone(), apps: apps.to_vec(), rows }
+    SlowdownMatrix {
+        platform: p.name.clone(),
+        apps: apps.to_vec(),
+        rows,
+    }
 }
 
 /// Figure 3: structured-mesh configuration matrix.
@@ -146,7 +160,12 @@ pub fn figure5_parallelization_speedups() -> Vec<ParSpeedup> {
                             if let Some(t) = predict_seconds(
                                 &max,
                                 &ch,
-                                RunConfig { compiler, zmm, hyperthreading: ht, par },
+                                RunConfig {
+                                    compiler,
+                                    zmm,
+                                    hyperthreading: ht,
+                                    par,
+                                },
                             ) {
                                 best = best.min(t);
                             }
@@ -422,8 +441,14 @@ mod tests {
             mean_max > mean_icx,
             "MAX mean slowdown {mean_max:.3} must exceed ICX {mean_icx:.3}"
         );
-        assert!(med_max >= med_icx * 0.99, "medians {med_max:.3} vs {med_icx:.3}");
-        assert!(mean_max > 1.05 && mean_max < 1.8, "MAX mean {mean_max:.3} (paper 1.25)");
+        assert!(
+            med_max >= med_icx * 0.99,
+            "medians {med_max:.3} vs {med_icx:.3}"
+        );
+        assert!(
+            mean_max > 1.05 && mean_max < 1.8,
+            "MAX mean {mean_max:.3} (paper 1.25)"
+        );
     }
 
     #[test]
@@ -432,7 +457,11 @@ mod tests {
         assert_eq!(m.rows.len(), 25);
         // The top rows (lowest mean slowdown) are MPI vec configurations.
         for r in &m.rows[..4] {
-            assert!(r.label.contains("MPI vec"), "top row should be MPI vec: {}", r.label);
+            assert!(
+                r.label.contains("MPI vec"),
+                "top row should be MPI vec: {}",
+                r.label
+            );
         }
     }
 
@@ -465,7 +494,12 @@ mod tests {
     fn figure6_all_speedups_in_paper_band() {
         let f6 = figure6_platform_comparison();
         for e in &f6 {
-            assert!(e.speedup_vs_8360y > 1.0, "{}: {}", e.app.label(), e.speedup_vs_8360y);
+            assert!(
+                e.speedup_vs_8360y > 1.0,
+                "{}: {}",
+                e.app.label(),
+                e.speedup_vs_8360y
+            );
             if e.app.is_structured() {
                 assert!(
                     e.speedup_vs_8360y < 5.5,
@@ -478,8 +512,14 @@ mod tests {
         // Headline: 2.0x–4.3x overall band (paper abstract), with model
         // slack on both sides.
         let max_s = f6.iter().map(|e| e.speedup_vs_8360y).fold(0.0, f64::max);
-        let min_s = f6.iter().map(|e| e.speedup_vs_8360y).fold(f64::INFINITY, f64::min);
-        assert!(max_s < 5.5 && min_s > 1.2, "speedup band [{min_s:.2},{max_s:.2}]");
+        let min_s = f6
+            .iter()
+            .map(|e| e.speedup_vs_8360y)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            max_s < 5.5 && min_s > 1.2,
+            "speedup band [{min_s:.2},{max_s:.2}]"
+        );
     }
 
     #[test]
@@ -520,9 +560,21 @@ mod tests {
         // Paper: 1.84× (MAX), 2.7× (8360Y), 4.0× (EPYC) — ordered by the
         // cache:memory bandwidth ratio (3.8 / 6.3 / 14).
         assert!(max.gain < icx.gain && icx.gain < amd.gain, "{:?}", f9);
-        assert!((max.gain - 1.84).abs() < 0.6, "MAX tiling gain {:.2}", max.gain);
-        assert!((icx.gain - 2.7).abs() < 0.9, "ICX tiling gain {:.2}", icx.gain);
-        assert!((amd.gain - 4.0).abs() < 1.4, "EPYC tiling gain {:.2}", amd.gain);
+        assert!(
+            (max.gain - 1.84).abs() < 0.6,
+            "MAX tiling gain {:.2}",
+            max.gain
+        );
+        assert!(
+            (icx.gain - 2.7).abs() < 0.9,
+            "ICX tiling gain {:.2}",
+            icx.gain
+        );
+        assert!(
+            (amd.gain - 4.0).abs() < 1.4,
+            "EPYC tiling gain {:.2}",
+            amd.gain
+        );
     }
 
     #[test]
@@ -532,6 +584,9 @@ mod tests {
         let max_tiled = get(PlatformKind::XeonMax9480).tiled_seconds;
         let a100 = get(PlatformKind::A100Pcie40GB).untiled_seconds;
         let r = a100 / max_tiled;
-        assert!(r > 1.05 && r < 2.4, "tiled MAX vs A100: {r:.2} (paper 1.5×)");
+        assert!(
+            r > 1.05 && r < 2.4,
+            "tiled MAX vs A100: {r:.2} (paper 1.5×)"
+        );
     }
 }

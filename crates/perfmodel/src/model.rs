@@ -192,7 +192,11 @@ pub fn predict(input: &ModelInput) -> Option<Prediction> {
     let gpu = is_gpu(p);
 
     // --- configuration feasibility ---
-    let cq = if gpu { 1.0 } else { compiler_factor(app, cfg.compiler)? };
+    let cq = if gpu {
+        1.0
+    } else {
+        compiler_factor(app, cfg.compiler)?
+    };
     if cfg.par == Parallelization::MpiVec && !ch.mpi_vec_available {
         return None;
     }
@@ -242,7 +246,9 @@ pub fn predict(input: &ModelInput) -> Option<Prediction> {
                 let width = (p.vector_bits as f64 / 512.0).min(1.0);
                 1.0 + tuning::VEC_PACK_OVERHEAD * ch.indirection * width
             }
-            Parallelization::MpiOpenMp | Parallelization::MpiSyclFlat | Parallelization::MpiSyclNdrange => {
+            Parallelization::MpiOpenMp
+            | Parallelization::MpiSyclFlat
+            | Parallelization::MpiSyclNdrange => {
                 1.0 + (1.0 - tuning::COLOR_LOCALITY_PENALTY) / tuning::COLOR_LOCALITY_PENALTY
                     * ch.indirection
             }
@@ -257,9 +263,8 @@ pub fn predict(input: &ModelInput) -> Option<Prediction> {
     } else {
         p.turbo_allcore_ghz
     };
-    let vec_bits_used = if gpu {
-        p.vector_bits
-    } else if cfg.zmm == Zmm::High {
+    // GPUs always use their full vector width; CPUs only at ZMM high.
+    let vec_bits_used = if gpu || cfg.zmm == Zmm::High {
         p.vector_bits
     } else {
         p.vector_bits.min(256)
@@ -305,7 +310,12 @@ pub fn predict(input: &ModelInput) -> Option<Prediction> {
     let mlp = if gpu {
         p.mlp_per_core
     } else {
-        tuning::IRREGULAR_MLP * if cfg.hyperthreading { tuning::SMT_IRREGULAR_BOOST } else { 1.0 }
+        tuning::IRREGULAR_MLP
+            * if cfg.hyperthreading {
+                tuning::SMT_IRREGULAR_BOOST
+            } else {
+                1.0
+            }
     };
     let t_lat = points * lat_accesses_pp * p.memory.latency_ns * 1e-9 / (cores * mlp);
 
@@ -313,7 +323,10 @@ pub fn predict(input: &ModelInput) -> Option<Prediction> {
     // the paper's §2 cache:memory bandwidth ratio is exactly what makes
     // this term relatively heavier on the Xeon MAX) ---
     let cache_bw_gbs = if gpu {
-        p.caches.first().map(|c| c.stream_bw_gbs).unwrap_or(f64::INFINITY)
+        p.caches
+            .first()
+            .map(|c| c.stream_bw_gbs)
+            .unwrap_or(f64::INFINITY)
     } else {
         p.caches
             .iter()
@@ -351,7 +364,11 @@ pub fn predict(input: &ModelInput) -> Option<Prediction> {
             * (ranks as f64).log2().max(1.0)
             * (p.latency.cross_socket_ns + tuning::MPI_SW_OVERHEAD_NS)
             * 1e-9;
-        let imbalance = if cfg.par.one_rank_per_numa() { 1.0 } else { tuning::MPI_IMBALANCE };
+        let imbalance = if cfg.par.one_rank_per_numa() {
+            1.0
+        } else {
+            tuning::MPI_IMBALANCE
+        };
         (t_lat_msgs + t_halo_bw + t_reduce) * imbalance
     };
 
@@ -368,7 +385,11 @@ pub fn predict(input: &ModelInput) -> Option<Prediction> {
             Parallelization::MpiSyclFlat | Parallelization::MpiSyclNdrange => {
                 let small_penalty =
                     1.0 + ch.small_kernel_fraction * (tuning::SYCL_SMALL_KERNEL_FACTOR - 1.0);
-                let ndrange = if cfg.par == Parallelization::MpiSyclNdrange { 1.02 } else { 1.0 };
+                let ndrange = if cfg.par == Parallelization::MpiSyclNdrange {
+                    1.02
+                } else {
+                    1.0
+                };
                 ch.kernels_per_iter * p.kernel_launch_overhead_us * small_penalty * ndrange * 1e-6
             }
             _ => 0.0,
@@ -412,7 +433,13 @@ mod tests {
         let (points, iterations) = paper_scale(app);
         set.iter()
             .filter_map(|&config| {
-                predict(&ModelInput { platform: p, character: &ch, config, points, iterations })
+                predict(&ModelInput {
+                    platform: p,
+                    character: &ch,
+                    config,
+                    points,
+                    iterations,
+                })
             })
             .map(|pr| pr.seconds)
             .fold(f64::INFINITY, f64::min)
@@ -526,7 +553,10 @@ mod tests {
             .seconds
         };
         let gain = t(Zmm::Default) / t(Zmm::High);
-        assert!(gain > 1.2 && gain < 2.1, "ZMM-high gain {gain} (paper: 1.45)");
+        assert!(
+            gain > 1.2 && gain < 2.1,
+            "ZMM-high gain {gain} (paper: 1.45)"
+        );
     }
 
     #[test]
@@ -551,7 +581,10 @@ mod tests {
             .seconds
         };
         let ratio = t(Zmm::Default) / t(Zmm::High);
-        assert!((ratio - 1.0).abs() < 0.02, "ZMM effect on CloverLeaf: {ratio}");
+        assert!(
+            (ratio - 1.0).abs() < 0.02,
+            "ZMM effect on CloverLeaf: {ratio}"
+        );
     }
 
     #[test]
@@ -631,9 +664,17 @@ mod tests {
             let mpi = t(Parallelization::Mpi);
             let omp = t(Parallelization::MpiOpenMp);
             assert!(vec < mpi, "{}: vec {vec} vs mpi {mpi}", app.label());
-            assert!(mpi < omp, "{}: mpi {mpi} vs omp {omp} (colored locality loss)", app.label());
+            assert!(
+                mpi < omp,
+                "{}: mpi {mpi} vs omp {omp} (colored locality loss)",
+                app.label()
+            );
             let gain = omp / vec;
-            assert!(gain > 1.3 && gain < 3.0, "{}: vec vs omp gain {gain} (paper 1.6-1.8)", app.label());
+            assert!(
+                gain > 1.3 && gain < 3.0,
+                "{}: vec vs omp gain {gain} (paper 1.6-1.8)",
+                app.label()
+            );
         }
     }
 
@@ -829,6 +870,9 @@ mod tests {
         })
         .unwrap();
         let tflops = pr.achieved_gflops / 1000.0;
-        assert!(tflops > 4.0 && tflops < 8.5, "miniBUDE {tflops:.1} TFLOP/s (paper: 6)");
+        assert!(
+            tflops > 4.0 && tflops < 8.5,
+            "miniBUDE {tflops:.1} TFLOP/s (paper: 6)"
+        );
     }
 }

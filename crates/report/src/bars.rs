@@ -10,7 +10,11 @@ pub struct BarChart {
 
 impl BarChart {
     pub fn new(title: &str) -> Self {
-        BarChart { title: title.to_owned(), entries: Vec::new(), width: 50 }
+        BarChart {
+            title: title.to_owned(),
+            entries: Vec::new(),
+            width: 50,
+        }
     }
 
     /// Set the maximum bar width in characters (default 50).
@@ -22,8 +26,12 @@ impl BarChart {
 
     /// Add a bar with a value label suffix (e.g. "296 GB/s").
     pub fn bar(&mut self, label: &str, value: f64, suffix: &str) -> &mut Self {
-        assert!(value.is_finite() && value >= 0.0, "bar value must be finite non-negative");
-        self.entries.push((label.to_owned(), value, suffix.to_owned()));
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "bar value must be finite non-negative"
+        );
+        self.entries
+            .push((label.to_owned(), value, suffix.to_owned()));
         self
     }
 

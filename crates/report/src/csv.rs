@@ -20,7 +20,10 @@ fn quote(field: &str) -> String {
 
 impl CsvWriter {
     pub fn new(header: &[&str]) -> Self {
-        let mut w = CsvWriter { out: Vec::new(), columns: header.len() };
+        let mut w = CsvWriter {
+            out: Vec::new(),
+            columns: header.len(),
+        };
         w.write_row_internal(header.iter().map(|s| s.to_string()).collect());
         w
     }

@@ -9,11 +9,18 @@ pub struct Table {
 
 impl Table {
     pub fn new(header: &[&str]) -> Self {
-        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     pub fn row(&mut self, cells: &[String]) -> &mut Self {
-        assert_eq!(cells.len(), self.header.len(), "row arity must match header");
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row arity must match header"
+        );
         self.rows.push(cells.to_vec());
         self
     }

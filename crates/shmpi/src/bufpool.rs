@@ -1,0 +1,94 @@
+//! Thread-local recycling pool for message pack/unpack buffers.
+//!
+//! [`crate::Comm::send`] transfers ownership of its `Vec` to the receiving
+//! rank, so a sender cannot simply keep its pack buffer — but the receiver
+//! ends up holding an allocation of exactly the right size once it has
+//! unpacked. Routing finished buffers through this pool closes the loop:
+//! halo exchanges are symmetric (every rank receives about as many strips
+//! as it sends), so after the first exchange each rank packs into recycled
+//! allocations and steady-state exchanges allocate nothing.
+//!
+//! The pool is thread-local (ranks are threads; no locking) and keyed by
+//! element type, holding at most [`MAX_POOLED`] buffers per type so an
+//! unusual burst cannot pin memory.
+
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Upper bound on pooled buffers per element type per thread.
+const MAX_POOLED: usize = 16;
+
+thread_local! {
+    static POOL: RefCell<HashMap<TypeId, Box<dyn Any>>> = RefCell::new(HashMap::new());
+}
+
+/// Take an empty buffer from this thread's pool (or a fresh one). The
+/// returned `Vec` is empty but may carry capacity from a previous exchange.
+pub fn take<T: 'static>() -> Vec<T> {
+    POOL.with(|cell| {
+        let mut map = cell.borrow_mut();
+        map.get_mut(&TypeId::of::<T>())
+            .and_then(|b| {
+                b.downcast_mut::<Vec<Vec<T>>>()
+                    .expect("pool entry type")
+                    .pop()
+            })
+            .unwrap_or_default()
+    })
+}
+
+/// Return a finished buffer to this thread's pool for reuse. The contents
+/// are cleared; the allocation is kept (up to [`MAX_POOLED`] per type).
+pub fn put<T: 'static>(mut buf: Vec<T>) {
+    if buf.capacity() == 0 {
+        return;
+    }
+    buf.clear();
+    POOL.with(|cell| {
+        let mut map = cell.borrow_mut();
+        let entry = map
+            .entry(TypeId::of::<T>())
+            .or_insert_with(|| Box::new(Vec::<Vec<T>>::new()))
+            .downcast_mut::<Vec<Vec<T>>>()
+            .expect("pool entry type");
+        if entry.len() < MAX_POOLED {
+            entry.push(buf);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_round_trip_keeps_capacity() {
+        let mut b = take::<f64>();
+        b.extend_from_slice(&[1.0; 100]);
+        let ptr = b.as_ptr();
+        put(b);
+        let b2 = take::<f64>();
+        assert!(b2.is_empty());
+        assert!(b2.capacity() >= 100);
+        assert_eq!(b2.as_ptr(), ptr, "same allocation recycled");
+        put(b2);
+    }
+
+    #[test]
+    fn pools_are_per_type() {
+        let mut f = take::<f32>();
+        f.push(1.0);
+        put(f);
+        let u = take::<u32>();
+        assert_eq!(u.capacity(), 0, "f32 buffer must not surface as u32");
+        put(u);
+    }
+
+    #[test]
+    fn empty_buffers_are_not_pooled() {
+        put(Vec::<u8>::new());
+        let b = take::<u8>();
+        assert_eq!(b.capacity(), 0);
+    }
+}

@@ -46,16 +46,30 @@ pub fn dims_create(size: usize, ndims: usize) -> Vec<usize> {
 impl CartComm {
     /// Create a topology with explicit dims. `dims` must multiply to `size`.
     pub fn new(size: usize, dims: Vec<usize>, periodic: Vec<bool>) -> Self {
-        assert_eq!(dims.iter().product::<usize>(), size, "dims {:?} != size {}", dims, size);
+        assert_eq!(
+            dims.iter().product::<usize>(),
+            size,
+            "dims {:?} != size {}",
+            dims,
+            size
+        );
         assert_eq!(dims.len(), periodic.len());
-        CartComm { dims, periodic, size }
+        CartComm {
+            dims,
+            periodic,
+            size,
+        }
     }
 
     /// Create with a balanced `dims_create` factorization, non-periodic.
     pub fn balanced(size: usize, ndims: usize) -> Self {
         let dims = dims_create(size, ndims);
         let periodic = vec![false; ndims];
-        CartComm { dims, periodic, size }
+        CartComm {
+            dims,
+            periodic,
+            size,
+        }
     }
 
     pub fn ndims(&self) -> usize {
@@ -86,9 +100,9 @@ impl CartComm {
     pub fn rank_of(&self, coords: &[usize]) -> usize {
         assert_eq!(coords.len(), self.ndims());
         let mut r = 0usize;
-        for d in 0..self.ndims() {
-            assert!(coords[d] < self.dims[d]);
-            r = r * self.dims[d] + coords[d];
+        for (&c, &dim) in coords.iter().zip(&self.dims) {
+            assert!(c < dim);
+            r = r * dim + c;
         }
         r
     }

@@ -87,7 +87,12 @@ impl Comm {
     /// Reduce element-wise onto `root`; returns `Some(reduced)` on the root,
     /// `None` elsewhere. The reduction is applied in rank order, so
     /// floating-point results are deterministic across runs.
-    pub fn reduce<T: Reducible>(&mut self, vals: &[T], op: ReduceOp, root: usize) -> Option<Vec<T>> {
+    pub fn reduce<T: Reducible>(
+        &mut self,
+        vals: &[T],
+        op: ReduceOp,
+        root: usize,
+    ) -> Option<Vec<T>> {
         let tag = self.next_coll_tag();
         if self.rank == root {
             let mut acc: Vec<T> = vals.to_vec();
@@ -97,7 +102,11 @@ impl Comm {
                     continue;
                 }
                 let contrib = self.recv::<T>(src, tag);
-                assert_eq!(contrib.len(), acc.len(), "reduce length mismatch from rank {src}");
+                assert_eq!(
+                    contrib.len(),
+                    acc.len(),
+                    "reduce length mismatch from rank {src}"
+                );
                 for (a, b) in acc.iter_mut().zip(contrib) {
                     *a = T::combine(op, *a, b);
                 }
@@ -139,7 +148,11 @@ impl Comm {
 
     /// Gather each rank's payload onto `root` (rank-ordered); `None` on
     /// non-roots.
-    pub fn gather<T: Send + Clone + 'static>(&mut self, vals: &[T], root: usize) -> Option<Vec<Vec<T>>> {
+    pub fn gather<T: Send + Clone + 'static>(
+        &mut self,
+        vals: &[T],
+        root: usize,
+    ) -> Option<Vec<Vec<T>>> {
         let tag = self.next_coll_tag();
         if self.rank == root {
             let mut out: Vec<Vec<T>> = Vec::with_capacity(self.size());
@@ -233,7 +246,11 @@ mod tests {
     #[test]
     fn bcast_from_nonzero_root() {
         let out = Universe::run(4, |c| {
-            let data = if c.rank() == 3 { vec![9.5f32, 1.5] } else { Vec::new() };
+            let data = if c.rank() == 3 {
+                vec![9.5f32, 1.5]
+            } else {
+                Vec::new()
+            };
             c.bcast(data, 3)
         });
         for r in out.results {
@@ -294,7 +311,11 @@ mod tests {
         };
         let a = run();
         let b = run();
-        assert_eq!(a.to_bits(), b.to_bits(), "rank-ordered reduction must be bitwise stable");
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "rank-ordered reduction must be bitwise stable"
+        );
     }
 
     #[test]

@@ -39,12 +39,21 @@ pub enum Request<T> {
     /// Completed send (payload already delivered to the destination).
     Send,
     /// Pending receive.
-    Recv { source: Option<usize>, tag: u32, _marker: std::marker::PhantomData<T> },
+    Recv {
+        source: Option<usize>,
+        tag: u32,
+        _marker: std::marker::PhantomData<T>,
+    },
 }
 
 impl Comm {
     pub(crate) fn new(rank: usize, shared: Arc<Shared>) -> Self {
-        Comm { rank, shared, stats: RankStats::default(), coll_seq: 0 }
+        Comm {
+            rank,
+            shared,
+            stats: RankStats::default(),
+            coll_seq: 0,
+        }
     }
 
     pub fn rank(&self) -> usize {
@@ -63,7 +72,10 @@ impl Comm {
     fn modeled_latency_s(&self, peer: usize) -> f64 {
         match &self.shared.placement {
             Some((placement, profile)) => {
-                let d = placement.distance(self.rank.min(placement.n_ranks() - 1), peer.min(placement.n_ranks() - 1));
+                let d = placement.distance(
+                    self.rank.min(placement.n_ranks() - 1),
+                    peer.min(placement.n_ranks() - 1),
+                );
                 profile.mpi_latency_ns(d, SW_OVERHEAD_NS) * 1e-9
             }
             None => SW_OVERHEAD_NS * 1e-9,
@@ -100,7 +112,11 @@ impl Comm {
     /// with [`ANY_SOURCE`]).
     pub fn recv_from<T: Send + 'static>(&mut self, source: usize, tag: u32) -> (usize, Vec<T>) {
         let pat = Pattern {
-            source: if source == ANY_SOURCE { None } else { Some(source) },
+            source: if source == ANY_SOURCE {
+                None
+            } else {
+                Some(source)
+            },
             tag,
         };
         let (env, waited) = self.shared.mailboxes[self.rank].take_blocking(pat);
@@ -108,18 +124,15 @@ impl Comm {
         self.stats.bytes_received += env.bytes as u64;
         self.stats.wait_seconds += waited.as_secs_f64();
         let src = env.source;
-        let data = env
-            .data
-            .downcast::<Vec<T>>()
-            .unwrap_or_else(|_| {
-                panic!(
-                    "recv type mismatch: rank {} expected Vec<{}> from {} tag {}",
-                    self.rank,
-                    std::any::type_name::<T>(),
-                    src,
-                    tag
-                )
-            });
+        let data = env.data.downcast::<Vec<T>>().unwrap_or_else(|_| {
+            panic!(
+                "recv type mismatch: rank {} expected Vec<{}> from {} tag {}",
+                self.rank,
+                std::any::type_name::<T>(),
+                src,
+                tag
+            )
+        });
         (src, *data)
     }
 
@@ -132,7 +145,11 @@ impl Comm {
     /// Post a non-blocking receive; complete it with [`Comm::wait`].
     pub fn irecv<T: Send + 'static>(&mut self, source: usize, tag: u32) -> Request<T> {
         Request::Recv {
-            source: if source == ANY_SOURCE { None } else { Some(source) },
+            source: if source == ANY_SOURCE {
+                None
+            } else {
+                Some(source)
+            },
             tag,
             _marker: std::marker::PhantomData,
         }
@@ -158,7 +175,11 @@ impl Comm {
     /// Non-blocking probe: is a matching message queued?
     pub fn iprobe(&self, source: usize, tag: u32) -> bool {
         let pat = Pattern {
-            source: if source == ANY_SOURCE { None } else { Some(source) },
+            source: if source == ANY_SOURCE {
+                None
+            } else {
+                Some(source)
+            },
             tag,
         };
         // Peek without removing: take then re-deliver would reorder, so we

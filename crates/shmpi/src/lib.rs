@@ -39,6 +39,7 @@
 //! assert_eq!(out.results, vec![3, 0, 1, 2]);
 //! ```
 
+pub mod bufpool;
 pub mod cart;
 pub mod collectives;
 pub mod comm;

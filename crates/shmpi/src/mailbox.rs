@@ -110,14 +110,22 @@ mod tests {
 
     fn env(source: usize, tag: u32, payload: Vec<u64>) -> Envelope {
         let bytes = payload.len() * 8;
-        Envelope { source, tag, data: Box::new(payload), bytes }
+        Envelope {
+            source,
+            tag,
+            data: Box::new(payload),
+            bytes,
+        }
     }
 
     #[test]
     fn deliver_then_take() {
         let mb = Mailbox::new();
         mb.deliver(env(1, 7, vec![42]));
-        let (e, _) = mb.take_blocking(Pattern { source: Some(1), tag: 7 });
+        let (e, _) = mb.take_blocking(Pattern {
+            source: Some(1),
+            tag: 7,
+        });
         assert_eq!(e.source, 1);
         assert_eq!(e.bytes, 8);
         let v = e.data.downcast::<Vec<u64>>().unwrap();
@@ -129,7 +137,10 @@ mod tests {
         let mb = Mailbox::new();
         mb.deliver(env(0, 1, vec![1]));
         mb.deliver(env(0, 2, vec![2]));
-        let (e, _) = mb.take_blocking(Pattern { source: Some(0), tag: 2 });
+        let (e, _) = mb.take_blocking(Pattern {
+            source: Some(0),
+            tag: 2,
+        });
         let v = e.data.downcast::<Vec<u64>>().unwrap();
         assert_eq!(*v, vec![2]);
         assert_eq!(mb.len(), 1);
@@ -140,8 +151,14 @@ mod tests {
         let mb = Mailbox::new();
         mb.deliver(env(3, 9, vec![1]));
         mb.deliver(env(3, 9, vec![2]));
-        let (a, _) = mb.take_blocking(Pattern { source: Some(3), tag: 9 });
-        let (b, _) = mb.take_blocking(Pattern { source: Some(3), tag: 9 });
+        let (a, _) = mb.take_blocking(Pattern {
+            source: Some(3),
+            tag: 9,
+        });
+        let (b, _) = mb.take_blocking(Pattern {
+            source: Some(3),
+            tag: 9,
+        });
         assert_eq!(*a.data.downcast::<Vec<u64>>().unwrap(), vec![1]);
         assert_eq!(*b.data.downcast::<Vec<u64>>().unwrap(), vec![2]);
     }
@@ -150,14 +167,22 @@ mod tests {
     fn any_source_matches_first_arrival() {
         let mb = Mailbox::new();
         mb.deliver(env(5, 0, vec![5]));
-        let (e, _) = mb.take_blocking(Pattern { source: None, tag: 0 });
+        let (e, _) = mb.take_blocking(Pattern {
+            source: None,
+            tag: 0,
+        });
         assert_eq!(e.source, 5);
     }
 
     #[test]
     fn try_take_returns_none_when_empty() {
         let mb = Mailbox::new();
-        assert!(mb.try_take(Pattern { source: None, tag: 0 }).is_none());
+        assert!(mb
+            .try_take(Pattern {
+                source: None,
+                tag: 0
+            })
+            .is_none());
         assert!(mb.is_empty());
     }
 
@@ -166,7 +191,10 @@ mod tests {
         let mb = Arc::new(Mailbox::new());
         let mb2 = mb.clone();
         let h = std::thread::spawn(move || {
-            let (e, waited) = mb2.take_blocking(Pattern { source: Some(0), tag: 0 });
+            let (e, waited) = mb2.take_blocking(Pattern {
+                source: Some(0),
+                tag: 0,
+            });
             (e.bytes, waited)
         });
         std::thread::sleep(Duration::from_millis(20));

@@ -64,7 +64,10 @@ impl WorldStats {
 
     /// Maximum blocked time across ranks — the critical-path view.
     pub fn max_wait_seconds(&self) -> f64 {
-        self.per_rank.iter().map(|r| r.wait_seconds).fold(0.0, f64::max)
+        self.per_rank
+            .iter()
+            .map(|r| r.wait_seconds)
+            .fold(0.0, f64::max)
     }
 
     /// Fraction of total runtime spent waiting, given the run's wall time —
@@ -91,8 +94,18 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let mut a = RankStats { sends: 1, bytes_sent: 10, wait_seconds: 0.5, ..Default::default() };
-        let b = RankStats { sends: 2, bytes_sent: 30, wait_seconds: 1.0, ..Default::default() };
+        let mut a = RankStats {
+            sends: 1,
+            bytes_sent: 10,
+            wait_seconds: 0.5,
+            ..Default::default()
+        };
+        let b = RankStats {
+            sends: 2,
+            bytes_sent: 30,
+            wait_seconds: 1.0,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.sends, 3);
         assert_eq!(a.bytes_sent, 40);
@@ -103,8 +116,16 @@ mod tests {
     fn world_aggregates() {
         let w = WorldStats {
             per_rank: vec![
-                RankStats { sends: 2, wait_seconds: 1.0, ..Default::default() },
-                RankStats { sends: 4, wait_seconds: 3.0, ..Default::default() },
+                RankStats {
+                    sends: 2,
+                    wait_seconds: 1.0,
+                    ..Default::default()
+                },
+                RankStats {
+                    sends: 4,
+                    wait_seconds: 3.0,
+                    ..Default::default()
+                },
             ],
         };
         assert_eq!(w.total_messages(), 6);
@@ -115,7 +136,12 @@ mod tests {
 
     #[test]
     fn mpi_fraction_clamped_and_safe() {
-        let w = WorldStats { per_rank: vec![RankStats { wait_seconds: 10.0, ..Default::default() }] };
+        let w = WorldStats {
+            per_rank: vec![RankStats {
+                wait_seconds: 10.0,
+                ..Default::default()
+            }],
+        };
         assert_eq!(w.mpi_fraction(0.0), 0.0);
         assert_eq!(w.mpi_fraction(1.0), 1.0);
     }

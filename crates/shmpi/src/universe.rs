@@ -97,7 +97,13 @@ impl Universe {
             out_results.push(r);
             out_stats.push(s);
         }
-        RunOutput { results: out_results, stats: WorldStats { per_rank: out_stats }, wall_seconds }
+        RunOutput {
+            results: out_results,
+            stats: WorldStats {
+                per_rank: out_stats,
+            },
+            wall_seconds,
+        }
     }
 }
 

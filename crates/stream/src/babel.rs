@@ -33,8 +33,14 @@ pub enum Kernel {
 }
 
 impl Kernel {
-    pub const ALL: [Kernel; 6] =
-        [Kernel::Copy, Kernel::Mul, Kernel::Add, Kernel::Triad, Kernel::Dot, Kernel::Nstream];
+    pub const ALL: [Kernel; 6] = [
+        Kernel::Copy,
+        Kernel::Mul,
+        Kernel::Add,
+        Kernel::Triad,
+        Kernel::Dot,
+        Kernel::Nstream,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -106,7 +112,9 @@ impl BabelStream {
                 }
             }
             Par::Rayon => {
-                dst.par_iter_mut().zip(src.par_iter()).for_each(|(d, &s)| *d = f(s));
+                dst.par_iter_mut()
+                    .zip(src.par_iter())
+                    .for_each(|(d, &s)| *d = f(s));
             }
         }
     }
@@ -143,7 +151,9 @@ impl BabelStream {
 
     /// a = b + s·c
     pub fn triad(&mut self) {
-        Self::map3(self.par, &mut self.a, &self.b, &self.c, |x, y| x + SCALAR * y);
+        Self::map3(self.par, &mut self.a, &self.b, &self.c, |x, y| {
+            x + SCALAR * y
+        });
     }
 
     /// a += b + s·c
@@ -197,7 +207,11 @@ impl BabelStream {
             kernel: k,
             seconds,
             bytes,
-            bandwidth_gbs: if seconds > 0.0 { bytes as f64 / seconds / 1e9 } else { 0.0 },
+            bandwidth_gbs: if seconds > 0.0 {
+                bytes as f64 / seconds / 1e9
+            } else {
+                0.0
+            },
         }
     }
 
@@ -233,7 +247,9 @@ impl BabelStream {
             ga = gb + SCALAR * gc; // triad
         }
         let err = |arr: &[f64], gold: f64| -> f64 {
-            arr.iter().map(|v| ((v - gold) / gold).abs()).fold(0.0, f64::max)
+            arr.iter()
+                .map(|v| ((v - gold) / gold).abs())
+                .fold(0.0, f64::max)
         };
         err(&self.a, ga).max(err(&self.b, gb)).max(err(&self.c, gc))
     }

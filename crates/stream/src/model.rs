@@ -33,12 +33,19 @@ impl Figure1Series {
     pub fn large_size_plateau_gbs(&self) -> f64 {
         let n = self.points.len();
         assert!(n >= 3);
-        self.points[n - 3..].iter().map(|p| p.bandwidth_gbs).sum::<f64>() / 3.0
+        self.points[n - 3..]
+            .iter()
+            .map(|p| p.bandwidth_gbs)
+            .sum::<f64>()
+            / 3.0
     }
 
     /// Small-array (cache) plateau: max bandwidth over the sweep.
     pub fn cache_plateau_gbs(&self) -> f64 {
-        self.points.iter().map(|p| p.bandwidth_gbs).fold(0.0, f64::max)
+        self.points
+            .iter()
+            .map(|p| p.bandwidth_gbs)
+            .fold(0.0, f64::max)
     }
 }
 
@@ -53,15 +60,19 @@ pub fn triad_sweep(
 ) -> Figure1Series {
     let model = MemoryHierarchyModel::new(platform.clone());
     let traffic = TrafficModel::stream_triad();
-    let mode = if streaming_stores { StoreMode::Streaming } else { StoreMode::WriteAllocate };
+    let mode = if streaming_stores {
+        StoreMode::Streaming
+    } else {
+        StoreMode::WriteAllocate
+    };
 
     // Measured Triad figures already include write-allocate losses under the
     // default flags; calibrate the raw memory bandwidth so the reported
     // default-flag figure matches the measurement, then derive the SS gain
     // from the traffic model (bounded by the hardware's measured SS value
     // when the paper provides one).
-    let raw_bw = platform.measured_triad_gbs
-        / traffic.reported_bandwidth_gbs(1.0, StoreMode::WriteAllocate);
+    let raw_bw =
+        platform.measured_triad_gbs / traffic.reported_bandwidth_gbs(1.0, StoreMode::WriteAllocate);
 
     let mut out = Vec::with_capacity(points);
     let lf = (min_elements as f64).ln();
@@ -84,7 +95,11 @@ pub fn triad_sweep(
             // cache; BabelStream reports the cache bandwidth either way.
             curve.bandwidth_gbs
         };
-        out.push(Figure1Point { elements, working_set_bytes: ws, bandwidth_gbs: bw });
+        out.push(Figure1Point {
+            elements,
+            working_set_bytes: ws,
+            bandwidth_gbs: bw,
+        });
     }
     Figure1Series {
         platform: platform.name.clone(),
@@ -101,7 +116,14 @@ pub fn figure1_curves(min_elements: u64, max_elements: u64, points: usize) -> Ve
     let mut series = Vec::new();
     for p in bwb_machine::platforms::all_cpus() {
         for subset in MachineSubset::ALL {
-            series.push(triad_sweep(&p, subset, false, min_elements, max_elements, points));
+            series.push(triad_sweep(
+                &p,
+                subset,
+                false,
+                min_elements,
+                max_elements,
+                points,
+            ));
         }
         if p.measured_triad_ss_gbs.is_some() {
             series.push(triad_sweep(
@@ -141,8 +163,22 @@ mod tests {
 
     #[test]
     fn streaming_stores_raise_max_plateau_toward_1643() {
-        let base = triad_sweep(&platforms::xeon_max_9480(), MachineSubset::WholeMachine, false, MIN_E, MAX_E, 40);
-        let ss = triad_sweep(&platforms::xeon_max_9480(), MachineSubset::WholeMachine, true, MIN_E, MAX_E, 40);
+        let base = triad_sweep(
+            &platforms::xeon_max_9480(),
+            MachineSubset::WholeMachine,
+            false,
+            MIN_E,
+            MAX_E,
+            40,
+        );
+        let ss = triad_sweep(
+            &platforms::xeon_max_9480(),
+            MachineSubset::WholeMachine,
+            true,
+            MIN_E,
+            MAX_E,
+            40,
+        );
         let gain = ss.large_size_plateau_gbs() / base.large_size_plateau_gbs();
         assert!(gain > 1.05 && gain <= 4.0 / 3.0 + 1e-9, "SS gain {gain}");
         assert!(ss.large_size_plateau_gbs() <= 1643.0 * 1.01);
@@ -150,17 +186,38 @@ mod tests {
 
     #[test]
     fn ddr_systems_plateau_near_300() {
-        for (p, expect) in [(platforms::xeon_8360y(), 296.0), (platforms::epyc_7v73x(), 310.0)] {
+        for (p, expect) in [
+            (platforms::xeon_8360y(), 296.0),
+            (platforms::epyc_7v73x(), 310.0),
+        ] {
             let s = triad_sweep(&p, MachineSubset::WholeMachine, false, MIN_E, MAX_E, 40);
             let plateau = s.large_size_plateau_gbs();
-            assert!((plateau - expect).abs() / expect < 0.12, "{}: {plateau}", p.name);
+            assert!(
+                (plateau - expect).abs() / expect < 0.12,
+                "{}: {plateau}",
+                p.name
+            );
         }
     }
 
     #[test]
     fn figure1_headline_ratio_4_8x() {
-        let max = triad_sweep(&platforms::xeon_max_9480(), MachineSubset::WholeMachine, false, MIN_E, MAX_E, 40);
-        let icx = triad_sweep(&platforms::xeon_8360y(), MachineSubset::WholeMachine, false, MIN_E, MAX_E, 40);
+        let max = triad_sweep(
+            &platforms::xeon_max_9480(),
+            MachineSubset::WholeMachine,
+            false,
+            MIN_E,
+            MAX_E,
+            40,
+        );
+        let icx = triad_sweep(
+            &platforms::xeon_8360y(),
+            MachineSubset::WholeMachine,
+            false,
+            MIN_E,
+            MAX_E,
+            40,
+        );
         let r = max.large_size_plateau_gbs() / icx.large_size_plateau_gbs();
         assert!(r > 4.2 && r < 5.4, "MAX/ICX ratio {r}");
     }
@@ -195,8 +252,22 @@ mod tests {
     fn epyc_vcache_plateau_extends_beyond_xeons() {
         // The distinguishing Figure-1 feature of Milan-X: high bandwidth
         // out to ~GB working sets.
-        let amd = triad_sweep(&platforms::epyc_7v73x(), MachineSubset::WholeMachine, false, MIN_E, MAX_E, 60);
-        let icx = triad_sweep(&platforms::xeon_8360y(), MachineSubset::WholeMachine, false, MIN_E, MAX_E, 60);
+        let amd = triad_sweep(
+            &platforms::epyc_7v73x(),
+            MachineSubset::WholeMachine,
+            false,
+            MIN_E,
+            MAX_E,
+            60,
+        );
+        let icx = triad_sweep(
+            &platforms::xeon_8360y(),
+            MachineSubset::WholeMachine,
+            false,
+            MIN_E,
+            MAX_E,
+            60,
+        );
         // At ~1 GiB working set (arrays of 2^25 elements → 768 MiB):
         let pick = |s: &Figure1Series| {
             s.points

@@ -22,7 +22,10 @@ fn main() {
     };
 
     // Single-rank reference.
-    println!("## CloverLeaf 2D: {}x{} cells, {} cycles", cfg.nx, cfg.ny, cfg.iterations);
+    println!(
+        "## CloverLeaf 2D: {}x{} cells, {} cycles",
+        cfg.nx, cfg.ny, cfg.iterations
+    );
     let run = Clover2::run(cfg.clone());
     println!("mass conservation error: {:.2e}", run.validation);
     println!("\nper-kernel profile (host execution):");

@@ -14,7 +14,12 @@ use bwb_core::machine::platforms;
 use bwb_core::perfmodel::{paper_scale, predict, ModelInput, RunConfig};
 
 fn main() {
-    let apps = [AppId::CloverLeaf2D, AppId::OpenSbliSn, AppId::MgCfd, AppId::MiniBude];
+    let apps = [
+        AppId::CloverLeaf2D,
+        AppId::OpenSbliSn,
+        AppId::MgCfd,
+        AppId::MiniBude,
+    ];
 
     // Baselines.
     let max = platforms::xeon_max_9480();
@@ -54,7 +59,13 @@ fn main() {
             let best = configs
                 .iter()
                 .filter_map(|&config| {
-                    predict(&ModelInput { platform: p, character: &ch, config, points, iterations })
+                    predict(&ModelInput {
+                        platform: p,
+                        character: &ch,
+                        config,
+                        points,
+                        iterations,
+                    })
                 })
                 .map(|pr| pr.seconds)
                 .fold(f64::INFINITY, f64::min);

@@ -12,8 +12,16 @@ use bwb_core::op2::{rcb_partition, ExecModeU, HaloPlan};
 use bwb_core::ops::Profile;
 
 fn main() {
-    let cfg = Config { n: 128, iterations: 150, mode: ExecModeU::Colored, ..Config::default() };
-    println!("## Volna: {}x{} cells, {} steps, colored parallel execution", cfg.n, cfg.n, cfg.iterations);
+    let cfg = Config {
+        n: 128,
+        iterations: 150,
+        mode: ExecModeU::Colored,
+        ..Config::default()
+    };
+    println!(
+        "## Volna: {}x{} cells, {} steps, colored parallel execution",
+        cfg.n, cfg.n, cfg.iterations
+    );
 
     let mut sim = Volna::new(cfg.clone());
     println!(
@@ -35,21 +43,34 @@ fn main() {
         }
         max_eta_travel = max_eta_travel.max(sim.min_depth());
     }
-    println!("\nvolume conservation error after run: {:.2e}", (sim.total_volume() - v0).abs() / v0);
+    println!(
+        "\nvolume conservation error after run: {:.2e}",
+        (sim.total_volume() - v0).abs() / v0
+    );
 
     // Owner-compute decomposition of the same mesh (Figure 4/7 substrate).
     println!("\n## RCB partition over 8 ranks (PT-Scotch substitute)");
     let coords: Vec<f64> = (0..sim.cells.size)
-        .flat_map(|c| [sim.centroids.get(c, 0) as f64, sim.centroids.get(c, 1) as f64])
+        .flat_map(|c| {
+            [
+                sim.centroids.get(c, 0) as f64,
+                sim.centroids.get(c, 1) as f64,
+            ]
+        })
         .collect();
     let part = rcb_partition(&coords, 2, 8);
     let cell_part = part.clone();
-    let plan = HaloPlan::build(&sim.e2c, &{
-        // Edge owner = owner of its first cell.
-        (0..sim.edges.size)
-            .map(|e| cell_part[sim.e2c.get(e, 0)])
-            .collect::<Vec<u32>>()
-    }, &part, 8);
+    let plan = HaloPlan::build(
+        &sim.e2c,
+        &{
+            // Edge owner = owner of its first cell.
+            (0..sim.edges.size)
+                .map(|e| cell_part[sim.e2c.get(e, 0)])
+                .collect::<Vec<u32>>()
+        },
+        &part,
+        8,
+    );
     println!(
         "  halo plan: {} messages per exchange, {} imported cells, {:.1} KB per exchange",
         plan.message_count(),

@@ -71,7 +71,11 @@ fn all_apps_run_and_validate() {
         ),
         (
             AppId::Volna,
-            volna::Volna::run(volna::Config { n: 24, iterations: 40, ..volna::Config::default() }),
+            volna::Volna::run(volna::Config {
+                n: 24,
+                iterations: 40,
+                ..volna::Config::default()
+            }),
             1e-4, // relative volume conservation (f32)
         ),
         (
@@ -93,7 +97,11 @@ fn all_apps_run_and_validate() {
 
     for (app, run, bound) in runs {
         assert_eq!(run.app, app);
-        assert!(run.validation.is_finite(), "{}: validation NaN", app.label());
+        assert!(
+            run.validation.is_finite(),
+            "{}: validation NaN",
+            app.label()
+        );
         assert!(
             run.validation < bound,
             "{}: validation {} exceeds bound {}",
@@ -102,7 +110,11 @@ fn all_apps_run_and_validate() {
             bound
         );
         assert!(run.points > 0 && run.iterations > 0);
-        assert!(run.profile.total_bytes() > 0, "{}: no byte accounting", app.label());
+        assert!(
+            run.profile.total_bytes() > 0,
+            "{}: no byte accounting",
+            app.label()
+        );
         assert!(run.profile.total_seconds() > 0.0);
     }
 }
@@ -170,7 +182,12 @@ fn characterizations_are_stable() {
     for app in [AppId::CloverLeaf2D, AppId::Volna, AppId::MiniBude] {
         let a = characterize(app);
         let b = characterize(app);
-        assert_eq!(a.bytes_per_point_iter, b.bytes_per_point_iter, "{}", app.label());
+        assert_eq!(
+            a.bytes_per_point_iter,
+            b.bytes_per_point_iter,
+            "{}",
+            app.label()
+        );
         assert_eq!(a.flops_per_point_iter, b.flops_per_point_iter);
     }
 }

@@ -3,7 +3,7 @@
 //! statistics must behave like the paper's MPI instrumentation.
 
 use bwb_core::apps::{acoustic, cloverleaf2d};
-use bwb_core::ops::{Dat2, DistBlock2, ExecMode, Profile};
+use bwb_core::ops::{Dat2, DistBlock2, Profile};
 use bwb_core::shmpi::{ReduceOp, Universe};
 
 #[test]
@@ -46,14 +46,21 @@ fn cloverleaf_distributed_equals_serial_on_various_rank_counts() {
 
 #[test]
 fn acoustic_distributed_wait_times_are_recorded() {
-    let cfg = acoustic::Config { n: 16, iterations: 3, ..acoustic::Config::default() };
+    let cfg = acoustic::Config {
+        n: 16,
+        iterations: 3,
+        ..acoustic::Config::default()
+    };
     let out = Universe::run(8, move |c| {
         let _ = acoustic::Acoustic::run_distributed(c, cfg.clone());
         c.stats()
     });
     let total = out.stats.total();
     assert!(total.sends > 0);
-    assert_eq!(total.bytes_sent, total.bytes_received, "all messages consumed");
+    assert_eq!(
+        total.bytes_sent, total.bytes_received,
+        "all messages consumed"
+    );
     // Figure 7's instrument: blocked time is accounted.
     assert!(out.stats.per_rank.iter().any(|r| r.wait_seconds > 0.0));
     // Modeled latency pricing is present even without a placement (default
@@ -77,8 +84,7 @@ fn halo_exchange_supports_deep_halos_at_odd_rank_counts() {
         if !b.at_low_boundary(0) {
             for j in 0..b.ny() as isize {
                 for h in 1..=3isize {
-                    ok &= d.get(-h, j)
-                        == ((s[0] as isize - h) * 1000 + (s[1] as isize + j)) as f64;
+                    ok &= d.get(-h, j) == ((s[0] as isize - h) * 1000 + (s[1] as isize + j)) as f64;
                 }
             }
         }
@@ -120,8 +126,9 @@ fn rank_stats_scale_with_rank_count() {
             iterations: 2,
             ..cloverleaf2d::Config::default()
         };
-        let out =
-            Universe::run(ranks, move |c| cloverleaf2d::Clover2::run_distributed(c, cfg.clone()).0);
+        let out = Universe::run(ranks, move |c| {
+            cloverleaf2d::Clover2::run_distributed(c, cfg.clone()).0
+        });
         let _ = out.results;
         out.stats.total_messages()
     };

@@ -41,9 +41,8 @@ fn headline_claim_2x_to_4x_speedup() {
 #[test]
 fn most_bandwidth_bound_app_gains_most() {
     let f6 = figures::figure6_platform_comparison();
-    let get = |app: bwb_core::apps::AppId| {
-        f6.iter().find(|e| e.app == app).unwrap().speedup_vs_8360y
-    };
+    let get =
+        |app: bwb_core::apps::AppId| f6.iter().find(|e| e.app == app).unwrap().speedup_vs_8360y;
     use bwb_core::apps::AppId;
     // CloverLeaf 2D (most bandwidth-bound) gains more than Acoustic and
     // miniBUDE (latency/compute-bound) — the paper's core ordering.
@@ -120,7 +119,11 @@ fn per_app_best_configuration_is_plausible() {
             .clone()
     };
     // Unstructured: the vectorized MPI implementation wins (Figure 4).
-    assert!(best_label(AppId::MgCfd).contains("MPI vec"), "{}", best_label(AppId::MgCfd));
+    assert!(
+        best_label(AppId::MgCfd).contains("MPI vec"),
+        "{}",
+        best_label(AppId::MgCfd)
+    );
     assert!(best_label(AppId::Volna).contains("MPI vec"));
     // Acoustic: hybrid MPI+OpenMP wins (Figure 5).
     assert!(
@@ -139,5 +142,8 @@ fn summary_statistics_match_section5_shape() {
     // Paper: 1.25/1.12 on MAX vs 1.11/1.05 on 8360Y.
     assert!(mean_max > mean_icx);
     assert!(median_max >= 1.0 && median_icx >= 1.0);
-    assert!(mean_max < 2.0, "mean slowdown should stay moderate: {mean_max}");
+    assert!(
+        mean_max < 2.0,
+        "mean slowdown should stay moderate: {mean_max}"
+    );
 }

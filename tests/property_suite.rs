@@ -1,8 +1,14 @@
 //! Property-based tests (proptest) on the suite's core invariants.
 
 use bwb_core::memsim::{AccessKind, CacheSim, MachineSubset, MemoryHierarchyModel};
-use bwb_core::op2::{rcb_partition, Coloring, HaloPlan, Map, Set};
-use bwb_core::ops::{par_loop2, Dat2, ExecMode, Profile, Range2};
+use bwb_core::op2::{
+    par_loop_block_colored, rcb_partition, BlockColoring, Coloring, DatU, ExecModeU, HaloPlan, Map,
+    Set,
+};
+use bwb_core::ops::{
+    par_loop2, par_loop2_rows, par_loop3, par_loop3_planes, Dat2, Dat3, ExecMode, Profile, Range2,
+    Range3,
+};
 use bwb_core::shmpi::{cart::dims_create, ReduceOp, Universe};
 use proptest::prelude::*;
 
@@ -250,6 +256,175 @@ proptest! {
         prop_assert!(chain.tiled_point_count(n) == chain.untiled_point_count());
     }
 
+    /// The 2-D slice fast path ([`par_loop2_rows`]) is bit-identical to the
+    /// per-point driver for an arbitrary 5-point stencil, in both execution
+    /// modes, and records identical point/byte/FLOP accounting.
+    #[test]
+    fn slice_rows_match_per_point(nx in 1usize..40, ny in 1usize..40, a in -4i32..5, rayon in 0usize..2) {
+        let mode = if rayon == 1 { ExecMode::Rayon } else { ExecMode::Serial };
+        let mut src = Dat2::<f64>::new("s", nx, ny, 1);
+        src.init_with(|i, j| ((i * 7 + j * 3) % 13) as f64 + a as f64);
+        let mut d1 = Dat2::<f64>::new("d1", nx, ny, 1);
+        let mut d2 = Dat2::<f64>::new("d2", nx, ny, 1);
+        let mut prof = Profile::new();
+        par_loop2(
+            &mut prof, "pp", mode, Range2::interior(nx, ny), &mut [&mut d1], &[&src], 4.0,
+            |_i, _j, out, ins| {
+                out.set(0, 0.25 * (ins.get(0, -1, 0) + ins.get(0, 1, 0)
+                    + ins.get(0, 0, -1) + ins.get(0, 0, 1)));
+            },
+        );
+        par_loop2_rows(
+            &mut prof, "sl", mode, Range2::interior(nx, ny), &mut [&mut d2], &[&src], 4.0,
+            |_j, out, ins| {
+                let xm = ins.row_off(0, -1, 0);
+                let xp = ins.row_off(0, 1, 0);
+                let ym = ins.row_off(0, 0, -1);
+                let yp = ins.row_off(0, 0, 1);
+                let o = out.row(0);
+                for i in 0..o.len() {
+                    o[i] = 0.25 * (xm[i] + xp[i] + ym[i] + yp[i]);
+                }
+            },
+        );
+        prop_assert_eq!(d1.max_abs_diff(&d2), 0.0);
+        let (pp, sl) = (prof.get("pp").unwrap(), prof.get("sl").unwrap());
+        prop_assert_eq!(pp.points, sl.points);
+        prop_assert_eq!(pp.bytes, sl.bytes);
+        prop_assert_eq!(pp.flops.to_bits(), sl.flops.to_bits());
+    }
+
+    /// The 3-D plane fast path ([`par_loop3_planes`]) is bit-identical to
+    /// the per-point driver for an arbitrary 7-point stencil.
+    #[test]
+    fn slice_planes_match_per_point(n in 2usize..14, rayon in 0usize..2, c in 1i32..5) {
+        let mode = if rayon == 1 { ExecMode::Rayon } else { ExecMode::Serial };
+        let cf = c as f64 / 8.0;
+        let mut src = Dat3::<f64>::new("s", n, n, n, 1);
+        src.init_with(|i, j, k| ((i * 5 + j * 3 + k * 2) % 17) as f64);
+        let mut d1 = Dat3::<f64>::new("d1", n, n, n, 1);
+        let mut d2 = Dat3::<f64>::new("d2", n, n, n, 1);
+        let mut prof = Profile::new();
+        par_loop3(
+            &mut prof, "pp", mode, Range3::interior(n, n, n), &mut [&mut d1], &[&src], 7.0,
+            move |_i, _j, _k, out, ins| {
+                out.set(0, ins.get(0, 0, 0, 0) + cf * (ins.get(0, -1, 0, 0) + ins.get(0, 1, 0, 0)
+                    + ins.get(0, 0, -1, 0) + ins.get(0, 0, 1, 0)
+                    + ins.get(0, 0, 0, -1) + ins.get(0, 0, 0, 1)));
+            },
+        );
+        par_loop3_planes(
+            &mut prof, "sl", mode, Range3::interior(n, n, n), &mut [&mut d2], &[&src], 7.0,
+            move |_j, _k, out, ins| {
+                let cc = ins.row(0);
+                let xm = ins.row_off(0, -1, 0, 0);
+                let xp = ins.row_off(0, 1, 0, 0);
+                let ym = ins.row_off(0, 0, -1, 0);
+                let yp = ins.row_off(0, 0, 1, 0);
+                let zm = ins.row_off(0, 0, 0, -1);
+                let zp = ins.row_off(0, 0, 0, 1);
+                let o = out.row(0);
+                for i in 0..o.len() {
+                    o[i] = cc[i] + cf * (xm[i] + xp[i] + ym[i] + yp[i] + zm[i] + zp[i]);
+                }
+            },
+        );
+        for k in 0..n as isize {
+            for j in 0..n as isize {
+                for i in 0..n as isize {
+                    prop_assert_eq!(d1.get(i, j, k).to_bits(), d2.get(i, j, k).to_bits());
+                }
+            }
+        }
+        let (pp, sl) = (prof.get("pp").unwrap(), prof.get("sl").unwrap());
+        prop_assert_eq!(pp.points, sl.points);
+        prop_assert_eq!(pp.bytes, sl.bytes);
+    }
+
+    /// Tile-parallel execution of a loop chain is bit-identical to the
+    /// serial tiled schedule, including the merged profile accounting.
+    #[test]
+    fn parallel_tiled_matches_serial_tiled(n in 6usize..24, loops in 1usize..4, tile in 1usize..10) {
+        use bwb_core::ops::LoopChain2;
+        let build = |mode: ExecMode| -> (LoopChain2<f64>, Vec<Dat2<f64>>) {
+            let store: Vec<Dat2<f64>> = (0..=loops)
+                .map(|f| {
+                    let mut d = Dat2::new(&format!("f{f}"), n, n, 1);
+                    if f == 0 {
+                        d.init_with(|i, j| ((i * 3 + j * 5) % 11) as f64);
+                    }
+                    d
+                })
+                .collect();
+            let mut chain = LoopChain2::new(mode);
+            for l in 0..loops {
+                chain.add(
+                    &format!("s{l}"),
+                    Range2::interior(n, n),
+                    1,
+                    3.0,
+                    vec![l + 1],
+                    vec![l],
+                    |_i, _j, out, ins| {
+                        out.set(0, 0.5 * ins.get(0, -1, 0) + 0.5 * ins.get(0, 1, 0));
+                    },
+                );
+            }
+            (chain, store)
+        };
+        let (c1, mut s1) = build(ExecMode::Serial);
+        let (c2, mut s2) = build(ExecMode::Rayon);
+        let (mut p1, mut p2) = (Profile::new(), Profile::new());
+        c1.execute_tiled(&mut s1, &mut p1, tile);
+        c2.execute_tiled(&mut s2, &mut p2, tile);
+        prop_assert_eq!(s1[loops].max_abs_diff(&s2[loops]), 0.0);
+        for l in 0..loops {
+            let a = p1.get(&format!("s{l}")).unwrap();
+            let b = p2.get(&format!("s{l}")).unwrap();
+            prop_assert_eq!(a.calls, b.calls);
+            prop_assert_eq!(a.points, b.points);
+            prop_assert_eq!(a.bytes, b.bytes);
+            prop_assert_eq!(a.flops.to_bits(), b.flops.to_bits());
+        }
+    }
+
+    /// Block-colored indirect execution gives the same result as the serial
+    /// element-order sweep (integer-valued increments make the comparison
+    /// exact regardless of summation order).
+    #[test]
+    fn block_colored_matches_serial(n_edges in 1usize..150, n_nodes in 2usize..40,
+                                    block in 1usize..9, seed in 0u64..500) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let nodes = Set::new("n", n_nodes);
+        let edges = Set::new("e", n_edges);
+        let idx: Vec<u32> = (0..n_edges * 2)
+            .map(|_| rng.gen_range(0..n_nodes as u32))
+            .collect();
+        let map = Map::new("e2n", &edges, &nodes, 2, idx);
+        let coloring = BlockColoring::greedy(n_edges, block, &[&map]);
+        prop_assert!(coloring.validate(&[&map]));
+        let run = |mode: ExecModeU| -> Vec<f64> {
+            let mut prof = Profile::new();
+            let mut acc = DatU::<f64>::new("acc", &nodes, 1);
+            let m = &map;
+            par_loop_block_colored(
+                &mut prof, "scatter", mode, &coloring, &mut [&mut acc], 16, 2.0,
+                |e, out| {
+                    for &t in m.targets(e) {
+                        out.add(0, t as usize, 0, (e + 1) as f64);
+                    }
+                },
+            );
+            acc.raw().to_vec()
+        };
+        let serial = run(ExecModeU::Serial);
+        let colored = run(ExecModeU::Colored);
+        for (a, b) in serial.iter().zip(&colored) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
     /// Roofline evaluation is continuous, monotone in intensity up to the
     /// ridge, and flat beyond it.
     #[test]
@@ -263,4 +438,50 @@ proptest! {
         prop_assert!(a <= b + 1e-9);
         prop_assert!(b <= peak_f + 1e-9);
     }
+}
+
+/// Historical `coloring_valid_on_random_maps` failures, promoted from the
+/// proptest regression file to deterministic named tests. Both are dense
+/// maps onto tiny target sets; the second needs more than 64 colors, so it
+/// exercises the bitmask-overflow path shared by [`Coloring`] and
+/// [`BlockColoring`].
+fn coloring_case(n_edges: usize, n_nodes: usize, seed: u64) {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let nodes = Set::new("n", n_nodes);
+    let edges = Set::new("e", n_edges);
+    let idx: Vec<u32> = (0..n_edges * 2)
+        .map(|_| rng.gen_range(0..n_nodes as u32))
+        .collect();
+    let map = Map::new("e2n", &edges, &nodes, 2, idx);
+
+    let coloring = Coloring::greedy(n_edges, &[&map]);
+    assert!(coloring.validate(&[&map]));
+    let mut distinct = vec![std::collections::HashSet::new(); n_nodes];
+    for e in 0..n_edges {
+        for &t in map.targets(e) {
+            distinct[t as usize].insert(e);
+        }
+    }
+    let need = distinct.iter().map(|s| s.len()).max().unwrap_or(1).max(1);
+    assert!(coloring.n_colors as usize >= need);
+
+    for block in [1usize, 3, 7] {
+        let bc = BlockColoring::greedy(n_edges, block, &[&map]);
+        assert!(bc.validate(&[&map]), "block_size {block}");
+    }
+}
+
+#[test]
+fn coloring_regression_dense_two_nodes() {
+    // cc 7c6c3cfb…: 46 edges over 2 nodes — every edge conflicts with
+    // nearly every other, so the color count approaches the set size.
+    coloring_case(46, 2, 0);
+}
+
+#[test]
+fn coloring_regression_overflow_colors() {
+    // cc 3b78b84f…: 114 edges over 4 nodes — the densest target needs more
+    // than 64 colors, driving the coloring into the overflow map.
+    coloring_case(114, 4, 0);
 }
