@@ -124,6 +124,10 @@ fn replace_guard<'a, T: ?Sized>(
     f: impl FnOnce(std::sync::MutexGuard<'a, T>) -> std::sync::MutexGuard<'a, T>,
 ) {
     use std::mem::ManuallyDrop;
+    // SAFETY: `slot` is a valid exclusive borrow; the guard read out of it is
+    // owned exactly once (the hole is plugged by the ptr::write below before
+    // the borrow is used again, and a panic in `f` leaks via ManuallyDrop
+    // instead of double-dropping).
     unsafe {
         let owned = std::ptr::read(slot as *mut std::sync::MutexGuard<'a, T>);
         // If `f` panics the original slot must not be dropped again; keep it

@@ -79,6 +79,8 @@ impl<A: ParAccess> ParIter<A> {
         let len = access.len();
         pool::run_chunked(len, pool::default_chunk(len, self.min_len), &|s, e| {
             for i in s..e {
+                // SAFETY: run_chunked partitions 0..len into disjoint
+                // [s, e) ranges, so each index is visited exactly once.
                 f(unsafe { access.get(i) });
             }
         });
@@ -99,6 +101,8 @@ impl<A: ParAccess> ParIter<A> {
         pool::run_chunked(len, chunk, &|s, e| {
             let mut acc = identity();
             for i in s..e {
+                // SAFETY: run_chunked partitions 0..len into disjoint
+                // [s, e) ranges, so each index is visited exactly once.
                 acc = op(acc, unsafe { access.get(i) });
             }
             partials
@@ -122,6 +126,8 @@ impl<A: ParAccess> ParIter<A> {
         let chunk = pool::default_chunk(len, self.min_len);
         let partials: Mutex<Vec<(usize, S)>> = Mutex::new(Vec::new());
         pool::run_chunked(len, chunk, &|s, e| {
+            // SAFETY: run_chunked partitions 0..len into disjoint [s, e)
+            // ranges, so each index is visited exactly once.
             let acc: S = (s..e).map(|i| unsafe { access.get(i) }).sum();
             partials
                 .lock()
@@ -158,6 +164,8 @@ impl<T: Send> FromParIter<T> for Vec<T> {
         let slots = SendPtr(out.as_mut_ptr());
         pool::run_chunked(len, pool::default_chunk(len, iter.min_len), &|s, e| {
             for i in s..e {
+                // SAFETY: chunks are disjoint, so slot i is written by
+                // exactly one thread, and i < len keeps the add in bounds.
                 unsafe { (*slots.get().add(i)).write(access.get(i)) };
             }
         });
@@ -171,7 +179,12 @@ impl<T: Send> FromParIter<T> for Vec<T> {
 }
 
 struct SendPtr<T>(*mut T);
+// SAFETY: SendPtr is only used to smuggle the collect buffer's base pointer
+// into pool closures; disjoint chunk partitioning guarantees no two threads
+// touch the same slot.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: see the Send impl above — access through the shared reference is
+// restricted to disjoint indices per thread.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {
@@ -225,7 +238,11 @@ pub struct SliceAccess<'a, T> {
     len: usize,
     _marker: PhantomData<&'a T>,
 }
+// SAFETY: SliceAccess is a borrow of `&[T]` behind a raw pointer; sharing it
+// across threads only hands out `&T`, which is fine for `T: Sync`.
 unsafe impl<T: Sync> Sync for SliceAccess<'_, T> {}
+// SAFETY: see the Sync impl above — moving the access between threads moves
+// only the pointer/len pair of a `T: Sync` slice borrow.
 unsafe impl<T: Sync> Send for SliceAccess<'_, T> {}
 
 impl<'a, T: Sync> ParAccess for SliceAccess<'a, T> {
@@ -243,7 +260,11 @@ pub struct SliceMutAccess<'a, T> {
     len: usize,
     _marker: PhantomData<&'a mut T>,
 }
+// SAFETY: the ParAccess contract (each index taken at most once) makes the
+// `&mut T` items handed out across threads disjoint, so `T: Send` suffices.
 unsafe impl<T: Send> Sync for SliceMutAccess<'_, T> {}
+// SAFETY: see the Sync impl above — the access owns an exclusive slice
+// borrow and items move to other threads disjointly.
 unsafe impl<T: Send> Send for SliceMutAccess<'_, T> {}
 
 impl<'a, T: Send + Sync> ParAccess for SliceMutAccess<'a, T> {

@@ -35,7 +35,10 @@ struct Job {
 }
 
 struct FnPtr(*const (dyn Fn(usize, usize) + Sync));
+// SAFETY: the pointee is `Sync` and the caller of `run_chunked` blocks until
+// every chunk finishes, so the borrow outlives all cross-thread use.
 unsafe impl Send for FnPtr {}
+// SAFETY: see the Send impl above — shared access is to a `Sync` closure.
 unsafe impl Sync for FnPtr {}
 
 impl Job {
@@ -51,6 +54,9 @@ impl Job {
             ran = true;
             let start = c * self.chunk;
             let end = (start + self.chunk).min(self.len);
+            // SAFETY: the pointer was created from a live borrow in
+            // run_chunked, which blocks until `pending == 0`; a chunk only
+            // runs while pending > 0, so the closure is still alive here.
             let f = unsafe { &*self.f.0 };
             if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(start, end))) {
                 let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
@@ -160,8 +166,9 @@ pub fn run_chunked(len: usize, chunk: usize, f: &(dyn Fn(usize, usize) + Sync)) 
         return;
     }
 
-    // Erase the borrow lifetime; `job.wait()` below keeps `f` alive until
-    // every chunk has finished running.
+    // SAFETY: lifetime erasure only — `job.wait()` below blocks this frame
+    // until every chunk has finished running, so the borrow stays live for
+    // the whole time workers can reach it.
     let f_static: &'static (dyn Fn(usize, usize) + Sync) = unsafe { std::mem::transmute(f) };
     let job = Arc::new(Job {
         f: FnPtr(f_static as *const _),

@@ -307,6 +307,26 @@ fn leapfrog_update(
     );
 }
 
+/// Declared access contracts of every loop in this app, for `bwb-dslcheck`.
+pub fn loop_specs() -> Vec<bwb_ops::LoopSpec> {
+    use bwb_ops::{ArgSpec as A, LoopSpec as L, Stencil as S};
+    vec![
+        L::new(
+            "acoustic_update",
+            vec![A::write("u_next")],
+            vec![
+                A::read("u_curr", S::plus3(RADIUS as isize)),
+                A::read("u_prev", S::point()),
+            ],
+        ),
+        L::new(
+            "acoustic_energy",
+            vec![],
+            vec![A::read("u_curr", S::point())],
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -879,6 +879,135 @@ fn exchange_node_field(block: &DistBlock2, comm: &mut Comm, f: &mut Dat2<f64>) {
     block.exchange_node_halo(comm, f, 1);
 }
 
+/// Declared access contracts of every DSL loop in this app, for
+/// `bwb-dslcheck`. (`update_halo`/`update_halo_vel` are hand-rolled fills,
+/// not `par_loop`s, so they carry no contract.)
+pub fn loop_specs() -> Vec<bwb_ops::LoopSpec> {
+    use bwb_ops::{ArgSpec as A, LoopSpec as L, Stencil as S};
+    // Cell quantity sampled at the four cells around a node.
+    let nodal = || S::of2(&[(-1, -1), (0, -1), (0, 0), (-1, 0)]);
+    // Node quantity sampled at the four corners of a cell.
+    let quad = || S::of2(&[(0, 0), (1, 0), (0, 1), (1, 1)]);
+    // Donor-cell/van Leer upwind window along one axis.
+    let x5 = || S::of2(&[(-2, 0), (-1, 0), (0, 0), (1, 0), (2, 0)]);
+    let y5 = || S::of2(&[(0, -2), (0, -1), (0, 0), (0, 1), (0, 2)]);
+    vec![
+        L::new(
+            "ideal_gas",
+            vec![A::write("pressure"), A::write("soundspeed")],
+            vec![
+                A::read("density0", S::point()),
+                A::read("energy0", S::point()),
+            ],
+        ),
+        L::new(
+            "viscosity",
+            vec![A::write("viscosity")],
+            vec![
+                A::read("density0", S::point()),
+                A::read("xvel0", quad()),
+                A::read("yvel0", quad()),
+            ],
+        ),
+        L::new(
+            "calc_dt",
+            vec![],
+            vec![
+                A::read("soundspeed", S::point()),
+                A::read("xvel0", S::of2(&[(0, 0), (1, 1)])),
+                A::read("yvel0", S::of2(&[(0, 0), (1, 1)])),
+            ],
+        ),
+        L::new(
+            "accelerate",
+            vec![A::write("xvel1"), A::write("yvel1")],
+            vec![
+                A::read("density0", nodal()),
+                A::read("pressure", nodal()),
+                A::read("viscosity", nodal()),
+                A::read("xvel0", S::point()),
+                A::read("yvel0", S::point()),
+            ],
+        ),
+        L::new(
+            "pdv",
+            vec![A::write("energy1"), A::write("density1")],
+            vec![
+                A::read("density0", S::point()),
+                A::read("energy0", S::point()),
+                A::read("pressure", S::point()),
+                A::read("viscosity", S::point()),
+                A::read("xvel1", quad()),
+                A::read("yvel1", quad()),
+            ],
+        ),
+        L::new(
+            "flux_calc_x",
+            vec![A::write("vol_flux_x")],
+            vec![
+                A::read("xvel0", S::of2(&[(0, 0), (0, 1)])),
+                A::read("xvel1", S::of2(&[(0, 0), (0, 1)])),
+            ],
+        ),
+        L::new(
+            "flux_calc_y",
+            vec![A::write("vol_flux_y")],
+            vec![
+                A::read("yvel0", S::of2(&[(0, 0), (1, 0)])),
+                A::read("yvel1", S::of2(&[(0, 0), (1, 0)])),
+            ],
+        ),
+        L::new(
+            "advec_cell_x",
+            vec![A::write("work_d"), A::write("work_e")],
+            vec![
+                A::read("density1", x5()),
+                A::read("energy1", x5()),
+                A::read("vol_flux_x", S::of2(&[(0, 0), (1, 0)])),
+            ],
+        ),
+        L::new(
+            "advec_cell_y",
+            vec![A::write("work_d"), A::write("work_e")],
+            vec![
+                A::read("density1", y5()),
+                A::read("energy1", y5()),
+                A::read("vol_flux_y", S::of2(&[(0, 0), (0, 1)])),
+            ],
+        ),
+        L::new(
+            "advec_mom",
+            vec![A::write("work_u"), A::write("work_v")],
+            vec![A::read("xvel1", S::plus2(1)), A::read("yvel1", S::plus2(1))],
+        ),
+        L::new(
+            "reset_field",
+            vec![A::write("density0"), A::write("energy0")],
+            vec![
+                A::read("density1", S::point()),
+                A::read("energy1", S::point()),
+            ],
+        ),
+        L::new(
+            "field_summary",
+            vec![],
+            vec![
+                A::read("density0", S::point()),
+                A::read("energy0", S::point()),
+            ],
+        ),
+        L::new(
+            "field_summary_ke",
+            vec![],
+            vec![
+                A::read("density0", S::point()),
+                A::read("xvel0", quad()),
+                A::read("yvel0", quad()),
+            ],
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

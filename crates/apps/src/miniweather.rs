@@ -688,6 +688,48 @@ impl MiniWeather {
     }
 }
 
+/// Declared access contracts of every loop in this app, for `bwb-dslcheck`.
+///
+/// `mw_update` runs in two arities: copy-update (`dst = init + dt·tend`, two
+/// inputs) and in-place (`state += dt·tend`, one input); each gets a spec and
+/// observations match on `(name, #outs, #ins)`.
+pub fn loop_specs() -> Vec<bwb_ops::LoopSpec> {
+    use bwb_ops::{ArgSpec as A, LoopSpec as L, Stencil as S};
+    let x5 = || S::of2(&[(-2, 0), (-1, 0), (0, 0), (1, 0), (2, 0)]);
+    let z5 = || S::of2(&[(0, -2), (0, -1), (0, 0), (0, 1), (0, 2)]);
+    let tends = || {
+        vec![
+            A::write("tend_dens"),
+            A::write("tend_umom"),
+            A::write("tend_wmom"),
+            A::write("tend_rhot"),
+        ]
+    };
+    let state = |s: fn() -> S| {
+        vec![
+            A::read("dens", s()),
+            A::read("umom", s()),
+            A::read("wmom", s()),
+            A::read("rhot", s()),
+        ]
+    };
+    vec![
+        L::new("mw_tend_x", tends(), state(x5)),
+        L::new("mw_tend_z", tends(), state(z5)),
+        L::new(
+            "mw_update",
+            vec![A::write("dst")],
+            vec![A::read("init", S::point()), A::read("tend", S::point())],
+        ),
+        L::new(
+            "mw_update",
+            vec![A::read_write("state")],
+            vec![A::read("tend", S::point())],
+        ),
+        L::new("mw_totals", vec![], vec![A::read("state", S::point())]),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -325,6 +325,19 @@ impl Volna {
     }
 }
 
+/// Declared access contracts of every unstructured loop, for `bwb-dslcheck`.
+pub fn loop_specs() -> Vec<bwb_op2::ULoopSpec> {
+    use bwb_op2::{UArgSpec, ULoopSpec};
+    use bwb_ops::Access;
+    vec![
+        ULoopSpec::new("volna_flux", vec![UArgSpec::new("res", Access::Inc, true)]),
+        ULoopSpec::new(
+            "volna_update",
+            vec![UArgSpec::new("q_new", Access::Write, false)],
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

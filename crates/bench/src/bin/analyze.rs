@@ -1,0 +1,57 @@
+//! `dslcheck` CLI: run every registered app and chain under the access/race
+//! analyzers and emit a machine-readable violation report.
+//!
+//! Exit status is 0 only when every app is clean — CI gates on this.
+//!
+//! ```text
+//! cargo run --release -p bwb-bench --bin analyze          # human + JSON
+//! cargo run --release -p bwb-bench --bin analyze -- --json  # JSON only
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let json_only = std::env::args().any(|a| a == "--json");
+    let reports = bwb_dslcheck::check_all();
+
+    if !json_only {
+        for r in &reports {
+            let status = if r.clean() { "ok" } else { "FAIL" };
+            eprintln!(
+                "{:<14} {:>3} loop invocations checked ... {status}",
+                r.app, r.loops_checked
+            );
+            for v in &r.violations {
+                eprintln!("    {v}");
+            }
+        }
+    }
+
+    // JSON report on stdout: one object with per-app summaries and the flat
+    // violation list (each violation already renders itself as JSON).
+    let total: usize = reports.iter().map(|r| r.violations.len()).sum();
+    let apps = reports
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"app\":\"{}\",\"loops_checked\":{},\"violations\":{}}}",
+                r.app,
+                r.loops_checked,
+                r.violations.len()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let violations = reports
+        .iter()
+        .flat_map(|r| r.violations.iter().map(|v| v.to_json()))
+        .collect::<Vec<_>>()
+        .join(",");
+    println!("{{\"total_violations\":{total},\"apps\":[{apps}],\"violations\":[{violations}]}}");
+
+    if total == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

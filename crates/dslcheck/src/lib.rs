@@ -1,0 +1,38 @@
+//! # bwb-dslcheck — plan-time access/race analyzers for the DSL engines
+//!
+//! The OPS/OP2 DSLs of the paper can reason about correctness because every
+//! `par_loop` argument carries a declared access mode and stencil. This
+//! crate supplies the analyzers that hold this repo's engines to the same
+//! standard, on top of the declarations in `bwb_ops::access` /
+//! `bwb_op2::access`:
+//!
+//! * [`checked`] — **checked execution**: run loops under the engines'
+//!   recording mode (shadow-instrumented accessors, forced serial) and diff
+//!   every actual `(field, offset)` access against the declared contract —
+//!   undeclared stencil offsets, access-mode violations, stencils deeper
+//!   than a dataset's halo allocation.
+//! * [`plan`] — **schedule validation**: prove a tiled
+//!   [`bwb_ops::LoopChain2`] plan budgets skew reach ≥ the reach kernels
+//!   actually read, reject in-place stencils, and audit recorded
+//!   halo-exchange depths against stencil radii per decomposed dat.
+//! * [`race`] — **coloring race detection**: from a recorded unstructured
+//!   loop's access set and its declared coloring, prove no two same-color
+//!   elements write the same indirect target, and flag order-dependent
+//!   indirect overwrites (which not even a valid coloring can fix).
+//!
+//! [`check_all`] runs all registered apps (CloverLeaf 2D, Acoustic — local
+//! and decomposed —, miniWeather, MG-CFD, Volna, and a tiled chain demo)
+//! under the applicable analyzers; the `analyze` binary in `bwb-bench`
+//! renders the result as a JSON report and gates CI on it.
+
+pub mod checked;
+pub mod plan;
+pub mod race;
+pub mod registry;
+pub mod violation;
+
+pub use checked::check_structured;
+pub use plan::{check_chain_plan, check_halo_depth};
+pub use race::check_unstructured;
+pub use registry::{check_all, AppReport};
+pub use violation::{Kind, Violation};

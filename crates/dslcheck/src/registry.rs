@@ -1,0 +1,262 @@
+//! Registered apps and chains: record each one under checked execution at a
+//! CI-sized configuration and run every applicable analyzer.
+//!
+//! `check_all` is the library entry behind the `analyze` binary and the CI
+//! gate: zero violations across this registry is the repo's correctness
+//! claim for its parallel schedules.
+
+use crate::checked::check_structured;
+use crate::plan::{check_chain_plan, check_halo_depth};
+use crate::race::check_unstructured;
+use crate::violation::Violation;
+use bwb_apps::{acoustic, cloverleaf2d, mgcfd, miniweather, volna};
+use bwb_op2::{with_recording_u, ExecModeU};
+use bwb_ops::{
+    with_recording, ArgSpec, Dat2, ExecMode, LoopChain2, LoopSpec, Profile, Range2, Stencil,
+};
+use bwb_shmpi::Universe;
+
+/// Analyzer results for one registered app (or chain).
+#[derive(Debug)]
+pub struct AppReport {
+    pub app: String,
+    /// Recorded loop invocations the analyzers inspected.
+    pub loops_checked: usize,
+    pub violations: Vec<Violation>,
+}
+
+impl AppReport {
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn clover2() -> AppReport {
+    let cfg = cloverleaf2d::Config {
+        nx: 24,
+        ny: 24,
+        iterations: 2,
+        mode: ExecMode::Serial,
+        advection: cloverleaf2d::Advection::VanLeer,
+        ..cloverleaf2d::Config::default()
+    };
+    let specs = cloverleaf2d::loop_specs();
+    let ((), obs) = with_recording(|| {
+        let mut sim = cloverleaf2d::Clover2::new(cfg);
+        let mut p = Profile::new();
+        for _ in 0..2 {
+            sim.cycle(&mut p, None);
+        }
+        sim.field_summary(&mut p);
+    });
+    AppReport {
+        app: "cloverleaf2d".into(),
+        loops_checked: obs.len(),
+        violations: check_structured("cloverleaf2d", &specs, &obs),
+    }
+}
+
+fn acoustic_local() -> AppReport {
+    let cfg = acoustic::Config {
+        n: 16,
+        iterations: 2,
+        mode: ExecMode::Serial,
+        ..acoustic::Config::default()
+    };
+    let specs = acoustic::loop_specs();
+    let ((), obs) = with_recording(|| {
+        let mut sim = acoustic::Acoustic::new(cfg);
+        let mut p = Profile::new();
+        for _ in 0..2 {
+            sim.step_once(&mut p);
+        }
+        sim.energy(&mut p);
+    });
+    AppReport {
+        app: "acoustic".into(),
+        loops_checked: obs.len(),
+        violations: check_structured("acoustic", &specs, &obs),
+    }
+}
+
+/// Distributed acoustic run: per-rank checked execution plus the
+/// halo-exchange depth audit against the recorded exchange trace.
+fn acoustic_distributed() -> AppReport {
+    let cfg = acoustic::Config {
+        n: 16,
+        iterations: 3,
+        mode: ExecMode::Serial,
+        ..acoustic::Config::default()
+    };
+    let specs = acoustic::loop_specs();
+    let out = Universe::run(4, move |c| {
+        c.enable_exchange_trace();
+        let (_run, obs) = with_recording(|| acoustic::Acoustic::run_distributed(c, cfg.clone()));
+        (obs, c.exchange_trace().to_vec())
+    });
+    // Every rank records the same loop shapes; rank 0 is representative.
+    let (obs, trace) = &out.results[0];
+    let mut violations = check_structured("acoustic_dist", &specs, obs);
+    violations.extend(check_halo_depth("acoustic_dist", &specs, obs, trace));
+    AppReport {
+        app: "acoustic_dist".into(),
+        loops_checked: obs.len(),
+        violations,
+    }
+}
+
+fn miniweather_app() -> AppReport {
+    let cfg = miniweather::Config {
+        nx: 24,
+        nz: 12,
+        mode: ExecMode::Serial,
+        ..miniweather::Config::default()
+    };
+    let specs = miniweather::loop_specs();
+    let ((), obs) = with_recording(|| {
+        let mut sim = miniweather::MiniWeather::new(cfg);
+        let mut p = Profile::new();
+        for _ in 0..2 {
+            sim.step(&mut p);
+        }
+        sim.totals(&mut p);
+    });
+    AppReport {
+        app: "miniweather".into(),
+        loops_checked: obs.len(),
+        violations: check_structured("miniweather", &specs, &obs),
+    }
+}
+
+fn mgcfd_app() -> AppReport {
+    let cfg = mgcfd::Config {
+        n: 17,
+        levels: 2,
+        cycles: 1,
+        smooth_steps: 1,
+        mode: ExecModeU::Serial,
+        seed: 7,
+    };
+    let specs = mgcfd::loop_specs();
+    let ((), obs) = with_recording_u(|| {
+        let mut sim = mgcfd::MgCfd::new(cfg);
+        sim.perturb(0.01);
+        let mut p = Profile::new();
+        sim.v_cycle(&mut p);
+    });
+    AppReport {
+        app: "mgcfd".into(),
+        loops_checked: obs.len(),
+        violations: check_unstructured("mgcfd", &specs, &obs),
+    }
+}
+
+fn volna_app() -> AppReport {
+    let cfg = volna::Config {
+        n: 12,
+        iterations: 2,
+        mode: ExecModeU::Serial,
+        ..volna::Config::default()
+    };
+    let specs = volna::loop_specs();
+    let ((), obs) = with_recording_u(|| {
+        let mut sim = volna::Volna::new(cfg);
+        let mut p = Profile::new();
+        for _ in 0..2 {
+            sim.step(&mut p);
+        }
+    });
+    AppReport {
+        app: "volna".into(),
+        loops_checked: obs.len(),
+        violations: check_unstructured("volna", &specs, &obs),
+    }
+}
+
+/// Two-stage blur chain: the tiled-chain demo whose plan the schedule
+/// validator proves (declared reach vs. observed reach, no in-place loops).
+fn blur_chain() -> AppReport {
+    let n: usize = 32;
+    let range = Range2::new(0, n as isize, 0, n as isize);
+    let mut chain = LoopChain2::<f64>::new(ExecMode::Serial);
+    // Store: 0 = src, 1 = tmp, 2 = dst.
+    chain.add(
+        "blur_a",
+        range,
+        1,
+        4.0,
+        vec![1],
+        vec![0],
+        |_i, _j, out, ins| {
+            let v = 0.5 * ins.get(0, 0, 0) + 0.25 * (ins.get(0, 0, -1) + ins.get(0, 0, 1));
+            out.set(0, v);
+        },
+    );
+    chain.add(
+        "blur_b",
+        range,
+        1,
+        4.0,
+        vec![2],
+        vec![1],
+        |_i, _j, out, ins| {
+            let v = 0.5 * ins.get(0, 0, 0) + 0.25 * (ins.get(0, -1, 0) + ins.get(0, 1, 0));
+            out.set(0, v);
+        },
+    );
+    let specs = vec![
+        LoopSpec::new(
+            "blur_a",
+            vec![ArgSpec::write("tmp")],
+            vec![ArgSpec::read("src", Stencil::plus2(1))],
+        ),
+        LoopSpec::new(
+            "blur_b",
+            vec![ArgSpec::write("dst")],
+            vec![ArgSpec::read("tmp", Stencil::plus2(1))],
+        ),
+    ];
+    let mut store = vec![
+        Dat2::<f64>::new("src", n, n, 1),
+        Dat2::<f64>::new("tmp", n, n, 1),
+        Dat2::<f64>::new("dst", n, n, 1),
+    ];
+    store[0].fill_interior(1.0);
+    let ((), obs) = with_recording(|| {
+        let mut p = Profile::new();
+        chain.execute_tiled(&mut store, &mut p, 8);
+    });
+    let mut violations = check_structured("blur_chain", &specs, &obs);
+    violations.extend(check_chain_plan("blur_chain", &chain.plan(), &obs));
+    AppReport {
+        app: "blur_chain".into(),
+        loops_checked: obs.len(),
+        violations,
+    }
+}
+
+/// Record and analyze every registered app and chain.
+pub fn check_all() -> Vec<AppReport> {
+    vec![
+        clover2(),
+        acoustic_local(),
+        acoustic_distributed(),
+        miniweather_app(),
+        mgcfd_app(),
+        volna_app(),
+        blur_chain(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_registered_apps_are_clean() {
+        for report in check_all() {
+            assert!(report.loops_checked > 0, "{}: nothing recorded", report.app);
+            assert!(report.clean(), "{}: {:?}", report.app, report.violations);
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! The violation vocabulary shared by all three analyzers, with a
+//! hand-rolled JSON rendering (the workspace has no JSON serializer and the
+//! report schema is three flat fields).
+
+use std::fmt;
+
+/// One confirmed contract violation, attributed to an app (or chain).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    pub app: String,
+    pub kind: Kind,
+}
+
+/// What went wrong. Each variant corresponds to one rule of one analyzer;
+/// the field names mirror the quantities the rule compares.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Kind {
+    /// A recorded loop has no declared contract of matching arity.
+    UndeclaredLoop {
+        loop_name: String,
+        outs: usize,
+        ins: usize,
+    },
+    /// A kernel read an input at an offset outside its declared stencil.
+    UndeclaredOffset {
+        loop_name: String,
+        arg: String,
+        offset: (isize, isize, isize),
+    },
+    /// An output was accessed in a way its declared mode does not allow.
+    AccessModeViolation {
+        loop_name: String,
+        arg: String,
+        declared: String,
+        observed: String,
+    },
+    /// A declared input stencil reaches beyond the dataset's halo ring.
+    StencilExceedsHalo {
+        loop_name: String,
+        arg: String,
+        radius: isize,
+        halo: isize,
+    },
+    /// A chained loop's declared skew reach is smaller than the reach its
+    /// kernel actually reads — tiled execution would read stale rows.
+    InsufficientSkewReach {
+        loop_name: String,
+        declared_reach: isize,
+        inferred_reach: isize,
+    },
+    /// A chained loop both reads and writes the same field — skewed tiling
+    /// cannot order an in-place stencil.
+    InPlaceStencil { loop_name: String, field: String },
+    /// A decomposed dat was exchanged at a depth smaller than the stencil
+    /// radius some loop reads it with.
+    HaloDepthTooShallow {
+        dat: String,
+        exchanged_depth: usize,
+        required_radius: isize,
+    },
+    /// Two same-color elements write the same indirect target — the colored
+    /// schedule would race.
+    SameColorConflict {
+        loop_name: String,
+        dat: String,
+        target: usize,
+        color: u32,
+        src_a: usize,
+        src_b: usize,
+    },
+    /// Two elements overwrite (not increment) the same indirect target —
+    /// the result depends on execution order even across colors.
+    IndirectWriteOverlap {
+        loop_name: String,
+        dat: String,
+        target: usize,
+        src_a: usize,
+        src_b: usize,
+    },
+    /// A loop declared direct touched an element other than its own.
+    DirectWriteNotOwn {
+        loop_name: String,
+        dat: String,
+        src: usize,
+        target: usize,
+    },
+}
+
+impl Kind {
+    /// Short machine-readable tag (stable across message wording changes).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Kind::UndeclaredLoop { .. } => "undeclared_loop",
+            Kind::UndeclaredOffset { .. } => "undeclared_offset",
+            Kind::AccessModeViolation { .. } => "access_mode_violation",
+            Kind::StencilExceedsHalo { .. } => "stencil_exceeds_halo",
+            Kind::InsufficientSkewReach { .. } => "insufficient_skew_reach",
+            Kind::InPlaceStencil { .. } => "in_place_stencil",
+            Kind::HaloDepthTooShallow { .. } => "halo_depth_too_shallow",
+            Kind::SameColorConflict { .. } => "same_color_conflict",
+            Kind::IndirectWriteOverlap { .. } => "indirect_write_overlap",
+            Kind::DirectWriteNotOwn { .. } => "direct_write_not_own",
+        }
+    }
+}
+
+impl fmt::Display for Kind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Kind::UndeclaredLoop {
+                loop_name,
+                outs,
+                ins,
+            } => write!(
+                f,
+                "loop '{loop_name}' ({outs} outs, {ins} ins) has no declared contract"
+            ),
+            Kind::UndeclaredOffset {
+                loop_name,
+                arg,
+                offset: (di, dj, dk),
+            } => write!(
+                f,
+                "loop '{loop_name}' reads input '{arg}' at undeclared offset ({di},{dj},{dk})"
+            ),
+            Kind::AccessModeViolation {
+                loop_name,
+                arg,
+                declared,
+                observed,
+            } => write!(
+                f,
+                "loop '{loop_name}' output '{arg}' declared {declared} but observed {observed}"
+            ),
+            Kind::StencilExceedsHalo {
+                loop_name,
+                arg,
+                radius,
+                halo,
+            } => write!(
+                f,
+                "loop '{loop_name}' input '{arg}' declares stencil radius {radius} \
+                 but the dataset's halo is {halo}"
+            ),
+            Kind::InsufficientSkewReach {
+                loop_name,
+                declared_reach,
+                inferred_reach,
+            } => write!(
+                f,
+                "chained loop '{loop_name}' declares skew reach {declared_reach} \
+                 but its kernel reads reach {inferred_reach}"
+            ),
+            Kind::InPlaceStencil { loop_name, field } => write!(
+                f,
+                "chained loop '{loop_name}' reads and writes field '{field}' in place"
+            ),
+            Kind::HaloDepthTooShallow {
+                dat,
+                exchanged_depth,
+                required_radius,
+            } => write!(
+                f,
+                "dat '{dat}' exchanged at depth {exchanged_depth} \
+                 but read with stencil radius {required_radius}"
+            ),
+            Kind::SameColorConflict {
+                loop_name,
+                dat,
+                target,
+                color,
+                src_a,
+                src_b,
+            } => write!(
+                f,
+                "loop '{loop_name}': elements {src_a} and {src_b} share color {color} \
+                 and both write '{dat}'[{target}]"
+            ),
+            Kind::IndirectWriteOverlap {
+                loop_name,
+                dat,
+                target,
+                src_a,
+                src_b,
+            } => write!(
+                f,
+                "loop '{loop_name}': elements {src_a} and {src_b} both overwrite \
+                 '{dat}'[{target}] indirectly (order-dependent)"
+            ),
+            Kind::DirectWriteNotOwn {
+                loop_name,
+                dat,
+                src,
+                target,
+            } => write!(
+                f,
+                "direct loop '{loop_name}': element {src} accesses '{dat}'[{target}] \
+                 instead of its own entry"
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.kind.tag(), self.app, self.kind)
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Violation {
+    /// One JSON object: `{"app": ..., "kind": ..., "message": ...}`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"app\":\"{}\",\"kind\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&self.app),
+            self.kind.tag(),
+            json_escape(&self.kind.to_string())
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_rendering_escapes_and_tags() {
+        let v = Violation {
+            app: "demo".into(),
+            kind: Kind::UndeclaredOffset {
+                loop_name: "k\"1".into(),
+                arg: "u".into(),
+                offset: (0, -3, 0),
+            },
+        };
+        let j = v.to_json();
+        assert!(j.starts_with("{\"app\":\"demo\",\"kind\":\"undeclared_offset\""));
+        assert!(j.contains("k\\\"1"));
+        assert!(v.to_string().contains("(0,-3,0)"));
+    }
+}

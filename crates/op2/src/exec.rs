@@ -11,6 +11,7 @@
 //!   buffers, and the extra staged bytes are recorded so the performance
 //!   model can price the pack/unpack overhead the paper describes in §6.
 
+use crate::access::{self, UKind, UScheduleObs};
 use crate::color::{BlockColoring, Coloring};
 use crate::set::DatU;
 use bwb_ops::Profile;
@@ -40,7 +41,13 @@ struct WViewU<T> {
     len: usize,
 }
 
+// SAFETY: the view is a raw base + extent over a `DatU` exclusively borrowed
+// by the driver for the loop's duration; sending it to worker threads moves
+// only the pointer, and the coloring / own-element contracts (type docs)
+// keep concurrent element writes disjoint.
 unsafe impl<T: Send> Send for WViewU<T> {}
+// SAFETY: shared references only expose `write`/`read`, whose target
+// disjointness across threads is guaranteed by the same driver contracts.
 unsafe impl<T: Send> Sync for WViewU<T> {}
 
 impl<T: Copy> WViewU<T> {
@@ -80,12 +87,18 @@ impl<T: Copy> UOut<'_, T> {
     /// Overwrite component `c` of element `e` of output dataset `f`.
     #[inline]
     pub fn set(&self, f: usize, e: usize, c: usize, v: T) {
+        if access::recording_active_u() {
+            access::note_access(f, e, UKind::Set);
+        }
         self.views[f].write(e, c, v);
     }
 
     /// Read back (for read-modify-write of owned targets).
     #[inline]
     pub fn get(&self, f: usize, e: usize, c: usize) -> T {
+        if access::recording_active_u() {
+            access::note_access(f, e, UKind::Get);
+        }
         self.views[f].read(e, c)
     }
 }
@@ -94,16 +107,22 @@ impl UOut<'_, f64> {
     /// Increment — the canonical OP2 indirect access (`OP_INC`).
     #[inline]
     pub fn add(&self, f: usize, e: usize, c: usize, v: f64) {
-        let cur = self.get(f, e, c);
-        self.set(f, e, c, cur + v);
+        if access::recording_active_u() {
+            access::note_access(f, e, UKind::Inc);
+        }
+        let cur = self.views[f].read(e, c);
+        self.views[f].write(e, c, cur + v);
     }
 }
 
 impl UOut<'_, f32> {
     #[inline]
     pub fn add32(&self, f: usize, e: usize, c: usize, v: f32) {
-        let cur = self.get(f, e, c);
-        self.set(f, e, c, cur + v);
+        if access::recording_active_u() {
+            access::note_access(f, e, UKind::Inc);
+        }
+        let cur = self.views[f].read(e, c);
+        self.views[f].write(e, c, cur + v);
     }
 }
 
@@ -132,6 +151,16 @@ pub fn par_loop_direct<T, F>(
     T: Copy + Send + Sync,
     F: Fn(usize, &UOut<T>) + Sync,
 {
+    let recording = access::recording_active_u();
+    let mode = if recording { ExecModeU::Serial } else { mode };
+    if recording {
+        access::begin_uloop(
+            name,
+            set_size,
+            outs.iter().map(|d| d.name.clone()).collect(),
+            UScheduleObs::Direct,
+        );
+    }
     let views = uviews(outs);
     let body = |e: usize| {
         let out = UOut { views: &views };
@@ -139,10 +168,20 @@ pub fn par_loop_direct<T, F>(
     };
     let t0 = Instant::now();
     match mode {
-        ExecModeU::Serial => (0..set_size).for_each(body),
+        ExecModeU::Serial => {
+            for e in 0..set_size {
+                if recording {
+                    access::set_current(e);
+                }
+                body(e);
+            }
+        }
         ExecModeU::Colored => (0..set_size).into_par_iter().for_each(body),
     }
     let seconds = t0.elapsed().as_secs_f64();
+    if recording {
+        access::end_uloop();
+    }
     profile.record(
         name,
         set_size,
@@ -170,6 +209,19 @@ pub fn par_loop_colored<T, F>(
     F: Fn(usize, &UOut<T>) + Sync,
 {
     let set_size = coloring.colors.len();
+    let recording = access::recording_active_u();
+    let mode = if recording { ExecModeU::Serial } else { mode };
+    if recording {
+        access::begin_uloop(
+            name,
+            set_size,
+            outs.iter().map(|d| d.name.clone()).collect(),
+            UScheduleObs::Colored {
+                colors: coloring.colors.clone(),
+                n_colors: coloring.n_colors,
+            },
+        );
+    }
     let views = uviews(outs);
     let t0 = Instant::now();
     match mode {
@@ -177,6 +229,9 @@ pub fn par_loop_colored<T, F>(
             // Sequential: element order, ignoring colors (no races possible).
             let out = UOut { views: &views };
             for e in 0..set_size {
+                if recording {
+                    access::set_current(e);
+                }
                 kernel(e, &out);
             }
         }
@@ -190,6 +245,9 @@ pub fn par_loop_colored<T, F>(
         }
     }
     let seconds = t0.elapsed().as_secs_f64();
+    if recording {
+        access::end_uloop();
+    }
     profile.record(
         name,
         set_size,
@@ -222,12 +280,33 @@ pub fn par_loop_block_colored<T, F>(
     F: Fn(usize, &UOut<T>) + Sync,
 {
     let set_size = coloring.set_size;
+    let recording = access::recording_active_u();
+    let mode = if recording { ExecModeU::Serial } else { mode };
+    if recording {
+        // Expand block colors to per-element colors so analyzers see one
+        // uniform schedule shape.
+        let colors: Vec<u32> = (0..set_size)
+            .map(|e| coloring.block_colors[e / coloring.block_size])
+            .collect();
+        access::begin_uloop(
+            name,
+            set_size,
+            outs.iter().map(|d| d.name.clone()).collect(),
+            UScheduleObs::Colored {
+                colors,
+                n_colors: coloring.n_colors,
+            },
+        );
+    }
     let views = uviews(outs);
     let t0 = Instant::now();
     match mode {
         ExecModeU::Serial => {
             let out = UOut { views: &views };
             for e in 0..set_size {
+                if recording {
+                    access::set_current(e);
+                }
                 kernel(e, &out);
             }
         }
@@ -243,6 +322,9 @@ pub fn par_loop_block_colored<T, F>(
         }
     }
     let seconds = t0.elapsed().as_secs_f64();
+    if recording {
+        access::end_uloop();
+    }
     profile.record(
         name,
         set_size,
@@ -295,6 +377,9 @@ impl<T: Copy> UStage<'_, T> {
     /// Stage an overwrite of component `c` of element `e` of dataset `f`.
     #[inline]
     pub fn set(&self, f: usize, e: usize, c: usize, v: T) {
+        if access::recording_active_u() {
+            access::note_access(f, e, UKind::Set);
+        }
         self.staged.borrow_mut().push(StagedWrite {
             f: f as u32,
             e: e as u32,
@@ -307,6 +392,9 @@ impl<T: Copy> UStage<'_, T> {
     /// Stage an increment — the canonical OP2 indirect access (`OP_INC`).
     #[inline]
     pub fn add(&self, f: usize, e: usize, c: usize, v: T) {
+        if access::recording_active_u() {
+            access::note_access(f, e, UKind::Inc);
+        }
         self.staged.borrow_mut().push(StagedWrite {
             f: f as u32,
             e: e as u32,
@@ -319,6 +407,9 @@ impl<T: Copy> UStage<'_, T> {
     /// Read the pre-batch value (staged writes of this batch are invisible).
     #[inline]
     pub fn get(&self, f: usize, e: usize, c: usize) -> T {
+        if access::recording_active_u() {
+            access::note_access(f, e, UKind::Get);
+        }
         self.views[f].read(e, c)
     }
 }
@@ -349,6 +440,15 @@ pub fn par_loop_gather<T, F>(
     F: Fn(usize, &UStage<T>),
 {
     assert!(lanes >= 1);
+    let recording = access::recording_active_u();
+    if recording {
+        access::begin_uloop(
+            name,
+            set_size,
+            outs.iter().map(|d| d.name.clone()).collect(),
+            UScheduleObs::Gather,
+        );
+    }
     let views = uviews(outs);
     let staged = std::cell::RefCell::new(std::mem::take(&mut scratch.staged));
     let t0 = Instant::now();
@@ -363,6 +463,9 @@ pub fn par_loop_gather<T, F>(
                 staged: &staged,
             };
             for ee in e..hi {
+                if recording {
+                    access::set_current(ee);
+                }
                 kernel(ee, &out);
             }
         }
@@ -380,6 +483,9 @@ pub fn par_loop_gather<T, F>(
         e = hi;
     }
     let seconds = t0.elapsed().as_secs_f64();
+    if recording {
+        access::end_uloop();
+    }
     scratch.staged = staged.into_inner();
     profile.record(
         name,

@@ -21,12 +21,17 @@
 //!
 //! [Reguly 2012]: https://doi.org/10.1109/InPar.2012.6339594
 
+pub mod access;
 pub mod color;
 pub mod exec;
 pub mod halo_exchange;
 pub mod partition;
 pub mod set;
 
+pub use access::{
+    recording_active_u, with_recording_u, UAccessObs, UArgSpec, UKind, ULoopObs, ULoopSpec,
+    UScheduleObs,
+};
 pub use color::{BlockColoring, Coloring};
 pub use exec::{
     par_loop_block_colored, par_loop_colored, par_loop_direct, par_loop_gather, ExecModeU,

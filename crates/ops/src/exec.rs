@@ -13,6 +13,7 @@
 //! [`ExecMode::Rayon`] (the "OpenMP" backend, parallelizing across all grid
 //! points of the outer dimension).
 
+use crate::access::{self, OutKind};
 use crate::field::{Dat2, Dat3};
 use crate::profile::Profile;
 use rayon::prelude::*;
@@ -129,10 +130,25 @@ pub(crate) struct WView2<T> {
     len: usize,
 }
 
+// SAFETY: WView2 is a raw-pointer view over a `&mut Dat2` borrow held by the
+// driver for the loop's duration; threads write disjoint points (see the type
+// docs), so sending/sharing the view requires only `T: Send`.
 unsafe impl<T: Send> Send for WView2<T> {}
+// SAFETY: as above — concurrent `&WView2` use only performs disjoint writes
+// and current-point reads per the driver contract.
 unsafe impl<T: Send> Sync for WView2<T> {}
 
 impl<T: Copy> WView2<T> {
+    /// Is `(i, j)` inside the padded (halo-extended) allocation? Used by the
+    /// accessors' debug bounds checks to reject stencil offsets that would
+    /// silently wrap into a neighbouring row.
+    #[inline]
+    fn in_bounds(&self, i: isize, j: isize) -> bool {
+        let ii = i + self.halo;
+        let jj = j + self.halo;
+        ii >= 0 && (ii as usize) < self.pitch && jj >= 0 && (jj as usize) < self.len / self.pitch
+    }
+
     #[inline]
     fn index(&self, i: isize, j: isize) -> usize {
         let ii = i + self.halo;
@@ -176,10 +192,22 @@ pub(crate) struct RView2<'a, T> {
     _borrow: std::marker::PhantomData<&'a [T]>,
 }
 
+// SAFETY: RView2 is a read-only view; the underlying storage outlives `'a`
+// and no concurrent writer touches rows a loop reads (driver contract), so
+// it is as thread-safe as `&'a [T]`.
 unsafe impl<T: Sync> Send for RView2<'_, T> {}
+// SAFETY: as above — shared read-only access.
 unsafe impl<T: Sync> Sync for RView2<'_, T> {}
 
 impl<T: Copy> RView2<'_, T> {
+    /// See [`WView2::in_bounds`].
+    #[inline]
+    fn in_bounds(&self, i: isize, j: isize) -> bool {
+        let ii = i + self.halo;
+        let jj = j + self.halo;
+        ii >= 0 && (ii as usize) < self.pitch && jj >= 0 && (jj as usize) < self.len / self.pitch
+    }
+
     #[inline]
     fn read(&self, i: isize, j: isize) -> T {
         let ii = i + self.halo;
@@ -236,14 +264,15 @@ impl<T: Copy> FieldView2<T> {
 /// Kernel accessor for the *output* datasets at the current point.
 pub struct Out2<'a, T> {
     views: &'a [WView2<T>],
+    names: &'a [String],
     i: isize,
     j: isize,
 }
 
 impl<'a, T> Out2<'a, T> {
     #[inline]
-    pub(crate) fn at(views: &'a [WView2<T>], i: isize, j: isize) -> Self {
-        Out2 { views, i, j }
+    pub(crate) fn at(views: &'a [WView2<T>], names: &'a [String], i: isize, j: isize) -> Self {
+        Out2 { views, names, i, j }
     }
 }
 
@@ -251,12 +280,32 @@ impl<T: Copy> Out2<'_, T> {
     /// Write output dataset `f` at the current point.
     #[inline]
     pub fn set(&mut self, f: usize, v: T) {
+        debug_assert!(
+            self.views[f].in_bounds(self.i, self.j),
+            "output {f} ('{}'): write at point ({},{}) outside the padded extent",
+            self.names.get(f).map_or("?", |s| s.as_str()),
+            self.i,
+            self.j
+        );
+        if access::recording_active() {
+            access::note_out(f, OutKind::Wrote);
+        }
         self.views[f].write(self.i, self.j, v);
     }
 
     /// Read output dataset `f` at the current point (read-modify-write).
     #[inline]
     pub fn get(&self, f: usize) -> T {
+        debug_assert!(
+            self.views[f].in_bounds(self.i, self.j),
+            "output {f} ('{}'): read-back at point ({},{}) outside the padded extent",
+            self.names.get(f).map_or("?", |s| s.as_str()),
+            self.i,
+            self.j
+        );
+        if access::recording_active() {
+            access::note_out(f, OutKind::ReadBack);
+        }
         self.views[f].read(self.i, self.j)
     }
 }
@@ -265,22 +314,33 @@ impl Out2<'_, f64> {
     /// Accumulate into output dataset `f` at the current point.
     #[inline]
     pub fn add(&mut self, f: usize, v: f64) {
-        let cur = self.get(f);
-        self.set(f, cur + v);
+        debug_assert!(
+            self.views[f].in_bounds(self.i, self.j),
+            "output {f} ('{}'): increment at point ({},{}) outside the padded extent",
+            self.names.get(f).map_or("?", |s| s.as_str()),
+            self.i,
+            self.j
+        );
+        if access::recording_active() {
+            access::note_out(f, OutKind::Inced);
+        }
+        let cur = self.views[f].read(self.i, self.j);
+        self.views[f].write(self.i, self.j, cur + v);
     }
 }
 
 /// Kernel accessor for the *input* datasets: relative stencil reads.
 pub struct In2<'a, T> {
     views: &'a [RView2<'a, T>],
+    names: &'a [String],
     i: isize,
     j: isize,
 }
 
 impl<'a, T> In2<'a, T> {
     #[inline]
-    pub(crate) fn at(views: &'a [RView2<'a, T>], i: isize, j: isize) -> Self {
-        In2 { views, i, j }
+    pub(crate) fn at(views: &'a [RView2<'a, T>], names: &'a [String], i: isize, j: isize) -> Self {
+        In2 { views, names, i, j }
     }
 }
 
@@ -288,6 +348,16 @@ impl<T: Copy> In2<'_, T> {
     /// Read input dataset `f` at offset `(di, dj)` from the current point.
     #[inline]
     pub fn get(&self, f: usize, di: isize, dj: isize) -> T {
+        debug_assert!(
+            self.views[f].in_bounds(self.i + di, self.j + dj),
+            "input {f} ('{}'): stencil offset ({di},{dj}) at point ({},{}) outside the padded extent",
+            self.names.get(f).map_or("?", |s| s.as_str()),
+            self.i,
+            self.j
+        );
+        if access::recording_active() {
+            access::note_read(f, di, dj, 0);
+        }
         self.views[f].read(self.i + di, self.j + dj)
     }
 }
@@ -310,6 +380,9 @@ impl<T: Copy> RowOut2<'_, T> {
     /// The current row `[i0, i1)` of output dataset `f` as a mutable slice.
     #[inline]
     pub fn row(&mut self, f: usize) -> &mut [T] {
+        if access::recording_active() {
+            access::note_out(f, OutKind::Wrote);
+        }
         let v = &self.views[f];
         let base = v.index(self.i0, self.j);
         assert!(
@@ -328,6 +401,10 @@ impl<T: Copy> RowOut2<'_, T> {
     #[inline]
     pub fn rows2(&mut self, f0: usize, f1: usize) -> (&mut [T], &mut [T]) {
         assert_ne!(f0, f1, "rows2 requires two distinct output datasets");
+        if access::recording_active() {
+            access::note_out(f0, OutKind::Wrote);
+            access::note_out(f1, OutKind::Wrote);
+        }
         let (v0, v1) = (&self.views[f0], &self.views[f1]);
         debug_assert!(
             !std::ptr::eq(v0.ptr, v1.ptr),
@@ -353,6 +430,11 @@ impl<T: Copy> RowOut2<'_, T> {
             f0 != f1 && f0 != f2 && f1 != f2,
             "rows3 requires three distinct output datasets"
         );
+        if access::recording_active() {
+            access::note_out(f0, OutKind::Wrote);
+            access::note_out(f1, OutKind::Wrote);
+            access::note_out(f2, OutKind::Wrote);
+        }
         let (v0, v1, v2) = (&self.views[f0], &self.views[f1], &self.views[f2]);
         let b0 = v0.index(self.i0, self.j);
         let b1 = v1.index(self.i0, self.j);
@@ -391,6 +473,11 @@ impl<'a, T: Copy> RowIn2<'a, T> {
     /// the returned slice is the value at `(i0 + di + x, j + dj)`.
     #[inline]
     pub fn row_off(&self, f: usize, di: isize, dj: isize) -> &'a [T] {
+        // Element `x` of the returned slice sits at offset `(di, dj)` from
+        // point `(i0 + x, j)`, so one note covers the whole row exactly.
+        if access::recording_active() {
+            access::note_read(f, di, dj, 0);
+        }
         let v = &self.views[f];
         let ii = self.i0 + di + v.halo;
         let jj = self.j + dj + v.halo;
@@ -421,6 +508,22 @@ const CHUNK_POINTS: usize = 1 << 13;
 #[inline]
 fn chunk_rows(width: isize) -> usize {
     (CHUNK_POINTS / (width.max(1) as usize)).clamp(1, 512)
+}
+
+fn meta2<T: Copy>(d: &Dat2<T>) -> access::ArgMeta {
+    access::ArgMeta {
+        name: d.name().to_string(),
+        halo: d.halo() as isize,
+        extent: (d.nx(), d.ny(), 1),
+    }
+}
+
+fn out_names2<T: Copy>(outs: &[&mut Dat2<T>]) -> Vec<String> {
+    outs.iter().map(|d| d.name().to_string()).collect()
+}
+
+fn in_names2<T: Copy>(ins: &[&Dat2<T>]) -> Vec<String> {
+    ins.iter().map(|d| d.name().to_string()).collect()
 }
 
 fn wviews2<T: Copy>(outs: &mut [&mut Dat2<T>]) -> Vec<WView2<T>> {
@@ -474,17 +577,41 @@ pub fn par_loop2<T, F>(
     F: Fn(isize, isize, &mut Out2<T>, &In2<T>) + Sync,
 {
     let bytes_per_point = (outs.len() + ins.len()) * std::mem::size_of::<T>();
+    // Checked-execution mode: run serially and log every kernel access.
+    let recording = access::recording_active();
+    let mode = if recording { ExecMode::Serial } else { mode };
+    if recording {
+        access::begin_loop(
+            name,
+            2,
+            [range.i0, range.i1, range.j0, range.j1, 0, 1],
+            outs.iter().map(|d| meta2(d)).collect(),
+            ins.iter().map(|d| meta2(d)).collect(),
+        );
+    }
     // View construction and profile bookkeeping stay outside the timed
     // region: recorded seconds cover the loop body only.
     let seconds = if range.is_empty() {
         0.0
     } else {
+        let out_names = out_names2(outs);
+        let in_names = in_names2(ins);
         let w = wviews2(outs);
         let r = rviews2(ins);
         let body = |j: isize| {
             for i in range.i0..range.i1 {
-                let mut out = Out2 { views: &w, i, j };
-                let inp = In2 { views: &r, i, j };
+                let mut out = Out2 {
+                    views: &w,
+                    names: &out_names,
+                    i,
+                    j,
+                };
+                let inp = In2 {
+                    views: &r,
+                    names: &in_names,
+                    i,
+                    j,
+                };
                 kernel(i, j, &mut out, &inp);
             }
         };
@@ -498,6 +625,9 @@ pub fn par_loop2<T, F>(
         }
         t0.elapsed().as_secs_f64()
     };
+    if recording {
+        access::end_loop();
+    }
     profile.record(
         name,
         range.points(),
@@ -529,6 +659,17 @@ pub fn par_loop2_rows<T, F>(
     F: Fn(isize, &mut RowOut2<T>, &RowIn2<T>) + Sync,
 {
     let bytes_per_point = (outs.len() + ins.len()) * std::mem::size_of::<T>();
+    let recording = access::recording_active();
+    let mode = if recording { ExecMode::Serial } else { mode };
+    if recording {
+        access::begin_loop(
+            name,
+            2,
+            [range.i0, range.i1, range.j0, range.j1, 0, 1],
+            outs.iter().map(|d| meta2(d)).collect(),
+            ins.iter().map(|d| meta2(d)).collect(),
+        );
+    }
     let seconds = if range.is_empty() {
         0.0
     } else {
@@ -560,6 +701,9 @@ pub fn par_loop2_rows<T, F>(
         }
         t0.elapsed().as_secs_f64()
     };
+    if recording {
+        access::end_loop();
+    }
     profile.record(
         name,
         range.points(),
@@ -590,11 +734,28 @@ where
     C: Fn(R, R) -> R + Sync + Send,
 {
     let bytes_per_point = ins.len() * std::mem::size_of::<T>();
+    let recording = access::recording_active();
+    let mode = if recording { ExecMode::Serial } else { mode };
+    if recording {
+        access::begin_loop(
+            name,
+            2,
+            [range.i0, range.i1, range.j0, range.j1, 0, 1],
+            Vec::new(),
+            ins.iter().map(|d| meta2(d)).collect(),
+        );
+    }
+    let in_names = in_names2(ins);
     let r = rviews2(ins);
     let row = |j: isize| {
         let mut acc = identity.clone();
         for i in range.i0..range.i1 {
-            let inp = In2 { views: &r, i, j };
+            let inp = In2 {
+                views: &r,
+                names: &in_names,
+                i,
+                j,
+            };
             acc = combine(acc, kernel(i, j, &inp));
         }
         acc
@@ -619,6 +780,9 @@ where
         }
     };
     let seconds = t0.elapsed().as_secs_f64();
+    if recording {
+        access::end_loop();
+    }
     profile.record(
         name,
         range.points(),
@@ -643,10 +807,27 @@ struct WView3<T> {
     len: usize,
 }
 
+// SAFETY: same discipline as `WView2` — exclusive `&mut Dat3` borrow for the
+// loop's duration, disjoint writes across threads per the driver contract.
 unsafe impl<T: Send> Send for WView3<T> {}
+// SAFETY: as above.
 unsafe impl<T: Send> Sync for WView3<T> {}
 
 impl<T: Copy> WView3<T> {
+    /// Is `(i, j, k)` inside the padded allocation? See [`WView2::in_bounds`].
+    #[inline]
+    fn in_bounds(&self, i: isize, j: isize, k: isize) -> bool {
+        let ii = i + self.halo;
+        let jj = j + self.halo;
+        let kk = k + self.halo;
+        ii >= 0
+            && (ii as usize) < self.pitch
+            && jj >= 0
+            && (jj as usize) < self.slab / self.pitch
+            && kk >= 0
+            && (kk as usize) < self.len / self.slab
+    }
+
     #[inline]
     fn index(&self, i: isize, j: isize, k: isize) -> usize {
         let ii = i + self.halo;
@@ -685,6 +866,20 @@ struct RView3<'a, T> {
 }
 
 impl<T: Copy> RView3<'_, T> {
+    /// See [`WView3::in_bounds`].
+    #[inline]
+    fn in_bounds(&self, i: isize, j: isize, k: isize) -> bool {
+        let ii = i + self.halo;
+        let jj = j + self.halo;
+        let kk = k + self.halo;
+        ii >= 0
+            && (ii as usize) < self.pitch
+            && jj >= 0
+            && (jj as usize) < self.slab / self.pitch
+            && kk >= 0
+            && (kk as usize) < self.data.len() / self.slab
+    }
+
     #[inline]
     fn read(&self, i: isize, j: isize, k: isize) -> T {
         let ii = i + self.halo;
@@ -698,6 +893,7 @@ impl<T: Copy> RView3<'_, T> {
 /// Output accessor at the current 3-D point.
 pub struct Out3<'a, T> {
     views: &'a [WView3<T>],
+    names: &'a [String],
     i: isize,
     j: isize,
     k: isize,
@@ -706,11 +902,33 @@ pub struct Out3<'a, T> {
 impl<T: Copy> Out3<'_, T> {
     #[inline]
     pub fn set(&mut self, f: usize, v: T) {
+        debug_assert!(
+            self.views[f].in_bounds(self.i, self.j, self.k),
+            "output {f} ('{}'): write at point ({},{},{}) outside the padded extent",
+            self.names.get(f).map_or("?", |s| s.as_str()),
+            self.i,
+            self.j,
+            self.k
+        );
+        if access::recording_active() {
+            access::note_out(f, OutKind::Wrote);
+        }
         self.views[f].write(self.i, self.j, self.k, v);
     }
 
     #[inline]
     pub fn get(&self, f: usize) -> T {
+        debug_assert!(
+            self.views[f].in_bounds(self.i, self.j, self.k),
+            "output {f} ('{}'): read-back at point ({},{},{}) outside the padded extent",
+            self.names.get(f).map_or("?", |s| s.as_str()),
+            self.i,
+            self.j,
+            self.k
+        );
+        if access::recording_active() {
+            access::note_out(f, OutKind::ReadBack);
+        }
         self.views[f].read(self.i, self.j, self.k)
     }
 }
@@ -718,6 +936,7 @@ impl<T: Copy> Out3<'_, T> {
 /// Input accessor: relative 3-D stencil reads.
 pub struct In3<'a, T> {
     views: &'a [RView3<'a, T>],
+    names: &'a [String],
     i: isize,
     j: isize,
     k: isize,
@@ -726,6 +945,17 @@ pub struct In3<'a, T> {
 impl<T: Copy> In3<'_, T> {
     #[inline]
     pub fn get(&self, f: usize, di: isize, dj: isize, dk: isize) -> T {
+        debug_assert!(
+            self.views[f].in_bounds(self.i + di, self.j + dj, self.k + dk),
+            "input {f} ('{}'): stencil offset ({di},{dj},{dk}) at point ({},{},{}) outside the padded extent",
+            self.names.get(f).map_or("?", |s| s.as_str()),
+            self.i,
+            self.j,
+            self.k
+        );
+        if access::recording_active() {
+            access::note_read(f, di, dj, dk);
+        }
         self.views[f].read(self.i + di, self.j + dj, self.k + dk)
     }
 }
@@ -744,6 +974,9 @@ impl<T: Copy> RowOut3<'_, T> {
     /// The current `[i0, i1)` row of output dataset `f`.
     #[inline]
     pub fn row(&mut self, f: usize) -> &mut [T] {
+        if access::recording_active() {
+            access::note_out(f, OutKind::Wrote);
+        }
         let v = &self.views[f];
         let base = v.index(self.i0, self.j, self.k);
         assert!(
@@ -762,6 +995,10 @@ impl<T: Copy> RowOut3<'_, T> {
     #[inline]
     pub fn rows2(&mut self, f0: usize, f1: usize) -> (&mut [T], &mut [T]) {
         assert_ne!(f0, f1, "rows2 requires two distinct output datasets");
+        if access::recording_active() {
+            access::note_out(f0, OutKind::Wrote);
+            access::note_out(f1, OutKind::Wrote);
+        }
         let (v0, v1) = (&self.views[f0], &self.views[f1]);
         debug_assert!(
             !std::ptr::eq(v0.ptr, v1.ptr),
@@ -786,6 +1023,11 @@ impl<T: Copy> RowOut3<'_, T> {
             f0 != f1 && f0 != f2 && f1 != f2,
             "rows3 requires three distinct output datasets"
         );
+        if access::recording_active() {
+            access::note_out(f0, OutKind::Wrote);
+            access::note_out(f1, OutKind::Wrote);
+            access::note_out(f2, OutKind::Wrote);
+        }
         let (v0, v1, v2) = (&self.views[f0], &self.views[f1], &self.views[f2]);
         let b0 = v0.index(self.i0, self.j, self.k);
         let b1 = v1.index(self.i0, self.j, self.k);
@@ -824,6 +1066,10 @@ impl<'a, T: Copy> RowIn3<'a, T> {
     /// element `x` is the value at `(i0 + di + x, j + dj, k + dk)`.
     #[inline]
     pub fn row_off(&self, f: usize, di: isize, dj: isize, dk: isize) -> &'a [T] {
+        // One note covers the whole row (see `RowIn2::row_off`).
+        if access::recording_active() {
+            access::note_read(f, di, dj, dk);
+        }
         let v = &self.views[f];
         let ii = self.i0 + di + v.halo;
         let jj = self.j + dj + v.halo;
@@ -832,6 +1078,22 @@ impl<'a, T: Copy> RowIn3<'a, T> {
         let base = kk as usize * v.slab + jj as usize * v.pitch + ii as usize;
         &v.data[base..base + self.width]
     }
+}
+
+fn meta3<T: Copy>(d: &Dat3<T>) -> access::ArgMeta {
+    access::ArgMeta {
+        name: d.name().to_string(),
+        halo: d.halo() as isize,
+        extent: (d.nx(), d.ny(), d.nz()),
+    }
+}
+
+fn out_names3<T: Copy>(outs: &[&mut Dat3<T>]) -> Vec<String> {
+    outs.iter().map(|d| d.name().to_string()).collect()
+}
+
+fn in_names3<T: Copy>(ins: &[&Dat3<T>]) -> Vec<String> {
+    ins.iter().map(|d| d.name().to_string()).collect()
 }
 
 fn wviews3<T: Copy>(outs: &mut [&mut Dat3<T>]) -> Vec<WView3<T>> {
@@ -884,16 +1146,41 @@ pub fn par_loop3<T, F>(
     F: Fn(isize, isize, isize, &mut Out3<T>, &In3<T>) + Sync,
 {
     let bytes_per_point = (outs.len() + ins.len()) * std::mem::size_of::<T>();
+    let recording = access::recording_active();
+    let mode = if recording { ExecMode::Serial } else { mode };
+    if recording {
+        access::begin_loop(
+            name,
+            3,
+            [range.i0, range.i1, range.j0, range.j1, range.k0, range.k1],
+            outs.iter().map(|d| meta3(d)).collect(),
+            ins.iter().map(|d| meta3(d)).collect(),
+        );
+    }
     let seconds = if range.is_empty() {
         0.0
     } else {
+        let out_names = out_names3(outs);
+        let in_names = in_names3(ins);
         let w = wviews3(outs);
         let r = rviews3(ins);
         let plane = |k: isize| {
             for j in range.j0..range.j1 {
                 for i in range.i0..range.i1 {
-                    let mut out = Out3 { views: &w, i, j, k };
-                    let inp = In3 { views: &r, i, j, k };
+                    let mut out = Out3 {
+                        views: &w,
+                        names: &out_names,
+                        i,
+                        j,
+                        k,
+                    };
+                    let inp = In3 {
+                        views: &r,
+                        names: &in_names,
+                        i,
+                        j,
+                        k,
+                    };
                     kernel(i, j, k, &mut out, &inp);
                 }
             }
@@ -908,6 +1195,9 @@ pub fn par_loop3<T, F>(
         }
         t0.elapsed().as_secs_f64()
     };
+    if recording {
+        access::end_loop();
+    }
     profile.record(
         name,
         range.points(),
@@ -938,6 +1228,17 @@ pub fn par_loop3_planes<T, F>(
 {
     let bytes_per_point = (outs.len() + ins.len()) * std::mem::size_of::<T>();
     let width = (range.i1 - range.i0).max(0) as usize;
+    let recording = access::recording_active();
+    let mode = if recording { ExecMode::Serial } else { mode };
+    if recording {
+        access::begin_loop(
+            name,
+            3,
+            [range.i0, range.i1, range.j0, range.j1, range.k0, range.k1],
+            outs.iter().map(|d| meta3(d)).collect(),
+            ins.iter().map(|d| meta3(d)).collect(),
+        );
+    }
     let seconds = if range.is_empty() {
         0.0
     } else {
@@ -972,6 +1273,9 @@ pub fn par_loop3_planes<T, F>(
         }
         t0.elapsed().as_secs_f64()
     };
+    if recording {
+        access::end_loop();
+    }
     profile.record(
         name,
         range.points(),
@@ -1001,12 +1305,30 @@ where
     C: Fn(R, R) -> R + Sync + Send,
 {
     let bytes_per_point = ins.len() * std::mem::size_of::<T>();
+    let recording = access::recording_active();
+    let mode = if recording { ExecMode::Serial } else { mode };
+    if recording {
+        access::begin_loop(
+            name,
+            3,
+            [range.i0, range.i1, range.j0, range.j1, range.k0, range.k1],
+            Vec::new(),
+            ins.iter().map(|d| meta3(d)).collect(),
+        );
+    }
+    let in_names = in_names3(ins);
     let r = rviews3(ins);
     let plane = |k: isize| {
         let mut acc = identity.clone();
         for j in range.j0..range.j1 {
             for i in range.i0..range.i1 {
-                let inp = In3 { views: &r, i, j, k };
+                let inp = In3 {
+                    views: &r,
+                    names: &in_names,
+                    i,
+                    j,
+                    k,
+                };
                 acc = combine(acc, kernel(i, j, k, &inp));
             }
         }
@@ -1032,6 +1354,9 @@ where
         }
     };
     let seconds = t0.elapsed().as_secs_f64();
+    if recording {
+        access::end_loop();
+    }
     profile.record(
         name,
         range.points(),

@@ -96,6 +96,7 @@ impl DistBlock2 {
         dat: &mut Dat2<T>,
         depth: usize,
     ) {
+        comm.note_exchange(dat.name(), depth);
         self.exchange_halo_dim(comm, dat, depth, 0);
         self.exchange_halo_dim(comm, dat, depth, 1);
     }
@@ -189,6 +190,7 @@ impl DistBlock2 {
         assert!(depth <= dat.halo());
         assert_eq!(dat.nx(), self.nx() + 1, "node field extent");
         assert_eq!(dat.ny(), self.ny() + 1, "node field extent");
+        comm.note_exchange(dat.name(), depth);
         if depth == 0 {
             return;
         }
@@ -422,6 +424,7 @@ impl DistBlock3 {
         dat: &mut Dat3<T>,
         depth: usize,
     ) {
+        comm.note_exchange(dat.name(), depth);
         assert!(depth <= dat.halo());
         if depth == 0 {
             return;

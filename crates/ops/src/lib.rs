@@ -52,12 +52,16 @@
 //! [Reguly et al. 2014]: https://doi.org/10.1109/WOLFHPC.2014.7
 //! [Reguly et al. 2017]: https://doi.org/10.1109/TPDS.2017.2778161
 
+pub mod access;
 pub mod exec;
 pub mod field;
 pub mod halo;
 pub mod profile;
 pub mod tiling;
 
+pub use access::{
+    recording_active, with_recording, Access, ArgObs, ArgSpec, LoopObs, LoopSpec, Stencil,
+};
 pub use exec::{
     par_loop2, par_loop2_reduce, par_loop2_rows, par_loop3, par_loop3_planes, par_loop3_reduce,
     ExecMode, In2, In3, Out2, Out3, Range2, Range3, RowIn2, RowIn3, RowOut2, RowOut3,
@@ -65,4 +69,4 @@ pub use exec::{
 pub use field::{Dat2, Dat3};
 pub use halo::{DistBlock2, DistBlock3};
 pub use profile::{LoopRecord, Profile};
-pub use tiling::{ChainLoop2, LoopChain2};
+pub use tiling::{ChainLoop2, ChainPlan, LoopChain2, PlannedLoop};

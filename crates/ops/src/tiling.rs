@@ -46,6 +46,34 @@ pub struct LoopChain2<T> {
     loops: Vec<ChainLoop2<T>>,
 }
 
+/// Static (kernel-free) description of one chain loop — what the tiling
+/// planner knows about it before execution.
+#[derive(Debug, Clone)]
+pub struct PlannedLoop {
+    pub name: String,
+    pub range: Range2,
+    /// Declared stencil reach: the skew the tiled schedule budgets for.
+    pub reach: isize,
+    /// Field-store indices written at the current point.
+    pub outs: Vec<usize>,
+    /// Field-store indices read at offsets within `reach`.
+    pub ins: Vec<usize>,
+}
+
+/// The schedule-relevant structure of a [`LoopChain2`] as plain data, for
+/// plan-time validation (`bwb-dslcheck`) without executing any kernel.
+#[derive(Debug, Clone, Default)]
+pub struct ChainPlan {
+    pub loops: Vec<PlannedLoop>,
+}
+
+impl ChainPlan {
+    /// Total skew budget: the sum of declared reaches.
+    pub fn total_reach(&self) -> isize {
+        self.loops.iter().map(|l| l.reach).sum()
+    }
+}
+
 impl<T: Copy + Default + Send + Sync + 'static> LoopChain2<T> {
     pub fn new(mode: ExecMode) -> Self {
         LoopChain2 {
@@ -91,6 +119,23 @@ impl<T: Copy + Default + Send + Sync + 'static> LoopChain2<T> {
             ins,
             kernel: Box::new(kernel),
         });
+    }
+
+    /// Extract the chain's schedule as data for plan-time validation.
+    pub fn plan(&self) -> ChainPlan {
+        ChainPlan {
+            loops: self
+                .loops
+                .iter()
+                .map(|l| PlannedLoop {
+                    name: l.name.clone(),
+                    range: l.range,
+                    reach: l.reach,
+                    outs: l.outs.clone(),
+                    ins: l.ins.clone(),
+                })
+                .collect(),
+        }
     }
 
     fn run_one(
@@ -194,7 +239,11 @@ impl<T: Copy + Default + Send + Sync + 'static> LoopChain2<T> {
         }
         let tiles = self.tile_bands(tile_height);
         let total_reach: isize = self.loops.iter().map(|l| l.reach).sum();
+        // Checked-execution recording must flow through `par_loop2` (the
+        // serial tiled path), so the phased-parallel path is skipped while a
+        // recording session is active.
         if self.mode == ExecMode::Rayon
+            && !crate::access::recording_active()
             && tiles.len() > 1
             && tile_height as isize >= 2 * total_reach
         {
@@ -239,6 +288,7 @@ impl<T: Copy + Default + Send + Sync + 'static> LoopChain2<T> {
         let n_loops = self.loops.len();
         // Hoist view construction out of the tile × loop hot path: one raw
         // base per field, one write/read view vector per loop.
+        let store_names: Vec<String> = store.iter().map(|d| d.name().to_string()).collect();
         let fields: Vec<FieldView2<T>> = store.iter_mut().map(FieldView2::capture).collect();
         let views: Vec<_> = self
             .loops
@@ -252,6 +302,14 @@ impl<T: Copy + Default + Send + Sync + 'static> LoopChain2<T> {
                     l.ins
                         .iter()
                         .map(|&id| fields[id].read_view())
+                        .collect::<Vec<_>>(),
+                    l.outs
+                        .iter()
+                        .map(|&id| store_names[id].clone())
+                        .collect::<Vec<_>>(),
+                    l.ins
+                        .iter()
+                        .map(|&id| store_names[id].clone())
                         .collect::<Vec<_>>(),
                 )
             })
@@ -272,12 +330,12 @@ impl<T: Copy + Default + Send + Sync + 'static> LoopChain2<T> {
                 if sub.is_empty() {
                     continue;
                 }
-                let (w, r) = &views[idx];
+                let (w, r, on, inames) = &views[idx];
                 let start = Instant::now();
                 for j in sub.j0..sub.j1 {
                     for i in sub.i0..sub.i1 {
-                        let mut out = Out2::at(w, i, j);
-                        let inp = In2::at(r, i, j);
+                        let mut out = Out2::at(w, on, i, j);
+                        let inp = In2::at(r, inames, i, j);
                         (l.kernel)(i, j, &mut out, &inp);
                     }
                 }

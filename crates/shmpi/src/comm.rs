@@ -28,6 +28,10 @@ pub struct Comm {
     pub(crate) stats: RankStats,
     /// Sequence number giving each collective invocation a unique tag.
     pub(crate) coll_seq: u32,
+    /// When enabled, each halo exchange is logged as `(dat name, depth)` so
+    /// analyzers (bwb-dslcheck) can compare exchanged depths against
+    /// declared stencil radii. `None` (the default) costs nothing.
+    pub(crate) exchange_trace: Option<Vec<(String, usize)>>,
 }
 
 /// A non-blocking operation handle, completed by [`Comm::wait`].
@@ -53,7 +57,30 @@ impl Comm {
             shared,
             stats: RankStats::default(),
             coll_seq: 0,
+            exchange_trace: None,
         }
+    }
+
+    /// Start logging halo exchanges (dat name, depth) for later inspection
+    /// via [`Comm::exchange_trace`]. Intended for analyzer runs, not
+    /// production timing.
+    pub fn enable_exchange_trace(&mut self) {
+        if self.exchange_trace.is_none() {
+            self.exchange_trace = Some(Vec::new());
+        }
+    }
+
+    /// Record one halo exchange in the trace (no-op unless enabled).
+    pub fn note_exchange(&mut self, name: &str, depth: usize) {
+        if let Some(trace) = &mut self.exchange_trace {
+            trace.push((name.to_string(), depth));
+        }
+    }
+
+    /// The exchanges logged since [`Comm::enable_exchange_trace`], in call
+    /// order. Empty if tracing was never enabled.
+    pub fn exchange_trace(&self) -> &[(String, usize)] {
+        self.exchange_trace.as_deref().unwrap_or(&[])
     }
 
     pub fn rank(&self) -> usize {
