@@ -187,7 +187,9 @@ impl Acoustic {
         let iterations = cfg.iterations;
         let mut sim = Acoustic::new(cfg);
         let mut max_err = 0.0f64;
-        for _ in 0..iterations {
+        for it in 0..iterations {
+            let mut aspan = bwb_trace::span(bwb_trace::Cat::App, "acoustic_step");
+            aspan.set_args(it as f64, 0.0, 0.0);
             sim.step_once(&mut profile);
             let err = (sim.center_value() as f64 - sim.center_analytic()).abs();
             max_err = max_err.max(err);
@@ -240,7 +242,9 @@ impl Acoustic {
         });
 
         let lam2 = cfg.courant * cfg.courant;
-        for _ in 0..cfg.iterations {
+        for it in 0..cfg.iterations {
+            let mut aspan = bwb_trace::span(bwb_trace::Cat::App, "acoustic_step");
+            aspan.set_args(it as f64, 0.0, 0.0);
             block.exchange_halo(comm, &mut u_curr, RADIUS);
             leapfrog_update(
                 &mut profile,

@@ -837,7 +837,9 @@ impl Clover2 {
         let iterations = cfg.iterations;
         let mut sim = Clover2::new(cfg);
         let (m0, _e0) = sim.field_summary(&mut profile);
-        for _ in 0..iterations {
+        for it in 0..iterations {
+            let mut aspan = bwb_trace::span(bwb_trace::Cat::App, "hydro_cycle");
+            aspan.set_args(it as f64, 0.0, 0.0);
             sim.cycle(&mut profile, None);
         }
         let (m1, _e1) = sim.field_summary(&mut profile);
@@ -857,7 +859,9 @@ impl Clover2 {
         let mut profile = Profile::new();
         let iterations = cfg.iterations;
         let mut sim = Clover2::new_distributed(comm, cfg);
-        for _ in 0..iterations {
+        for it in 0..iterations {
+            let mut aspan = bwb_trace::span(bwb_trace::Cat::App, "hydro_cycle");
+            aspan.set_args(it as f64, 0.0, 0.0);
             sim.cycle(&mut profile, Some(comm));
         }
         let block = sim.dist.clone().expect("distributed");

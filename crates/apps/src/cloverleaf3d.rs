@@ -654,7 +654,9 @@ impl Clover3 {
         let iterations = cfg.iterations;
         let mut sim = Clover3::new(cfg);
         let (m0, _) = sim.field_summary(&mut profile);
-        for _ in 0..iterations {
+        for it in 0..iterations {
+            let mut aspan = bwb_trace::span(bwb_trace::Cat::App, "hydro_cycle");
+            aspan.set_args(it as f64, 0.0, 0.0);
             sim.cycle(&mut profile);
         }
         let (m1, _) = sim.field_summary(&mut profile);

@@ -237,7 +237,9 @@ impl MiniBude {
         let iterations = cfg.iterations;
         let sim = MiniBude::new(cfg);
         let mut best = f32::INFINITY;
-        for _ in 0..iterations {
+        for it in 0..iterations {
+            let mut aspan = bwb_trace::span(bwb_trace::Cat::App, "energies_pass");
+            aspan.set_args(it as f64, 0.0, 0.0);
             let e = sim.energies(&mut profile);
             best = e.iter().copied().fold(best, f32::min);
         }

@@ -613,7 +613,9 @@ impl MiniWeather {
         let nz = cfg.nz;
         let mut profile = Profile::new();
         let mut sim = MiniWeather::new_local(cfg, rank * local_nx, local_nx, Some((left, right)));
-        for _ in 0..steps {
+        for it in 0..steps {
+            let mut aspan = bwb_trace::span(bwb_trace::Cat::App, "mw_step");
+            aspan.set_args(it as f64, 0.0, 0.0);
             sim.step_with(&mut profile, Some(comm));
         }
         // Gather the density perturbation column-major per rank.
@@ -669,7 +671,9 @@ impl MiniWeather {
         let mut sim = MiniWeather::new(cfg);
         let (m0, t0) = sim.totals(&mut profile);
         let steps = (sim.cfg.sim_time / sim.dt).ceil() as usize;
-        for _ in 0..steps {
+        for it in 0..steps {
+            let mut aspan = bwb_trace::span(bwb_trace::Cat::App, "mw_step");
+            aspan.set_args(it as f64, 0.0, 0.0);
             sim.step(&mut profile);
         }
         let (m1, t1) = sim.totals(&mut profile);

@@ -474,7 +474,9 @@ impl OpenSbli {
         let points = cfg.n.pow(3);
         let iterations = cfg.iterations;
         let mut sim = OpenSbli::new(cfg);
-        for _ in 0..iterations {
+        for it in 0..iterations {
+            let mut aspan = bwb_trace::span(bwb_trace::Cat::App, "rk_step");
+            aspan.set_args(it as f64, 0.0, 0.0);
             sim.step(&mut profile);
         }
         let validation = sim.field0_error(iterations);

@@ -310,7 +310,9 @@ impl Volna {
         let mut sim = Volna::new(cfg);
         let points = sim.cells.size;
         let v0 = sim.total_volume();
-        for _ in 0..iterations {
+        for it in 0..iterations {
+            let mut aspan = bwb_trace::span(bwb_trace::Cat::App, "volna_step");
+            aspan.set_args(it as f64, 0.0, 0.0);
             sim.step(&mut profile);
         }
         let v1 = sim.total_volume();

@@ -1,0 +1,97 @@
+//! Tracing overhead on the real workload, plus the hard tracing-off gate.
+//!
+//! Two claims, per the trace subsystem's design contract:
+//!
+//! * **Tracing off is unmeasurable.** A disabled emission entry point is one
+//!   relaxed atomic load; this file *asserts* (before any Criterion group
+//!   runs) that a disabled `span` call averages under 250 ns, so
+//!   `cargo bench --bench trace_overhead` fails outright if someone makes
+//!   the disabled path allocate. CI gates on this exit status.
+//! * **Tracing on stays under 5% on CloverLeaf2D 960².** The Criterion
+//!   groups below measure the same hydro cycle with the recorder off and
+//!   on; compare the two medians in the report.
+
+use bwb_core::apps::cloverleaf2d;
+use bwb_core::ops::{ExecMode, Profile};
+use bwb_core::trace;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Instant;
+
+/// Hard gate: the disabled fast path must stay in the nanosecond range.
+/// Budget is 250 ns/call — two orders of magnitude above the expected cost
+/// (one relaxed load), so only a real regression (allocation, lock, TLS
+/// init per call) trips it.
+fn assert_disabled_span_is_free() {
+    assert!(!trace::enabled(), "benches must start with tracing off");
+    const CALLS: u32 = 1_000_000;
+    let t0 = Instant::now();
+    for i in 0..CALLS {
+        let mut s = trace::span(trace::Cat::Loop, "disabled_probe");
+        s.set_args(black_box(i as f64), 0.0, 0.0);
+    }
+    let ns_per_call = t0.elapsed().as_nanos() as f64 / CALLS as f64;
+    assert!(
+        ns_per_call < 250.0,
+        "disabled span costs {ns_per_call:.1} ns/call (budget 250 ns) — \
+         the tracing-off path is no longer free"
+    );
+    println!("tracing-off gate: disabled span = {ns_per_call:.1} ns/call (budget 250)");
+}
+
+fn clover_sim(n: usize) -> (cloverleaf2d::Clover2, Profile) {
+    let sim = cloverleaf2d::Clover2::new(cloverleaf2d::Config {
+        nx: n,
+        ny: n,
+        iterations: 0,
+        mode: ExecMode::Serial,
+        ..cloverleaf2d::Config::default()
+    });
+    (sim, Profile::new())
+}
+
+/// CloverLeaf2D 960² hydro cycle with the recorder disabled (baseline).
+fn bench_cycle_tracing_off(c: &mut Criterion) {
+    let n = 960;
+    let (mut sim, mut profile) = clover_sim(n);
+    let mut g = c.benchmark_group("trace_overhead");
+    g.throughput(Throughput::Elements((n * n) as u64));
+    g.sample_size(10);
+    g.bench_function("clover960_tracing_off", |b| {
+        assert!(!trace::enabled());
+        b.iter(|| sim.cycle(&mut profile, None))
+    });
+    g.finish();
+}
+
+/// Same cycle with the recorder enabled; events are discarded between
+/// samples so the ring buffers never saturate. Compare against the off
+/// median: the contract is <5% slowdown.
+fn bench_cycle_tracing_on(c: &mut Criterion) {
+    let n = 960;
+    let (mut sim, mut profile) = clover_sim(n);
+    let mut g = c.benchmark_group("trace_overhead");
+    g.throughput(Throughput::Elements((n * n) as u64));
+    g.sample_size(10);
+    trace::clear();
+    trace::set_enabled(true);
+    g.bench_function("clover960_tracing_on", |b| {
+        b.iter(|| {
+            let r = sim.cycle(&mut profile, None);
+            trace::clear();
+            r
+        })
+    });
+    trace::set_enabled(false);
+    trace::clear();
+    g.finish();
+}
+
+fn gate(_c: &mut Criterion) {
+    // Runs first (group order below) so the bench binary fails fast when
+    // the disabled path regresses.
+    assert_disabled_span_is_free();
+}
+
+criterion_group!(gates, gate);
+criterion_group!(cycles, bench_cycle_tracing_off, bench_cycle_tracing_on);
+criterion_main!(gates, cycles);

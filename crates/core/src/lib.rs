@@ -22,6 +22,7 @@ pub use bwb_perfmodel as perfmodel;
 pub use bwb_report as report;
 pub use bwb_shmpi as shmpi;
 pub use bwb_stream as stream;
+pub use bwb_trace as trace;
 
 pub mod experiment;
 

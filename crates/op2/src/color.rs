@@ -37,9 +37,9 @@ impl Coloring {
             .iter()
             .map(|m| vec![0u64; m.to_size]) // bitmask of first 64 colors
             .collect();
-        let mut overflow: Vec<std::collections::HashMap<usize, Vec<u32>>> = write_maps
+        let mut overflow: Vec<std::collections::BTreeMap<usize, Vec<u32>>> = write_maps
             .iter()
-            .map(|_| std::collections::HashMap::new())
+            .map(|_| std::collections::BTreeMap::new())
             .collect();
         let mut n_colors = 0u32;
 
@@ -178,9 +178,9 @@ impl BlockColoring {
         let mut block_colors = vec![u32::MAX; n_blocks];
         let mut target_used: Vec<Vec<u64>> =
             write_maps.iter().map(|m| vec![0u64; m.to_size]).collect();
-        let mut overflow: Vec<std::collections::HashMap<usize, Vec<u32>>> = write_maps
+        let mut overflow: Vec<std::collections::BTreeMap<usize, Vec<u32>>> = write_maps
             .iter()
-            .map(|_| std::collections::HashMap::new())
+            .map(|_| std::collections::BTreeMap::new())
             .collect();
         let mut n_colors = 0u32;
 

@@ -166,6 +166,7 @@ pub fn par_loop_direct<T, F>(
         let out = UOut { views: &views };
         kernel(e, &out);
     };
+    let mut tspan = bwb_trace::span(bwb_trace::Cat::Loop, name);
     let t0 = Instant::now();
     match mode {
         ExecModeU::Serial => {
@@ -179,6 +180,12 @@ pub fn par_loop_direct<T, F>(
         ExecModeU::Colored => (0..set_size).into_par_iter().for_each(body),
     }
     let seconds = t0.elapsed().as_secs_f64();
+    tspan.set_args(
+        (set_size * bytes_per_elem) as f64,
+        set_size as f64 * flops_per_elem,
+        set_size as f64,
+    );
+    drop(tspan);
     if recording {
         access::end_uloop();
     }
@@ -223,6 +230,7 @@ pub fn par_loop_colored<T, F>(
         );
     }
     let views = uviews(outs);
+    let mut tspan = bwb_trace::span(bwb_trace::Cat::Loop, name);
     let t0 = Instant::now();
     match mode {
         ExecModeU::Serial => {
@@ -236,7 +244,9 @@ pub fn par_loop_colored<T, F>(
             }
         }
         ExecModeU::Colored => {
-            for class in &coloring.by_color {
+            for (color, class) in coloring.by_color.iter().enumerate() {
+                let mut cspan = bwb_trace::span(bwb_trace::Cat::Color, "color_round");
+                cspan.set_args(color as f64, class.len() as f64, 0.0);
                 class.par_iter().for_each(|&e| {
                     let out = UOut { views: &views };
                     kernel(e as usize, &out);
@@ -245,6 +255,12 @@ pub fn par_loop_colored<T, F>(
         }
     }
     let seconds = t0.elapsed().as_secs_f64();
+    tspan.set_args(
+        (set_size * bytes_per_elem) as f64,
+        set_size as f64 * flops_per_elem,
+        set_size as f64,
+    );
+    drop(tspan);
     if recording {
         access::end_uloop();
     }
@@ -299,6 +315,7 @@ pub fn par_loop_block_colored<T, F>(
         );
     }
     let views = uviews(outs);
+    let mut tspan = bwb_trace::span(bwb_trace::Cat::Loop, name);
     let t0 = Instant::now();
     match mode {
         ExecModeU::Serial => {
@@ -311,7 +328,14 @@ pub fn par_loop_block_colored<T, F>(
             }
         }
         ExecModeU::Colored => {
-            for class in &coloring.by_color {
+            for (color, class) in coloring.by_color.iter().enumerate() {
+                let mut cspan = bwb_trace::span(bwb_trace::Cat::Color, "color_round");
+                // Elements, not blocks: the per-round work actually executed.
+                let elems: usize = class
+                    .iter()
+                    .map(|&b| coloring.block_range(b as usize).len())
+                    .sum();
+                cspan.set_args(color as f64, elems as f64, 0.0);
                 class.par_iter().for_each(|&b| {
                     let out = UOut { views: &views };
                     for e in coloring.block_range(b as usize) {
@@ -322,6 +346,12 @@ pub fn par_loop_block_colored<T, F>(
         }
     }
     let seconds = t0.elapsed().as_secs_f64();
+    tspan.set_args(
+        (set_size * bytes_per_elem) as f64,
+        set_size as f64 * flops_per_elem,
+        set_size as f64,
+    );
+    drop(tspan);
     if recording {
         access::end_uloop();
     }
@@ -451,6 +481,7 @@ pub fn par_loop_gather<T, F>(
     }
     let views = uviews(outs);
     let staged = std::cell::RefCell::new(std::mem::take(&mut scratch.staged));
+    let mut tspan = bwb_trace::span(bwb_trace::Cat::Loop, name);
     let t0 = Instant::now();
     let mut e = 0;
     while e < set_size {
@@ -458,6 +489,7 @@ pub fn par_loop_gather<T, F>(
         // "Gather"/compute: kernels read operands and stage their indirect
         // writes into the scatter buffer.
         {
+            let _g = bwb_trace::span(bwb_trace::Cat::Other, "gather_batch");
             let out = UStage {
                 views: &views,
                 staged: &staged,
@@ -471,18 +503,27 @@ pub fn par_loop_gather<T, F>(
         }
         // "Scatter": apply the batch in element order (drain keeps the
         // buffer's capacity for the next batch).
-        for w in staged.borrow_mut().drain(..) {
-            let view = &views[w.f as usize];
-            let v = if w.inc {
-                view.read(w.e as usize, w.c as usize) + w.v
-            } else {
-                w.v
-            };
-            view.write(w.e as usize, w.c as usize, v);
+        {
+            let _s = bwb_trace::span(bwb_trace::Cat::Other, "scatter_batch");
+            for w in staged.borrow_mut().drain(..) {
+                let view = &views[w.f as usize];
+                let v = if w.inc {
+                    view.read(w.e as usize, w.c as usize) + w.v
+                } else {
+                    w.v
+                };
+                view.write(w.e as usize, w.c as usize, v);
+            }
         }
         e = hi;
     }
     let seconds = t0.elapsed().as_secs_f64();
+    tspan.set_args(
+        (set_size * (bytes_per_elem + 2 * indirect_bytes_per_elem)) as f64,
+        set_size as f64 * flops_per_elem,
+        set_size as f64,
+    );
+    drop(tspan);
     if recording {
         access::end_uloop();
     }

@@ -615,6 +615,7 @@ pub fn par_loop2<T, F>(
                 kernel(i, j, &mut out, &inp);
             }
         };
+        let mut tspan = bwb_trace::span(bwb_trace::Cat::Loop, name);
         let t0 = Instant::now();
         match mode {
             ExecMode::Serial => (range.j0..range.j1).for_each(body),
@@ -623,7 +624,13 @@ pub fn par_loop2<T, F>(
                 .with_min_len(chunk_rows(range.i1 - range.i0))
                 .for_each(body),
         }
-        t0.elapsed().as_secs_f64()
+        let seconds = t0.elapsed().as_secs_f64();
+        tspan.set_args(
+            (range.points() * bytes_per_point) as f64,
+            range.points() as f64 * flops_per_point,
+            range.points() as f64,
+        );
+        seconds
     };
     if recording {
         access::end_loop();
@@ -691,6 +698,7 @@ pub fn par_loop2_rows<T, F>(
             };
             kernel(j, &mut out, &inp);
         };
+        let mut tspan = bwb_trace::span(bwb_trace::Cat::Loop, name);
         let t0 = Instant::now();
         match mode {
             ExecMode::Serial => (range.j0..range.j1).for_each(body),
@@ -699,7 +707,13 @@ pub fn par_loop2_rows<T, F>(
                 .with_min_len(chunk_rows(range.i1 - range.i0))
                 .for_each(body),
         }
-        t0.elapsed().as_secs_f64()
+        let seconds = t0.elapsed().as_secs_f64();
+        tspan.set_args(
+            (range.points() * bytes_per_point) as f64,
+            range.points() as f64 * flops_per_point,
+            range.points() as f64,
+        );
+        seconds
     };
     if recording {
         access::end_loop();
@@ -760,6 +774,7 @@ where
         }
         acc
     };
+    let mut tspan = bwb_trace::span(bwb_trace::Cat::Loop, name);
     let t0 = Instant::now();
     let result = if range.is_empty() {
         identity.clone()
@@ -780,6 +795,12 @@ where
         }
     };
     let seconds = t0.elapsed().as_secs_f64();
+    tspan.set_args(
+        (range.points() * bytes_per_point) as f64,
+        range.points() as f64 * flops_per_point,
+        range.points() as f64,
+    );
+    drop(tspan);
     if recording {
         access::end_loop();
     }
@@ -1185,6 +1206,7 @@ pub fn par_loop3<T, F>(
                 }
             }
         };
+        let mut tspan = bwb_trace::span(bwb_trace::Cat::Loop, name);
         let t0 = Instant::now();
         match mode {
             ExecMode::Serial => (range.k0..range.k1).for_each(plane),
@@ -1193,7 +1215,13 @@ pub fn par_loop3<T, F>(
                 .with_min_len(chunk_planes(range.i1 - range.i0, range.j1 - range.j0))
                 .for_each(plane),
         }
-        t0.elapsed().as_secs_f64()
+        let seconds = t0.elapsed().as_secs_f64();
+        tspan.set_args(
+            (range.points() * bytes_per_point) as f64,
+            range.points() as f64 * flops_per_point,
+            range.points() as f64,
+        );
+        seconds
     };
     if recording {
         access::end_loop();
@@ -1263,6 +1291,7 @@ pub fn par_loop3_planes<T, F>(
                 kernel(j, k, &mut out, &inp);
             }
         };
+        let mut tspan = bwb_trace::span(bwb_trace::Cat::Loop, name);
         let t0 = Instant::now();
         match mode {
             ExecMode::Serial => (range.k0..range.k1).for_each(plane),
@@ -1271,7 +1300,13 @@ pub fn par_loop3_planes<T, F>(
                 .with_min_len(chunk_planes(range.i1 - range.i0, range.j1 - range.j0))
                 .for_each(plane),
         }
-        t0.elapsed().as_secs_f64()
+        let seconds = t0.elapsed().as_secs_f64();
+        tspan.set_args(
+            (range.points() * bytes_per_point) as f64,
+            range.points() as f64 * flops_per_point,
+            range.points() as f64,
+        );
+        seconds
     };
     if recording {
         access::end_loop();
@@ -1334,6 +1369,7 @@ where
         }
         acc
     };
+    let mut tspan = bwb_trace::span(bwb_trace::Cat::Loop, name);
     let t0 = Instant::now();
     let result = if range.is_empty() {
         identity.clone()
@@ -1354,6 +1390,12 @@ where
         }
     };
     let seconds = t0.elapsed().as_secs_f64();
+    tspan.set_args(
+        (range.points() * bytes_per_point) as f64,
+        range.points() as f64 * flops_per_point,
+        range.points() as f64,
+    );
+    drop(tspan);
     if recording {
         access::end_loop();
     }

@@ -197,6 +197,8 @@ impl DistBlock2 {
         let d = depth as isize;
         let nnx = self.nx() as isize + 1;
         let nny = self.ny() as isize + 1;
+        let mut xspan = bwb_trace::span(bwb_trace::Cat::Halo, "halo_exchange_node");
+        let mut sent_bytes = 0usize;
 
         // X pass: send columns [1, 1+d) low / [nnx-1-d, nnx-1) high.
         let low = self.cart.shift(self.rank, 0, -1);
@@ -221,10 +223,14 @@ impl DistBlock2 {
             bufpool::put(buf);
         };
         if let Some(lo) = low {
-            comm.send(lo, halo_tag(0, false), pack_cols(dat, 1));
+            let buf = pack_cols(dat, 1);
+            sent_bytes += std::mem::size_of_val(buf.as_slice());
+            comm.send(lo, halo_tag(0, false), buf);
         }
         if let Some(hi) = high {
-            comm.send(hi, halo_tag(0, true), pack_cols(dat, nnx - 1 - d));
+            let buf = pack_cols(dat, nnx - 1 - d);
+            sent_bytes += std::mem::size_of_val(buf.as_slice());
+            comm.send(hi, halo_tag(0, true), buf);
         }
         if let Some(hi) = high {
             let buf = comm.recv::<T>(hi, halo_tag(0, false));
@@ -258,10 +264,14 @@ impl DistBlock2 {
             bufpool::put(buf);
         };
         if let Some(lo) = low {
-            comm.send(lo, halo_tag(1, false), pack_rows(dat, 1));
+            let buf = pack_rows(dat, 1);
+            sent_bytes += std::mem::size_of_val(buf.as_slice());
+            comm.send(lo, halo_tag(1, false), buf);
         }
         if let Some(hi) = high {
-            comm.send(hi, halo_tag(1, true), pack_rows(dat, nny - 1 - d));
+            let buf = pack_rows(dat, nny - 1 - d);
+            sent_bytes += std::mem::size_of_val(buf.as_slice());
+            comm.send(hi, halo_tag(1, true), buf);
         }
         if let Some(hi) = high {
             let buf = comm.recv::<T>(hi, halo_tag(1, false));
@@ -271,6 +281,8 @@ impl DistBlock2 {
             let buf = comm.recv::<T>(lo, halo_tag(1, true));
             unpack_rows(dat, -d, buf);
         }
+        // Node exchange spans both dims; report dim = -1.
+        xspan.set_args(-1.0, d as f64, sent_bytes as f64);
     }
 
     /// One-dimension face exchange: pack low/high strips (strip geometry is
@@ -295,28 +307,45 @@ impl DistBlock2 {
     {
         let low = self.cart.shift(self.rank, dim, -1);
         let high = self.cart.shift(self.rank, dim, 1);
+        let mut xspan = bwb_trace::span(bwb_trace::Cat::Halo, "halo_exchange");
+        let mut sent_bytes = 0usize;
         // Send to low neighbour: my first strip (their high halo).
         if let Some(lo) = low {
             let mut buf = bufpool::take::<T>();
-            pack(dat, 0, &mut buf);
+            {
+                let _p = bwb_trace::span(bwb_trace::Cat::Halo, "halo_pack");
+                pack(dat, 0, &mut buf);
+            }
+            sent_bytes += std::mem::size_of_val(buf.as_slice());
             comm.send(lo, halo_tag(dim, false), buf);
         }
         // Send to high neighbour: my last strip (their low halo).
         if let Some(hi) = high {
             let mut buf = bufpool::take::<T>();
-            pack(dat, extent - d, &mut buf);
+            {
+                let _p = bwb_trace::span(bwb_trace::Cat::Halo, "halo_pack");
+                pack(dat, extent - d, &mut buf);
+            }
+            sent_bytes += std::mem::size_of_val(buf.as_slice());
             comm.send(hi, halo_tag(dim, true), buf);
         }
         if let Some(hi) = high {
             let buf = comm.recv::<T>(hi, halo_tag(dim, false));
-            unpack(dat, extent, &buf);
+            {
+                let _u = bwb_trace::span(bwb_trace::Cat::Halo, "halo_unpack");
+                unpack(dat, extent, &buf);
+            }
             bufpool::put(buf);
         }
         if let Some(lo) = low {
             let buf = comm.recv::<T>(lo, halo_tag(dim, true));
-            unpack(dat, -d, &buf);
+            {
+                let _u = bwb_trace::span(bwb_trace::Cat::Halo, "halo_unpack");
+                unpack(dat, -d, &buf);
+            }
             bufpool::put(buf);
         }
+        xspan.set_args(dim as f64, d as f64, sent_bytes as f64);
     }
 
     /// Gather the full global interior onto rank 0 (row-major), `None`
@@ -534,26 +563,43 @@ impl DistBlock3 {
     {
         let low = self.cart.shift(self.rank, dim, -1);
         let high = self.cart.shift(self.rank, dim, 1);
+        let mut xspan = bwb_trace::span(bwb_trace::Cat::Halo, "halo_exchange");
+        let mut sent_bytes = 0usize;
         if let Some(lo) = low {
             let mut buf = bufpool::take::<T>();
-            pack(dat, 0, &mut buf);
+            {
+                let _p = bwb_trace::span(bwb_trace::Cat::Halo, "halo_pack");
+                pack(dat, 0, &mut buf);
+            }
+            sent_bytes += std::mem::size_of_val(buf.as_slice());
             comm.send(lo, halo_tag(dim, false), buf);
         }
         if let Some(hi) = high {
             let mut buf = bufpool::take::<T>();
-            pack(dat, extent - d, &mut buf);
+            {
+                let _p = bwb_trace::span(bwb_trace::Cat::Halo, "halo_pack");
+                pack(dat, extent - d, &mut buf);
+            }
+            sent_bytes += std::mem::size_of_val(buf.as_slice());
             comm.send(hi, halo_tag(dim, true), buf);
         }
         if let Some(hi) = high {
             let buf = comm.recv::<T>(hi, halo_tag(dim, false));
-            unpack(dat, extent, &buf);
+            {
+                let _u = bwb_trace::span(bwb_trace::Cat::Halo, "halo_unpack");
+                unpack(dat, extent, &buf);
+            }
             bufpool::put(buf);
         }
         if let Some(lo) = low {
             let buf = comm.recv::<T>(lo, halo_tag(dim, true));
-            unpack(dat, -d, &buf);
+            {
+                let _u = bwb_trace::span(bwb_trace::Cat::Halo, "halo_unpack");
+                unpack(dat, -d, &buf);
+            }
             bufpool::put(buf);
         }
+        xspan.set_args(dim as f64, d as f64, sent_bytes as f64);
     }
 
     /// Gather the global interior to rank 0 (x-fastest row-major).

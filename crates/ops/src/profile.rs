@@ -126,15 +126,49 @@ impl Profile {
         self.total_flops() / b as f64
     }
 
-    /// Merge another profile (e.g. from another rank) into this one.
+    /// Merge another profile (e.g. from another rank or a tile-parallel
+    /// worker) into this one. `BTreeMap` iteration makes the result — and
+    /// any report rendered from it — independent of merge order *and* of
+    /// the map's internal state, so merged tile-parallel records always
+    /// serialize identically.
     pub fn merge(&mut self, other: &Profile) {
         for r in other.loops.values() {
-            self.record(&r.name, r.points, r.bytes, r.flops, r.seconds);
-            // calls were incremented by 1 in record(); fix up to true count
-            if let Some(e) = self.loops.get_mut(&r.name) {
-                e.calls += r.calls - 1;
-            }
+            let e = self
+                .loops
+                .entry(r.name.clone())
+                .or_insert_with(|| LoopRecord {
+                    name: r.name.clone(),
+                    calls: 0,
+                    points: 0,
+                    bytes: 0,
+                    flops: 0.0,
+                    seconds: 0.0,
+                });
+            e.calls += r.calls;
+            e.points += r.points;
+            e.bytes += r.bytes;
+            e.flops += r.flops;
+            e.seconds += r.seconds;
         }
+    }
+
+    /// Render the profile as CSV, rows in name order (deterministic across
+    /// runs and merge orders).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("loop,calls,points,bytes,flops,seconds,effective_gbs\n");
+        for r in self.loops.values() {
+            out.push_str(&format!(
+                "{},{},{},{},{},{:.9},{:.6}\n",
+                r.name,
+                r.calls,
+                r.points,
+                r.bytes,
+                r.flops,
+                r.seconds,
+                r.effective_gbs()
+            ));
+        }
+        out
     }
 }
 
@@ -198,6 +232,50 @@ mod tests {
         assert_eq!(k.points, 15);
         assert!((k.seconds - 0.8).abs() < 1e-12);
         assert!(a.get("other").is_some());
+    }
+
+    #[test]
+    fn merge_is_order_independent_and_csv_deterministic() {
+        // Regression: merging the same per-tile profiles in any order must
+        // produce byte-identical CSV (tile-parallel execution merges worker
+        // profiles in nondeterministic completion order).
+        let mk = |seed: usize| {
+            let mut p = Profile::new();
+            p.record("advec", seed, 10 * seed, seed as f64, 0.25);
+            p.record("pdv", 1, 8, 2.0, 0.125);
+            p
+        };
+        let parts = [mk(1), mk(2), mk(3)];
+        let mut forward = Profile::new();
+        for p in &parts {
+            forward.merge(p);
+        }
+        let mut backward = Profile::new();
+        for p in parts.iter().rev() {
+            backward.merge(p);
+        }
+        assert_eq!(forward, backward);
+        assert_eq!(forward.to_csv(), backward.to_csv());
+        assert_eq!(forward.get("advec").unwrap().calls, 3);
+        assert_eq!(forward.get("pdv").unwrap().calls, 3);
+        // Rows come out name-sorted.
+        let csv = forward.to_csv();
+        let rows: Vec<&str> = csv.lines().skip(1).collect();
+        assert!(rows[0].starts_with("advec,") && rows[1].starts_with("pdv,"));
+    }
+
+    #[test]
+    fn merge_into_empty_copies_call_counts() {
+        // Regression: the old merge went through record(), which bumped
+        // calls by one and then patched it back — merging a record with 0
+        // calls could underflow. Plain field sums cannot.
+        let mut src = Profile::new();
+        src.record("k", 1, 1, 1.0, 0.1);
+        src.record("k", 1, 1, 1.0, 0.1);
+        let mut dst = Profile::new();
+        dst.merge(&src);
+        assert_eq!(dst.get("k").unwrap().calls, 2);
+        assert_eq!(dst, src);
     }
 
     #[test]

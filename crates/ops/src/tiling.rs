@@ -249,7 +249,9 @@ impl<T: Copy + Default + Send + Sync + 'static> LoopChain2<T> {
         {
             self.execute_tiled_parallel(store, profile, &tiles);
         } else {
-            for &(t0, t1) in &tiles {
+            for (t, &(t0, t1)) in tiles.iter().enumerate() {
+                let mut tile_span = bwb_trace::span(bwb_trace::Cat::Tile, "tile");
+                tile_span.set_args(t as f64, t0 as f64, t1 as f64);
                 for (idx, l) in self.loops.iter().enumerate() {
                     self.run_one(l, self.tile_slab(idx, t0, t1), store, profile);
                 }
@@ -325,12 +327,15 @@ impl<T: Copy + Default + Send + Sync + 'static> LoopChain2<T> {
 
         let run_tile = |t: usize| -> Vec<f64> {
             let mut secs = vec![0.0f64; n_loops];
+            let mut tile_span = bwb_trace::span(bwb_trace::Cat::Tile, "tile");
+            tile_span.set_args(t as f64, tiles[t].0 as f64, tiles[t].1 as f64);
             for (idx, l) in self.loops.iter().enumerate() {
                 let sub = slabs[t][idx];
                 if sub.is_empty() {
                     continue;
                 }
                 let (w, r, on, inames) = &views[idx];
+                let mut lspan = bwb_trace::span(bwb_trace::Cat::Loop, &l.name);
                 let start = Instant::now();
                 for j in sub.j0..sub.j1 {
                     for i in sub.i0..sub.i1 {
@@ -340,6 +345,12 @@ impl<T: Copy + Default + Send + Sync + 'static> LoopChain2<T> {
                     }
                 }
                 secs[idx] = start.elapsed().as_secs_f64();
+                let bytes_per_point = (l.outs.len() + l.ins.len()) * std::mem::size_of::<T>();
+                lspan.set_args(
+                    (sub.points() * bytes_per_point) as f64,
+                    sub.points() as f64 * l.flops_per_point,
+                    sub.points() as f64,
+                );
             }
             secs
         };

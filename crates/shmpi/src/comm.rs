@@ -1,7 +1,7 @@
 //! The per-rank communicator handle: point-to-point messaging.
 
 use crate::mailbox::{Envelope, Mailbox, Pattern};
-use crate::stats::RankStats;
+use crate::stats::{CommDetail, RankStats};
 use bwb_machine::{LatencyProfile, RankPlacement};
 use std::sync::{Arc, Barrier};
 
@@ -26,6 +26,8 @@ pub struct Comm {
     pub(crate) rank: usize,
     pub(crate) shared: Arc<Shared>,
     pub(crate) stats: RankStats,
+    /// Per-peer/per-tag refinement of `stats` (histograms, attributed wait).
+    pub(crate) detail: CommDetail,
     /// Sequence number giving each collective invocation a unique tag.
     pub(crate) coll_seq: u32,
     /// When enabled, each halo exchange is logged as `(dat name, depth)` so
@@ -56,6 +58,7 @@ impl Comm {
             rank,
             shared,
             stats: RankStats::default(),
+            detail: CommDetail::default(),
             coll_seq: 0,
             exchange_trace: None,
         }
@@ -96,6 +99,11 @@ impl Comm {
         self.stats
     }
 
+    /// Per-peer/per-tag breakdown accumulated so far on this rank.
+    pub fn detail(&self) -> &CommDetail {
+        &self.detail
+    }
+
     fn modeled_latency_s(&self, peer: usize) -> f64 {
         match &self.shared.placement {
             Some((placement, profile)) => {
@@ -118,6 +126,12 @@ impl Comm {
         self.stats.sends += 1;
         self.stats.bytes_sent += bytes as u64;
         self.stats.modeled_latency_s += self.modeled_latency_s(dest);
+        self.detail.note_send(dest, bytes);
+        bwb_trace::instant(
+            bwb_trace::Cat::Mpi,
+            "mpi_send",
+            [dest as f64, bytes as f64, tag as f64],
+        );
         self.shared.mailboxes[dest].deliver(Envelope {
             source: self.rank,
             tag,
@@ -151,6 +165,16 @@ impl Comm {
         self.stats.bytes_received += env.bytes as u64;
         self.stats.wait_seconds += waited.as_secs_f64();
         let src = env.source;
+        self.detail
+            .note_recv(src, tag, env.bytes, waited.as_secs_f64());
+        // Retro-dated span covering exactly the blocked interval, so summed
+        // `mpi_wait` span time reconciles with `RankStats::wait_seconds`.
+        bwb_trace::span_retro(
+            bwb_trace::Cat::Mpi,
+            "mpi_wait",
+            waited,
+            [src as f64, env.bytes as f64, tag as f64],
+        );
         let data = env.data.downcast::<Vec<T>>().unwrap_or_else(|_| {
             panic!(
                 "recv type mismatch: rank {} expected Vec<{}> from {} tag {}",
@@ -233,8 +257,11 @@ impl Comm {
     pub fn barrier(&mut self) {
         let t0 = std::time::Instant::now();
         self.shared.barrier.wait();
-        self.stats.wait_seconds += t0.elapsed().as_secs_f64();
+        let waited = t0.elapsed();
+        self.stats.wait_seconds += waited.as_secs_f64();
         self.stats.barriers += 1;
+        // Peer -1: barriers have no peer; bytes 0, tag -1.
+        bwb_trace::span_retro(bwb_trace::Cat::Mpi, "barrier", waited, [-1.0, 0.0, -1.0]);
     }
 }
 

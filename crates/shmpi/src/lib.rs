@@ -50,5 +50,5 @@ pub mod universe;
 pub use cart::CartComm;
 pub use collectives::ReduceOp;
 pub use comm::{Comm, Request, ANY_SOURCE};
-pub use stats::{RankStats, WorldStats};
+pub use stats::{CommDetail, PeerStats, RankStats, WorldStats, SIZE_HIST_BUCKETS};
 pub use universe::{RunOutput, Universe};

@@ -2,7 +2,7 @@
 
 use crate::comm::{Comm, Shared};
 use crate::mailbox::Mailbox;
-use crate::stats::{RankStats, WorldStats};
+use crate::stats::{CommDetail, RankStats, WorldStats};
 use bwb_machine::{LatencyProfile, RankPlacement};
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::Instant;
@@ -72,7 +72,7 @@ impl Universe {
             placement,
         });
 
-        let results: Mutex<Vec<Option<(R, RankStats)>>> =
+        let results: Mutex<Vec<Option<(R, RankStats, CommDetail)>>> =
             Mutex::new((0..size).map(|_| None).collect());
 
         let t0 = Instant::now();
@@ -82,9 +82,11 @@ impl Universe {
                 let f = &f;
                 let results = &results;
                 scope.spawn(move || {
+                    bwb_trace::set_rank(rank);
+                    bwb_trace::set_thread_label(&format!("rank {rank}"));
                     let mut comm = Comm::new(rank, shared);
                     let r = f(&mut comm);
-                    results.lock().unwrap()[rank] = Some((r, comm.stats));
+                    results.lock().unwrap()[rank] = Some((r, comm.stats, comm.detail));
                 });
             }
         });
@@ -92,15 +94,18 @@ impl Universe {
 
         let mut out_results = Vec::with_capacity(size);
         let mut out_stats = Vec::with_capacity(size);
+        let mut out_details = Vec::with_capacity(size);
         for slot in results.into_inner().unwrap() {
-            let (r, s) = slot.expect("every rank completes");
+            let (r, s, d) = slot.expect("every rank completes");
             out_results.push(r);
             out_stats.push(s);
+            out_details.push(d);
         }
         RunOutput {
             results: out_results,
             stats: WorldStats {
                 per_rank: out_stats,
+                details: out_details,
             },
             wall_seconds,
         }

@@ -1,0 +1,251 @@
+//! ASCII flamegraph and per-thread timeline rendering.
+//!
+//! The flamegraph merges identical call paths across every traced thread
+//! (the classic collapsed-stacks view, indented instead of stacked); the
+//! timeline paints one lane per thread with a category letter per time
+//! bucket, leaf spans winning over their ancestors — a poor man's Perfetto
+//! for terminals and CI logs.
+
+use crate::record::{Cat, Trace};
+use crate::tree::{build_forest, SpanNode, ThreadTree};
+use std::collections::BTreeMap;
+
+/// One-letter lane code for the timeline view.
+fn cat_letter(cat: Cat) -> char {
+    match cat {
+        Cat::Loop => 'L',
+        Cat::Halo => 'H',
+        Cat::Mpi => 'M',
+        Cat::Tile => 'T',
+        Cat::Color => 'C',
+        Cat::App => 'A',
+        Cat::Other => 'o',
+    }
+}
+
+#[derive(Default)]
+struct MergedNode {
+    cat: Option<Cat>,
+    count: u64,
+    total_ns: u64,
+    children: BTreeMap<String, MergedNode>,
+}
+
+fn merge_span(trace: &Trace, node: &mut MergedNode, span: &SpanNode) {
+    let child = node
+        .children
+        .entry(trace.name(span.name).to_owned())
+        .or_default();
+    child.cat = Some(span.cat);
+    child.count += 1;
+    child.total_ns += span.dur_ns();
+    for c in &span.children {
+        merge_span(trace, child, c);
+    }
+}
+
+fn render_merged(
+    out: &mut String,
+    name: &str,
+    node: &MergedNode,
+    depth: usize,
+    root_ns: u64,
+    bar_width: usize,
+) {
+    let frac = if root_ns > 0 {
+        node.total_ns as f64 / root_ns as f64
+    } else {
+        0.0
+    };
+    let bar = "█".repeat(((frac * bar_width as f64).round() as usize).min(bar_width));
+    out.push_str(&format!(
+        "  {:indent$}{:<width$} |{:<bw$}| {:5.1}% {:>10.3} ms ×{}\n",
+        "",
+        name,
+        bar,
+        frac * 100.0,
+        node.total_ns as f64 / 1e6,
+        node.count,
+        indent = depth * 2,
+        width = 28usize.saturating_sub(depth * 2),
+        bw = bar_width
+    ));
+    // Children sorted hottest-first; BTreeMap gives a deterministic
+    // name-order tiebreak for equal times.
+    let mut kids: Vec<(&String, &MergedNode)> = node.children.iter().collect();
+    kids.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then_with(|| a.0.cmp(b.0)));
+    for (kname, kid) in kids {
+        render_merged(out, kname, kid, depth + 1, root_ns, bar_width);
+    }
+}
+
+/// Render a merged flamegraph of the whole trace. `bar_width` is the width
+/// of the proportional bar in characters (percentages are of total
+/// traced span time across all threads).
+pub fn flamegraph(trace: &Trace, bar_width: usize) -> String {
+    let forest = match build_forest(trace) {
+        Ok(f) => f,
+        Err(errs) => {
+            let mut out = String::from("flamegraph unavailable (malformed trace):\n");
+            for e in errs {
+                out.push_str(&format!("  {e}\n"));
+            }
+            return out;
+        }
+    };
+    let mut root = MergedNode::default();
+    for tree in &forest {
+        for span in &tree.roots {
+            merge_span(trace, &mut root, span);
+        }
+    }
+    let root_ns: u64 = root.children.values().map(|c| c.total_ns).sum();
+    let mut out = format!(
+        "flamegraph — {} thread(s), {:.3} ms total span time\n",
+        forest.len(),
+        root_ns as f64 / 1e6
+    );
+    let mut tops: Vec<(&String, &MergedNode)> = root.children.iter().collect();
+    tops.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then_with(|| a.0.cmp(b.0)));
+    for (name, node) in tops {
+        render_merged(&mut out, name, node, 0, root_ns, bar_width);
+    }
+    out
+}
+
+fn paint_lane(lane: &mut [char], spans: &[SpanNode], t0: u64, span_ns: u64) {
+    for s in spans {
+        // Children first: leaves claim their buckets before ancestors fill
+        // the remainder.
+        paint_lane(lane, &s.children, t0, span_ns);
+        let width = lane.len();
+        let to_bucket = |ts: u64| -> usize {
+            (((ts.saturating_sub(t0)) as u128 * width as u128) / span_ns.max(1) as u128) as usize
+        };
+        let b0 = to_bucket(s.start_ns).min(width - 1);
+        // End is exclusive: a span ending exactly on a bucket boundary must
+        // not claim the following bucket from its parent or sibling.
+        let b1 = to_bucket(s.end_ns.max(s.start_ns + 1) - 1).min(width - 1);
+        let letter = cat_letter(s.cat);
+        for slot in lane.iter_mut().take(b1 + 1).skip(b0) {
+            if *slot == '.' {
+                *slot = letter;
+            }
+        }
+    }
+}
+
+fn time_range(forest: &[ThreadTree]) -> Option<(u64, u64)> {
+    let mut t0 = u64::MAX;
+    let mut t1 = 0u64;
+    for t in forest {
+        for r in &t.roots {
+            t0 = t0.min(r.start_ns);
+            t1 = t1.max(r.end_ns);
+        }
+    }
+    (t1 > t0).then_some((t0, t1))
+}
+
+/// Render one timeline lane per thread, `width` buckets wide. Each bucket
+/// shows the letter of the deepest span covering it (`.` = untraced idle).
+pub fn timeline(trace: &Trace, width: usize) -> String {
+    let width = width.max(10);
+    let forest = match build_forest(trace) {
+        Ok(f) => f,
+        Err(_) => return "timeline unavailable (malformed trace)\n".to_owned(),
+    };
+    let Some((t0, t1)) = time_range(&forest) else {
+        return "timeline empty (no closed spans)\n".to_owned();
+    };
+    let span_ns = t1 - t0;
+    let label_w = forest.iter().map(|t| t.label.len()).max().unwrap_or(0);
+    let mut out = format!(
+        "timeline — {:.3} ms, {} ns/char  \
+         [L=loop H=halo M=mpi T=tile C=color A=app o=other .=idle]\n",
+        span_ns as f64 / 1e6,
+        span_ns / width as u64
+    );
+    for t in &forest {
+        let mut lane = vec!['.'; width];
+        paint_lane(&mut lane, &t.roots, t0, span_ns);
+        out.push_str(&format!(
+            "  {:<label_w$} |{}|\n",
+            t.label,
+            lane.iter().collect::<String>()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Event, Kind, ThreadTrace};
+
+    fn ev(ts: u64, name: u32, cat: Cat, kind: Kind) -> Event {
+        Event {
+            ts_ns: ts,
+            name,
+            cat,
+            kind,
+            args: [0.0; 3],
+        }
+    }
+
+    fn demo_trace() -> Trace {
+        Trace {
+            names: vec!["cycle".into(), "advec".into(), "wait".into()],
+            threads: vec![ThreadTrace {
+                pid: 0,
+                tid: 0,
+                label: "rank 0".into(),
+                dropped: 0,
+                events: vec![
+                    ev(0, 0, Cat::App, Kind::Begin),
+                    ev(0, 1, Cat::Loop, Kind::Begin),
+                    ev(600, 1, Cat::Loop, Kind::End),
+                    ev(700, 2, Cat::Mpi, Kind::Begin),
+                    ev(900, 2, Cat::Mpi, Kind::End),
+                    ev(1_000, 0, Cat::App, Kind::End),
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn flamegraph_merges_and_orders_by_time() {
+        let s = flamegraph(&demo_trace(), 20);
+        let cycle_at = s.find("cycle").unwrap();
+        let advec_at = s.find("advec").unwrap();
+        let wait_at = s.find("wait").unwrap();
+        // Root first, then children hottest-first.
+        assert!(cycle_at < advec_at && advec_at < wait_at);
+        assert!(s.contains("100.0%"));
+        assert!(s.contains("×1"));
+    }
+
+    #[test]
+    fn timeline_leaf_paint_wins() {
+        let s = timeline(&demo_trace(), 10);
+        let lane = s
+            .lines()
+            .find(|l| l.contains("rank 0"))
+            .and_then(|l| l.split('|').nth(1))
+            .unwrap();
+        // 0-600 ns loop, 700-900 mpi, rest app; 10 buckets of 100 ns.
+        assert_eq!(lane.len(), 10);
+        assert!(lane.starts_with("LLLLL"));
+        assert!(lane.contains('M'));
+        assert!(lane.contains('A'));
+        assert!(!lane.contains('.'));
+    }
+
+    #[test]
+    fn malformed_trace_degrades_gracefully() {
+        let mut t = demo_trace();
+        t.threads[0].events.truncate(1);
+        assert!(flamegraph(&t, 20).contains("unavailable"));
+        assert!(timeline(&t, 20).contains("unavailable"));
+    }
+}

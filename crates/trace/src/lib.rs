@@ -1,0 +1,41 @@
+//! # bwb-trace — low-overhead runtime tracing
+//!
+//! Observability for the bandwidth-bound mini-apps: every rank thread and
+//! rayon pool worker records timestamped span and counter events into its
+//! own lock-free ring buffer ([`record`]), which post-run aggregation turns
+//! into per-thread span trees ([`tree`]), per-kernel metric rollups with
+//! roofline attribution ([`rollup`]), Chrome `trace_event` JSON for
+//! Perfetto ([`chrome`]), and ASCII flamegraphs/timelines for terminals
+//! ([`flame`]). A minimal JSON parser ([`json`]) round-trips exported
+//! traces for schema validation in CI.
+//!
+//! Tracing is off by default and zero-cost when off: each emission entry
+//! point costs one relaxed atomic load (and compiles to a constant `false`
+//! when the `runtime` feature is disabled). Typical use:
+//!
+//! ```
+//! let ((), trace) = bwb_trace::with_tracing(|| {
+//!     let mut span = bwb_trace::span(bwb_trace::Cat::Loop, "advec_cell");
+//!     span.set_args(4096.0, 1024.0, 512.0); // bytes, flops, points
+//! });
+//! assert!(bwb_trace::validate(&trace).is_empty());
+//! let json = bwb_trace::to_chrome_json(&trace, &Default::default());
+//! assert!(bwb_trace::json::parse(&json).is_ok());
+//! ```
+
+pub mod chrome;
+pub mod flame;
+pub mod json;
+pub mod record;
+pub mod rollup;
+pub mod tree;
+
+pub use chrome::{to_chrome_json, ChromeOptions};
+pub use flame::{flamegraph, timeline};
+pub use record::{
+    clear, counter, enabled, instant, set_capacity, set_enabled, set_rank, set_thread_label, span,
+    span_retro, take, with_tracing, Cat, Event, Kind, SpanGuard, ThreadTrace, Trace,
+    DEFAULT_CAPACITY,
+};
+pub use rollup::{Rollup, RollupRow};
+pub use tree::{build_forest, validate, SpanNode, ThreadTree};

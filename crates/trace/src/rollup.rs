@@ -1,0 +1,188 @@
+//! Metric rollups: collapse a span forest into per-(category, name)
+//! totals, with achieved-bandwidth and roofline attribution for loop spans.
+
+use crate::record::{Cat, Trace};
+use crate::tree::{build_forest, ThreadTree};
+use bwb_machine::Roofline;
+use std::collections::BTreeMap;
+
+/// Aggregated statistics for one `(category, name)` pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RollupRow {
+    pub cat: Cat,
+    pub name: String,
+    pub count: u64,
+    pub total_ns: u64,
+    /// Total minus time attributed to child spans.
+    pub self_ns: u64,
+    /// Summed `args[0]`-as-bytes for Loop spans (0 for other categories).
+    pub bytes: f64,
+    /// Summed `args[1]`-as-flops for Loop spans.
+    pub flops: f64,
+}
+
+impl RollupRow {
+    /// Achieved effective bandwidth over the span's total time, GB/s.
+    pub fn effective_gbs(&self) -> f64 {
+        if self.total_ns == 0 {
+            return 0.0;
+        }
+        self.bytes / (self.total_ns as f64 * 1e-9) / 1e9
+    }
+
+    /// Achieved bandwidth as a percentage of the roofline's memory peak —
+    /// the per-loop Figure 8 quantity.
+    pub fn bw_pct_of_roofline(&self, roofline: &Roofline) -> f64 {
+        if roofline.peak_gbs <= 0.0 {
+            return 0.0;
+        }
+        self.effective_gbs() / roofline.peak_gbs * 100.0
+    }
+}
+
+/// Rollup over a whole trace, rows sorted by descending total time (name
+/// as the deterministic tiebreak).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Rollup {
+    pub rows: Vec<RollupRow>,
+}
+
+impl Rollup {
+    /// Aggregate a built forest. (Use [`Rollup::from_trace`] unless the
+    /// forest is already at hand.)
+    pub fn from_forest(trace: &Trace, forest: &[ThreadTree]) -> Self {
+        let mut acc: BTreeMap<(Cat, String), RollupRow> = BTreeMap::new();
+        for tree in forest {
+            tree.walk(&mut |s, _| {
+                let key = (s.cat, trace.name(s.name).to_owned());
+                let row = acc.entry(key.clone()).or_insert_with(|| RollupRow {
+                    cat: key.0,
+                    name: key.1,
+                    count: 0,
+                    total_ns: 0,
+                    self_ns: 0,
+                    bytes: 0.0,
+                    flops: 0.0,
+                });
+                row.count += 1;
+                row.total_ns += s.dur_ns();
+                row.self_ns += s.self_ns();
+                if s.cat == Cat::Loop {
+                    row.bytes += s.args[0];
+                    row.flops += s.args[1];
+                }
+            });
+        }
+        let mut rows: Vec<RollupRow> = acc.into_values().collect();
+        rows.sort_by(|a, b| {
+            b.total_ns
+                .cmp(&a.total_ns)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        Rollup { rows }
+    }
+
+    /// Aggregate a trace (errors from malformed streams become an empty
+    /// rollup; run [`crate::tree::validate`] first for diagnostics).
+    pub fn from_trace(trace: &Trace) -> Self {
+        match build_forest(trace) {
+            Ok(forest) => Self::from_forest(trace, &forest),
+            Err(_) => Rollup::default(),
+        }
+    }
+
+    /// Render as an aligned table (via `bwb-report`); with a roofline, loop
+    /// rows carry their percentage of the memory peak.
+    pub fn render_table(&self, roofline: Option<&Roofline>) -> String {
+        let mut t = bwb_report::Table::new(&[
+            "category", "span", "count", "total ms", "self ms", "GB/s", "% roof",
+        ]);
+        for r in &self.rows {
+            let (gbs, pct) = if r.cat == Cat::Loop && r.total_ns > 0 {
+                (
+                    format!("{:.1}", r.effective_gbs()),
+                    roofline
+                        .map(|rf| format!("{:.1}", r.bw_pct_of_roofline(rf)))
+                        .unwrap_or_else(|| "-".into()),
+                )
+            } else {
+                ("-".into(), "-".into())
+            };
+            t.row(&[
+                r.cat.label().to_owned(),
+                r.name.clone(),
+                r.count.to_string(),
+                format!("{:.3}", r.total_ns as f64 / 1e6),
+                format!("{:.3}", r.self_ns as f64 / 1e6),
+                gbs,
+                pct,
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Event, Kind, ThreadTrace};
+
+    fn loop_span(out: &mut Vec<Event>, name: u32, t0: u64, t1: u64, bytes: f64) {
+        out.push(Event {
+            ts_ns: t0,
+            name,
+            cat: Cat::Loop,
+            kind: Kind::Begin,
+            args: [0.0; 3],
+        });
+        out.push(Event {
+            ts_ns: t1,
+            name,
+            cat: Cat::Loop,
+            kind: Kind::End,
+            args: [bytes, 10.0, 1.0],
+        });
+    }
+
+    fn demo_trace() -> Trace {
+        let mut events = Vec::new();
+        loop_span(&mut events, 0, 0, 1_000, 2_000.0);
+        loop_span(&mut events, 0, 1_000, 2_000, 2_000.0);
+        loop_span(&mut events, 1, 2_000, 2_500, 100.0);
+        Trace {
+            names: vec!["hot".into(), "cold".into()],
+            threads: vec![ThreadTrace {
+                pid: 0,
+                tid: 0,
+                label: "t0".into(),
+                dropped: 0,
+                events,
+            }],
+        }
+    }
+
+    #[test]
+    fn aggregates_and_sorts_by_total_time() {
+        let r = Rollup::from_trace(&demo_trace());
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0].name, "hot");
+        assert_eq!(r.rows[0].count, 2);
+        assert_eq!(r.rows[0].total_ns, 2_000);
+        assert_eq!(r.rows[0].bytes, 4_000.0);
+        // 4000 bytes over 2 µs = 2 GB/s.
+        assert!((r.rows[0].effective_gbs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roofline_percentage_and_table() {
+        let r = Rollup::from_trace(&demo_trace());
+        let roof = Roofline {
+            peak_gflops: 100.0,
+            peak_gbs: 4.0,
+        };
+        assert!((r.rows[0].bw_pct_of_roofline(&roof) - 50.0).abs() < 1e-9);
+        let table = r.render_table(Some(&roof));
+        assert!(table.contains("hot"));
+        assert!(table.contains("50.0"));
+    }
+}

@@ -1,0 +1,294 @@
+//! Post-run aggregation: pairing each thread's Begin/End events into a
+//! span forest, plus the well-formedness checks the integration tests (and
+//! the `trace` CLI) gate on.
+
+use crate::record::{Cat, Kind, Trace};
+
+/// One closed span with its nested children.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    pub name: u32,
+    pub cat: Cat,
+    pub start_ns: u64,
+    pub end_ns: u64,
+    /// Payload from the End event (see [`Cat`] for the field meanings).
+    pub args: [f64; 3],
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    pub fn dur_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Duration minus the children's durations.
+    pub fn self_ns(&self) -> u64 {
+        let kids: u64 = self.children.iter().map(|c| c.dur_ns()).sum();
+        self.dur_ns().saturating_sub(kids)
+    }
+
+    /// Depth-first walk over this span and its descendants.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a SpanNode, usize)) {
+        self.walk_at(0, f);
+    }
+
+    fn walk_at<'a>(&'a self, depth: usize, f: &mut impl FnMut(&'a SpanNode, usize)) {
+        f(self, depth);
+        for c in &self.children {
+            c.walk_at(depth + 1, f);
+        }
+    }
+}
+
+/// One thread's span forest (top-level spans in time order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadTree {
+    pub pid: usize,
+    pub tid: usize,
+    pub label: String,
+    pub roots: Vec<SpanNode>,
+}
+
+impl ThreadTree {
+    /// Depth-first walk over every span of the forest.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a SpanNode, usize)) {
+        for r in &self.roots {
+            r.walk(f);
+        }
+    }
+}
+
+/// Build the per-thread span forests. Returns an error message per
+/// malformed thread stream (unmatched End, name-mismatched End, or spans
+/// left open); counters and instants are skipped.
+pub fn build_forest(trace: &Trace) -> Result<Vec<ThreadTree>, Vec<String>> {
+    let mut forests = Vec::new();
+    let mut errors = Vec::new();
+    for t in &trace.threads {
+        let mut roots: Vec<SpanNode> = Vec::new();
+        let mut stack: Vec<SpanNode> = Vec::new();
+        let mut bad = false;
+        for e in &t.events {
+            match e.kind {
+                Kind::Begin => stack.push(SpanNode {
+                    name: e.name,
+                    cat: e.cat,
+                    start_ns: e.ts_ns,
+                    end_ns: e.ts_ns,
+                    args: [0.0; 3],
+                    children: Vec::new(),
+                }),
+                Kind::End => match stack.pop() {
+                    Some(mut open) if open.name == e.name => {
+                        open.end_ns = e.ts_ns;
+                        open.args = e.args;
+                        match stack.last_mut() {
+                            Some(parent) => parent.children.push(open),
+                            None => roots.push(open),
+                        }
+                    }
+                    Some(open) => {
+                        errors.push(format!(
+                            "thread {} ({}): End '{}' closes open span '{}'",
+                            t.tid,
+                            t.label,
+                            trace.name(e.name),
+                            trace.name(open.name)
+                        ));
+                        bad = true;
+                        break;
+                    }
+                    None => {
+                        errors.push(format!(
+                            "thread {} ({}): End '{}' with no open span",
+                            t.tid,
+                            t.label,
+                            trace.name(e.name)
+                        ));
+                        bad = true;
+                        break;
+                    }
+                },
+                Kind::Counter | Kind::Instant => {}
+            }
+        }
+        if !bad && !stack.is_empty() {
+            errors.push(format!(
+                "thread {} ({}): {} span(s) left open, first '{}'",
+                t.tid,
+                t.label,
+                stack.len(),
+                trace.name(stack[0].name)
+            ));
+            bad = true;
+        }
+        if !bad {
+            forests.push(ThreadTree {
+                pid: t.pid,
+                tid: t.tid,
+                label: t.label.clone(),
+                roots,
+            });
+        }
+    }
+    if errors.is_empty() {
+        Ok(forests)
+    } else {
+        Err(errors)
+    }
+}
+
+/// Well-formedness report: structural errors (from [`build_forest`]) plus
+/// interval violations — siblings that overlap or run backwards, children
+/// escaping their parent's interval, buffer saturation. Empty = clean.
+pub fn validate(trace: &Trace) -> Vec<String> {
+    let mut problems = Vec::new();
+    for t in &trace.threads {
+        if t.dropped > 0 {
+            problems.push(format!(
+                "thread {} ({}): {} event(s) dropped to buffer saturation",
+                t.tid, t.label, t.dropped
+            ));
+        }
+    }
+    let forests = match build_forest(trace) {
+        Ok(f) => f,
+        Err(errs) => {
+            problems.extend(errs);
+            return problems;
+        }
+    };
+    for f in &forests {
+        check_intervals(trace, f.tid, &f.label, &f.roots, None, &mut problems);
+    }
+    problems
+}
+
+fn check_intervals(
+    trace: &Trace,
+    tid: usize,
+    label: &str,
+    spans: &[SpanNode],
+    parent: Option<(u64, u64)>,
+    problems: &mut Vec<String>,
+) {
+    let mut prev_end: Option<u64> = None;
+    for s in spans {
+        if s.end_ns < s.start_ns {
+            problems.push(format!(
+                "thread {tid} ({label}): span '{}' runs backwards",
+                trace.name(s.name)
+            ));
+        }
+        if let Some(pe) = prev_end {
+            if s.start_ns < pe {
+                problems.push(format!(
+                    "thread {tid} ({label}): span '{}' overlaps its preceding sibling",
+                    trace.name(s.name)
+                ));
+            }
+        }
+        if let Some((ps, pe)) = parent {
+            if s.start_ns < ps || s.end_ns > pe {
+                problems.push(format!(
+                    "thread {tid} ({label}): span '{}' escapes its parent interval",
+                    trace.name(s.name)
+                ));
+            }
+        }
+        check_intervals(
+            trace,
+            tid,
+            label,
+            &s.children,
+            Some((s.start_ns, s.end_ns)),
+            problems,
+        );
+        prev_end = Some(s.end_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Event, ThreadTrace};
+
+    fn ev(ts: u64, name: u32, kind: Kind) -> Event {
+        Event {
+            ts_ns: ts,
+            name,
+            cat: Cat::Loop,
+            kind,
+            args: [0.0; 3],
+        }
+    }
+
+    fn trace_of(events: Vec<Event>) -> Trace {
+        Trace {
+            names: vec!["a".into(), "b".into(), "c".into()],
+            threads: vec![ThreadTrace {
+                pid: 0,
+                tid: 0,
+                label: "t0".into(),
+                dropped: 0,
+                events,
+            }],
+        }
+    }
+
+    #[test]
+    fn nests_and_validates_clean_stream() {
+        let t = trace_of(vec![
+            ev(0, 0, Kind::Begin),
+            ev(10, 1, Kind::Begin),
+            ev(20, 1, Kind::End),
+            ev(25, 2, Kind::Begin),
+            ev(30, 2, Kind::End),
+            ev(40, 0, Kind::End),
+        ]);
+        let forest = build_forest(&t).unwrap();
+        assert_eq!(forest.len(), 1);
+        assert_eq!(forest[0].roots.len(), 1);
+        let root = &forest[0].roots[0];
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.dur_ns(), 40);
+        assert_eq!(root.self_ns(), 40 - 10 - 5);
+        assert!(validate(&t).is_empty());
+        let mut seen = Vec::new();
+        forest[0].walk(&mut |s, d| seen.push((s.name, d)));
+        assert_eq!(seen, vec![(0, 0), (1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn detects_unclosed_and_unmatched() {
+        let t = trace_of(vec![ev(0, 0, Kind::Begin)]);
+        assert!(build_forest(&t).is_err());
+        assert!(validate(&t)[0].contains("left open"));
+
+        let t = trace_of(vec![ev(0, 0, Kind::End)]);
+        assert!(validate(&t)[0].contains("no open span"));
+
+        let t = trace_of(vec![ev(0, 0, Kind::Begin), ev(5, 1, Kind::End)]);
+        assert!(validate(&t)[0].contains("closes open span"));
+    }
+
+    #[test]
+    fn detects_overlapping_siblings() {
+        let t = trace_of(vec![
+            ev(0, 0, Kind::Begin),
+            ev(10, 0, Kind::End),
+            ev(5, 1, Kind::Begin),
+            ev(15, 1, Kind::End),
+        ]);
+        let problems = validate(&t);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("overlaps"));
+    }
+
+    #[test]
+    fn saturation_is_reported() {
+        let mut t = trace_of(vec![]);
+        t.threads[0].dropped = 3;
+        assert!(validate(&t)[0].contains("dropped"));
+    }
+}

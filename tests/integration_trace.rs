@@ -1,0 +1,172 @@
+//! Tracing integration tests: a traced multi-rank CloverLeaf2D run must
+//! yield a well-formed span tree, the wait spans must reconcile with the
+//! shmpi wait-time accounting, and enabling tracing must not perturb any
+//! numerical result or performance accounting.
+
+use bwb_core::apps::cloverleaf2d;
+use bwb_core::ops::Profile;
+use bwb_core::shmpi::Universe;
+use bwb_core::trace;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Tracing state is process-global; serialize the tests of this binary
+/// that enable it.
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Serial CloverLeaf2D run returning the final density field and profile.
+fn clover_serial(cfg: &cloverleaf2d::Config) -> (Vec<f64>, Profile) {
+    let mut profile = Profile::new();
+    let mut sim = cloverleaf2d::Clover2::new(cfg.clone());
+    for _ in 0..cfg.iterations {
+        sim.cycle(&mut profile, None);
+    }
+    let mut v = Vec::new();
+    for j in 0..cfg.ny as isize {
+        for i in 0..cfg.nx as isize {
+            v.push(sim.density().get(i, j));
+        }
+    }
+    (v, profile)
+}
+
+#[test]
+fn traced_4rank_cloverleaf_has_wellformed_span_tree() {
+    let _g = lock();
+    let cfg = cloverleaf2d::Config {
+        nx: 24,
+        ny: 24,
+        iterations: 3,
+        ..cloverleaf2d::Config::default()
+    };
+    let (out, tr) = trace::with_tracing(|| {
+        let cfg = cfg.clone();
+        Universe::run(4, move |c| {
+            let _ = cloverleaf2d::Clover2::run_distributed(c, cfg.clone());
+        })
+    });
+
+    assert!(!tr.is_empty(), "traced run produced no events");
+    assert_eq!(tr.total_dropped(), 0, "ring buffers saturated");
+    let problems = trace::validate(&tr);
+    assert!(problems.is_empty(), "malformed trace: {problems:?}");
+
+    // Every rank thread contributed a stream with App-level roots.
+    let forest = trace::build_forest(&tr).expect("validated above");
+    let rank_threads = forest
+        .iter()
+        .filter(|t| t.label.starts_with("rank "))
+        .count();
+    assert_eq!(rank_threads, 4, "one traced stream per rank");
+
+    // Summed wait spans (recv waits + barriers) must reconcile with the
+    // scalar wait-time accounting of the communication layer.
+    let mut span_wait_ns = 0u64;
+    for t in &forest {
+        t.walk(&mut |s, _| {
+            let n = tr.name(s.name);
+            if n == "mpi_wait" || n == "barrier" {
+                span_wait_ns += s.dur_ns();
+            }
+        });
+    }
+    let span_wait_s = span_wait_ns as f64 / 1e9;
+    let stat_wait_s = out.stats.total().wait_seconds;
+    assert!(
+        (span_wait_s - stat_wait_s).abs() <= 1e-6 + 1e-6 * stat_wait_s,
+        "wait spans {span_wait_s} s vs CommStats {stat_wait_s} s"
+    );
+
+    // The per-peer detail refines — never exceeds — the scalar account, and
+    // its byte totals agree with RankStats exactly.
+    assert_eq!(out.stats.details.len(), 4);
+    for (r, d) in out.stats.details.iter().enumerate() {
+        let rs = out.stats.per_rank[r];
+        assert!(d.attributed_wait_seconds() <= rs.wait_seconds + 1e-9);
+        let sent: u64 = d.per_peer.values().map(|p| p.bytes_sent).sum();
+        let recvd: u64 = d.per_peer.values().map(|p| p.bytes_received).sum();
+        assert_eq!(sent, rs.bytes_sent, "rank {r} sent bytes");
+        assert_eq!(recvd, rs.bytes_received, "rank {r} received bytes");
+        let hist_msgs: u64 = d
+            .per_peer
+            .values()
+            .flat_map(|p| p.send_size_hist.iter())
+            .sum();
+        assert_eq!(hist_msgs, rs.sends, "rank {r} histogram mass");
+    }
+}
+
+#[test]
+fn traced_run_exports_valid_chrome_json() {
+    let _g = lock();
+    let cfg = cloverleaf2d::Config {
+        nx: 16,
+        ny: 16,
+        iterations: 2,
+        ..cloverleaf2d::Config::default()
+    };
+    let ((), tr) = trace::with_tracing(|| {
+        let _ = clover_serial(&cfg);
+    });
+    let json = trace::to_chrome_json(&tr, &trace::ChromeOptions::default());
+    let doc = trace::json::parse(&json).expect("exporter emits parseable JSON");
+    let schema_problems = trace::json::validate_chrome(&doc);
+    assert!(
+        schema_problems.is_empty(),
+        "trace_event schema violations: {schema_problems:?}"
+    );
+    // Loop spans carry the bandwidth annotations the report layer reads.
+    assert!(json.contains("\"bytes\""), "loop spans carry bytes args");
+    assert!(json.contains("\"flops\""), "loop spans carry flops args");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Enabling tracing is observational only: bitwise-identical physics and
+    /// identical {bytes, flops, points} accounting on a serial run, and
+    /// identical results plus {msgs, bytes} communication accounting on a
+    /// distributed run.
+    #[test]
+    fn tracing_changes_nothing(nx in 8usize..20, ny in 8usize..20, iters in 1usize..4) {
+        let _g = lock();
+        let cfg = cloverleaf2d::Config {
+            nx,
+            ny,
+            iterations: iters,
+            ..cloverleaf2d::Config::default()
+        };
+
+        let (plain_density, plain_profile) = clover_serial(&cfg);
+        let ((traced_density, traced_profile), tr) =
+            trace::with_tracing(|| clover_serial(&cfg));
+
+        prop_assert!(!tr.is_empty());
+        prop_assert_eq!(&plain_density, &traced_density);
+        for (a, b) in plain_profile.records().iter().zip(traced_profile.records()) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(a.bytes, b.bytes);
+            prop_assert_eq!(a.points, b.points);
+            prop_assert_eq!(a.flops, b.flops);
+            prop_assert_eq!(a.calls, b.calls);
+        }
+
+        // Distributed: same gathered field and same message/byte counts.
+        let run_dist = || {
+            let cfg = cfg.clone();
+            Universe::run(2, move |c| {
+                cloverleaf2d::Clover2::run_distributed(c, cfg.clone()).1
+            })
+        };
+        let plain = run_dist();
+        let (traced, _tr2) = trace::with_tracing(run_dist);
+        prop_assert_eq!(&plain.results[0], &traced.results[0]);
+        prop_assert_eq!(plain.stats.total().sends, traced.stats.total().sends);
+        prop_assert_eq!(plain.stats.total().bytes_sent, traced.stats.total().bytes_sent);
+        prop_assert_eq!(plain.stats.total().recvs, traced.stats.total().recvs);
+    }
+}
