@@ -671,6 +671,197 @@ impl Clover3 {
     }
 }
 
+/// Declared access contracts of every DSL loop in this app, for
+/// `bwb-dslcheck`. (`update_halo`/`velocity_bcs` are hand-rolled fills, not
+/// `par_loop`s, so they carry no contract.) Data-dependent upwind windows
+/// are declared at their full width; checked execution only flags reads
+/// *outside* a declaration.
+pub fn loop_specs() -> Vec<bwb_ops::LoopSpec> {
+    use bwb_ops::{ArgSpec as A, LoopSpec as L, Stencil as S};
+    // Node quantity sampled at the 8 corners of a cell: {0,1}³.
+    let corners = || {
+        let mut v = Vec::new();
+        for dk in 0..=1isize {
+            for dj in 0..=1isize {
+                for di in 0..=1isize {
+                    v.push((di, dj, dk));
+                }
+            }
+        }
+        S::of3(&v)
+    };
+    // Cell quantity sampled at the 8 cells around a node: {-1,0}³.
+    let nodal = || {
+        let mut v = Vec::new();
+        for dk in -1..=0isize {
+            for dj in -1..=0isize {
+                for di in -1..=0isize {
+                    v.push((di, dj, dk));
+                }
+            }
+        }
+        S::of3(&v)
+    };
+    // 4 face nodes of the face normal to `dir` at layer 0: offsets with the
+    // `dir` component fixed to 0 and the other two in {0,1}.
+    let face4 = |dir: usize| {
+        let mut v = Vec::new();
+        for b in 0..=1isize {
+            for a in 0..=1isize {
+                let mut o = [0isize; 3];
+                let others: [usize; 2] = match dir {
+                    0 => [1, 2],
+                    1 => [0, 2],
+                    _ => [0, 1],
+                };
+                o[others[0]] = a;
+                o[others[1]] = b;
+                v.push((o[0], o[1], o[2]));
+            }
+        }
+        S::of3(&v)
+    };
+    // Donor-cell window along `dir`: {-1, 0, 1}.
+    let upwind3 = |dir: usize| {
+        let mut v = Vec::new();
+        for d in -1..=1isize {
+            let mut o = [0isize; 3];
+            o[dir] = d;
+            v.push((o[0], o[1], o[2]));
+        }
+        S::of3(&v)
+    };
+    // Flux faces along `dir`: {0, 1}.
+    let faces2 = |dir: usize| {
+        let mut v = Vec::new();
+        for d in 0..=1isize {
+            let mut o = [0isize; 3];
+            o[dir] = d;
+            v.push((o[0], o[1], o[2]));
+        }
+        S::of3(&v)
+    };
+    let advec_cell = |dir: usize| {
+        let name = match dir {
+            0 => "advec_cell3_x",
+            1 => "advec_cell3_y",
+            _ => "advec_cell3_z",
+        };
+        let flux = match dir {
+            0 => "vol_flux_x",
+            1 => "vol_flux_y",
+            _ => "vol_flux_z",
+        };
+        L::new(
+            name,
+            vec![A::write("work_d"), A::write("work_e")],
+            vec![
+                A::read("density1", upwind3(dir)),
+                A::read("energy1", upwind3(dir)),
+                A::read(flux, faces2(dir)),
+            ],
+        )
+    };
+    let flux_calc = |dir: usize| {
+        let (name, flux, vel0, vel1) = match dir {
+            0 => ("flux_calc3_x", "vol_flux_x", "xvel", "xvel1"),
+            1 => ("flux_calc3_y", "vol_flux_y", "yvel", "yvel1"),
+            _ => ("flux_calc3_z", "vol_flux_z", "zvel", "zvel1"),
+        };
+        L::new(
+            name,
+            vec![A::write(flux)],
+            vec![A::read(vel0, face4(dir)), A::read(vel1, face4(dir))],
+        )
+    };
+    vec![
+        L::new(
+            "ideal_gas3",
+            vec![A::write("pressure"), A::write("soundspeed")],
+            vec![
+                A::read("density0", S::point()),
+                A::read("energy0", S::point()),
+            ],
+        ),
+        L::new(
+            "viscosity3",
+            vec![A::write("viscosity")],
+            vec![
+                A::read("density0", S::point()),
+                A::read("xvel", corners()),
+                A::read("yvel", corners()),
+                A::read("zvel", corners()),
+            ],
+        ),
+        L::new(
+            "calc_dt3",
+            vec![],
+            vec![
+                A::read("soundspeed", S::point()),
+                A::read("xvel", S::point()),
+                A::read("yvel", S::point()),
+                A::read("zvel", S::point()),
+            ],
+        ),
+        L::new(
+            "accelerate3",
+            vec![A::write("xvel1"), A::write("yvel1"), A::write("zvel1")],
+            vec![
+                A::read("density0", nodal()),
+                A::read("pressure", nodal()),
+                A::read("viscosity", nodal()),
+                A::read("xvel", S::point()),
+                A::read("yvel", S::point()),
+                A::read("zvel", S::point()),
+            ],
+        ),
+        L::new(
+            "pdv3",
+            vec![A::write("energy1"), A::write("density1")],
+            vec![
+                A::read("density0", S::point()),
+                A::read("energy0", S::point()),
+                A::read("pressure", S::point()),
+                A::read("viscosity", S::point()),
+                A::read("xvel1", corners()),
+                A::read("yvel1", corners()),
+                A::read("zvel1", corners()),
+            ],
+        ),
+        flux_calc(0),
+        flux_calc(1),
+        flux_calc(2),
+        advec_cell(0),
+        advec_cell(1),
+        advec_cell(2),
+        L::new(
+            "advec_mom3",
+            vec![A::write("xvel"), A::write("yvel"), A::write("zvel")],
+            vec![
+                A::read("xvel1", S::plus3(1)),
+                A::read("yvel1", S::plus3(1)),
+                A::read("zvel1", S::plus3(1)),
+            ],
+        ),
+        L::new(
+            "reset_field3",
+            vec![A::write("density0"), A::write("energy0")],
+            vec![
+                A::read("density1", S::point()),
+                A::read("energy1", S::point()),
+            ],
+        ),
+        L::new(
+            "field_summary3",
+            vec![],
+            vec![
+                A::read("density0", S::point()),
+                A::read("energy0", S::point()),
+            ],
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -490,6 +490,67 @@ impl OpenSbli {
     }
 }
 
+/// Declared access contracts of every DSL loop in this app (both
+/// variants), for `bwb-dslcheck`. (`periodic_halos` is a hand-rolled fill,
+/// not a `par_loop`, so it carries no contract.)
+///
+/// `sbli_rk` runs at two arities. The `(1 out, 2 ins)` arity covers both
+/// RK stage 1 (`q1 = q + dt·L`, a pure overwrite) and stage 3
+/// (`q = q/3 + …`, which reads the output back through its row slice), so
+/// its output is declared `ReadWrite` — the mode that admits both.
+pub fn loop_specs() -> Vec<bwb_ops::LoopSpec> {
+    use bwb_ops::{ArgSpec as A, LoopSpec as L, Stencil as S};
+    // 4th-order central differences: the radius-2 star.
+    let star2 = || S::plus3(RADIUS);
+    vec![
+        L::new(
+            "sbli_sa_derivs",
+            vec![
+                A::write("wk_dx1"),
+                A::write("wk_dy1"),
+                A::write("wk_dz1"),
+                A::write("wk_dx2"),
+                A::write("wk_dy2"),
+                A::write("wk_dz2"),
+            ],
+            vec![A::read("q", star2())],
+        ),
+        L::new(
+            "sbli_sa_combine",
+            vec![A::write("rhs")],
+            vec![
+                A::read("wk_dx1", S::point()),
+                A::read("wk_dy1", S::point()),
+                A::read("wk_dz1", S::point()),
+                A::read("wk_dx2", S::point()),
+                A::read("wk_dy2", S::point()),
+                A::read("wk_dz2", S::point()),
+            ],
+        ),
+        L::new(
+            "sbli_sn_fused",
+            vec![A::write("rhs")],
+            vec![A::read("q", star2())],
+        ),
+        // RK stages 1 and 3 (see above: ReadWrite covers both).
+        L::new(
+            "sbli_rk",
+            vec![A::read_write("q_next")],
+            vec![A::read("q_src", S::point()), A::read("rhs", S::point())],
+        ),
+        // RK stage 2: q2 = 3/4 q + 1/4 (q1 + dt·L(q1)).
+        L::new(
+            "sbli_rk",
+            vec![A::write("q2")],
+            vec![
+                A::read("q", S::point()),
+                A::read("q1", S::point()),
+                A::read("rhs", S::point()),
+            ],
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,14 +4,18 @@
 //! Exit status is 0 only when every app is clean — CI gates on this.
 //!
 //! ```text
-//! cargo run --release -p bwb-bench --bin analyze          # human + JSON
-//! cargo run --release -p bwb-bench --bin analyze -- --json  # JSON only
+//! cargo run --release -p bwb-bench --bin analyze              # human + JSON
+//! cargo run --release -p bwb-bench --bin analyze -- --json      # JSON only
+//! cargo run --release -p bwb-bench --bin analyze -- --dataflow  # whole-chain
 //! ```
+//!
+//! `--dataflow` switches to the whole-chain dataflow report: per-app lint
+//! table (dead stores, redundant/too-shallow exchanges), the fusion plan,
+//! and the derived traffic summary with streaming-store eligibility.
 
 use std::process::ExitCode;
 
-fn main() -> ExitCode {
-    let json_only = std::env::args().any(|a| a == "--json");
+fn access_report(json_only: bool) -> usize {
     let reports = bwb_dslcheck::check_all();
 
     if !json_only {
@@ -48,6 +52,63 @@ fn main() -> ExitCode {
         .collect::<Vec<_>>()
         .join(",");
     println!("{{\"total_violations\":{total},\"apps\":[{apps}],\"violations\":[{violations}]}}");
+    total
+}
+
+fn dataflow_report(json_only: bool) -> usize {
+    let reports = bwb_dslcheck::dataflow_all();
+
+    if !json_only {
+        eprintln!(
+            "{:<14} {:>5} {:>4} {:>5} {:>6} {:>8} {:>6}  status",
+            "app", "loops", "exch", "fuse", "elid%", "gain", "lints"
+        );
+        for r in &reports {
+            if !r.analyzed {
+                eprintln!(
+                    "{:<14} {:>5}     -     -      -        -      -  skipped ({})",
+                    r.app,
+                    r.loops,
+                    r.note.as_deref().unwrap_or("limited")
+                );
+                continue;
+            }
+            let status = if r.clean() { "ok" } else { "FAIL" };
+            eprintln!(
+                "{:<14} {:>5} {:>4} {:>5} {:>5.1}% {:>8.4} {:>6}  {status}",
+                r.app,
+                r.loops,
+                r.exchanges,
+                r.fusion.legal_pairs(),
+                100.0 * r.traffic.elidable_fraction(),
+                r.traffic.streaming_gain_bound(),
+                r.violations.len(),
+            );
+            for v in &r.violations {
+                eprintln!("    {v}");
+            }
+        }
+    }
+
+    let total: usize = reports.iter().map(|r| r.violations.len()).sum();
+    let apps = reports
+        .iter()
+        .map(|r| r.to_json())
+        .collect::<Vec<_>>()
+        .join(",");
+    println!("{{\"total_violations\":{total},\"apps\":[{apps}]}}");
+    total
+}
+
+fn main() -> ExitCode {
+    let json_only = std::env::args().any(|a| a == "--json");
+    let dataflow = std::env::args().any(|a| a == "--dataflow");
+
+    let total = if dataflow {
+        dataflow_report(json_only)
+    } else {
+        access_report(json_only)
+    };
 
     if total == 0 {
         ExitCode::SUCCESS

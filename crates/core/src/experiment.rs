@@ -3,7 +3,25 @@
 use bwb_machine::{platforms, CommDistance};
 use bwb_perfmodel::figures;
 use bwb_report::{BarChart, CsvWriter, Table};
-use bwb_stream::model::figure1_curves;
+use bwb_stream::model::figure1_curves_with;
+
+/// Figure-1 curves driven by the Triad traffic model *derived* from a
+/// recorded reference kernel by the whole-chain dataflow analyzer (which
+/// cross-checks it against `bwb_memsim`'s hand-declared STREAM constant).
+/// The figures therefore consume measured-program traffic, not a typed-in
+/// number.
+fn figure1_curves(
+    min_elements: u64,
+    max_elements: u64,
+    points: usize,
+) -> Vec<bwb_stream::Figure1Series> {
+    figure1_curves_with(
+        bwb_dslcheck::traffic::reference_triad_traffic(),
+        min_elements,
+        max_elements,
+        points,
+    )
+}
 
 /// The paper's figures (1–9).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -473,6 +491,17 @@ mod tests {
         let s = Experiment::new(Figure::Fig6Platforms).render();
         assert!(s.contains("vs 8360Y"));
         assert!(s.contains("miniBUDE"));
+    }
+
+    #[test]
+    fn derived_triad_traffic_agrees_with_declared_constant() {
+        // The agreement the Figure-1 wiring relies on: the dataflow-derived
+        // reference Triad model must equal memsim's declared one, so
+        // consuming derived traffic cannot drift the published curves.
+        let derived = bwb_dslcheck::traffic::reference_triad_traffic();
+        let declared = bwb_memsim::TrafficModel::stream_triad();
+        assert_eq!(derived.read_bytes, declared.read_bytes);
+        assert_eq!(derived.write_bytes, declared.write_bytes);
     }
 
     #[test]

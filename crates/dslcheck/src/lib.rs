@@ -19,20 +19,40 @@
 //!   loop's access set and its declared coloring, prove no two same-color
 //!   elements write the same indirect target, and flag order-dependent
 //!   indirect overwrites (which not even a valid coloring can fix).
+//! * [`graph`] / [`lints`] / [`traffic`] / [`dataflow`] — **whole-chain
+//!   dataflow analysis**: build an inter-loop def-use graph over a full
+//!   recorded run (loops interleaved with the halo exchanges it performed)
+//!   and walk it for dead/overwritten stores, provably redundant or
+//!   too-shallow halo exchanges, fusion-legality certification of adjacent
+//!   loop pairs, and streaming-store eligibility — with per-loop traffic
+//!   models *derived* from the recording and cross-checked against
+//!   `bwb_memsim::stores`' STREAM constants.
 //!
-//! [`check_all`] runs all registered apps (CloverLeaf 2D, Acoustic — local
-//! and decomposed —, miniWeather, MG-CFD, Volna, and a tiled chain demo)
-//! under the applicable analyzers; the `analyze` binary in `bwb-bench`
-//! renders the result as a JSON report and gates CI on it.
+//! [`check_all`] runs all registered apps (CloverLeaf 2D/3D, Acoustic —
+//! local and decomposed —, OpenSBLI SA/SN, miniWeather, MG-CFD, Volna,
+//! miniBUDE, and a tiled chain demo) under the applicable analyzers;
+//! [`dataflow_all`] produces the whole-chain dataflow report for the same
+//! apps. The `analyze` binary in `bwb-bench` renders both as JSON reports
+//! and gates CI on them.
 
 pub mod checked;
+pub mod dataflow;
+pub mod graph;
+pub mod lints;
 pub mod plan;
 pub mod race;
 pub mod registry;
+pub mod traffic;
 pub mod violation;
 
 pub use checked::check_structured;
+pub use dataflow::DataflowReport;
+pub use graph::DefUseGraph;
+pub use lints::{check_fusion_claims, dead_stores, exchange_lints, fusion_plan, FusionPlan};
 pub use plan::{check_chain_plan, check_halo_depth};
 pub use race::check_unstructured;
-pub use registry::{check_all, AppReport};
+pub use registry::{check_all, dataflow_all, AppReport};
+pub use traffic::{
+    check_streaming_claims, derive as derive_traffic, AppTraffic, DEFAULT_RESIDENCY_BYTES,
+};
 pub use violation::{Kind, Violation};

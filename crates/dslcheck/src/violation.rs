@@ -84,6 +84,51 @@ pub enum Kind {
         src: usize,
         target: usize,
     },
+    /// A field fully written by one loop and fully rewritten by a later
+    /// loop with no intervening read — the first write is pure wasted
+    /// (write-allocate) traffic.
+    DeadStore {
+        dat: String,
+        first_loop: String,
+        first_at: usize,
+        second_loop: String,
+        second_at: usize,
+    },
+    /// A halo exchange whose ghost content was already valid to at least
+    /// the exchanged depth (no write since an equal-or-deeper exchange) —
+    /// pure wasted communication.
+    RedundantExchange {
+        dat: String,
+        depth: usize,
+        at: usize,
+        prior_depth: usize,
+    },
+    /// A loop read an exchanged dat at a radius deeper than the halo
+    /// validity accumulated at that point of the program — the whole-chain
+    /// generalization of [`Kind::HaloDepthTooShallow`].
+    StaleHaloRead {
+        dat: String,
+        loop_name: String,
+        at: usize,
+        required_radius: isize,
+        valid_depth: isize,
+    },
+    /// A claimed loop fusion is illegal: the pair is not adjacent over the
+    /// same iteration space, or a shared field crosses it at nonzero
+    /// stencil radius (fused execution would read half-updated points).
+    IllegalFusion {
+        first_loop: String,
+        second_loop: String,
+        reason: String,
+    },
+    /// An output claimed safe for non-temporal (streaming) stores is not:
+    /// it is re-read within the cache-residency window, read back in-loop,
+    /// or does not fully overwrite its dataset.
+    StreamingStoreUnsafe {
+        loop_name: String,
+        dat: String,
+        reason: String,
+    },
 }
 
 impl Kind {
@@ -100,6 +145,11 @@ impl Kind {
             Kind::SameColorConflict { .. } => "same_color_conflict",
             Kind::IndirectWriteOverlap { .. } => "indirect_write_overlap",
             Kind::DirectWriteNotOwn { .. } => "direct_write_not_own",
+            Kind::DeadStore { .. } => "dead_store",
+            Kind::RedundantExchange { .. } => "redundant_exchange",
+            Kind::StaleHaloRead { .. } => "stale_halo_read",
+            Kind::IllegalFusion { .. } => "illegal_fusion",
+            Kind::StreamingStoreUnsafe { .. } => "streaming_store_unsafe",
         }
     }
 }
@@ -196,6 +246,54 @@ impl fmt::Display for Kind {
                 f,
                 "direct loop '{loop_name}': element {src} accesses '{dat}'[{target}] \
                  instead of its own entry"
+            ),
+            Kind::DeadStore {
+                dat,
+                first_loop,
+                first_at,
+                second_loop,
+                second_at,
+            } => write!(
+                f,
+                "dat '{dat}' fully written by loop '{first_loop}' (#{first_at}) and \
+                 rewritten by '{second_loop}' (#{second_at}) with no intervening read"
+            ),
+            Kind::RedundantExchange {
+                dat,
+                depth,
+                at,
+                prior_depth,
+            } => write!(
+                f,
+                "exchange of '{dat}' at depth {depth} (after loop #{at}) is redundant: \
+                 halo already valid to depth {prior_depth} with no write since"
+            ),
+            Kind::StaleHaloRead {
+                dat,
+                loop_name,
+                at,
+                required_radius,
+                valid_depth,
+            } => write!(
+                f,
+                "loop '{loop_name}' (#{at}) reads '{dat}' at radius {required_radius} \
+                 but its halo is only valid to depth {valid_depth} at that point"
+            ),
+            Kind::IllegalFusion {
+                first_loop,
+                second_loop,
+                reason,
+            } => write!(
+                f,
+                "fusing '{first_loop}' with '{second_loop}' is illegal: {reason}"
+            ),
+            Kind::StreamingStoreUnsafe {
+                loop_name,
+                dat,
+                reason,
+            } => write!(
+                f,
+                "loop '{loop_name}' output '{dat}' is not streaming-store safe: {reason}"
             ),
         }
     }

@@ -119,23 +119,34 @@ impl Stencil {
         self.offsets.iter()
     }
 
-    /// Maximum absolute offset component — the halo depth the stencil needs.
-    pub fn radius(&self) -> isize {
+    /// Maximum absolute offset along one axis (`0` = i, `1` = j, `2` = k).
+    ///
+    /// Anisotropic stencils (a 1-D sweep, an upwind-biased face window)
+    /// have different reach per axis; `radius()`/`outer_radius()` collapse
+    /// that to a max and must only be used where a per-axis bound would be
+    /// unsound anyway (isotropic halo exchanges, conservative gates).
+    pub fn radius_along(&self, axis: usize) -> isize {
         self.offsets
             .iter()
-            .map(|&(di, dj, dk)| di.abs().max(dj.abs()).max(dk.abs()))
+            .map(|&(di, dj, dk)| [di, dj, dk][axis].abs())
             .max()
             .unwrap_or(0)
     }
 
-    /// Maximum absolute outer-dimension (`dj` in 2-D) offset — the skew
-    /// reach the tiling engine must honour.
+    /// Maximum absolute offset component — the halo depth the stencil needs
+    /// when every dimension is exchanged at the same depth.
+    pub fn radius(&self) -> isize {
+        self.radius_along(0)
+            .max(self.radius_along(1))
+            .max(self.radius_along(2))
+    }
+
+    /// Maximum absolute outer-dimension (`dj`/`dk`) offset — the skew
+    /// reach the tiling engine must honour. Deliberately ignores `di`:
+    /// tiles split the outer dimensions only, so inner-dimension reach
+    /// never crosses a tile boundary.
     pub fn outer_radius(&self) -> isize {
-        self.offsets
-            .iter()
-            .map(|&(_, dj, dk)| dj.abs().max(dk.abs()))
-            .max()
-            .unwrap_or(0)
+        self.radius_along(1).max(self.radius_along(2))
     }
 }
 
@@ -217,6 +228,9 @@ pub struct ArgObs {
     pub halo: isize,
     /// Interior extent `(nx, ny, nz)`; `nz = 1` for 2-D datasets.
     pub extent: (usize, usize, usize),
+    /// Size of one element in bytes (`size_of::<T>()` of the dataset) —
+    /// lets traffic analyzers price observations without knowing `T`.
+    pub elem_bytes: usize,
     /// Observed read offsets (inputs only).
     pub offsets: BTreeSet<(isize, isize, isize)>,
     /// Output was overwritten at the current point (`set` / row slices).
@@ -228,11 +242,12 @@ pub struct ArgObs {
 }
 
 impl ArgObs {
-    fn new(name: String, halo: isize, extent: (usize, usize, usize)) -> Self {
+    fn new(name: String, halo: isize, extent: (usize, usize, usize), elem_bytes: usize) -> Self {
         ArgObs {
             name,
             halo,
             extent,
+            elem_bytes,
             offsets: BTreeSet::new(),
             wrote: false,
             read_back: false,
@@ -240,22 +255,25 @@ impl ArgObs {
         }
     }
 
-    /// Maximum absolute observed offset component.
-    pub fn radius(&self) -> isize {
+    /// Maximum absolute observed offset along one axis (`0`=i, `1`=j, `2`=k).
+    pub fn radius_along(&self, axis: usize) -> isize {
         self.offsets
             .iter()
-            .map(|&(di, dj, dk)| di.abs().max(dj.abs()).max(dk.abs()))
+            .map(|&(di, dj, dk)| [di, dj, dk][axis].abs())
             .max()
             .unwrap_or(0)
     }
 
+    /// Maximum absolute observed offset component.
+    pub fn radius(&self) -> isize {
+        self.radius_along(0)
+            .max(self.radius_along(1))
+            .max(self.radius_along(2))
+    }
+
     /// Maximum absolute observed outer-dimension offset.
     pub fn outer_radius(&self) -> isize {
-        self.offsets
-            .iter()
-            .map(|&(_, dj, dk)| dj.abs().max(dk.abs()))
-            .max()
-            .unwrap_or(0)
+        self.radius_along(1).max(self.radius_along(2))
     }
 }
 
@@ -271,12 +289,35 @@ pub struct LoopObs {
     pub ins: Vec<ArgObs>,
 }
 
+/// One recorded halo exchange, ordered against the loop stream.
+///
+/// `at` is the number of loops completed before the exchange fired, so an
+/// exchange with `at == n` happened between `loops[n-1]` and `loops[n]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExchangeObs {
+    /// Runtime dataset name (same naming caveat as [`ArgObs::name`]).
+    pub dat: String,
+    /// Exchanged halo depth.
+    pub depth: usize,
+    /// Loops completed in this session before the exchange.
+    pub at: usize,
+}
+
+/// Everything a recording session observed: the loop stream plus the halo
+/// exchanges interleaved with it.
+#[derive(Debug, Clone, Default)]
+pub struct Recording {
+    pub loops: Vec<LoopObs>,
+    pub exchanges: Vec<ExchangeObs>,
+}
+
 /// Geometry captured per argument when a recorded loop begins.
 #[derive(Debug, Clone)]
 pub(crate) struct ArgMeta {
     pub(crate) name: String,
     pub(crate) halo: isize,
     pub(crate) extent: (usize, usize, usize),
+    pub(crate) elem_bytes: usize,
 }
 
 /// Kinds of output access an accessor can report.
@@ -290,6 +331,7 @@ pub(crate) enum OutKind {
 #[derive(Default)]
 struct Session {
     done: Vec<LoopObs>,
+    exchanges: Vec<ExchangeObs>,
     current: Option<LoopObs>,
 }
 
@@ -311,6 +353,13 @@ pub fn recording_active() -> bool {
 /// return its result together with one [`LoopObs`] per loop invocation it
 /// performed (in execution order). Loops run serially while recording.
 pub fn with_recording<R>(f: impl FnOnce() -> R) -> (R, Vec<LoopObs>) {
+    let (result, rec) = with_recording_full(f);
+    (result, rec.loops)
+}
+
+/// Like [`with_recording`] but also returns the halo exchanges the run
+/// performed, ordered against the loop stream (see [`ExchangeObs::at`]).
+pub fn with_recording_full<R>(f: impl FnOnce() -> R) -> (R, Recording) {
     assert!(
         !recording_active(),
         "nested with_recording sessions are not supported"
@@ -319,8 +368,29 @@ pub fn with_recording<R>(f: impl FnOnce() -> R) -> (R, Vec<LoopObs>) {
     ACTIVE.with(|a| a.set(true));
     let result = f();
     ACTIVE.with(|a| a.set(false));
-    let obs = SESSION.with(|s| std::mem::take(&mut s.borrow_mut().done));
-    (result, obs)
+    let rec = SESSION.with(|s| {
+        let mut s = s.borrow_mut();
+        Recording {
+            loops: std::mem::take(&mut s.done),
+            exchanges: std::mem::take(&mut s.exchanges),
+        }
+    });
+    (result, rec)
+}
+
+/// Record a halo exchange of `dat` at `depth` (call only when
+/// [`recording_active`]). Invoked by the `halo` module so whole-program
+/// analyzers see exchanges ordered against the loop stream.
+pub(crate) fn note_exchange_obs(dat: &str, depth: usize) {
+    SESSION.with(|s| {
+        let mut s = s.borrow_mut();
+        let at = s.done.len();
+        s.exchanges.push(ExchangeObs {
+            dat: dat.to_string(),
+            depth,
+            at,
+        });
+    });
 }
 
 pub(crate) fn begin_loop(
@@ -330,7 +400,7 @@ pub(crate) fn begin_loop(
     outs: Vec<ArgMeta>,
     ins: Vec<ArgMeta>,
 ) {
-    let to_obs = |m: ArgMeta| ArgObs::new(m.name, m.halo, m.extent);
+    let to_obs = |m: ArgMeta| ArgObs::new(m.name, m.halo, m.extent, m.elem_bytes);
     let obs = LoopObs {
         name: name.to_string(),
         dims,
@@ -416,6 +486,77 @@ mod tests {
     }
 
     #[test]
+    fn anisotropic_radii_per_axis() {
+        // An x-sweep face window: deep along i, shallow along j.
+        let s = Stencil::of2(&[(-1, 0), (0, 0), (2, 0), (0, 1)]);
+        assert_eq!(s.radius_along(0), 2);
+        assert_eq!(s.radius_along(1), 1);
+        assert_eq!(s.radius_along(2), 0);
+        // radius() is the max over axes; outer_radius() skips the inner
+        // axis entirely — the two legitimately disagree here.
+        assert_eq!(s.radius(), 2);
+        assert_eq!(s.outer_radius(), 1);
+
+        // The transpose: a j-sweep window, where outer_radius must carry
+        // the full depth.
+        let t = Stencil::of2(&[(0, -1), (0, 0), (0, 2), (1, 0)]);
+        assert_eq!(t.radius_along(0), 1);
+        assert_eq!(t.radius_along(1), 2);
+        assert_eq!(t.radius(), 2);
+        assert_eq!(t.outer_radius(), 2);
+
+        // 3-D: reach only along k.
+        let u = Stencil::of3(&[(0, 0, -3), (0, 0, 0)]);
+        assert_eq!(u.radius_along(0), 0);
+        assert_eq!(u.radius_along(1), 0);
+        assert_eq!(u.radius_along(2), 3);
+        assert_eq!(u.radius(), 3);
+        assert_eq!(u.outer_radius(), 3);
+    }
+
+    #[test]
+    fn arg_obs_anisotropic_radii() {
+        let mut a = ArgObs::new("x".into(), 2, (8, 8, 1), 8);
+        a.offsets.insert((2, 0, 0));
+        a.offsets.insert((0, -1, 0));
+        assert_eq!(a.radius_along(0), 2);
+        assert_eq!(a.radius_along(1), 1);
+        assert_eq!(a.radius(), 2);
+        assert_eq!(a.outer_radius(), 1);
+    }
+
+    #[test]
+    fn full_recording_orders_exchanges_against_loops() {
+        let demo_loop = |name: &str| {
+            begin_loop(name, 2, [0, 2, 0, 2, 0, 1], Vec::new(), Vec::new());
+            end_loop();
+        };
+        let ((), rec) = with_recording_full(|| {
+            note_exchange_obs("u", 2);
+            demo_loop("a");
+            demo_loop("b");
+            note_exchange_obs("u", 1);
+            demo_loop("c");
+        });
+        assert_eq!(rec.loops.len(), 3);
+        assert_eq!(
+            rec.exchanges,
+            vec![
+                ExchangeObs {
+                    dat: "u".into(),
+                    depth: 2,
+                    at: 0
+                },
+                ExchangeObs {
+                    dat: "u".into(),
+                    depth: 1,
+                    at: 2
+                },
+            ]
+        );
+    }
+
+    #[test]
     fn loop_spec_read_radius() {
         let spec = LoopSpec::new(
             "k",
@@ -441,11 +582,13 @@ mod tests {
                     name: "o".into(),
                     halo: 0,
                     extent: (4, 4, 1),
+                    elem_bytes: 8,
                 }],
                 vec![ArgMeta {
                     name: "i".into(),
                     halo: 1,
                     extent: (4, 4, 1),
+                    elem_bytes: 8,
                 }],
             );
             note_read(0, -1, 0, 0);

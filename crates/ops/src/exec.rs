@@ -515,6 +515,7 @@ fn meta2<T: Copy>(d: &Dat2<T>) -> access::ArgMeta {
         name: d.name().to_string(),
         halo: d.halo() as isize,
         extent: (d.nx(), d.ny(), 1),
+        elem_bytes: std::mem::size_of::<T>(),
     }
 }
 
@@ -1106,6 +1107,7 @@ fn meta3<T: Copy>(d: &Dat3<T>) -> access::ArgMeta {
         name: d.name().to_string(),
         halo: d.halo() as isize,
         extent: (d.nx(), d.ny(), d.nz()),
+        elem_bytes: std::mem::size_of::<T>(),
     }
 }
 

@@ -97,6 +97,9 @@ impl DistBlock2 {
         depth: usize,
     ) {
         comm.note_exchange(dat.name(), depth);
+        if crate::access::recording_active() {
+            crate::access::note_exchange_obs(dat.name(), depth);
+        }
         self.exchange_halo_dim(comm, dat, depth, 0);
         self.exchange_halo_dim(comm, dat, depth, 1);
     }
@@ -191,6 +194,9 @@ impl DistBlock2 {
         assert_eq!(dat.nx(), self.nx() + 1, "node field extent");
         assert_eq!(dat.ny(), self.ny() + 1, "node field extent");
         comm.note_exchange(dat.name(), depth);
+        if crate::access::recording_active() {
+            crate::access::note_exchange_obs(dat.name(), depth);
+        }
         if depth == 0 {
             return;
         }
@@ -454,6 +460,9 @@ impl DistBlock3 {
         depth: usize,
     ) {
         comm.note_exchange(dat.name(), depth);
+        if crate::access::recording_active() {
+            crate::access::note_exchange_obs(dat.name(), depth);
+        }
         assert!(depth <= dat.halo());
         if depth == 0 {
             return;

@@ -15,4 +15,6 @@ pub mod babel;
 pub mod model;
 
 pub use babel::{BabelStream, Kernel, KernelResult, Par};
-pub use model::{figure1_curves, Figure1Point, Figure1Series};
+pub use model::{
+    figure1_curves, figure1_curves_with, triad_sweep, triad_sweep_with, Figure1Point, Figure1Series,
+};

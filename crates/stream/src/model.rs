@@ -49,7 +49,8 @@ impl Figure1Series {
     }
 }
 
-/// Model a Triad sweep for one platform/subset/flag combination.
+/// Model a Triad sweep for one platform/subset/flag combination, using the
+/// canonical hand-declared [`TrafficModel::stream_triad`] accounting.
 pub fn triad_sweep(
     platform: &Platform,
     subset: MachineSubset,
@@ -58,8 +59,34 @@ pub fn triad_sweep(
     max_elements: u64,
     points: usize,
 ) -> Figure1Series {
+    triad_sweep_with(
+        platform,
+        subset,
+        streaming_stores,
+        TrafficModel::stream_triad(),
+        min_elements,
+        max_elements,
+        points,
+    )
+}
+
+/// Model a Triad sweep with an explicit per-element traffic model.
+///
+/// The figures pipeline passes the model *derived* by `bwb-dslcheck`'s
+/// whole-chain dataflow analysis from a recorded Triad kernel (which is
+/// cross-checked to equal the hand-declared constant) — so the published
+/// curves consume derived rather than declared traffic.
+#[allow(clippy::too_many_arguments)]
+pub fn triad_sweep_with(
+    platform: &Platform,
+    subset: MachineSubset,
+    streaming_stores: bool,
+    traffic: TrafficModel,
+    min_elements: u64,
+    max_elements: u64,
+    points: usize,
+) -> Figure1Series {
     let model = MemoryHierarchyModel::new(platform.clone());
-    let traffic = TrafficModel::stream_triad();
     let mode = if streaming_stores {
         StoreMode::Streaming
     } else {
@@ -113,23 +140,41 @@ pub fn triad_sweep(
 /// All Figure-1 series: three CPUs × three subsets, plus the SS variant on
 /// the Xeon MAX (whole machine), matching the paper's figure contents.
 pub fn figure1_curves(min_elements: u64, max_elements: u64, points: usize) -> Vec<Figure1Series> {
+    figure1_curves_with(
+        TrafficModel::stream_triad(),
+        min_elements,
+        max_elements,
+        points,
+    )
+}
+
+/// [`figure1_curves`] with an explicit Triad traffic model (see
+/// [`triad_sweep_with`]).
+pub fn figure1_curves_with(
+    traffic: TrafficModel,
+    min_elements: u64,
+    max_elements: u64,
+    points: usize,
+) -> Vec<Figure1Series> {
     let mut series = Vec::new();
     for p in bwb_machine::platforms::all_cpus() {
         for subset in MachineSubset::ALL {
-            series.push(triad_sweep(
+            series.push(triad_sweep_with(
                 &p,
                 subset,
                 false,
+                traffic,
                 min_elements,
                 max_elements,
                 points,
             ));
         }
         if p.measured_triad_ss_gbs.is_some() {
-            series.push(triad_sweep(
+            series.push(triad_sweep_with(
                 &p,
                 MachineSubset::WholeMachine,
                 true,
+                traffic,
                 min_elements,
                 max_elements,
                 points,
