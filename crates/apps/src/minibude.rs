@@ -232,6 +232,43 @@ impl MiniBude {
         out
     }
 
+    /// Distributed pose-energy evaluation: each rank scores a contiguous
+    /// slice of the pose set (embarrassingly parallel — the ligand/protein
+    /// decks are replicated), then non-root ranks send their slice to rank
+    /// 0, which assembles the rank-ordered energy vector. Root returns
+    /// `Some(energies)` (identical to the serial [`Self::energies`]),
+    /// everyone else `None`.
+    ///
+    /// The gather is explicit point-to-point (ctx `"pose_energies"`) so
+    /// commcheck sees a many-to-one phase with per-rank byte counts; slice
+    /// sizes differ by at most one pose, so the imbalance analyzer must
+    /// report this phase balanced.
+    pub fn energies_distributed(&self, comm: &mut bwb_shmpi::Comm) -> Option<Vec<f32>> {
+        const POSE_GATHER_TAG: u32 = 0x7000_0000;
+        let (rank, size) = (comm.rank(), comm.size());
+        let n = self.poses.len();
+        let lo = n * rank / size;
+        let hi = n * (rank + 1) / size;
+        let mine: Vec<f32> = self.poses[lo..hi]
+            .iter()
+            .map(|p| self.pose_energy(p))
+            .collect();
+        comm.set_comm_ctx("pose_energies");
+        let out = if rank == 0 {
+            let mut all = mine;
+            for r in 1..size {
+                all.extend(comm.recv::<f32>(r, POSE_GATHER_TAG));
+            }
+            assert_eq!(all.len(), n, "gathered pose count");
+            Some(all)
+        } else {
+            comm.send(0, POSE_GATHER_TAG, mine);
+            None
+        };
+        comm.clear_comm_ctx();
+        out
+    }
+
     pub fn run(cfg: Config) -> AppRun {
         let mut profile = Profile::new();
         let iterations = cfg.iterations;
@@ -290,6 +327,33 @@ mod tests {
         }];
         m.poses = vec![Pose::IDENTITY];
         m
+    }
+
+    #[test]
+    fn distributed_energies_match_serial() {
+        // 4-rank pose-slice gather must reproduce the serial energy vector
+        // bit-for-bit (same per-pose arithmetic, only the traversal is
+        // partitioned; 13 poses ⇒ uneven slices exercise the split math).
+        let cfg = Config {
+            n_poses: 13,
+            n_ligand: 8,
+            n_protein: 24,
+            parallel: false,
+            ..Config::default()
+        };
+        let serial = {
+            let mut p = Profile::new();
+            MiniBude::new(cfg.clone()).energies(&mut p)
+        };
+        let cfg_run = cfg.clone();
+        let out = bwb_shmpi::Universe::run(4, move |c| {
+            MiniBude::new(cfg_run.clone()).energies_distributed(c)
+        });
+        let gathered = out.results[0].clone().expect("root returns energies");
+        assert_eq!(gathered, serial);
+        for r in 1..4 {
+            assert!(out.results[r].is_none(), "non-root rank returned data");
+        }
     }
 
     #[test]

@@ -271,7 +271,9 @@ impl MiniWeather {
         left: usize,
         right: usize,
     ) {
+        const FIELD_NAMES: [&str; 4] = ["dens", "umom", "wmom", "rhot"];
         for (id, f) in fields.iter_mut().enumerate() {
+            comm.set_comm_ctx(FIELD_NAMES.get(id).copied().unwrap_or("state"));
             let tag = MW_HALO_TAG + id as u32;
             let pack = |f: &Dat2<f64>, lo: isize| -> Vec<f64> {
                 let mut buf = Vec::with_capacity((2 * nz) as usize);
@@ -310,6 +312,7 @@ impl MiniWeather {
                 }
             }
         }
+        comm.clear_comm_ctx();
     }
 
     /// X-direction tendencies of `src` into `self.tend`.

@@ -7,11 +7,17 @@
 //! cargo run --release -p bwb-bench --bin analyze              # human + JSON
 //! cargo run --release -p bwb-bench --bin analyze -- --json      # JSON only
 //! cargo run --release -p bwb-bench --bin analyze -- --dataflow  # whole-chain
+//! cargo run --release -p bwb-bench --bin analyze -- --comm      # commcheck
 //! ```
 //!
 //! `--dataflow` switches to the whole-chain dataflow report: per-app lint
 //! table (dead stores, redundant/too-shallow exchanges), the fusion plan,
 //! and the derived traffic summary with streaming-store eligibility.
+//!
+//! `--comm` switches to commcheck: record every registered distributed app
+//! at 4 ranks under a Xeon MAX placement and verify the cross-rank
+//! communication schedule — envelope matching, deadlock freedom, match
+//! determinism (certified `MatchPlan`), and per-phase load balance.
 
 use std::process::ExitCode;
 
@@ -100,11 +106,51 @@ fn dataflow_report(json_only: bool) -> usize {
     total
 }
 
+fn comm_report(json_only: bool) -> usize {
+    let reports = bwb_dslcheck::comm_check_all();
+
+    if !json_only {
+        eprintln!(
+            "{:<14} {:>5} {:>5} {:>5} {:>4} {:>4} {:>6} {:>5}  status",
+            "app", "sends", "recvs", "barr", "coll", "phs", "dlfree", "cert"
+        );
+        for r in &reports {
+            let status = if r.clean() { "ok" } else { "FAIL" };
+            eprintln!(
+                "{:<14} {:>5} {:>5} {:>5} {:>4} {:>4} {:>6} {:>5}  {status}",
+                r.app,
+                r.sends,
+                r.recvs,
+                r.barriers,
+                r.collectives,
+                r.phases.len(),
+                r.deadlock_free,
+                r.match_plan.certified(),
+            );
+            for v in &r.violations {
+                eprintln!("    {v}");
+            }
+        }
+    }
+
+    let total: usize = reports.iter().map(|r| r.violations.len()).sum();
+    let apps = reports
+        .iter()
+        .map(|r| r.to_json())
+        .collect::<Vec<_>>()
+        .join(",");
+    println!("{{\"total_violations\":{total},\"apps\":[{apps}]}}");
+    total
+}
+
 fn main() -> ExitCode {
     let json_only = std::env::args().any(|a| a == "--json");
     let dataflow = std::env::args().any(|a| a == "--dataflow");
+    let comm = std::env::args().any(|a| a == "--comm");
 
-    let total = if dataflow {
+    let total = if comm {
+        comm_report(json_only)
+    } else if dataflow {
         dataflow_report(json_only)
     } else {
         access_report(json_only)

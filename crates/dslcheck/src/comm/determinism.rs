@@ -1,0 +1,233 @@
+//! Determinism analyzer: certify that every receive's match is unique
+//! regardless of delivery interleaving, and emit the certified
+//! [`MatchPlan`] (commcheck's analogue of the dataflow `FusionPlan`).
+//!
+//! Specific-source receives are deterministic by construction: the mailbox
+//! is FIFO per `(source, tag)`, so the k-th receive from a source/tag
+//! stream always consumes the k-th send — delivery timing cannot change
+//! the pairing. The only way a schedule becomes timing-dependent is an
+//! `ANY_SOURCE` receive with more than one candidate envelope possibly in
+//! flight.
+//!
+//! For an ANY receive `R` at `(rank, at)` that the recorded run matched to
+//! source `m`, an *alternative* is a send `S` from some rank `q ≠ m` to
+//! `(rank, tag)` such that:
+//!
+//! * `S` was not already consumed by an earlier receive of this rank
+//!   (program order — those envelopes are gone by the time `R` runs), and
+//! * `R` does not happen-before `S` (vector clocks from the replay): if
+//!   `R ≺ S` the envelope provably could not exist yet when `R` matched.
+//!
+//! If such an `S` exists, both envelopes could have been pending when `R`
+//! matched, the winner is a race, and [`Kind::NondeterministicMatch`] is
+//! reported. Otherwise the match is forced and the plan entry is certified
+//! deterministic.
+
+use crate::comm::replay::Replay;
+use crate::violation::{Kind, Violation};
+use bwb_shmpi::{CommLog, CommOp};
+
+/// One receive's certified pairing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchEntry {
+    pub rank: usize,
+    /// Event index of the receive in its rank's log.
+    pub at: usize,
+    /// Posted source pattern (`None` = ANY_SOURCE).
+    pub source: Option<usize>,
+    pub tag: u32,
+    /// The matching send, when the replay established one.
+    pub send_rank: Option<usize>,
+    pub send_at: Option<usize>,
+    /// True when the match is provably unique under every interleaving.
+    pub deterministic: bool,
+}
+
+/// The machine-readable match certificate for a whole run.
+#[derive(Debug, Clone, Default)]
+pub struct MatchPlan {
+    pub entries: Vec<MatchEntry>,
+}
+
+impl MatchPlan {
+    /// All receives matched, all matches deterministic.
+    pub fn certified(&self) -> bool {
+        self.entries
+            .iter()
+            .all(|e| e.deterministic && e.send_rank.is_some())
+    }
+
+    pub fn deterministic_entries(&self) -> usize {
+        self.entries.iter().filter(|e| e.deterministic).count()
+    }
+
+    /// JSON array of per-receive entries.
+    pub fn to_json(&self) -> String {
+        let items: Vec<String> = self
+            .entries
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"rank\":{},\"at\":{},\"source\":{},\"tag\":{},\
+                     \"send_rank\":{},\"send_at\":{},\"deterministic\":{}}}",
+                    e.rank,
+                    e.at,
+                    e.source.map_or("\"any\"".into(), |s| s.to_string()),
+                    e.tag,
+                    e.send_rank.map_or("null".into(), |s| s.to_string()),
+                    e.send_at.map_or("null".into(), |s| s.to_string()),
+                    e.deterministic
+                )
+            })
+            .collect();
+        format!("[{}]", items.join(","))
+    }
+}
+
+/// Run the determinism analyzer; returns violations and the match plan.
+pub fn check_determinism(
+    app: &str,
+    logs: &[CommLog],
+    replay: &Replay,
+) -> (Vec<Violation>, MatchPlan) {
+    let mut violations = Vec::new();
+    let mut plan = MatchPlan::default();
+
+    for log in logs {
+        for (at, ev) in log.events.iter().enumerate() {
+            let CommOp::Recv { source, matched } = ev.op else {
+                continue;
+            };
+            let established = replay
+                .matches
+                .iter()
+                .find(|m| m.recv_rank == log.rank && m.recv_at == at);
+
+            let mut deterministic = true;
+            if source.is_none() {
+                // Candidate alternatives: sends to (rank, tag) from other
+                // sources, not consumed by an earlier recv of this rank,
+                // not provably after R.
+                'alt: for other in logs {
+                    if other.rank == matched {
+                        continue;
+                    }
+                    for (sat, sev) in other.events.iter().enumerate() {
+                        let CommOp::Send { dest } = sev.op else {
+                            continue;
+                        };
+                        if dest != log.rank || sev.tag != ev.tag {
+                            continue;
+                        }
+                        let consumed_earlier = replay.matches.iter().any(|m| {
+                            m.send_rank == other.rank
+                                && m.send_at == sat
+                                && m.recv_rank == log.rank
+                                && m.recv_at < at
+                        });
+                        if consumed_earlier {
+                            continue;
+                        }
+                        if !replay.happens_before(log.rank, at, other.rank, sat) {
+                            deterministic = false;
+                            violations.push(Violation {
+                                app: app.into(),
+                                kind: Kind::NondeterministicMatch {
+                                    rank: log.rank,
+                                    at,
+                                    tag: ev.tag,
+                                    matched,
+                                    alt: other.rank,
+                                },
+                            });
+                            break 'alt;
+                        }
+                    }
+                }
+            }
+
+            plan.entries.push(MatchEntry {
+                rank: log.rank,
+                at,
+                source,
+                tag: ev.tag,
+                send_rank: established.map(|m| m.send_rank),
+                send_at: established.map(|m| m.send_at),
+                deterministic,
+            });
+        }
+    }
+
+    (violations, plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::replay::replay;
+    use crate::comm::testutil::{log_of, recv, recv_any, send};
+
+    #[test]
+    fn specific_source_recvs_certify() {
+        let logs = vec![
+            log_of(0, vec![send(2, 1, 8, None)]),
+            log_of(1, vec![send(2, 1, 8, None)]),
+            log_of(2, vec![recv(0, 1, 8, None), recv(1, 1, 8, None)]),
+        ];
+        let r = replay(&logs);
+        let (v, plan) = check_determinism("t", &logs, &r);
+        assert!(v.is_empty());
+        assert!(plan.certified());
+        assert_eq!(plan.entries.len(), 2);
+    }
+
+    #[test]
+    fn racing_any_source_is_flagged() {
+        // Two senders race into one ANY receive: whichever delivery wins
+        // determines the match.
+        let logs = vec![
+            log_of(0, vec![send(2, 1, 8, None)]),
+            log_of(1, vec![send(2, 1, 8, None)]),
+            log_of(2, vec![recv_any(0, 1, 8, None), recv_any(1, 1, 8, None)]),
+        ];
+        let r = replay(&logs);
+        let (v, plan) = check_determinism("t", &logs, &r);
+        assert!(
+            v.iter().any(|v| matches!(
+                v.kind,
+                Kind::NondeterministicMatch {
+                    rank: 2,
+                    at: 0,
+                    matched: 0,
+                    alt: 1,
+                    ..
+                }
+            )),
+            "{v:?}"
+        );
+        assert!(!plan.certified());
+    }
+
+    #[test]
+    fn sequenced_any_source_certifies() {
+        // The second sender only sends after receiving an ack that the
+        // first message was consumed — the ANY matches are forced.
+        let logs = vec![
+            log_of(0, vec![send(2, 1, 8, None)]),
+            log_of(1, vec![recv(2, 9, 4, None), send(2, 1, 8, None)]),
+            log_of(
+                2,
+                vec![
+                    recv_any(0, 1, 8, None),
+                    send(1, 9, 4, None),
+                    recv_any(1, 1, 8, None),
+                ],
+            ),
+        ];
+        let r = replay(&logs);
+        let (v, plan) = check_determinism("t", &logs, &r);
+        assert!(v.is_empty(), "{v:?}");
+        assert!(plan.certified());
+        assert!(plan.to_json().contains("\"source\":\"any\""));
+    }
+}

@@ -1,0 +1,270 @@
+//! commcheck — cross-rank communication-schedule verification.
+//!
+//! The DSL analyzers in this crate hold *intra-rank* schedules (loop
+//! nests, colorings, tiling plans) to their declared contracts; this
+//! module does the same for the *inter-rank* schedule. A run under
+//! [`bwb_shmpi::Universe::run_logged`] records every rank's communication
+//! events (sends, receives, barriers, collective markers — with peer,
+//! tag, bytes, and dat attribution); commcheck then merges the per-rank
+//! logs and proves four properties:
+//!
+//! * **matching** ([`matching`]) — every send is received, every receive
+//!   has a sender (counting over FIFO streams);
+//! * **deadlock** ([`deadlock`]) — the schedule completes under every
+//!   delivery interleaving: no cyclic blocking, equal barrier arity,
+//!   identical collective order (the replay in [`replay`] is the model
+//!   checker — eager sends make the abstract machine monotone, so one
+//!   fixed-point run decides all interleavings);
+//! * **determinism** ([`determinism`]) — every receive's match is unique
+//!   regardless of timing, certified as a machine-readable [`MatchPlan`];
+//! * **imbalance** ([`imbalance`]) — per-phase byte/message skew across
+//!   ranks, priced through the `bwb_machine` placement + latency model
+//!   that `Universe::run_placed` injects.
+//!
+//! [`CommReport::analyze`] bundles all four over one merged log;
+//! [`comm_check_all`] records the registered distributed apps at 4 ranks
+//! under a Xeon MAX placement and is the library entry behind
+//! `analyze --comm` (the CI gate).
+
+pub mod deadlock;
+pub mod determinism;
+pub mod imbalance;
+pub mod matching;
+pub mod replay;
+pub mod testutil;
+
+pub use deadlock::check_deadlock;
+pub use determinism::{check_determinism, MatchEntry, MatchPlan};
+pub use imbalance::{check_imbalance, phase_balance, PhaseBalance, IMBALANCE_THRESHOLD};
+pub use matching::check_matching;
+pub use replay::{replay, BlockState, MatchRec, Outcome, Replay};
+
+pub(crate) use crate::violation::json_escape;
+
+use crate::violation::{Kind, Violation};
+use bwb_machine::platforms::xeon_max_9480;
+use bwb_machine::{LatencyProfile, PlacementPolicy, RankPlacement};
+use bwb_shmpi::{CommLog, CommOp, Universe};
+
+/// The commcheck verdict for one app's recorded run.
+#[derive(Debug, Clone)]
+pub struct CommReport {
+    pub app: String,
+    pub ranks: usize,
+    /// Total events across all ranks.
+    pub events: usize,
+    pub sends: usize,
+    pub recvs: usize,
+    pub barriers: usize,
+    pub collectives: usize,
+    /// Per-phase, per-rank traffic (with modelled cost when a placement
+    /// was supplied).
+    pub phases: Vec<PhaseBalance>,
+    /// The certified send↔receive pairing.
+    pub match_plan: MatchPlan,
+    /// Replay completed and no blocking cycle was found.
+    pub deadlock_free: bool,
+    pub violations: Vec<Violation>,
+}
+
+impl CommReport {
+    /// Run all four analyzers over a merged per-rank log.
+    pub fn analyze(
+        app: &str,
+        logs: &[CommLog],
+        placement: Option<(&RankPlacement, &LatencyProfile)>,
+    ) -> Self {
+        let rep = replay(logs);
+        let mut violations = check_matching(app, logs);
+        violations.extend(check_deadlock(app, logs, &rep));
+        let (det, match_plan) = check_determinism(app, logs, &rep);
+        violations.extend(det);
+        let phases = phase_balance(logs, placement);
+        violations.extend(check_imbalance(app, &phases));
+        violations.sort();
+        violations.dedup();
+
+        let deadlock_free = rep.outcome == Outcome::Completed
+            && !violations
+                .iter()
+                .any(|v| matches!(v.kind, Kind::CommDeadlock { .. }));
+
+        let count = |pred: fn(&CommOp) -> bool| -> usize {
+            logs.iter()
+                .map(|l| l.events.iter().filter(|e| pred(&e.op)).count())
+                .sum()
+        };
+        CommReport {
+            app: app.to_string(),
+            ranks: logs.len(),
+            events: logs.iter().map(|l| l.events.len()).sum(),
+            sends: count(|op| matches!(op, CommOp::Send { .. })),
+            recvs: count(|op| matches!(op, CommOp::Recv { .. })),
+            barriers: count(|op| matches!(op, CommOp::Barrier)),
+            collectives: count(|op| matches!(op, CommOp::Collective { .. })),
+            phases,
+            match_plan,
+            deadlock_free,
+            violations,
+        }
+    }
+
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One JSON object per app (hand-rolled, matching the style of
+    /// [`crate::DataflowReport::to_json`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"app\":\"{}\",\"ranks\":{},\"events\":{},\"sends\":{},\
+             \"recvs\":{},\"barriers\":{},\"collectives\":{},\
+             \"deadlock_free\":{},\
+             \"match_plan\":{{\"certified\":{},\"entries\":{},\
+             \"deterministic\":{},\"matches\":{}}},\
+             \"phases\":[{}],\"violations\":[{}]}}",
+            json_escape(&self.app),
+            self.ranks,
+            self.events,
+            self.sends,
+            self.recvs,
+            self.barriers,
+            self.collectives,
+            self.deadlock_free,
+            self.match_plan.certified(),
+            self.match_plan.entries.len(),
+            self.match_plan.deterministic_entries(),
+            self.match_plan.to_json(),
+            self.phases
+                .iter()
+                .map(|p| p.to_json())
+                .collect::<Vec<_>>()
+                .join(","),
+            self.violations
+                .iter()
+                .map(|v| v.to_json())
+                .collect::<Vec<_>>()
+                .join(","),
+        )
+    }
+}
+
+/// The placement the registry prices traffic with: one rank per NUMA
+/// domain of a Xeon MAX 9480 (the paper's MPI+X configuration), which
+/// puts 4 CI ranks on the 4 NUMA domains of socket 0.
+fn registry_placement() -> (RankPlacement, LatencyProfile) {
+    let plat = xeon_max_9480();
+    (
+        plat.topology.place_ranks(PlacementPolicy::OnePerNuma),
+        plat.latency,
+    )
+}
+
+const REGISTRY_RANKS: usize = 4;
+
+fn record<F, R>(app: &str, f: F) -> CommReport
+where
+    F: Fn(&mut bwb_shmpi::Comm) -> R + Sync,
+    R: Send,
+{
+    let (placement, latency) = registry_placement();
+    let (_out, logs) =
+        Universe::run_placed_logged(REGISTRY_RANKS, Some((placement.clone(), latency)), f);
+    CommReport::analyze(app, &logs, Some((&placement, &latency)))
+}
+
+/// Record and verify the communication schedule of every registered
+/// distributed app at 4 ranks. Zero violations across this registry is the
+/// repo's correctness claim for its inter-rank schedules; the `analyze
+/// --comm` CLI gates CI on it.
+pub fn comm_check_all() -> Vec<CommReport> {
+    use bwb_apps::{acoustic, cloverleaf2d, mgcfd, minibude, miniweather};
+    use bwb_ops::ExecMode;
+
+    vec![
+        record("cloverleaf2d", |c| {
+            let cfg = cloverleaf2d::Config {
+                nx: 24,
+                ny: 24,
+                iterations: 2,
+                mode: ExecMode::Serial,
+                advection: cloverleaf2d::Advection::VanLeer,
+                ..cloverleaf2d::Config::default()
+            };
+            cloverleaf2d::Clover2::run_distributed(c, cfg).1
+        }),
+        record("acoustic", |c| {
+            let cfg = acoustic::Config {
+                n: 16,
+                iterations: 3,
+                mode: ExecMode::Serial,
+                ..acoustic::Config::default()
+            };
+            acoustic::Acoustic::run_distributed(c, cfg).1
+        }),
+        record("miniweather", |c| {
+            let cfg = miniweather::Config {
+                nx: 24,
+                nz: 12,
+                mode: ExecMode::Serial,
+                ..miniweather::Config::default()
+            };
+            miniweather::MiniWeather::run_distributed(c, cfg, 2).1
+        }),
+        record("mgcfd", |c| {
+            let cfg = mgcfd::Config {
+                n: 17,
+                levels: 2,
+                ..mgcfd::Config::default()
+            };
+            mgcfd::distributed_flux(c, &cfg)
+        }),
+        record("minibude", |c| {
+            let sim = minibude::MiniBude::new(minibude::Config {
+                n_poses: 13,
+                n_ligand: 8,
+                n_protein: 24,
+                parallel: false,
+                ..minibude::Config::default()
+            });
+            sim.energies_distributed(c)
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use testutil::{log_of, recv, send};
+
+    #[test]
+    fn report_counts_and_json_shape() {
+        let logs = vec![
+            log_of(0, vec![send(1, 1, 64, Some("u")), recv(1, 1, 64, None)]),
+            log_of(1, vec![send(0, 1, 64, Some("u")), recv(0, 1, 64, None)]),
+        ];
+        let r = CommReport::analyze("demo", &logs, None);
+        assert!(r.clean(), "{:?}", r.violations);
+        assert!(r.deadlock_free);
+        assert_eq!((r.sends, r.recvs), (2, 2));
+        assert!(r.match_plan.certified());
+        let j = r.to_json();
+        assert!(j.contains("\"app\":\"demo\""));
+        assert!(j.contains("\"deadlock_free\":true"));
+        assert!(j.contains("\"phase\":\"u\""));
+    }
+
+    #[test]
+    fn comm_check_all_is_clean() {
+        for report in comm_check_all() {
+            assert!(report.events > 0, "{}: nothing recorded", report.app);
+            assert!(report.deadlock_free, "{}: not deadlock-free", report.app);
+            assert!(
+                report.match_plan.certified(),
+                "{}: match plan not certified",
+                report.app
+            );
+            assert!(report.clean(), "{}: {:?}", report.app, report.violations);
+        }
+    }
+}

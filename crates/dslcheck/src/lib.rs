@@ -27,6 +27,12 @@
 //!   loop pairs, and streaming-store eligibility — with per-loop traffic
 //!   models *derived* from the recording and cross-checked against
 //!   `bwb_memsim::stores`' STREAM constants.
+//! * [`comm`] — **commcheck, cross-rank communication-schedule
+//!   verification**: replay the per-rank event logs a
+//!   `Universe::run_logged` run records and prove envelope matching,
+//!   deadlock freedom (cyclic blocking, barrier arity, collective order),
+//!   match determinism (certified as a [`MatchPlan`]), and per-phase load
+//!   balance priced through the `bwb_machine` placement model.
 //!
 //! [`check_all`] runs all registered apps (CloverLeaf 2D/3D, Acoustic —
 //! local and decomposed —, OpenSBLI SA/SN, miniWeather, MG-CFD, Volna,
@@ -36,6 +42,7 @@
 //! and gates CI on them.
 
 pub mod checked;
+pub mod comm;
 pub mod dataflow;
 pub mod graph;
 pub mod lints;
@@ -46,6 +53,7 @@ pub mod traffic;
 pub mod violation;
 
 pub use checked::check_structured;
+pub use comm::{comm_check_all, CommReport, MatchPlan};
 pub use dataflow::DataflowReport;
 pub use graph::DefUseGraph;
 pub use lints::{check_fusion_claims, dead_stores, exchange_lints, fusion_plan, FusionPlan};

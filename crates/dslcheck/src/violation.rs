@@ -129,6 +129,68 @@ pub enum Kind {
         dat: String,
         reason: String,
     },
+    /// `count` messages from `src` to `dest` with `tag` were never
+    /// received — envelopes left in the destination mailbox at teardown.
+    UnmatchedSend {
+        src: usize,
+        dest: usize,
+        tag: u32,
+        count: usize,
+        /// Dat/phase attribution of the first unmatched send (empty when
+        /// the send carried no context).
+        dat: String,
+    },
+    /// `count` receives posted at `rank` have no possible sender: fewer
+    /// matching sends exist in the whole run than receives consuming them.
+    OrphanRecv {
+        rank: usize,
+        /// The source pattern as posted: a rank number, or `"any"`.
+        source: String,
+        tag: u32,
+        count: usize,
+    },
+    /// An ANY_SOURCE receive whose match depends on delivery timing: the
+    /// recorded run matched `matched`, but a send from `alt` to the same
+    /// (rank, tag) was concurrently in flight.
+    NondeterministicMatch {
+        rank: usize,
+        at: usize,
+        tag: u32,
+        matched: usize,
+        alt: usize,
+    },
+    /// Replay reached a state where the listed ranks block on each other
+    /// in a cycle (each waits for a message or barrier arrival the next
+    /// can never provide).
+    CommDeadlock { cycle: Vec<usize> },
+    /// Two ranks called `barrier()` a different number of times — some
+    /// rank blocks forever in the last barrier.
+    BarrierMismatch {
+        rank_a: usize,
+        count_a: usize,
+        rank_b: usize,
+        count_b: usize,
+    },
+    /// Two ranks invoked collectives in divergent order at position `at`
+    /// of their collective sequences — the tag discipline would
+    /// cross-match different collectives.
+    CollectiveOrderDivergence {
+        at: usize,
+        rank_a: usize,
+        kind_a: String,
+        rank_b: usize,
+        kind_b: String,
+    },
+    /// Within one communication phase, the heaviest participant sends more
+    /// than twice the bytes of the lightest — the exchange serializes on
+    /// the slowest rank.
+    CommImbalance {
+        phase: String,
+        max_rank: usize,
+        max_bytes: u64,
+        min_rank: usize,
+        min_bytes: u64,
+    },
 }
 
 impl Kind {
@@ -150,6 +212,13 @@ impl Kind {
             Kind::StaleHaloRead { .. } => "stale_halo_read",
             Kind::IllegalFusion { .. } => "illegal_fusion",
             Kind::StreamingStoreUnsafe { .. } => "streaming_store_unsafe",
+            Kind::UnmatchedSend { .. } => "unmatched_send",
+            Kind::OrphanRecv { .. } => "orphan_recv",
+            Kind::NondeterministicMatch { .. } => "nondeterministic_match",
+            Kind::CommDeadlock { .. } => "comm_deadlock",
+            Kind::BarrierMismatch { .. } => "barrier_mismatch",
+            Kind::CollectiveOrderDivergence { .. } => "collective_order_divergence",
+            Kind::CommImbalance { .. } => "comm_imbalance",
         }
     }
 }
@@ -295,6 +364,85 @@ impl fmt::Display for Kind {
                 f,
                 "loop '{loop_name}' output '{dat}' is not streaming-store safe: {reason}"
             ),
+            Kind::UnmatchedSend {
+                src,
+                dest,
+                tag,
+                count,
+                dat,
+            } => {
+                write!(
+                    f,
+                    "{count} send(s) {src} -> {dest} tag {tag:#x} never received"
+                )?;
+                if !dat.is_empty() {
+                    write!(f, " (dat '{dat}')")?;
+                }
+                Ok(())
+            }
+            Kind::OrphanRecv {
+                rank,
+                source,
+                tag,
+                count,
+            } => write!(
+                f,
+                "{count} receive(s) at rank {rank} from {source} tag {tag:#x} \
+                 have no possible sender"
+            ),
+            Kind::NondeterministicMatch {
+                rank,
+                at,
+                tag,
+                matched,
+                alt,
+            } => write!(
+                f,
+                "ANY_SOURCE receive #{at} at rank {rank} tag {tag:#x} matched rank \
+                 {matched} but a send from rank {alt} was concurrently in flight"
+            ),
+            Kind::CommDeadlock { cycle } => {
+                write!(f, "ranks ")?;
+                for (i, r) in cycle.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(f, "{r}")?;
+                }
+                write!(f, " block on each other in a cycle (deadlock)")
+            }
+            Kind::BarrierMismatch {
+                rank_a,
+                count_a,
+                rank_b,
+                count_b,
+            } => write!(
+                f,
+                "rank {rank_a} calls barrier() {count_a} time(s) but rank {rank_b} \
+                 calls it {count_b} time(s)"
+            ),
+            Kind::CollectiveOrderDivergence {
+                at,
+                rank_a,
+                kind_a,
+                rank_b,
+                kind_b,
+            } => write!(
+                f,
+                "collective #{at} diverges: rank {rank_a} calls '{kind_a}' but \
+                 rank {rank_b} calls '{kind_b}'"
+            ),
+            Kind::CommImbalance {
+                phase,
+                max_rank,
+                max_bytes,
+                min_rank,
+                min_bytes,
+            } => write!(
+                f,
+                "phase '{phase}': rank {max_rank} sends {max_bytes} B but rank \
+                 {min_rank} only {min_bytes} B (>2x skew)"
+            ),
         }
     }
 }
@@ -305,7 +453,7 @@ impl fmt::Display for Violation {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -18,8 +18,14 @@ use crate::set::{DatU, Map};
 use bwb_shmpi::Comm;
 use serde::{Deserialize, Serialize};
 
-/// Tag space for unstructured halo traffic.
-const UHALO_TAG: u32 = 0x5000_0000;
+/// Tag space for unstructured halo traffic (public for commcheck and
+/// tag-discipline tests). Forward (gather) exchanges use `UHALO_TAG`;
+/// reverse (scatter-add) exchanges use `UHALO_TAG + 1` so a gather and a
+/// scatter between the same rank pair can never cross-match.
+pub const UHALO_TAG: u32 = 0x5000_0000;
+
+/// Tag for reverse-flow contribution traffic ([`RankHalo::scatter_add`]).
+pub const UHALO_SCATTER_TAG: u32 = UHALO_TAG + 1;
 
 /// One rank's exchange lists for a (map, partition) pair.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -109,6 +115,7 @@ impl RankHalo {
     pub fn exchange<T: Copy + Send + 'static>(&self, comm: &mut Comm, dat: &mut DatU<T>) {
         assert_eq!(comm.rank(), self.rank, "halo built for a different rank");
         assert_eq!(comm.size(), self.nparts);
+        comm.set_comm_ctx(&dat.name);
         let dim = dat.dim;
         // Post all sends first (eager), then receive.
         for p in 0..self.nparts {
@@ -135,6 +142,56 @@ impl RankHalo {
             }
             bwb_shmpi::bufpool::put(buf);
         }
+        comm.clear_comm_ctx();
+    }
+
+    /// Reverse-flow exchange: each rank *sends* the contributions it
+    /// accumulated into its ghost copies (the `imports` slots) back to the
+    /// owners, which *add* them into their owned entries. This is the
+    /// communication step of OP2's `OP_INC` indirect loops under
+    /// owner-compute: compute over owned source elements, scatter partial
+    /// sums to ghost targets, then fold the ghosts back onto the owners.
+    pub fn scatter_add<T>(&self, comm: &mut Comm, dat: &mut DatU<T>)
+    where
+        T: Copy + Send + std::ops::AddAssign + 'static,
+    {
+        assert_eq!(comm.rank(), self.rank, "halo built for a different rank");
+        assert_eq!(comm.size(), self.nparts);
+        comm.set_comm_ctx(&dat.name);
+        let dim = dat.dim;
+        // Send my ghost contributions to each owner (reverse of exchange:
+        // imports are outgoing here, exports incoming).
+        for p in 0..self.nparts {
+            if self.imports[p].is_empty() {
+                continue;
+            }
+            let mut buf: Vec<T> = bwb_shmpi::bufpool::take();
+            buf.reserve(self.imports[p].len() * dim);
+            for &t in &self.imports[p] {
+                buf.extend_from_slice(dat.elem(t as usize));
+            }
+            comm.send(p, UHALO_SCATTER_TAG, buf);
+        }
+        for p in 0..self.nparts {
+            if self.exports[p].is_empty() {
+                continue;
+            }
+            let buf = comm.recv::<T>(p, UHALO_SCATTER_TAG);
+            assert_eq!(
+                buf.len(),
+                self.exports[p].len() * dim,
+                "scatter payload size"
+            );
+            for (k, &t) in self.exports[p].iter().enumerate() {
+                for c in 0..dim {
+                    let mut v = dat.get(t as usize, c);
+                    v += buf[k * dim + c];
+                    dat.set(t as usize, c, v);
+                }
+            }
+            bwb_shmpi::bufpool::put(buf);
+        }
+        comm.clear_comm_ctx();
     }
 }
 
@@ -262,6 +319,54 @@ mod tests {
         for r in &out.results {
             for (t, &rv) in r.iter().enumerate() {
                 assert!((rv - serial.get(t, 0)).abs() < 1e-12, "node {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_add_folds_ghost_contributions_onto_owners() {
+        // Same residual as distributed_indirect_sum, but communicated the
+        // owner-compute way: accumulate locally (owned + ghost slots), then
+        // scatter_add the ghost partial sums back to their owners.
+        let map = line(16);
+        let src = block_part(16, 4);
+        let tgt = block_part(17, 4);
+        let nodes = Set::new("nodes", 17);
+
+        let mut serial = DatU::<f64>::new("r", &nodes, 1);
+        for e in 0..16 {
+            let (a, b) = (map.get(e, 0), map.get(e, 1));
+            serial.set(a, 0, serial.get(a, 0) + (e + 1) as f64);
+            serial.set(b, 0, serial.get(b, 0) - 0.5 * (e + 1) as f64);
+        }
+
+        let map2 = map.clone();
+        let src2 = src.clone();
+        let tgt2 = tgt.clone();
+        let out = Universe::run(4, move |c| {
+            let halo = RankHalo::build(&map2, &src2, &tgt2, 4, c.rank());
+            let mut local = DatU::<f64>::new("r", &nodes, 1);
+            for (e, &owner) in src2.iter().enumerate() {
+                if owner as usize != c.rank() {
+                    continue;
+                }
+                let (a, b) = (map2.get(e, 0), map2.get(e, 1));
+                local.set(a, 0, local.get(a, 0) + (e + 1) as f64);
+                local.set(b, 0, local.get(b, 0) - 0.5 * (e + 1) as f64);
+            }
+            halo.scatter_add(c, &mut local);
+            // Owned entries now hold the full sum.
+            let mut owned = vec![];
+            for (t, &owner) in tgt2.iter().enumerate() {
+                if owner as usize == c.rank() {
+                    owned.push((t, local.get(t, 0)));
+                }
+            }
+            owned
+        });
+        for owned in &out.results {
+            for &(t, v) in owned {
+                assert!((v - serial.get(t, 0)).abs() < 1e-12, "node {t}");
             }
         }
     }

@@ -9,9 +9,14 @@ use bwb_shmpi::cart::CartComm;
 use bwb_shmpi::Comm;
 
 /// Tag space reserved for halo traffic (dim × direction encoded).
-const HALO_TAG_BASE: u32 = 0x4000_0000;
+pub const HALO_TAG_BASE: u32 = 0x4000_0000;
 
-fn halo_tag(dim: usize, positive: bool) -> u32 {
+/// The tag a halo message travelling along `dim` in the `positive`
+/// direction carries. Direction-encoded so that the two messages of one
+/// face exchange never cross-match, even on periodic extent-2 topologies
+/// where the low and high neighbour are the same rank (public for
+/// commcheck and the tag-collision property tests).
+pub fn halo_tag(dim: usize, positive: bool) -> u32 {
     HALO_TAG_BASE + (dim as u32) * 2 + u32::from(positive)
 }
 
@@ -200,6 +205,7 @@ impl DistBlock2 {
         if depth == 0 {
             return;
         }
+        comm.set_comm_ctx(dat.name());
         let d = depth as isize;
         let nnx = self.nx() as isize + 1;
         let nny = self.ny() as isize + 1;
@@ -289,6 +295,7 @@ impl DistBlock2 {
         }
         // Node exchange spans both dims; report dim = -1.
         xspan.set_args(-1.0, d as f64, sent_bytes as f64);
+        comm.clear_comm_ctx();
     }
 
     /// One-dimension face exchange: pack low/high strips (strip geometry is
@@ -311,6 +318,7 @@ impl DistBlock2 {
         P: Fn(&Dat2<T>, isize, &mut Vec<T>),
         U: FnMut(&mut Dat2<T>, isize, &[T]),
     {
+        comm.set_comm_ctx(dat.name());
         let low = self.cart.shift(self.rank, dim, -1);
         let high = self.cart.shift(self.rank, dim, 1);
         let mut xspan = bwb_trace::span(bwb_trace::Cat::Halo, "halo_exchange");
@@ -352,6 +360,7 @@ impl DistBlock2 {
             bufpool::put(buf);
         }
         xspan.set_args(dim as f64, d as f64, sent_bytes as f64);
+        comm.clear_comm_ctx();
     }
 
     /// Gather the full global interior onto rank 0 (row-major), `None`
@@ -570,6 +579,7 @@ impl DistBlock3 {
         P: Fn(&Dat3<T>, isize, &mut Vec<T>),
         U: FnMut(&mut Dat3<T>, isize, &[T]),
     {
+        comm.set_comm_ctx(dat.name());
         let low = self.cart.shift(self.rank, dim, -1);
         let high = self.cart.shift(self.rank, dim, 1);
         let mut xspan = bwb_trace::span(bwb_trace::Cat::Halo, "halo_exchange");
@@ -609,6 +619,7 @@ impl DistBlock3 {
             bufpool::put(buf);
         }
         xspan.set_args(dim as f64, d as f64, sent_bytes as f64);
+        comm.clear_comm_ctx();
     }
 
     /// Gather the global interior to rank 0 (x-fastest row-major).

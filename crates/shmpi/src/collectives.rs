@@ -6,10 +6,13 @@
 //! same order on all ranks" MPI requirement applies).
 
 use crate::comm::Comm;
+use crate::event::CommOp;
 use serde::{Deserialize, Serialize};
 
-/// Base of the reserved tag space for collectives.
-const COLL_TAG_BASE: u32 = 0x8000_0000;
+/// Base of the reserved tag space for collectives. Public so analyzers
+/// (commcheck's imbalance pass) can separate collective-internal traffic
+/// from application point-to-point phases by tag alone.
+pub const COLL_TAG_BASE: u32 = 0x8000_0000;
 /// Distinct collective invocations before tags recycle.
 const COLL_TAG_WINDOW: u32 = 0x4000_0000;
 
@@ -77,10 +80,14 @@ impl_reducible_int!(i64);
 impl_reducible_int!(usize);
 
 impl Comm {
-    fn next_coll_tag(&mut self) -> u32 {
+    fn next_coll_tag(&mut self, kind: &'static str) -> u32 {
         let tag = COLL_TAG_BASE + (self.coll_seq % COLL_TAG_WINDOW);
         self.coll_seq += 1;
         self.stats.collectives += 1;
+        // Entry marker for commcheck's collective-order analyzer; the
+        // constituent point-to-point traffic is logged separately under the
+        // reserved tag.
+        self.log_event(CommOp::Collective { kind }, tag, 0);
         tag
     }
 
@@ -93,7 +100,7 @@ impl Comm {
         op: ReduceOp,
         root: usize,
     ) -> Option<Vec<T>> {
-        let tag = self.next_coll_tag();
+        let tag = self.next_coll_tag("reduce");
         if self.rank == root {
             let mut acc: Vec<T> = vals.to_vec();
             // Deterministic rank order (skip self).
@@ -121,7 +128,7 @@ impl Comm {
     /// Broadcast `data` from `root` to all ranks; every rank returns the
     /// root's payload.
     pub fn bcast<T: Clone + Send + 'static>(&mut self, data: Vec<T>, root: usize) -> Vec<T> {
-        let tag = self.next_coll_tag();
+        let tag = self.next_coll_tag("bcast");
         if self.rank == root {
             for dst in 0..self.size() {
                 if dst != root {
@@ -153,7 +160,7 @@ impl Comm {
         vals: &[T],
         root: usize,
     ) -> Option<Vec<Vec<T>>> {
-        let tag = self.next_coll_tag();
+        let tag = self.next_coll_tag("gather");
         if self.rank == root {
             let mut out: Vec<Vec<T>> = Vec::with_capacity(self.size());
             for src in 0..self.size() {

@@ -1,5 +1,6 @@
 //! The per-rank communicator handle: point-to-point messaging.
 
+use crate::event::{CommEvent, CommLog, CommOp};
 use crate::mailbox::{Envelope, Mailbox, Pattern};
 use crate::stats::{CommDetail, RankStats};
 use bwb_machine::{LatencyProfile, RankPlacement};
@@ -34,6 +35,12 @@ pub struct Comm {
     /// analyzers (bwb-dslcheck) can compare exchanged depths against
     /// declared stencil radii. `None` (the default) costs nothing.
     pub(crate) exchange_trace: Option<Vec<(String, usize)>>,
+    /// Full communication event log for commcheck. `None` (the default)
+    /// costs one branch per operation.
+    pub(crate) comm_log: Option<CommLog>,
+    /// Current dat / phase attribution stamped onto logged events. Only
+    /// consulted when `comm_log` is active.
+    pub(crate) comm_ctx: Option<String>,
 }
 
 /// A non-blocking operation handle, completed by [`Comm::wait`].
@@ -61,6 +68,47 @@ impl Comm {
             detail: CommDetail::default(),
             coll_seq: 0,
             exchange_trace: None,
+            comm_log: None,
+            comm_ctx: None,
+        }
+    }
+
+    /// Start recording the full per-rank communication event log (every
+    /// send/recv/barrier/collective with peer, tag, bytes, and ctx
+    /// attribution). Drives `dslcheck::comm`; see [`crate::CommLog`].
+    pub fn enable_comm_log(&mut self) {
+        if self.comm_log.is_none() {
+            self.comm_log = Some(CommLog::new(self.rank));
+        }
+    }
+
+    /// Detach the recorded event log (if any), leaving logging disabled.
+    pub fn take_comm_log(&mut self) -> Option<CommLog> {
+        self.comm_log.take()
+    }
+
+    /// Attribute subsequent logged events to a dat / phase name. No-op
+    /// (and allocation-free) while logging is disabled.
+    pub fn set_comm_ctx(&mut self, ctx: &str) {
+        if self.comm_log.is_some() {
+            self.comm_ctx = Some(ctx.to_string());
+        }
+    }
+
+    /// Clear the dat / phase attribution.
+    pub fn clear_comm_ctx(&mut self) {
+        self.comm_ctx = None;
+    }
+
+    /// Append one event to the comm log (no-op while logging is off).
+    pub(crate) fn log_event(&mut self, op: CommOp, tag: u32, bytes: usize) {
+        if let Some(log) = &mut self.comm_log {
+            log.events.push(CommEvent {
+                op,
+                tag,
+                bytes,
+                ctx: self.comm_ctx.clone(),
+            });
         }
     }
 
@@ -132,6 +180,7 @@ impl Comm {
             "mpi_send",
             [dest as f64, bytes as f64, tag as f64],
         );
+        self.log_event(CommOp::Send { dest }, tag, bytes);
         self.shared.mailboxes[dest].deliver(Envelope {
             source: self.rank,
             tag,
@@ -174,6 +223,14 @@ impl Comm {
             "mpi_wait",
             waited,
             [src as f64, env.bytes as f64, tag as f64],
+        );
+        self.log_event(
+            CommOp::Recv {
+                source: pat.source,
+                matched: src,
+            },
+            tag,
+            env.bytes,
         );
         let data = env.data.downcast::<Vec<T>>().unwrap_or_else(|_| {
             panic!(
@@ -260,6 +317,7 @@ impl Comm {
         let waited = t0.elapsed();
         self.stats.wait_seconds += waited.as_secs_f64();
         self.stats.barriers += 1;
+        self.log_event(CommOp::Barrier, 0, 0);
         // Peer -1: barriers have no peer; bytes 0, tag -1.
         bwb_trace::span_retro(bwb_trace::Cat::Mpi, "barrier", waited, [-1.0, 0.0, -1.0]);
     }

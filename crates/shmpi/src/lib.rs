@@ -43,12 +43,15 @@ pub mod bufpool;
 pub mod cart;
 pub mod collectives;
 pub mod comm;
+pub mod event;
 pub mod mailbox;
 pub mod stats;
 pub mod universe;
 
 pub use cart::CartComm;
-pub use collectives::ReduceOp;
+pub use collectives::{ReduceOp, COLL_TAG_BASE};
 pub use comm::{Comm, Request, ANY_SOURCE};
+pub use event::{CommEvent, CommLog, CommOp};
+pub use mailbox::{Envelope, Mailbox, Pattern};
 pub use stats::{CommDetail, PeerStats, RankStats, WorldStats, SIZE_HIST_BUCKETS};
 pub use universe::{RunOutput, Universe};

@@ -7,6 +7,12 @@
 //! preserves FIFO order per (source, tag) pair, as MPI requires
 //! ("non-overtaking" rule).
 
+// Under `--cfg loom` the lock primitives come from the loom stand-in so the
+// deliver/take_blocking/deliver_front protocol can be model-checked across
+// randomized schedules (see crates/shmpi/tests/loom_mailbox.rs).
+#[cfg(loom)]
+use loom::sync::{Condvar, Mutex};
+#[cfg(not(loom))]
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::collections::VecDeque;

@@ -123,6 +123,10 @@ pub struct RankStats {
     pub modeled_latency_s: f64,
     pub barriers: u64,
     pub collectives: u64,
+    /// Envelopes still queued in this rank's mailbox when the world tore
+    /// down — sends nobody received. Nonzero values indicate a matching
+    /// bug (debug builds also assert on them at teardown).
+    pub unreceived_at_teardown: u64,
 }
 
 impl RankStats {
@@ -135,6 +139,7 @@ impl RankStats {
         self.modeled_latency_s += other.modeled_latency_s;
         self.barriers += other.barriers;
         self.collectives += other.collectives;
+        self.unreceived_at_teardown += other.unreceived_at_teardown;
     }
 }
 

@@ -1,6 +1,7 @@
 //! Launching a "world" of ranks as scoped threads.
 
 use crate::comm::{Comm, Shared};
+use crate::event::CommLog;
 use crate::mailbox::Mailbox;
 use crate::stats::{CommDetail, RankStats, WorldStats};
 use bwb_machine::{LatencyProfile, RankPlacement};
@@ -56,6 +57,44 @@ impl Universe {
         F: Fn(&mut Comm) -> R + Sync,
         R: Send,
     {
+        Self::run_impl(size, placement, false, f).0
+    }
+
+    /// Like [`Universe::run`] but with communication-event logging enabled
+    /// on every rank; returns the per-rank [`CommLog`]s (indexed by rank)
+    /// alongside the run output. Feeds `dslcheck::comm` ("commcheck").
+    pub fn run_logged<F, R>(size: usize, f: F) -> (RunOutput<R>, Vec<CommLog>)
+    where
+        F: Fn(&mut Comm) -> R + Sync,
+        R: Send,
+    {
+        Self::run_placed_logged(size, None, f)
+    }
+
+    /// [`Universe::run_placed`] with communication-event logging.
+    pub fn run_placed_logged<F, R>(
+        size: usize,
+        placement: Option<(RankPlacement, LatencyProfile)>,
+        f: F,
+    ) -> (RunOutput<R>, Vec<CommLog>)
+    where
+        F: Fn(&mut Comm) -> R + Sync,
+        R: Send,
+    {
+        let (out, logs) = Self::run_impl(size, placement, true, f);
+        (out, logs.expect("logging was enabled"))
+    }
+
+    fn run_impl<F, R>(
+        size: usize,
+        placement: Option<(RankPlacement, LatencyProfile)>,
+        log: bool,
+        f: F,
+    ) -> (RunOutput<R>, Option<Vec<CommLog>>)
+    where
+        F: Fn(&mut Comm) -> R + Sync,
+        R: Send,
+    {
         assert!(size > 0, "world size must be at least 1");
         if let Some((p, _)) = &placement {
             assert!(
@@ -72,8 +111,8 @@ impl Universe {
             placement,
         });
 
-        let results: Mutex<Vec<Option<(R, RankStats, CommDetail)>>> =
-            Mutex::new((0..size).map(|_| None).collect());
+        type Slot<R> = Option<(R, RankStats, CommDetail, Option<CommLog>)>;
+        let results: Mutex<Vec<Slot<R>>> = Mutex::new((0..size).map(|_| None).collect());
 
         let t0 = Instant::now();
         std::thread::scope(|scope| {
@@ -85,8 +124,12 @@ impl Universe {
                     bwb_trace::set_rank(rank);
                     bwb_trace::set_thread_label(&format!("rank {rank}"));
                     let mut comm = Comm::new(rank, shared);
+                    if log {
+                        comm.enable_comm_log();
+                    }
                     let r = f(&mut comm);
-                    results.lock().unwrap()[rank] = Some((r, comm.stats, comm.detail));
+                    let log = comm.take_comm_log();
+                    results.lock().unwrap()[rank] = Some((r, comm.stats, comm.detail, log));
                 });
             }
         });
@@ -95,20 +138,47 @@ impl Universe {
         let mut out_results = Vec::with_capacity(size);
         let mut out_stats = Vec::with_capacity(size);
         let mut out_details = Vec::with_capacity(size);
+        let mut out_logs = Vec::with_capacity(size);
         for slot in results.into_inner().unwrap() {
-            let (r, s, d) = slot.expect("every rank completes");
+            let (r, s, d, l) = slot.expect("every rank completes");
             out_results.push(r);
             out_stats.push(s);
             out_details.push(d);
+            out_logs.push(l);
         }
-        RunOutput {
+        // Teardown check: every send must have been received. Eager
+        // delivery means anything still queued is a matching bug the run
+        // would otherwise silently drop.
+        for (rank, stats) in out_stats.iter_mut().enumerate() {
+            let leftover = shared.mailboxes[rank].len();
+            stats.unreceived_at_teardown = leftover as u64;
+            debug_assert_eq!(
+                leftover, 0,
+                "rank {rank} mailbox holds {leftover} unreceived envelope(s) at teardown"
+            );
+        }
+        let out = RunOutput {
             results: out_results,
             stats: WorldStats {
                 per_rank: out_stats,
                 details: out_details,
             },
             wall_seconds,
-        }
+        };
+        let logs = if log {
+            // A rank's closure may have detached its log with
+            // `take_comm_log`; substitute an empty log for that rank.
+            Some(
+                out_logs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(r, l)| l.unwrap_or_else(|| CommLog::new(r)))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        (out, logs)
     }
 }
 
@@ -173,6 +243,67 @@ mod tests {
             c.stats().modeled_latency_s
         });
         assert!(far.results[0] > near.results[0]);
+    }
+
+    #[test]
+    fn logged_run_records_per_rank_events() {
+        use crate::event::CommOp;
+        let (out, logs) = Universe::run_logged(3, |c| {
+            let right = (c.rank() + 1) % c.size();
+            let left = (c.rank() + c.size() - 1) % c.size();
+            c.set_comm_ctx("ring");
+            c.send(right, 4, vec![1u32]);
+            let _ = c.recv::<u32>(left, 4);
+            c.clear_comm_ctx();
+            c.barrier();
+        });
+        assert_eq!(logs.len(), 3);
+        for (rank, log) in logs.iter().enumerate() {
+            assert_eq!(log.rank, rank);
+            assert_eq!(log.sends(), 1);
+            assert_eq!(log.recvs(), 1);
+            assert_eq!(log.barriers(), 1);
+            let send = &log.events[0];
+            assert_eq!(
+                send.op,
+                CommOp::Send {
+                    dest: (rank + 1) % 3
+                }
+            );
+            assert_eq!(send.ctx.as_deref(), Some("ring"));
+            assert_eq!(send.bytes, 4);
+        }
+        assert_eq!(out.stats.per_rank[0].unreceived_at_teardown, 0);
+    }
+
+    #[test]
+    fn logged_collectives_record_markers() {
+        use crate::ReduceOp;
+        let (_out, logs) = Universe::run_logged(2, |c| {
+            c.allreduce_scalar(1u64, ReduceOp::Sum);
+        });
+        for log in &logs {
+            // allreduce = reduce + bcast on every rank.
+            assert_eq!(log.collective_kinds(), vec!["reduce", "bcast"]);
+        }
+    }
+
+    #[test]
+    fn unlogged_run_keeps_logging_disabled() {
+        let out = Universe::run(2, |c| c.take_comm_log().is_none());
+        assert!(out.results.iter().all(|&none| none));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "unreceived envelope")]
+    fn teardown_asserts_on_unreceived_send() {
+        Universe::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 77, vec![1u8]);
+            }
+            // rank 1 never receives tag 77
+        });
     }
 
     #[test]

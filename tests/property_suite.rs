@@ -127,6 +127,10 @@ proptest! {
                 for i in 0..n_msgs as u64 {
                     ok &= c.recv::<u64>(0, 0)[0] == i;
                 }
+                // Drain the noise traffic: teardown asserts empty mailboxes.
+                for _ in 0..n_msgs.div_ceil(3) {
+                    ok &= c.recv::<u64>(0, noise_tag)[0] == u64::MAX;
+                }
                 ok
             }
         });
