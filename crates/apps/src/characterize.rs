@@ -94,6 +94,7 @@ pub fn characterize(app: AppId) -> AppCharacter {
                 cfl: 0.5,
                 mode: ExecMode::Serial,
                 advection: cloverleaf2d::Advection::VanLeer,
+                plan: None,
             });
             let (b, f, k, s) = derive(app, &run.profile, run.points, run.iterations);
             AppCharacter {
@@ -142,6 +143,7 @@ pub fn characterize(app: AppId) -> AppCharacter {
                 iterations: 5,
                 courant: 0.3,
                 mode: ExecMode::Serial,
+                plan: None,
             });
             let (b, f, k, s) = derive(app, &run.profile, run.points, run.iterations);
             AppCharacter {
@@ -172,6 +174,7 @@ pub fn characterize(app: AppId) -> AppCharacter {
                 variant,
                 nu: 0.02,
                 mode: ExecMode::Serial,
+                plan: None,
             });
             let (b, f, k, s) = derive(app, &run.profile, run.points, run.iterations);
             AppCharacter {

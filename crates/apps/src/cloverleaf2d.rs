@@ -20,7 +20,8 @@
 
 use crate::{AppId, AppRun};
 use bwb_ops::{
-    par_loop2, par_loop2_reduce, par_loop2_rows, Dat2, DistBlock2, ExecMode, Profile, Range2,
+    fused2_rows, par_loop2, par_loop2_reduce, par_loop2_rows, recording_active, Dat2, DistBlock2,
+    ExecMode, FusedLoop2, OptPlan, Profile, Range2, RowIn2, RowOut2,
 };
 use bwb_shmpi::{Comm, ReduceOp};
 use std::time::Instant;
@@ -48,6 +49,12 @@ pub struct Config {
     pub cfl: f64,
     pub mode: ExecMode,
     pub advection: Advection,
+    /// Optimization plan from `dslcheck` certificates. `None` (or an empty
+    /// plan) runs the baseline schedule; a plan enables exactly the
+    /// transforms it certifies — fused `ideal_gas`+`viscosity` traversal
+    /// and elision of always-redundant halo-exchange sites — all of which
+    /// are bit-identical to the baseline by construction.
+    pub plan: Option<OptPlan>,
 }
 
 impl Default for Config {
@@ -59,6 +66,7 @@ impl Default for Config {
             cfl: 0.5,
             mode: ExecMode::Serial,
             advection: Advection::DonorCell,
+            plan: None,
         }
     }
 }
@@ -73,6 +81,7 @@ impl Config {
             cfl: 0.5,
             mode: ExecMode::Rayon,
             advection: Advection::VanLeer,
+            plan: None,
         }
     }
 }
@@ -208,7 +217,22 @@ impl Clover2 {
     /// cell fields needed by the stencil kernels. The small per-face mirror
     /// loops are CloverLeaf's "update_halo" boundary kernels — the many
     /// small kernels the paper blames for SYCL's launch-overhead penalty.
-    fn update_halo_cells(&mut self, profile: &mut Profile, mut comm: Option<&mut Comm>) {
+    ///
+    /// Structured per field — mirror-x, exchange-x, mirror-y, exchange-y —
+    /// so the two exchange dimensions of one field form a single recorded
+    /// exchange at the labelled `site`. Fields are independent, so this
+    /// ordering is bit-identical to the phase-x-then-phase-y sweep it
+    /// replaces. When `cfg.plan` carries an [`bwb_ops::ElisionCert`] for
+    /// `(site, field)`, both exchange passes are skipped (mirrors are
+    /// recomputation of unchanged values and still run); a debug build
+    /// asserts the elided field's interior boundary strips are unchanged
+    /// since its last real exchange.
+    fn update_halo_cells(
+        &mut self,
+        profile: &mut Profile,
+        mut comm: Option<&mut Comm>,
+        site: &str,
+    ) {
         let nx = self.nx as isize;
         let ny = self.ny as isize;
         let h = HALO as isize;
@@ -222,11 +246,15 @@ impl Clover2 {
             ),
         };
         let block = self.dist.clone();
+        let plan = if recording_active() {
+            None
+        } else {
+            self.cfg.plan.as_ref()
+        };
         let mut points = 0usize;
         let t0 = Instant::now();
         let mut comm_seconds = 0.0;
 
-        // Phase X: physical mirrors, then inter-rank exchange of x halos.
         for f in [
             &mut self.density0,
             &mut self.energy0,
@@ -235,6 +263,7 @@ impl Clover2 {
             &mut self.density1,
             &mut self.energy1,
         ] {
+            // Mirror X: physical-boundary ghosts over interior rows.
             if low_x {
                 for j in 0..ny {
                     for hh in 1..=h {
@@ -251,22 +280,15 @@ impl Clover2 {
                     }
                 }
             }
+            let elide = plan.is_some_and(|p| p.elides(site, f.name()));
             if let (Some(b), Some(c)) = (&block, comm.as_deref_mut()) {
-                let tc = Instant::now();
-                b.exchange_halo_dim(c, f, HALO, 0);
-                comm_seconds += tc.elapsed().as_secs_f64();
+                if !elide {
+                    let tc = Instant::now();
+                    b.exchange_halo_dim_site(c, f, HALO, 0, site);
+                    comm_seconds += tc.elapsed().as_secs_f64();
+                }
             }
-        }
-
-        // Phase Y: mirrors over x-extended rows, then y exchange.
-        for f in [
-            &mut self.density0,
-            &mut self.energy0,
-            &mut self.pressure,
-            &mut self.viscosity,
-            &mut self.density1,
-            &mut self.energy1,
-        ] {
+            // Mirror Y: over x-extended rows (reads the x ghosts above).
             if low_y {
                 for i in -h..nx + h {
                     for hh in 1..=h {
@@ -284,9 +306,14 @@ impl Clover2 {
                 }
             }
             if let (Some(b), Some(c)) = (&block, comm.as_deref_mut()) {
-                let tc = Instant::now();
-                b.exchange_halo_dim(c, f, HALO, 1);
-                comm_seconds += tc.elapsed().as_secs_f64();
+                if elide {
+                    b.elide_halo(f, HALO, site);
+                    let _ = c;
+                } else {
+                    let tc = Instant::now();
+                    b.exchange_halo_dim_site(c, f, HALO, 1, site);
+                    comm_seconds += tc.elapsed().as_secs_f64();
+                }
             }
         }
         let total = t0.elapsed().as_secs_f64();
@@ -357,9 +384,17 @@ impl Clover2 {
         );
     }
 
-    /// Exchange node-velocity halos between ranks.
-    fn exchange_velocities(&mut self, comm: Option<&mut Comm>) {
+    /// Exchange node-velocity halos between ranks. Exchanges the plan
+    /// certifies redundant at this `site` are elided (buffer names travel
+    /// with the velocity double-buffer swap, so the certificate's dat name
+    /// matches whatever buffer currently sits in each slot).
+    fn exchange_velocities(&mut self, comm: Option<&mut Comm>, site: &str) {
         if let (Some(block), Some(comm)) = (self.dist.clone(), comm) {
+            let plan = if recording_active() {
+                None
+            } else {
+                self.cfg.plan.as_ref()
+            };
             // Node fields are (nx+1)×(ny+1); the shared interface column is
             // duplicated on both ranks, so a depth-1 exchange keeps ghosts
             // consistent; interface nodes are computed identically on both
@@ -370,7 +405,11 @@ impl Clover2 {
                 &mut self.xvel1,
                 &mut self.yvel1,
             ] {
-                exchange_node_field(&block, comm, f);
+                if plan.is_some_and(|p| p.elides(site, f.name())) {
+                    block.elide_node_halo(f, 1, site);
+                } else {
+                    block.exchange_node_halo_site(comm, f, 1, site);
+                }
             }
         }
     }
@@ -386,16 +425,7 @@ impl Clover2 {
             &mut [&mut self.pressure, &mut self.soundspeed],
             &[&self.density0, &self.energy0],
             5.0,
-            |_j, out, ins| {
-                let rho = ins.row(0);
-                let e = ins.row(1);
-                let (p, ss) = out.rows2(0, 1);
-                for i in 0..p.len() {
-                    let pv = (GAMMA - 1.0) * rho[i] * e[i];
-                    p[i] = pv;
-                    ss[i] = (GAMMA * pv / rho[i]).sqrt();
-                }
-            },
+            |_j, out, ins| ideal_gas_body(out, ins),
         );
     }
 
@@ -410,31 +440,41 @@ impl Clover2 {
             &mut [&mut self.viscosity],
             &[&self.density0, &self.xvel0, &self.yvel0],
             12.0,
-            move |_j, out, ins| {
-                // Cell (i,j) is bounded by nodes (i..i+1, j..j+1).
-                let rho = ins.row(0);
-                let u00 = ins.row_off(1, 0, 0);
-                let u10 = ins.row_off(1, 1, 0);
-                let u01 = ins.row_off(1, 0, 1);
-                let u11 = ins.row_off(1, 1, 1);
-                let v00 = ins.row_off(2, 0, 0);
-                let v10 = ins.row_off(2, 1, 0);
-                let v01 = ins.row_off(2, 0, 1);
-                let v11 = ins.row_off(2, 1, 1);
-                let q = out.row(0);
-                for i in 0..q.len() {
-                    let ugrad = 0.5 * ((u10[i] + u11[i]) - (u00[i] + u01[i]));
-                    let vgrad = 0.5 * ((v01[i] + v11[i]) - (v00[i] + v10[i]));
-                    let div = ugrad / dx + vgrad / dy;
-                    q[i] = if div < 0.0 {
-                        let l = dx.min(dy);
-                        2.0 * rho[i] * (div * l) * (div * l)
-                    } else {
-                        0.0
-                    };
-                }
-            },
+            move |_j, out, ins| viscosity_body(dx, dy, out, ins),
         );
+    }
+
+    /// Plan-guided fused `ideal_gas`+`viscosity`: both kernel bodies over
+    /// one pass of each row. Legal because nothing `viscosity` reads is
+    /// written by `ideal_gas` (the certificate's radius-0 all-pairs check);
+    /// bit-identical because the bodies are the very same functions the
+    /// sequential path runs.
+    fn ideal_gas_viscosity_fused(&mut self, profile: &mut Profile, plan: &OptPlan) {
+        let (dx, dy) = (self.dx, self.dy);
+        // Store: mut [pressure, soundspeed, viscosity], ro [density0,
+        // energy0, xvel0, yvel0] → global field indices 3..=6.
+        let loops = [
+            FusedLoop2::new("ideal_gas", &[0, 1], &[3, 4], 5.0, |_j, out, ins| {
+                ideal_gas_body(out, ins)
+            }),
+            FusedLoop2::new("viscosity", &[2], &[3, 5, 6], 12.0, move |_j, out, ins| {
+                viscosity_body(dx, dy, out, ins)
+            }),
+        ];
+        fused2_rows(
+            profile,
+            self.cfg.mode,
+            self.cells(),
+            &mut [
+                &mut self.pressure,
+                &mut self.soundspeed,
+                &mut self.viscosity,
+            ],
+            &[&self.density0, &self.energy0, &self.xvel0, &self.yvel0],
+            &loops,
+            plan,
+        )
+        .expect("certified fusion rejected at runtime");
     }
 
     /// CFL time step (local min; allreduced when distributed).
@@ -769,23 +809,37 @@ impl Clover2 {
 
     /// One full hydro cycle; returns the dt used.
     pub fn cycle(&mut self, profile: &mut Profile, mut comm: Option<&mut Comm>) -> f64 {
-        self.ideal_gas(profile);
-        self.viscosity_kernel(profile);
-        self.update_halo_cells(profile, comm.as_deref_mut());
+        // Plan-guided fused traversal when the plan certifies the group
+        // (never while a recording is active: the analyzer must observe the
+        // unoptimized loop stream its certificates describe).
+        let fuse = !recording_active()
+            && self
+                .cfg
+                .plan
+                .as_ref()
+                .is_some_and(|p| p.certifies_fusion(&["ideal_gas", "viscosity"]));
+        if fuse {
+            let plan = self.cfg.plan.clone().expect("fusion implies a plan");
+            self.ideal_gas_viscosity_fused(profile, &plan);
+        } else {
+            self.ideal_gas(profile);
+            self.viscosity_kernel(profile);
+        }
+        self.update_halo_cells(profile, comm.as_deref_mut(), "cells0");
         let dt = self.calc_dt(profile, comm.as_deref_mut());
         self.accelerate(profile, dt);
         self.apply_velocity_bcs(profile);
-        self.exchange_velocities(comm.as_deref_mut());
+        self.exchange_velocities(comm.as_deref_mut(), "vel0");
         self.pdv(profile, dt);
         self.flux_calc(profile, dt);
-        self.update_halo_cells(profile, comm.as_deref_mut());
+        self.update_halo_cells(profile, comm.as_deref_mut(), "cells1");
         self.advec_cell_x(profile);
-        self.update_halo_cells(profile, comm.as_deref_mut());
+        self.update_halo_cells(profile, comm.as_deref_mut(), "cells2");
         self.advec_cell_y(profile);
         self.advec_mom(profile, dt);
         self.reset_field(profile);
         self.apply_velocity_bcs(profile);
-        self.exchange_velocities(comm);
+        self.exchange_velocities(comm, "vel1");
         dt
     }
 
@@ -875,14 +929,52 @@ impl Clover2 {
     }
 }
 
+/// The `ideal_gas` kernel body, shared verbatim between the sequential
+/// driver and the plan-guided fused traversal (what makes "bit-identical"
+/// a structural property rather than a numerical coincidence). Inputs
+/// positionally: 0 = density0, 1 = energy0.
+fn ideal_gas_body(out: &mut RowOut2<f64>, ins: &RowIn2<f64>) {
+    let rho = ins.row(0);
+    let e = ins.row(1);
+    let (p, ss) = out.rows2(0, 1);
+    for i in 0..p.len() {
+        let pv = (GAMMA - 1.0) * rho[i] * e[i];
+        p[i] = pv;
+        ss[i] = (GAMMA * pv / rho[i]).sqrt();
+    }
+}
+
+/// The `viscosity` kernel body (inputs: 0 = density0, 1 = xvel0,
+/// 2 = yvel0), shared like [`ideal_gas_body`].
+fn viscosity_body(dx: f64, dy: f64, out: &mut RowOut2<f64>, ins: &RowIn2<f64>) {
+    // Cell (i,j) is bounded by nodes (i..i+1, j..j+1).
+    let rho = ins.row(0);
+    let u00 = ins.row_off(1, 0, 0);
+    let u10 = ins.row_off(1, 1, 0);
+    let u01 = ins.row_off(1, 0, 1);
+    let u11 = ins.row_off(1, 1, 1);
+    let v00 = ins.row_off(2, 0, 0);
+    let v10 = ins.row_off(2, 1, 0);
+    let v01 = ins.row_off(2, 0, 1);
+    let v11 = ins.row_off(2, 1, 1);
+    let q = out.row(0);
+    for i in 0..q.len() {
+        let ugrad = 0.5 * ((u10[i] + u11[i]) - (u00[i] + u01[i]));
+        let vgrad = 0.5 * ((v01[i] + v11[i]) - (v00[i] + v10[i]));
+        let div = ugrad / dx + vgrad / dy;
+        q[i] = if div < 0.0 {
+            let l = dx.min(dy);
+            2.0 * rho[i] * (div * l) * (div * l)
+        } else {
+            0.0
+        };
+    }
+}
+
 /// Depth-1 ghost exchange for node-centred fields over a cell-decomposed
 /// block. Node fields duplicate the interface line on both neighbouring
 /// ranks; [`DistBlock2::exchange_node_halo`] ships the inward-shifted
 /// strips so each rank's ghosts hold the neighbour's first interior line.
-fn exchange_node_field(block: &DistBlock2, comm: &mut Comm, f: &mut Dat2<f64>) {
-    block.exchange_node_halo(comm, f, 1);
-}
-
 /// Declared access contracts of every DSL loop in this app, for
 /// `bwb-dslcheck`. (`update_halo`/`update_halo_vel` are hand-rolled fills,
 /// not `par_loop`s, so they carry no contract.)

@@ -22,7 +22,10 @@
 //! Double precision; paper size 320³, 20 iterations.
 
 use crate::{AppId, AppRun};
-use bwb_ops::{par_loop3_planes, Dat3, ExecMode, Profile, Range3, RowIn3};
+use bwb_ops::{
+    fused3_planes, par_loop3_planes, recording_active, Dat3, ExecMode, FusedLoop3, OptPlan,
+    Profile, Range3, RowIn3, RowOut3,
+};
 
 /// Number of solution fields (ρ, ρu, ρv, ρw, ρE analogue).
 pub const NFIELDS: usize = 5;
@@ -56,6 +59,11 @@ pub struct Config {
     /// Diffusion coefficient.
     pub nu: f64,
     pub mode: ExecMode,
+    /// Optimization plan from `dslcheck` dataflow analysis. `None` (or a
+    /// plan certifying nothing) runs the baseline schedule; a plan enables
+    /// exactly the transforms it certifies — here, fusing the Store-All
+    /// derivative+combine group into one traversal.
+    pub plan: Option<OptPlan>,
 }
 
 impl Default for Config {
@@ -66,6 +74,7 @@ impl Default for Config {
             variant: Variant::StoreAll,
             nu: 0.02,
             mode: ExecMode::Serial,
+            plan: None,
         }
     }
 }
@@ -79,6 +88,7 @@ impl Config {
             variant,
             nu: 0.02,
             mode: ExecMode::Rayon,
+            plan: None,
         }
     }
 }
@@ -124,6 +134,62 @@ impl<'a> StencilRows<'a> {
         }
     }
 }
+
+/// Shared body of the Store-All derivative loop: input 0 is the source
+/// field, outputs 0–5 its six derivative arrays. Shared verbatim between
+/// the sequential driver and the fused executor, so bit-identity between
+/// the two schedules is structural rather than re-proved per change.
+fn sa_derivs_body(h: f64, out: &mut RowOut3<f64>, s: &RowIn3<f64>) {
+    let st = StencilRows::capture(s);
+    {
+        let (o0, o1, o2) = out.rows3(0, 1, 2);
+        for i in 0..o0.len() {
+            o0[i] = d1(st.xm2[i], st.xm1[i], st.xp1[i], st.xp2[i], h);
+            o1[i] = d1(st.ym2[i], st.ym1[i], st.yp1[i], st.yp2[i], h);
+            o2[i] = d1(st.zm2[i], st.zm1[i], st.zp1[i], st.zp2[i], h);
+        }
+    }
+    let (o3, o4, o5) = out.rows3(3, 4, 5);
+    for i in 0..o3.len() {
+        let c = st.c[i];
+        o3[i] = d2(st.xm2[i], st.xm1[i], c, st.xp1[i], st.xp2[i], h);
+        o4[i] = d2(st.ym2[i], st.ym1[i], c, st.yp1[i], st.yp2[i], h);
+        o5[i] = d2(st.zm2[i], st.zm1[i], c, st.zp1[i], st.zp2[i], h);
+    }
+}
+
+/// Shared body of the Store-All combination loop: inputs 0–5 are the six
+/// derivative arrays of one field, output 0 that field's RHS.
+fn sa_combine_body(ax: f64, ay: f64, az: f64, nu: f64, out: &mut RowOut3<f64>, w: &RowIn3<f64>) {
+    let dx1 = w.row(0);
+    let dy1 = w.row(1);
+    let dz1 = w.row(2);
+    let dx2 = w.row(3);
+    let dy2 = w.row(4);
+    let dz2 = w.row(5);
+    let r = out.row(0);
+    for i in 0..r.len() {
+        let adv = ax * dx1[i] + ay * dy1[i] + az * dz1[i];
+        let dif = dx2[i] + dy2[i] + dz2[i];
+        r[i] = -adv + nu * dif;
+    }
+}
+
+/// The recorded loop-name window of one Store-All RHS evaluation — five
+/// derivative loops then five combine loops — that a plan must certify as
+/// a fusion group for [`OpenSbli::rhs_store_all`] to take the fused path.
+const FUSED_RHS_NAMES: [&str; 2 * NFIELDS] = [
+    "sbli_sa_derivs",
+    "sbli_sa_derivs",
+    "sbli_sa_derivs",
+    "sbli_sa_derivs",
+    "sbli_sa_derivs",
+    "sbli_sa_combine",
+    "sbli_sa_combine",
+    "sbli_sa_combine",
+    "sbli_sa_combine",
+    "sbli_sa_combine",
+];
 
 pub struct OpenSbli {
     cfg: Config,
@@ -229,6 +295,55 @@ impl OpenSbli {
             1 => &self.q1,
             _ => &self.q2,
         };
+        let fuse = !recording_active()
+            && self
+                .cfg
+                .plan
+                .as_ref()
+                .is_some_and(|p| p.certifies_fusion(&FUSED_RHS_NAMES));
+        if fuse {
+            // Plan-guided path: run all ten loops in one traversal. The
+            // store is `[wk(30), rhs(5) | src(5)]`; each combine member
+            // reads the wk slots its derivative member wrote, a radius-0
+            // crossing the certificate proved safe to interleave per row.
+            let plan = self.cfg.plan.as_ref().expect("fuse implies plan");
+            let mut loops: Vec<FusedLoop3<f64>> = Vec::with_capacity(2 * NFIELDS);
+            for f in 0..NFIELDS {
+                let outs: Vec<usize> = (6 * f..6 * f + 6).collect();
+                loops.push(FusedLoop3::new(
+                    "sbli_sa_derivs",
+                    &outs,
+                    &[7 * NFIELDS + f],
+                    60.0,
+                    move |_j, _k, out, s| sa_derivs_body(h, out, s),
+                ));
+            }
+            for f in 0..NFIELDS {
+                let (ax, ay, az) = (ADV[f], ADV[(f + 1) % NFIELDS], ADV[(f + 2) % NFIELDS]);
+                let ins: Vec<usize> = (6 * f..6 * f + 6).collect();
+                loops.push(FusedLoop3::new(
+                    "sbli_sa_combine",
+                    &[6 * NFIELDS + f],
+                    &ins,
+                    10.0,
+                    move |_j, _k, out, w| sa_combine_body(ax, ay, az, nu, out, w),
+                ));
+            }
+            let mut store_mut: Vec<&mut Dat3<f64>> =
+                self.wk.iter_mut().chain(self.rhs.iter_mut()).collect();
+            let store_ro: Vec<&Dat3<f64>> = src.iter().collect();
+            fused3_planes(
+                profile,
+                self.cfg.mode,
+                range,
+                &mut store_mut,
+                &store_ro,
+                &loops,
+                plan,
+            )
+            .expect("certified fusion rejected at runtime");
+            return;
+        }
         // Stage 1: derivatives into work arrays (one loop per field,
         // writing all 6 derivative arrays of that field).
         for (f, srcf) in src.iter().enumerate() {
@@ -241,24 +356,7 @@ impl OpenSbli {
                 &mut outs,
                 &[srcf],
                 60.0,
-                move |_j, _k, out, s| {
-                    let st = StencilRows::capture(s);
-                    {
-                        let (o0, o1, o2) = out.rows3(0, 1, 2);
-                        for i in 0..o0.len() {
-                            o0[i] = d1(st.xm2[i], st.xm1[i], st.xp1[i], st.xp2[i], h);
-                            o1[i] = d1(st.ym2[i], st.ym1[i], st.yp1[i], st.yp2[i], h);
-                            o2[i] = d1(st.zm2[i], st.zm1[i], st.zp1[i], st.zp2[i], h);
-                        }
-                    }
-                    let (o3, o4, o5) = out.rows3(3, 4, 5);
-                    for i in 0..o3.len() {
-                        let c = st.c[i];
-                        o3[i] = d2(st.xm2[i], st.xm1[i], c, st.xp1[i], st.xp2[i], h);
-                        o4[i] = d2(st.ym2[i], st.ym1[i], c, st.yp1[i], st.yp2[i], h);
-                        o5[i] = d2(st.zm2[i], st.zm1[i], c, st.zp1[i], st.zp2[i], h);
-                    }
-                },
+                move |_j, _k, out, s| sa_derivs_body(h, out, s),
             );
         }
         // Stage 2: combine into the RHS.
@@ -273,20 +371,7 @@ impl OpenSbli {
                 &mut [&mut self.rhs[f]],
                 &ins,
                 10.0,
-                move |_j, _k, out, w| {
-                    let dx1 = w.row(0);
-                    let dy1 = w.row(1);
-                    let dz1 = w.row(2);
-                    let dx2 = w.row(3);
-                    let dy2 = w.row(4);
-                    let dz2 = w.row(5);
-                    let r = out.row(0);
-                    for i in 0..r.len() {
-                        let adv = ax * dx1[i] + ay * dy1[i] + az * dz1[i];
-                        let dif = dx2[i] + dy2[i] + dz2[i];
-                        r[i] = -adv + nu * dif;
-                    }
-                },
+                move |_j, _k, out, w| sa_combine_body(ax, ay, az, nu, out, w),
             );
         }
     }

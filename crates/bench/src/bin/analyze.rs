@@ -8,6 +8,7 @@
 //! cargo run --release -p bwb-bench --bin analyze -- --json      # JSON only
 //! cargo run --release -p bwb-bench --bin analyze -- --dataflow  # whole-chain
 //! cargo run --release -p bwb-bench --bin analyze -- --comm      # commcheck
+//! cargo run --release -p bwb-bench --bin analyze -- --export-plans plans/
 //! ```
 //!
 //! `--dataflow` switches to the whole-chain dataflow report: per-app lint
@@ -61,37 +62,50 @@ fn access_report(json_only: bool) -> usize {
     total
 }
 
-fn dataflow_report(json_only: bool) -> usize {
+fn dataflow_report(json_only: bool, export_dir: Option<&str>) -> usize {
     let reports = bwb_dslcheck::dataflow_all();
 
     if !json_only {
         eprintln!(
-            "{:<14} {:>5} {:>4} {:>5} {:>6} {:>8} {:>6}  status",
-            "app", "loops", "exch", "fuse", "elid%", "gain", "lints"
+            "{:<14} {:>5} {:>4} {:>5} {:>4} {:>4} {:>3} {:>6} {:>8} {:>6}  status",
+            "app", "loops", "exch", "fuse", "grps", "elid", "nt", "elid%", "gain", "lints"
         );
         for r in &reports {
             if !r.analyzed {
+                let why = r.limitation.map(|l| l.label()).unwrap_or("limited");
                 eprintln!(
-                    "{:<14} {:>5}     -     -      -        -      -  skipped ({})",
-                    r.app,
-                    r.loops,
-                    r.note.as_deref().unwrap_or("limited")
+                    "{:<14} {:>5}     -     -    -    -   -      -        -      -  limited ({why})",
+                    r.app, r.loops,
                 );
                 continue;
             }
             let status = if r.clean() { "ok" } else { "FAIL" };
             eprintln!(
-                "{:<14} {:>5} {:>4} {:>5} {:>5.1}% {:>8.4} {:>6}  {status}",
+                "{:<14} {:>5} {:>4} {:>5} {:>4} {:>4} {:>3} {:>5.1}% {:>8.4} {:>6}  {status}",
                 r.app,
                 r.loops,
                 r.exchanges,
                 r.fusion.legal_pairs(),
+                r.groups.len(),
+                r.elisions.len(),
+                r.nt.len(),
                 100.0 * r.traffic.elidable_fraction(),
                 r.traffic.streaming_gain_bound(),
                 r.violations.len(),
             );
             for v in &r.violations {
                 eprintln!("    {v}");
+            }
+        }
+    }
+
+    if let Some(dir) = export_dir {
+        std::fs::create_dir_all(dir).expect("create export dir");
+        for r in reports.iter().filter(|r| r.analyzed) {
+            let path = std::path::Path::new(dir).join(format!("{}.json", r.app));
+            std::fs::write(&path, r.export_plan().to_json()).expect("write plan");
+            if !json_only {
+                eprintln!("wrote {}", path.display());
             }
         }
     }
@@ -144,14 +158,23 @@ fn comm_report(json_only: bool) -> usize {
 }
 
 fn main() -> ExitCode {
-    let json_only = std::env::args().any(|a| a == "--json");
-    let dataflow = std::env::args().any(|a| a == "--dataflow");
-    let comm = std::env::args().any(|a| a == "--comm");
+    let args: Vec<String> = std::env::args().collect();
+    let json_only = args.iter().any(|a| a == "--json");
+    let comm = args.iter().any(|a| a == "--comm");
+    // `--export-plans <dir>` serializes each analyzed app's optimization
+    // plan (loop IR + fusion/elision/NT certificates) to `<dir>/<app>.json`
+    // for plan-guided executor runs; it implies `--dataflow`.
+    let export_dir = args.iter().position(|a| a == "--export-plans").map(|i| {
+        args.get(i + 1)
+            .expect("--export-plans needs a directory")
+            .clone()
+    });
+    let dataflow = args.iter().any(|a| a == "--dataflow") || export_dir.is_some();
 
     let total = if comm {
         comm_report(json_only)
     } else if dataflow {
-        dataflow_report(json_only)
+        dataflow_report(json_only, export_dir.as_deref())
     } else {
         access_report(json_only)
     };

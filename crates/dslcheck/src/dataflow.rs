@@ -1,12 +1,50 @@
 //! Whole-chain dataflow analysis: one report per app, combining the
-//! def-use graph, the four lint families, the fusion plan, and the derived
-//! traffic summary. This is what `analyze --dataflow` renders.
+//! def-use graph, the four lint families, the fusion plan, the derived
+//! traffic summary, and the optimization certificates an optimizing
+//! executor may consume. This is what `analyze --dataflow` renders and
+//! `analyze --export-plans` serializes.
 
 use crate::graph::DefUseGraph;
-use crate::lints::{dead_stores, exchange_lints, fusion_plan, FusionPlan};
-use crate::traffic::{derive, AppTraffic, DEFAULT_RESIDENCY_BYTES};
+use crate::lints::{dead_stores, exchange_lints, fusion_groups, fusion_plan, FusionPlan};
+use crate::traffic::{derive, nt_certs, AppTraffic, DEFAULT_RESIDENCY_BYTES};
 use crate::violation::Violation;
 use bwb_ops::access::{LoopSpec, Recording};
+use bwb_ops::plan::{lower_recording, ElisionCert, FusionGroupCert, LoopIr, NtCert, OptPlan};
+
+/// Why the whole-chain analysis cannot soundly cover an app. Structured
+/// replacements for the bare prose notes the "explicitly limited" entries
+/// used to carry — the analyze table and the JSON report surface the label,
+/// and tooling can match on the variant instead of a string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limitation {
+    /// Unstructured (op2) recordings capture output accesses only — kernel
+    /// reads through closures are invisible, so dead-store/fusion/traffic
+    /// analysis over them would be unsound.
+    OutputOnlyRecording,
+    /// The app has no DSL loops at all (hand-rolled kernel).
+    NoDslLoops,
+}
+
+impl Limitation {
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Limitation::OutputOnlyRecording => "output-only recording",
+            Limitation::NoDslLoops => "no DSL loops",
+        }
+    }
+
+    /// Full explanation for reports.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Limitation::OutputOnlyRecording => {
+                "unstructured (op2) recording captures output accesses only; \
+                 whole-chain dataflow over closure reads would be unsound"
+            }
+            Limitation::NoDslLoops => "no DSL loops: the kernel is hand-rolled and records nothing",
+        }
+    }
+}
 
 /// The dataflow verdict for one app.
 #[derive(Debug, Clone)]
@@ -16,16 +54,21 @@ pub struct DataflowReport {
     pub loops: usize,
     /// Halo exchanges in the recording.
     pub exchanges: usize,
-    /// Whether the full analysis ran. Unstructured (op2) recordings only
-    /// capture output accesses — kernel reads through closures are
-    /// invisible — so dead-store/fusion/traffic analysis would be unsound
-    /// and is skipped with a note.
+    /// Whether the full analysis ran (see [`Limitation`]).
     pub analyzed: bool,
     /// Why the analysis is limited, when it is.
-    pub note: Option<String>,
+    pub limitation: Option<Limitation>,
     pub violations: Vec<Violation>,
     pub fusion: FusionPlan,
     pub traffic: AppTraffic,
+    /// Loop IR of the recording (what certificates index into).
+    pub loop_ir: Vec<LoopIr>,
+    /// Certified fusion groups (all-pairs legal maximal runs).
+    pub groups: Vec<FusionGroupCert>,
+    /// Certified always-redundant exchange sites.
+    pub elisions: Vec<ElisionCert>,
+    /// Certified streaming-store outputs (all-occurrence rule).
+    pub nt: Vec<NtCert>,
 }
 
 impl DataflowReport {
@@ -51,31 +94,53 @@ impl DataflowReport {
             loops: g.loops.len(),
             exchanges: g.exchanges.len(),
             analyzed: true,
-            note: None,
+            limitation: None,
             violations,
             fusion: fusion_plan(&g),
             traffic: derive(&g, residency_bytes),
+            loop_ir: lower_recording(rec),
+            groups: fusion_groups(&g),
+            elisions: crate::lints::elision_certs(&g),
+            nt: nt_certs(&g, residency_bytes),
         }
     }
 
-    /// A limited report for apps the analysis cannot soundly cover
-    /// (unstructured loops, or no DSL loops at all). Listing them with an
-    /// honest note keeps "all apps appear in the report" a checked claim.
-    pub fn limited(app: &str, loops: usize, note: &str) -> Self {
+    /// A limited report for apps the analysis cannot soundly cover.
+    /// Listing them with an honest structured [`Limitation`] keeps "all
+    /// apps appear in the report" a checked claim.
+    pub fn limited(app: &str, loops: usize, limitation: Limitation) -> Self {
         DataflowReport {
             app: app.to_string(),
             loops,
             exchanges: 0,
             analyzed: false,
-            note: Some(note.to_string()),
+            limitation: Some(limitation),
             violations: Vec::new(),
             fusion: FusionPlan::default(),
             traffic: AppTraffic::default(),
+            loop_ir: Vec::new(),
+            groups: Vec::new(),
+            elisions: Vec::new(),
+            nt: Vec::new(),
         }
     }
 
     pub fn clean(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// The machine-readable optimization plan an executor consumes: the
+    /// loop IR plus every certificate this analysis issued. Limited apps
+    /// export an empty plan (nothing is certified where nothing was
+    /// soundly analyzed).
+    pub fn export_plan(&self) -> OptPlan {
+        OptPlan {
+            app: self.app.clone(),
+            loops: self.loop_ir.clone(),
+            groups: self.groups.clone(),
+            elisions: self.elisions.clone(),
+            nt: self.nt.clone(),
+        }
     }
 
     /// One JSON object per app (hand-rolled, same style as
@@ -99,10 +164,36 @@ impl DataflowReport {
                 )
             })
             .collect();
+        let groups: Vec<String> = self
+            .groups
+            .iter()
+            .map(|g| {
+                format!(
+                    "{{\"start\":{},\"names\":[{}]}}",
+                    g.start,
+                    g.names
+                        .iter()
+                        .map(|n| format!("\"{n}\""))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                )
+            })
+            .collect();
+        let elisions: Vec<String> = self
+            .elisions
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"site\":\"{}\",\"dat\":\"{}\",\"depth\":{}}}",
+                    e.site, e.dat, e.depth
+                )
+            })
+            .collect();
         format!(
             "{{\"app\":\"{}\",\"loops\":{},\"exchanges\":{},\"analyzed\":{},{}\
              \"violations\":[{}],\
              \"fusion\":{{\"legal_pairs\":{},\"candidates\":{}}},\
+             \"groups\":[{}],\"elisions\":[{}],\
              \"traffic\":{{\"read_bytes\":{:.0},\"write_bytes\":{:.0},\
              \"nt_eligible_write_bytes\":{:.0},\"elidable_fraction\":{:.4},\
              \"streaming_gain_bound\":{:.4},\"nt_eligible\":[{}]}}}}",
@@ -110,9 +201,8 @@ impl DataflowReport {
             self.loops,
             self.exchanges,
             self.analyzed,
-            self.note
-                .as_ref()
-                .map(|n| format!("\"note\":\"{n}\","))
+            self.limitation
+                .map(|l| format!("\"limitation\":\"{}\",", l.label()))
                 .unwrap_or_default(),
             self.violations
                 .iter()
@@ -121,6 +211,8 @@ impl DataflowReport {
                 .join(","),
             self.fusion.legal_pairs(),
             self.fusion.to_json(),
+            groups.join(","),
+            elisions.join(","),
             self.traffic.read_bytes(),
             self.traffic.write_bytes(),
             self.traffic.nt_eligible_write_bytes(),

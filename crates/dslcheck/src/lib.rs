@@ -49,18 +49,23 @@ pub mod lints;
 pub mod plan;
 pub mod race;
 pub mod registry;
+pub mod replay;
 pub mod traffic;
 pub mod violation;
 
 pub use checked::check_structured;
 pub use comm::{comm_check_all, CommReport, MatchPlan};
-pub use dataflow::DataflowReport;
+pub use dataflow::{DataflowReport, Limitation};
 pub use graph::DefUseGraph;
-pub use lints::{check_fusion_claims, dead_stores, exchange_lints, fusion_plan, FusionPlan};
+pub use lints::{
+    check_fusion_claims, dead_stores, elision_certs, exchange_lints, fusion_groups, fusion_plan,
+    FusionPlan,
+};
 pub use plan::{check_chain_plan, check_halo_depth};
 pub use race::check_unstructured;
 pub use registry::{check_all, dataflow_all, AppReport};
+pub use replay::{replay, ReplayConfig, ReplayStats};
 pub use traffic::{
-    check_streaming_claims, derive as derive_traffic, AppTraffic, DEFAULT_RESIDENCY_BYTES,
+    check_streaming_claims, derive as derive_traffic, nt_certs, AppTraffic, DEFAULT_RESIDENCY_BYTES,
 };
 pub use violation::{Kind, Violation};

@@ -9,6 +9,7 @@
 
 use crate::graph::{DefUseGraph, Event, Touch};
 use crate::violation::{Kind, Violation};
+use bwb_ops::plan::{ElisionCert, FusionGroupCert};
 
 /// Dead-store detection: a field fully written by a pure-`Write` loop and
 /// fully rewritten by a later pure-`Write` loop, with no read, read-write,
@@ -74,12 +75,62 @@ pub fn dead_stores(app: &str, g: &DefUseGraph) -> Vec<Violation> {
 /// The first exchange of each dat is never judged redundant (there is no
 /// prior validity to compare against), and reads before any exchange are
 /// not judged (the app may rely on initial-condition ghosts).
+///
+/// Redundancies at exchange *sites* the recording proves always-redundant
+/// are promoted to [`ElisionCert`]s by [`exchange_scan`] and do not appear
+/// here — a certificate is an optimization license, not a defect. Unsited
+/// redundancies (exchanges recorded without a site label) remain
+/// violations: there is no call site an executor could elide.
 pub fn exchange_lints(app: &str, g: &DefUseGraph) -> Vec<Violation> {
-    let mut out = Vec::new();
+    exchange_scan(app, g).0
+}
+
+/// Halo-elision certificates: every `(site, dat)` whose recorded exchanges
+/// were *all* provably redundant. See [`exchange_scan`].
+pub fn elision_certs(g: &DefUseGraph) -> Vec<ElisionCert> {
+    exchange_scan("", g).1
+}
+
+/// One recorded exchange occurrence of one field, as judged by the halo
+/// validity state machine.
+struct ExchangeOcc {
+    site: String,
+    depth: usize,
+    /// The state machine had a prior validity to compare against (i.e. this
+    /// was not the field's first exchange).
+    judged: bool,
+    redundant: bool,
+    violation: Option<Violation>,
+}
+
+/// Run the halo validity state machine once, producing both the exchange
+/// violations and the elision certificates.
+///
+/// A `(site, dat)` pair earns an [`ElisionCert`] iff the site label is
+/// non-empty and **every** recorded exchange of `dat` at that site was
+/// judged redundant at one common depth. The first exchange of a dat is
+/// never judged (no prior validity), so a site covering it cannot certify —
+/// the conservative direction: an executor eliding that site would skip the
+/// exchange that establishes validity. Certified occurrences are removed
+/// from the violation list (their redundancy is the certificate's payload);
+/// everything else is reported exactly as before.
+fn exchange_scan(app: &str, g: &DefUseGraph) -> (Vec<Violation>, Vec<ElisionCert>) {
+    let mut violations = Vec::new();
+    let mut certs = Vec::new();
     for (name, events) in &g.fields {
         if !events.iter().any(|e| matches!(e, Event::Exchange { .. })) {
             continue;
         }
+        // Site labels of this field's exchanges, in recording order — the
+        // timeline's Exchange events were folded from `g.exchanges` in the
+        // same order, so the k-th Exchange event is the k-th entry here.
+        let sites: Vec<&str> = g
+            .exchanges
+            .iter()
+            .filter(|e| &e.dat == name)
+            .map(|e| e.site.as_str())
+            .collect();
+        let mut occs: Vec<ExchangeOcc> = Vec::new();
         // Ghost validity in cells; None until the first exchange.
         let mut valid: Option<isize> = None;
         let mut written_since_exchange = false;
@@ -88,7 +139,7 @@ pub fn exchange_lints(app: &str, g: &DefUseGraph) -> Vec<Violation> {
                 Event::Loop { at, touch } => {
                     if let (Touch::Read { radius }, Some(v)) = (touch, valid) {
                         if *radius > v {
-                            out.push(Violation {
+                            violations.push(Violation {
                                 app: app.to_string(),
                                 kind: Kind::StaleHaloRead {
                                     dat: name.clone(),
@@ -109,9 +160,18 @@ pub fn exchange_lints(app: &str, g: &DefUseGraph) -> Vec<Violation> {
                 }
                 Event::Exchange { at, depth } => {
                     let d = *depth as isize;
+                    let site = sites.get(occs.len()).copied().unwrap_or("").to_string();
+                    let mut occ = ExchangeOcc {
+                        site,
+                        depth: *depth,
+                        judged: valid.is_some(),
+                        redundant: false,
+                        violation: None,
+                    };
                     match valid {
                         Some(v) if !written_since_exchange && v >= d => {
-                            out.push(Violation {
+                            occ.redundant = true;
+                            occ.violation = Some(Violation {
                                 app: app.to_string(),
                                 kind: Kind::RedundantExchange {
                                     dat: name.clone(),
@@ -126,11 +186,34 @@ pub fn exchange_lints(app: &str, g: &DefUseGraph) -> Vec<Violation> {
                         _ => valid = Some(d),
                     }
                     written_since_exchange = false;
+                    occs.push(occ);
                 }
             }
         }
+        // Partition per site: always-redundant non-empty sites certify.
+        let mut site_names: Vec<String> = occs.iter().map(|o| o.site.clone()).collect();
+        site_names.sort();
+        site_names.dedup();
+        for site in site_names {
+            let group: Vec<&ExchangeOcc> = occs.iter().filter(|o| o.site == site).collect();
+            let all_redundant = group.iter().all(|o| o.judged && o.redundant);
+            let one_depth = group.windows(2).all(|w| w[0].depth == w[1].depth);
+            if !site.is_empty() && all_redundant && one_depth {
+                certs.push(ElisionCert {
+                    site: site.clone(),
+                    dat: name.clone(),
+                    depth: group[0].depth,
+                });
+            } else {
+                violations.extend(
+                    occs.iter_mut()
+                        .filter(|o| o.site == site)
+                        .filter_map(|o| o.violation.take()),
+                );
+            }
+        }
     }
-    out
+    (violations, certs)
 }
 
 /// One adjacent loop pair considered for fusion.
@@ -217,7 +300,18 @@ fn writes_field(g: &DefUseGraph, at: usize, name: &str) -> bool {
 /// Judge fusing adjacent loops `i` and `i+1` (already known to share an
 /// iteration space). Returns `(shared_fields, Err(reason))` when illegal.
 fn judge_pair(g: &DefUseGraph, i: usize) -> (Vec<String>, Result<(), String>) {
-    let (a, b) = (i, i + 1);
+    judge_ordered_pair(g, i, i + 1)
+}
+
+/// Judge fusing loops `a < b` (not necessarily adjacent) under the same
+/// radius-0 crossing rules as [`judge_pair`]. Fused execution interleaves
+/// the member bodies per row in program order, so a field flowing from `a`
+/// into `b` is safe exactly when `b` consumes it point-locally — any
+/// non-zero stencil radius would read half-updated neighbours, in either
+/// direction. Group derivation needs this generalized form because fusion
+/// legality is **not transitive**: (a,b) and (b,c) legal does not imply
+/// (a,c) legal when a field skips over `b`.
+fn judge_ordered_pair(g: &DefUseGraph, a: usize, b: usize) -> (Vec<String>, Result<(), String>) {
     let mut shared: Vec<String> = Vec::new();
     let mut verdict: Result<(), String> = Ok(());
 
@@ -296,6 +390,53 @@ pub fn fusion_plan(g: &DefUseGraph) -> FusionPlan {
         });
     }
     plan
+}
+
+/// Derive certified fusion *groups*: maximal runs of loops in which every
+/// adjacent pair is a legal [`FusionCandidate`] **and** every non-adjacent
+/// ordered pair passes [`judge_ordered_pair`]. The all-pairs check is what
+/// makes a run of pairwise-legal candidates safe to fuse as one traversal
+/// (legality is not transitive — see [`judge_ordered_pair`]). Runs are
+/// disjoint and greedy from the left; only runs of two or more loops are
+/// emitted. Exchange freedom inside a run is inherited from the adjacency
+/// candidates (each gap was already required to carry no exchange).
+pub fn fusion_groups(g: &DefUseGraph) -> Vec<FusionGroupCert> {
+    let plan = fusion_plan(g);
+    let n_pairs = g.loops.len().saturating_sub(1);
+    let mut legal = vec![false; n_pairs];
+    for c in plan.candidates.iter().filter(|c| c.legal) {
+        legal[c.first_at] = true;
+    }
+    let mut groups = Vec::new();
+    let mut i = 0usize;
+    while i < n_pairs {
+        if !legal[i] {
+            i += 1;
+            continue;
+        }
+        // Run starts as the adjacent pair (i, i+1); `last` tracks the last
+        // admitted member.
+        let mut members = vec![i, i + 1];
+        let mut last = i + 1;
+        while last < n_pairs && legal[last] {
+            let next = last + 1;
+            let all_pairs_ok = members
+                .iter()
+                .filter(|&&k| k + 1 != next)
+                .all(|&k| judge_ordered_pair(g, k, next).1.is_ok());
+            if !all_pairs_ok {
+                break;
+            }
+            members.push(next);
+            last = next;
+        }
+        groups.push(FusionGroupCert {
+            start: i,
+            names: members.iter().map(|&k| g.loops[k].name.clone()).collect(),
+        });
+        i = last + 1;
+    }
+    groups
 }
 
 /// Check claimed fusions against the plan. Each claim names an adjacent

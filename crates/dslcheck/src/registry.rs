@@ -6,7 +6,7 @@
 //! claim for its parallel schedules.
 
 use crate::checked::check_structured;
-use crate::dataflow::DataflowReport;
+use crate::dataflow::{DataflowReport, Limitation};
 use crate::plan::{check_chain_plan, check_halo_depth};
 use crate::race::check_unstructured;
 use crate::violation::Violation;
@@ -369,6 +369,32 @@ pub fn dataflow_all() -> Vec<DataflowReport> {
         ));
     }
 
+    {
+        // Distributed CloverLeaf2D: the recording interleaves the per-site
+        // halo exchanges ("cells0"/"cells1"/"cells2") with the hydro loops,
+        // which is what the elision certifier needs — fields whose halos are
+        // re-exchanged without an intervening write certify as elidable at
+        // that site.
+        let cfg = cloverleaf2d::Config {
+            nx: 24,
+            ny: 24,
+            iterations: 2,
+            mode: ExecMode::Serial,
+            advection: cloverleaf2d::Advection::VanLeer,
+            ..cloverleaf2d::Config::default()
+        };
+        let out = Universe::run(4, move |c| {
+            let (_r, rec) =
+                with_recording_full(|| cloverleaf2d::Clover2::run_distributed(c, cfg.clone()));
+            rec
+        });
+        reports.push(DataflowReport::analyze(
+            "clover2d_dist",
+            &cloverleaf2d::loop_specs(),
+            &out.results[0],
+        ));
+    }
+
     reports.push(DataflowReport::analyze(
         "cloverleaf3d",
         &cloverleaf3d::loop_specs(),
@@ -459,8 +485,7 @@ pub fn dataflow_all() -> Vec<DataflowReport> {
         reports.push(DataflowReport::limited(
             "mgcfd",
             obs.len(),
-            "unstructured (op2) recording captures output accesses only; \
-             whole-chain dataflow over closure reads would be unsound",
+            Limitation::OutputOnlyRecording,
         ));
     }
 
@@ -481,15 +506,14 @@ pub fn dataflow_all() -> Vec<DataflowReport> {
         reports.push(DataflowReport::limited(
             "volna",
             obs.len(),
-            "unstructured (op2) recording captures output accesses only; \
-             whole-chain dataflow over closure reads would be unsound",
+            Limitation::OutputOnlyRecording,
         ));
     }
 
     reports.push(DataflowReport::limited(
         "minibude",
         0,
-        "no DSL loops: the docking kernel is a hand-rolled pose sweep",
+        Limitation::NoDslLoops,
     ));
 
     reports
@@ -517,6 +541,7 @@ mod tests {
         let names: Vec<&str> = reports.iter().map(|r| r.app.as_str()).collect();
         for expected in [
             "cloverleaf2d",
+            "clover2d_dist",
             "cloverleaf3d",
             "acoustic",
             "acoustic_dist",
@@ -535,9 +560,24 @@ mod tests {
                 assert!(r.loops > 0, "{}: nothing recorded", r.app);
             }
         }
-        // The distributed recording must carry its exchange stream.
+        // The distributed recordings must carry their exchange streams.
         let dist = reports.iter().find(|r| r.app == "acoustic_dist").unwrap();
         assert!(dist.exchanges > 0, "no exchanges recorded");
+        // The distributed clover run must certify halo elisions and the
+        // Store-All OpenSBLI run the ten-loop RHS fusion group — these are
+        // the certificates the plan-guided executors consume.
+        let cdist = reports.iter().find(|r| r.app == "clover2d_dist").unwrap();
+        assert!(cdist.exchanges > 0, "clover2d_dist: no exchanges recorded");
+        assert!(
+            !cdist.elisions.is_empty(),
+            "clover2d_dist: no elision certificates"
+        );
+        let sa = reports.iter().find(|r| r.app == "opensbli_sa").unwrap();
+        assert!(
+            sa.groups.iter().any(|grp| grp.names.len() >= 10),
+            "opensbli_sa: RHS fusion group not certified (groups: {:?})",
+            sa.groups
+        );
         // At least one app certifies at least one legal fusion pair and
         // some streaming-store-eligible traffic.
         assert!(

@@ -1,0 +1,545 @@
+//! Measured-traffic replay: stream a recorded schedule's addresses through
+//! the executable cache simulator.
+//!
+//! The traffic model in [`crate::traffic`] *predicts* what fusion, halo
+//! elision and streaming stores should save; this module *measures* it, by
+//! replaying the recorded loop/exchange stream line-granularly (64 B)
+//! through [`bwb_memsim::CacheSim`] twice — once as recorded, once under an
+//! [`OptPlan`] — and comparing memory traffic at the cache's far side.
+//!
+//! The replay is exact about what the paper's optimizations change:
+//!
+//! * every loop walks its recorded range row by row, reading each input's
+//!   observed stencil rows and writing each output row (write-allocate, so
+//!   a write miss costs an RFO line in plus a dirty line out);
+//! * a certified fusion group interleaves its member loops per row, so a
+//!   consumer's radius-0 read of a producer's output hits in cache instead
+//!   of re-reading the field a full sweep later;
+//! * a certified streaming store becomes [`AccessKind::StreamingWrite`] —
+//!   one line out, no allocation, no RFO;
+//! * a certified elided exchange skips its pack/unpack strip sweeps
+//!   entirely (tallied separately, since those bytes are also the wire
+//!   bytes a real run saves).
+//!
+//! Halo strips of un-exchanged fields are still laid out in the address
+//! space (fields are placed at their true padded sizes), so conflict misses
+//! between fields are as real as a single-node run's.
+
+use bwb_memsim::{AccessKind, CacheSim};
+use bwb_ops::access::{ArgObs, ExchangeObs, LoopObs, Recording};
+use bwb_ops::plan::OptPlan;
+use std::collections::BTreeMap;
+
+/// Cache geometry to replay against. Default matches the per-core slice the
+/// rest of the repo models: 2 MiB, 16-way, 64 B lines.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayConfig {
+    pub capacity_bytes: u64,
+    pub ways: usize,
+    pub line_bytes: u64,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            capacity_bytes: 2 << 20,
+            ways: 16,
+            line_bytes: 64,
+        }
+    }
+}
+
+/// What one replay measured.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ReplayStats {
+    /// Bytes moved between the cache and the next level (lines in + dirty
+    /// lines out + streaming-store lines), after an end-of-replay flush.
+    pub moved_bytes: u64,
+    /// Halo-exchange pack/unpack bytes that were replayed.
+    pub exchange_strip_bytes: u64,
+    /// Halo-exchange bytes skipped under certified elision.
+    pub elided_strip_bytes: u64,
+    /// Loop invocations replayed (fused members count individually).
+    pub loops_replayed: usize,
+    /// Certified fusion groups executed interleaved.
+    pub fused_groups_applied: usize,
+    /// Output rows routed through streaming stores.
+    pub nt_rows: u64,
+}
+
+/// Address-space placement of one recorded field.
+#[derive(Debug, Clone, Copy)]
+struct FieldGeom {
+    base: u64,
+    halo: isize,
+    extent: (usize, usize, usize),
+    elem: usize,
+}
+
+impl FieldGeom {
+    /// Byte address of point `(i, j, k)` (row-major with halos, the layout
+    /// `Dat2`/`Dat3` use).
+    fn addr(&self, i: isize, j: isize, k: isize) -> u64 {
+        let h = self.halo;
+        let sx = (self.extent.0 as isize + 2 * h) as u64;
+        let sy = (self.extent.1 as isize + 2 * h) as u64;
+        let ii = (i + h) as u64;
+        let jj = (j + h) as u64;
+        let kk = (k + h) as u64;
+        self.base + ((kk * sy + jj) * sx + ii) * self.elem as u64
+    }
+
+    fn padded_bytes(&self) -> u64 {
+        let h = self.halo as usize * 2;
+        ((self.extent.0 + h) * (self.extent.1 + h) * (self.extent.2 + h) * self.elem) as u64
+    }
+}
+
+/// Lay every field out at its true padded size, 4 KiB-aligned with a guard
+/// gap so distinct fields never share a line.
+fn layout(rec: &Recording) -> BTreeMap<String, FieldGeom> {
+    let mut map: BTreeMap<String, FieldGeom> = BTreeMap::new();
+    let mut cursor: u64 = 4096;
+    let mut place = |map: &mut BTreeMap<String, FieldGeom>, a: &ArgObs| {
+        if map.contains_key(&a.name) {
+            return;
+        }
+        let g = FieldGeom {
+            base: cursor,
+            halo: a.halo,
+            extent: a.extent,
+            elem: a.elem_bytes,
+        };
+        cursor += (g.padded_bytes() + 8191) & !4095;
+        map.insert(a.name.clone(), g);
+    };
+    for l in &rec.loops {
+        for a in l.outs.iter().chain(&l.ins) {
+            place(&mut map, a);
+        }
+    }
+    map
+}
+
+/// Sweep `[start, end)` at line granularity. Starts on a line boundary, so
+/// streaming writes are counted as full lines by the simulator.
+fn sweep(sim: &mut CacheSim, start: u64, end: u64, kind: AccessKind) {
+    let line = sim.line_bytes();
+    let mut addr = start & !(line - 1);
+    while addr < end {
+        sim.access(addr, kind);
+        addr += line;
+    }
+}
+
+/// Per-input row plan: for each distinct `(dj, dk)` row offset the stencil
+/// touches, the inclusive `i`-offset span read on that row.
+type RowSpans = BTreeMap<(isize, isize), (isize, isize)>;
+
+fn row_spans(a: &ArgObs) -> RowSpans {
+    let mut spans: RowSpans = BTreeMap::new();
+    for &(di, dj, dk) in &a.offsets {
+        let e = spans.entry((dj, dk)).or_insert((di, di));
+        e.0 = e.0.min(di);
+        e.1 = e.1.max(di);
+    }
+    spans
+}
+
+/// The per-row access pattern of one loop, precomputed so replaying a row
+/// is pure address arithmetic.
+struct LoopPass<'a> {
+    l: &'a LoopObs,
+    /// `(geom, spans)` per input.
+    ins: Vec<(FieldGeom, RowSpans)>,
+    /// `(geom, streaming)` per output.
+    outs: Vec<(FieldGeom, bool)>,
+}
+
+impl<'a> LoopPass<'a> {
+    fn new(l: &'a LoopObs, fields: &BTreeMap<String, FieldGeom>, plan: Option<&OptPlan>) -> Self {
+        let ins = l
+            .ins
+            .iter()
+            .filter_map(|a| fields.get(&a.name).map(|g| (*g, row_spans(a))))
+            .collect();
+        let outs = l
+            .outs
+            .iter()
+            .filter_map(|a| {
+                fields.get(&a.name).map(|g| {
+                    let nt = plan.is_some_and(|p| p.nt_certified(&l.name, &a.name));
+                    (*g, nt)
+                })
+            })
+            .collect();
+        LoopPass { l, ins, outs }
+    }
+
+    /// Replay one `(j, k)` row: stencil reads, then the row's writes.
+    fn row(&self, sim: &mut CacheSim, j: isize, k: isize, stats: &mut ReplayStats) {
+        let [i0, i1, ..] = self.l.range;
+        for (g, spans) in &self.ins {
+            for (&(dj, dk), &(lo, hi)) in spans {
+                let s = g.addr(i0 + lo, j + dj, k + dk);
+                let e = g.addr(i1 + hi, j + dj, k + dk);
+                sweep(sim, s, e, AccessKind::Read);
+            }
+        }
+        for (g, nt) in &self.outs {
+            let kind = if *nt {
+                stats.nt_rows += 1;
+                AccessKind::StreamingWrite
+            } else {
+                AccessKind::Write
+            };
+            sweep(sim, g.addr(i0, j, k), g.addr(i1, j, k), kind);
+        }
+    }
+}
+
+/// Replay one halo exchange: read the send strips, write the ghost strips
+/// (each side packs what the other unpacks, so a single-image replay sees
+/// both halves). Returns the strip bytes touched.
+fn replay_exchange(
+    sim: &mut CacheSim,
+    fields: &BTreeMap<String, FieldGeom>,
+    e: &ExchangeObs,
+    skip: bool,
+) -> u64 {
+    let Some(g) = fields.get(&e.dat) else {
+        return 0;
+    };
+    let d = e.depth as isize;
+    if d == 0 {
+        return 0;
+    }
+    let (nx, ny, nz) = (
+        g.extent.0 as isize,
+        g.extent.1 as isize,
+        g.extent.2 as isize,
+    );
+    let dims: usize = if g.extent.2 > 1 { 3 } else { 2 };
+    let mut bytes = 0u64;
+    let mut strip = |sim: &mut CacheSim, s: u64, eaddr: u64, kind: AccessKind| {
+        bytes += eaddr - s;
+        if !skip {
+            sweep(sim, s, eaddr, kind);
+        }
+    };
+    let kz = if dims == 3 { 0..nz } else { 0..1 };
+    // X faces: columns [0,d) ∪ [nx−d,nx) read, ghosts [−d,0) ∪ [nx,nx+d)
+    // written, per interior row.
+    for k in kz.clone() {
+        for j in 0..ny {
+            strip(sim, g.addr(0, j, k), g.addr(d, j, k), AccessKind::Read);
+            strip(
+                sim,
+                g.addr(nx - d, j, k),
+                g.addr(nx, j, k),
+                AccessKind::Read,
+            );
+            strip(sim, g.addr(-d, j, k), g.addr(0, j, k), AccessKind::Write);
+            strip(
+                sim,
+                g.addr(nx, j, k),
+                g.addr(nx + d, j, k),
+                AccessKind::Write,
+            );
+        }
+    }
+    // Y faces (x-extended rows are contiguous spans).
+    for k in kz {
+        for j in (0..d).chain(ny - d..ny) {
+            strip(
+                sim,
+                g.addr(-d, j, k),
+                g.addr(nx + d, j, k),
+                AccessKind::Read,
+            );
+        }
+        for j in (-d..0).chain(ny..ny + d) {
+            strip(
+                sim,
+                g.addr(-d, j, k),
+                g.addr(nx + d, j, k),
+                AccessKind::Write,
+            );
+        }
+    }
+    // Z faces (xy-extended planes).
+    if dims == 3 {
+        for k in (0..d).chain(nz - d..nz) {
+            for j in -d..ny + d {
+                strip(
+                    sim,
+                    g.addr(-d, j, k),
+                    g.addr(nx + d, j, k),
+                    AccessKind::Read,
+                );
+            }
+        }
+        for k in (-d..0).chain(nz..nz + d) {
+            for j in -d..ny + d {
+                strip(
+                    sim,
+                    g.addr(-d, j, k),
+                    g.addr(nx + d, j, k),
+                    AccessKind::Write,
+                );
+            }
+        }
+    }
+    bytes
+}
+
+/// Does `plan` certify a fusion group starting at loop index `at` whose
+/// names match the recorded stream? Returns the group length.
+fn group_at(plan: Option<&OptPlan>, rec: &Recording, at: usize) -> Option<usize> {
+    let p = plan?;
+    for grp in &p.groups {
+        if grp.start == at
+            && at + grp.names.len() <= rec.loops.len()
+            && grp
+                .names
+                .iter()
+                .zip(&rec.loops[at..])
+                .all(|(n, l)| *n == l.name)
+        {
+            return Some(grp.names.len());
+        }
+    }
+    None
+}
+
+/// Replay a recorded schedule through a cache and measure its memory
+/// traffic. `plan: None` replays exactly as recorded; `plan: Some` applies
+/// every transform the plan certifies (fused interleaving, streaming
+/// stores, elided exchanges) — and nothing else.
+pub fn replay(rec: &Recording, plan: Option<&OptPlan>, cfg: &ReplayConfig) -> ReplayStats {
+    let fields = layout(rec);
+    let mut sim = CacheSim::new(cfg.capacity_bytes, cfg.ways, cfg.line_bytes);
+    let mut stats = ReplayStats::default();
+    let mut xchg = rec.exchanges.iter().peekable();
+    let mut at = 0usize;
+    while at < rec.loops.len() {
+        while let Some(e) = xchg.peek() {
+            if e.at > at {
+                break;
+            }
+            let skip = plan.is_some_and(|p| !e.site.is_empty() && p.elides(&e.site, &e.dat));
+            let b = replay_exchange(&mut sim, &fields, e, skip);
+            if skip {
+                stats.elided_strip_bytes += b;
+            } else {
+                stats.exchange_strip_bytes += b;
+            }
+            xchg.next();
+        }
+        if let Some(len) = group_at(plan, rec, at) {
+            // Certified group: members interleave per row over the shared
+            // range (the group certificate guarantees equal ranges).
+            let passes: Vec<LoopPass> = rec.loops[at..at + len]
+                .iter()
+                .map(|l| LoopPass::new(l, &fields, plan))
+                .collect();
+            let [_, _, j0, j1, k0, k1] = rec.loops[at].range;
+            for k in k0..k1 {
+                for j in j0..j1 {
+                    for p in &passes {
+                        p.row(&mut sim, j, k, &mut stats);
+                    }
+                }
+            }
+            stats.loops_replayed += len;
+            stats.fused_groups_applied += 1;
+            at += len;
+        } else {
+            let l = &rec.loops[at];
+            let pass = LoopPass::new(l, &fields, plan);
+            let [_, _, j0, j1, k0, k1] = l.range;
+            for k in k0..k1 {
+                for j in j0..j1 {
+                    pass.row(&mut sim, j, k, &mut stats);
+                }
+            }
+            stats.loops_replayed += 1;
+            at += 1;
+        }
+    }
+    for e in xchg {
+        let skip = plan.is_some_and(|p| !e.site.is_empty() && p.elides(&e.site, &e.dat));
+        let b = replay_exchange(&mut sim, &fields, e, skip);
+        if skip {
+            stats.elided_strip_bytes += b;
+        } else {
+            stats.exchange_strip_bytes += b;
+        }
+    }
+    sim.flush();
+    stats.moved_bytes = sim.memory_traffic_bytes();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwb_ops::plan::{ElisionCert, FusionGroupCert, NtCert};
+    use std::collections::BTreeSet;
+
+    fn arg(name: &str, n: usize, halo: isize, offsets: &[(isize, isize, isize)]) -> ArgObs {
+        ArgObs {
+            name: name.into(),
+            halo,
+            extent: (n, n, 1),
+            elem_bytes: 8,
+            offsets: offsets.iter().copied().collect::<BTreeSet<_>>(),
+            wrote: true,
+            read_back: false,
+            inced: false,
+        }
+    }
+
+    fn two_loop_rec(n: usize) -> Recording {
+        // producer writes x from src; consumer reads x pointwise into y.
+        let range = [0, n as isize, 0, n as isize, 0, 1];
+        Recording {
+            loops: vec![
+                LoopObs {
+                    name: "producer".into(),
+                    dims: 2,
+                    range,
+                    outs: vec![arg("x", n, 1, &[])],
+                    ins: vec![arg("src", n, 1, &[(0, 0, 0)])],
+                },
+                LoopObs {
+                    name: "consumer".into(),
+                    dims: 2,
+                    range,
+                    outs: vec![arg("y", n, 1, &[])],
+                    ins: vec![arg("x", n, 1, &[(0, 0, 0)])],
+                },
+            ],
+            exchanges: vec![],
+        }
+    }
+
+    /// Fields far larger than the replay cache: the fused schedule must
+    /// save the consumer's full re-read of `x`.
+    #[test]
+    fn fusion_reduces_measured_traffic() {
+        let n = 256; // 256²×8 B = 512 KiB per field vs a 64 KiB cache
+        let rec = two_loop_rec(n);
+        let cfg = ReplayConfig {
+            capacity_bytes: 64 << 10,
+            ways: 16,
+            line_bytes: 64,
+        };
+        let base = replay(&rec, None, &cfg);
+        let plan = OptPlan {
+            app: "t".into(),
+            groups: vec![FusionGroupCert {
+                start: 0,
+                names: vec!["producer".into(), "consumer".into()],
+            }],
+            ..OptPlan::default()
+        };
+        let opt = replay(&rec, Some(&plan), &cfg);
+        assert_eq!(opt.fused_groups_applied, 1);
+        assert_eq!(base.loops_replayed, opt.loops_replayed);
+        let field = (n * n * 8) as u64;
+        assert!(
+            base.moved_bytes >= opt.moved_bytes + field / 2,
+            "fusion saved too little: {} vs {}",
+            base.moved_bytes,
+            opt.moved_bytes
+        );
+    }
+
+    /// A certified streaming store drops the write-allocate RFO: one line
+    /// of traffic per written line instead of two.
+    #[test]
+    fn streaming_store_drops_write_allocate() {
+        let n = 256;
+        let rec = two_loop_rec(n);
+        let cfg = ReplayConfig {
+            capacity_bytes: 64 << 10,
+            ways: 16,
+            line_bytes: 64,
+        };
+        let base = replay(&rec, None, &cfg);
+        let plan = OptPlan {
+            app: "t".into(),
+            nt: vec![
+                NtCert {
+                    loop_name: "producer".into(),
+                    dat: "x".into(),
+                },
+                NtCert {
+                    loop_name: "consumer".into(),
+                    dat: "y".into(),
+                },
+            ],
+            ..OptPlan::default()
+        };
+        let opt = replay(&rec, Some(&plan), &cfg);
+        assert!(opt.nt_rows > 0);
+        let field = (n * n * 8) as u64;
+        // Two streamed output fields ⇒ at least ~1.5 fields of RFO reads
+        // gone (the tail of `x` still gets read by the consumer).
+        assert!(
+            base.moved_bytes >= opt.moved_bytes + field,
+            "NT saved too little: {} vs {}",
+            base.moved_bytes,
+            opt.moved_bytes
+        );
+    }
+
+    /// Elided exchanges skip their strips and are tallied separately.
+    #[test]
+    fn elision_skips_strip_traffic() {
+        let n = 64;
+        let mut rec = two_loop_rec(n);
+        rec.exchanges = vec![
+            ExchangeObs {
+                dat: "x".into(),
+                depth: 1,
+                at: 1,
+                site: "s0".into(),
+            },
+            ExchangeObs {
+                dat: "x".into(),
+                depth: 1,
+                at: 2,
+                site: "s1".into(),
+            },
+        ];
+        let cfg = ReplayConfig::default();
+        let base = replay(&rec, None, &cfg);
+        assert!(base.exchange_strip_bytes > 0);
+        assert_eq!(base.elided_strip_bytes, 0);
+        let plan = OptPlan {
+            app: "t".into(),
+            elisions: vec![ElisionCert {
+                site: "s1".into(),
+                dat: "x".into(),
+                depth: 1,
+            }],
+            ..OptPlan::default()
+        };
+        let opt = replay(&rec, Some(&plan), &cfg);
+        assert_eq!(
+            opt.exchange_strip_bytes + opt.elided_strip_bytes,
+            base.exchange_strip_bytes
+        );
+        assert!(opt.elided_strip_bytes > 0);
+    }
+
+    /// Same recording, no plan ⇒ deterministic, identical stats.
+    #[test]
+    fn replay_is_deterministic() {
+        let rec = two_loop_rec(48);
+        let cfg = ReplayConfig::default();
+        assert_eq!(replay(&rec, None, &cfg), replay(&rec, None, &cfg));
+    }
+}

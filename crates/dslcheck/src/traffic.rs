@@ -15,7 +15,9 @@ use crate::graph::{DefUseGraph, Event, Touch};
 use crate::violation::{Kind, Violation};
 use bwb_memsim::{StoreMode, TrafficModel};
 use bwb_ops::access::{with_recording_full, ArgSpec, LoopSpec, Stencil};
+use bwb_ops::plan::NtCert;
 use bwb_ops::{par_loop2, par_loop2_reduce, Dat2, ExecMode, Profile, Range2};
+use std::collections::BTreeMap;
 
 /// Default cache-residency window: the Xeon MAX's 2 MiB per-core L2, the
 /// cache that bounds producer→consumer reuse for a core-local traversal.
@@ -175,6 +177,36 @@ pub fn derive(g: &DefUseGraph, residency_bytes: f64) -> AppTraffic {
         });
     }
     app
+}
+
+/// Streaming-store certificates for an optimizing executor.
+///
+/// The runtime gates non-temporal staging by `(loop name, dat name)`, so a
+/// pair is certified only under the **all-occurrence rule**: every recorded
+/// invocation of that loop name writing that dat must be independently
+/// eligible. One iteration where the output is re-read inside the residency
+/// window (e.g. the first steps of a double-buffered scheme before the
+/// rotation settles) kills the certificate — the executor cannot tell
+/// iterations apart at dispatch time.
+pub fn nt_certs(g: &DefUseGraph, residency_bytes: f64) -> Vec<NtCert> {
+    let t = derive(g, residency_bytes);
+    let mut tally: BTreeMap<(String, String), (usize, usize)> = BTreeMap::new();
+    for (at, l) in g.loops.iter().enumerate() {
+        for a in &l.outs {
+            let e = tally
+                .entry((l.name.clone(), a.name.clone()))
+                .or_insert((0, 0));
+            e.1 += 1;
+            if t.loops[at].nt_eligible.iter().any(|n| n == &a.name) {
+                e.0 += 1;
+            }
+        }
+    }
+    tally
+        .into_iter()
+        .filter(|(_, (eligible, total))| *total > 0 && eligible == total)
+        .map(|((loop_name, dat), _)| NtCert { loop_name, dat })
+        .collect()
 }
 
 /// Check claimed streaming-store sites against the derived eligibility.

@@ -211,11 +211,13 @@ fn planted_redundant_exchange_detected() {
                 dat: "u".into(),
                 depth: 1,
                 at: 1,
+                site: String::new(),
             },
             ExchangeObs {
                 dat: "u".into(),
                 depth: 1,
                 at: 2,
+                site: String::new(),
             },
         ],
     };
@@ -251,6 +253,7 @@ fn planted_stale_halo_read_detected() {
             dat: "u".into(),
             depth: 1,
             at: 1,
+            site: String::new(),
         }],
     };
     let g = DefUseGraph::build(&halo_specs(2), &rec);
@@ -288,11 +291,13 @@ fn correct_exchange_sequence_is_clean() {
                 dat: "u".into(),
                 depth: 2,
                 at: 1,
+                site: String::new(),
             },
             ExchangeObs {
                 dat: "u".into(),
                 depth: 2,
                 at: 3,
+                site: String::new(),
             },
         ],
     };

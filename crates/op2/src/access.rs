@@ -138,6 +138,33 @@ pub fn with_recording_u<R>(f: impl FnOnce() -> R) -> (R, Vec<ULoopObs>) {
     (out, obs)
 }
 
+/// Lower an unstructured recording to the shared loop-plan IR
+/// ([`bwb_ops::plan::LoopIr`]) that optimization plans index into.
+///
+/// Unstructured loops have no rectangular range (`dims` 0, `points` =
+/// set size) and the recorder only observes *output* accesses — kernel
+/// reads go through closures it cannot see — so the lowered IR carries
+/// empty input lists. That is deliberately honest: a planner consuming
+/// this IR sees no read sets and therefore can certify nothing that
+/// depends on them (the `OutputOnlyRecording` limitation, made
+/// structural).
+pub fn lower_recording_u(obs: &[ULoopObs]) -> Vec<bwb_ops::plan::LoopIr> {
+    obs.iter()
+        .map(|o| {
+            let mut outs = o.out_names.clone();
+            outs.sort();
+            outs.dedup();
+            bwb_ops::plan::LoopIr {
+                name: o.name.clone(),
+                dims: 0,
+                points: o.set_size,
+                outs,
+                ins: Vec::new(),
+            }
+        })
+        .collect()
+}
+
 pub(crate) fn begin_uloop(
     name: &str,
     set_size: usize,

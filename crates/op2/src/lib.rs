@@ -29,8 +29,8 @@ pub mod partition;
 pub mod set;
 
 pub use access::{
-    recording_active_u, with_recording_u, UAccessObs, UArgSpec, UKind, ULoopObs, ULoopSpec,
-    UScheduleObs,
+    lower_recording_u, recording_active_u, with_recording_u, UAccessObs, UArgSpec, UKind, ULoopObs,
+    ULoopSpec, UScheduleObs,
 };
 pub use color::{BlockColoring, Coloring};
 pub use exec::{

@@ -301,6 +301,11 @@ pub struct ExchangeObs {
     pub depth: usize,
     /// Loops completed in this session before the exchange.
     pub at: usize,
+    /// Stable call-site label supplied by the app (empty when the app uses
+    /// the unlabelled exchange API). Elision certificates are keyed on
+    /// `(site, dat)`: only exchanges the app can name at runtime are
+    /// skippable, so unlabelled redundant exchanges stay plain violations.
+    pub site: String,
 }
 
 /// Everything a recording session observed: the loop stream plus the halo
@@ -382,6 +387,12 @@ pub fn with_recording_full<R>(f: impl FnOnce() -> R) -> (R, Recording) {
 /// [`recording_active`]). Invoked by the `halo` module so whole-program
 /// analyzers see exchanges ordered against the loop stream.
 pub(crate) fn note_exchange_obs(dat: &str, depth: usize) {
+    note_exchange_obs_site(dat, depth, "");
+}
+
+/// Like [`note_exchange_obs`] with a stable call-site label (see
+/// [`ExchangeObs::site`]).
+pub(crate) fn note_exchange_obs_site(dat: &str, depth: usize, site: &str) {
     SESSION.with(|s| {
         let mut s = s.borrow_mut();
         let at = s.done.len();
@@ -389,6 +400,7 @@ pub(crate) fn note_exchange_obs(dat: &str, depth: usize) {
             dat: dat.to_string(),
             depth,
             at,
+            site: site.to_string(),
         });
     });
 }
@@ -545,12 +557,14 @@ mod tests {
                 ExchangeObs {
                     dat: "u".into(),
                     depth: 2,
-                    at: 0
+                    at: 0,
+                    site: String::new(),
                 },
                 ExchangeObs {
                     dat: "u".into(),
                     depth: 1,
-                    at: 2
+                    at: 2,
+                    site: String::new(),
                 },
             ]
         );

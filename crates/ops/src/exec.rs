@@ -138,6 +138,23 @@ unsafe impl<T: Send> Send for WView2<T> {}
 // and current-point reads per the driver contract.
 unsafe impl<T: Send> Sync for WView2<T> {}
 
+impl<T> WView2<T> {
+    /// View over a flat per-row staging buffer: geometry collapses so that
+    /// `index(i, j) == i` for every `j`, letting the streaming-store driver
+    /// hand kernels a [`RowOut2`] whose rows land in cache-resident staging
+    /// storage instead of the destination field. `len` must cover
+    /// `[0, i0 + width)` of the loop's range; negative range starts are not
+    /// representable and must fall back to the plain driver.
+    pub(crate) fn staging(ptr: *mut T, len: usize) -> Self {
+        WView2 {
+            ptr,
+            pitch: 0,
+            halo: 0,
+            len,
+        }
+    }
+}
+
 impl<T: Copy> WView2<T> {
     /// Is `(i, j)` inside the padded (halo-extended) allocation? Used by the
     /// accessors' debug bounds checks to reject stencil offsets that would
@@ -376,6 +393,18 @@ pub struct RowOut2<'a, T> {
     j: isize,
 }
 
+impl<'a, T> RowOut2<'a, T> {
+    #[inline]
+    pub(crate) fn at(views: &'a [WView2<T>], i0: isize, width: usize, j: isize) -> Self {
+        RowOut2 {
+            views,
+            i0,
+            width,
+            j,
+        }
+    }
+}
+
 impl<T: Copy> RowOut2<'_, T> {
     /// The current row `[i0, i1)` of output dataset `f` as a mutable slice.
     #[inline]
@@ -461,6 +490,18 @@ pub struct RowIn2<'a, T> {
     j: isize,
 }
 
+impl<'a, T> RowIn2<'a, T> {
+    #[inline]
+    pub(crate) fn at(views: &'a [RView2<'a, T>], i0: isize, width: usize, j: isize) -> Self {
+        RowIn2 {
+            views,
+            i0,
+            width,
+            j,
+        }
+    }
+}
+
 impl<'a, T: Copy> RowIn2<'a, T> {
     /// The current row of input dataset `f`.
     #[inline]
@@ -506,7 +547,7 @@ const CHUNK_POINTS: usize = 1 << 13;
 
 /// Rows per scheduling chunk for a loop `width` points wide.
 #[inline]
-fn chunk_rows(width: isize) -> usize {
+pub(crate) fn chunk_rows(width: isize) -> usize {
     (CHUNK_POINTS / (width.max(1) as usize)).clamp(1, 512)
 }
 
@@ -541,7 +582,7 @@ fn wviews2<T: Copy>(outs: &mut [&mut Dat2<T>]) -> Vec<WView2<T>> {
         .collect()
 }
 
-fn rviews2<'a, T: Copy>(ins: &'a [&'a Dat2<T>]) -> Vec<RView2<'a, T>> {
+pub(crate) fn rviews2<'a, T: Copy>(ins: &'a [&'a Dat2<T>]) -> Vec<RView2<'a, T>> {
     ins.iter()
         .map(|d| {
             let data = d.raw();
@@ -821,7 +862,7 @@ where
 
 /// Write view over one 3-D dataset; same safety discipline as [`WView2`].
 #[derive(Clone, Copy)]
-struct WView3<T> {
+pub(crate) struct WView3<T> {
     ptr: *mut T,
     pitch: usize,
     slab: usize,
@@ -834,6 +875,19 @@ struct WView3<T> {
 unsafe impl<T: Send> Send for WView3<T> {}
 // SAFETY: as above.
 unsafe impl<T: Send> Sync for WView3<T> {}
+
+impl<T> WView3<T> {
+    /// See [`WView2::staging`]: `index(i, j, k) == i` for every `(j, k)`.
+    pub(crate) fn staging(ptr: *mut T, len: usize) -> Self {
+        WView3 {
+            ptr,
+            pitch: 0,
+            slab: 0,
+            halo: 0,
+            len,
+        }
+    }
+}
 
 impl<T: Copy> WView3<T> {
     /// Is `(i, j, k)` inside the padded allocation? See [`WView2::in_bounds`].
@@ -879,13 +933,28 @@ impl<T: Copy> WView3<T> {
     }
 }
 
+/// Read view over one 3-D dataset.
+///
+/// Raw-pointer based (like [`RView2`]) so the fused executor can hold a
+/// read view and a write view of the *same* field — written by one member
+/// loop of a fused group and read (at radius 0) by another — without
+/// overlapping references. Every read is bounds-checked.
 #[derive(Clone, Copy)]
-struct RView3<'a, T> {
-    data: &'a [T],
+pub(crate) struct RView3<'a, T> {
+    ptr: *const T,
     pitch: usize,
     slab: usize,
     halo: isize,
+    len: usize,
+    _borrow: std::marker::PhantomData<&'a [T]>,
 }
+
+// SAFETY: RView3 is a read-only view; the underlying storage outlives `'a`
+// and no concurrent writer touches rows a loop reads (driver contract), so
+// it is as thread-safe as `&'a [T]`.
+unsafe impl<T: Sync> Send for RView3<'_, T> {}
+// SAFETY: as above — shared read-only access.
+unsafe impl<T: Sync> Sync for RView3<'_, T> {}
 
 impl<T: Copy> RView3<'_, T> {
     /// See [`WView3::in_bounds`].
@@ -899,7 +968,7 @@ impl<T: Copy> RView3<'_, T> {
             && jj >= 0
             && (jj as usize) < self.slab / self.pitch
             && kk >= 0
-            && (kk as usize) < self.data.len() / self.slab
+            && (kk as usize) < self.len / self.slab
     }
 
     #[inline]
@@ -908,7 +977,58 @@ impl<T: Copy> RView3<'_, T> {
         let jj = j + self.halo;
         let kk = k + self.halo;
         debug_assert!(ii >= 0 && jj >= 0 && kk >= 0);
-        self.data[kk as usize * self.slab + jj as usize * self.pitch + ii as usize]
+        let idx = kk as usize * self.slab + jj as usize * self.pitch + ii as usize;
+        assert!(
+            idx < self.len,
+            "read at ({i},{j},{k}) outside dataset storage"
+        );
+        // SAFETY: bounds-checked above; the storage outlives `'a` and no
+        // concurrent writer touches the rows a loop reads (driver contract).
+        unsafe { *self.ptr.add(idx) }
+    }
+}
+
+/// Raw base of one 3-D field's storage; the 3-D analogue of
+/// [`FieldView2`], used by the fused executor.
+pub(crate) struct FieldView3<T> {
+    ptr: *mut T,
+    pitch: usize,
+    slab: usize,
+    halo: isize,
+    len: usize,
+}
+
+impl<T: Copy> FieldView3<T> {
+    pub(crate) fn capture(d: &mut Dat3<T>) -> Self {
+        let g = d.geometry();
+        FieldView3 {
+            ptr: d.raw_mut().as_mut_ptr(),
+            pitch: g.pitch,
+            slab: g.slab,
+            halo: g.halo as isize,
+            len: g.len,
+        }
+    }
+
+    pub(crate) fn write_view(&self) -> WView3<T> {
+        WView3 {
+            ptr: self.ptr,
+            pitch: self.pitch,
+            slab: self.slab,
+            halo: self.halo,
+            len: self.len,
+        }
+    }
+
+    pub(crate) fn read_view<'a>(&self) -> RView3<'a, T> {
+        RView3 {
+            ptr: self.ptr,
+            pitch: self.pitch,
+            slab: self.slab,
+            halo: self.halo,
+            len: self.len,
+            _borrow: std::marker::PhantomData,
+        }
     }
 }
 
@@ -990,6 +1110,19 @@ pub struct RowOut3<'a, T> {
     width: usize,
     j: isize,
     k: isize,
+}
+
+impl<'a, T> RowOut3<'a, T> {
+    #[inline]
+    pub(crate) fn at(views: &'a [WView3<T>], i0: isize, width: usize, j: isize, k: isize) -> Self {
+        RowOut3 {
+            views,
+            i0,
+            width,
+            j,
+            k,
+        }
+    }
 }
 
 impl<T: Copy> RowOut3<'_, T> {
@@ -1077,6 +1210,25 @@ pub struct RowIn3<'a, T> {
     k: isize,
 }
 
+impl<'a, T> RowIn3<'a, T> {
+    #[inline]
+    pub(crate) fn at(
+        views: &'a [RView3<'a, T>],
+        i0: isize,
+        width: usize,
+        j: isize,
+        k: isize,
+    ) -> Self {
+        RowIn3 {
+            views,
+            i0,
+            width,
+            j,
+            k,
+        }
+    }
+}
+
 impl<'a, T: Copy> RowIn3<'a, T> {
     /// The current row of input dataset `f`.
     #[inline]
@@ -1098,7 +1250,12 @@ impl<'a, T: Copy> RowIn3<'a, T> {
         let kk = self.k + dk + v.halo;
         debug_assert!(ii >= 0 && jj >= 0 && kk >= 0);
         let base = kk as usize * v.slab + jj as usize * v.pitch + ii as usize;
-        &v.data[base..base + self.width]
+        assert!(
+            base + self.width <= v.len,
+            "row read at offset ({di},{dj},{dk}) overruns dataset storage"
+        );
+        // SAFETY: bounds-checked above; shared access for `'a` (see RView3).
+        unsafe { std::slice::from_raw_parts(v.ptr.add(base), self.width) }
     }
 }
 
@@ -1134,20 +1291,25 @@ fn wviews3<T: Copy>(outs: &mut [&mut Dat3<T>]) -> Vec<WView3<T>> {
         .collect()
 }
 
-fn rviews3<'a, T: Copy>(ins: &'a [&'a Dat3<T>]) -> Vec<RView3<'a, T>> {
+pub(crate) fn rviews3<'a, T: Copy>(ins: &'a [&'a Dat3<T>]) -> Vec<RView3<'a, T>> {
     ins.iter()
-        .map(|d| RView3 {
-            data: d.raw(),
-            pitch: d.pitch(),
-            slab: d.slab(),
-            halo: d.halo() as isize,
+        .map(|d| {
+            let data = d.raw();
+            RView3 {
+                ptr: data.as_ptr(),
+                pitch: d.pitch(),
+                slab: d.slab(),
+                halo: d.halo() as isize,
+                len: data.len(),
+                _borrow: std::marker::PhantomData,
+            }
         })
         .collect()
 }
 
 /// Planes per scheduling chunk for a 3-D loop over an
 /// `(i1 - i0) × (j1 - j0)`-point plane (see [`chunk_rows`]).
-fn chunk_planes(width: isize, height: isize) -> usize {
+pub(crate) fn chunk_planes(width: isize, height: isize) -> usize {
     let plane_points = (width.max(1) as usize) * (height.max(1) as usize);
     (CHUNK_POINTS / plane_points).clamp(1, 512)
 }

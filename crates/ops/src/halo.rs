@@ -11,6 +11,42 @@ use bwb_shmpi::Comm;
 /// Tag space reserved for halo traffic (dim × direction encoded).
 pub const HALO_TAG_BASE: u32 = 0x4000_0000;
 
+/// Bit-exact element hashing for the halo-elision debug check. Hashes go
+/// through the bit pattern rather than `PartialEq` so `-0.0` vs `0.0` and
+/// NaN payload changes are detected — the elision certificate promises the
+/// strips are *byte*-identical, not merely numerically equal.
+pub trait BitHash: Copy {
+    fn hash_bits(self) -> u64;
+}
+
+impl BitHash for f64 {
+    fn hash_bits(self) -> u64 {
+        self.to_bits()
+    }
+}
+
+impl BitHash for f32 {
+    fn hash_bits(self) -> u64 {
+        u64::from(self.to_bits())
+    }
+}
+
+/// One FNV-1a step.
+#[cfg(debug_assertions)]
+fn fnv(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x100_0000_01b3)
+}
+
+#[cfg(debug_assertions)]
+thread_local! {
+    /// Per-rank (shmpi ranks are threads) hash of each dat's send strips as
+    /// of its last *real* site-labelled exchange, keyed by dat name. Used by
+    /// [`DistBlock2::elide_halo`] to debug-assert that skipping the exchange
+    /// was sound at runtime, not just in the recorded schedule.
+    static STRIP_HASHES: std::cell::RefCell<std::collections::HashMap<String, u64>> =
+        std::cell::RefCell::new(std::collections::HashMap::new());
+}
+
 /// The tag a halo message travelling along `dim` in the `positive`
 /// direction carries. Direction-encoded so that the two messages of one
 /// face exchange never cross-match, even on periodic extent-2 topologies
@@ -183,6 +219,109 @@ impl DistBlock2 {
         }
     }
 
+    /// Site-labelled per-dimension exchange. Communication is identical to
+    /// [`Self::exchange_halo_dim`]; in addition, the final `dim == 1` pass
+    /// notes ONE recording observation per logical exchange tagged with
+    /// `site`, so `dslcheck` can key elision certificates on `(site, dat)`
+    /// (noting per-dim would make every y pass look redundant after its own
+    /// x pass). In debug builds the send-strip hash is refreshed after the
+    /// final pass, arming [`Self::elide_halo`]'s unchanged-data assert.
+    pub fn exchange_halo_dim_site<T: Copy + Send + BitHash + 'static>(
+        &self,
+        comm: &mut Comm,
+        dat: &mut Dat2<T>,
+        depth: usize,
+        dim: usize,
+        site: &str,
+    ) {
+        if dim == 1 {
+            comm.note_exchange(dat.name(), depth);
+            if crate::access::recording_active() {
+                crate::access::note_exchange_obs_site(dat.name(), depth, site);
+            }
+        }
+        self.exchange_halo_dim(comm, dat, depth, dim);
+        #[cfg(debug_assertions)]
+        if dim == 1 {
+            let h = self.strip_hash(dat, depth);
+            STRIP_HASHES.with(|m| {
+                m.borrow_mut().insert(dat.name().to_string(), h);
+            });
+        }
+    }
+
+    /// Skip a halo exchange certified redundant for `(site, dat)`. Emits a
+    /// `halo_elided` trace span carrying the bytes *not* sent, so measured
+    /// traffic reports can credit the elision. In debug builds, asserts that
+    /// this rank's send strips are bit-identical to the last real
+    /// site-labelled exchange — the runtime check of the property the
+    /// certificate proved from the recorded schedule. If no site-labelled
+    /// exchange of this dat has happened yet, the assert is skipped (the
+    /// certificate rules make that unreachable for certified sites).
+    pub fn elide_halo<T: Copy + Send + BitHash + 'static>(
+        &self,
+        dat: &Dat2<T>,
+        depth: usize,
+        site: &str,
+    ) {
+        let d = depth as isize;
+        let nx = self.nx() as isize;
+        let ny = self.ny() as isize;
+        let mut elems = 0usize;
+        for (dim, strip) in [
+            (0usize, (d * ny) as usize),
+            (1, (d * (nx + 2 * d)) as usize),
+        ] {
+            for dir in [-1isize, 1] {
+                if self.cart.shift(self.rank, dim, dir).is_some() {
+                    elems += strip;
+                }
+            }
+        }
+        let mut span = bwb_trace::span(bwb_trace::Cat::Halo, "halo_elided");
+        span.set_args(depth as f64, (elems * std::mem::size_of::<T>()) as f64, 0.0);
+        #[cfg(not(debug_assertions))]
+        let _ = (dat, site);
+        #[cfg(debug_assertions)]
+        {
+            let h = self.strip_hash(dat, depth);
+            STRIP_HASHES.with(|m| {
+                if let Some(prev) = m.borrow().get(dat.name()) {
+                    assert_eq!(
+                        *prev,
+                        h,
+                        "elided exchange at site {site:?}: send strips of {:?} changed \
+                         since the last real exchange",
+                        dat.name()
+                    );
+                }
+            });
+        }
+    }
+
+    /// FNV-1a over the bit patterns of this rank's send strips at `depth`:
+    /// the x columns `[0,d) ∪ [nx-d,nx)` over interior rows, then the y rows
+    /// `[0,d) ∪ [ny-d,ny)` extended into the x halos — exactly the data a
+    /// real exchange would pack.
+    #[cfg(debug_assertions)]
+    fn strip_hash<T: Copy + BitHash>(&self, dat: &Dat2<T>, depth: usize) -> u64 {
+        let d = depth as isize;
+        let nx = self.nx() as isize;
+        let ny = self.ny() as isize;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for j in 0..ny {
+            for i in (0..d).chain(nx - d..nx) {
+                h = fnv(h, dat.get(i, j).hash_bits());
+            }
+        }
+        for j in (0..d).chain(ny - d..ny) {
+            for i in -d..nx + d {
+                h = fnv(h, dat.get(i, j).hash_bits());
+            }
+        }
+        h
+    }
+
     /// Ghost exchange for *node-centred* fields over this cell-decomposed
     /// block. A node field has `nx+1 × ny+1` local points and the interface
     /// line is duplicated on both neighbouring ranks, so the strips shift
@@ -195,13 +334,115 @@ impl DistBlock2 {
         dat: &mut Dat2<T>,
         depth: usize,
     ) {
-        assert!(depth <= dat.halo());
-        assert_eq!(dat.nx(), self.nx() + 1, "node field extent");
-        assert_eq!(dat.ny(), self.ny() + 1, "node field extent");
         comm.note_exchange(dat.name(), depth);
         if crate::access::recording_active() {
             crate::access::note_exchange_obs(dat.name(), depth);
         }
+        self.exchange_node_halo_inner(comm, dat, depth);
+    }
+
+    /// Site-labelled node exchange (the node-field analogue of
+    /// [`Self::exchange_halo_dim_site`]): the recording observation carries
+    /// `site`, so `dslcheck` can key elision certificates on `(site, dat)`,
+    /// and in debug builds the node send-strip hash is refreshed to arm
+    /// [`Self::elide_node_halo`]'s unchanged-data assert.
+    pub fn exchange_node_halo_site<T: Copy + Send + BitHash + 'static>(
+        &self,
+        comm: &mut Comm,
+        dat: &mut Dat2<T>,
+        depth: usize,
+        site: &str,
+    ) {
+        comm.note_exchange(dat.name(), depth);
+        if crate::access::recording_active() {
+            crate::access::note_exchange_obs_site(dat.name(), depth, site);
+        }
+        self.exchange_node_halo_inner(comm, dat, depth);
+        #[cfg(debug_assertions)]
+        {
+            let h = self.node_strip_hash(dat, depth);
+            STRIP_HASHES.with(|m| {
+                m.borrow_mut().insert(dat.name().to_string(), h);
+            });
+        }
+    }
+
+    /// Skip a node-halo exchange certified redundant for `(site, dat)` —
+    /// the node-field analogue of [`Self::elide_halo`], with the same
+    /// `halo_elided` trace span and debug-build send-strip assert.
+    pub fn elide_node_halo<T: Copy + Send + BitHash + 'static>(
+        &self,
+        dat: &Dat2<T>,
+        depth: usize,
+        site: &str,
+    ) {
+        let d = depth as isize;
+        let nnx = self.nx() as isize + 1;
+        let nny = self.ny() as isize + 1;
+        let mut elems = 0usize;
+        for (dim, strip) in [
+            (0usize, (d * nny) as usize),
+            (1, (d * (nnx + 2 * d)) as usize),
+        ] {
+            for dir in [-1isize, 1] {
+                if self.cart.shift(self.rank, dim, dir).is_some() {
+                    elems += strip;
+                }
+            }
+        }
+        let mut span = bwb_trace::span(bwb_trace::Cat::Halo, "halo_elided");
+        span.set_args(depth as f64, (elems * std::mem::size_of::<T>()) as f64, 0.0);
+        #[cfg(not(debug_assertions))]
+        let _ = (dat, site);
+        #[cfg(debug_assertions)]
+        {
+            let h = self.node_strip_hash(dat, depth);
+            STRIP_HASHES.with(|m| {
+                if let Some(prev) = m.borrow().get(dat.name()) {
+                    assert_eq!(
+                        *prev,
+                        h,
+                        "elided node exchange at site {site:?}: send strips of {:?} \
+                         changed since the last real exchange",
+                        dat.name()
+                    );
+                }
+            });
+        }
+    }
+
+    /// FNV-1a over this rank's node-field send strips at `depth`: the
+    /// interface-shifted columns `[1,1+d) ∪ [nnx−1−d,nnx−1)` over interior
+    /// rows, then the rows `[1,1+d) ∪ [nny−1−d,nny−1)` extended into the x
+    /// halos — exactly what [`Self::exchange_node_halo`] packs.
+    #[cfg(debug_assertions)]
+    fn node_strip_hash<T: Copy + BitHash>(&self, dat: &Dat2<T>, depth: usize) -> u64 {
+        let d = depth as isize;
+        let nnx = self.nx() as isize + 1;
+        let nny = self.ny() as isize + 1;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for j in 0..nny {
+            for i in (1..1 + d).chain(nnx - 1 - d..nnx - 1) {
+                h = fnv(h, dat.get(i, j).hash_bits());
+            }
+        }
+        for j in (1..1 + d).chain(nny - 1 - d..nny - 1) {
+            for i in -d..nnx + d {
+                h = fnv(h, dat.get(i, j).hash_bits());
+            }
+        }
+        h
+    }
+
+    fn exchange_node_halo_inner<T: Copy + Send + 'static>(
+        &self,
+        comm: &mut Comm,
+        dat: &mut Dat2<T>,
+        depth: usize,
+    ) {
+        assert!(depth <= dat.halo());
+        assert_eq!(dat.nx(), self.nx() + 1, "node field extent");
+        assert_eq!(dat.ny(), self.ny() + 1, "node field extent");
         if depth == 0 {
             return;
         }
@@ -811,6 +1052,48 @@ mod tests {
             global[(3 * 8 + 2) * 8 + 1],
             (1 + 100 * 2 + 10000 * 3) as f64
         );
+    }
+
+    #[test]
+    fn site_exchange_matches_plain_and_elision_is_sound() {
+        let out = Universe::run(4, |c| {
+            let b = DistBlock2::new(c, 8, 8);
+            let s = b.start();
+            let mut plain = b.alloc_f64("plain", 2);
+            let mut site = b.alloc_f64("sited", 2);
+            plain.init_with(|i, j| gval(s[0] + i as usize, s[1] + j as usize));
+            site.init_with(|i, j| gval(s[0] + i as usize, s[1] + j as usize));
+            b.exchange_halo_dim(c, &mut plain, 2, 0);
+            b.exchange_halo_dim(c, &mut plain, 2, 1);
+            b.exchange_halo_dim_site(c, &mut site, 2, 0, "cells");
+            b.exchange_halo_dim_site(c, &mut site, 2, 1, "cells");
+            let mut same = true;
+            for j in -2..b.ny() as isize + 2 {
+                for i in -2..b.nx() as isize + 2 {
+                    same &= plain.get(i, j).to_bits() == site.get(i, j).to_bits();
+                }
+            }
+            // The data has not changed since the exchange, so eliding the
+            // next one must pass the debug strip-hash assert.
+            b.elide_halo(&site, 2, "cells");
+            same
+        });
+        assert!(out.results.iter().all(|&b| b));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn strip_hash_tracks_boundary_changes_only() {
+        let b = DistBlock2::with_cart(0, bwb_shmpi::cart::CartComm::balanced(1, 2), 8, 8);
+        let mut d = b.alloc_f64("f", 1);
+        d.init_with(|i, j| gval(i as usize, j as usize));
+        let h0 = b.strip_hash(&d, 1);
+        // Deep-interior change: outside every send strip, hash unchanged.
+        d.set(4, 4, -1.0);
+        assert_eq!(b.strip_hash(&d, 1), h0);
+        // Boundary change: lands in a send strip, hash must move.
+        d.set(0, 3, -2.0);
+        assert_ne!(b.strip_hash(&d, 1), h0);
     }
 
     #[test]

@@ -56,6 +56,9 @@ pub mod access;
 pub mod exec;
 pub mod field;
 pub mod halo;
+pub mod ntstore;
+pub mod optexec;
+pub mod plan;
 pub mod profile;
 pub mod tiling;
 
@@ -67,6 +70,11 @@ pub use exec::{
     ExecMode, In2, In3, Out2, Out3, Range2, Range3, RowIn2, RowIn3, RowOut2, RowOut3,
 };
 pub use field::{Dat2, Dat3};
-pub use halo::{DistBlock2, DistBlock3};
+pub use halo::{BitHash, DistBlock2, DistBlock3};
+pub use ntstore::{nt_copy, NtElem};
+pub use optexec::{
+    fused2_rows, fused3_planes, par_loop2_rows_nt, par_loop3_planes_nt, FusedLoop2, FusedLoop3,
+};
+pub use plan::{ElisionCert, FusionGroupCert, LoopIr, NtCert, OptPlan, PlanError};
 pub use profile::{LoopRecord, Profile};
 pub use tiling::{ChainLoop2, ChainPlan, LoopChain2, PlannedLoop};

@@ -1,0 +1,178 @@
+//! Non-temporal (streaming) stores behind a safe, bit-identical wrapper.
+//!
+//! A certified write-only, no-reuse output (see `dslcheck::traffic`) can
+//! skip the write-allocate read: instead of pulling the destination line
+//! into cache only to overwrite it, `_mm_stream_pd`/`_mm_stream_ps` write
+//! around the cache through write-combining buffers. On a store-only
+//! kernel that cuts memory traffic from 3 streams (read src, RFO dst,
+//! write back dst) to 2 — the `TrafficModel::stream_triad` 4/3 bound the
+//! analyzer prices.
+//!
+//! The wrapper is *exactly* a `copy_from_slice`: streaming stores move the
+//! same bits, so optimized executors remain bit-identical to the baseline
+//! (the ISA does not round or reorder lanes). On non-x86_64 targets the
+//! fallback is a plain copy. SSE2 is part of the x86_64 baseline, so no
+//! runtime feature detection is needed.
+
+/// Element types that can be copied with non-temporal stores.
+pub trait NtElem: Copy {
+    /// Copy `src` into `dst` (equal lengths asserted by [`nt_copy`]) using
+    /// streaming stores for the aligned interior.
+    fn nt_copy(src: &[Self], dst: &mut [Self]);
+}
+
+/// Copy `src` to `dst` with non-temporal stores where the ISA provides
+/// them. Bit-identical to `dst.copy_from_slice(src)` on every target.
+pub fn nt_copy<T: NtElem>(src: &[T], dst: &mut [T]) {
+    assert_eq!(src.len(), dst.len(), "nt_copy length mismatch");
+    T::nt_copy(src, dst);
+}
+
+impl NtElem for f64 {
+    #[cfg(target_arch = "x86_64")]
+    fn nt_copy(src: &[f64], dst: &mut [f64]) {
+        use std::arch::x86_64::{_mm_loadu_pd, _mm_sfence, _mm_stream_pd};
+        let n = dst.len();
+        // Scalar head until the destination is 16-byte aligned (an f64
+        // slice is 8-aligned, so the head is 0 or 1 elements).
+        let head = {
+            let mis = (dst.as_ptr() as usize) & 15;
+            if mis == 0 {
+                0
+            } else {
+                ((16 - mis) / 8).min(n)
+            }
+        };
+        dst[..head].copy_from_slice(&src[..head]);
+        let dp = dst[head..].as_mut_ptr();
+        let sp = src[head..].as_ptr();
+        let rest = n - head;
+        let pairs = rest / 2;
+        for i in 0..pairs {
+            // SAFETY: `2*i + 2 <= rest` bounds both the unaligned load
+            // from `src` and the store into `dst`; the head copy above
+            // made `dp` 16-byte aligned, which `_mm_stream_pd` requires,
+            // and `dp.add(2*i)` preserves that alignment.
+            unsafe { _mm_stream_pd(dp.add(2 * i), _mm_loadu_pd(sp.add(2 * i))) };
+        }
+        for i in (pairs * 2)..rest {
+            // SAFETY: `i < rest` keeps both pointers in their slices; raw
+            // stores keep `dp` valid (no new `&mut` reborrow of `dst`).
+            unsafe { *dp.add(i) = *sp.add(i) };
+        }
+        if pairs > 0 {
+            // SAFETY: `_mm_sfence` has no preconditions; it orders the
+            // weakly-ordered streaming stores above before any subsequent
+            // load can observe the buffer.
+            unsafe { _mm_sfence() };
+        }
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    fn nt_copy(src: &[f64], dst: &mut [f64]) {
+        dst.copy_from_slice(src);
+    }
+}
+
+impl NtElem for f32 {
+    #[cfg(target_arch = "x86_64")]
+    fn nt_copy(src: &[f32], dst: &mut [f32]) {
+        use std::arch::x86_64::{_mm_loadu_ps, _mm_sfence, _mm_stream_ps};
+        let n = dst.len();
+        // An f32 slice is 4-aligned: 0–3 scalar head elements reach
+        // 16-byte alignment.
+        let head = {
+            let mis = (dst.as_ptr() as usize) & 15;
+            if mis == 0 {
+                0
+            } else {
+                ((16 - mis) / 4).min(n)
+            }
+        };
+        dst[..head].copy_from_slice(&src[..head]);
+        let dp = dst[head..].as_mut_ptr();
+        let sp = src[head..].as_ptr();
+        let rest = n - head;
+        let quads = rest / 4;
+        for i in 0..quads {
+            // SAFETY: `4*i + 4 <= rest` bounds the load and the store; the
+            // head copy made `dp` 16-byte aligned as `_mm_stream_ps`
+            // requires, and `dp.add(4*i)` preserves that alignment.
+            unsafe { _mm_stream_ps(dp.add(4 * i), _mm_loadu_ps(sp.add(4 * i))) };
+        }
+        for i in (quads * 4)..rest {
+            // SAFETY: `i < rest` keeps both pointers in their slices.
+            unsafe { *dp.add(i) = *sp.add(i) };
+        }
+        if quads > 0 {
+            // SAFETY: fence only; orders the streaming stores above.
+            unsafe { _mm_sfence() };
+        }
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    fn nt_copy(src: &[f32], dst: &mut [f32]) {
+        dst.copy_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_copy_is_bit_identical_at_every_length_and_offset() {
+        // Offsets shift the destination's 16-byte phase; lengths cover
+        // empty, head-only, and ragged tails.
+        let src: Vec<f64> = (0..67)
+            .map(|i| {
+                if i == 13 {
+                    -0.0
+                } else {
+                    (i as f64).sqrt() * 1.7
+                }
+            })
+            .collect();
+        for off in 0..2 {
+            for len in [0usize, 1, 2, 3, 16, 63, 64, 65] {
+                let mut dst = vec![99.0f64; off + len];
+                nt_copy(&src[..len], &mut dst[off..]);
+                for (a, b) in src[..len].iter().zip(&dst[off..]) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_copy_is_bit_identical_at_every_length_and_offset() {
+        let src: Vec<f32> = (0..67).map(|i| (i as f32) * -1.25 + 0.1).collect();
+        for off in 0..4 {
+            for len in [0usize, 1, 3, 4, 5, 31, 64, 67] {
+                let mut dst = vec![9.0f32; off + len];
+                nt_copy(&src[..len], &mut dst[off..]);
+                for (a, b) in src[..len].iter().zip(&dst[off..]) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nan_payloads_survive() {
+        let src = [f64::from_bits(0x7ff8_0000_dead_beef), f64::NAN, 1.0];
+        let mut dst = [0.0f64; 3];
+        nt_copy(&src, &mut dst);
+        for (a, b) in src.iter().zip(&dst) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let src = [1.0f64; 4];
+        let mut dst = [0.0f64; 3];
+        nt_copy(&src, &mut dst);
+    }
+}

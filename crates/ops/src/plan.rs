@@ -1,0 +1,605 @@
+//! Shared loop-plan IR: the machine-readable contract between the
+//! `dslcheck` dataflow analyzers (which *certify* optimizations from a
+//! recorded schedule) and the optimizing executor in [`crate::optexec`]
+//! (which *applies* them). Both the structured `ops` DSL and the
+//! unstructured `op2` DSL lower their recordings to the same [`LoopIr`],
+//! so one plan format covers every registered app.
+//!
+//! A plan is a whitelist, never a command: executors refuse any transform
+//! the plan does not certify ([`PlanError::UncertifiedFusion`]), and apps
+//! fall back to the unoptimized path wherever a certificate is absent.
+//! Plans serialize to JSON (`to_json`/`from_json`, hand-rolled — the
+//! workspace deliberately carries no JSON dependency) so
+//! `analyze --dataflow --export-plans` can emit the exact artifact CI
+//! validates and the executor consumes.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::access::Recording;
+
+/// One loop of an app's recorded schedule, lowered to the planner's
+/// dialect: just names, shape, and the field footprint. `dims == 0` marks
+/// an unstructured (`op2`) loop over a set rather than a rectangular
+/// range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopIr {
+    pub name: String,
+    pub dims: usize,
+    pub points: usize,
+    pub outs: Vec<String>,
+    pub ins: Vec<String>,
+}
+
+/// A certified fusion group: the loops at schedule positions
+/// `start..start + names.len()` may legally run interleaved over one
+/// traversal. Groups are maximal runs; any *contiguous* sub-run inherits
+/// the certificate (legality is all-pairs within the group).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusionGroupCert {
+    pub start: usize,
+    pub names: Vec<String>,
+}
+
+/// A certified redundant exchange: every recorded exchange of `dat` at
+/// the site labelled `site` moved ghosts that were provably still valid,
+/// so the executor may skip it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElisionCert {
+    pub site: String,
+    pub dat: String,
+    pub depth: usize,
+}
+
+/// A certified streaming store: every recorded execution of `loop_name`
+/// fully overwrites `dat` and nothing re-reads it within the cache
+/// residency window, so its stores may bypass the cache (no write
+/// allocate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NtCert {
+    pub loop_name: String,
+    pub dat: String,
+}
+
+/// The complete optimization plan for one app.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OptPlan {
+    pub app: String,
+    pub loops: Vec<LoopIr>,
+    pub groups: Vec<FusionGroupCert>,
+    pub elisions: Vec<ElisionCert>,
+    pub nt: Vec<NtCert>,
+}
+
+/// Why the optimizing executor refused to run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The requested fused sequence is not a contiguous sub-run of any
+    /// certified fusion group.
+    UncertifiedFusion { names: Vec<String> },
+    /// A dataflow recording is active: recordings must observe the
+    /// *unoptimized* schedule (they are the evidence the certificates are
+    /// derived from), so optimized executors refuse to run under one.
+    RecordingActive,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::UncertifiedFusion { names } => {
+                write!(f, "fusion of {names:?} is not certified by the plan")
+            }
+            PlanError::RecordingActive => {
+                write!(
+                    f,
+                    "refusing optimized execution under an active dataflow recording"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl OptPlan {
+    /// Does the plan certify running `names` (in order) as one fused
+    /// traversal? True iff `names` is a contiguous sub-run of some
+    /// certified group's name sequence.
+    pub fn certifies_fusion(&self, names: &[&str]) -> bool {
+        if names.len() < 2 {
+            return false;
+        }
+        self.groups.iter().any(|g| {
+            g.names.len() >= names.len()
+                && g.names
+                    .windows(names.len())
+                    .any(|w| w.iter().map(String::as_str).eq(names.iter().copied()))
+        })
+    }
+
+    /// Is skipping the exchange of `dat` at `site` certified?
+    pub fn elides(&self, site: &str, dat: &str) -> bool {
+        self.elisions.iter().any(|e| e.site == site && e.dat == dat)
+    }
+
+    /// May `loop_name`'s stores to `dat` bypass the cache?
+    pub fn nt_certified(&self, loop_name: &str, dat: &str) -> bool {
+        self.nt
+            .iter()
+            .any(|c| c.loop_name == loop_name && c.dat == dat)
+    }
+
+    /// Serialize to JSON (stable field order, no trailing whitespace).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n  \"app\": ");
+        push_json_str(&mut s, &self.app);
+        s.push_str(",\n  \"loops\": [");
+        for (i, l) in self.loops.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {\"name\": ");
+            push_json_str(&mut s, &l.name);
+            s.push_str(&format!(
+                ", \"dims\": {}, \"points\": {}, ",
+                l.dims, l.points
+            ));
+            s.push_str("\"outs\": ");
+            push_str_array(&mut s, &l.outs);
+            s.push_str(", \"ins\": ");
+            push_str_array(&mut s, &l.ins);
+            s.push('}');
+        }
+        s.push_str("\n  ],\n  \"groups\": [");
+        for (i, g) in self.groups.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\n    {{\"start\": {}, \"names\": ", g.start));
+            push_str_array(&mut s, &g.names);
+            s.push('}');
+        }
+        s.push_str("\n  ],\n  \"elisions\": [");
+        for (i, e) in self.elisions.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {\"site\": ");
+            push_json_str(&mut s, &e.site);
+            s.push_str(", \"dat\": ");
+            push_json_str(&mut s, &e.dat);
+            s.push_str(&format!(", \"depth\": {}}}", e.depth));
+        }
+        s.push_str("\n  ],\n  \"nt\": [");
+        for (i, c) in self.nt.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {\"loop\": ");
+            push_json_str(&mut s, &c.loop_name);
+            s.push_str(", \"dat\": ");
+            push_json_str(&mut s, &c.dat);
+            s.push('}');
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+
+    /// Parse a plan from the JSON `to_json` emits (tolerant of arbitrary
+    /// whitespace and key order; unknown keys are errors so drift between
+    /// exporter and executor is loud).
+    pub fn from_json(src: &str) -> Result<OptPlan, String> {
+        let v = Json::parse(src)?;
+        let obj = v.obj("plan")?;
+        let mut plan = OptPlan::default();
+        for (k, v) in obj {
+            match k.as_str() {
+                "app" => plan.app = v.str("app")?.to_string(),
+                "loops" => {
+                    for item in v.arr("loops")? {
+                        let mut l = LoopIr {
+                            name: String::new(),
+                            dims: 0,
+                            points: 0,
+                            outs: Vec::new(),
+                            ins: Vec::new(),
+                        };
+                        for (lk, lv) in item.obj("loop")? {
+                            match lk.as_str() {
+                                "name" => l.name = lv.str("name")?.to_string(),
+                                "dims" => l.dims = lv.usize("dims")?,
+                                "points" => l.points = lv.usize("points")?,
+                                "outs" => l.outs = lv.str_vec("outs")?,
+                                "ins" => l.ins = lv.str_vec("ins")?,
+                                other => return Err(format!("unknown loop key {other:?}")),
+                            }
+                        }
+                        plan.loops.push(l);
+                    }
+                }
+                "groups" => {
+                    for item in v.arr("groups")? {
+                        let mut g = FusionGroupCert {
+                            start: 0,
+                            names: Vec::new(),
+                        };
+                        for (gk, gv) in item.obj("group")? {
+                            match gk.as_str() {
+                                "start" => g.start = gv.usize("start")?,
+                                "names" => g.names = gv.str_vec("names")?,
+                                other => return Err(format!("unknown group key {other:?}")),
+                            }
+                        }
+                        plan.groups.push(g);
+                    }
+                }
+                "elisions" => {
+                    for item in v.arr("elisions")? {
+                        let mut e = ElisionCert {
+                            site: String::new(),
+                            dat: String::new(),
+                            depth: 0,
+                        };
+                        for (ek, ev) in item.obj("elision")? {
+                            match ek.as_str() {
+                                "site" => e.site = ev.str("site")?.to_string(),
+                                "dat" => e.dat = ev.str("dat")?.to_string(),
+                                "depth" => e.depth = ev.usize("depth")?,
+                                other => return Err(format!("unknown elision key {other:?}")),
+                            }
+                        }
+                        plan.elisions.push(e);
+                    }
+                }
+                "nt" => {
+                    for item in v.arr("nt")? {
+                        let mut c = NtCert {
+                            loop_name: String::new(),
+                            dat: String::new(),
+                        };
+                        for (ck, cv) in item.obj("nt cert")? {
+                            match ck.as_str() {
+                                "loop" => c.loop_name = cv.str("loop")?.to_string(),
+                                "dat" => c.dat = cv.str("dat")?.to_string(),
+                                other => return Err(format!("unknown nt key {other:?}")),
+                            }
+                        }
+                        plan.nt.push(c);
+                    }
+                }
+                other => return Err(format!("unknown plan key {other:?}")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// Lower a structured-DSL recording to the planner's loop dialect.
+pub fn lower_recording(rec: &Recording) -> Vec<LoopIr> {
+    rec.loops
+        .iter()
+        .map(|l| {
+            let r = &l.range;
+            let points =
+                ((r[1] - r[0]).max(0) * (r[3] - r[2]).max(0) * (r[5] - r[4]).max(0)) as usize;
+            // A field can appear several times (e.g. read and incremented);
+            // the planner only cares about the name set.
+            let outs: BTreeSet<&str> = l.outs.iter().map(|a| a.name.as_str()).collect();
+            let ins: BTreeSet<&str> = l.ins.iter().map(|a| a.name.as_str()).collect();
+            LoopIr {
+                name: l.name.clone(),
+                dims: l.dims as usize,
+                points,
+                outs: outs.into_iter().map(String::from).collect(),
+                ins: ins.into_iter().map(String::from).collect(),
+            }
+        })
+        .collect()
+}
+
+fn push_json_str(s: &mut String, v: &str) {
+    s.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\t' => s.push_str("\\t"),
+            '\r' => s.push_str("\\r"),
+            c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+}
+
+fn push_str_array(s: &mut String, items: &[String]) {
+    s.push('[');
+    for (i, it) in items.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        push_json_str(s, it);
+    }
+    s.push(']');
+}
+
+/// Minimal JSON value for the plan parser. Numbers are kept as unsigned
+/// integers — plans never contain floats or negatives.
+#[derive(Debug)]
+enum Json {
+    Obj(Vec<(String, Json)>),
+    Arr(Vec<Json>),
+    Str(String),
+    Num(u64),
+}
+
+impl Json {
+    fn parse(src: &str) -> Result<Json, String> {
+        let b = src.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn obj(&self, what: &str) -> Result<&[(String, Json)], String> {
+        match self {
+            Json::Obj(kv) => Ok(kv),
+            other => Err(format!("expected {what} to be an object, got {other:?}")),
+        }
+    }
+
+    fn arr(&self, what: &str) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(format!("expected {what} to be an array, got {other:?}")),
+        }
+    }
+
+    fn str(&self, what: &str) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(format!("expected {what} to be a string, got {other:?}")),
+        }
+    }
+
+    fn usize(&self, what: &str) -> Result<usize, String> {
+        match self {
+            Json::Num(n) => Ok(*n as usize),
+            other => Err(format!("expected {what} to be a number, got {other:?}")),
+        }
+    }
+
+    fn str_vec(&self, what: &str) -> Result<Vec<String>, String> {
+        self.arr(what)?
+            .iter()
+            .map(|v| v.str(what).map(String::from))
+            .collect()
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected {:?} at byte {} (found {:?})",
+            c as char,
+            *pos,
+            b.get(*pos).map(|&x| x as char)
+        ))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut kv = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(kv));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                expect(b, pos, b':')?;
+                let val = parse_value(b, pos)?;
+                kv.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(kv));
+                    }
+                    other => return Err(format!("expected ',' or '}}', got {other:?}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    other => return Err(format!("expected ',' or ']', got {other:?}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(c) if c.is_ascii_digit() => {
+            let start = *pos;
+            while *pos < b.len() && b[*pos].is_ascii_digit() {
+                *pos += 1;
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .unwrap()
+                .parse::<u64>()
+                .map(Json::Num)
+                .map_err(|e| format!("bad number at byte {start}: {e}"))
+        }
+        other => Err(format!("unexpected token {other:?} at byte {}", *pos)),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multibyte sequences pass through).
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plan() -> OptPlan {
+        OptPlan {
+            app: "clover\"leaf".into(),
+            loops: vec![
+                LoopIr {
+                    name: "ideal_gas".into(),
+                    dims: 2,
+                    points: 64,
+                    outs: vec!["pressure".into(), "soundspeed".into()],
+                    ins: vec!["density0".into(), "energy0".into()],
+                },
+                LoopIr {
+                    name: "viscosity".into(),
+                    dims: 2,
+                    points: 64,
+                    outs: vec!["viscosity".into()],
+                    ins: vec!["density0".into(), "xvel0".into()],
+                },
+            ],
+            groups: vec![FusionGroupCert {
+                start: 0,
+                names: vec!["ideal_gas".into(), "viscosity".into(), "third".into()],
+            }],
+            elisions: vec![ElisionCert {
+                site: "cells1".into(),
+                dat: "density0".into(),
+                depth: 2,
+            }],
+            nt: vec![NtCert {
+                loop_name: "acoustic_update".into(),
+                dat: "u_next".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let plan = sample_plan();
+        let json = plan.to_json();
+        let back = OptPlan::from_json(&json).expect("parse");
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn empty_plan_round_trips() {
+        let plan = OptPlan::default();
+        let back = OptPlan::from_json(&plan.to_json()).expect("parse");
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn fusion_certificate_is_contiguous_subrun() {
+        let plan = sample_plan();
+        assert!(plan.certifies_fusion(&["ideal_gas", "viscosity"]));
+        assert!(plan.certifies_fusion(&["viscosity", "third"]));
+        assert!(plan.certifies_fusion(&["ideal_gas", "viscosity", "third"]));
+        // Non-contiguous, out-of-order, and single-loop "fusions" are not
+        // certified.
+        assert!(!plan.certifies_fusion(&["ideal_gas", "third"]));
+        assert!(!plan.certifies_fusion(&["viscosity", "ideal_gas"]));
+        assert!(!plan.certifies_fusion(&["ideal_gas"]));
+        assert!(!plan.certifies_fusion(&["ideal_gas", "viscosity", "third", "fourth"]));
+    }
+
+    #[test]
+    fn elision_and_nt_lookups() {
+        let plan = sample_plan();
+        assert!(plan.elides("cells1", "density0"));
+        assert!(!plan.elides("cells2", "density0"));
+        assert!(!plan.elides("cells1", "energy0"));
+        assert!(plan.nt_certified("acoustic_update", "u_next"));
+        assert!(!plan.nt_certified("acoustic_update", "u_prev"));
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        assert!(OptPlan::from_json("{\"app\": \"x\", \"bogus\": []}").is_err());
+        assert!(OptPlan::from_json("{\"loops\": [{\"nam\": \"x\"}]}").is_err());
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(OptPlan::from_json("{").is_err());
+        assert!(OptPlan::from_json("{\"app\": \"x\"} trailing").is_err());
+        assert!(OptPlan::from_json("{\"app\": [}]").is_err());
+    }
+}

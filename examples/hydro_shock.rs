@@ -19,6 +19,7 @@ fn main() {
         cfl: 0.5,
         mode: ExecMode::Serial,
         advection: Advection::VanLeer,
+        plan: None,
     };
 
     // Single-rank reference.
