@@ -1,251 +1,515 @@
-//! Minimal, API-compatible stand-in for the `loom` permutation-testing
-//! crate. The build environment has no registry access, so the workspace
-//! vendors the small slice of the API its `cfg(loom)` tests use:
-//! [`model`], `loom::thread::{spawn, yield_now}`, and
-//! `loom::sync::{Arc, Mutex, Condvar}` with `parking_lot`-style signatures
-//! (`lock()` returns the guard directly, `Condvar::wait` takes the guard by
-//! `&mut`) so code can swap its lock imports under `--cfg loom` without
-//! further changes.
+//! Vendored, API-compatible stand-in for the `loom` model checker (the
+//! build environment has no registry access). Unlike the previous
+//! randomized stress harness, this version performs **bounded exhaustive
+//! exploration with dynamic partial-order reduction**: a cooperative
+//! scheduler serializes the model's threads, every synchronization
+//! operation is a scheduling point, and a stateless DFS with
+//! conflict-based backtrack (persistent) sets and sleep sets enumerates
+//! the distinct interleavings — counting explored schedules and
+//! reporting any failing execution as a replayable thread-choice trace
+//! (see [`replay`]).
 //!
-//! The real loom exhaustively enumerates thread interleavings with DPOR.
-//! This stand-in is honest about being weaker: [`model`] re-runs the
-//! closure many times (`LOOM_ITERS`, default 2000) over real OS threads,
-//! and every lock acquisition / condvar operation injects a pseudo-random
-//! scheduling perturbation (spin, yield, or sleep) from a per-iteration
-//! seeded LCG, forcing a different interleaving pressure profile each
-//! iteration. That catches ordering bugs (FIFO violations, lost wakeups,
-//! overtaking) with high probability, but is a bounded stress search, not a
-//! proof over all executions.
+//! Surface kept source-compatible with the previous stand-in:
+//! [`model`], `loom::thread::{spawn, yield_now}`, and
+//! `loom::sync::{Arc, Mutex, Condvar}` with `parking_lot`-style
+//! signatures (`lock()` returns the guard directly, `Condvar::wait`
+//! takes the guard by `&mut`). New for lock-free clients:
+//! `loom::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering}`
+//! and [`cell::UnsafeCell`] with the real loom's `with`/`with_mut`
+//! closure API.
+//!
+//! Knobs (environment, overridable per-call via [`Builder`]):
+//! `LOOM_MAX_SCHEDULES` (default 200 000), `LOOM_MAX_STEPS` per
+//! execution (default 100 000), `LOOM_MAX_PREEMPTIONS` (default 2,
+//! CHESS-style bound; set to `unlimited` for truly exhaustive
+//! exploration of small models).
+//!
+//! Honest limitations: sequentially-consistent memory only (`Ordering`
+//! is accepted and ignored), no spurious wakeups, FIFO `notify_one`,
+//! and model-thread panics fail the whole model. See `sched` for the
+//! engine.
 
-use std::cell::Cell;
-use std::time::Duration;
+mod sched;
 
-thread_local! {
-    /// Per-thread schedule-perturbation state (seeded per model iteration).
-    static SCHED: Cell<u64> = const { Cell::new(0x9e3779b97f4a7c15) };
+pub use sched::{Failure, Stats};
+
+use std::sync::Arc as StdArc;
+
+/// Exploration configuration. `Default` reads the `LOOM_*` environment.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Stop after this many explored schedules (`complete: false`).
+    pub max_schedules: u64,
+    /// Fail an execution that exceeds this many scheduling points.
+    pub max_steps: u64,
+    /// CHESS-style preemption bound; `None` = unlimited (exhaustive).
+    pub max_preemptions: Option<usize>,
+    /// Branch on every enabled thread instead of DPOR backtrack sets
+    /// (sleep sets still prune). For cross-checking the reduction.
+    pub exhaustive: bool,
 }
 
-fn sched_seed(seed: u64) {
-    SCHED.with(|s| s.set(seed | 1));
-}
-
-/// Advance the LCG and maybe perturb the scheduler at this point.
-fn perturb() {
-    let r = SCHED.with(|s| {
-        let x = s
-            .get()
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        s.set(x);
-        x >> 33
-    });
-    match r % 8 {
-        0 => std::thread::yield_now(),
-        1 => {
-            // A short sleep parks this thread and all but guarantees the
-            // peer runs first — the strongest reordering pressure we can
-            // apply without a cooperative scheduler.
-            std::thread::sleep(Duration::from_micros(r % 50));
+impl Default for Builder {
+    fn default() -> Self {
+        let parse = |k: &str| std::env::var(k).ok().and_then(|v| v.parse::<u64>().ok());
+        let max_preemptions = match std::env::var("LOOM_MAX_PREEMPTIONS").ok().as_deref() {
+            Some("unlimited") | Some("none") => None,
+            Some(v) => Some(v.parse().unwrap_or(2)),
+            None => Some(2),
+        };
+        Builder {
+            max_schedules: parse("LOOM_MAX_SCHEDULES").unwrap_or(200_000),
+            max_steps: parse("LOOM_MAX_STEPS").unwrap_or(100_000),
+            max_preemptions,
+            exhaustive: false,
         }
-        2 | 3 => {
-            for _ in 0..(r % 64) {
-                std::hint::spin_loop();
-            }
-        }
-        _ => {}
     }
 }
 
-/// Number of schedule explorations per [`model`] call. Override with the
-/// `LOOM_ITERS` environment variable (the real loom uses
-/// `LOOM_MAX_PREEMPTIONS`; we keep a distinct name to avoid implying DPOR
-/// semantics).
-fn iters() -> u64 {
-    std::env::var("LOOM_ITERS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2000)
+impl Builder {
+    fn explorer(&self) -> sched::Explorer {
+        sched::Explorer {
+            max_schedules: self.max_schedules,
+            max_steps: self.max_steps,
+            max_preemptions: self.max_preemptions,
+            exhaustive: self.exhaustive,
+        }
+    }
+
+    /// Explore every schedule of `f`; panic (with the failing schedule
+    /// and a replay hint) on the first violating execution.
+    pub fn model<F>(&self, f: F) -> Stats
+    where
+        F: Fn() + Sync + Send + 'static,
+    {
+        match self.explore(f) {
+            Ok(stats) => stats,
+            Err(failure) => panic!("loom: {failure}"),
+        }
+    }
+
+    /// Like [`Builder::model`] but returns the failing execution instead
+    /// of panicking — for tests that *expect* a violation and want to
+    /// inspect or replay its schedule.
+    pub fn explore<F>(&self, f: F) -> Result<Stats, Failure>
+    where
+        F: Fn() + Sync + Send + 'static,
+    {
+        self.explorer().explore(f)
+    }
 }
 
-/// Run `f` under many randomized schedules. Panics propagate out of the
-/// failing iteration with the iteration number attached via a message on
-/// stderr (the seed makes the perturbation sequence reproducible in
-/// principle, though OS scheduling noise means reruns are probabilistic).
+/// Explore every schedule of `f` under the default [`Builder`]; panics
+/// on the first failing execution with its replayable schedule.
 pub fn model<F>(f: F)
 where
     F: Fn() + Sync + Send + 'static,
 {
-    for it in 0..iters() {
-        sched_seed(it.wrapping_mul(0x2545f4914f6cdd1d).wrapping_add(1));
-        f();
-    }
+    Builder::default().model(f);
+}
+
+/// [`model`] returning exploration statistics (explored-schedule count).
+pub fn model_stats<F>(f: F) -> Stats
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    Builder::default().model(f)
+}
+
+/// Re-run `f` under one exact schedule (the thread-choice trace a
+/// [`Failure`] reports). A panic in the replayed execution propagates.
+pub fn replay<F>(schedule: &[usize], f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    Builder::default().explorer().replay_schedule(schedule, f);
 }
 
 pub mod thread {
-    use super::{perturb, sched_seed, SCHED};
+    use super::sched::{self, Op};
+    use std::sync::{Arc as StdArc, Mutex as StdMutex};
 
     pub struct JoinHandle<T> {
-        inner: std::thread::JoinHandle<T>,
+        tid: usize,
+        slot: StdArc<StdMutex<Option<T>>>,
     }
 
     impl<T> JoinHandle<T> {
+        /// Blocks (as a scheduling point) until the thread has exited.
+        /// Always `Ok`: a model-thread panic fails the whole model
+        /// before any `join` can observe it.
         pub fn join(self) -> std::thread::Result<T> {
-            self.inner.join()
+            sched::sched_point(Op::Join { target: self.tid });
+            Ok(self
+                .slot
+                .lock()
+                .unwrap()
+                .take()
+                .expect("joined model thread stored its result"))
         }
     }
 
-    /// Spawn a model thread. The child inherits a derived perturbation
-    /// seed so its schedule pressure also varies across iterations.
+    /// Spawn a model thread. Registration is synchronous (the child is
+    /// parked at its first scheduling point before `spawn` returns) so
+    /// the scheduler's enabled-set stays deterministic.
     pub fn spawn<F, T>(f: F) -> JoinHandle<T>
     where
         F: FnOnce() -> T + Send + 'static,
         T: Send + 'static,
     {
-        let seed = SCHED.with(|s| s.get()).wrapping_mul(0xd1342543de82ef95);
-        JoinHandle {
-            inner: std::thread::spawn(move || {
-                sched_seed(seed);
-                perturb();
-                f()
-            }),
+        let sh = sched::current_shared().expect("loom::thread::spawn outside loom::model");
+        let slot = StdArc::new(StdMutex::new(None));
+        let tid = sched::register_thread(&sh);
+        {
+            let sh2 = sh.clone();
+            let slot = slot.clone();
+            std::thread::spawn(move || {
+                sched::thread_main(sh2, tid, move || {
+                    let r = f();
+                    *slot.lock().unwrap() = Some(r);
+                })
+            });
         }
+        sched::wait_started(&sh, tid);
+        JoinHandle { tid, slot }
     }
 
+    /// A scheduling point that deprioritizes the caller until another
+    /// thread has stepped — the hook spin loops must use so exploration
+    /// stays finite.
     pub fn yield_now() {
-        std::thread::yield_now();
+        sched::sched_point(Op::Yield);
     }
 }
 
 pub mod sync {
-    use super::perturb;
-    use std::time::Duration;
+    use super::sched::{self, Op};
+    use std::cell::UnsafeCell as StdUnsafeCell;
 
     pub use std::sync::Arc;
 
-    /// `parking_lot`-shaped mutex with schedule perturbation on `lock`.
-    #[derive(Default)]
+    /// `parking_lot`-shaped mutex, modeled: `lock` is a scheduling
+    /// point and only enabled while no thread holds the mutex.
     pub struct Mutex<T: ?Sized> {
-        inner: std::sync::Mutex<T>,
+        id: usize,
+        data: StdUnsafeCell<T>,
     }
 
-    pub struct MutexGuard<'a, T: ?Sized> {
-        guard: std::sync::MutexGuard<'a, T>,
-    }
+    // SAFETY: the scheduler serializes all access — `lock` is granted
+    // only while no other thread holds the mutex, so `&mut T` derived
+    // from the guard is exclusive.
+    unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+    // SAFETY: as above; shared references hand out data only through
+    // the exclusively-held guard.
+    unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
 
     impl<T> Mutex<T> {
         pub fn new(value: T) -> Self {
             Mutex {
-                inner: std::sync::Mutex::new(value),
+                id: sched::alloc_obj(),
+                data: StdUnsafeCell::new(value),
             }
+        }
+    }
+
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Self {
+            Mutex::new(T::default())
         }
     }
 
     impl<T: ?Sized> Mutex<T> {
         pub fn lock(&self) -> MutexGuard<'_, T> {
-            perturb();
-            let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-            MutexGuard { guard }
+            sched::sched_point(Op::MutexLock { id: self.id });
+            MutexGuard { mutex: self }
         }
+    }
+
+    pub struct MutexGuard<'a, T: ?Sized> {
+        mutex: &'a Mutex<T>,
     }
 
     impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
         type Target = T;
         fn deref(&self) -> &T {
-            &self.guard
+            // SAFETY: the scheduler granted this thread the lock and
+            // will not grant another until the unlock step below.
+            unsafe { &*self.mutex.data.get() }
         }
     }
 
     impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
         fn deref_mut(&mut self) -> &mut T {
-            &mut self.guard
+            // SAFETY: as in `deref`; `&mut self` gives unique access to
+            // the only guard for this hold.
+            unsafe { &mut *self.mutex.data.get() }
         }
     }
 
-    /// `parking_lot`-shaped condvar: `wait` takes the guard by `&mut`.
-    #[derive(Default)]
+    impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            sched::sched_point(Op::MutexUnlock { id: self.mutex.id });
+        }
+    }
+
+    /// `parking_lot`-shaped condvar: `wait` takes the guard by `&mut`
+    /// and atomically releases + re-acquires its mutex in the model.
+    /// No spurious wakeups; `notify_one` wakes the longest waiter.
     pub struct Condvar {
-        inner: std::sync::Condvar,
+        id: usize,
     }
 
     impl Condvar {
         pub fn new() -> Self {
-            Self::default()
+            Condvar {
+                id: sched::alloc_obj(),
+            }
         }
 
-        pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
-            perturb();
-            // Replace the inner guard through a timed wait loop: std's
-            // `wait` consumes the guard, so we take it out and put the
-            // reacquired one back. The timeout bounds lost-wakeup hangs to
-            // something a failing model run can report rather than freeze.
-            take_mut(guard, |g| {
-                self.inner
-                    .wait_timeout(g, Duration::from_secs(5))
-                    .map(|(g, timeout)| {
-                        assert!(
-                            !timeout.timed_out(),
-                            "loom stand-in: condvar wait exceeded 5s (lost wakeup?)"
-                        );
-                        g
-                    })
-                    .unwrap_or_else(|e| {
-                        let (g, _) = e.into_inner();
-                        g
-                    })
+        pub fn wait<T: ?Sized>(&self, guard: &mut MutexGuard<'_, T>) {
+            sched::sched_point(Op::CondWait {
+                cv: self.id,
+                mx: guard.mutex.id,
             });
-            perturb();
         }
 
         pub fn notify_one(&self) {
-            perturb();
-            self.inner.notify_one();
+            sched::sched_point(Op::Notify {
+                cv: self.id,
+                all: false,
+            });
         }
 
         pub fn notify_all(&self) {
-            perturb();
-            self.inner.notify_all();
+            sched::sched_point(Op::Notify {
+                cv: self.id,
+                all: true,
+            });
         }
     }
 
-    fn take_mut<'a, T>(
-        guard: &mut MutexGuard<'a, T>,
-        f: impl FnOnce(std::sync::MutexGuard<'a, T>) -> std::sync::MutexGuard<'a, T>,
-    ) {
-        // SAFETY: we read the guard out, hand it to `f`, and write the
-        // returned guard back before the scope ends; a panic in `f` aborts
-        // via the abort guard below, so the duplicated guard is never
-        // dropped twice.
-        unsafe {
-            let old = std::ptr::read(&guard.guard);
-            let abort = AbortOnDrop;
-            let new = f(old);
-            std::mem::forget(abort);
-            std::ptr::write(&mut guard.guard, new);
+    impl Default for Condvar {
+        fn default() -> Self {
+            Self::new()
         }
     }
 
-    struct AbortOnDrop;
-    impl Drop for AbortOnDrop {
-        fn drop(&mut self) {
-            // A panic mid-swap would double-drop the guard; degrade to
-            // abort instead of UB.
-            std::process::abort();
+    pub mod atomic {
+        use super::super::sched::{self, Op};
+        use std::cell::UnsafeCell as StdUnsafeCell;
+
+        pub use std::sync::atomic::Ordering;
+
+        /// A modeled fence. The engine explores a sequentially
+        /// consistent memory model, so this is a no-op (documented
+        /// limitation: weak-memory reorderings are not explored).
+        pub fn fence(_order: Ordering) {}
+
+        macro_rules! atomic_int {
+            ($name:ident, $ty:ty) => {
+                /// Modeled atomic: every access is a scheduling point;
+                /// the value itself is plain memory mutated only by the
+                /// thread currently holding the scheduler's baton.
+                pub struct $name {
+                    id: usize,
+                    v: StdUnsafeCell<$ty>,
+                }
+
+                // SAFETY: the cooperative scheduler runs exactly one
+                // model thread at a time, and every access below first
+                // parks at a scheduling point — so reads/writes of `v`
+                // are serialized even though the cell itself is unsync.
+                unsafe impl Sync for $name {}
+                // SAFETY: plain data; ownership transfer is safe.
+                unsafe impl Send for $name {}
+
+                impl $name {
+                    pub fn new(v: $ty) -> Self {
+                        Self {
+                            id: sched::alloc_obj(),
+                            v: StdUnsafeCell::new(v),
+                        }
+                    }
+
+                    pub fn load(&self, _order: Ordering) -> $ty {
+                        sched::sched_point(Op::AtomicLoad { id: self.id });
+                        // SAFETY: serialized by the scheduler (see Sync).
+                        unsafe { *self.v.get() }
+                    }
+
+                    pub fn store(&self, val: $ty, _order: Ordering) {
+                        sched::sched_point(Op::AtomicStore { id: self.id });
+                        // SAFETY: serialized by the scheduler (see Sync).
+                        unsafe { *self.v.get() = val }
+                    }
+
+                    pub fn swap(&self, val: $ty, _order: Ordering) -> $ty {
+                        sched::sched_point(Op::AtomicRmw { id: self.id });
+                        // SAFETY: serialized by the scheduler (see Sync).
+                        unsafe { std::mem::replace(&mut *self.v.get(), val) }
+                    }
+
+                    pub fn fetch_add(&self, val: $ty, _order: Ordering) -> $ty {
+                        sched::sched_point(Op::AtomicRmw { id: self.id });
+                        // SAFETY: serialized by the scheduler (see Sync).
+                        unsafe {
+                            let old = *self.v.get();
+                            *self.v.get() = old.wrapping_add(val);
+                            old
+                        }
+                    }
+
+                    pub fn compare_exchange(
+                        &self,
+                        current: $ty,
+                        new: $ty,
+                        _success: Ordering,
+                        _failure: Ordering,
+                    ) -> Result<$ty, $ty> {
+                        sched::sched_point(Op::AtomicRmw { id: self.id });
+                        // SAFETY: serialized by the scheduler (see Sync).
+                        unsafe {
+                            let old = *self.v.get();
+                            if old == current {
+                                *self.v.get() = new;
+                                Ok(old)
+                            } else {
+                                Err(old)
+                            }
+                        }
+                    }
+                }
+            };
+        }
+
+        atomic_int!(AtomicUsize, usize);
+        atomic_int!(AtomicU32, u32);
+        atomic_int!(AtomicU64, u64);
+
+        /// Modeled atomic boolean (see the integer atomics above).
+        pub struct AtomicBool {
+            id: usize,
+            v: StdUnsafeCell<bool>,
+        }
+
+        // SAFETY: serialized by the cooperative scheduler — one model
+        // thread runs at a time and every access is a scheduling point.
+        unsafe impl Sync for AtomicBool {}
+        // SAFETY: plain data; ownership transfer is safe.
+        unsafe impl Send for AtomicBool {}
+
+        impl AtomicBool {
+            pub fn new(v: bool) -> Self {
+                Self {
+                    id: sched::alloc_obj(),
+                    v: StdUnsafeCell::new(v),
+                }
+            }
+
+            pub fn load(&self, _order: Ordering) -> bool {
+                sched::sched_point(Op::AtomicLoad { id: self.id });
+                // SAFETY: serialized by the scheduler (see Sync).
+                unsafe { *self.v.get() }
+            }
+
+            pub fn store(&self, val: bool, _order: Ordering) {
+                sched::sched_point(Op::AtomicStore { id: self.id });
+                // SAFETY: serialized by the scheduler (see Sync).
+                unsafe { *self.v.get() = val }
+            }
+
+            pub fn swap(&self, val: bool, _order: Ordering) -> bool {
+                sched::sched_point(Op::AtomicRmw { id: self.id });
+                // SAFETY: serialized by the scheduler (see Sync).
+                unsafe { std::mem::replace(&mut *self.v.get(), val) }
+            }
         }
     }
 }
 
+pub mod cell {
+    use super::sched::{self, Op};
+    use std::cell::UnsafeCell as StdUnsafeCell;
+
+    /// Modeled `UnsafeCell` with the real loom's closure API: `with`
+    /// records a read access, `with_mut` a write access — both are
+    /// scheduling points, so the explorer enumerates every ordering of
+    /// unsynchronized accesses (value-level corruption then surfaces in
+    /// model assertions; UB detection itself is miri/tsan's job).
+    pub struct UnsafeCell<T: ?Sized> {
+        id: usize,
+        v: StdUnsafeCell<T>,
+    }
+
+    // SAFETY: the model serializes all threads; the cell only hands out
+    // raw pointers whose dereference the caller scopes inside the
+    // closure, while the scheduling point serializes the closure bodies.
+    unsafe impl<T: ?Sized + Send> Sync for UnsafeCell<T> {}
+    // SAFETY: plain data; ownership transfer is safe.
+    unsafe impl<T: ?Sized + Send> Send for UnsafeCell<T> {}
+
+    impl<T> UnsafeCell<T> {
+        pub fn new(v: T) -> Self {
+            UnsafeCell {
+                id: sched::alloc_obj(),
+                v: StdUnsafeCell::new(v),
+            }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.v.into_inner()
+        }
+    }
+
+    impl<T: ?Sized> UnsafeCell<T> {
+        pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            sched::sched_point(Op::CellRead { id: self.id });
+            f(self.v.get())
+        }
+
+        pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            sched::sched_point(Op::CellWrite { id: self.id });
+            f(self.v.get())
+        }
+    }
+}
+
+// Silence an unused-import lint when no test uses StdArc directly.
+#[allow(unused_imports)]
+use StdArc as _;
+
 #[cfg(test)]
 mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
     use super::sync::{Arc, Condvar, Mutex};
+    use super::{thread, Builder};
+
+    fn small() -> Builder {
+        Builder {
+            max_schedules: 100_000,
+            max_steps: 10_000,
+            max_preemptions: None,
+            exhaustive: false,
+        }
+    }
 
     #[test]
-    fn model_runs_and_locks_work() {
-        std::env::set_var("LOOM_ITERS", "16");
-        super::model(|| {
+    fn single_thread_is_one_schedule() {
+        let stats = small().model(|| {
+            let m = Mutex::new(1u32);
+            assert_eq!(*m.lock(), 1);
+        });
+        assert_eq!(stats.schedules, 1);
+        assert!(stats.complete);
+    }
+
+    #[test]
+    fn condvar_handoff_explored_exhaustively() {
+        let stats = small().model(|| {
             let m = Arc::new(Mutex::new(0u32));
             let c = Arc::new(Condvar::new());
             let (m2, c2) = (m.clone(), c.clone());
-            let h = super::thread::spawn(move || {
+            let h = thread::spawn(move || {
                 *m2.lock() += 1;
                 c2.notify_all();
             });
@@ -258,5 +522,143 @@ mod tests {
             }
             h.join().unwrap();
         });
+        assert!(stats.complete);
+        assert!(stats.schedules >= 2, "{stats:?}");
+    }
+
+    #[test]
+    fn atomic_race_both_orders_observed() {
+        // Two increments race; exhaustive exploration must see both
+        // interleavings, so the total is always 2 but intermediate
+        // observations differ across schedules.
+        use std::sync::atomic::AtomicUsize as RealAtomic;
+        let seen = std::sync::Arc::new(RealAtomic::new(0));
+        let seen2 = seen.clone();
+        let stats = small().model(move || {
+            let a = Arc::new(AtomicUsize::new(0));
+            let a2 = a.clone();
+            let h = thread::spawn(move || {
+                let v = a2.load(Ordering::SeqCst);
+                a2.store(v + 1, Ordering::SeqCst);
+            });
+            let v = a.load(Ordering::SeqCst);
+            a.store(v + 1, Ordering::SeqCst);
+            h.join().unwrap();
+            let total = a.load(Ordering::SeqCst);
+            seen2.fetch_or(1 << total, std::sync::atomic::Ordering::SeqCst);
+        });
+        assert!(stats.complete);
+        // The unsynchronized read-modify-write must lose an update in
+        // some schedule (total 1) and keep both in others (total 2).
+        let mask = seen.load(std::sync::atomic::Ordering::SeqCst);
+        assert_eq!(mask & (1 << 1), 1 << 1, "lost-update schedule missed");
+        assert_eq!(mask & (1 << 2), 1 << 2, "sequential schedule missed");
+    }
+
+    #[test]
+    fn abba_deadlock_detected_with_replayable_schedule() {
+        let failure = small()
+            .explore(|| {
+                let a = Arc::new(Mutex::new(()));
+                let b = Arc::new(Mutex::new(()));
+                let (a2, b2) = (a.clone(), b.clone());
+                let h = thread::spawn(move || {
+                    let _ga = a2.lock();
+                    let _gb = b2.lock();
+                });
+                let _gb = b.lock();
+                let _ga = a.lock();
+                drop(_ga);
+                drop(_gb);
+                h.join().unwrap();
+            })
+            .expect_err("ABBA locking must deadlock in some schedule");
+        assert!(failure.message.contains("deadlock"), "{failure}");
+        assert!(!failure.schedule.is_empty());
+    }
+
+    #[test]
+    fn lost_wakeup_detected() {
+        // Classic missed-notify: the notifier does not hold the mutex
+        // across the flag store, so notify can land before the wait.
+        let failure = small()
+            .explore(|| {
+                let m = Arc::new(Mutex::new(false));
+                let c = Arc::new(Condvar::new());
+                let (m2, c2) = (m.clone(), c.clone());
+                let h = thread::spawn(move || {
+                    *m2.lock() = true;
+                    c2.notify_one();
+                });
+                {
+                    let mut g = m.lock();
+                    if !*g {
+                        // BUG under test: `if` instead of `while` plus a
+                        // second wait — some schedule never wakes.
+                        c.wait(&mut g);
+                        c.wait(&mut g);
+                    }
+                }
+                h.join().unwrap();
+            })
+            .expect_err("double-wait must hang in some schedule");
+        assert!(
+            failure.message.contains("deadlock") || failure.message.contains("condvar"),
+            "{failure}"
+        );
+    }
+
+    #[test]
+    fn dpor_explores_fewer_schedules_than_exhaustive() {
+        let run = |exhaustive: bool| {
+            let b = Builder {
+                exhaustive,
+                ..small()
+            };
+            b.model(|| {
+                // Two threads touching disjoint atomics: all
+                // interleavings are equivalent, DPOR should collapse
+                // them to ~1 while exhaustive mode visits more.
+                let x = Arc::new(AtomicUsize::new(0));
+                let y = Arc::new(AtomicUsize::new(0));
+                let x2 = x.clone();
+                let h = thread::spawn(move || {
+                    x2.store(1, Ordering::SeqCst);
+                    x2.store(2, Ordering::SeqCst);
+                });
+                y.store(1, Ordering::SeqCst);
+                y.store(2, Ordering::SeqCst);
+                h.join().unwrap();
+                assert_eq!(x.load(Ordering::SeqCst) + y.load(Ordering::SeqCst), 4);
+            })
+        };
+        let dpor = run(false);
+        let full = run(true);
+        assert!(dpor.complete && full.complete);
+        assert!(
+            dpor.schedules <= full.schedules,
+            "DPOR ({}) explored more than exhaustive ({})",
+            dpor.schedules,
+            full.schedules
+        );
+    }
+
+    #[test]
+    fn replay_reproduces_failing_schedule() {
+        let model = || {
+            let a = Arc::new(AtomicUsize::new(0));
+            let a2 = a.clone();
+            let h = thread::spawn(move || a2.store(1, Ordering::SeqCst));
+            let seen = a.load(Ordering::SeqCst);
+            h.join().unwrap();
+            assert_eq!(seen, 0, "planted: fails when the store runs first");
+        };
+        let failure = small()
+            .explore(model)
+            .expect_err("some schedule stores first");
+        let replayed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            super::replay(&failure.schedule, model);
+        }));
+        assert!(replayed.is_err(), "replay must reproduce the failure");
     }
 }

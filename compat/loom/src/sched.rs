@@ -1,0 +1,766 @@
+//! The exploration engine: a cooperative scheduler over real OS threads
+//! with stateless depth-first search across executions, dynamic
+//! partial-order reduction (conservative persistent/backtrack sets) and
+//! sleep sets.
+//!
+//! One model thread runs at a time. Every instrumented operation (mutex
+//! lock/unlock, condvar wait/notify, atomic access, `UnsafeCell` access,
+//! yield, join, thread start/exit) is a *scheduling point*: the thread
+//! announces its pending operation and parks; the controller (the thread
+//! that called [`crate::model`]) picks which announced thread steps next.
+//! The DFS stack persists across executions; after each run the deepest
+//! decision with an unexplored backtrack candidate is flipped and the
+//! prefix replayed. Conflict-based backtrack insertion (two operations
+//! conflict when they touch the same object and at least one writes)
+//! follows Flanagan–Godefroid DPOR, conservatively skipping the
+//! happens-before filter — extra branches cost time, never soundness.
+//! Sleep sets prune schedules that only permute independent steps.
+//!
+//! Honest limitations (this is a vendored stand-in, not the real loom):
+//! sequentially-consistent memory only (`Ordering` arguments are
+//! accepted and ignored — weak-memory reorderings are *not* explored),
+//! no spurious condvar wakeups, `notify_one` wakes the longest waiter
+//! (FIFO), and a thread panic anywhere fails the whole model. An
+//! optional preemption bound (CHESS-style) trades completeness for
+//! tractability on models with many conflicting operations; runs with
+//! the bound active report `preemption_bounded` in their [`Stats`].
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+
+/// Marker payload for the panic that unwinds parked threads when an
+/// execution is being torn down (after a failure or a sleep-set prune).
+struct AbortMarker;
+
+/// One instrumented operation, announced before it executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Op {
+    /// First scheduling point of a thread (no effect).
+    Start,
+    /// Last scheduling point of a thread (marks it finished).
+    Exit,
+    /// `thread::yield_now` — defers to other runnable threads.
+    Yield,
+    /// Blocks until `target` has exited.
+    Join {
+        target: usize,
+    },
+    MutexLock {
+        id: usize,
+    },
+    MutexUnlock {
+        id: usize,
+    },
+    /// Atomically release `mx` and wait on `cv`; completes by
+    /// re-acquiring `mx` after a notify (recorded as a later
+    /// `MutexLock` step).
+    CondWait {
+        cv: usize,
+        mx: usize,
+    },
+    Notify {
+        cv: usize,
+        all: bool,
+    },
+    AtomicLoad {
+        id: usize,
+    },
+    AtomicStore {
+        id: usize,
+    },
+    AtomicRmw {
+        id: usize,
+    },
+    CellRead {
+        id: usize,
+    },
+    CellWrite {
+        id: usize,
+    },
+}
+
+impl Op {
+    /// Objects touched (object-id space is shared across primitive
+    /// kinds) and whether the access is write-class.
+    fn objs(self) -> ([Option<usize>; 2], bool) {
+        match self {
+            Op::Start | Op::Exit | Op::Yield | Op::Join { .. } => ([None, None], false),
+            Op::MutexLock { id } | Op::MutexUnlock { id } => ([Some(id), None], true),
+            Op::CondWait { cv, mx } => ([Some(cv), Some(mx)], true),
+            Op::Notify { cv, .. } => ([Some(cv), None], true),
+            Op::AtomicLoad { id } | Op::CellRead { id } => ([Some(id), None], false),
+            Op::AtomicStore { id } | Op::AtomicRmw { id } | Op::CellWrite { id } => {
+                ([Some(id), None], true)
+            }
+        }
+    }
+}
+
+/// Two operations conflict when they touch a common object and at least
+/// one writes it — the independence relation DPOR reduces by.
+fn conflicts(a: Op, b: Op) -> bool {
+    let (ao, aw) = a.objs();
+    let (bo, bw) = b.objs();
+    if !(aw || bw) {
+        return false;
+    }
+    ao.iter()
+        .flatten()
+        .any(|x| bo.iter().flatten().any(|y| x == y))
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Registered; has not reached its first scheduling point yet.
+    Starting,
+    /// Parked at a scheduling point with a pending op.
+    Announced,
+    /// Holds the baton and is executing user code.
+    Running,
+    /// Parked inside a condvar wait, not yet notified.
+    CondWaiting,
+    Finished,
+}
+
+struct Th {
+    status: Status,
+    pending: Option<Op>,
+    /// Set after a granted Yield; cleared when another thread steps. A
+    /// yielded thread is deprioritized so yield-spin loops stay finite.
+    yielded: bool,
+    granted: bool,
+}
+
+struct RunState {
+    threads: Vec<Th>,
+    abort: bool,
+    /// First real panic (or deadlock/livelock diagnosis) of the run.
+    failure: Option<String>,
+    /// Live OS threads; the controller drains to zero before returning.
+    os_live: usize,
+    next_obj: usize,
+    /// mutex id → holding tid.
+    mutexes: BTreeMap<usize, Option<usize>>,
+    /// condvar id → FIFO of (waiting tid, mutex to re-acquire).
+    cv_waiters: BTreeMap<usize, Vec<(usize, usize)>>,
+}
+
+pub(crate) struct Shared {
+    m: StdMutex<RunState>,
+    cv: StdCondvar,
+}
+
+thread_local! {
+    /// (scheduler, my tid) for the model thread currently hosting us.
+    static CTX: RefCell<Option<(Arc<Shared>, usize)>> = const { RefCell::new(None) };
+}
+
+fn ctx() -> Option<(Arc<Shared>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Allocate a fresh object id (mutex/condvar/atomic/cell) in the active
+/// execution. Deterministic: creation order is fixed by the schedule.
+pub(crate) fn alloc_obj() -> usize {
+    let (sh, _) = ctx().expect("loom primitive created outside loom::model");
+    let mut st = sh.m.lock().unwrap();
+    let id = st.next_obj;
+    st.next_obj += 1;
+    id
+}
+
+/// Announce `op` and park until the controller grants the step. Returns
+/// normally once the op's effect has been applied. During teardown
+/// (abort) this panics with an internal marker to unwind the thread —
+/// unless the thread is already unwinding (a guard drop), in which case
+/// it returns silently so the unwind can finish.
+pub(crate) fn sched_point(op: Op) {
+    let Some((sh, me)) = ctx() else {
+        panic!("loom primitive used outside loom::model");
+    };
+    let mut st = sh.m.lock().unwrap();
+    if st.abort {
+        drop(st);
+        abort_unwind();
+        return;
+    }
+    st.threads[me].status = Status::Announced;
+    st.threads[me].pending = Some(op);
+    sh.cv.notify_all();
+    loop {
+        if st.abort {
+            drop(st);
+            abort_unwind();
+            return;
+        }
+        if st.threads[me].granted {
+            break;
+        }
+        st = sh.cv.wait(st).unwrap();
+    }
+    st.threads[me].granted = false;
+}
+
+fn abort_unwind() {
+    if !std::thread::panicking() {
+        std::panic::panic_any(AbortMarker);
+    }
+}
+
+/// Register a new model thread; returns its tid. Called by
+/// `thread::spawn` (and the explorer itself for tid 0) *before* the OS
+/// thread starts, so the controller's enabled-set is deterministic.
+pub(crate) fn register_thread(sh: &Arc<Shared>) -> usize {
+    let mut st = sh.m.lock().unwrap();
+    let tid = st.threads.len();
+    st.threads.push(Th {
+        status: Status::Starting,
+        pending: None,
+        yielded: false,
+        granted: false,
+    });
+    st.os_live += 1;
+    tid
+}
+
+/// Block the spawning thread until `tid` has parked at its Start point,
+/// so the child is visible to the next scheduling decision.
+pub(crate) fn wait_started(sh: &Arc<Shared>, tid: usize) {
+    let mut st = sh.m.lock().unwrap();
+    while st.threads[tid].status == Status::Starting && !st.abort {
+        st = sh.cv.wait(st).unwrap();
+    }
+}
+
+pub(crate) fn current_shared() -> Option<Arc<Shared>> {
+    ctx().map(|(sh, _)| sh)
+}
+
+/// Body run on each model OS thread: park at Start, run the user
+/// closure, park at Exit. Real panics record the failure and abort the
+/// execution; the teardown marker unwinds silently.
+pub(crate) fn thread_main(sh: Arc<Shared>, tid: usize, body: impl FnOnce()) {
+    CTX.with(|c| *c.borrow_mut() = Some((sh.clone(), tid)));
+    let res = catch_unwind(AssertUnwindSafe(|| {
+        sched_point(Op::Start);
+        body();
+        sched_point(Op::Exit);
+    }));
+    if let Err(payload) = res {
+        if !payload.is::<AbortMarker>() {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "model thread panicked".to_string());
+            let mut st = sh.m.lock().unwrap();
+            if st.failure.is_none() {
+                st.failure = Some(msg);
+            }
+            st.abort = true;
+        }
+    }
+    let mut st = sh.m.lock().unwrap();
+    st.os_live -= 1;
+    // A panicking thread never reached Exit; mark it finished so the
+    // controller's quiescence check cannot hang on it.
+    st.threads[tid].status = Status::Finished;
+    sh.cv.notify_all();
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// One decision point of the DFS stack, persisted across executions.
+struct Decision {
+    chosen: usize,
+    /// Announced-and-enabled tids at this point (pre sleep filtering).
+    enabled: Vec<usize>,
+    /// Candidates to explore (DPOR: grows on conflicts; exhaustive
+    /// mode: all enabled at creation).
+    backtrack: BTreeSet<usize>,
+    /// Already-explored choices.
+    done: BTreeSet<usize>,
+    /// Sleep set inherited along the path (plus explored siblings).
+    sleep: BTreeSet<usize>,
+    /// tid of the previous step, for preemption accounting.
+    last_tid: Option<usize>,
+    /// Preemptions accumulated before this decision.
+    preemptions: usize,
+}
+
+/// Exploration statistics, reported by [`crate::Builder::model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stats {
+    /// Executions (schedules) explored, including sleep-set-pruned ones.
+    pub schedules: u64,
+    /// Total scheduling points stepped across all executions.
+    pub steps: u64,
+    /// The DFS drained every backtrack candidate within budget.
+    pub complete: bool,
+    /// At least one candidate was pruned by the preemption bound, so
+    /// `complete` means "complete up to the bound".
+    pub preemption_bounded: bool,
+}
+
+/// A failing execution: the panic (or deadlock) message plus the exact
+/// schedule that reproduces it via [`crate::replay`].
+#[derive(Debug, Clone)]
+pub struct Failure {
+    pub schedule: Vec<usize>,
+    pub message: String,
+    pub stats: Stats,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model failed after {} schedule(s): {}\n  failing schedule: {:?}\n  \
+             reproduce with loom::replay(&{:?}, f)",
+            self.stats.schedules, self.message, self.schedule, self.schedule
+        )
+    }
+}
+
+enum RunEnd {
+    Completed,
+    /// All non-sleeping continuations already explored — cut short.
+    SleepPruned,
+    Failed(String),
+}
+
+pub(crate) struct Explorer {
+    pub max_schedules: u64,
+    pub max_steps: u64,
+    pub max_preemptions: Option<usize>,
+    /// Branch on every enabled thread (sleep sets still prune) instead
+    /// of DPOR backtrack sets. Used to cross-check the DPOR reduction.
+    pub exhaustive: bool,
+}
+
+impl Explorer {
+    pub(crate) fn explore<F>(&self, f: F) -> Result<Stats, Failure>
+    where
+        F: Fn() + Sync + Send + 'static,
+    {
+        let f = Arc::new(f);
+        let mut stack: Vec<Decision> = Vec::new();
+        let mut stats = Stats {
+            schedules: 0,
+            steps: 0,
+            complete: true,
+            preemption_bounded: false,
+        };
+        // Prefix of `stack` to replay verbatim in the next execution.
+        let mut prefix = 0usize;
+        loop {
+            if stats.schedules >= self.max_schedules {
+                stats.complete = false;
+                return Ok(stats);
+            }
+            let end = self.run_once(&f, &mut stack, prefix, &mut stats, None);
+            stats.schedules += 1;
+            if let RunEnd::Failed(message) = end {
+                let schedule: Vec<usize> = stack.iter().map(|d| d.chosen).collect();
+                return Err(Failure {
+                    schedule,
+                    message,
+                    stats,
+                });
+            }
+            // Backtrack: deepest decision with an unexplored candidate.
+            loop {
+                let Some(d) = stack.last_mut() else {
+                    return Ok(stats);
+                };
+                d.sleep.insert(d.chosen);
+                let mut next = None;
+                for &cand in &d.backtrack {
+                    if d.done.contains(&cand) || d.sleep.contains(&cand) {
+                        continue;
+                    }
+                    if !self.preemption_ok(d, cand) {
+                        stats.preemption_bounded = true;
+                        d.done.insert(cand);
+                        continue;
+                    }
+                    next = Some(cand);
+                    break;
+                }
+                if let Some(cand) = next {
+                    d.chosen = cand;
+                    d.done.insert(cand);
+                    prefix = stack.len();
+                    break;
+                }
+                stack.pop();
+            }
+        }
+    }
+
+    /// Re-run one specific schedule (used by [`crate::replay`]). Panics
+    /// propagate to the caller.
+    pub(crate) fn replay_schedule<F>(&self, schedule: &[usize], f: F)
+    where
+        F: Fn() + Sync + Send + 'static,
+    {
+        let f = Arc::new(f);
+        let mut stack = Vec::new();
+        let mut stats = Stats {
+            schedules: 0,
+            steps: 0,
+            complete: false,
+            preemption_bounded: false,
+        };
+        if let RunEnd::Failed(msg) = self.run_once(&f, &mut stack, 0, &mut stats, Some(schedule)) {
+            let taken: Vec<usize> = stack.iter().map(|d| d.chosen).collect();
+            panic!("replayed schedule {taken:?} failed: {msg}");
+        }
+    }
+
+    fn preemption_ok(&self, d: &Decision, cand: usize) -> bool {
+        let Some(bound) = self.max_preemptions else {
+            return true;
+        };
+        match d.last_tid {
+            Some(last) if cand != last && d.enabled.contains(&last) => d.preemptions < bound,
+            _ => true,
+        }
+    }
+
+    /// Execute one schedule: replay `stack[..prefix]`, then extend by
+    /// policy (or by `forced` choices during replay).
+    fn run_once<F>(
+        &self,
+        f: &Arc<F>,
+        stack: &mut Vec<Decision>,
+        prefix: usize,
+        stats: &mut Stats,
+        forced: Option<&[usize]>,
+    ) -> RunEnd
+    where
+        F: Fn() + Sync + Send + 'static,
+    {
+        let sh = Arc::new(Shared {
+            m: StdMutex::new(RunState {
+                threads: Vec::new(),
+                abort: false,
+                failure: None,
+                os_live: 0,
+                next_obj: 0,
+                mutexes: BTreeMap::new(),
+                cv_waiters: BTreeMap::new(),
+            }),
+            cv: StdCondvar::new(),
+        });
+        let tid0 = register_thread(&sh);
+        debug_assert_eq!(tid0, 0);
+        {
+            let sh = sh.clone();
+            let f = f.clone();
+            std::thread::spawn(move || thread_main(sh, 0, move || f()));
+        }
+
+        // Per-run trace for conflict analysis and failure reports.
+        let mut steps: Vec<(usize, Op)> = Vec::new();
+        let mut cur_sleep: BTreeSet<usize> = BTreeSet::new();
+        let mut last_tid: Option<usize> = None;
+        let mut preemptions = 0usize;
+        let result;
+
+        'decisions: loop {
+            let mut st = sh.m.lock().unwrap();
+            // Wait for quiescence: no thread running or mid-registration.
+            loop {
+                if st.abort {
+                    let msg = st.failure.clone().unwrap_or_default();
+                    drop(st);
+                    self.drain(&sh);
+                    stack.truncate(steps.len());
+                    result = RunEnd::Failed(msg);
+                    break 'decisions;
+                }
+                let busy = st
+                    .threads
+                    .iter()
+                    .any(|t| t.granted || matches!(t.status, Status::Running | Status::Starting));
+                if !busy {
+                    break;
+                }
+                st = sh.cv.wait(st).unwrap();
+            }
+            if st.threads.iter().all(|t| t.status == Status::Finished) {
+                drop(st);
+                self.drain(&sh);
+                stack.truncate(steps.len());
+                result = RunEnd::Completed;
+                break 'decisions;
+            }
+            if steps.len() as u64 >= self.max_steps {
+                let msg = format!(
+                    "execution exceeded {} scheduling points (livelock?)",
+                    self.max_steps
+                );
+                drop(st);
+                self.drain(&sh);
+                stack.truncate(steps.len());
+                result = RunEnd::Failed(msg);
+                break 'decisions;
+            }
+
+            let enabled = enabled_tids(&st);
+            if enabled.is_empty() {
+                let msg = deadlock_message(&st);
+                drop(st);
+                self.drain(&sh);
+                stack.truncate(steps.len());
+                result = RunEnd::Failed(msg);
+                break 'decisions;
+            }
+
+            let k = steps.len();
+            let choice = if let Some(forced) = forced {
+                // Replay mode: follow the recorded schedule, then fall
+                // back to the default policy past its end.
+                let c = forced
+                    .get(k)
+                    .copied()
+                    .unwrap_or_else(|| self.pick(&enabled, &cur_sleep, last_tid, preemptions));
+                assert!(
+                    enabled.contains(&c),
+                    "replay diverged at step {k}: tid {c} not enabled (enabled: {enabled:?})"
+                );
+                stack.push(Decision {
+                    chosen: c,
+                    enabled: enabled.clone(),
+                    backtrack: BTreeSet::new(),
+                    done: BTreeSet::new(),
+                    sleep: BTreeSet::new(),
+                    last_tid,
+                    preemptions,
+                });
+                c
+            } else if k < prefix {
+                // Replaying the DFS prefix: sleep sets were updated at
+                // backtrack time, reload them.
+                cur_sleep = stack[k].sleep.clone();
+                debug_assert_eq!(
+                    stack[k].enabled, enabled,
+                    "nondeterministic model: enabled set diverged at replayed step {k}"
+                );
+                stack[k].chosen
+            } else {
+                let usable: Vec<usize> = enabled
+                    .iter()
+                    .copied()
+                    .filter(|t| !cur_sleep.contains(t))
+                    .collect();
+                if usable.is_empty() {
+                    // Every continuation is covered elsewhere.
+                    drop(st);
+                    self.drain(&sh);
+                    stack.truncate(steps.len());
+                    result = RunEnd::SleepPruned;
+                    break 'decisions;
+                }
+                let c = self.pick(&usable, &BTreeSet::new(), last_tid, preemptions);
+                let mut backtrack = BTreeSet::new();
+                if self.exhaustive {
+                    backtrack.extend(usable.iter().copied());
+                } else {
+                    backtrack.insert(c);
+                }
+                stack.push(Decision {
+                    chosen: c,
+                    enabled: enabled.clone(),
+                    backtrack,
+                    done: [c].into_iter().collect(),
+                    sleep: cur_sleep.clone(),
+                    last_tid,
+                    preemptions,
+                });
+                c
+            };
+
+            let op = st.threads[choice].pending.expect("announced thread has op");
+
+            // DPOR backtrack insertion: every earlier conflicting step
+            // by another thread gets `choice` (or, if it was not
+            // enabled there, all enabled threads) as a candidate.
+            if !self.exhaustive && forced.is_none() {
+                for i in 0..k {
+                    let (tid_i, op_i) = steps[i];
+                    if tid_i != choice && conflicts(op_i, op) {
+                        if stack[i].enabled.contains(&choice) {
+                            stack[i].backtrack.insert(choice);
+                        } else {
+                            let extra: Vec<usize> = stack[i].enabled.clone();
+                            stack[i].backtrack.extend(extra);
+                        }
+                    }
+                }
+            }
+
+            if let Some(last) = last_tid {
+                if choice != last && enabled.contains(&last) {
+                    preemptions += 1;
+                }
+            }
+            steps.push((choice, op));
+            stats.steps += 1;
+
+            // Wake sleeping threads whose pending op conflicts with
+            // this step; record the step's effect on model state.
+            cur_sleep.retain(|&q| st.threads[q].pending.is_none_or(|qop| !conflicts(qop, op)));
+            apply_effect(&mut st, choice, op);
+            last_tid = Some(choice);
+            sh.cv.notify_all();
+        }
+        result
+    }
+
+    /// Default policy: continue the previous thread when allowed (fewest
+    /// context switches), else the lowest usable tid; respect the
+    /// preemption bound for voluntary switches.
+    fn pick(
+        &self,
+        usable: &[usize],
+        sleep: &BTreeSet<usize>,
+        last_tid: Option<usize>,
+        _preemptions: usize,
+    ) -> usize {
+        let cands: Vec<usize> = usable
+            .iter()
+            .copied()
+            .filter(|t| !sleep.contains(t))
+            .collect();
+        debug_assert!(!cands.is_empty());
+        if let Some(last) = last_tid {
+            if cands.contains(&last) {
+                return last;
+            }
+        }
+        cands[0]
+    }
+
+    /// Tear down an execution: unwind every parked thread and wait for
+    /// all OS threads to exit.
+    fn drain(&self, sh: &Arc<Shared>) {
+        let mut st = sh.m.lock().unwrap();
+        st.abort = true;
+        sh.cv.notify_all();
+        while st.os_live > 0 {
+            st = sh.cv.wait(st).unwrap();
+        }
+    }
+}
+
+fn op_enabled(st: &RunState, tid: usize, op: Op) -> bool {
+    match op {
+        Op::MutexLock { id } => st.mutexes.get(&id).copied().flatten().is_none(),
+        Op::Join { target } => st.threads[target].status == Status::Finished,
+        _ => {
+            let _ = tid;
+            true
+        }
+    }
+}
+
+/// Announced threads whose pending op can step now, with yield
+/// deprioritization: a thread that just yielded only runs when no
+/// non-yielded thread can.
+fn enabled_tids(st: &RunState) -> Vec<usize> {
+    let base: Vec<usize> = st
+        .threads
+        .iter()
+        .enumerate()
+        .filter(|(t, th)| {
+            th.status == Status::Announced && th.pending.is_some_and(|op| op_enabled(st, *t, op))
+        })
+        .map(|(t, _)| t)
+        .collect();
+    let eager: Vec<usize> = base
+        .iter()
+        .copied()
+        .filter(|&t| !st.threads[t].yielded)
+        .collect();
+    if eager.is_empty() {
+        base
+    } else {
+        eager
+    }
+}
+
+fn deadlock_message(st: &RunState) -> String {
+    let mut parts = Vec::new();
+    for (t, th) in st.threads.iter().enumerate() {
+        match th.status {
+            Status::Announced => {
+                parts.push(format!("thread {t} blocked on {:?}", th.pending.unwrap()));
+            }
+            Status::CondWaiting => {
+                parts.push(format!("thread {t} waiting on a condvar (lost wakeup?)"));
+            }
+            _ => {}
+        }
+    }
+    format!("deadlock: no runnable thread ({})", parts.join("; "))
+}
+
+fn apply_effect(st: &mut RunState, tid: usize, op: Op) {
+    // Any step by `tid` un-yields everyone else.
+    for (u, th) in st.threads.iter_mut().enumerate() {
+        if u != tid {
+            th.yielded = false;
+        }
+    }
+    st.threads[tid].yielded = matches!(op, Op::Yield);
+    match op {
+        Op::MutexLock { id } => {
+            let slot = st.mutexes.entry(id).or_insert(None);
+            debug_assert!(slot.is_none(), "granted lock of a held mutex");
+            *slot = Some(tid);
+            grant(st, tid);
+        }
+        Op::MutexUnlock { id } => {
+            st.mutexes.insert(id, None);
+            grant(st, tid);
+        }
+        Op::CondWait { cv, mx } => {
+            st.mutexes.insert(mx, None);
+            st.cv_waiters.entry(cv).or_default().push((tid, mx));
+            st.threads[tid].status = Status::CondWaiting;
+            st.threads[tid].pending = None;
+            // No grant: the thread stays parked until notified and
+            // granted its re-acquisition MutexLock step.
+        }
+        Op::Notify { cv, all } => {
+            let waiters = st.cv_waiters.entry(cv).or_default();
+            let woken: Vec<(usize, usize)> = if all {
+                std::mem::take(waiters)
+            } else if waiters.is_empty() {
+                Vec::new()
+            } else {
+                vec![waiters.remove(0)]
+            };
+            for (w, mx) in woken {
+                st.threads[w].status = Status::Announced;
+                st.threads[w].pending = Some(Op::MutexLock { id: mx });
+            }
+            grant(st, tid);
+        }
+        Op::Exit => {
+            st.threads[tid].status = Status::Finished;
+            st.threads[tid].pending = None;
+            st.threads[tid].granted = true;
+        }
+        _ => grant(st, tid),
+    }
+}
+
+fn grant(st: &mut RunState, tid: usize) {
+    st.threads[tid].status = Status::Running;
+    st.threads[tid].pending = None;
+    st.threads[tid].granted = true;
+}

@@ -120,6 +120,57 @@ fn dataflow_report(json_only: bool, export_dir: Option<&str>) -> usize {
     total
 }
 
+fn parametric_report(json_only: bool) -> usize {
+    let reports = bwb_dslcheck::parametric_check_all();
+
+    if !json_only {
+        eprintln!(
+            "{:<14} {:>9} {:>5} {:>6} {:>6} {:>7} {:>6} {:>11} {:>8}  status",
+            "app", "family", "base", "phases", "match", "dlfree", "collfr", "crosschecks", "ms"
+        );
+        for r in &reports {
+            let status = if r.clean() { "ok" } else { "FAIL" };
+            if let Some(c) = &r.cert {
+                let passed = c
+                    .crosschecks
+                    .iter()
+                    .filter(|x| x.concrete_clean && x.template_match)
+                    .count();
+                eprintln!(
+                    "{:<14} {:>9} {:>5} {:>6} {:>6} {:>7} {:>6} {:>8}/{:<2} {:>8.0}  {status}",
+                    r.app,
+                    c.family,
+                    c.base_ranks,
+                    c.phases,
+                    c.matching_complete,
+                    c.deadlock_free,
+                    c.collision_free_to,
+                    passed,
+                    c.crosschecks.len(),
+                    c.verify_ms,
+                );
+            } else {
+                eprintln!("{:<14} (template lift failed)  {status}", r.app);
+            }
+            for v in &r.violations {
+                eprintln!("    {v}");
+            }
+        }
+    }
+
+    let total: usize = reports
+        .iter()
+        .map(|r| r.violations.len() + usize::from(!r.clean() && r.violations.is_empty()))
+        .sum();
+    let apps = reports
+        .iter()
+        .map(|r| r.to_json())
+        .collect::<Vec<_>>()
+        .join(",");
+    println!("{{\"total_violations\":{total},\"apps\":[{apps}]}}");
+    total
+}
+
 fn comm_report(json_only: bool) -> usize {
     let reports = bwb_dslcheck::comm_check_all();
 
@@ -161,6 +212,12 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let json_only = args.iter().any(|a| a == "--json");
     let comm = args.iter().any(|a| a == "--comm");
+    // `--parametric` (with `--comm`) additionally lifts each registered
+    // app's schedule to a rank-parametric template, verifies it for every
+    // world size in its topology family, and cross-checks the certificate
+    // against live replays at N in {4, 16, 64, 112}. Output is JSONL: one
+    // JSON object for the concrete report, one for the parametric certs.
+    let parametric = args.iter().any(|a| a == "--parametric");
     // `--export-plans <dir>` serializes each analyzed app's optimization
     // plan (loop IR + fusion/elision/NT certificates) to `<dir>/<app>.json`
     // for plan-guided executor runs; it implies `--dataflow`.
@@ -171,8 +228,12 @@ fn main() -> ExitCode {
     });
     let dataflow = args.iter().any(|a| a == "--dataflow") || export_dir.is_some();
 
-    let total = if comm {
-        comm_report(json_only)
+    let total = if comm || parametric {
+        let mut total = if comm { comm_report(json_only) } else { 0 };
+        if parametric {
+            total += parametric_report(json_only);
+        }
+        total
     } else if dataflow {
         dataflow_report(json_only, export_dir.as_deref())
     } else {

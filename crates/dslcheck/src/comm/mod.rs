@@ -30,6 +30,7 @@ pub mod deadlock;
 pub mod determinism;
 pub mod imbalance;
 pub mod matching;
+pub mod parametric;
 pub mod replay;
 pub mod testutil;
 

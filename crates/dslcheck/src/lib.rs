@@ -54,6 +54,10 @@ pub mod traffic;
 pub mod violation;
 
 pub use checked::check_structured;
+pub use comm::parametric::{
+    parametric_check_all, ParametricCert, ParametricReport, PhasePattern, PhaseTemplate, RankGuard,
+    ScheduleTemplate, TopologyFamily,
+};
 pub use comm::{comm_check_all, CommReport, MatchPlan};
 pub use dataflow::{DataflowReport, Limitation};
 pub use graph::DefUseGraph;

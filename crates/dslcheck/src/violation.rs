@@ -191,6 +191,35 @@ pub enum Kind {
         min_rank: usize,
         min_bytes: u64,
     },
+    /// A send in the rank-parametric schedule template has no dual
+    /// receive for some rank count in the declared family; `min_n` is the
+    /// smallest world size where the unmatched send fires (a concrete
+    /// replay below `min_n` never sees it).
+    SymbolicUnmatchedSend {
+        from: usize,
+        to: usize,
+        tag: u32,
+        min_n: usize,
+    },
+    /// The parametric template contains a phase whose blocking receives
+    /// precede their dual sends around a cycle — the schedule deadlocks
+    /// at every world size of at least `min_n` (and completes below it,
+    /// where the guard keeps the phase inert).
+    ParametricDeadlock {
+        rank_a: usize,
+        rank_b: usize,
+        tag: u32,
+        min_n: usize,
+    },
+    /// At world size `at_n` (the smallest in the declared family), two
+    /// in-flight messages of one phase share (source, dest, tag) — the
+    /// match degenerates to program-order coupling instead of the tag
+    /// discipline (typically a wraparound rank in a periodic topology).
+    TagCollision { tag: u32, at_n: usize },
+    /// The concrete logs could not be lifted to one rank-parametric
+    /// template (per-rank schedules diverge, or a re-lift at a sampled
+    /// rank count disagreed with the certified template).
+    TemplateDivergence { detail: String },
 }
 
 impl Kind {
@@ -219,6 +248,10 @@ impl Kind {
             Kind::BarrierMismatch { .. } => "barrier_mismatch",
             Kind::CollectiveOrderDivergence { .. } => "collective_order_divergence",
             Kind::CommImbalance { .. } => "comm_imbalance",
+            Kind::SymbolicUnmatchedSend { .. } => "symbolic_unmatched_send",
+            Kind::ParametricDeadlock { .. } => "parametric_deadlock",
+            Kind::TagCollision { .. } => "tag_collision",
+            Kind::TemplateDivergence { .. } => "template_divergence",
         }
     }
 }
@@ -443,6 +476,34 @@ impl fmt::Display for Kind {
                 "phase '{phase}': rank {max_rank} sends {max_bytes} B but rank \
                  {min_rank} only {min_bytes} B (>2x skew)"
             ),
+            Kind::SymbolicUnmatchedSend {
+                from,
+                to,
+                tag,
+                min_n,
+            } => write!(
+                f,
+                "symbolic send {from} -> {to} tag {tag:#x} has no dual receive \
+                 for any world size N >= {min_n}"
+            ),
+            Kind::ParametricDeadlock {
+                rank_a,
+                rank_b,
+                tag,
+                min_n,
+            } => write!(
+                f,
+                "ranks {rank_a} and {rank_b} block on each other's tag {tag:#x} \
+                 sends before posting them: deadlock at every N >= {min_n}"
+            ),
+            Kind::TagCollision { tag, at_n } => write!(
+                f,
+                "two in-flight messages share (source, dest, tag {tag:#x}) within \
+                 one phase at world size N = {at_n} (wraparound collision)"
+            ),
+            Kind::TemplateDivergence { detail } => {
+                write!(f, "cannot lift a rank-parametric template: {detail}")
+            }
         }
     }
 }

@@ -198,14 +198,14 @@ fn planted_comm_imbalance() {
 }
 
 /// A *live* planted imbalance: partition MG-CFD's mesh with the naive
-/// "first endpoint owns the cut edge" rule — every RCB cut then exports
-/// its whole interface from one side only (the production
-/// `distributed_flux` splits cut edges by endpoint parity precisely to
-/// avoid this) — and the recorded halo exchange must be flagged.
+/// [`CutEdgeRule::FirstEndpoint`] rule — every RCB cut then exports its
+/// whole interface from one side only (the production `distributed_flux`
+/// uses [`CutEdgeRule::Parity`] precisely to avoid this) — and the
+/// recorded halo exchange must be flagged.
 #[test]
 fn naive_edge_ownership_records_real_imbalance() {
     use bwb_apps::mgcfd::{Config, MgCfd};
-    use bwb_op2::{rcb_partition, RankHalo};
+    use bwb_op2::{edge_ownership, rcb_partition, CutEdgeRule, RankHalo};
     use bwb_shmpi::Universe;
 
     let (_out, logs) = Universe::run_logged(4, |c| {
@@ -221,10 +221,9 @@ fn naive_edge_ownership_records_real_imbalance() {
             flat.push(lv.coords.get(nid, 1));
         }
         let node_part = rcb_partition(&flat, 2, c.size());
-        // The skew-inducing rule under test:
-        let edge_part: Vec<u32> = (0..lv.edges.size)
-            .map(|e| node_part[lv.e2n.get(e, 0)])
-            .collect();
+        // The skew-inducing rule under test — same helper as production,
+        // naive variant:
+        let edge_part = edge_ownership(&lv.e2n, &node_part, CutEdgeRule::FirstEndpoint);
         let halo = RankHalo::build(&lv.e2n, &edge_part, &node_part, c.size(), c.rank());
         let mut q = sim.q[0].clone();
         halo.exchange(c, &mut q);

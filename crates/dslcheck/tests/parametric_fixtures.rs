@@ -1,0 +1,277 @@
+//! Planted negatives for every rank-parametric violation class, plus a
+//! property test that the symbolic verdict and concrete replay agree at
+//! sampled world sizes.
+//!
+//! The declared-only patterns ([`PhasePattern::DirectedSend`],
+//! [`PhasePattern::PairExchange`]) exist exactly for this suite: a
+//! schedule defect that only manifests at world sizes never run in CI
+//! (e.g. a head-to-head exchange between ranks 2 and 5 — inert at the
+//! 4-rank registry size, deadlocking from 6 ranks up) cannot be caught
+//! by concrete commcheck; the parametric checker reports it with the
+//! smallest `N` that fires it.
+
+use bwb_dslcheck::comm::parametric::{check_template, lift, CROSSCHECK_RANKS};
+use bwb_dslcheck::comm::testutil::{log_of, recv, send};
+use bwb_dslcheck::comm::CommReport;
+use bwb_dslcheck::{
+    Kind, PhasePattern, PhaseTemplate, RankGuard, ScheduleTemplate, TopologyFamily,
+};
+use bwb_shmpi::CommLog;
+use proptest::prelude::*;
+
+fn declared(family: TopologyFamily, phases: Vec<PhasePattern>) -> ScheduleTemplate {
+    ScheduleTemplate {
+        app: "planted".to_string(),
+        family,
+        base_ranks: 4,
+        phases: phases
+            .into_iter()
+            .map(|pattern| PhaseTemplate {
+                ctx: None,
+                guard: RankGuard::All,
+                pattern,
+            })
+            .collect(),
+    }
+}
+
+/// Violation class 1: a send whose dual receive is never posted — but
+/// only once the world is big enough to contain both endpoints. The
+/// 4-rank registry run never sees it; the symbolic check reports the
+/// exact first world size that would.
+#[test]
+fn planted_symbolic_unmatched_send() {
+    let t = declared(
+        TopologyFamily::Ring,
+        vec![PhasePattern::DirectedSend {
+            from: 1,
+            to: 5,
+            tag: 9,
+            recv_posted: false,
+        }],
+    );
+    let vs = check_template(&t);
+    assert_eq!(vs.len(), 1, "{vs:?}");
+    assert_eq!(
+        vs[0].kind,
+        Kind::SymbolicUnmatchedSend {
+            from: 1,
+            to: 5,
+            tag: 9,
+            min_n: 6
+        }
+    );
+    // Below min_n the phase is inert — CI's 4-rank replay cannot fire it.
+    assert!(!t.phases[0].active_at(4, &t.family));
+    assert!(t.phases[0].active_at(6, &t.family));
+}
+
+/// Violation class 2: a head-to-head pair exchange that posts both
+/// blocking receives before either send — deadlocking every world size
+/// of at least 6 (ranks 2 and 5), completing below it.
+#[test]
+fn planted_parametric_deadlock_manifests_only_at_six() {
+    let t = declared(
+        TopologyFamily::Ring,
+        vec![PhasePattern::PairExchange {
+            a: 2,
+            b: 5,
+            tag: 4,
+            recv_first: true,
+        }],
+    );
+    let vs = check_template(&t);
+    assert_eq!(vs.len(), 1, "{vs:?}");
+    assert_eq!(
+        vs[0].kind,
+        Kind::ParametricDeadlock {
+            rank_a: 2,
+            rank_b: 5,
+            tag: 4,
+            min_n: 6
+        }
+    );
+    // Concrete agreement at the boundary: instantiating the template at
+    // N = 6 deadlocks under the concrete analyzer, at N = 4 it is clean.
+    let at6 = CommReport::analyze("planted", &instantiate_pair(2, 5, 4, true, 6), None);
+    assert!(!at6.deadlock_free);
+    assert!(at6
+        .violations
+        .iter()
+        .any(|v| matches!(&v.kind, Kind::CommDeadlock { cycle }
+            if cycle.contains(&2) && cycle.contains(&5))));
+    let at4 = CommReport::analyze("planted", &instantiate_pair(2, 5, 4, true, 4), None);
+    assert!(at4.clean(), "{:?}", at4.violations);
+}
+
+/// Violation class 3: a periodic ring that reuses one tag for both
+/// directions. Lifted from a *concrete* 2-rank log — at the wraparound
+/// size the predecessor and successor are the same rank, so two
+/// in-flight messages share `(src, dst, tag)` and matching degenerates
+/// to program order.
+#[test]
+fn planted_tag_collision_at_wraparound_rank() {
+    let logs = vec![
+        log_of(
+            0,
+            vec![
+                send(1, 5, 64, Some("u")),
+                send(1, 5, 64, Some("u")),
+                recv(1, 5, 64, Some("u")),
+                recv(1, 5, 64, Some("u")),
+            ],
+        ),
+        log_of(
+            1,
+            vec![
+                send(0, 5, 64, Some("u")),
+                send(0, 5, 64, Some("u")),
+                recv(0, 5, 64, Some("u")),
+                recv(0, 5, 64, Some("u")),
+            ],
+        ),
+    ];
+    let t = lift("planted", &TopologyFamily::Ring, &logs).expect("lifts as a ring shift");
+    assert_eq!(
+        t.phases[0].pattern,
+        PhasePattern::RingShift {
+            tag_to_prev: 5,
+            tag_to_next: 5
+        }
+    );
+    let vs = check_template(&t);
+    assert_eq!(vs.len(), 1, "{vs:?}");
+    assert_eq!(vs[0].kind, Kind::TagCollision { tag: 5, at_n: 2 });
+}
+
+/// Violation class 4: per-rank schedules that cannot be described by one
+/// template (rank 1 runs an extra phase).
+#[test]
+fn planted_template_divergence() {
+    let logs = vec![
+        log_of(
+            0,
+            vec![send(1, 3, 64, Some("u")), recv(1, 3, 64, Some("u"))],
+        ),
+        log_of(
+            1,
+            vec![
+                send(0, 3, 64, Some("u")),
+                recv(0, 3, 64, Some("u")),
+                send(0, 4, 64, Some("v")),
+            ],
+        ),
+    ];
+    let v = lift("planted", &TopologyFamily::RcbGraph, &logs).expect_err("must not lift");
+    assert!(
+        matches!(&v.kind, Kind::TemplateDivergence { .. }),
+        "{:?}",
+        v.kind
+    );
+}
+
+/// Concrete instantiation of a [`PhasePattern::PairExchange`] template at
+/// world size `n` — the bridge the property test below uses to compare
+/// symbolic and concrete verdicts.
+fn instantiate_pair(a: usize, b: usize, tag: u32, recv_first: bool, n: usize) -> Vec<CommLog> {
+    (0..n)
+        .map(|r| {
+            let peer = if r == a {
+                Some(b)
+            } else if r == b {
+                Some(a)
+            } else {
+                None
+            };
+            let events = match peer {
+                Some(p) if n > a.max(b) => {
+                    let s = send(p, tag, 16, None);
+                    let rv = recv(p, tag, 16, None);
+                    if recv_first {
+                        vec![rv, s]
+                    } else {
+                        vec![s, rv]
+                    }
+                }
+                _ => Vec::new(),
+            };
+            log_of(r, events)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The symbolic verdict on a declared pair exchange agrees with the
+    /// concrete analyzers on its instantiation at every sampled world
+    /// size: deadlock exactly when the template says `recv_first` and the
+    /// world contains both endpoints.
+    #[test]
+    fn concrete_replay_agrees_with_symbolic_verdict(
+        a in 0usize..4,
+        db in 1usize..5,
+        tag in 1u32..100,
+        rf in 0u32..2,
+        n in 2usize..10,
+    ) {
+        let recv_first = rf == 1;
+        let b = a + db;
+        let t = declared(
+            TopologyFamily::Ring,
+            vec![PhasePattern::PairExchange { a, b, tag, recv_first }],
+        );
+        let symbolic = check_template(&t);
+        let min_n = b + 1; // b > a by construction
+        if recv_first {
+            prop_assert_eq!(symbolic.len(), 1);
+            prop_assert_eq!(
+                &symbolic[0].kind,
+                &Kind::ParametricDeadlock { rank_a: a, rank_b: b, tag, min_n }
+            );
+        } else {
+            prop_assert!(symbolic.is_empty());
+        }
+        let concrete = CommReport::analyze("planted", &instantiate_pair(a, b, tag, recv_first, n), None);
+        let fires = n >= min_n;
+        prop_assert_eq!(
+            !concrete.deadlock_free,
+            recv_first && fires,
+            "symbolic min_n {} vs concrete verdict at n {}", min_n, n
+        );
+    }
+}
+
+/// The live registry apps' certified templates hold at sampled world
+/// sizes *between* the cross-checked ones: re-lifting a fresh run at a
+/// sampled `N` must agree with the concrete analyzers (both clean).
+/// Exercises the cheapest registry app so the sampling stays fast.
+#[test]
+fn sampled_world_sizes_agree_for_live_star_gather() {
+    use bwb_apps::minibude::{Config, MiniBude};
+    use bwb_shmpi::Universe;
+
+    // Deliberately off the CROSSCHECK_RANKS grid.
+    for n in [3, 5, 9, 23] {
+        assert!(!CROSSCHECK_RANKS.contains(&n));
+        let (_out, logs) = Universe::run_logged(n, |c| {
+            let sim = MiniBude::new(Config {
+                n_poses: 3 * c.size() + 1,
+                n_ligand: 8,
+                n_protein: 24,
+                parallel: false,
+                ..Config::default()
+            });
+            sim.energies_distributed(c)
+        });
+        let t = lift("minibude", &TopologyFamily::Star, &logs)
+            .unwrap_or_else(|v| panic!("lift at {n} ranks: {v:?}"));
+        assert!(check_template(&t).is_empty());
+        let concrete = CommReport::analyze("minibude", &logs, None);
+        let schedule_clean = concrete
+            .violations
+            .iter()
+            .all(|v| matches!(v.kind, Kind::CommImbalance { .. }));
+        assert!(schedule_clean, "at {n} ranks: {:?}", concrete.violations);
+    }
+}

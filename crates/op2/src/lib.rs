@@ -38,5 +38,5 @@ pub use exec::{
     GatherScratch, UOut, UStage,
 };
 pub use halo_exchange::RankHalo;
-pub use partition::{rcb_partition, HaloPlan};
+pub use partition::{edge_ownership, rcb_partition, CutEdgeRule, HaloPlan};
 pub use set::{DatU, Map, Set};

@@ -78,6 +78,49 @@ fn rcb_recurse(
     );
 }
 
+/// How a source element (edge) whose two endpoints live in different
+/// parts picks its owner. Interior edges always go to their endpoints'
+/// common owner; the rule only decides cut edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CutEdgeRule {
+    /// Every cut edge goes to its first endpoint's part. Simple, but one
+    /// side of each RCB cut then exports its whole interface while the
+    /// other exports nothing — commcheck's imbalance analyzer flags the
+    /// resulting >2x halo-byte skew. Kept as the planted-negative rule
+    /// the fixture suite exercises.
+    FirstEndpoint,
+    /// Cut edges split between the two sides by endpoint-index-sum
+    /// parity: on average half of each interface is owned by each side,
+    /// so the halo exchange stays balanced. The production rule.
+    Parity,
+}
+
+/// Assign an owner part to every source element of a binary (arity-2)
+/// connectivity, given the target-set (node) partition. Shared by the
+/// production owner-compute drivers and the fixture suite so the two
+/// stay comparable rule-for-rule.
+pub fn edge_ownership(e2n: &Map, node_part: &[u32], rule: CutEdgeRule) -> Vec<u32> {
+    assert_eq!(e2n.arity, 2, "edge ownership needs an arity-2 map");
+    assert_eq!(node_part.len(), e2n.to_size);
+    (0..e2n.from_size)
+        .map(|e| {
+            let a = e2n.get(e, 0);
+            let b = e2n.get(e, 1);
+            let (pa, pb) = (node_part[a], node_part[b]);
+            match rule {
+                CutEdgeRule::FirstEndpoint => pa,
+                CutEdgeRule::Parity => {
+                    if pa == pb || (a + b).is_multiple_of(2) {
+                        pa
+                    } else {
+                        pb
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
 /// Per-rank halo exchange plan derived from a partition: for every pair of
 /// ranks, how many target-set elements rank *a* must import from rank *b*
 /// because one of *a*'s source elements references them.

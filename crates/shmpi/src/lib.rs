@@ -52,6 +52,6 @@ pub use cart::CartComm;
 pub use collectives::{ReduceOp, COLL_TAG_BASE};
 pub use comm::{Comm, Request, ANY_SOURCE};
 pub use event::{CommEvent, CommLog, CommOp};
-pub use mailbox::{Envelope, Mailbox, Pattern};
+pub use mailbox::{Envelope, LockedMailbox, Mailbox, MailboxKind, Pattern, SpscMailbox, SpscRing};
 pub use stats::{CommDetail, PeerStats, RankStats, WorldStats, SIZE_HIST_BUCKETS};
 pub use universe::{RunOutput, Universe};

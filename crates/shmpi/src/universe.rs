@@ -2,7 +2,7 @@
 
 use crate::comm::{Comm, Shared};
 use crate::event::CommLog;
-use crate::mailbox::Mailbox;
+use crate::mailbox::{Mailbox, MailboxKind};
 use crate::stats::{CommDetail, RankStats, WorldStats};
 use bwb_machine::{LatencyProfile, RankPlacement};
 use std::sync::{Arc, Barrier, Mutex};
@@ -44,6 +44,17 @@ impl Universe {
         Self::run_placed(size, None, f)
     }
 
+    /// Like [`Universe::run`] but with an explicit mailbox transport
+    /// ([`MailboxKind::Spsc`] selects the lock-free SPSC ring path).
+    /// The default entry points honor `SHMPI_MAILBOX=spsc` instead.
+    pub fn run_with_mailbox<F, R>(size: usize, kind: MailboxKind, f: F) -> RunOutput<R>
+    where
+        F: Fn(&mut Comm) -> R + Sync,
+        R: Send,
+    {
+        Self::run_impl(size, None, false, kind, f).0
+    }
+
     /// Like [`Universe::run`] but with a machine placement: each message is
     /// additionally priced with the modelled latency of its rank pair's
     /// topological distance, accumulated in
@@ -57,7 +68,7 @@ impl Universe {
         F: Fn(&mut Comm) -> R + Sync,
         R: Send,
     {
-        Self::run_impl(size, placement, false, f).0
+        Self::run_impl(size, placement, false, MailboxKind::from_env(), f).0
     }
 
     /// Like [`Universe::run`] but with communication-event logging enabled
@@ -81,7 +92,7 @@ impl Universe {
         F: Fn(&mut Comm) -> R + Sync,
         R: Send,
     {
-        let (out, logs) = Self::run_impl(size, placement, true, f);
+        let (out, logs) = Self::run_impl(size, placement, true, MailboxKind::from_env(), f);
         (out, logs.expect("logging was enabled"))
     }
 
@@ -89,6 +100,7 @@ impl Universe {
         size: usize,
         placement: Option<(RankPlacement, LatencyProfile)>,
         log: bool,
+        mailbox: MailboxKind,
         f: F,
     ) -> (RunOutput<R>, Option<Vec<CommLog>>)
     where
@@ -105,7 +117,9 @@ impl Universe {
             );
         }
         let shared = Arc::new(Shared {
-            mailboxes: (0..size).map(|_| Mailbox::new()).collect(),
+            mailboxes: (0..size)
+                .map(|_| Mailbox::with_kind(mailbox, size))
+                .collect(),
             size,
             barrier: Barrier::new(size),
             placement,
@@ -304,6 +318,31 @@ mod tests {
             }
             // rank 1 never receives tag 77
         });
+    }
+
+    #[test]
+    fn spsc_transport_is_observably_identical() {
+        use crate::ReduceOp;
+        // Ring exchange + allreduce + barrier: results and byte
+        // accounting must not depend on the mailbox transport.
+        let program = |c: &mut crate::Comm| {
+            let right = (c.rank() + 1) % c.size();
+            let left = (c.rank() + c.size() - 1) % c.size();
+            c.send(right, 3, vec![c.rank() as u64 * 10]);
+            let got = c.recv::<u64>(left, 3)[0];
+            let total = c.allreduce_scalar(got, ReduceOp::Sum);
+            c.barrier();
+            (got, total, c.stats().bytes_sent)
+        };
+        let locked = Universe::run_with_mailbox(6, MailboxKind::Locked, program);
+        let spsc = Universe::run_with_mailbox(6, MailboxKind::Spsc, program);
+        assert_eq!(locked.results, spsc.results);
+        for (l, s) in locked.stats.per_rank.iter().zip(spsc.stats.per_rank.iter()) {
+            assert_eq!(l.bytes_sent, s.bytes_sent);
+            assert_eq!(l.sends, s.sends);
+            assert_eq!(l.unreceived_at_teardown, 0);
+            assert_eq!(s.unreceived_at_teardown, 0);
+        }
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! Model-check the Mailbox mutex+condvar protocol under `--cfg loom`.
 //!
 //! Build and run with `RUSTFLAGS="--cfg loom" cargo test -p bwb-shmpi
-//! --test loom_mailbox` (the CI `loom` job does exactly this). The vendored
-//! loom stand-in explores randomized schedules (`LOOM_ITERS` per model
-//! call), pinning the transport invariants the receivers rely on:
+//! --test loom_mailbox` (the CI `model-check` job does exactly this). The
+//! vendored loom stand-in performs bounded exhaustive exploration with
+//! DPOR (`LOOM_MAX_SCHEDULES` / `LOOM_MAX_PREEMPTIONS` budgets), pinning
+//! the transport invariants the receivers rely on for *every* explored
+//! interleaving:
 //!
 //! 1. FIFO non-overtaking: two envelopes from one (source, tag) pair are
 //!    received in delivery order under every interleaving.
