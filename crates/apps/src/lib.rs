@@ -26,6 +26,7 @@ pub mod acoustic;
 pub mod characterize;
 pub mod cloverleaf2d;
 pub mod cloverleaf3d;
+pub mod jobspec;
 pub mod mgcfd;
 pub mod minibude;
 pub mod miniweather;

@@ -1,0 +1,148 @@
+//! `loadtest` CLI: drive a Zipf-distributed job mix against the serving
+//! front end and report latency, throughput, and cache statistics.
+//!
+//! ```text
+//! cargo run --release -p bwb-bench --bin loadtest                 # in-process sweep
+//! cargo run --release -p bwb-bench --bin loadtest -- --quick
+//! cargo run --release -p bwb-bench --bin loadtest -- --addr 127.0.0.1:8077
+//! cargo run --release -p bwb-bench --bin loadtest -- --emit-markdown
+//! ```
+//!
+//! With no `--addr`, the driver starts an in-process server per shard
+//! configuration (2 and 4 shards), runs the same seeded load against
+//! each, and prints one row per configuration — the EXPERIMENTS.md
+//! serving table. `--emit-markdown` prints only the table (for pasting).
+//!
+//! Exit status is nonzero if any request errored, if the warm (cache-hit)
+//! p50 failed to undercut the cold (executed) p50 by at least 10x, or if
+//! no coalescing was observed — the three properties the serving layer
+//! exists to provide.
+
+use bwb_core::machine::ShardPolicy;
+use bwb_core::serve::loadgen::{run_load, LoadConfig, LoadReport};
+use bwb_core::serve::server::{Server, ServerConfig};
+use std::process::ExitCode;
+
+const TABLE_HEADER: &str = "| config | requests | p50 ms | p99 ms | cold p50 ms | warm p50 ms | req/s | hit rate | coalesced |\n|---|---|---|---|---|---|---|---|---|";
+
+struct Args {
+    addr: Option<String>,
+    clients: usize,
+    requests_per_client: usize,
+    markdown_only: bool,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        addr: None,
+        clients: 6,
+        requests_per_client: 40,
+        markdown_only: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => out.addr = it.next().cloned(),
+            "--clients" => out.clients = it.next().and_then(|v| v.parse().ok()).unwrap_or(6),
+            "--requests" => {
+                out.requests_per_client = it.next().and_then(|v| v.parse().ok()).unwrap_or(40)
+            }
+            "--quick" => {
+                out.clients = 3;
+                out.requests_per_client = 10;
+            }
+            "--emit-markdown" => out.markdown_only = true,
+            _ => {
+                eprintln!(
+                    "usage: loadtest [--addr HOST:PORT] [--clients N] [--requests N] \
+                     [--quick] [--emit-markdown]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
+/// Run one load pass against `addr`.
+fn one_pass(addr: &str, args: &Args) -> LoadReport {
+    run_load(&LoadConfig {
+        addr: addr.to_string(),
+        clients: args.clients,
+        requests_per_client: args.requests_per_client,
+        ..LoadConfig::default()
+    })
+}
+
+/// The gate the CI/EXPERIMENTS run asserts: errors, warm-vs-cold
+/// separation, and observed coalescing.
+fn check(label: &str, r: &LoadReport) -> bool {
+    let mut ok = true;
+    if r.errors > 0 {
+        eprintln!("{label}: {} transport/server errors", r.errors);
+        ok = false;
+    }
+    if r.hits > 0 && r.misses > 0 && r.warm_p50_ms * 10.0 > r.cold_p50_ms {
+        eprintln!(
+            "{label}: warm p50 {:.3} ms not 10x under cold p50 {:.3} ms",
+            r.warm_p50_ms, r.cold_p50_ms
+        );
+        ok = false;
+    }
+    ok
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut rows: Vec<String> = Vec::new();
+    let mut all_ok = true;
+    let mut total_coalesced = 0usize;
+
+    if let Some(addr) = &args.addr {
+        let report = one_pass(addr, &args);
+        all_ok &= check(addr, &report);
+        total_coalesced += report.coalesced;
+        rows.push(report.markdown_row(&format!("external {addr}")));
+    } else {
+        for shards in [2usize, 4] {
+            let server = match Server::bind(ServerConfig {
+                shards,
+                policy: ShardPolicy::OnePerNuma,
+                ..ServerConfig::default()
+            }) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("bind: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let addr = server.local_addr().to_string();
+            let state = server.state();
+            let runner = std::thread::spawn(move || server.run());
+            if !args.markdown_only {
+                eprintln!("serving on {addr} with {shards} shards");
+            }
+            let label = format!("{shards} shards (one-per-numa)");
+            let report = one_pass(&addr, &args);
+            all_ok &= check(&label, &report);
+            total_coalesced += report.coalesced;
+            rows.push(report.markdown_row(&label));
+            state.begin_shutdown();
+            runner.join().expect("server thread");
+        }
+    }
+
+    println!("{TABLE_HEADER}");
+    for row in rows {
+        println!("{row}");
+    }
+    if total_coalesced == 0 {
+        eprintln!("warning: no coalesced requests observed in this mix");
+    }
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -278,9 +278,11 @@ fn run_clover_dist(reps: usize, quick: bool) -> AppResult {
     }
 }
 
-/// Acoustic leapfrog: the rotating output buffers certify for streaming
-/// stores once the working set outgrows the modelled cache; bit-compare
-/// the final field energy.
+/// Acoustic leapfrog: the rotating output buffers are reuse-eligible for
+/// streaming stores, but at n=64 f32 the streamed rows are 256 bytes —
+/// under the written-run floor where per-row staging overhead dominates —
+/// so the plan carries no NT certs and the optimized run keeps the plain
+/// store path; bit-compare the final field energy.
 fn run_acoustic(reps: usize, quick: bool) -> AppResult {
     let (n, iters) = if quick { (16, 3) } else { (64, 6) };
     let cfg = acoustic::Config {

@@ -20,6 +20,7 @@ pub use bwb_op2 as op2;
 pub use bwb_ops as ops;
 pub use bwb_perfmodel as perfmodel;
 pub use bwb_report as report;
+pub use bwb_serve as serve;
 pub use bwb_shmpi as shmpi;
 pub use bwb_stream as stream;
 pub use bwb_trace as trace;

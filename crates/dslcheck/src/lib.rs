@@ -70,6 +70,7 @@ pub use race::check_unstructured;
 pub use registry::{check_all, dataflow_all, AppReport};
 pub use replay::{replay, ReplayConfig, ReplayStats};
 pub use traffic::{
-    check_streaming_claims, derive as derive_traffic, nt_certs, AppTraffic, DEFAULT_RESIDENCY_BYTES,
+    check_streaming_claims, derive as derive_traffic, nt_certs, nt_certs_with_floor, AppTraffic,
+    DEFAULT_NT_MIN_RUN_BYTES, DEFAULT_RESIDENCY_BYTES,
 };
 pub use violation::{Kind, Violation};

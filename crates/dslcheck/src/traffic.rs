@@ -11,7 +11,7 @@
 //! exactly, which is what lets the perf-model figures consume derived
 //! rather than declared traffic.
 
-use crate::graph::{DefUseGraph, Event, Touch};
+use crate::graph::{ArgNode, DefUseGraph, Event, LoopNode, Touch};
 use crate::violation::{Kind, Violation};
 use bwb_memsim::{StoreMode, TrafficModel};
 use bwb_ops::access::{with_recording_full, ArgSpec, LoopSpec, Stencil};
@@ -188,7 +188,37 @@ pub fn derive(g: &DefUseGraph, residency_bytes: f64) -> AppTraffic {
 /// window (e.g. the first steps of a double-buffered scheme before the
 /// rotation settles) kills the certificate — the executor cannot tell
 /// iterations apart at dispatch time.
+/// Certificates are additionally gated on a minimum *written-run* size:
+/// the NT drivers stage one contiguous i-row at a time and stream it with
+/// `nt_copy`, so the per-run overhead (staging-buffer fill, the streamed
+/// copy's setup, the fence before the row is readable) amortizes over the
+/// run length. A run of only a few cache lines is overhead-dominated —
+/// measured as a >2x slowdown on the 64³ f32 acoustic benchmark (256-byte
+/// rows) — while runs past [`DEFAULT_NT_MIN_RUN_BYTES`] recoup the
+/// write-allocate saving. The floor binds at CI-scale grids; paper-scale
+/// rows are kilobytes and pass untouched.
+pub const DEFAULT_NT_MIN_RUN_BYTES: f64 = 1024.0;
+
+/// Streamed-run bytes of one output: the contiguous i-row the NT driver
+/// stages and streams per copy (`range-i span × element size`).
+fn run_bytes(l: &LoopNode, a: &ArgNode) -> f64 {
+    let span = |lo: isize, hi: isize| (hi - lo).max(1) as f64;
+    let rows = span(l.range[2], l.range[3]) * span(l.range[4], l.range[5]);
+    a.bytes / rows
+}
+
 pub fn nt_certs(g: &DefUseGraph, residency_bytes: f64) -> Vec<NtCert> {
+    nt_certs_with_floor(g, residency_bytes, DEFAULT_NT_MIN_RUN_BYTES)
+}
+
+/// [`nt_certs`] with an explicit written-run floor: a `(loop, dat)` pair
+/// is certified only if **every** invocation is reuse-eligible *and*
+/// streams contiguous runs of at least `min_run_bytes`.
+pub fn nt_certs_with_floor(
+    g: &DefUseGraph,
+    residency_bytes: f64,
+    min_run_bytes: f64,
+) -> Vec<NtCert> {
     let t = derive(g, residency_bytes);
     let mut tally: BTreeMap<(String, String), (usize, usize)> = BTreeMap::new();
     for (at, l) in g.loops.iter().enumerate() {
@@ -197,7 +227,9 @@ pub fn nt_certs(g: &DefUseGraph, residency_bytes: f64) -> Vec<NtCert> {
                 .entry((l.name.clone(), a.name.clone()))
                 .or_insert((0, 0));
             e.1 += 1;
-            if t.loops[at].nt_eligible.iter().any(|n| n == &a.name) {
+            if run_bytes(l, a) >= min_run_bytes
+                && t.loops[at].nt_eligible.iter().any(|n| n == &a.name)
+            {
                 e.0 += 1;
             }
         }
@@ -399,5 +431,58 @@ mod tests {
         let t = derive(&g, DEFAULT_RESIDENCY_BYTES);
         assert_eq!(t.loops[0].nt_eligible, vec!["a".to_string()]);
         assert!((t.streaming_gain_bound() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    /// Record one full-overwrite pass (`a[i,j] = b[i,j]`) over an `n × n`
+    /// f64 grid whose output is never re-read.
+    fn never_reread_rec(n: usize) -> DefUseGraph {
+        let specs = vec![LoopSpec::new(
+            "copy",
+            vec![ArgSpec::write("a")],
+            vec![ArgSpec::read("b", Stencil::point())],
+        )];
+        let mut a = Dat2::<f64>::new("a", n, n, 0);
+        let b = Dat2::<f64>::new("b", n, n, 0);
+        let ((), rec) = with_recording_full(|| {
+            let mut p = Profile::new();
+            par_loop2(
+                &mut p,
+                "copy",
+                ExecMode::Serial,
+                Range2::new(0, n as isize, 0, n as isize),
+                &mut [&mut a],
+                &[&b],
+                0.0,
+                |_i, _j, out, ins| out.set(0, ins.get(0, 0, 0)),
+            );
+        });
+        DefUseGraph::build(&specs, &rec)
+    }
+
+    #[test]
+    fn short_written_runs_are_not_certified_despite_eligibility() {
+        // 64×64 f64: reuse analysis says eligible (never re-read), but the
+        // streamed runs are 512-byte rows — under the run floor, where the
+        // per-row staging overhead dominates — so the cert is withheld.
+        let g = never_reread_rec(64);
+        let t = derive(&g, DEFAULT_RESIDENCY_BYTES);
+        assert_eq!(t.loops[0].nt_eligible, vec!["a".to_string()]);
+        assert!(nt_certs(&g, DEFAULT_RESIDENCY_BYTES).is_empty());
+        // Dropping the floor recovers the cert, isolating the gate.
+        let certs = nt_certs_with_floor(&g, DEFAULT_RESIDENCY_BYTES, 0.0);
+        assert_eq!(certs.len(), 1);
+        assert_eq!(certs[0].loop_name, "copy");
+        assert_eq!(certs[0].dat, "a");
+    }
+
+    #[test]
+    fn long_written_runs_are_certified() {
+        // 512×512 f64: 4 KiB rows clear the run floor, so the certificate
+        // is issued.
+        let g = never_reread_rec(512);
+        let certs = nt_certs(&g, DEFAULT_RESIDENCY_BYTES);
+        assert_eq!(certs.len(), 1);
+        assert_eq!(certs[0].loop_name, "copy");
+        assert_eq!(certs[0].dat, "a");
     }
 }

@@ -44,4 +44,4 @@ pub use memory::{CacheLevel, CacheScope, MainMemory, MemoryKind};
 pub use platform::{Platform, PlatformKind};
 pub use probe::{measure_thread_latency, LatencyProbe};
 pub use roofline::{Roofline, RooflinePoint, RooflineRegime};
-pub use topology::{CoreId, CpuTopology, PlacementPolicy, RankPlacement};
+pub use topology::{CoreId, CpuTopology, PlacementPolicy, RankPlacement, ShardPolicy};

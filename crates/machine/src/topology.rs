@@ -106,6 +106,29 @@ impl RankPlacement {
     }
 }
 
+/// How a node's cores are carved into disjoint worker shards (the
+/// `bwb-serve` worker pool). Mirrors the two placements the Aurora
+/// Xeon-Max study exercises per node: one worker per NUMA domain vs
+/// workers packed onto contiguous cores from one end of the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShardPolicy {
+    /// Shard `i` owns NUMA domains `i, i + n, i + 2n, …`: every shard's
+    /// ranks stay inside its own domains, shards spread across the machine.
+    OnePerNuma,
+    /// Shards own contiguous blocks of physical cores in compact
+    /// enumeration order (shard 0 gets the first block, and so on).
+    Packed,
+}
+
+impl ShardPolicy {
+    pub fn label(self) -> &'static str {
+        match self {
+            ShardPolicy::OnePerNuma => "one-per-numa",
+            ShardPolicy::Packed => "packed",
+        }
+    }
+}
+
 impl CpuTopology {
     pub fn total_numa(&self) -> u32 {
         self.sockets as u32 * self.numa_per_socket as u32
@@ -174,6 +197,68 @@ impl CpuTopology {
             policy,
             assignments,
         }
+    }
+
+    /// Carve the node's physical cores into `shards` disjoint core sets.
+    ///
+    /// Returns one [`RankPlacement`] per shard whose assignments are that
+    /// shard's cores in rank order; a shard universe of `n` ranks uses the
+    /// first `n`. Core sets are pairwise disjoint and together cover every
+    /// physical core (SMT siblings excluded — ranks never share a core
+    /// with another shard's ranks). Panics if `shards` is zero or exceeds
+    /// the carve-able units (NUMA domains for [`ShardPolicy::OnePerNuma`],
+    /// physical cores for [`ShardPolicy::Packed`]).
+    pub fn carve_shards(&self, shards: usize, policy: ShardPolicy) -> Vec<RankPlacement> {
+        assert!(shards > 0, "need at least one shard");
+        let cores = self.enumerate_threads(false);
+        let sets: Vec<Vec<CoreId>> = match policy {
+            ShardPolicy::OnePerNuma => {
+                let domains = self.total_numa() as usize;
+                assert!(
+                    shards <= domains,
+                    "{shards} shards over {domains} NUMA domains"
+                );
+                // Round-robin whole domains over shards, keeping each
+                // shard's domain list in machine order.
+                (0..shards)
+                    .map(|s| {
+                        cores
+                            .iter()
+                            .filter(|c| {
+                                let dom = (c.socket as usize * self.numa_per_socket as usize)
+                                    + c.numa as usize;
+                                dom % shards == s
+                            })
+                            .copied()
+                            .collect()
+                    })
+                    .collect()
+            }
+            ShardPolicy::Packed => {
+                assert!(
+                    shards <= cores.len(),
+                    "{shards} shards over {} cores",
+                    cores.len()
+                );
+                // Contiguous blocks; the first `rem` shards get one extra.
+                let base = cores.len() / shards;
+                let rem = cores.len() % shards;
+                let mut out = Vec::with_capacity(shards);
+                let mut at = 0usize;
+                for s in 0..shards {
+                    let len = base + usize::from(s < rem);
+                    out.push(cores[at..at + len].to_vec());
+                    at += len;
+                }
+                out
+            }
+        };
+        sets.into_iter()
+            .map(|assignments| RankPlacement {
+                policy: PlacementPolicy::OnePerCore,
+                assignments,
+            })
+            .collect()
     }
 }
 
@@ -287,6 +372,60 @@ mod tests {
             f < 0.02,
             "compact placement should keep neighbours close, got {f}"
         );
+    }
+
+    #[test]
+    fn carved_shards_are_disjoint_and_cover_all_cores() {
+        let t = max_topo();
+        for policy in [ShardPolicy::OnePerNuma, ShardPolicy::Packed] {
+            for shards in [1, 2, 4, 8] {
+                let carved = t.carve_shards(shards, policy);
+                assert_eq!(carved.len(), shards);
+                let mut seen = std::collections::HashSet::new();
+                for p in &carved {
+                    assert!(!p.assignments.is_empty());
+                    for c in &p.assignments {
+                        assert!(seen.insert(*c), "{policy:?}/{shards}: core {c:?} reused");
+                    }
+                }
+                assert_eq!(
+                    seen.len(),
+                    t.physical_cores() as usize,
+                    "{policy:?}/{shards}: carve must cover every physical core"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_per_numa_shards_keep_domains_whole() {
+        let t = max_topo();
+        let carved = t.carve_shards(8, ShardPolicy::OnePerNuma);
+        // 8 shards over 8 domains: each shard is exactly one domain.
+        for p in &carved {
+            assert_eq!(p.assignments.len(), t.cores_per_numa as usize);
+            let first = (p.assignments[0].socket, p.assignments[0].numa);
+            assert!(p.assignments.iter().all(|c| (c.socket, c.numa) == first));
+        }
+    }
+
+    #[test]
+    fn packed_shards_are_contiguous_blocks() {
+        let t = max_topo();
+        let carved = t.carve_shards(4, ShardPolicy::Packed);
+        let all = t.enumerate_threads(false);
+        let mut at = 0usize;
+        for p in &carved {
+            assert_eq!(p.assignments, all[at..at + p.assignments.len()].to_vec());
+            at += p.assignments.len();
+        }
+        assert_eq!(at, all.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "NUMA domains")]
+    fn over_carving_numa_panics() {
+        max_topo().carve_shards(9, ShardPolicy::OnePerNuma);
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! The content-addressed result cache.
+//!
+//! Payloads (response JSON strings) are stored under their [`CacheKey`]
+//! with hit/miss/age accounting. The cache is unbounded by entry count but
+//! every entry is a completed job's response body — the serving layer's
+//! jobs are CI-sized, so the working set is small; an eviction policy can
+//! ride on `created`/`hits` later without changing the interface.
+
+use crate::key::CacheKey;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+struct Entry {
+    payload: String,
+    created: Instant,
+    hits: u64,
+}
+
+/// Aggregate counters for `/stats`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheStats {
+    pub entries: usize,
+    pub hits: u64,
+    pub misses: u64,
+    /// Age of the oldest live entry, seconds (0 when empty).
+    pub oldest_age_secs: f64,
+}
+
+impl CacheStats {
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Thread-safe keyed payload store.
+#[derive(Default)]
+pub struct ResultCache {
+    map: Mutex<HashMap<u64, Entry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    pub fn new() -> ResultCache {
+        ResultCache::default()
+    }
+
+    /// Look up a payload; counts a hit or a miss.
+    pub fn get(&self, key: CacheKey) -> Option<String> {
+        let mut map = self.map.lock().unwrap();
+        match map.get_mut(&key.0) {
+            Some(e) => {
+                e.hits += 1;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.payload.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a payload (last write wins; identical by construction since
+    /// the key addresses the content that produced it).
+    pub fn insert(&self, key: CacheKey, payload: String) {
+        self.map.lock().unwrap().insert(
+            key.0,
+            Entry {
+                payload,
+                created: Instant::now(),
+                hits: 0,
+            },
+        );
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        let map = self.map.lock().unwrap();
+        let oldest = map
+            .values()
+            .map(|e| e.created.elapsed().as_secs_f64())
+            .fold(0.0, f64::max);
+        CacheStats {
+            entries: map.len(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            oldest_age_secs: oldest,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_age_accounting() {
+        let c = ResultCache::new();
+        let k = CacheKey(42);
+        assert_eq!(c.get(k), None);
+        c.insert(k, "{\"x\":1}".into());
+        assert_eq!(c.get(k).as_deref(), Some("{\"x\":1}"));
+        assert_eq!(c.get(k).as_deref(), Some("{\"x\":1}"));
+        let s = c.stats();
+        assert_eq!((s.entries, s.hits, s.misses), (1, 2, 1));
+        assert!(s.oldest_age_secs >= 0.0);
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

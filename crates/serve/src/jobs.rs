@@ -1,0 +1,498 @@
+//! Job specs: the wire-level request shapes and their execution.
+//!
+//! A job arrives as a JSON object with a `kind` discriminant:
+//!
+//! * `{"kind":"benchmark","app":"acoustic","n":32,"iterations":10,
+//!    "ranks":1,"parallel":false,"plan":{...}}` — run one app; `ranks > 1`
+//!   routes through the sharded pinned-universe pool; the optional `plan`
+//!   is a `dslcheck` optimization-plan document (as exported by an
+//!   `analyze` job) threaded into the app's config.
+//! * `{"kind":"trace","app":"cloverleaf2d","n":24,"iterations":5}` — run
+//!   under the tracer; the Perfetto (Chrome `trace_event`) export is
+//!   retrievable at `/trace/<job id>`.
+//! * `{"kind":"figure","figure":8}` — reproduce a paper figure (3–9).
+//! * `{"kind":"analyze","app":"acoustic"}` — whole-chain dataflow report
+//!   and certified optimization plan for one registered app.
+//!
+//! Every job renders a [`KeyMaterial`] — the cache address of its result.
+
+use crate::key::{CacheKey, KeyMaterial};
+use crate::shard::ShardPool;
+use bwb_apps::jobspec::{BenchOutcome, BenchSpec};
+use bwb_apps::AppId;
+use bwb_ops::OptPlan;
+use bwb_perfmodel::figures;
+use bwb_trace::json::Json;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A parsed, validated job.
+#[derive(Debug, Clone)]
+pub enum Job {
+    Benchmark {
+        spec: BenchSpec,
+        /// Canonical plan JSON (round-tripped through [`OptPlan`]).
+        plan: Option<String>,
+    },
+    Trace {
+        spec: BenchSpec,
+    },
+    Figure {
+        figure: u8,
+    },
+    Analyze {
+        app: String,
+    },
+}
+
+fn get_usize(body: &Json, key: &str, default: usize) -> Result<usize, String> {
+    match body.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .filter(|n| n.fract() == 0.0 && *n >= 0.0)
+            .map(|n| n as usize)
+            .ok_or_else(|| format!("field '{key}' must be a non-negative integer")),
+    }
+}
+
+fn parse_bench_spec(body: &Json) -> Result<BenchSpec, String> {
+    let slug = body
+        .get("app")
+        .and_then(Json::as_str)
+        .ok_or("missing field 'app'")?;
+    let app = AppId::from_slug(slug).ok_or_else(|| {
+        format!(
+            "unknown app '{slug}' (known: {})",
+            AppId::ALL.map(|a| a.slug()).join(", ")
+        )
+    })?;
+    let defaults = BenchSpec::small(app);
+    let spec = BenchSpec {
+        app,
+        n: get_usize(body, "n", defaults.n)?,
+        iterations: get_usize(body, "iterations", defaults.iterations)?,
+        ranks: get_usize(body, "ranks", 1)?,
+        parallel: matches!(body.get("parallel"), Some(Json::Bool(true))),
+    };
+    spec.validate()?;
+    Ok(spec)
+}
+
+impl Job {
+    /// Parse a request body. Errors are client-facing (HTTP 400).
+    pub fn parse(body: &Json) -> Result<Job, String> {
+        let kind = body
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("missing field 'kind'")?;
+        match kind {
+            "benchmark" => {
+                let spec = parse_bench_spec(body)?;
+                let plan = match body.get("plan") {
+                    None | Some(Json::Null) => None,
+                    // Round-trip through OptPlan: rejects malformed plans
+                    // and canonicalizes the rendering for the cache key.
+                    Some(p) => Some(
+                        OptPlan::from_json(&p.to_string())
+                            .map_err(|e| format!("invalid plan: {e}"))?
+                            .to_json(),
+                    ),
+                };
+                if plan.is_some() && spec.ranks > 1 {
+                    return Err("plans apply to in-process runs (ranks=1)".into());
+                }
+                Ok(Job::Benchmark { spec, plan })
+            }
+            "trace" => {
+                let spec = parse_bench_spec(body)?;
+                if spec.ranks > 1 {
+                    return Err("trace jobs run in-process (ranks=1)".into());
+                }
+                Ok(Job::Trace { spec })
+            }
+            "figure" => {
+                let figure = get_usize(body, "figure", 0)? as u8;
+                if !(3..=9).contains(&figure) {
+                    return Err("field 'figure' must be 3..=9".into());
+                }
+                Ok(Job::Figure { figure })
+            }
+            "analyze" => {
+                let app = body
+                    .get("app")
+                    .and_then(Json::as_str)
+                    .ok_or("missing field 'app'")?;
+                Ok(Job::Analyze { app: app.into() })
+            }
+            other => Err(format!(
+                "unknown kind '{other}' (benchmark|trace|figure|analyze)"
+            )),
+        }
+    }
+
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            Job::Benchmark { .. } => "benchmark",
+            Job::Trace { .. } => "trace",
+            Job::Figure { .. } => "figure",
+            Job::Analyze { .. } => "analyze",
+        }
+    }
+
+    /// The job's cache address on `machine` (a descriptor fingerprint).
+    pub fn cache_key(&self, machine: &str) -> CacheKey {
+        let spec = match self {
+            Job::Benchmark { spec, .. } | Job::Trace { spec } => spec.canonical(),
+            Job::Figure { figure } => format!("figure={figure}"),
+            Job::Analyze { app } => format!("analyze={app}"),
+        };
+        let plan = match self {
+            Job::Benchmark { plan, .. } => plan.clone().unwrap_or_else(|| "none".into()),
+            _ => "none".into(),
+        };
+        KeyMaterial {
+            kind: self.kind_label(),
+            spec: &spec,
+            plan: &plan,
+            machine,
+        }
+        .key()
+    }
+
+    /// Execute the job, returning the response payload JSON.
+    pub fn execute(&self, ctx: &ExecContext, job_id: u64) -> Result<String, String> {
+        match self {
+            Job::Benchmark { spec, plan } => execute_benchmark(ctx, spec, plan.as_deref()),
+            Job::Trace { spec } => execute_trace(ctx, spec, job_id),
+            Job::Figure { figure } => Ok(figure_payload(*figure)),
+            Job::Analyze { app } => execute_analyze(app),
+        }
+    }
+}
+
+/// Everything job execution reaches for.
+pub struct ExecContext {
+    pub shards: Arc<ShardPool>,
+    pub traces: Arc<TraceStore>,
+}
+
+/// Per-job-id Perfetto exports, plus the global tracer gate: `bwb_trace`
+/// records into process-global thread rings, so traced executions must
+/// serialize — the gate is held for the whole traced run.
+#[derive(Default)]
+pub struct TraceStore {
+    gate: Mutex<()>,
+    map: Mutex<HashMap<u64, String>>,
+}
+
+impl TraceStore {
+    pub fn new() -> TraceStore {
+        TraceStore::default()
+    }
+
+    pub fn get(&self, job_id: u64) -> Option<String> {
+        self.map.lock().unwrap().get(&job_id).cloned()
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.lock().unwrap().is_empty()
+    }
+}
+
+fn outcome_json(out: &BenchOutcome) -> Vec<(String, Json)> {
+    vec![
+        ("app".into(), Json::Str(out.app.slug().into())),
+        ("validation".into(), Json::Num(out.validation)),
+        ("points".into(), Json::Num(out.points as f64)),
+        ("iterations".into(), Json::Num(out.iterations as f64)),
+        ("ranks".into(), Json::Num(out.ranks as f64)),
+        ("seconds".into(), Json::Num(out.seconds)),
+        ("bytes".into(), Json::Num(out.bytes as f64)),
+        ("gbs".into(), Json::Num(out.gbs)),
+    ]
+}
+
+fn execute_benchmark(
+    ctx: &ExecContext,
+    spec: &BenchSpec,
+    plan: Option<&str>,
+) -> Result<String, String> {
+    let mut fields: Vec<(String, Json)>;
+    if spec.ranks > 1 {
+        let run = ctx.shards.run_ranked(spec)?;
+        fields = outcome_json(&run.outcome);
+        fields.push(("shard".into(), Json::Num(run.shard as f64)));
+        fields.push(("mpi_fraction".into(), Json::Num(run.mpi_fraction)));
+        fields.push(("wall_seconds".into(), Json::Num(run.wall_seconds)));
+    } else {
+        let parsed = plan
+            .map(|p| OptPlan::from_json(p).map_err(|e| format!("invalid plan: {e}")))
+            .transpose()?;
+        let planned = parsed.is_some();
+        let out = spec.run_with_plan(parsed)?;
+        fields = outcome_json(&out);
+        fields.push(("planned".into(), Json::Bool(planned)));
+    }
+    fields.push(("config".into(), Json::Str(spec.config_summary())));
+    Ok(Json::Obj(fields).to_string())
+}
+
+fn execute_trace(ctx: &ExecContext, spec: &BenchSpec, job_id: u64) -> Result<String, String> {
+    let _gate = ctx.traces.gate.lock().unwrap();
+    let (result, trace) = bwb_trace::with_tracing(|| spec.run());
+    let out = result?;
+    let chrome = bwb_trace::to_chrome_json(&trace, &Default::default());
+    let events = trace.total_events();
+    ctx.traces.map.lock().unwrap().insert(job_id, chrome);
+    let mut fields = outcome_json(&out);
+    fields.push(("trace_events".into(), Json::Num(events as f64)));
+    fields.push(("trace_path".into(), Json::Str(format!("/trace/{job_id}"))));
+    Ok(Json::Obj(fields).to_string())
+}
+
+fn execute_analyze(app: &str) -> Result<String, String> {
+    let reports = bwb_dslcheck::dataflow_all();
+    let known: Vec<&str> = reports.iter().map(|r| r.app.as_str()).collect();
+    let report = reports
+        .iter()
+        .find(|r| r.app == app)
+        .ok_or_else(|| format!("unknown app '{}' (known: {})", app, known.join(", ")))?;
+    // The report and its exported plan already render themselves as JSON;
+    // splice them in raw rather than re-modelling their schemas here.
+    Ok(format!(
+        "{{\"report\":{},\"plan\":{}}}",
+        report.to_json(),
+        report.export_plan().to_json()
+    ))
+}
+
+fn jrow(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+}
+
+fn figure_payload(figure: u8) -> String {
+    let rows: Vec<Json> = match figure {
+        3 | 4 => {
+            let p = bwb_machine::platforms::xeon_max_9480();
+            let m = if figure == 3 {
+                figures::figure3_structured_matrix(&p)
+            } else {
+                figures::figure4_unstructured_matrix(&p)
+            };
+            m.rows
+                .iter()
+                .map(|r| {
+                    jrow(vec![
+                        ("label", Json::Str(r.label.clone())),
+                        ("mean_slowdown", Json::Num(r.mean)),
+                        (
+                            "slowdowns",
+                            Json::Arr(
+                                r.slowdowns
+                                    .iter()
+                                    .map(|s| s.map(Json::Num).unwrap_or(Json::Null))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect()
+        }
+        5 => figures::figure5_parallelization_speedups()
+            .iter()
+            .map(|e| {
+                jrow(vec![
+                    ("app", Json::Str(e.app.slug().into())),
+                    (
+                        "speedups",
+                        Json::Arr(
+                            e.speedups
+                                .iter()
+                                .map(|(l, s)| {
+                                    jrow(vec![
+                                        ("config", Json::Str(l.clone())),
+                                        ("speedup", Json::Num(*s)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+        6 => figures::figure6_platform_comparison()
+            .iter()
+            .map(|e| {
+                jrow(vec![
+                    ("app", Json::Str(e.app.slug().into())),
+                    ("speedup_vs_8360y", Json::Num(e.speedup_vs_8360y)),
+                    ("speedup_vs_epyc", Json::Num(e.speedup_vs_epyc)),
+                    ("a100_vs_max", Json::Num(e.a100_vs_max)),
+                ])
+            })
+            .collect(),
+        7 => figures::figure7_mpi_fractions()
+            .iter()
+            .map(|e| {
+                jrow(vec![
+                    ("app", Json::Str(e.app.slug().into())),
+                    ("platform", Json::Str(e.platform.label().into())),
+                    ("mpi_fraction_pure", Json::Num(e.mpi_fraction_pure)),
+                    ("mpi_fraction_openmp", Json::Num(e.mpi_fraction_openmp)),
+                ])
+            })
+            .collect(),
+        8 => figures::figure8_effective_bandwidth()
+            .iter()
+            .map(|e| {
+                jrow(vec![
+                    ("app", Json::Str(e.app.slug().into())),
+                    ("platform", Json::Str(e.platform.label().into())),
+                    ("effective_gbs", Json::Num(e.effective_gbs)),
+                    ("fraction_of_stream", Json::Num(e.fraction_of_stream)),
+                ])
+            })
+            .collect(),
+        9 => figures::figure9_tiling()
+            .iter()
+            .map(|e| {
+                jrow(vec![
+                    ("platform", Json::Str(e.platform.label().into())),
+                    ("untiled_seconds", Json::Num(e.untiled_seconds)),
+                    ("tiled_seconds", Json::Num(e.tiled_seconds)),
+                    ("gain", Json::Num(e.gain)),
+                ])
+            })
+            .collect(),
+        _ => unreachable!("parse() bounds the figure number"),
+    };
+    Json::Obj(vec![
+        ("figure".into(), Json::Num(figure as f64)),
+        ("rows".into(), Json::Arr(rows)),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwb_machine::platforms;
+    use bwb_machine::ShardPolicy;
+
+    fn ctx() -> ExecContext {
+        ExecContext {
+            shards: Arc::new(ShardPool::new(
+                platforms::xeon_8360y(),
+                2,
+                ShardPolicy::OnePerNuma,
+            )),
+            traces: Arc::new(TraceStore::new()),
+        }
+    }
+
+    fn parse(body: &str) -> Result<Job, String> {
+        Job::parse(&bwb_trace::json::parse(body).unwrap())
+    }
+
+    #[test]
+    fn parse_rejects_malformed_jobs() {
+        assert!(parse("{}").unwrap_err().contains("kind"));
+        assert!(parse("{\"kind\":\"benchmark\"}")
+            .unwrap_err()
+            .contains("app"));
+        assert!(parse("{\"kind\":\"benchmark\",\"app\":\"nope\"}")
+            .unwrap_err()
+            .contains("unknown app"));
+        assert!(parse("{\"kind\":\"figure\",\"figure\":2}")
+            .unwrap_err()
+            .contains("3..=9"));
+        assert!(
+            parse("{\"kind\":\"benchmark\",\"app\":\"volna\",\"ranks\":2}")
+                .unwrap_err()
+                .contains("no distributed driver")
+        );
+    }
+
+    #[test]
+    fn cache_keys_separate_kinds_specs_and_machines() {
+        let bench = parse("{\"kind\":\"benchmark\",\"app\":\"acoustic\"}").unwrap();
+        let trace = parse("{\"kind\":\"trace\",\"app\":\"acoustic\"}").unwrap();
+        let other = parse("{\"kind\":\"benchmark\",\"app\":\"acoustic\",\"n\":48}").unwrap();
+        let m1 = "machine-a";
+        let m2 = "machine-b";
+        assert_ne!(bench.cache_key(m1), trace.cache_key(m1));
+        assert_ne!(bench.cache_key(m1), other.cache_key(m1));
+        assert_ne!(bench.cache_key(m1), bench.cache_key(m2));
+        assert_eq!(bench.cache_key(m1), bench.cache_key(m1));
+    }
+
+    #[test]
+    fn benchmark_job_executes_and_reports() {
+        let job = parse("{\"kind\":\"benchmark\",\"app\":\"acoustic\",\"n\":12,\"iterations\":2}")
+            .unwrap();
+        let payload = job.execute(&ctx(), 1).unwrap();
+        let doc = bwb_trace::json::parse(&payload).unwrap();
+        assert_eq!(doc.get("app").and_then(Json::as_str), Some("acoustic"));
+        assert!(doc.get("gbs").and_then(Json::as_f64).unwrap() > 0.0);
+        assert_eq!(doc.get("ranks").and_then(Json::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn ranked_benchmark_routes_through_a_shard() {
+        let job = parse(
+            "{\"kind\":\"benchmark\",\"app\":\"acoustic\",\"n\":12,\"iterations\":2,\"ranks\":2}",
+        )
+        .unwrap();
+        let payload = job.execute(&ctx(), 2).unwrap();
+        let doc = bwb_trace::json::parse(&payload).unwrap();
+        assert_eq!(doc.get("ranks").and_then(Json::as_f64), Some(2.0));
+        assert!(doc.get("shard").is_some());
+        assert!(doc.get("mpi_fraction").and_then(Json::as_f64).unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn trace_job_stores_a_valid_chrome_export() {
+        let c = ctx();
+        let job = parse("{\"kind\":\"trace\",\"app\":\"cloverleaf2d\",\"n\":16,\"iterations\":2}")
+            .unwrap();
+        let payload = job.execute(&c, 77).unwrap();
+        let doc = bwb_trace::json::parse(&payload).unwrap();
+        assert_eq!(
+            doc.get("trace_path").and_then(Json::as_str),
+            Some("/trace/77")
+        );
+        let chrome = c.traces.get(77).expect("trace stored under the job id");
+        let chrome_doc = bwb_trace::json::parse(&chrome).unwrap();
+        assert!(bwb_trace::json::validate_chrome(&chrome_doc).is_empty());
+    }
+
+    #[test]
+    fn figure_job_renders_rows() {
+        let job = parse("{\"kind\":\"figure\",\"figure\":8}").unwrap();
+        let payload = job.execute(&ctx(), 3).unwrap();
+        let doc = bwb_trace::json::parse(&payload).unwrap();
+        assert_eq!(doc.get("figure").and_then(Json::as_f64), Some(8.0));
+        assert!(!doc.get("rows").and_then(Json::as_array).unwrap().is_empty());
+    }
+
+    #[test]
+    fn analyze_job_exports_a_plan_that_feeds_back_into_benchmarks() {
+        let job = parse("{\"kind\":\"analyze\",\"app\":\"acoustic\"}").unwrap();
+        let payload = job.execute(&ctx(), 4).unwrap();
+        let doc = bwb_trace::json::parse(&payload).unwrap();
+        let plan = doc.get("plan").expect("plan present");
+        // The exported plan must round-trip into a benchmark job.
+        let body = format!(
+            "{{\"kind\":\"benchmark\",\"app\":\"acoustic\",\"n\":12,\"iterations\":2,\"plan\":{plan}}}"
+        );
+        let bench = parse(&body).unwrap();
+        let out = bench.execute(&ctx(), 5).unwrap();
+        let out_doc = bwb_trace::json::parse(&out).unwrap();
+        assert_eq!(out_doc.get("planned"), Some(&Json::Bool(true)));
+    }
+}

@@ -1,0 +1,153 @@
+//! Content-addressed cache keys.
+//!
+//! A result is addressed by a stable 64-bit FNV-1a hash over a canonical,
+//! order-fixed encoding of everything that determines it: the job kind,
+//! the benchmark/figure/analyze spec, the optimization plan (if any), and
+//! the machine descriptor the job runs against. The encoding escapes the
+//! field separator so no two distinct component tuples collide by
+//! concatenation, and the hash uses no process-local state (no `HashMap`
+//! iteration order, no pointer identity) — the same job hashes identically
+//! across processes and runs, which is what lets a warm cache survive a
+//! server restart protocol-compatibly.
+
+use bwb_machine::Platform;
+use std::fmt;
+
+/// FNV-1a offset basis / prime (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over a byte string. Deliberately simple and dependency-
+/// free: cache keys need stability and dispersion, not cryptography.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A content-address: displays as 16 hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey(pub u64);
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// The four components every key is derived from. Renderings are escaped
+/// so component boundaries are unambiguous.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyMaterial<'a> {
+    /// Job kind tag ("benchmark", "trace", "figure", "analyze").
+    pub kind: &'a str,
+    /// Canonical spec rendering (e.g. `BenchSpec::canonical`).
+    pub spec: &'a str,
+    /// Canonical plan rendering; "none" when the job carries no plan.
+    pub plan: &'a str,
+    /// Machine descriptor fingerprint (see [`machine_fingerprint`]).
+    pub machine: &'a str,
+}
+
+fn escape_into(out: &mut String, field: &str) {
+    for c in field.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '|' => out.push_str("\\|"),
+            _ => out.push(c),
+        }
+    }
+}
+
+impl KeyMaterial<'_> {
+    /// Canonical byte encoding: `kind=..|spec=..|plan=..|machine=..` with
+    /// `|` and `\` escaped inside fields.
+    pub fn encode(&self) -> String {
+        let mut s = String::with_capacity(
+            self.kind.len() + self.spec.len() + self.plan.len() + self.machine.len() + 32,
+        );
+        for (tag, field) in [
+            ("kind=", self.kind),
+            ("|spec=", self.spec),
+            ("|plan=", self.plan),
+            ("|machine=", self.machine),
+        ] {
+            s.push_str(tag);
+            escape_into(&mut s, field);
+        }
+        s
+    }
+
+    pub fn key(&self) -> CacheKey {
+        CacheKey(fnv1a64(self.encode().as_bytes()))
+    }
+}
+
+/// A stable fingerprint of the machine descriptor a job executes against:
+/// platform name, full core topology, SMT width, memory kind, and the
+/// latency profile the placement model prices messages with. Any change to
+/// the modelled machine changes every key.
+pub fn machine_fingerprint(p: &Platform) -> String {
+    let t = &p.topology;
+    format!(
+        "{} s{} n{} c{} smt{} mem={:?} lat={:.0}/{:.0}/{:.0}",
+        p.name,
+        t.sockets,
+        t.numa_per_socket,
+        t.cores_per_numa,
+        t.smt_per_core,
+        p.memory.kind,
+        p.latency.same_numa_ns,
+        p.latency.cross_numa_ns,
+        p.latency.cross_socket_ns,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_published_vectors() {
+        // Reference values for FNV-1a 64 from the specification.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn golden_key_is_stable_across_releases() {
+        // Pinned value: if this changes, existing caches are invalidated —
+        // bump intentionally, never accidentally.
+        let m = KeyMaterial {
+            kind: "benchmark",
+            spec: "app=acoustic n=32 iters=10 ranks=1 par=false",
+            plan: "none",
+            machine: "Xeon MAX 9480 s2 n4 c14 smt2",
+        };
+        assert_eq!(m.key(), CacheKey(fnv1a64(m.encode().as_bytes())));
+        assert_eq!(format!("{}", m.key()), "5ce5971452c5d1d9");
+    }
+
+    #[test]
+    fn escaping_prevents_component_smearing() {
+        // Moving a suffix across the component boundary must change the key.
+        let a = KeyMaterial {
+            kind: "benchmark",
+            spec: "x|plan=evil",
+            plan: "none",
+            machine: "m",
+        };
+        let b = KeyMaterial {
+            kind: "benchmark",
+            spec: "x",
+            plan: "evil|plan=none",
+            machine: "m",
+        };
+        assert_ne!(a.encode(), b.encode());
+        assert_ne!(a.key(), b.key());
+    }
+}

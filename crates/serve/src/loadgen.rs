@@ -1,0 +1,265 @@
+//! Load generation: replay a heavy-tailed job mix against a running
+//! server and report latency/throughput/cache statistics.
+//!
+//! Real benchmark-service traffic is Zipf-like — a few configurations
+//! (the CI staples, the paper's headline figures) dominate, with a long
+//! tail of one-off explorations. The generator samples a job catalog
+//! under a Zipf(s) distribution, so the cache and single-flight layers
+//! see realistic skew: the head of the catalog should serve from cache
+//! after first touch, while tail jobs keep missing.
+
+use crate::http;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address ("host:port").
+    pub addr: String,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests issued per client.
+    pub requests_per_client: usize,
+    /// Zipf skew (1.0 = classic; higher = heavier head).
+    pub zipf_s: f64,
+    pub seed: u64,
+    /// Job bodies to sample from; index 0 is the most popular.
+    pub catalog: Vec<String>,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: String::new(),
+            clients: 4,
+            requests_per_client: 25,
+            zipf_s: 1.1,
+            seed: 42,
+            catalog: default_catalog(),
+        }
+    }
+}
+
+/// A CI-sized job mix: popular cached staples up front, heavier and
+/// ranked jobs in the tail.
+pub fn default_catalog() -> Vec<String> {
+    vec![
+        r#"{"kind":"benchmark","app":"acoustic","n":32,"iterations":6}"#.into(),
+        r#"{"kind":"benchmark","app":"cloverleaf2d","n":32,"iterations":8}"#.into(),
+        r#"{"kind":"figure","figure":8}"#.into(),
+        r#"{"kind":"benchmark","app":"miniweather","n":32,"iterations":4}"#.into(),
+        r#"{"kind":"benchmark","app":"acoustic","n":32,"iterations":6,"ranks":2}"#.into(),
+        r#"{"kind":"figure","figure":3}"#.into(),
+        r#"{"kind":"benchmark","app":"cloverleaf2d","n":32,"iterations":8,"ranks":2}"#.into(),
+        r#"{"kind":"benchmark","app":"opensbli-sa","n":16,"iterations":3}"#.into(),
+        r#"{"kind":"trace","app":"cloverleaf2d","n":24,"iterations":4}"#.into(),
+        r#"{"kind":"benchmark","app":"volna","n":24,"iterations":20}"#.into(),
+    ]
+}
+
+/// Zipf CDF over `n` catalog slots with skew `s`.
+pub fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    weights
+        .iter()
+        .map(|w| {
+            acc += w / total;
+            acc
+        })
+        .collect()
+}
+
+fn sample_zipf(cdf: &[f64], rng: &mut StdRng) -> usize {
+    let u: f64 = rng.gen();
+    cdf.iter().position(|&c| u <= c).unwrap_or(cdf.len() - 1)
+}
+
+/// Aggregate of one load run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    pub total: usize,
+    pub ok: usize,
+    pub rejected: usize,
+    pub errors: usize,
+    pub hits: usize,
+    pub misses: usize,
+    pub coalesced: usize,
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    /// Latency split by cache disposition: cold = executed (miss),
+    /// warm = served from cache (hit).
+    pub cold_p50_ms: f64,
+    pub warm_p50_ms: f64,
+    pub throughput_rps: f64,
+    pub wall_seconds: f64,
+}
+
+impl LoadReport {
+    pub fn hit_rate(&self) -> f64 {
+        let n = self.hits + self.misses + self.coalesced;
+        if n == 0 {
+            0.0
+        } else {
+            self.hits as f64 / n as f64
+        }
+    }
+
+    /// A row for the EXPERIMENTS.md table.
+    pub fn markdown_row(&self, label: &str) -> String {
+        format!(
+            "| {} | {} | {:.2} | {:.2} | {:.2} | {:.2} | {:.0} | {:.0}% | {} |",
+            label,
+            self.total,
+            self.p50_ms,
+            self.p99_ms,
+            self.cold_p50_ms,
+            self.warm_p50_ms,
+            self.throughput_rps,
+            100.0 * self.hit_rate(),
+            self.coalesced,
+        )
+    }
+}
+
+/// `p` in [0,100] over an unsorted sample (empty → 0).
+pub fn percentile_ms(samples: &mut [f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = ((p / 100.0) * (samples.len() - 1) as f64).round() as usize;
+    samples[idx.min(samples.len() - 1)]
+}
+
+struct Sample {
+    latency_ms: f64,
+    status: u16,
+    cache: String,
+}
+
+/// Run the configured load and aggregate. Each client thread samples the
+/// catalog independently (seeded per client for reproducibility).
+pub fn run_load(cfg: &LoadConfig) -> LoadReport {
+    assert!(!cfg.catalog.is_empty(), "catalog must not be empty");
+    let cdf = Arc::new(zipf_cdf(cfg.catalog.len(), cfg.zipf_s));
+    let catalog = Arc::new(cfg.catalog.clone());
+    let samples: Arc<Mutex<Vec<Sample>>> = Arc::new(Mutex::new(Vec::new()));
+    let started = Instant::now();
+
+    std::thread::scope(|scope| {
+        for client in 0..cfg.clients {
+            let (cdf, catalog, samples) =
+                (Arc::clone(&cdf), Arc::clone(&catalog), Arc::clone(&samples));
+            let addr = cfg.addr.clone();
+            let (requests, seed) = (cfg.requests_per_client, cfg.seed);
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (client as u64).wrapping_mul(0x9e37));
+                for _ in 0..requests {
+                    let body = &catalog[sample_zipf(&cdf, &mut rng)];
+                    let t0 = Instant::now();
+                    let resp = http::request(&addr, "POST", "/job", Some(body));
+                    let latency_ms = t0.elapsed().as_secs_f64() * 1e3;
+                    let (status, cache) = match &resp {
+                        Ok(r) => (r.status, r.header("x-cache").unwrap_or("").to_string()),
+                        Err(_) => (0, String::new()),
+                    };
+                    samples.lock().unwrap().push(Sample {
+                        latency_ms,
+                        status,
+                        cache,
+                    });
+                }
+            });
+        }
+    });
+
+    let wall_seconds = started.elapsed().as_secs_f64();
+    let samples = Arc::try_unwrap(samples).ok().unwrap().into_inner().unwrap();
+    let mut all: Vec<f64> = Vec::with_capacity(samples.len());
+    let (mut cold, mut warm) = (Vec::new(), Vec::new());
+    let mut report = LoadReport {
+        total: samples.len(),
+        wall_seconds,
+        ..LoadReport::default()
+    };
+    for s in &samples {
+        match s.status {
+            200 => report.ok += 1,
+            429 => report.rejected += 1,
+            _ => report.errors += 1,
+        }
+        if s.status == 200 {
+            all.push(s.latency_ms);
+            match s.cache.as_str() {
+                "hit" => {
+                    report.hits += 1;
+                    warm.push(s.latency_ms);
+                }
+                "miss" => {
+                    report.misses += 1;
+                    cold.push(s.latency_ms);
+                }
+                "coalesced" => report.coalesced += 1,
+                _ => {}
+            }
+        }
+    }
+    report.p50_ms = percentile_ms(&mut all, 50.0);
+    report.p99_ms = percentile_ms(&mut all, 99.0);
+    report.cold_p50_ms = percentile_ms(&mut cold, 50.0);
+    report.warm_p50_ms = percentile_ms(&mut warm, 50.0);
+    report.throughput_rps = if wall_seconds > 0.0 {
+        report.total as f64 / wall_seconds
+    } else {
+        0.0
+    };
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_cdf_is_monotone_and_head_heavy() {
+        let cdf = zipf_cdf(10, 1.1);
+        assert_eq!(cdf.len(), 10);
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1]));
+        assert!((cdf[9] - 1.0).abs() < 1e-12);
+        // The head slot alone carries a disproportionate share.
+        assert!(cdf[0] > 0.25, "head mass {}", cdf[0]);
+    }
+
+    #[test]
+    fn zipf_sampling_prefers_the_head() {
+        let cdf = zipf_cdf(8, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 8];
+        for _ in 0..4000 {
+            counts[sample_zipf(&cdf, &mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[4], "{counts:?}");
+        assert!(counts[0] + counts[1] > 4000 / 3, "{counts:?}");
+    }
+
+    #[test]
+    fn percentiles_pick_order_statistics() {
+        let mut xs = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile_ms(&mut xs, 50.0), 3.0);
+        assert_eq!(percentile_ms(&mut xs, 0.0), 1.0);
+        assert_eq!(percentile_ms(&mut xs, 100.0), 5.0);
+        assert_eq!(percentile_ms(&mut [], 50.0), 0.0);
+    }
+
+    #[test]
+    fn default_catalog_parses_as_jobs() {
+        for body in default_catalog() {
+            let doc = bwb_trace::json::parse(&body).unwrap();
+            crate::jobs::Job::parse(&doc).unwrap_or_else(|e| panic!("{body}: {e}"));
+        }
+    }
+}

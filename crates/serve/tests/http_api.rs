@@ -1,0 +1,103 @@
+//! End-to-end HTTP tests: submit jobs over a real socket and check the
+//! cache, trace, and error paths the README documents.
+
+use bwb_serve::http::{request, ClientResponse};
+use bwb_serve::server::{Server, ServerConfig};
+use bwb_trace::json::{parse, validate_chrome, Json};
+
+/// Bind an ephemeral server, run `f` against its address, then drain.
+fn with_server(f: impl FnOnce(&str)) {
+    let server = Server::bind(ServerConfig::default()).expect("bind");
+    let addr = server.local_addr().to_string();
+    let state = server.state();
+    let runner = std::thread::spawn(move || server.run());
+    f(&addr);
+    state.begin_shutdown();
+    runner.join().expect("server thread");
+}
+
+fn post_job(addr: &str, body: &str) -> ClientResponse {
+    request(addr, "POST", "/job", Some(body)).expect("request")
+}
+
+#[test]
+fn resubmitted_job_is_served_from_cache_bit_identically() {
+    with_server(|addr| {
+        let body = r#"{"kind":"figure","figure":8}"#;
+        let first = post_job(addr, body);
+        assert_eq!(first.status, 200);
+        assert_eq!(first.header("x-cache"), Some("miss"));
+        let key = first.header("x-cache-key").expect("key header").to_string();
+
+        let second = post_job(addr, body);
+        assert_eq!(second.status, 200);
+        assert_eq!(second.header("x-cache"), Some("hit"));
+        assert_eq!(second.header("x-cache-key"), Some(key.as_str()));
+        assert_eq!(first.body, second.body, "cache must return identical bytes");
+
+        // A real benchmark run caches the same way.
+        let bench = r#"{"kind":"benchmark","app":"acoustic","n":12,"iterations":2}"#;
+        assert_eq!(post_job(addr, bench).header("x-cache"), Some("miss"));
+        assert_eq!(post_job(addr, bench).header("x-cache"), Some("hit"));
+
+        let stats = request(addr, "GET", "/stats", None).expect("stats");
+        let doc = parse(&stats.body).expect("stats json");
+        let hits = doc
+            .get("cache")
+            .and_then(|c| c.get("hits"))
+            .and_then(Json::as_f64)
+            .expect("cache.hits");
+        assert!(hits >= 2.0, "expected >= 2 cache hits, saw {hits}");
+    });
+}
+
+#[test]
+fn trace_jobs_store_a_retrievable_perfetto_export() {
+    with_server(|addr| {
+        let resp = post_job(
+            addr,
+            r#"{"kind":"trace","app":"cloverleaf2d","n":16,"iterations":2}"#,
+        );
+        assert_eq!(resp.status, 200);
+        let doc = parse(&resp.body).expect("payload json");
+        let path = doc
+            .get("trace_path")
+            .and_then(Json::as_str)
+            .expect("trace_path")
+            .to_string();
+
+        let trace = request(addr, "GET", &path, None).expect("trace fetch");
+        assert_eq!(trace.status, 200);
+        let chrome = parse(&trace.body).expect("chrome json");
+        assert!(
+            validate_chrome(&chrome).is_empty(),
+            "trace export must validate as Chrome trace_event JSON"
+        );
+    });
+}
+
+#[test]
+fn error_paths_return_structured_statuses() {
+    with_server(|addr| {
+        assert_eq!(post_job(addr, "not json").status, 400);
+        assert_eq!(post_job(addr, r#"{"kind":"teapot"}"#).status, 400);
+        assert_eq!(
+            post_job(addr, r#"{"kind":"figure","figure":2}"#).status,
+            400
+        );
+        assert_eq!(
+            request(addr, "GET", "/trace/999", None)
+                .expect("req")
+                .status,
+            404
+        );
+        assert_eq!(
+            request(addr, "GET", "/nope", None).expect("req").status,
+            404
+        );
+        assert_eq!(
+            request(addr, "GET", "/healthz", None).expect("req").status,
+            200
+        );
+    });
+}

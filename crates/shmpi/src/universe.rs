@@ -71,6 +71,35 @@ impl Universe {
         Self::run_impl(size, placement, false, MailboxKind::from_env(), f).0
     }
 
+    /// Run a universe pinned to a carved core set: the serve-shard entry
+    /// point. `placement` is one shard's disjoint core set (from
+    /// [`bwb_machine::CpuTopology::carve_shards`]); ranks map onto its
+    /// cores in order, messages are priced with the placement-aware
+    /// latency model, and the transport is explicit so the service can put
+    /// the lock-free SPSC rings on its hot path unconditionally (instead
+    /// of the `SHMPI_MAILBOX` env default).
+    ///
+    /// Panics if the shard's core set has fewer cores than ranks — a shard
+    /// never oversubscribes its carve.
+    pub fn run_pinned<F, R>(
+        size: usize,
+        kind: MailboxKind,
+        placement: (RankPlacement, LatencyProfile),
+        f: F,
+    ) -> RunOutput<R>
+    where
+        F: Fn(&mut Comm) -> R + Sync,
+        R: Send,
+    {
+        assert!(
+            placement.0.n_ranks() >= size,
+            "shard core set has {} cores for {} ranks",
+            placement.0.n_ranks(),
+            size
+        );
+        Self::run_impl(size, Some(placement), false, kind, f).0
+    }
+
     /// Like [`Universe::run`] but with communication-event logging enabled
     /// on every rank; returns the per-rank [`CommLog`]s (indexed by rank)
     /// alongside the run output. Feeds `dslcheck::comm` ("commcheck").
@@ -343,6 +372,35 @@ mod tests {
             assert_eq!(l.unreceived_at_teardown, 0);
             assert_eq!(s.unreceived_at_teardown, 0);
         }
+    }
+
+    #[test]
+    fn pinned_universe_runs_on_carved_cores_with_spsc() {
+        use bwb_machine::ShardPolicy;
+        let p = platforms::xeon_8360y();
+        let shards = p.topology.carve_shards(2, ShardPolicy::OnePerNuma);
+        for shard in shards {
+            let out = Universe::run_pinned(4, MailboxKind::Spsc, (shard, p.latency), |c| {
+                let right = (c.rank() + 1) % c.size();
+                let left = (c.rank() + c.size() - 1) % c.size();
+                c.send(right, 9, vec![c.rank() as u32]);
+                c.recv::<u32>(left, 9)[0]
+            });
+            assert_eq!(out.results, vec![3, 0, 1, 2]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cores for")]
+    fn pinned_universe_rejects_oversubscribed_shard() {
+        use bwb_machine::ShardPolicy;
+        let p = platforms::xeon_8360y();
+        let shard = p
+            .topology
+            .carve_shards(p.topology.total_numa() as usize, ShardPolicy::OnePerNuma)
+            .remove(0);
+        let ranks = shard.n_ranks() + 1;
+        Universe::run_pinned(ranks, MailboxKind::Spsc, (shard, p.latency), |_c| ());
     }
 
     #[test]
