@@ -348,6 +348,61 @@ fn leapfrog_update(
     }
 }
 
+/// Declared loop chain for `dslcheck::speccheck`: one leapfrog step over a
+/// parametric `(nx,ny,nz)` interior, rotating the three-slot time window
+/// with the same pair of swaps the driver performs. The distributed
+/// variant prepends the per-step `u_curr` exchange at depth [`RADIUS`]
+/// (`exchange_halo` records one site-less observation) and drops the
+/// energy reduction, which only the local registry run appends.
+pub fn chain_spec(dist: bool) -> bwb_ops::ChainSpec {
+    use bwb_ops::{ChainSpec, DatDecl, Expr, Step};
+    let c = Expr::c;
+    let p = Expr::p;
+    let dat = |name: &'static str| DatDecl {
+        name,
+        halo: RADIUS as isize,
+        extent: [p("nx"), p("ny"), p("nz")],
+        elem_bytes: 4,
+    };
+    let interior = || [c(0), p("nx"), c(0), p("ny"), c(0), p("nz")];
+    let mut body = Vec::new();
+    if dist {
+        body.push(Step::Exchange {
+            dat: 1,
+            depth: RADIUS,
+            site: "",
+        });
+    }
+    body.push(Step::Loop {
+        spec: "acoustic_update",
+        dims: 3,
+        range: interior(),
+        outs: vec![2],
+        ins: vec![1, 0],
+    });
+    body.push(Step::Swap { a: 0, b: 1 });
+    body.push(Step::Swap { a: 1, b: 2 });
+    let epilogue = if dist {
+        Vec::new()
+    } else {
+        vec![Step::Loop {
+            spec: "acoustic_energy",
+            dims: 3,
+            range: interior(),
+            outs: vec![],
+            ins: vec![1],
+        }]
+    };
+    ChainSpec {
+        app: if dist { "acoustic_dist" } else { "acoustic" },
+        params: vec!["nx", "ny", "nz"],
+        dats: vec![dat("u_prev"), dat("u_curr"), dat("u_next")],
+        prologue: Vec::new(),
+        body,
+        epilogue,
+    }
+}
+
 /// Declared access contracts of every loop in this app, for `bwb-dslcheck`.
 pub fn loop_specs() -> Vec<bwb_ops::LoopSpec> {
     use bwb_ops::{ArgSpec as A, LoopSpec as L, Stencil as S};

@@ -978,6 +978,183 @@ fn viscosity_body(dx: f64, dy: f64, out: &mut RowOut2<f64>, ins: &RowIn2<f64>) {
 /// Declared access contracts of every DSL loop in this app, for
 /// `bwb-dslcheck`. (`update_halo`/`update_halo_vel` are hand-rolled fills,
 /// not `par_loop`s, so they carry no contract.)
+/// Declared loop chain for `dslcheck::speccheck`: the exact ordered
+/// loop/exchange/swap stream one [`Clover2::cycle`] materializes at runtime
+/// (plus the two `field_summary` reductions the single-rank registry run
+/// appends), written down symbolically over the parametric local grid
+/// `(nx, ny)`. Instantiating this chain must reproduce, observation for
+/// observation, what [`bwb_ops::access::with_recording_full`] records from
+/// a live run — the static/dynamic cross-check asserts exactly that.
+///
+/// `dist` declares the 4-rank distributed variant: the three cell-field
+/// halo-update sites ("cells0"/"cells1"/"cells2") and the two node-velocity
+/// sites ("vel0"/"vel1") each contribute their recorded exchanges, and the
+/// field-summary epilogue is absent (`run_distributed` gathers instead).
+pub fn chain_spec(dist: bool) -> bwb_ops::ChainSpec {
+    use bwb_ops::{ChainSpec, DatDecl, Expr, Step};
+    let c = Expr::c;
+    let p = Expr::p;
+    let pp = Expr::p_plus;
+    let h = HALO as isize;
+    let cell = |name: &'static str| DatDecl {
+        name,
+        halo: h,
+        extent: [p("nx"), p("ny"), c(1)],
+        elem_bytes: 8,
+    };
+    let node = |name: &'static str| DatDecl {
+        name,
+        halo: h,
+        extent: [pp("nx", 1), pp("ny", 1), c(1)],
+        elem_bytes: 8,
+    };
+    // Slot indices (struct-field identity; runtime names rotate via Swap).
+    const D0: usize = 0;
+    const D1: usize = 1;
+    const E0: usize = 2;
+    const E1: usize = 3;
+    const PR: usize = 4;
+    const VS: usize = 5;
+    const SS: usize = 6;
+    const WD: usize = 7;
+    const WE: usize = 8;
+    const XV0: usize = 9;
+    const XV1: usize = 10;
+    const YV0: usize = 11;
+    const YV1: usize = 12;
+    const WU: usize = 13;
+    const WV: usize = 14;
+    const FX: usize = 15;
+    const FY: usize = 16;
+    let dats = vec![
+        cell("density0"),
+        cell("density1"),
+        cell("energy0"),
+        cell("energy1"),
+        cell("pressure"),
+        cell("viscosity"),
+        cell("soundspeed"),
+        cell("work_d"),
+        cell("work_e"),
+        node("xvel0"),
+        node("xvel1"),
+        node("yvel0"),
+        node("yvel1"),
+        node("work_u"),
+        node("work_v"),
+        DatDecl {
+            name: "vol_flux_x",
+            halo: h,
+            extent: [pp("nx", 1), p("ny"), c(1)],
+            elem_bytes: 8,
+        },
+        DatDecl {
+            name: "vol_flux_y",
+            halo: h,
+            extent: [p("nx"), pp("ny", 1), c(1)],
+            elem_bytes: 8,
+        },
+    ];
+    let cells = || [c(0), p("nx"), c(0), p("ny"), c(0), c(1)];
+    let nodes = || [c(0), pp("nx", 1), c(0), pp("ny", 1), c(0), c(1)];
+    let lp = |spec: &'static str, range: [Expr; 6], outs: Vec<usize>, ins: Vec<usize>| Step::Loop {
+        spec,
+        dims: 2,
+        range,
+        outs,
+        ins,
+    };
+    // `update_halo_cells` iterates its six fields in struct order, noting
+    // one exchange per field on the dim-1 pass (mirror fills are hand
+    // loops and record nothing).
+    let halo_cells = |body: &mut Vec<Step>, site: &'static str| {
+        if dist {
+            for dat in [D0, E0, PR, VS, D1, E1] {
+                body.push(Step::Exchange {
+                    dat,
+                    depth: HALO,
+                    site,
+                });
+            }
+        }
+    };
+    let halo_vel = |body: &mut Vec<Step>, site: &'static str| {
+        if dist {
+            for dat in [XV0, YV0, XV1, YV1] {
+                body.push(Step::Exchange {
+                    dat,
+                    depth: 1,
+                    site,
+                });
+            }
+        }
+    };
+    let mut body = vec![
+        lp("ideal_gas", cells(), vec![PR, SS], vec![D0, E0]),
+        lp("viscosity", cells(), vec![VS], vec![D0, XV0, YV0]),
+    ];
+    halo_cells(&mut body, "cells0");
+    body.push(lp("calc_dt", cells(), vec![], vec![SS, XV0, YV0]));
+    body.push(lp(
+        "accelerate",
+        nodes(),
+        vec![XV1, YV1],
+        vec![D0, PR, VS, XV0, YV0],
+    ));
+    halo_vel(&mut body, "vel0");
+    body.push(lp(
+        "pdv",
+        cells(),
+        vec![E1, D1],
+        vec![D0, E0, PR, VS, XV1, YV1],
+    ));
+    body.push(lp(
+        "flux_calc_x",
+        [c(0), pp("nx", 1), c(0), p("ny"), c(0), c(1)],
+        vec![FX],
+        vec![XV0, XV1],
+    ));
+    body.push(lp(
+        "flux_calc_y",
+        [c(0), p("nx"), c(0), pp("ny", 1), c(0), c(1)],
+        vec![FY],
+        vec![YV0, YV1],
+    ));
+    halo_cells(&mut body, "cells1");
+    body.push(lp("advec_cell_x", cells(), vec![WD, WE], vec![D1, E1, FX]));
+    body.push(Step::Swap { a: D1, b: WD });
+    body.push(Step::Swap { a: E1, b: WE });
+    halo_cells(&mut body, "cells2");
+    body.push(lp("advec_cell_y", cells(), vec![WD, WE], vec![D1, E1, FY]));
+    body.push(Step::Swap { a: D1, b: WD });
+    body.push(Step::Swap { a: E1, b: WE });
+    body.push(lp("advec_mom", nodes(), vec![WU, WV], vec![XV1, YV1]));
+    body.push(lp("reset_field", cells(), vec![D0, E0], vec![D1, E1]));
+    body.push(Step::Swap { a: XV0, b: WU });
+    body.push(Step::Swap { a: YV0, b: WV });
+    halo_vel(&mut body, "vel1");
+    let epilogue = if dist {
+        Vec::new()
+    } else {
+        vec![
+            lp("field_summary", cells(), vec![], vec![D0, E0]),
+            lp("field_summary_ke", cells(), vec![], vec![D0, XV0, YV0]),
+        ]
+    };
+    ChainSpec {
+        app: if dist {
+            "clover2d_dist"
+        } else {
+            "cloverleaf2d"
+        },
+        params: vec!["nx", "ny"],
+        dats,
+        prologue: Vec::new(),
+        body,
+        epilogue,
+    }
+}
+
 pub fn loop_specs() -> Vec<bwb_ops::LoopSpec> {
     use bwb_ops::{ArgSpec as A, LoopSpec as L, Stencil as S};
     // Cell quantity sampled at the four cells around a node.

@@ -676,6 +676,155 @@ impl Clover3 {
 /// `par_loop`s, so they carry no contract.) Data-dependent upwind windows
 /// are declared at their full width; checked execution only flags reads
 /// *outside* a declaration.
+/// Declared loop chain for `dslcheck::speccheck`: the ordered loop/swap
+/// stream of one [`Clover3::cycle`] plus the single `field_summary3`
+/// reduction the registry run appends, symbolic over the cube edge `n`.
+/// There are no recorded exchanges (the 3-D app is single-rank; its
+/// `update_halo` mirrors are hand loops). Each `advec_cell` direction ends
+/// with the density1/energy1 ↔ work double-buffer swap, so three swap
+/// pairs per cycle give the chain a period-2 name rotation — exactly the
+/// runtime behaviour under `mem::swap`.
+pub fn chain_spec() -> bwb_ops::ChainSpec {
+    use bwb_ops::{ChainSpec, DatDecl, Expr, Step};
+    let c = Expr::c;
+    let p = Expr::p;
+    let pp = Expr::p_plus;
+    let h = HALO as isize;
+    let cell = |name: &'static str| DatDecl {
+        name,
+        halo: h,
+        extent: [p("n"), p("n"), p("n")],
+        elem_bytes: 8,
+    };
+    let node = |name: &'static str| DatDecl {
+        name,
+        halo: h,
+        extent: [pp("n", 1), pp("n", 1), pp("n", 1)],
+        elem_bytes: 8,
+    };
+    const D0: usize = 0;
+    const D1: usize = 1;
+    const E0: usize = 2;
+    const E1: usize = 3;
+    const PR: usize = 4;
+    const VS: usize = 5;
+    const SS: usize = 6;
+    const WD: usize = 7;
+    const WE: usize = 8;
+    const XV: usize = 9;
+    const YV: usize = 10;
+    const ZV: usize = 11;
+    const XV1: usize = 12;
+    const YV1: usize = 13;
+    const ZV1: usize = 14;
+    const FX: usize = 15;
+    const FY: usize = 16;
+    const FZ: usize = 17;
+    let dats = vec![
+        cell("density0"),
+        cell("density1"),
+        cell("energy0"),
+        cell("energy1"),
+        cell("pressure"),
+        cell("viscosity"),
+        cell("soundspeed"),
+        cell("work_d"),
+        cell("work_e"),
+        node("xvel"),
+        node("yvel"),
+        node("zvel"),
+        node("xvel1"),
+        node("yvel1"),
+        node("zvel1"),
+        DatDecl {
+            name: "vol_flux_x",
+            halo: h,
+            extent: [pp("n", 1), p("n"), p("n")],
+            elem_bytes: 8,
+        },
+        DatDecl {
+            name: "vol_flux_y",
+            halo: h,
+            extent: [p("n"), pp("n", 1), p("n")],
+            elem_bytes: 8,
+        },
+        DatDecl {
+            name: "vol_flux_z",
+            halo: h,
+            extent: [p("n"), p("n"), pp("n", 1)],
+            elem_bytes: 8,
+        },
+    ];
+    let cells = || [c(0), p("n"), c(0), p("n"), c(0), p("n")];
+    let nodes = || [c(0), pp("n", 1), c(0), pp("n", 1), c(0), pp("n", 1)];
+    let lp = |spec: &'static str, range: [Expr; 6], outs: Vec<usize>, ins: Vec<usize>| Step::Loop {
+        spec,
+        dims: 3,
+        range,
+        outs,
+        ins,
+    };
+    let mut body = vec![
+        lp("ideal_gas3", cells(), vec![PR, SS], vec![D0, E0]),
+        lp("viscosity3", cells(), vec![VS], vec![D0, XV, YV, ZV]),
+        lp("calc_dt3", cells(), vec![], vec![SS, XV, YV, ZV]),
+        lp(
+            "accelerate3",
+            nodes(),
+            vec![XV1, YV1, ZV1],
+            vec![D0, PR, VS, XV, YV, ZV],
+        ),
+        lp(
+            "pdv3",
+            cells(),
+            vec![E1, D1],
+            vec![D0, E0, PR, VS, XV1, YV1, ZV1],
+        ),
+        lp(
+            "flux_calc3_x",
+            [c(0), pp("n", 1), c(0), p("n"), c(0), p("n")],
+            vec![FX],
+            vec![XV, XV1],
+        ),
+        lp(
+            "flux_calc3_y",
+            [c(0), p("n"), c(0), pp("n", 1), c(0), p("n")],
+            vec![FY],
+            vec![YV, YV1],
+        ),
+        lp(
+            "flux_calc3_z",
+            [c(0), p("n"), c(0), p("n"), c(0), pp("n", 1)],
+            vec![FZ],
+            vec![ZV, ZV1],
+        ),
+    ];
+    for (spec, flux) in [
+        ("advec_cell3_x", FX),
+        ("advec_cell3_y", FY),
+        ("advec_cell3_z", FZ),
+    ] {
+        body.push(lp(spec, cells(), vec![WD, WE], vec![D1, E1, flux]));
+        body.push(Step::Swap { a: D1, b: WD });
+        body.push(Step::Swap { a: E1, b: WE });
+    }
+    body.push(lp(
+        "advec_mom3",
+        nodes(),
+        vec![XV, YV, ZV],
+        vec![XV1, YV1, ZV1],
+    ));
+    body.push(lp("reset_field3", cells(), vec![D0, E0], vec![D1, E1]));
+    ChainSpec {
+        app: "cloverleaf3d",
+        params: vec!["n"],
+        dats,
+        prologue: Vec::new(),
+        body,
+        epilogue: vec![lp("field_summary3", cells(), vec![], vec![D0, E0])],
+    }
+}
+
 pub fn loop_specs() -> Vec<bwb_ops::LoopSpec> {
     use bwb_ops::{ArgSpec as A, LoopSpec as L, Stencil as S};
     // Node quantity sampled at the 8 corners of a cell: {0,1}³.

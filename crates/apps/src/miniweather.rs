@@ -695,6 +695,84 @@ impl MiniWeather {
     }
 }
 
+/// Declared loop chain for `dslcheck::speccheck`: two full time steps of
+/// the serial solver — the dimensional-split order alternates
+/// x,z / z,x via `direction_switch`, so a two-step body is the natural
+/// period — followed by the two `mw_totals` mass/energy reductions the
+/// registry run appends. Slots 0‑3 are the state fields, 4‑7 the RK
+/// temporaries, 8‑11 the tendencies. Each directional sub-cycle is
+/// tend → 4 copy-updates, twice, then tend → 4 in-place updates (the two
+/// `mw_update` arities). The distributed ring exchange is a hand-rolled
+/// `comm.send` fill that records nothing, so only the serial chain is
+/// declared.
+pub fn chain_spec() -> bwb_ops::ChainSpec {
+    use bwb_ops::{ChainSpec, DatDecl, Expr, Step};
+    const SLOT_NAMES: [&str; 12] = [
+        "dens",
+        "umom",
+        "wmom",
+        "rhot",
+        "dens_tmp",
+        "umom_tmp",
+        "wmom_tmp",
+        "rhot_tmp",
+        "dens_tend",
+        "umom_tend",
+        "wmom_tend",
+        "rhot_tend",
+    ];
+    let c = Expr::c;
+    let p = Expr::p;
+    let dats = SLOT_NAMES
+        .iter()
+        .map(|name| DatDecl {
+            name,
+            halo: 2,
+            extent: [p("nx"), p("nz"), Expr::c(1)],
+            elem_bytes: 8,
+        })
+        .collect();
+    let interior = || [c(0), p("nx"), c(0), p("nz"), c(0), c(1)];
+    let lp = |spec: &'static str, outs: Vec<usize>, ins: Vec<usize>| Step::Loop {
+        spec,
+        dims: 2,
+        range: interior(),
+        outs,
+        ins,
+    };
+    let mut body = Vec::new();
+    let dirstep = |body: &mut Vec<Step>, x_dir: bool| {
+        let tend_spec = if x_dir { "mw_tend_x" } else { "mw_tend_z" };
+        let tend = |src: usize| lp(tend_spec, vec![8, 9, 10, 11], (src..src + 4).collect());
+        // Stages 1 and 2: tmp = state + frac·T(src), the copy arity.
+        for src in [0usize, 4] {
+            body.push(tend(src));
+            for id in 0..4 {
+                body.push(lp("mw_update", vec![4 + id], vec![id, 8 + id]));
+            }
+        }
+        // Stage 3: state += dt·T(tmp), the in-place arity.
+        body.push(tend(4));
+        for id in 0..4 {
+            body.push(lp("mw_update", vec![id], vec![8 + id]));
+        }
+    };
+    for x_dir in [true, false, false, true] {
+        dirstep(&mut body, x_dir);
+    }
+    ChainSpec {
+        app: "miniweather",
+        params: vec!["nx", "nz"],
+        dats,
+        prologue: Vec::new(),
+        body,
+        epilogue: vec![
+            lp("mw_totals", vec![], vec![0]),
+            lp("mw_totals", vec![], vec![3]),
+        ],
+    }
+}
+
 /// Declared access contracts of every loop in this app, for `bwb-dslcheck`.
 ///
 /// `mw_update` runs in two arities: copy-update (`dst = init + dt·tend`, two

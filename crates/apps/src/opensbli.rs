@@ -575,6 +575,91 @@ impl OpenSbli {
     }
 }
 
+/// Declared loop chain for `dslcheck::speccheck`: one SSP-RK3 step over a
+/// parametric `n³` interior. Slots 0‑4 are `q`, 5‑9 `q1`, 10‑14 `q2`,
+/// 15‑19 `rhs`, 20‑49 the 30 derivative work arrays (Store‑All only —
+/// Store‑None never touches them, and unused slots are harmless).
+/// `periodic_halos` is a hand-rolled fill that records nothing, so the
+/// chain carries no exchanges; the declared chain always takes the
+/// unfused path, matching the `!recording_active()` guard in
+/// [`OpenSbli::rhs_store_all`].
+pub fn chain_spec(store_all: bool) -> bwb_ops::ChainSpec {
+    use bwb_ops::{ChainSpec, DatDecl, Expr, Step};
+    const NAMES: [&str; 50] = [
+        "q0", "q1", "q2", "q3", "q4", "q1_0", "q1_1", "q1_2", "q1_3", "q1_4", "q2_0", "q2_1",
+        "q2_2", "q2_3", "q2_4", "rhs0", "rhs1", "rhs2", "rhs3", "rhs4", "wk0", "wk1", "wk2", "wk3",
+        "wk4", "wk5", "wk6", "wk7", "wk8", "wk9", "wk10", "wk11", "wk12", "wk13", "wk14", "wk15",
+        "wk16", "wk17", "wk18", "wk19", "wk20", "wk21", "wk22", "wk23", "wk24", "wk25", "wk26",
+        "wk27", "wk28", "wk29",
+    ];
+    let c = Expr::c;
+    let p = Expr::p;
+    let dats = NAMES
+        .iter()
+        .map(|name| DatDecl {
+            name,
+            halo: RADIUS,
+            extent: [p("n"), p("n"), p("n")],
+            elem_bytes: 8,
+        })
+        .collect();
+    let interior = || [c(0), p("n"), c(0), p("n"), c(0), p("n")];
+    let lp = |spec: &'static str, outs: Vec<usize>, ins: Vec<usize>| Step::Loop {
+        spec,
+        dims: 3,
+        range: interior(),
+        outs,
+        ins,
+    };
+    let mut body = Vec::new();
+    let rhs = |body: &mut Vec<Step>, base: usize| {
+        if store_all {
+            for f in 0..NFIELDS {
+                body.push(lp(
+                    "sbli_sa_derivs",
+                    (20 + 6 * f..20 + 6 * f + 6).collect(),
+                    vec![base + f],
+                ));
+            }
+            for f in 0..NFIELDS {
+                body.push(lp(
+                    "sbli_sa_combine",
+                    vec![15 + f],
+                    (20 + 6 * f..20 + 6 * f + 6).collect(),
+                ));
+            }
+        } else {
+            for f in 0..NFIELDS {
+                body.push(lp("sbli_sn_fused", vec![15 + f], vec![base + f]));
+            }
+        }
+    };
+    rhs(&mut body, 0);
+    for f in 0..NFIELDS {
+        body.push(lp("sbli_rk", vec![5 + f], vec![f, 15 + f]));
+    }
+    rhs(&mut body, 5);
+    for f in 0..NFIELDS {
+        body.push(lp("sbli_rk", vec![10 + f], vec![f, 5 + f, 15 + f]));
+    }
+    rhs(&mut body, 10);
+    for f in 0..NFIELDS {
+        body.push(lp("sbli_rk", vec![f], vec![10 + f, 15 + f]));
+    }
+    ChainSpec {
+        app: if store_all {
+            "opensbli_sa"
+        } else {
+            "opensbli_sn"
+        },
+        params: vec!["n"],
+        dats,
+        prologue: Vec::new(),
+        body,
+        epilogue: Vec::new(),
+    }
+}
+
 /// Declared access contracts of every DSL loop in this app (both
 /// variants), for `bwb-dslcheck`. (`periodic_halos` is a hand-rolled fill,
 /// not a `par_loop`, so it carries no contract.)

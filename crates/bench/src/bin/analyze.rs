@@ -8,6 +8,7 @@
 //! cargo run --release -p bwb-bench --bin analyze -- --json      # JSON only
 //! cargo run --release -p bwb-bench --bin analyze -- --dataflow  # whole-chain
 //! cargo run --release -p bwb-bench --bin analyze -- --comm      # commcheck
+//! cargo run --release -p bwb-bench --bin analyze -- --static    # speccheck
 //! cargo run --release -p bwb-bench --bin analyze -- --export-plans plans/
 //! ```
 //!
@@ -120,6 +121,116 @@ fn dataflow_report(json_only: bool, export_dir: Option<&str>) -> usize {
     total
 }
 
+/// `--static`: execution-free certification. Derives every app's
+/// optimization certificates purely from its declared chain, then
+/// cross-validates against the recording-derived certificates — any
+/// divergence (either direction) or parametric instability counts toward
+/// the gating total. The table shows per-app analyzer wall times: the
+/// static path never executes a kernel, so it is the number to compare
+/// against the cost of an instrumented recording run.
+fn static_report(json_only: bool, export_dir: Option<&str>) -> usize {
+    let statics = bwb_dslcheck::static_all();
+    let checks = bwb_dslcheck::crosscheck_all();
+
+    if !json_only {
+        eprintln!(
+            "{:<14} {:>5} {:>4} {:>4} {:>4} {:>3} {:>9} {:>9} {:>6}  status",
+            "app", "loops", "exch", "grps", "elid", "nt", "static", "recorded", "viol"
+        );
+        for s in &statics {
+            let r = &s.report;
+            let cc = checks.iter().find(|c| c.app == r.app);
+            let dynamic_us = cc
+                .map(|c| format!("{:>7}us", c.dynamic_nanos / 1_000))
+                .unwrap_or_else(|| "        -".into());
+            if !r.analyzed && r.violations.is_empty() {
+                let why = r.limitation.map(|l| l.label()).unwrap_or("limited");
+                eprintln!(
+                    "{:<14}     -    -    -    -   -         -         -      -  limited ({why})",
+                    r.app
+                );
+                continue;
+            }
+            let diverged = cc.map(|c| !c.exact()).unwrap_or(false);
+            let status = if r.clean() && !diverged { "ok" } else { "FAIL" };
+            eprintln!(
+                "{:<14} {:>5} {:>4} {:>4} {:>4} {:>3} {:>7}us {dynamic_us} {:>6}  {status}",
+                r.app,
+                r.loops,
+                r.exchanges,
+                r.groups.len(),
+                r.elisions.len(),
+                r.nt.len(),
+                s.nanos / 1_000,
+                r.violations.len(),
+            );
+            for v in &r.violations {
+                eprintln!("    {v}");
+            }
+            if let Some(c) = cc {
+                for v in c.divergent.iter().chain(&c.missed).chain(&c.unstable) {
+                    eprintln!("    {v}");
+                }
+            }
+        }
+    }
+
+    if let Some(dir) = export_dir {
+        std::fs::create_dir_all(dir).expect("create export dir");
+        for s in statics.iter().filter(|s| s.report.analyzed) {
+            if let Some(plan) = bwb_dslcheck::static_plan(&s.report.app) {
+                let path = std::path::Path::new(dir).join(format!("{}.static.json", s.report.app));
+                std::fs::write(&path, plan.to_json()).expect("write static plan");
+                if !json_only {
+                    eprintln!("wrote {}", path.display());
+                }
+            }
+        }
+    }
+
+    let static_violations: usize = statics.iter().map(|s| s.report.violations.len()).sum();
+    let divergences: usize = checks
+        .iter()
+        .map(|c| c.divergent.len() + c.missed.len() + c.unstable.len())
+        .sum();
+    let apps = statics
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"static_ns\":{},\"report\":{}}}",
+                s.nanos,
+                s.report.to_json()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let crosschecks = checks
+        .iter()
+        .map(|c| {
+            let list = |vs: &[bwb_dslcheck::Violation]| {
+                vs.iter().map(|v| v.to_json()).collect::<Vec<_>>().join(",")
+            };
+            format!(
+                "{{\"app\":\"{}\",\"static_certs\":{},\"dynamic_certs\":{},\
+                 \"static_ns\":{},\"dynamic_ns\":{},\
+                 \"divergent\":[{}],\"missed\":[{}],\"unstable\":[{}]}}",
+                c.app,
+                c.static_certs,
+                c.dynamic_certs,
+                c.static_nanos,
+                c.dynamic_nanos,
+                list(&c.divergent),
+                list(&c.missed),
+                list(&c.unstable),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let total = static_violations + divergences;
+    println!("{{\"total_violations\":{total},\"apps\":[{apps}],\"crosscheck\":[{crosschecks}]}}");
+    total
+}
+
 fn parametric_report(json_only: bool) -> usize {
     let reports = bwb_dslcheck::parametric_check_all();
 
@@ -226,7 +337,12 @@ fn main() -> ExitCode {
             .expect("--export-plans needs a directory")
             .clone()
     });
-    let dataflow = args.iter().any(|a| a == "--dataflow") || export_dir.is_some();
+    // `--static` switches to execution-free certification: derive every
+    // app's certificates from its declared chain alone, cross-check them
+    // against the recording-derived ones, and gate on any divergence. With
+    // `--export-plans <dir>` it writes `<dir>/<app>.static.json` plans.
+    let static_mode = args.iter().any(|a| a == "--static");
+    let dataflow = (args.iter().any(|a| a == "--dataflow") || export_dir.is_some()) && !static_mode;
 
     let total = if comm || parametric {
         let mut total = if comm { comm_report(json_only) } else { 0 };
@@ -234,6 +350,8 @@ fn main() -> ExitCode {
             total += parametric_report(json_only);
         }
         total
+    } else if static_mode {
+        static_report(json_only, export_dir.as_deref())
     } else if dataflow {
         dataflow_report(json_only, export_dir.as_deref())
     } else {

@@ -382,8 +382,30 @@ fn emit_bench(results: &[AppResult], reps: usize) {
         })
         .collect::<Vec<_>>()
         .join(",");
-    let json =
-        format!("{{\"bench\":\"optexec\",\"host\":\"{host}\",\"reps\":{reps},\"apps\":[{apps}]}}");
+    // Analyzer wall-times, static (execution-free speccheck over the
+    // declared chain) vs recorded (instrumented run + analysis), so the
+    // certification-latency numbers in EXPERIMENTS.md are pinned to a
+    // snapshot alongside the executor measurements they certify.
+    let speccheck = bwb_dslcheck::crosscheck_all()
+        .iter()
+        .map(|c| {
+            format!(
+                concat!(
+                    "{{\"app\":\"{}\",\"certs\":{},",
+                    "\"static_us\":{:.1},\"recorded_us\":{:.1}}}"
+                ),
+                c.app,
+                c.static_certs,
+                c.static_nanos as f64 / 1e3,
+                c.dynamic_nanos as f64 / 1e3,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let json = format!(
+        "{{\"bench\":\"optexec\",\"host\":\"{host}\",\"reps\":{reps},\
+         \"apps\":[{apps}],\"speccheck\":[{speccheck}]}}"
+    );
     let path = format!("BENCH_{host}.json");
     std::fs::write(&path, &json).expect("write bench json");
     eprintln!("wrote {path}");

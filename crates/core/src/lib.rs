@@ -18,6 +18,7 @@ pub use bwb_machine as machine;
 pub use bwb_memsim as memsim;
 pub use bwb_op2 as op2;
 pub use bwb_ops as ops;
+pub use bwb_ops::hash;
 pub use bwb_perfmodel as perfmodel;
 pub use bwb_report as report;
 pub use bwb_serve as serve;

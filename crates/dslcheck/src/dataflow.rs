@@ -23,6 +23,10 @@ pub enum Limitation {
     OutputOnlyRecording,
     /// The app has no DSL loops at all (hand-rolled kernel).
     NoDslLoops,
+    /// The app's loops address data through runtime index maps
+    /// (edge→cell, cell→node connectivity), so no parametric chain can
+    /// describe its footprints — static certification is out of scope.
+    IndirectAccesses,
 }
 
 impl Limitation {
@@ -31,6 +35,7 @@ impl Limitation {
         match self {
             Limitation::OutputOnlyRecording => "output-only recording",
             Limitation::NoDslLoops => "no DSL loops",
+            Limitation::IndirectAccesses => "indirect accesses",
         }
     }
 
@@ -42,6 +47,10 @@ impl Limitation {
                  whole-chain dataflow over closure reads would be unsound"
             }
             Limitation::NoDslLoops => "no DSL loops: the kernel is hand-rolled and records nothing",
+            Limitation::IndirectAccesses => {
+                "indirect accesses: loops address data through runtime index maps, \
+                 so no parametric chain can describe their footprints"
+            }
         }
     }
 }

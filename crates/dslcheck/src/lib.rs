@@ -50,6 +50,7 @@ pub mod plan;
 pub mod race;
 pub mod registry;
 pub mod replay;
+pub mod speccheck;
 pub mod traffic;
 pub mod violation;
 
@@ -67,8 +68,12 @@ pub use lints::{
 };
 pub use plan::{check_chain_plan, check_halo_depth};
 pub use race::check_unstructured;
-pub use registry::{check_all, dataflow_all, AppReport};
+pub use registry::{
+    check_all, crosscheck_all, dataflow_all, static_all, static_chain, static_plan,
+    static_report_for, AppReport, CrosscheckReport, StaticAppReport,
+};
 pub use replay::{replay, ReplayConfig, ReplayStats};
+pub use speccheck::{analyze_static, crosscheck, stability, Crosscheck};
 pub use traffic::{
     check_streaming_claims, derive as derive_traffic, nt_certs, nt_certs_with_floor, AppTraffic,
     DEFAULT_NT_MIN_RUN_BYTES, DEFAULT_RESIDENCY_BYTES,

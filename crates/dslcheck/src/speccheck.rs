@@ -1,0 +1,438 @@
+//! speccheck — execution-free static certification of optimization plans.
+//!
+//! The dynamic pipeline records an app under instrumented execution and
+//! derives certificates (`FusionGroupCert` / `ElisionCert` / `NtCert`)
+//! from the observed loop/exchange stream. This module derives the *same*
+//! certificates without executing anything: each app declares its loop
+//! chain once as a [`ChainSpec`] — an ordered, parametric program of
+//! loops, halo exchanges, and buffer swaps over symbolically-sized dats —
+//! and [`analyze_static`] abstractly interprets that declaration into a
+//! synthetic [`Recording`] which the unmodified [`DataflowReport`]
+//! analyzers consume.
+//!
+//! # Abstract domains
+//!
+//! Three abstractions make the synthetic recording a faithful stand-in
+//! for an instrumented run:
+//!
+//! * **Per-field def-use timelines.** `instantiate` threads a name table
+//!   through the step stream; `Step::Swap` permutes it exactly as the
+//!   drivers' `mem::swap` permutes buffer identities at runtime, so each
+//!   field's sequence of writes, reads, and exchanges lands in the same
+//!   order the recorder would observe.
+//! * **Stencil-footprint reachability.** Synthetic `ArgObs` carry *empty*
+//!   observed-offset sets. The def-use graph joins observed radii with
+//!   declared stencil radii via `max`, so a clean registry (observed ⊆
+//!   declared, enforced by checked execution) makes the declared radius
+//!   the join in both pipelines — footprints agree without sampling a
+//!   single access.
+//! * **Halo-validity state machines.** `Step::Exchange` lands in the
+//!   timeline at its loop-ordinal position, driving the ghost
+//!   valid/stale/refreshed automaton the elision certifier walks — same
+//!   transitions, symbolic grid.
+//!
+//! # Soundness
+//!
+//! Certificates are functions of the def-use graph alone, and the graph
+//! is a function of `(specs, recording)`. [`crosscheck`] makes the
+//! remaining gap — "does the declared stream match the executed stream?"
+//! — a checked claim: any certificate derived statically but absent
+//! dynamically (or vice versa) becomes a
+//! [`Kind::StaticDynamicDivergence`] violation, and CI fails on it. A
+//! chain that does not even validate (unknown contract, unbound
+//! parameter, bad slot, inconsistent geometry) yields
+//! [`Kind::UnderspecifiedChain`] instead of certificates.
+//!
+//! [`stability`] adds a parametricity check: the position-free cert
+//! projections must not change when the chain runs one more iteration,
+//! catching declarations that only coincidentally match at the CI size.
+
+use crate::dataflow::DataflowReport;
+use crate::violation::{Kind, Violation};
+use bwb_ops::access::Recording;
+use bwb_ops::{Binding, ChainSpec, LoopSpec};
+use std::collections::BTreeSet;
+
+/// Statically analyze a declared chain: validate it against the loop
+/// contracts, instantiate the synthetic recording at `binding`/`iters`,
+/// and run the standard dataflow analysis over it. `Err` carries
+/// [`Kind::UnderspecifiedChain`] violations; nothing is certified from a
+/// malformed declaration.
+pub fn analyze_static(
+    spec: &ChainSpec,
+    specs: &[LoopSpec],
+    binding: &Binding,
+    iters: usize,
+) -> Result<DataflowReport, Vec<Violation>> {
+    let errs = spec.validate(specs);
+    if !errs.is_empty() {
+        return Err(errs
+            .into_iter()
+            .map(|e| Violation {
+                app: spec.app.to_string(),
+                kind: Kind::UnderspecifiedChain {
+                    detail: e.to_string(),
+                },
+            })
+            .collect());
+    }
+    let rec = spec.instantiate(binding, iters).map_err(|e| {
+        vec![Violation {
+            app: spec.app.to_string(),
+            kind: Kind::UnderspecifiedChain {
+                detail: e.to_string(),
+            },
+        }]
+    })?;
+    Ok(DataflowReport::analyze(spec.app, specs, &rec))
+}
+
+/// Like [`analyze_static`] but also returns the synthetic recording (the
+/// executor-facing entry: `bwb-serve` plans jobs from it without any
+/// worker executing a recording pass).
+pub fn instantiate_checked(
+    spec: &ChainSpec,
+    specs: &[LoopSpec],
+    binding: &Binding,
+    iters: usize,
+) -> Result<Recording, Vec<Violation>> {
+    let errs = spec.validate(specs);
+    if !errs.is_empty() {
+        return Err(errs
+            .into_iter()
+            .map(|e| Violation {
+                app: spec.app.to_string(),
+                kind: Kind::UnderspecifiedChain {
+                    detail: e.to_string(),
+                },
+            })
+            .collect());
+    }
+    spec.instantiate(binding, iters).map_err(|e| {
+        vec![Violation {
+            app: spec.app.to_string(),
+            kind: Kind::UnderspecifiedChain {
+                detail: e.to_string(),
+            },
+        }]
+    })
+}
+
+/// The two directions a static/dynamic comparison can diverge in.
+#[derive(Debug, Default)]
+pub struct Crosscheck {
+    /// Certificates the chain derived that the recorded run refutes —
+    /// unsound static claims. Any entry is a hard failure.
+    pub divergent: Vec<Violation>,
+    /// Certificates the recorded run derived that the chain missed —
+    /// incomplete (not unsound) static coverage. Zero for a faithful
+    /// declaration.
+    pub missed: Vec<Violation>,
+}
+
+impl Crosscheck {
+    /// Static certs ⊆ dynamic certs (the soundness direction).
+    pub fn sound(&self) -> bool {
+        self.divergent.is_empty()
+    }
+
+    /// Exact agreement in both directions.
+    pub fn exact(&self) -> bool {
+        self.divergent.is_empty() && self.missed.is_empty()
+    }
+}
+
+fn diff_family(
+    app: &str,
+    family: &str,
+    stat: &BTreeSet<String>,
+    dynamic: &BTreeSet<String>,
+    out: &mut Crosscheck,
+) {
+    for cert in stat.difference(dynamic) {
+        out.divergent.push(Violation {
+            app: app.to_string(),
+            kind: Kind::StaticDynamicDivergence {
+                family: family.to_string(),
+                cert: cert.clone(),
+                static_only: true,
+            },
+        });
+    }
+    for cert in dynamic.difference(stat) {
+        out.missed.push(Violation {
+            app: app.to_string(),
+            kind: Kind::StaticDynamicDivergence {
+                family: family.to_string(),
+                cert: cert.clone(),
+                static_only: false,
+            },
+        });
+    }
+}
+
+fn fusion_set(r: &DataflowReport) -> BTreeSet<String> {
+    r.groups
+        .iter()
+        .map(|g| format!("[{}] {}", g.start, g.names.join("+")))
+        .collect()
+}
+
+fn elision_set(r: &DataflowReport) -> BTreeSet<String> {
+    r.elisions
+        .iter()
+        .map(|e| format!("{}:{} depth {}", e.site, e.dat, e.depth))
+        .collect()
+}
+
+fn nt_set(r: &DataflowReport) -> BTreeSet<String> {
+    r.nt.iter()
+        .map(|n| format!("{}:{}", n.loop_name, n.dat))
+        .collect()
+}
+
+fn lint_set(r: &DataflowReport) -> BTreeSet<String> {
+    r.violations
+        .iter()
+        .map(|v| format!("{}: {}", v.kind.tag(), v.kind))
+        .collect()
+}
+
+/// Cross-validate a statically derived report against a recording-derived
+/// one, certificate family by certificate family. Lint verdicts
+/// (dead stores, exchange lints) are compared too: the static analyzer
+/// must neither invent nor miss a diagnostic.
+pub fn crosscheck(stat: &DataflowReport, dynamic: &DataflowReport) -> Crosscheck {
+    let mut out = Crosscheck::default();
+    let app = stat.app.as_str();
+    diff_family(
+        app,
+        "fusion",
+        &fusion_set(stat),
+        &fusion_set(dynamic),
+        &mut out,
+    );
+    diff_family(
+        app,
+        "elision",
+        &elision_set(stat),
+        &elision_set(dynamic),
+        &mut out,
+    );
+    diff_family(app, "nt", &nt_set(stat), &nt_set(dynamic), &mut out);
+    diff_family(app, "lint", &lint_set(stat), &lint_set(dynamic), &mut out);
+    if stat.loops != dynamic.loops {
+        out.divergent.push(Violation {
+            app: app.to_string(),
+            kind: Kind::StaticDynamicDivergence {
+                family: "stream".to_string(),
+                cert: format!(
+                    "declared chain yields {} loops, recording has {}",
+                    stat.loops, dynamic.loops
+                ),
+                static_only: true,
+            },
+        });
+    }
+    if stat.exchanges != dynamic.exchanges {
+        out.divergent.push(Violation {
+            app: app.to_string(),
+            kind: Kind::StaticDynamicDivergence {
+                family: "stream".to_string(),
+                cert: format!(
+                    "declared chain yields {} exchanges, recording has {}",
+                    stat.exchanges, dynamic.exchanges
+                ),
+                static_only: true,
+            },
+        });
+    }
+    out
+}
+
+/// Parametric-stability check: re-derive the certificates at one more
+/// body iteration and require the position-free projections to agree —
+/// elision and streaming-store certs are site/name-keyed and must be
+/// identical; every fusion-group *shape* (its name vector) present at
+/// `iters` must recur at `iters + 1`. A chain whose certs shift with the
+/// iteration count only coincidentally matched the recorded run, which is
+/// exactly the underspecification this flags.
+pub fn stability(
+    spec: &ChainSpec,
+    specs: &[LoopSpec],
+    binding: &Binding,
+    iters: usize,
+) -> Vec<Violation> {
+    let (a, b) = match (
+        analyze_static(spec, specs, binding, iters),
+        analyze_static(spec, specs, binding, iters + 1),
+    ) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => return e,
+    };
+    let mut out = Vec::new();
+    let mut unstable = |detail: String| {
+        out.push(Violation {
+            app: spec.app.to_string(),
+            kind: Kind::UnderspecifiedChain { detail },
+        });
+    };
+    if elision_set(&a) != elision_set(&b) {
+        unstable(format!(
+            "elision certs unstable across iteration count: {:?} at {} vs {:?} at {}",
+            elision_set(&a),
+            iters,
+            elision_set(&b),
+            iters + 1
+        ));
+    }
+    if nt_set(&a) != nt_set(&b) {
+        unstable(format!(
+            "streaming-store certs unstable across iteration count: {:?} at {} vs {:?} at {}",
+            nt_set(&a),
+            iters,
+            nt_set(&b),
+            iters + 1
+        ));
+    }
+    let shapes = |r: &DataflowReport| -> BTreeSet<String> {
+        r.groups.iter().map(|g| g.names.join("+")).collect()
+    };
+    for missing in shapes(&a).difference(&shapes(&b)) {
+        unstable(format!(
+            "fusion group shape '{missing}' present at {} iterations vanishes at {}",
+            iters,
+            iters + 1
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwb_ops::{ArgSpec, ChainSpec, DatDecl, Expr, Stencil, Step};
+
+    fn toy_specs() -> Vec<LoopSpec> {
+        vec![
+            LoopSpec::new(
+                "stage_a",
+                vec![ArgSpec::write("tmp")],
+                vec![ArgSpec::read("src", Stencil::plus2(1))],
+            ),
+            LoopSpec::new(
+                "stage_b",
+                vec![ArgSpec::write("dst")],
+                vec![ArgSpec::read("tmp", Stencil::plus2(1))],
+            ),
+        ]
+    }
+
+    fn toy_chain() -> ChainSpec {
+        let c = Expr::c;
+        let p = Expr::p;
+        let dat = |name: &'static str| DatDecl {
+            name,
+            halo: 1,
+            extent: [p("n"), p("n"), Expr::c(1)],
+            elem_bytes: 8,
+        };
+        let range = || [c(0), p("n"), c(0), p("n"), c(0), c(1)];
+        ChainSpec {
+            app: "toy",
+            params: vec!["n"],
+            dats: vec![dat("src"), dat("tmp"), dat("dst")],
+            prologue: Vec::new(),
+            body: vec![
+                Step::Loop {
+                    spec: "stage_a",
+                    dims: 2,
+                    range: range(),
+                    outs: vec![1],
+                    ins: vec![0],
+                },
+                Step::Loop {
+                    spec: "stage_b",
+                    dims: 2,
+                    range: range(),
+                    outs: vec![2],
+                    ins: vec![1],
+                },
+            ],
+            epilogue: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn static_analysis_of_valid_chain_succeeds() {
+        let specs = toy_specs();
+        let b = Binding::new().set("n", 16);
+        let rep = analyze_static(&toy_chain(), &specs, &b, 2).expect("valid chain");
+        assert_eq!(rep.loops, 4);
+        // The toy chain has a genuine inter-iteration dead store (nothing
+        // reads `dst` before the next iteration overwrites it) and the
+        // static analyzer finds it without executing a single kernel.
+        assert!(
+            rep.violations
+                .iter()
+                .any(|v| matches!(&v.kind, Kind::DeadStore { dat, .. } if dat == "dst")),
+            "{:?}",
+            rep.violations
+        );
+    }
+
+    #[test]
+    fn unknown_contract_is_underspecified_chain() {
+        let mut chain = toy_chain();
+        if let Step::Loop { spec, .. } = &mut chain.body[0] {
+            *spec = "no_such_loop";
+        }
+        let b = Binding::new().set("n", 16);
+        let errs = analyze_static(&chain, &toy_specs(), &b, 1).unwrap_err();
+        assert!(errs
+            .iter()
+            .all(|v| matches!(v.kind, Kind::UnderspecifiedChain { .. })));
+        assert!(!errs.is_empty());
+    }
+
+    #[test]
+    fn unbound_param_is_underspecified_chain() {
+        let b = Binding::new(); // "n" missing
+        let errs = analyze_static(&toy_chain(), &toy_specs(), &b, 1).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v.kind, Kind::UnderspecifiedChain { .. })));
+    }
+
+    #[test]
+    fn identical_reports_crosscheck_exactly() {
+        let specs = toy_specs();
+        let b = Binding::new().set("n", 16);
+        let rep = analyze_static(&toy_chain(), &specs, &b, 2).unwrap();
+        let cc = crosscheck(&rep, &rep);
+        assert!(cc.exact());
+    }
+
+    #[test]
+    fn planted_stream_divergence_is_detected() {
+        // Same chain, one fewer iteration on the "dynamic" side: every
+        // position-indexed cert family shifts, and the stream lengths
+        // disagree — the crosscheck must flag it in the hard direction.
+        let specs = toy_specs();
+        let b = Binding::new().set("n", 16);
+        let stat = analyze_static(&toy_chain(), &specs, &b, 3).unwrap();
+        let dynamic = analyze_static(&toy_chain(), &specs, &b, 2).unwrap();
+        let cc = crosscheck(&stat, &dynamic);
+        assert!(!cc.sound(), "divergence not detected");
+        assert!(cc
+            .divergent
+            .iter()
+            .any(|v| matches!(&v.kind, Kind::StaticDynamicDivergence { family, .. } if family == "stream")));
+    }
+
+    #[test]
+    fn toy_chain_is_parametrically_stable() {
+        let b = Binding::new().set("n", 16);
+        assert!(stability(&toy_chain(), &toy_specs(), &b, 2).is_empty());
+    }
+}

@@ -220,6 +220,26 @@ pub enum Kind {
     /// template (per-rank schedules diverge, or a re-lift at a sampled
     /// rank count disagreed with the certified template).
     TemplateDivergence { detail: String },
+    /// A certificate derived statically from the declared chain is not
+    /// among the certificates derived from the recorded run (or vice
+    /// versa) — the declaration and the executable disagree about the
+    /// loop/exchange stream, so the static plan cannot be trusted.
+    StaticDynamicDivergence {
+        /// Which certificate family diverged ("fusion", "elision", "nt",
+        /// "dead_store", "exchange").
+        family: String,
+        /// Human-readable rendering of the divergent certificate.
+        cert: String,
+        /// True when the cert exists statically but not dynamically (an
+        /// unsound static claim); false for the merely-incomplete
+        /// direction (dynamic cert the chain failed to predict).
+        static_only: bool,
+    },
+    /// The declared chain itself is malformed: a step references an
+    /// unknown loop contract, an unbound parameter, an out-of-range dat
+    /// slot, or inconsistent geometry — static analysis refuses to
+    /// certify anything from it.
+    UnderspecifiedChain { detail: String },
 }
 
 impl Kind {
@@ -252,6 +272,8 @@ impl Kind {
             Kind::ParametricDeadlock { .. } => "parametric_deadlock",
             Kind::TagCollision { .. } => "tag_collision",
             Kind::TemplateDivergence { .. } => "template_divergence",
+            Kind::StaticDynamicDivergence { .. } => "static_dynamic_divergence",
+            Kind::UnderspecifiedChain { .. } => "underspecified_chain",
         }
     }
 }
@@ -503,6 +525,21 @@ impl fmt::Display for Kind {
             ),
             Kind::TemplateDivergence { detail } => {
                 write!(f, "cannot lift a rank-parametric template: {detail}")
+            }
+            Kind::StaticDynamicDivergence {
+                family,
+                cert,
+                static_only,
+            } => {
+                let dir = if *static_only {
+                    "statically derived but refuted by the recorded run"
+                } else {
+                    "derived from the recorded run but missed by the declared chain"
+                };
+                write!(f, "{family} certificate {dir}: {cert}")
+            }
+            Kind::UnderspecifiedChain { detail } => {
+                write!(f, "declared chain is underspecified: {detail}")
             }
         }
     }

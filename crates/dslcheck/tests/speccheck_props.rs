@@ -1,0 +1,258 @@
+//! Property tests for `dslcheck::speccheck`: randomized chain families and
+//! permutations, with one planted negative per violation class the static
+//! analyzer introduces (`StaticDynamicDivergence`, `UnderspecifiedChain`).
+
+use bwb_dslcheck::{analyze_static, crosscheck, DataflowReport, Kind};
+use bwb_ops::{ArgSpec, Binding, ChainSpec, DatDecl, Expr, LoopSpec, Stencil, Step};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const FIELDS: [&str; 7] = ["f0", "f1", "f2", "f3", "f4", "f5", "f6"];
+const STAGES: [&str; 6] = ["st0", "st1", "st2", "st3", "st4", "st5"];
+
+/// Loop contracts for a `k`-stage pipeline `f0 → f1 → … → fk`, each stage
+/// reading its input at `radius`.
+fn pipeline_specs(k: usize, radius: isize) -> Vec<LoopSpec> {
+    (0..k)
+        .map(|i| {
+            LoopSpec::new(
+                STAGES[i],
+                vec![ArgSpec::write(FIELDS[i + 1])],
+                vec![ArgSpec::read(FIELDS[i], Stencil::plus2(radius))],
+            )
+        })
+        .collect()
+}
+
+/// The matching declared chain over a parametric `n × n` grid.
+fn pipeline_chain(k: usize, radius: isize) -> ChainSpec {
+    let c = Expr::c;
+    let p = Expr::p;
+    let dats = FIELDS[..=k]
+        .iter()
+        .map(|name| DatDecl {
+            name,
+            halo: 2,
+            extent: [p("n"), p("n"), Expr::c(1)],
+            elem_bytes: 8,
+        })
+        .collect();
+    let body = (0..k)
+        .map(|i| Step::Loop {
+            spec: STAGES[i],
+            dims: 2,
+            range: [c(0), p("n"), c(0), p("n"), c(0), c(1)],
+            outs: vec![i + 1],
+            ins: vec![i],
+        })
+        .collect();
+    let _ = radius; // footprint lives in the specs, not the chain
+    ChainSpec {
+        app: "prop_pipeline",
+        params: vec!["n"],
+        dats,
+        prologue: Vec::new(),
+        body,
+        epilogue: Vec::new(),
+    }
+}
+
+fn cert_sets(r: &DataflowReport) -> [BTreeSet<String>; 3] {
+    [
+        r.groups
+            .iter()
+            .map(|g| format!("[{}] {}", g.start, g.names.join("+")))
+            .collect(),
+        r.elisions
+            .iter()
+            .map(|e| format!("{}:{} depth {}", e.site, e.dat, e.depth))
+            .collect(),
+        r.nt.iter()
+            .map(|n| format!("{}:{}", n.loop_name, n.dat))
+            .collect(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Soundness over a randomized chain family: every certificate the
+    /// static analyzer derives from a declared pipeline is among the
+    /// certificates derived from the recording that pipeline denotes —
+    /// at every sampled stage count, stencil radius, grid size, and
+    /// iteration count.
+    #[test]
+    fn static_certs_subset_of_recording_derived(
+        k in 2usize..6,
+        radius in 0isize..2,
+        n in 8isize..20,
+        iters in 1usize..4,
+    ) {
+        let specs = pipeline_specs(k, radius);
+        let chain = pipeline_chain(k, radius);
+        let b = Binding::new().set("n", n);
+        let stat = analyze_static(&chain, &specs, &b, iters).expect("valid chain");
+        let rec = chain.instantiate(&b, iters).expect("instantiable");
+        let dynamic = DataflowReport::analyze(chain.app, &specs, &rec);
+        let s = cert_sets(&stat);
+        let d = cert_sets(&dynamic);
+        for (fam, (ss, dd)) in ["fusion", "elision", "nt"].iter().zip(s.iter().zip(&d)) {
+            prop_assert!(
+                ss.is_subset(dd),
+                "{fam}: static-only certs {:?}",
+                ss.difference(dd).collect::<Vec<_>>()
+            );
+        }
+        let cc = crosscheck(&stat, &dynamic);
+        prop_assert!(cc.exact(), "divergent {:?} missed {:?}", cc.divergent, cc.missed);
+    }
+
+    /// Permutation sensitivity: swapping two adjacent (data-dependent)
+    /// stages of the declared chain while the "recorded" truth keeps the
+    /// original order must surface as a divergence — the fusion-group
+    /// shapes are order-sensitive, so a mis-declared schedule cannot
+    /// silently certify.
+    #[test]
+    fn permuted_chain_diverges_from_recorded_truth(
+        k in 2usize..6,
+        n in 8isize..20,
+        iters in 2usize..4,
+        pos_seed in 0usize..16,
+    ) {
+        let specs = pipeline_specs(k, 0);
+        let truth_chain = pipeline_chain(k, 0);
+        let b = Binding::new().set("n", n);
+        let rec = truth_chain.instantiate(&b, iters).expect("instantiable");
+        let truth = DataflowReport::analyze(truth_chain.app, &specs, &rec);
+
+        let mut permuted = pipeline_chain(k, 0);
+        let i = pos_seed % (k - 1);
+        permuted.body.swap(i, i + 1);
+        let stat = analyze_static(&permuted, &specs, &b, iters).expect("still a valid chain");
+        let cc = crosscheck(&stat, &truth);
+        prop_assert!(
+            !cc.exact(),
+            "swap of stages {} and {} went undetected",
+            i,
+            i + 1
+        );
+    }
+
+    /// Planted negative, `StaticDynamicDivergence`: the declared chain
+    /// omits the write that invalidates `f0`'s ghosts between exchanges
+    /// (writing `f2` instead), so it derives halo-elision claims the
+    /// recorded run refutes. The cross-check must fail in the hard
+    /// (static-only) direction.
+    #[test]
+    fn planted_divergence_dropped_write_is_caught(
+        n in 8isize..20,
+        iters in 2usize..4,
+        depth in 1usize..3,
+    ) {
+        let c = Expr::c;
+        let p = Expr::p;
+        let specs = vec![
+            LoopSpec::new(
+                "sweep",
+                vec![ArgSpec::write("out")],
+                vec![ArgSpec::read("src", Stencil::plus2(1))],
+            ),
+            LoopSpec::new(
+                "writeback",
+                vec![ArgSpec::write("dst")],
+                vec![ArgSpec::read("src", Stencil::plus2(0))],
+            ),
+        ];
+        let dats = |_: ()| -> Vec<DatDecl> {
+            ["f0", "f1", "f2"]
+                .iter()
+                .map(|name| DatDecl {
+                    name,
+                    halo: 2,
+                    extent: [p("n"), p("n"), Expr::c(1)],
+                    elem_bytes: 8,
+                })
+                .collect()
+        };
+        let range = || [c(0), p("n"), c(0), p("n"), c(0), c(1)];
+        let mk = |writeback_target: usize| ChainSpec {
+            app: "planted_elision",
+            params: vec!["n"],
+            dats: dats(()),
+            prologue: Vec::new(),
+            body: vec![
+                Step::Exchange { dat: 0, depth, site: "xa" },
+                Step::Loop {
+                    spec: "sweep",
+                    dims: 2,
+                    range: range(),
+                    outs: vec![1],
+                    ins: vec![0],
+                },
+                Step::Loop {
+                    spec: "writeback",
+                    dims: 2,
+                    range: range(),
+                    outs: vec![writeback_target],
+                    ins: vec![1],
+                },
+            ],
+            epilogue: Vec::new(),
+        };
+        let b = Binding::new().set("n", n);
+        // Truth: writeback refreshes f0 each iteration, so no exchange of
+        // f0 is ever redundant.
+        let truth_chain = mk(0);
+        let rec = truth_chain.instantiate(&b, iters).expect("instantiable");
+        let truth = DataflowReport::analyze(truth_chain.app, &specs, &rec);
+        // Lie: writeback goes to f2; statically f0 looks never-rewritten,
+        // so its repeated exchanges certify as elidable.
+        let lying = analyze_static(&mk(2), &specs, &b, iters).expect("valid chain");
+        let cc = crosscheck(&lying, &truth);
+        prop_assert!(!cc.sound(), "dropped write went undetected");
+        prop_assert!(
+            cc.divergent.iter().all(|v| matches!(
+                &v.kind,
+                Kind::StaticDynamicDivergence { static_only: true, .. }
+            )),
+            "{:?}",
+            cc.divergent
+        );
+    }
+
+    /// Planted negative, `UnderspecifiedChain`: a randomly chosen
+    /// malformation — unknown contract, out-of-range dat slot, or unbound
+    /// parameter — must refuse certification with the structured
+    /// violation, never a panic and never a silent empty plan.
+    #[test]
+    fn planted_malformation_is_underspecified_chain(
+        k in 2usize..6,
+        which in 0usize..3,
+        n in 8isize..20,
+    ) {
+        let specs = pipeline_specs(k, 0);
+        let mut chain = pipeline_chain(k, 0);
+        let mut b = Binding::new().set("n", n);
+        match which {
+            0 => {
+                if let Some(Step::Loop { spec, .. }) = chain.body.first_mut() {
+                    *spec = "no_such_stage";
+                }
+            }
+            1 => {
+                if let Some(Step::Loop { outs, .. }) = chain.body.first_mut() {
+                    outs[0] = 99;
+                }
+            }
+            _ => b = Binding::new(), // "n" unbound
+        }
+        let errs = analyze_static(&chain, &specs, &b, 1).expect_err("must refuse");
+        prop_assert!(!errs.is_empty());
+        prop_assert!(
+            errs.iter()
+                .all(|v| matches!(v.kind, Kind::UnderspecifiedChain { .. })),
+            "{:?}",
+            errs
+        );
+    }
+}

@@ -1,0 +1,542 @@
+//! Static chain declarations — the ordered loop/exchange/swap sequence an
+//! app driver materializes at runtime, written down once as data.
+//!
+//! A [`ChainSpec`] is the missing static half of the recording story: the
+//! per-loop [`crate::access::LoopSpec`]s already declare *what each kernel
+//! touches*, but only a live run under [`crate::access::with_recording`]
+//! reveals *in what order* the kernels fire, which buffers rotate under
+//! `mem::swap`, and where halo exchanges interleave. `ChainSpec` declares
+//! that order symbolically over a parametric grid (extents and iteration
+//! ranges are linear [`Expr`]s over named parameters like `n`, `nx`),
+//! so [`ChainSpec::instantiate`] can synthesize the exact
+//! [`crate::access::Recording`] a run *would* produce — without executing a
+//! single kernel. The dataflow analyzer then derives fusion / elision / NT
+//! certificates from the synthetic recording with the very same rules it
+//! applies to live ones, which is what makes the static pass trivially
+//! rule-for-rule consistent with the dynamic one (`dslcheck::speccheck`
+//! cross-checks that property in CI).
+//!
+//! Buffer rotation is modelled faithfully: datasets are referred to by
+//! *slot index*, and a [`Step::Swap`] swaps the runtime names two slots
+//! currently carry — exactly what `std::mem::swap` on two `Dat2`/`Dat3`
+//! handles does to the observed names in a real recording.
+
+use crate::access::{ArgObs, ExchangeObs, LoopObs, LoopSpec, Recording};
+use std::collections::BTreeSet;
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Parametric integer expressions
+// ---------------------------------------------------------------------------
+
+/// A small linear integer expression over named parameters:
+/// `konst + Σ coeff·param`. Rich enough for every structured app's
+/// geometry (`n`, `n+1`, `nx+2·radius`, …) while staying trivially
+/// evaluable and printable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expr {
+    pub konst: isize,
+    pub terms: Vec<(&'static str, isize)>,
+}
+
+impl Expr {
+    /// A constant.
+    pub fn c(k: isize) -> Self {
+        Expr {
+            konst: k,
+            terms: Vec::new(),
+        }
+    }
+
+    /// A bare parameter.
+    pub fn p(name: &'static str) -> Self {
+        Expr {
+            konst: 0,
+            terms: vec![(name, 1)],
+        }
+    }
+
+    /// `param + k`.
+    pub fn p_plus(name: &'static str, k: isize) -> Self {
+        Expr {
+            konst: k,
+            terms: vec![(name, 1)],
+        }
+    }
+
+    /// Evaluate under a binding; every referenced parameter must be bound.
+    pub fn eval(&self, b: &Binding) -> Result<isize, ChainError> {
+        let mut v = self.konst;
+        for &(name, coeff) in &self.terms {
+            let p = b
+                .get(name)
+                .ok_or_else(|| ChainError::UnboundParam(name.to_string()))?;
+            v += coeff * p;
+        }
+        Ok(v)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for &(name, coeff) in &self.terms {
+            if !first {
+                f.write_str(" + ")?;
+            }
+            first = false;
+            if coeff == 1 {
+                write!(f, "{name}")?;
+            } else {
+                write!(f, "{coeff}·{name}")?;
+            }
+        }
+        if self.konst != 0 || first {
+            if !first {
+                f.write_str(" + ")?;
+            }
+            write!(f, "{}", self.konst)?;
+        }
+        Ok(())
+    }
+}
+
+/// Concrete values for a chain's parameters.
+#[derive(Debug, Clone, Default)]
+pub struct Binding {
+    pairs: Vec<(&'static str, isize)>,
+}
+
+impl Binding {
+    pub fn new() -> Self {
+        Binding::default()
+    }
+
+    pub fn set(mut self, name: &'static str, v: isize) -> Self {
+        self.pairs.retain(|(n, _)| *n != name);
+        self.pairs.push((name, v));
+        self
+    }
+
+    pub fn get(&self, name: &str) -> Option<isize> {
+        self.pairs.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chain structure
+// ---------------------------------------------------------------------------
+
+/// One declared dataset slot: the buffer's initial runtime name plus the
+/// geometry every observation of it carries.
+#[derive(Debug, Clone)]
+pub struct DatDecl {
+    /// Initial runtime name (rotates under [`Step::Swap`]).
+    pub name: &'static str,
+    /// Halo ring depth.
+    pub halo: isize,
+    /// Interior extent `(nx, ny, nz)`; use `Expr::c(1)` for the z extent of
+    /// 2-D datasets.
+    pub extent: [Expr; 3],
+    /// `size_of::<T>()` of the element type.
+    pub elem_bytes: usize,
+}
+
+/// One step of the declared chain.
+// Chains are declared once per app and instantiated rarely; keeping `Loop`
+// unboxed keeps the hundreds of declaration sites literal.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum Step {
+    /// A `par_loop` invocation: which [`LoopSpec`] it matches (by name and
+    /// arity), its dimensionality, iteration range, and the dataset slots
+    /// bound to its output/input arguments, in driver-call order.
+    Loop {
+        spec: &'static str,
+        dims: u8,
+        /// `[i0, i1, j0, j1, k0, k1]`; use `Expr::c(0)`/`Expr::c(1)` for the
+        /// k span of 2-D loops.
+        range: [Expr; 6],
+        outs: Vec<usize>,
+        ins: Vec<usize>,
+    },
+    /// A site-labelled halo exchange of one dataset slot.
+    Exchange {
+        dat: usize,
+        depth: usize,
+        /// Call-site label; empty for the unlabelled exchange API.
+        site: &'static str,
+    },
+    /// `std::mem::swap` of two dataset handles: the slots swap runtime
+    /// names from here on.
+    Swap { a: usize, b: usize },
+}
+
+/// Why a chain could not be instantiated or fails validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// An [`Expr`] referenced a parameter the [`Binding`] does not define.
+    UnboundParam(String),
+    /// A step referenced a dataset slot outside `dats`.
+    BadSlot { step: usize, slot: usize },
+    /// A `Loop` step names a spec (or arity) absent from the app's
+    /// declared `loop_specs()`.
+    UnknownSpec {
+        name: String,
+        outs: usize,
+        ins: usize,
+    },
+    /// A declared extent or range evaluated to a negative/absurd value.
+    BadGeometry { step: usize, detail: String },
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::UnboundParam(p) => write!(f, "unbound chain parameter {p:?}"),
+            ChainError::BadSlot { step, slot } => {
+                write!(f, "step {step} references dataset slot {slot} out of range")
+            }
+            ChainError::UnknownSpec { name, outs, ins } => write!(
+                f,
+                "loop {name:?} with arity ({outs} outs, {ins} ins) has no declared LoopSpec"
+            ),
+            ChainError::BadGeometry { step, detail } => {
+                write!(f, "step {step}: bad geometry: {detail}")
+            }
+        }
+    }
+}
+
+/// The declared loop chain of one app variant: datasets, a prologue run
+/// once, a body repeated per iteration, and an epilogue run once.
+#[derive(Debug, Clone)]
+pub struct ChainSpec {
+    /// Registry app name this chain describes (e.g. `"acoustic"`).
+    pub app: &'static str,
+    /// Parameters the geometry expressions may reference, for
+    /// documentation and error messages.
+    pub params: Vec<&'static str>,
+    pub dats: Vec<DatDecl>,
+    /// Steps executed once before the iteration loop.
+    pub prologue: Vec<Step>,
+    /// Steps executed once per iteration.
+    pub body: Vec<Step>,
+    /// Steps executed once after the iteration loop (reductions, summaries).
+    pub epilogue: Vec<Step>,
+}
+
+impl ChainSpec {
+    /// Structural validation against the app's declared per-loop specs:
+    /// every referenced slot must exist and every `Loop` step must match a
+    /// declared `(name, outs, ins)` arity. Returns all problems, not just
+    /// the first — an underspecified chain should report everything wrong
+    /// with it at once.
+    pub fn validate(&self, specs: &[LoopSpec]) -> Vec<ChainError> {
+        let mut errs = Vec::new();
+        let nslots = self.dats.len();
+        for (i, step) in self
+            .prologue
+            .iter()
+            .chain(&self.body)
+            .chain(&self.epilogue)
+            .enumerate()
+        {
+            match step {
+                Step::Loop {
+                    spec,
+                    dims,
+                    outs,
+                    ins,
+                    ..
+                } => {
+                    for &s in outs.iter().chain(ins) {
+                        if s >= nslots {
+                            errs.push(ChainError::BadSlot { step: i, slot: s });
+                        }
+                    }
+                    if !(*dims == 2 || *dims == 3) {
+                        errs.push(ChainError::BadGeometry {
+                            step: i,
+                            detail: format!("dims must be 2 or 3, got {dims}"),
+                        });
+                    }
+                    if !specs.iter().any(|l| {
+                        l.name == *spec && l.outs.len() == outs.len() && l.ins.len() == ins.len()
+                    }) {
+                        errs.push(ChainError::UnknownSpec {
+                            name: (*spec).to_string(),
+                            outs: outs.len(),
+                            ins: ins.len(),
+                        });
+                    }
+                }
+                Step::Exchange { dat, .. } => {
+                    if *dat >= nslots {
+                        errs.push(ChainError::BadSlot {
+                            step: i,
+                            slot: *dat,
+                        });
+                    }
+                }
+                Step::Swap { a, b } => {
+                    for &s in [a, b] {
+                        if s >= nslots {
+                            errs.push(ChainError::BadSlot { step: i, slot: s });
+                        }
+                    }
+                }
+            }
+        }
+        errs
+    }
+
+    /// Symbolically execute the chain: `prologue · body^iters · epilogue`,
+    /// tracking the runtime name each slot carries across swaps, and emit
+    /// the [`Recording`] a live run would produce. No kernel executes; the
+    /// synthetic observations carry the declared geometry, `wrote = true`
+    /// for outputs (the declared-access refinement in the def-use graph
+    /// supplies `ReadWrite`/`Inc` semantics from the matched spec), and
+    /// empty observed-offset sets (input radii come from declared
+    /// stencils).
+    pub fn instantiate(&self, b: &Binding, iters: usize) -> Result<Recording, ChainError> {
+        let mut names: Vec<String> = self.dats.iter().map(|d| d.name.to_string()).collect();
+        let mut rec = Recording::default();
+
+        let mut geom = Vec::with_capacity(self.dats.len());
+        for d in &self.dats {
+            let ex = (
+                eval_extent(&d.extent[0], b)?,
+                eval_extent(&d.extent[1], b)?,
+                eval_extent(&d.extent[2], b)?,
+            );
+            geom.push(ex);
+        }
+
+        let run = |steps: &[Step], rec: &mut Recording, names: &mut Vec<String>| {
+            for (i, step) in steps.iter().enumerate() {
+                match step {
+                    Step::Loop {
+                        spec,
+                        dims,
+                        range,
+                        outs,
+                        ins,
+                    } => {
+                        let mut r = [0isize; 6];
+                        for (k, e) in range.iter().enumerate() {
+                            r[k] = e.eval(b)?;
+                        }
+                        let obs = |slot: usize| -> Result<ArgObs, ChainError> {
+                            let d = self
+                                .dats
+                                .get(slot)
+                                .ok_or(ChainError::BadSlot { step: i, slot })?;
+                            Ok(ArgObs {
+                                name: names[slot].clone(),
+                                halo: d.halo,
+                                extent: geom[slot],
+                                elem_bytes: d.elem_bytes,
+                                offsets: BTreeSet::new(),
+                                wrote: false,
+                                read_back: false,
+                                inced: false,
+                            })
+                        };
+                        let mut lo = LoopObs {
+                            name: (*spec).to_string(),
+                            dims: *dims,
+                            range: r,
+                            outs: Vec::with_capacity(outs.len()),
+                            ins: Vec::with_capacity(ins.len()),
+                        };
+                        for &s in outs {
+                            let mut o = obs(s)?;
+                            o.wrote = true;
+                            lo.outs.push(o);
+                        }
+                        for &s in ins {
+                            lo.ins.push(obs(s)?);
+                        }
+                        rec.loops.push(lo);
+                    }
+                    Step::Exchange { dat, depth, site } => {
+                        let name = names
+                            .get(*dat)
+                            .ok_or(ChainError::BadSlot {
+                                step: i,
+                                slot: *dat,
+                            })?
+                            .clone();
+                        rec.exchanges.push(ExchangeObs {
+                            dat: name,
+                            depth: *depth,
+                            at: rec.loops.len(),
+                            site: (*site).to_string(),
+                        });
+                    }
+                    Step::Swap { a, b: bb } => {
+                        if *a >= names.len() || *bb >= names.len() {
+                            return Err(ChainError::BadSlot {
+                                step: i,
+                                slot: (*a).max(*bb),
+                            });
+                        }
+                        names.swap(*a, *bb);
+                    }
+                }
+            }
+            Ok(())
+        };
+
+        run(&self.prologue, &mut rec, &mut names)?;
+        for _ in 0..iters {
+            run(&self.body, &mut rec, &mut names)?;
+        }
+        run(&self.epilogue, &mut rec, &mut names)?;
+        Ok(rec)
+    }
+
+    /// Loops per full instantiation at `iters` iterations.
+    pub fn loop_count(&self, iters: usize) -> usize {
+        let loops = |steps: &[Step]| {
+            steps
+                .iter()
+                .filter(|s| matches!(s, Step::Loop { .. }))
+                .count()
+        };
+        loops(&self.prologue) + iters * loops(&self.body) + loops(&self.epilogue)
+    }
+}
+
+fn eval_extent(e: &Expr, b: &Binding) -> Result<usize, ChainError> {
+    let v = e.eval(b)?;
+    usize::try_from(v).map_err(|_| ChainError::BadGeometry {
+        step: usize::MAX,
+        detail: format!("extent {e} evaluated to {v}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{Access, ArgSpec, Stencil};
+
+    fn toy_chain() -> ChainSpec {
+        ChainSpec {
+            app: "toy",
+            params: vec!["n"],
+            dats: vec![
+                DatDecl {
+                    name: "u",
+                    halo: 1,
+                    extent: [Expr::p("n"), Expr::p("n"), Expr::c(1)],
+                    elem_bytes: 8,
+                },
+                DatDecl {
+                    name: "v",
+                    halo: 1,
+                    extent: [Expr::p("n"), Expr::p("n"), Expr::c(1)],
+                    elem_bytes: 8,
+                },
+            ],
+            prologue: vec![],
+            body: vec![
+                Step::Exchange {
+                    dat: 0,
+                    depth: 1,
+                    site: "pre",
+                },
+                Step::Loop {
+                    spec: "toy_step",
+                    dims: 2,
+                    range: [
+                        Expr::c(0),
+                        Expr::p("n"),
+                        Expr::c(0),
+                        Expr::p("n"),
+                        Expr::c(0),
+                        Expr::c(1),
+                    ],
+                    outs: vec![1],
+                    ins: vec![0],
+                },
+                Step::Swap { a: 0, b: 1 },
+            ],
+            epilogue: vec![],
+        }
+    }
+
+    fn toy_specs() -> Vec<LoopSpec> {
+        vec![LoopSpec::new(
+            "toy_step",
+            vec![ArgSpec::write("v")],
+            vec![ArgSpec::new("u", Access::Read, Stencil::plus2(1))],
+        )]
+    }
+
+    #[test]
+    fn instantiation_tracks_swaps_and_exchange_positions() {
+        let c = toy_chain();
+        let rec = c
+            .instantiate(&Binding::new().set("n", 8), 2)
+            .expect("instantiate");
+        assert_eq!(rec.loops.len(), 2);
+        assert_eq!(rec.exchanges.len(), 2);
+        // Iteration 1 writes "v" reading "u"; after the swap, iteration 2
+        // writes "u" reading "v" — name rotation under mem::swap.
+        assert_eq!(rec.loops[0].outs[0].name, "v");
+        assert_eq!(rec.loops[0].ins[0].name, "u");
+        assert_eq!(rec.loops[1].outs[0].name, "u");
+        assert_eq!(rec.loops[1].ins[0].name, "v");
+        // Exchanges sit before their iteration's loop and follow rotation.
+        assert_eq!(rec.exchanges[0].at, 0);
+        assert_eq!(rec.exchanges[0].dat, "u");
+        assert_eq!(rec.exchanges[1].at, 1);
+        assert_eq!(rec.exchanges[1].dat, "v");
+        assert_eq!(rec.loops[0].range, [0, 8, 0, 8, 0, 1]);
+        assert_eq!(rec.loops[0].outs[0].extent, (8, 8, 1));
+        assert!(rec.loops[0].outs[0].wrote);
+        assert!(!rec.loops[0].ins[0].wrote);
+    }
+
+    #[test]
+    fn validate_flags_unknown_specs_and_bad_slots() {
+        let mut c = toy_chain();
+        assert!(c.validate(&toy_specs()).is_empty());
+        c.body.push(Step::Loop {
+            spec: "nonexistent",
+            dims: 2,
+            range: [
+                Expr::c(0),
+                Expr::c(1),
+                Expr::c(0),
+                Expr::c(1),
+                Expr::c(0),
+                Expr::c(1),
+            ],
+            outs: vec![9],
+            ins: vec![],
+        });
+        let errs = c.validate(&toy_specs());
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ChainError::BadSlot { slot: 9, .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ChainError::UnknownSpec { .. })));
+    }
+
+    #[test]
+    fn unbound_parameter_is_an_error() {
+        let c = toy_chain();
+        let err = c.instantiate(&Binding::new(), 1).unwrap_err();
+        assert_eq!(err, ChainError::UnboundParam("n".to_string()));
+    }
+
+    #[test]
+    fn loop_count_scales_with_iterations() {
+        let c = toy_chain();
+        assert_eq!(c.loop_count(3), 3);
+    }
+}

@@ -31,10 +31,11 @@ impl BitHash for f32 {
     }
 }
 
-/// One FNV-1a step.
+/// One FNV-1a step (shared constants with the serve-layer cache keys;
+/// see [`crate::hash`]).
 #[cfg(debug_assertions)]
 fn fnv(h: u64, v: u64) -> u64 {
-    (h ^ v).wrapping_mul(0x100_0000_01b3)
+    crate::hash::step_u64(h, v)
 }
 
 #[cfg(debug_assertions)]
@@ -308,7 +309,7 @@ impl DistBlock2 {
         let d = depth as isize;
         let nx = self.nx() as isize;
         let ny = self.ny() as isize;
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut h: u64 = crate::hash::FNV_OFFSET;
         for j in 0..ny {
             for i in (0..d).chain(nx - d..nx) {
                 h = fnv(h, dat.get(i, j).hash_bits());
@@ -420,7 +421,7 @@ impl DistBlock2 {
         let d = depth as isize;
         let nnx = self.nx() as isize + 1;
         let nny = self.ny() as isize + 1;
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut h: u64 = crate::hash::FNV_OFFSET;
         for j in 0..nny {
             for i in (1..1 + d).chain(nnx - 1 - d..nnx - 1) {
                 h = fnv(h, dat.get(i, j).hash_bits());

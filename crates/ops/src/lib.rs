@@ -53,9 +53,11 @@
 //! [Reguly et al. 2017]: https://doi.org/10.1109/TPDS.2017.2778161
 
 pub mod access;
+pub mod chain;
 pub mod exec;
 pub mod field;
 pub mod halo;
+pub mod hash;
 pub mod ntstore;
 pub mod optexec;
 pub mod plan;
@@ -65,6 +67,7 @@ pub mod tiling;
 pub use access::{
     recording_active, with_recording, Access, ArgObs, ArgSpec, LoopObs, LoopSpec, Stencil,
 };
+pub use chain::{Binding, ChainError, ChainSpec, DatDecl, Expr, Step};
 pub use exec::{
     par_loop2, par_loop2_reduce, par_loop2_rows, par_loop3, par_loop3_planes, par_loop3_reduce,
     ExecMode, In2, In3, Out2, Out3, Range2, Range3, RowIn2, RowIn3, RowOut2, RowOut3,

@@ -12,7 +12,12 @@
 //!   retrievable at `/trace/<job id>`.
 //! * `{"kind":"figure","figure":8}` — reproduce a paper figure (3–9).
 //! * `{"kind":"analyze","app":"acoustic"}` — whole-chain dataflow report
-//!   and certified optimization plan for one registered app.
+//!   and certified optimization plan for one registered app. Apps with a
+//!   declared chain are planned on the *static fast path*: the
+//!   certificates come from `dslcheck::speccheck`'s execution-free
+//!   analysis (`"source":"static"` in the payload) and no worker executes
+//!   a recording pass; everything else falls back to the instrumented
+//!   recording (`"source":"recorded"`).
 //!
 //! Every job renders a [`KeyMaterial`] — the cache address of its result.
 
@@ -256,6 +261,21 @@ fn execute_trace(ctx: &ExecContext, spec: &BenchSpec, job_id: u64) -> Result<Str
 }
 
 fn execute_analyze(app: &str) -> Result<String, String> {
+    // Static fast path: apps with a declared chain are planned without any
+    // worker executing a recording pass — the certificates come from the
+    // execution-free analysis, which the registry cross-checks against
+    // recorded runs in CI. Only a clean, parametrically stable static
+    // report short-circuits; anything else falls back to the recording.
+    if let Some(s) = bwb_dslcheck::static_report_for(app) {
+        if s.report.clean() {
+            return Ok(format!(
+                "{{\"source\":\"static\",\"static_ns\":{},\"report\":{},\"plan\":{}}}",
+                s.nanos,
+                s.report.to_json(),
+                s.report.export_plan().to_json()
+            ));
+        }
+    }
     let reports = bwb_dslcheck::dataflow_all();
     let known: Vec<&str> = reports.iter().map(|r| r.app.as_str()).collect();
     let report = reports
@@ -265,7 +285,7 @@ fn execute_analyze(app: &str) -> Result<String, String> {
     // The report and its exported plan already render themselves as JSON;
     // splice them in raw rather than re-modelling their schemas here.
     Ok(format!(
-        "{{\"report\":{},\"plan\":{}}}",
+        "{{\"source\":\"recorded\",\"report\":{},\"plan\":{}}}",
         report.to_json(),
         report.export_plan().to_json()
     ))
@@ -494,5 +514,20 @@ mod tests {
         let out = bench.execute(&ctx(), 5).unwrap();
         let out_doc = bwb_trace::json::parse(&out).unwrap();
         assert_eq!(out_doc.get("planned"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn analyze_job_takes_the_static_fast_path_for_declared_chains() {
+        // Acoustic declares a chain, so planning must be execution-free.
+        let job = parse("{\"kind\":\"analyze\",\"app\":\"acoustic\"}").unwrap();
+        let payload = job.execute(&ctx(), 6).unwrap();
+        let doc = bwb_trace::json::parse(&payload).unwrap();
+        assert_eq!(doc.get("source").and_then(Json::as_str), Some("static"));
+        assert!(doc.get("plan").is_some());
+        // The op2 apps have no declarable chain: recording fallback.
+        let job = parse("{\"kind\":\"analyze\",\"app\":\"mgcfd\"}").unwrap();
+        let payload = job.execute(&ctx(), 7).unwrap();
+        let doc = bwb_trace::json::parse(&payload).unwrap();
+        assert_eq!(doc.get("source").and_then(Json::as_str), Some("recorded"));
     }
 }

@@ -13,20 +13,11 @@
 use bwb_machine::Platform;
 use std::fmt;
 
-/// FNV-1a offset basis / prime (64-bit).
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-/// 64-bit FNV-1a over a byte string. Deliberately simple and dependency-
-/// free: cache keys need stability and dispersion, not cryptography.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h = FNV_OFFSET;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    h
-}
+/// 64-bit FNV-1a over a byte string — the single shared implementation in
+/// [`bwb_ops::hash`], re-exported here so cache-key callers keep their
+/// import path. Deliberately simple and dependency-free: cache keys need
+/// stability and dispersion, not cryptography.
+pub use bwb_ops::hash::fnv1a64;
 
 /// A content-address: displays as 16 hex digits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
