@@ -9,7 +9,9 @@
 //! cargo run --release -p bwb-bench --bin analyze -- --dataflow  # whole-chain
 //! cargo run --release -p bwb-bench --bin analyze -- --comm      # commcheck
 //! cargo run --release -p bwb-bench --bin analyze -- --static    # speccheck
+//! cargo run --release -p bwb-bench --bin analyze -- --placement # placecheck
 //! cargo run --release -p bwb-bench --bin analyze -- --export-plans plans/
+//! cargo run --release -p bwb-bench --bin analyze -- --placement --export-placements placements/
 //! ```
 //!
 //! `--dataflow` switches to the whole-chain dataflow report: per-app lint
@@ -319,6 +321,71 @@ fn comm_report(json_only: bool) -> usize {
     total
 }
 
+/// `--placement`: placecheck. Statically derive every distributed
+/// registry app's per-pair byte flows, search the placement-candidate
+/// space (policies × NUMA-domain permutations) under the Xeon MAX latency
+/// model at N in {4, 16, 64, 112}, self-verify each emitted plan's
+/// dominance and link-flow claims, and crosscheck the flow models
+/// byte-exactly against recorded runs at N in {4, 16}. With
+/// `--export-placements <dir>` every certified plan is written to
+/// `<dir>/<app>.n<ranks>.json` for `Universe::run_placed` / serve.
+fn placement_report(json_only: bool, export_dir: Option<&str>) -> usize {
+    let reports = bwb_dslcheck::placement_check_all();
+
+    if !json_only {
+        eprintln!(
+            "{:<14} {:>6} {:>5} {:>22} {:>12} {:>12} {:>7} {:>6}  status",
+            "app", "ranks", "space", "best", "best_ns", "baseline_ns", "gain%", "viol"
+        );
+        for r in &reports {
+            let status = if r.clean() { "ok" } else { "FAIL" };
+            for p in &r.plans {
+                let gain = if p.baseline_cost_ns > 0.0 {
+                    100.0 * (1.0 - p.best_cost_ns / p.baseline_cost_ns)
+                } else {
+                    0.0
+                };
+                eprintln!(
+                    "{:<14} {:>6} {:>5} {:>22} {:>12.0} {:>12.0} {:>6.1}% {:>6}  {status}",
+                    r.app,
+                    p.ranks,
+                    p.space.len(),
+                    p.best,
+                    p.best_cost_ns,
+                    p.baseline_cost_ns,
+                    gain,
+                    r.violations.len(),
+                );
+            }
+            for v in &r.violations {
+                eprintln!("    {v}");
+            }
+        }
+    }
+
+    if let Some(dir) = export_dir {
+        std::fs::create_dir_all(dir).expect("create export dir");
+        for r in &reports {
+            for p in &r.plans {
+                let path = std::path::Path::new(dir).join(format!("{}.n{}.json", p.app, p.ranks));
+                std::fs::write(&path, p.to_json()).expect("write placement plan");
+                if !json_only {
+                    eprintln!("wrote {}", path.display());
+                }
+            }
+        }
+    }
+
+    let total: usize = reports.iter().map(|r| r.violations.len()).sum();
+    let apps = reports
+        .iter()
+        .map(|r| r.to_json())
+        .collect::<Vec<_>>()
+        .join(",");
+    println!("{{\"total_violations\":{total},\"apps\":[{apps}]}}");
+    total
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let json_only = args.iter().any(|a| a == "--json");
@@ -342,9 +409,26 @@ fn main() -> ExitCode {
     // against the recording-derived ones, and gate on any divergence. With
     // `--export-plans <dir>` it writes `<dir>/<app>.static.json` plans.
     let static_mode = args.iter().any(|a| a == "--static");
-    let dataflow = (args.iter().any(|a| a == "--dataflow") || export_dir.is_some()) && !static_mode;
+    // `--placement` switches to placecheck: static NUMA-placement
+    // certification of the distributed registry apps (search + dominance
+    // self-verification + byte-exact crosscheck against recorded runs).
+    // `--export-placements <dir>` writes each certified plan JSON.
+    let placement = args.iter().any(|a| a == "--placement");
+    let export_placements = args
+        .iter()
+        .position(|a| a == "--export-placements")
+        .map(|i| {
+            args.get(i + 1)
+                .expect("--export-placements needs a directory")
+                .clone()
+        });
+    let dataflow = (args.iter().any(|a| a == "--dataflow") || export_dir.is_some())
+        && !static_mode
+        && !placement;
 
-    let total = if comm || parametric {
+    let total = if placement || export_placements.is_some() {
+        placement_report(json_only, export_placements.as_deref())
+    } else if comm || parametric {
         let mut total = if comm { comm_report(json_only) } else { 0 };
         if parametric {
             total += parametric_report(json_only);

@@ -402,9 +402,39 @@ fn emit_bench(results: &[AppResult], reps: usize) {
         })
         .collect::<Vec<_>>()
         .join(",");
+    // Placement-search wall times and searched-space sizes (the static
+    // half of the placement story): how long placecheck takes to search
+    // and self-verify every gate rank count per app, and how many
+    // candidates its dominance proof covers — the scaling trajectory the
+    // O(100)-rank work tracks.
+    let placecheck = {
+        let platform = bwb_core::machine::platforms::xeon_max_9480();
+        bwb_dslcheck::placecheck::FLOW_APPS
+            .iter()
+            .map(|app| {
+                let t0 = std::time::Instant::now();
+                let mut searched = 0usize;
+                let mut clean = true;
+                for &n in &bwb_dslcheck::placecheck::GATE_RANKS {
+                    let plan =
+                        bwb_dslcheck::placecheck::search(app, n, &platform).expect("registry app");
+                    searched += plan.space.len();
+                    clean &= bwb_dslcheck::placecheck::verify_plan(&plan, &platform).is_empty();
+                }
+                format!(
+                    "{{\"app\":\"{}\",\"searched\":{},\"clean\":{},\"search_us\":{:.1}}}",
+                    app,
+                    searched,
+                    clean,
+                    t0.elapsed().as_nanos() as f64 / 1e3,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",")
+    };
     let json = format!(
         "{{\"bench\":\"optexec\",\"host\":\"{host}\",\"reps\":{reps},\
-         \"apps\":[{apps}],\"speccheck\":[{speccheck}]}}"
+         \"apps\":[{apps}],\"speccheck\":[{speccheck}],\"placecheck\":[{placecheck}]}}"
     );
     let path = format!("BENCH_{host}.json");
     std::fs::write(&path, &json).expect("write bench json");

@@ -559,7 +559,7 @@ where
     }
 }
 
-fn run_cloverleaf2d(n: usize) -> Vec<CommLog> {
+pub(crate) fn run_cloverleaf2d(n: usize) -> Vec<CommLog> {
     use bwb_apps::cloverleaf2d;
     Universe::run_logged(n, |c| {
         let cfg = cloverleaf2d::Config {
@@ -575,7 +575,7 @@ fn run_cloverleaf2d(n: usize) -> Vec<CommLog> {
     .1
 }
 
-fn run_acoustic(n: usize) -> Vec<CommLog> {
+pub(crate) fn run_acoustic(n: usize) -> Vec<CommLog> {
     use bwb_apps::acoustic;
     Universe::run_logged(n, |c| {
         let cfg = acoustic::Config {
@@ -589,7 +589,7 @@ fn run_acoustic(n: usize) -> Vec<CommLog> {
     .1
 }
 
-fn run_miniweather(n: usize) -> Vec<CommLog> {
+pub(crate) fn run_miniweather(n: usize) -> Vec<CommLog> {
     use bwb_apps::miniweather;
     Universe::run_logged(n, move |c| {
         let cfg = miniweather::Config {
@@ -603,7 +603,7 @@ fn run_miniweather(n: usize) -> Vec<CommLog> {
     .1
 }
 
-fn run_mgcfd(n: usize) -> Vec<CommLog> {
+pub(crate) fn run_mgcfd(n: usize) -> Vec<CommLog> {
     use bwb_apps::mgcfd;
     Universe::run_logged(n, |c| {
         let cfg = mgcfd::Config {
@@ -616,7 +616,7 @@ fn run_mgcfd(n: usize) -> Vec<CommLog> {
     .1
 }
 
-fn run_minibude(n: usize) -> Vec<CommLog> {
+pub(crate) fn run_minibude(n: usize) -> Vec<CommLog> {
     use bwb_apps::minibude;
     Universe::run_logged(n, move |c| {
         let sim = minibude::MiniBude::new(minibude::Config {

@@ -33,6 +33,13 @@
 //!   deadlock freedom (cyclic blocking, barrier arity, collective order),
 //!   match determinism (certified as a [`MatchPlan`]), and per-phase load
 //!   balance priced through the `bwb_machine` placement model.
+//! * [`placecheck`] — **static NUMA-placement certification**: derive each
+//!   registry app's exact per-pair byte flows from its decomposition
+//!   arithmetic (no execution), classify them into per-link flows under
+//!   any rank placement, exhaustively price a candidate space of
+//!   placement policies × domain permutations with the machine's latency
+//!   model, and emit a certified [`PlacementPlan`] — crosschecked
+//!   byte-exact against recorded `CommLog`s at small rank counts.
 //!
 //! [`check_all`] runs all registered apps (CloverLeaf 2D/3D, Acoustic —
 //! local and decomposed —, OpenSBLI SA/SN, miniWeather, MG-CFD, Volna,
@@ -46,6 +53,7 @@ pub mod comm;
 pub mod dataflow;
 pub mod graph;
 pub mod lints;
+pub mod placecheck;
 pub mod plan;
 pub mod race;
 pub mod registry;
@@ -65,6 +73,10 @@ pub use graph::DefUseGraph;
 pub use lints::{
     check_fusion_claims, dead_stores, elision_certs, exchange_lints, fusion_groups, fusion_plan,
     FusionPlan,
+};
+pub use placecheck::{
+    certified_shard_policy, placement_check_all, placement_check_app, PlacementPlan,
+    PlacementReport,
 };
 pub use plan::{check_chain_plan, check_halo_depth};
 pub use race::check_unstructured;

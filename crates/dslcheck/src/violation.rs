@@ -240,6 +240,32 @@ pub enum Kind {
     /// slot, or inconsistent geometry — static analysis refuses to
     /// certify anything from it.
     UnderspecifiedChain { detail: String },
+    /// The static per-link byte flow derived from an app's communication
+    /// model (or claimed by a [`crate::placecheck::PlacementPlan`])
+    /// disagrees with the recomputed / recorded flow on one link class —
+    /// the placement certificate cannot be trusted.
+    PlacementFlowDivergence {
+        app: String,
+        ranks: usize,
+        /// Link class ("hyperthread", "same-numa", "cross-numa",
+        /// "cross-socket").
+        link: String,
+        expected_bytes: u64,
+        observed_bytes: u64,
+    },
+    /// A `PlacementPlan` claims a best placement, but another candidate in
+    /// its own enumerated space prices strictly cheaper under the machine's
+    /// latency model — the dominance proof is false.
+    DominatedPlacement {
+        app: String,
+        ranks: usize,
+        claimed: String,
+        /// Costs in integer nanoseconds (rounded) so violations stay
+        /// totally ordered.
+        claimed_cost_ns: u64,
+        better: String,
+        better_cost_ns: u64,
+    },
 }
 
 impl Kind {
@@ -274,6 +300,8 @@ impl Kind {
             Kind::TemplateDivergence { .. } => "template_divergence",
             Kind::StaticDynamicDivergence { .. } => "static_dynamic_divergence",
             Kind::UnderspecifiedChain { .. } => "underspecified_chain",
+            Kind::PlacementFlowDivergence { .. } => "placement_flow_divergence",
+            Kind::DominatedPlacement { .. } => "dominated_placement",
         }
     }
 }
@@ -541,6 +569,30 @@ impl fmt::Display for Kind {
             Kind::UnderspecifiedChain { detail } => {
                 write!(f, "declared chain is underspecified: {detail}")
             }
+            Kind::PlacementFlowDivergence {
+                app,
+                ranks,
+                link,
+                expected_bytes,
+                observed_bytes,
+            } => write!(
+                f,
+                "{app} at {ranks} ranks: {link} link carries {observed_bytes} B \
+                 but the static flow model says {expected_bytes} B"
+            ),
+            Kind::DominatedPlacement {
+                app,
+                ranks,
+                claimed,
+                claimed_cost_ns,
+                better,
+                better_cost_ns,
+            } => write!(
+                f,
+                "{app} at {ranks} ranks: claimed best placement '{claimed}' \
+                 ({claimed_cost_ns} ns) is dominated by '{better}' \
+                 ({better_cost_ns} ns)"
+            ),
         }
     }
 }

@@ -1,0 +1,196 @@
+//! placecheck fixtures: the soundness spine of the placement certifier.
+//!
+//! 1. Property: for every distributed registry app at N ∈ {4, 16}, the
+//!    *static* per-link byte flows equal the flows of a *recorded*
+//!    `CommLog` replay under random valid placements — link classification
+//!    is a function of the endpoint pair, so this is exact, not
+//!    approximate, and it must hold for any placement the sampler draws.
+//! 2. Planted negatives: a lying `PlacementPlan` with under-counted
+//!    cross-socket bytes is rejected (`PlacementFlowDivergence`), and a
+//!    plan whose claimed winner a canonical candidate beats is rejected
+//!    (`DominatedPlacement`).
+//! 3. Bit-identity: executing from a searched plan through
+//!    `Universe::run_placed` yields bitwise the results of the unplaced
+//!    baseline — placement moves latency, never physics.
+
+use bwb_dslcheck::placecheck::{
+    candidates, phase_cost_ns, recorded_logs, search, static_flows, verify_plan, LinkFlows,
+    PairFlows, CROSSCHECK_RANKS, FLOW_APPS,
+};
+use bwb_dslcheck::Kind;
+use bwb_machine::{platforms, CpuTopology, PlacementPolicy, RankPlacement};
+use bwb_shmpi::event::CommLog;
+use bwb_shmpi::Universe;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Recording an app is the expensive half; cache one log set per
+/// `(app, n)` and let the property iterate placements against it.
+fn logs_for(app: &str, n: usize) -> &'static [CommLog] {
+    static CACHE: OnceLock<HashMap<(String, usize), Vec<CommLog>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| {
+        let mut m = HashMap::new();
+        for app in FLOW_APPS {
+            for &n in &CROSSCHECK_RANKS {
+                m.insert((app.to_string(), n), recorded_logs(app, n).unwrap());
+            }
+        }
+        m
+    });
+    &cache[&(app.to_string(), n)]
+}
+
+/// A uniformly shuffled choice of `n` distinct hardware threads
+/// (xorshift64 Fisher–Yates from the proptest-drawn seed): the space of
+/// "random valid placements".
+fn random_placement(topo: &CpuTopology, n: usize, seed: u64) -> RankPlacement {
+    let mut cores = topo.enumerate_threads(true);
+    let mut s = seed | 1;
+    for i in (1..cores.len()).rev() {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        let j = (s as usize) % (i + 1);
+        cores.swap(i, j);
+    }
+    cores.truncate(n);
+    RankPlacement {
+        policy: PlacementPolicy::OnePerThread,
+        assignments: cores,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Static per-link byte flows == recorded per-link byte flows, for
+    /// every registry app at the crosscheck rank counts, under any valid
+    /// placement.
+    #[test]
+    fn static_link_flows_match_recorded_under_random_placements(
+        app_idx in 0usize..5,
+        n_idx in 0usize..2,
+        seed in 0u64..u64::MAX,
+    ) {
+        let app = FLOW_APPS[app_idx];
+        let n = CROSSCHECK_RANKS[n_idx];
+        let topo = platforms::xeon_max_9480().topology;
+        let placement = random_placement(&topo, n, seed);
+
+        let static_pairs = PairFlows::from_phases(&static_flows(app, n).unwrap());
+        let observed_pairs = PairFlows::from_logs(logs_for(app, n));
+
+        let s = LinkFlows::classify(&static_pairs, &placement);
+        let o = LinkFlows::classify(&observed_pairs, &placement);
+        prop_assert_eq!(s, o, "{} at {} ranks, seed {}", app, n, seed);
+    }
+}
+
+#[test]
+fn lying_cross_socket_bytes_are_rejected() {
+    // Build an honest plan pinned to the scatter placement (which, for a
+    // ring app, pushes neighbour traffic across the UPI link), then
+    // under-count its cross-socket bytes: placecheck must refuse it.
+    let p = platforms::xeon_max_9480();
+    let n = 16;
+    let phases = static_flows("miniweather", n).unwrap();
+    let pairs = PairFlows::from_phases(&phases);
+    let (label, policy, placement) = candidates(&p, n)
+        .into_iter()
+        .find(|(label, _, _)| label == "scatter/identity")
+        .unwrap();
+    let links = LinkFlows::classify(&pairs, &placement);
+    let cross_socket = 3; // CommDistance::ALL order: farthest last
+    assert!(
+        links.bytes[cross_socket] > 0,
+        "scatter must induce cross-socket traffic on a ring"
+    );
+    let mut plan = search("miniweather", n, &p).unwrap();
+    plan.best = label;
+    plan.policy = policy;
+    plan.best_cost_ns = phase_cost_ns(&phases, &placement, &p.latency, n);
+    plan.assignments = placement.assignments;
+    plan.links = links;
+    // Honest version of this (suboptimal but truthfully priced) plan only
+    // trips the dominance check, never the flow check.
+    let honest = verify_plan(&plan, &p);
+    assert!(honest
+        .iter()
+        .all(|v| !matches!(v.kind, Kind::PlacementFlowDivergence { .. })));
+
+    plan.links.bytes[cross_socket] -= 1024;
+    let vs = verify_plan(&plan, &p);
+    assert!(
+        vs.iter().any(|v| matches!(
+            &v.kind,
+            Kind::PlacementFlowDivergence { link, .. } if link == "cross-socket"
+        )),
+        "under-counted cross-socket bytes must be rejected: {vs:?}"
+    );
+}
+
+#[test]
+fn dominated_claims_are_rejected() {
+    // Keep the searched plan's claimed cost bound but swap in a dominated
+    // candidate's placement: the canonical space must produce a witness.
+    let p = platforms::xeon_max_9480();
+    let n = 16;
+    let plan = search("cloverleaf2d", n, &p).unwrap();
+    let worst = candidates(&p, n)
+        .into_iter()
+        .max_by(|(_, _, a), (_, _, b)| {
+            let phases = static_flows("cloverleaf2d", n).unwrap();
+            phase_cost_ns(&phases, a, &p.latency, n)
+                .total_cmp(&phase_cost_ns(&phases, b, &p.latency, n))
+        })
+        .unwrap();
+    let mut lying = plan.clone();
+    lying.best = worst.0;
+    lying.policy = worst.1;
+    lying.assignments = worst.2.assignments;
+    // The claimed bound still says "as cheap as the true winner".
+    let vs = verify_plan(&lying, &p);
+    assert!(
+        vs.iter()
+            .any(|v| matches!(v.kind, Kind::DominatedPlacement { .. })),
+        "dominated claim must be rejected: {vs:?}"
+    );
+}
+
+#[test]
+fn run_placed_from_searched_plan_is_bit_identical_to_unplaced() {
+    use bwb_apps::acoustic;
+    let p = platforms::xeon_max_9480();
+    let plan = search("acoustic", 4, &p).unwrap();
+    let run = |placed: Option<(RankPlacement, bwb_machine::LatencyProfile)>| {
+        Universe::run_placed(4, placed, |c| {
+            let cfg = acoustic::Config {
+                n: 42,
+                iterations: 2,
+                mode: bwb_ops::ExecMode::Serial,
+                ..acoustic::Config::default()
+            };
+            acoustic::Acoustic::run_distributed(c, cfg).1
+        })
+        .results
+    };
+    let baseline = run(None);
+    let placed = run(Some((plan.rank_placement(), p.latency)));
+    let bits = |rs: &[Option<Vec<f64>>]| -> Vec<Vec<u64>> {
+        rs.iter()
+            .map(|r| {
+                r.as_deref()
+                    .unwrap_or(&[])
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect()
+            })
+            .collect()
+    };
+    assert_eq!(
+        bits(&baseline),
+        bits(&placed),
+        "placement moves latency, never results"
+    );
+}

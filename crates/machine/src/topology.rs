@@ -58,6 +58,40 @@ pub enum PlacementPolicy {
     OnePerNuma,
     /// One rank per socket.
     OnePerSocket,
+    /// One rank per physical core, round-robined across NUMA domains:
+    /// rank `r` lands on domain `r mod total_numa` (the
+    /// `I_MPI_PIN_ORDER=scatter` counterpart of the compact enumerations
+    /// above). Consecutive ranks are topologically far apart, so this is
+    /// the adversarial placement for nearest-neighbour stencil traffic —
+    /// and the best one for per-rank bandwidth headroom.
+    Scatter,
+}
+
+impl PlacementPolicy {
+    /// Every policy, in a stable enumeration order.
+    pub const ALL: [PlacementPolicy; 5] = [
+        PlacementPolicy::OnePerNuma,
+        PlacementPolicy::OnePerSocket,
+        PlacementPolicy::OnePerCore,
+        PlacementPolicy::OnePerThread,
+        PlacementPolicy::Scatter,
+    ];
+
+    /// Stable machine-readable label (used in plan JSON and job specs).
+    pub fn label(self) -> &'static str {
+        match self {
+            PlacementPolicy::OnePerCore => "one-per-core",
+            PlacementPolicy::OnePerThread => "one-per-thread",
+            PlacementPolicy::OnePerNuma => "one-per-numa",
+            PlacementPolicy::OnePerSocket => "one-per-socket",
+            PlacementPolicy::Scatter => "scatter",
+        }
+    }
+
+    /// Inverse of [`Self::label`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.label() == s)
+    }
 }
 
 /// A computed placement: rank → hardware thread.
@@ -121,11 +155,18 @@ pub enum ShardPolicy {
 }
 
 impl ShardPolicy {
+    pub const ALL: [ShardPolicy; 2] = [ShardPolicy::OnePerNuma, ShardPolicy::Packed];
+
     pub fn label(self) -> &'static str {
         match self {
             ShardPolicy::OnePerNuma => "one-per-numa",
             ShardPolicy::Packed => "packed",
         }
+    }
+
+    /// Inverse of [`Self::label`] (wire-format parsing).
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.label() == s)
     }
 }
 
@@ -192,6 +233,24 @@ impl CpuTopology {
                     smt: 0,
                 })
                 .collect(),
+            PlacementPolicy::Scatter => {
+                // Domain-major round-robin: core index varies slowest, the
+                // domain varies fastest, so rank r sits on domain
+                // r % total_numa at core r / total_numa.
+                let domains = self.total_numa() as u16;
+                let mut v = Vec::with_capacity(self.physical_cores() as usize);
+                for core in 0..self.cores_per_numa {
+                    for dom in 0..domains {
+                        v.push(CoreId {
+                            socket: dom / self.numa_per_socket,
+                            numa: dom % self.numa_per_socket,
+                            core,
+                            smt: 0,
+                        });
+                    }
+                }
+                v
+            }
         };
         RankPlacement {
             policy,
@@ -205,19 +264,26 @@ impl CpuTopology {
     /// shard's cores in rank order; a shard universe of `n` ranks uses the
     /// first `n`. Core sets are pairwise disjoint and together cover every
     /// physical core (SMT siblings excluded — ranks never share a core
-    /// with another shard's ranks). Panics if `shards` is zero or exceeds
+    /// with another shard's ranks). Errors if `shards` is zero or exceeds
     /// the carve-able units (NUMA domains for [`ShardPolicy::OnePerNuma`],
-    /// physical cores for [`ShardPolicy::Packed`]).
-    pub fn carve_shards(&self, shards: usize, policy: ShardPolicy) -> Vec<RankPlacement> {
-        assert!(shards > 0, "need at least one shard");
+    /// physical cores for [`ShardPolicy::Packed`]) — callers like the
+    /// `bwb-serve` worker pool surface that as a client error rather than
+    /// crashing the process.
+    pub fn carve_shards(
+        &self,
+        shards: usize,
+        policy: ShardPolicy,
+    ) -> Result<Vec<RankPlacement>, String> {
+        if shards == 0 {
+            return Err("need at least one shard".to_string());
+        }
         let cores = self.enumerate_threads(false);
         let sets: Vec<Vec<CoreId>> = match policy {
             ShardPolicy::OnePerNuma => {
                 let domains = self.total_numa() as usize;
-                assert!(
-                    shards <= domains,
-                    "{shards} shards over {domains} NUMA domains"
-                );
+                if shards > domains {
+                    return Err(format!("{shards} shards over {domains} NUMA domains"));
+                }
                 // Round-robin whole domains over shards, keeping each
                 // shard's domain list in machine order.
                 (0..shards)
@@ -235,11 +301,9 @@ impl CpuTopology {
                     .collect()
             }
             ShardPolicy::Packed => {
-                assert!(
-                    shards <= cores.len(),
-                    "{shards} shards over {} cores",
-                    cores.len()
-                );
+                if shards > cores.len() {
+                    return Err(format!("{shards} shards over {} cores", cores.len()));
+                }
                 // Contiguous blocks; the first `rem` shards get one extra.
                 let base = cores.len() / shards;
                 let rem = cores.len() % shards;
@@ -253,12 +317,13 @@ impl CpuTopology {
                 out
             }
         };
-        sets.into_iter()
+        Ok(sets
+            .into_iter()
             .map(|assignments| RankPlacement {
                 policy: PlacementPolicy::OnePerCore,
                 assignments,
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -379,7 +444,7 @@ mod tests {
         let t = max_topo();
         for policy in [ShardPolicy::OnePerNuma, ShardPolicy::Packed] {
             for shards in [1, 2, 4, 8] {
-                let carved = t.carve_shards(shards, policy);
+                let carved = t.carve_shards(shards, policy).unwrap();
                 assert_eq!(carved.len(), shards);
                 let mut seen = std::collections::HashSet::new();
                 for p in &carved {
@@ -400,7 +465,7 @@ mod tests {
     #[test]
     fn one_per_numa_shards_keep_domains_whole() {
         let t = max_topo();
-        let carved = t.carve_shards(8, ShardPolicy::OnePerNuma);
+        let carved = t.carve_shards(8, ShardPolicy::OnePerNuma).unwrap();
         // 8 shards over 8 domains: each shard is exactly one domain.
         for p in &carved {
             assert_eq!(p.assignments.len(), t.cores_per_numa as usize);
@@ -412,7 +477,7 @@ mod tests {
     #[test]
     fn packed_shards_are_contiguous_blocks() {
         let t = max_topo();
-        let carved = t.carve_shards(4, ShardPolicy::Packed);
+        let carved = t.carve_shards(4, ShardPolicy::Packed).unwrap();
         let all = t.enumerate_threads(false);
         let mut at = 0usize;
         for p in &carved {
@@ -423,9 +488,49 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "NUMA domains")]
-    fn over_carving_numa_panics() {
-        max_topo().carve_shards(9, ShardPolicy::OnePerNuma);
+    fn over_carving_is_an_error_not_a_panic() {
+        let err = max_topo()
+            .carve_shards(9, ShardPolicy::OnePerNuma)
+            .unwrap_err();
+        assert!(err.contains("NUMA domains"), "{err}");
+        let err = max_topo().carve_shards(0, ShardPolicy::Packed).unwrap_err();
+        assert!(err.contains("at least one"), "{err}");
+        let err = max_topo()
+            .carve_shards(113, ShardPolicy::Packed)
+            .unwrap_err();
+        assert!(err.contains("cores"), "{err}");
+    }
+
+    #[test]
+    fn scatter_round_robins_numa_domains() {
+        let t = max_topo();
+        let p = t.place_ranks(PlacementPolicy::Scatter);
+        // Covers every physical core exactly once, SMT unused.
+        assert_eq!(p.n_ranks(), 112);
+        let distinct: std::collections::HashSet<_> = p.assignments.iter().collect();
+        assert_eq!(distinct.len(), 112);
+        assert!(p.assignments.iter().all(|c| c.smt == 0));
+        // Rank r sits on domain r % 8: the first 8 ranks are pairwise on
+        // distinct domains, and consecutive ranks never share one.
+        for r in 0..8usize {
+            let c = p.assignments[r];
+            let dom = c.socket as usize * t.numa_per_socket as usize + c.numa as usize;
+            assert_eq!(dom, r % 8);
+        }
+        for r in 0..111 {
+            assert_ne!(
+                p.distance(r, r + 1),
+                CommDistance::SameNuma,
+                "ranks {r},{} must not share a domain",
+                r + 1
+            );
+        }
+        // Scatter is adversarial for neighbour traffic: 2 of every 8
+        // consecutive-rank hops cross the socket (domain 3 -> 4 and
+        // 7 -> 0), where the compact enumeration has exactly one crossing
+        // in the whole chain.
+        let f = p.neighbor_cross_socket_fraction();
+        assert!((f - 0.25).abs() < 0.01, "got {f}");
     }
 
     #[test]

@@ -3,10 +3,13 @@
 //! A job arrives as a JSON object with a `kind` discriminant:
 //!
 //! * `{"kind":"benchmark","app":"acoustic","n":32,"iterations":10,
-//!    "ranks":1,"parallel":false,"plan":{...}}` — run one app; `ranks > 1`
-//!   routes through the sharded pinned-universe pool; the optional `plan`
-//!   is a `dslcheck` optimization-plan document (as exported by an
-//!   `analyze` job) threaded into the app's config.
+//!    "ranks":1,"parallel":false,"plan":{...},"placement":"packed"}` — run
+//!   one app; `ranks > 1` routes through the sharded pinned-universe pool;
+//!   the optional `plan` is a `dslcheck` optimization-plan document (as
+//!   exported by an `analyze` job) threaded into the app's config; the
+//!   optional `placement` pins a ranked run's shard policy
+//!   (`one-per-numa` | `packed`) — omitted, the pool runs placecheck's
+//!   certified policy for that app/rank count.
 //! * `{"kind":"trace","app":"cloverleaf2d","n":24,"iterations":5}` — run
 //!   under the tracer; the Perfetto (Chrome `trace_event`) export is
 //!   retrievable at `/trace/<job id>`.
@@ -25,6 +28,7 @@ use crate::key::{CacheKey, KeyMaterial};
 use crate::shard::ShardPool;
 use bwb_apps::jobspec::{BenchOutcome, BenchSpec};
 use bwb_apps::AppId;
+use bwb_machine::ShardPolicy;
 use bwb_ops::OptPlan;
 use bwb_perfmodel::figures;
 use bwb_trace::json::Json;
@@ -38,6 +42,9 @@ pub enum Job {
         spec: BenchSpec,
         /// Canonical plan JSON (round-tripped through [`OptPlan`]).
         plan: Option<String>,
+        /// Explicit shard placement for ranked runs. `None` defers to
+        /// placecheck's certified policy (see [`ShardPool::run_ranked`]).
+        placement: Option<ShardPolicy>,
     },
     Trace {
         spec: BenchSpec,
@@ -107,7 +114,24 @@ impl Job {
                 if plan.is_some() && spec.ranks > 1 {
                     return Err("plans apply to in-process runs (ranks=1)".into());
                 }
-                Ok(Job::Benchmark { spec, plan })
+                let placement = match body.get("placement") {
+                    None | Some(Json::Null) => None,
+                    Some(Json::Str(s)) => Some(ShardPolicy::parse(s).ok_or_else(|| {
+                        format!(
+                            "unknown placement '{s}' (known: {})",
+                            ShardPolicy::ALL.map(|p| p.label()).join(", ")
+                        )
+                    })?),
+                    Some(_) => return Err("field 'placement' must be a string".into()),
+                };
+                if placement.is_some() && spec.ranks <= 1 {
+                    return Err("placement applies to ranked runs (ranks>1)".into());
+                }
+                Ok(Job::Benchmark {
+                    spec,
+                    plan,
+                    placement,
+                })
             }
             "trace" => {
                 let spec = parse_bench_spec(body)?;
@@ -148,6 +172,14 @@ impl Job {
     /// The job's cache address on `machine` (a descriptor fingerprint).
     pub fn cache_key(&self, machine: &str) -> CacheKey {
         let spec = match self {
+            // An explicit placement is part of the cache address (runs
+            // pinned differently must not collide); the default-placed
+            // spelling is unchanged so historical keys stay valid.
+            Job::Benchmark {
+                spec,
+                placement: Some(p),
+                ..
+            } => format!("{} placement={}", spec.canonical(), p.label()),
             Job::Benchmark { spec, .. } | Job::Trace { spec } => spec.canonical(),
             Job::Figure { figure } => format!("figure={figure}"),
             Job::Analyze { app } => format!("analyze={app}"),
@@ -168,7 +200,11 @@ impl Job {
     /// Execute the job, returning the response payload JSON.
     pub fn execute(&self, ctx: &ExecContext, job_id: u64) -> Result<String, String> {
         match self {
-            Job::Benchmark { spec, plan } => execute_benchmark(ctx, spec, plan.as_deref()),
+            Job::Benchmark {
+                spec,
+                plan,
+                placement,
+            } => execute_benchmark(ctx, spec, plan.as_deref(), *placement),
             Job::Trace { spec } => execute_trace(ctx, spec, job_id),
             Job::Figure { figure } => Ok(figure_payload(*figure)),
             Job::Analyze { app } => execute_analyze(app),
@@ -226,12 +262,14 @@ fn execute_benchmark(
     ctx: &ExecContext,
     spec: &BenchSpec,
     plan: Option<&str>,
+    placement: Option<ShardPolicy>,
 ) -> Result<String, String> {
     let mut fields: Vec<(String, Json)>;
     if spec.ranks > 1 {
-        let run = ctx.shards.run_ranked(spec)?;
+        let run = ctx.shards.run_ranked(spec, placement)?;
         fields = outcome_json(&run.outcome);
         fields.push(("shard".into(), Json::Num(run.shard as f64)));
+        fields.push(("placement".into(), Json::Str(run.policy.label().into())));
         fields.push(("mpi_fraction".into(), Json::Num(run.mpi_fraction)));
         fields.push(("wall_seconds".into(), Json::Num(run.wall_seconds)));
     } else {
@@ -436,6 +474,16 @@ mod tests {
                 .unwrap_err()
                 .contains("no distributed driver")
         );
+        assert!(parse(
+            "{\"kind\":\"benchmark\",\"app\":\"acoustic\",\"ranks\":2,\"placement\":\"diagonal\"}"
+        )
+        .unwrap_err()
+        .contains("unknown placement"));
+        assert!(
+            parse("{\"kind\":\"benchmark\",\"app\":\"acoustic\",\"placement\":\"packed\"}")
+                .unwrap_err()
+                .contains("ranks>1")
+        );
     }
 
     #[test]
@@ -449,6 +497,25 @@ mod tests {
         assert_ne!(bench.cache_key(m1), other.cache_key(m1));
         assert_ne!(bench.cache_key(m1), bench.cache_key(m2));
         assert_eq!(bench.cache_key(m1), bench.cache_key(m1));
+    }
+
+    #[test]
+    fn cache_keys_separate_placements() {
+        let base = parse("{\"kind\":\"benchmark\",\"app\":\"acoustic\",\"ranks\":2}").unwrap();
+        let numa = parse(
+            "{\"kind\":\"benchmark\",\"app\":\"acoustic\",\"ranks\":2,\
+             \"placement\":\"one-per-numa\"}",
+        )
+        .unwrap();
+        let packed = parse(
+            "{\"kind\":\"benchmark\",\"app\":\"acoustic\",\"ranks\":2,\
+             \"placement\":\"packed\"}",
+        )
+        .unwrap();
+        let m = "machine-a";
+        assert_ne!(numa.cache_key(m), packed.cache_key(m));
+        assert_ne!(base.cache_key(m), numa.cache_key(m));
+        assert_ne!(base.cache_key(m), packed.cache_key(m));
     }
 
     #[test]
@@ -472,7 +539,20 @@ mod tests {
         let doc = bwb_trace::json::parse(&payload).unwrap();
         assert_eq!(doc.get("ranks").and_then(Json::as_f64), Some(2.0));
         assert!(doc.get("shard").is_some());
+        assert!(doc.get("placement").and_then(Json::as_str).is_some());
         assert!(doc.get("mpi_fraction").and_then(Json::as_f64).unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn explicit_placement_is_honored_and_reported() {
+        let job = parse(
+            "{\"kind\":\"benchmark\",\"app\":\"acoustic\",\"n\":12,\"iterations\":2,\
+             \"ranks\":2,\"placement\":\"packed\"}",
+        )
+        .unwrap();
+        let payload = job.execute(&ctx(), 9).unwrap();
+        let doc = bwb_trace::json::parse(&payload).unwrap();
+        assert_eq!(doc.get("placement").and_then(Json::as_str), Some("packed"));
     }
 
     #[test]

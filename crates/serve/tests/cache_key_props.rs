@@ -6,6 +6,7 @@
 
 use bwb_apps::jobspec::BenchSpec;
 use bwb_apps::AppId;
+use bwb_machine::ShardPolicy;
 use bwb_serve::{CacheKey, Job};
 use proptest::prelude::*;
 
@@ -25,6 +26,7 @@ fn bench_key(spec: &BenchSpec, plan: Option<&str>, machine: &str) -> CacheKey {
     Job::Benchmark {
         spec: spec.clone(),
         plan: plan.map(String::from),
+        placement: None,
     }
     .cache_key(machine)
 }
@@ -63,6 +65,18 @@ proptest! {
             bench_key(&spec, Some("{\"app\":\"x\"}"), machine),
             bench_key(&spec, None, "machine-b"),
             Job::Trace { spec: spec.clone() }.cache_key(machine),
+            Job::Benchmark {
+                spec: spec.clone(),
+                plan: None,
+                placement: Some(ShardPolicy::Packed),
+            }
+            .cache_key(machine),
+            Job::Benchmark {
+                spec: spec.clone(),
+                plan: None,
+                placement: Some(ShardPolicy::OnePerNuma),
+            }
+            .cache_key(machine),
         ];
         for (i, k) in perturbed.iter().enumerate() {
             prop_assert_ne!(base, *k, "perturbation #{} collided with base", i);
@@ -107,6 +121,7 @@ fn golden_job_key_is_stable_across_processes() {
             parallel: false,
         },
         plan: None,
+        placement: None,
     };
     assert_eq!(
         job.cache_key("golden-machine").to_string(),

@@ -7,7 +7,11 @@ use bwb_trace::json::{parse, validate_chrome, Json};
 
 /// Bind an ephemeral server, run `f` against its address, then drain.
 fn with_server(f: impl FnOnce(&str)) {
-    let server = Server::bind(ServerConfig::default()).expect("bind");
+    with_server_cfg(ServerConfig::default(), f);
+}
+
+fn with_server_cfg(cfg: ServerConfig, f: impl FnOnce(&str)) {
+    let server = Server::bind(cfg).expect("bind");
     let addr = server.local_addr().to_string();
     let state = server.state();
     let runner = std::thread::spawn(move || server.run());
@@ -48,6 +52,45 @@ fn resubmitted_job_is_served_from_cache_bit_identically() {
             .and_then(Json::as_f64)
             .expect("cache.hits");
         assert!(hits >= 2.0, "expected >= 2 cache hits, saw {hits}");
+    });
+}
+
+#[test]
+fn unsatisfiable_shard_carves_are_client_errors_not_crashes() {
+    // 9 one-per-NUMA shards on 8 NUMA domains: binding must succeed (the
+    // pool carves lazily), the infeasible placement must come back as a
+    // 400, and the same server must keep serving feasibly-placed jobs.
+    let cfg = ServerConfig {
+        shards: 9,
+        ..ServerConfig::default()
+    };
+    with_server_cfg(cfg, |addr| {
+        let numa = post_job(
+            addr,
+            r#"{"kind":"benchmark","app":"acoustic","n":12,"iterations":2,"ranks":2,"placement":"one-per-numa"}"#,
+        );
+        assert_eq!(numa.status, 400, "{}", numa.body);
+        assert!(numa.body.contains("NUMA domains"), "{}", numa.body);
+
+        let packed = post_job(
+            addr,
+            r#"{"kind":"benchmark","app":"acoustic","n":12,"iterations":2,"ranks":2,"placement":"packed"}"#,
+        );
+        assert_eq!(packed.status, 200, "{}", packed.body);
+        let doc = parse(&packed.body).expect("payload json");
+        assert_eq!(doc.get("placement").and_then(Json::as_str), Some("packed"));
+
+        // Differently-placed requests must not share a cache entry.
+        let again = post_job(
+            addr,
+            r#"{"kind":"benchmark","app":"acoustic","n":12,"iterations":2,"ranks":2,"placement":"packed"}"#,
+        );
+        assert_eq!(again.header("x-cache"), Some("hit"));
+        let unplaced = post_job(
+            addr,
+            r#"{"kind":"benchmark","app":"acoustic","n":12,"iterations":2,"ranks":2}"#,
+        );
+        assert_eq!(unplaced.header("x-cache"), Some("miss"));
     });
 }
 

@@ -50,7 +50,7 @@ pub mod universe;
 
 pub use cart::CartComm;
 pub use collectives::{ReduceOp, COLL_TAG_BASE};
-pub use comm::{Comm, Request, ANY_SOURCE};
+pub use comm::{Comm, Request, ANY_SOURCE, SW_OVERHEAD_NS};
 pub use event::{CommEvent, CommLog, CommOp};
 pub use mailbox::{Envelope, LockedMailbox, Mailbox, MailboxKind, Pattern, SpscMailbox, SpscRing};
 pub use stats::{CommDetail, PeerStats, RankStats, WorldStats, SIZE_HIST_BUCKETS};

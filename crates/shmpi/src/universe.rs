@@ -378,7 +378,7 @@ mod tests {
     fn pinned_universe_runs_on_carved_cores_with_spsc() {
         use bwb_machine::ShardPolicy;
         let p = platforms::xeon_8360y();
-        let shards = p.topology.carve_shards(2, ShardPolicy::OnePerNuma);
+        let shards = p.topology.carve_shards(2, ShardPolicy::OnePerNuma).unwrap();
         for shard in shards {
             let out = Universe::run_pinned(4, MailboxKind::Spsc, (shard, p.latency), |c| {
                 let right = (c.rank() + 1) % c.size();
@@ -398,6 +398,7 @@ mod tests {
         let shard = p
             .topology
             .carve_shards(p.topology.total_numa() as usize, ShardPolicy::OnePerNuma)
+            .unwrap()
             .remove(0);
         let ranks = shard.n_ranks() + 1;
         Universe::run_pinned(ranks, MailboxKind::Spsc, (shard, p.latency), |_c| ());
